@@ -1,0 +1,88 @@
+//! Shared plumbing for baselines: teacher-logit extraction and the uniform
+//! run report used by the bench harness.
+
+use nai_core::macs::MacsBreakdown;
+use nai_core::metrics::InferenceReport;
+use nai_core::pipeline::TrainedNai;
+use nai_graph::split::{build_training_view, TrainingView};
+use nai_graph::{normalized_adjacency, Convolution, Graph, InductiveSplit};
+use nai_linalg::DenseMatrix;
+use nai_models::propagate_features;
+use nai_models::train::gather_depth_feats;
+use std::time::Duration;
+
+/// Result of a baseline inference pass, aligned with the engine's report
+/// shape so tables can mix methods.
+#[derive(Debug, Clone)]
+pub struct BaselineRun {
+    /// Predicted class per test node (input order).
+    pub predictions: Vec<usize>,
+    /// Aggregate metrics.
+    pub report: InferenceReport,
+}
+
+/// Builds a [`BaselineRun`] from raw pieces, computing accuracy against
+/// full-graph labels.
+pub fn make_run(
+    predictions: Vec<usize>,
+    test_nodes: &[u32],
+    labels: &[u32],
+    macs: MacsBreakdown,
+    total_time: Duration,
+    feature_time: Duration,
+    batches: usize,
+) -> BaselineRun {
+    let eval: Vec<usize> = (0..test_nodes.len()).collect();
+    let view: Vec<u32> = test_nodes.iter().map(|&v| labels[v as usize]).collect();
+    let accuracy = nai_linalg::ops::accuracy(&predictions, &view, &eval);
+    BaselineRun {
+        report: InferenceReport {
+            num_nodes: test_nodes.len(),
+            accuracy,
+            macs,
+            total_time,
+            feature_time,
+            depth_histogram: vec![],
+            batches,
+        },
+        predictions,
+    }
+}
+
+/// Recomputes the training view and the teacher's logits on the training
+/// nodes (rows aligned with `view.train_local`). All KD baselines distill
+/// from the same deep teacher `f^(k)` that NAI uses, matching the paper's
+/// protocol.
+pub fn teacher_logits_on_train(
+    trained: &TrainedNai,
+    graph: &Graph,
+    split: &InductiveSplit,
+) -> (TrainingView, DenseMatrix) {
+    let view = build_training_view(graph, split).expect("valid split");
+    let norm = normalized_adjacency(&view.graph.adj, Convolution::Symmetric);
+    let depth_feats = propagate_features(&norm, &view.graph.features, trained.k);
+    let rows: Vec<usize> = view.train_local.iter().map(|&v| v as usize).collect();
+    let feats = gather_depth_feats(&depth_feats, trained.k + 1, &rows);
+    let logits = trained.engine.classifier(trained.k).forward(&feats);
+    (view, logits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn make_run_computes_accuracy() {
+        let run = make_run(
+            vec![0, 1, 1],
+            &[0, 1, 2],
+            &[0, 1, 0],
+            MacsBreakdown::default(),
+            Duration::from_millis(5),
+            Duration::ZERO,
+            1,
+        );
+        assert!((run.report.accuracy - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(run.report.num_nodes, 3);
+    }
+}

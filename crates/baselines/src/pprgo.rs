@@ -1,0 +1,440 @@
+//! PPRGo (Bojchevski et al., KDD 2020) — the related-work comparator of
+//! §V: replace hierarchical feature propagation with approximate
+//! personalized PageRank (PPR).
+//!
+//! PPRGo follows the predict-then-propagate ordering: an MLP scores every
+//! node's *raw* features and the final prediction for seed `s` is the
+//! PPR-weighted sum of its top-k neighbors' logits,
+//! `z_s = Σ_v π(s, v) · MLP(x_v)`. The PPR vectors come from the classic
+//! forward-push approximation with residual threshold `ε`, so inductive
+//! inference on an unseen node costs one online push over the deployment
+//! graph plus `k_top` MLP evaluations — a different cost signature from
+//! both Scalable GNNs (deep SpMM) and NAI (adaptive SpMM):
+//! feature-processing is cheap but classification MACs scale with `k_top`.
+//!
+//! As the paper notes, PPRGo cannot reuse the Scalable-GNN precompute and
+//! must train end-to-end; we precompute the training-graph PPR lists once
+//! (they contain no trainable parameters) and train the MLP through the
+//! weighted aggregation.
+
+use crate::common::{make_run, BaselineRun};
+use nai_core::macs::MacsBreakdown;
+use nai_graph::split::build_training_view;
+use nai_graph::{CsrMatrix, Graph, InductiveSplit};
+use nai_linalg::ops::argmax_rows;
+use nai_linalg::DenseMatrix;
+use nai_nn::adam::Adam;
+use nai_nn::loss::softmax_cross_entropy;
+use nai_nn::mlp::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// One node's sparse PPR neighborhood: `(neighbor, weight)` sorted by
+/// descending weight.
+pub type PprList = Vec<(u32, f32)>;
+
+/// Forward-push approximate PPR from `seed` with teleport `alpha` and
+/// residual threshold `eps` (push while `r[v] ≥ eps · d(v)`).
+///
+/// Returns the sparse estimate vector and the number of MACs spent (one
+/// per residual spread). The estimate underestimates the true PPR by at
+/// most `eps · d(v)` per node; total pushes are bounded by
+/// `1 / (alpha · eps)`, so the routine terminates on any graph. Residual
+/// mass at dangling (isolated) nodes is absorbed by the seed estimate.
+///
+/// # Panics
+/// Panics if `alpha` is outside `(0, 1)` or `eps` is not positive.
+pub fn approximate_ppr(adj: &CsrMatrix, seed: u32, alpha: f32, eps: f32) -> (PprList, u64) {
+    assert!((0.0..1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1)");
+    assert!(eps > 0.0, "eps must be positive");
+    let mut estimate: std::collections::HashMap<u32, f32> = std::collections::HashMap::new();
+    let mut residual: std::collections::HashMap<u32, f32> = std::collections::HashMap::new();
+    residual.insert(seed, 1.0);
+    let mut queue = std::collections::VecDeque::from([seed]);
+    let mut in_queue: std::collections::HashSet<u32> = std::collections::HashSet::from([seed]);
+    let mut macs = 0u64;
+    while let Some(v) = queue.pop_front() {
+        in_queue.remove(&v);
+        let d = adj.row_nnz(v as usize);
+        let r = residual.get(&v).copied().unwrap_or(0.0);
+        if r < eps * d.max(1) as f32 {
+            continue;
+        }
+        residual.insert(v, 0.0);
+        *estimate.entry(v).or_insert(0.0) += alpha * r;
+        if d == 0 {
+            // Dangling node: the walk restarts, which lands back at the
+            // seed with probability 1 in the limit — fold into the seed.
+            *estimate.entry(seed).or_insert(0.0) += (1.0 - alpha) * r;
+            continue;
+        }
+        let spread = (1.0 - alpha) * r / d as f32;
+        macs += d as u64;
+        for (u, _) in adj.row_iter(v as usize) {
+            let ru = residual.entry(u).or_insert(0.0);
+            *ru += spread;
+            if *ru >= eps * adj.row_nnz(u as usize).max(1) as f32 && in_queue.insert(u) {
+                queue.push_back(u);
+            }
+        }
+    }
+    let mut list: PprList = estimate.into_iter().filter(|&(_, w)| w > 0.0).collect();
+    list.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    (list, macs)
+}
+
+/// Truncates a PPR list to its `k_top` heaviest entries.
+pub fn top_k(mut list: PprList, k_top: usize) -> PprList {
+    list.truncate(k_top);
+    list
+}
+
+/// PPRGo hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct PprGoConfig {
+    /// Teleport probability α (the PPRGo paper uses 0.25).
+    pub alpha: f32,
+    /// Push threshold ε.
+    pub eps: f32,
+    /// Top-k sparsification of each PPR vector.
+    pub top_k: usize,
+    /// Hidden widths of the scoring MLP.
+    pub hidden: Vec<usize>,
+    /// Dropout during training.
+    pub dropout: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch of seed nodes per step.
+    pub batch_size: usize,
+    /// Optimizer.
+    pub adam: Adam,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PprGoConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.25,
+            eps: 1e-4,
+            top_k: 32,
+            hidden: vec![32],
+            dropout: 0.1,
+            epochs: 60,
+            batch_size: 128,
+            adam: Adam::new(0.01, 1e-5),
+            seed: 33,
+        }
+    }
+}
+
+/// A trained PPRGo model.
+pub struct PprGo {
+    mlp: Mlp,
+    cfg: PprGoConfig,
+}
+
+impl PprGo {
+    /// Trains PPRGo on the inductive training view of `graph`.
+    ///
+    /// # Panics
+    /// Panics on invalid splits.
+    pub fn train(graph: &Graph, split: &InductiveSplit, cfg: &PprGoConfig) -> Self {
+        let view = build_training_view(graph, split).expect("valid split");
+        let tg = &view.graph;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut mlp = Mlp::new(
+            &MlpConfig {
+                in_dim: tg.feature_dim(),
+                hidden: cfg.hidden.clone(),
+                out_dim: graph.num_classes,
+                dropout: cfg.dropout,
+            },
+            &mut rng,
+        );
+
+        // PPR lists on the training graph: parameter-free, computed once.
+        let lists: Vec<PprList> = view
+            .train_local
+            .iter()
+            .map(|&v| top_k(approximate_ppr(&tg.adj, v, cfg.alpha, cfg.eps).0, cfg.top_k))
+            .collect();
+        let labels: Vec<u32> = view
+            .train_local
+            .iter()
+            .map(|&v| tg.labels[v as usize])
+            .collect();
+
+        let mut order: Vec<usize> = (0..lists.len()).collect();
+        let batch = if cfg.batch_size == 0 {
+            lists.len()
+        } else {
+            cfg.batch_size
+        };
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(batch) {
+                // Union support set of this batch.
+                let mut support: Vec<u32> = chunk
+                    .iter()
+                    .flat_map(|&s| lists[s].iter().map(|&(v, _)| v))
+                    .collect();
+                support.sort_unstable();
+                support.dedup();
+                let col_of: std::collections::HashMap<u32, usize> = support
+                    .iter()
+                    .enumerate()
+                    .map(|(t, &v)| (v, t))
+                    .collect();
+                let rows: Vec<usize> = support.iter().map(|&v| v as usize).collect();
+                let x = tg.features.gather_rows(&rows).expect("support rows");
+                let h = mlp.forward_train(&x, &mut rng);
+
+                // Aggregation matrix: batch × support PPR weights.
+                let mut agg = DenseMatrix::zeros(chunk.len(), support.len());
+                for (b, &s) in chunk.iter().enumerate() {
+                    for &(v, w) in &lists[s] {
+                        agg.set(b, col_of[&v], w);
+                    }
+                }
+                let z = agg.matmul(&h).expect("aggregate logits");
+                let y: Vec<u32> = chunk.iter().map(|&s| labels[s]).collect();
+                let (_, dz) = softmax_cross_entropy(&z, &y);
+                let dh = agg.transpose_matmul(&dz).expect("backprop through agg");
+                mlp.zero_grads();
+                mlp.backward(&dh);
+                mlp.apply_grads(&cfg.adam);
+            }
+        }
+        Self {
+            mlp,
+            cfg: cfg.clone(),
+        }
+    }
+
+    /// Inductive inference: online PPR pushes over the full deployment
+    /// graph, then PPR-weighted MLP aggregation.
+    pub fn infer(&self, graph: &Graph, test_nodes: &[u32], labels: &[u32]) -> BaselineRun {
+        let total = Instant::now();
+        let mut fp_time = std::time::Duration::ZERO;
+        let mut macs = MacsBreakdown::default();
+        let mut predictions = Vec::with_capacity(test_nodes.len());
+        let clf_macs = self.mlp.macs_per_row();
+        for &s in test_nodes {
+            let fp = Instant::now();
+            let (list, push_macs) = approximate_ppr(&graph.adj, s, self.cfg.alpha, self.cfg.eps);
+            let list = top_k(list, self.cfg.top_k);
+            fp_time += fp.elapsed();
+            macs.propagation += push_macs;
+            let rows: Vec<usize> = list.iter().map(|&(v, _)| v as usize).collect();
+            let x = graph.features.gather_rows(&rows).expect("ppr rows");
+            let h = self.mlp.forward(&x);
+            macs.classification += rows.len() as u64 * clf_macs;
+            let c = h.cols();
+            let mut z = vec![0.0f32; c];
+            for (t, &(_, w)) in list.iter().enumerate() {
+                for (acc, &v) in z.iter_mut().zip(h.row(t)) {
+                    *acc += w * v;
+                }
+            }
+            macs.classification += (rows.len() * c) as u64;
+            predictions.push(nai_linalg::ops::argmax(&z));
+        }
+        make_run(
+            predictions,
+            test_nodes,
+            labels,
+            macs,
+            total.elapsed(),
+            fp_time,
+            test_nodes.len(),
+        )
+    }
+
+    /// The scoring MLP (diagnostics).
+    pub fn mlp(&self) -> &Mlp {
+        &self.mlp
+    }
+
+    /// Batch variant of [`Self::infer`] reusing one forward pass per
+    /// union support set — the deployment-style path used by benches.
+    pub fn infer_batched(
+        &self,
+        graph: &Graph,
+        test_nodes: &[u32],
+        labels: &[u32],
+        batch_size: usize,
+    ) -> BaselineRun {
+        assert!(batch_size > 0, "batch_size must be positive");
+        let total = Instant::now();
+        let mut fp_time = std::time::Duration::ZERO;
+        let mut macs = MacsBreakdown::default();
+        let mut predictions = Vec::with_capacity(test_nodes.len());
+        let clf_macs = self.mlp.macs_per_row();
+        let mut batches = 0usize;
+        for chunk in test_nodes.chunks(batch_size) {
+            batches += 1;
+            let fp = Instant::now();
+            let lists: Vec<PprList> = chunk
+                .iter()
+                .map(|&s| {
+                    let (l, push_macs) =
+                        approximate_ppr(&graph.adj, s, self.cfg.alpha, self.cfg.eps);
+                    macs.propagation += push_macs;
+                    top_k(l, self.cfg.top_k)
+                })
+                .collect();
+            fp_time += fp.elapsed();
+            let mut support: Vec<u32> = lists
+                .iter()
+                .flat_map(|l| l.iter().map(|&(v, _)| v))
+                .collect();
+            support.sort_unstable();
+            support.dedup();
+            let col_of: std::collections::HashMap<u32, usize> = support
+                .iter()
+                .enumerate()
+                .map(|(t, &v)| (v, t))
+                .collect();
+            let rows: Vec<usize> = support.iter().map(|&v| v as usize).collect();
+            let x = graph.features.gather_rows(&rows).expect("support rows");
+            let h = self.mlp.forward(&x);
+            macs.classification += rows.len() as u64 * clf_macs;
+            let mut agg = DenseMatrix::zeros(chunk.len(), support.len());
+            for (b, list) in lists.iter().enumerate() {
+                for &(v, w) in list {
+                    agg.set(b, col_of[&v], w);
+                }
+            }
+            let z = agg.matmul(&h).expect("aggregate");
+            macs.classification += lists.iter().map(|l| l.len() as u64).sum::<u64>()
+                * h.cols() as u64;
+            predictions.extend(argmax_rows(&z));
+        }
+        make_run(
+            predictions,
+            test_nodes,
+            labels,
+            macs,
+            total.elapsed(),
+            fp_time,
+            batches,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nai_graph::generators::{generate, GeneratorConfig};
+
+    fn graph(n: usize) -> Graph {
+        generate(
+            &GeneratorConfig {
+                num_nodes: n,
+                num_classes: 3,
+                feature_dim: 8,
+                avg_degree: 8.0,
+                homophily: 0.85,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(21),
+        )
+    }
+
+    #[test]
+    fn ppr_mass_is_bounded_and_seed_heavy() {
+        let g = graph(200);
+        let (list, macs) = approximate_ppr(&g.adj, 0, 0.25, 1e-5);
+        let mass: f32 = list.iter().map(|&(_, w)| w).sum();
+        assert!(mass <= 1.0 + 1e-4, "PPR mass {mass} must not exceed 1");
+        assert!(mass > 0.5, "push with tight eps should capture most mass");
+        // The seed itself is the heaviest entry under teleportation.
+        assert_eq!(list[0].0, 0, "seed should rank first");
+        assert!(macs > 0);
+    }
+
+    #[test]
+    fn ppr_is_sorted_descending() {
+        let g = graph(150);
+        let (list, _) = approximate_ppr(&g.adj, 3, 0.2, 1e-4);
+        for w in list.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn tighter_eps_captures_more_mass() {
+        let g = graph(200);
+        let (coarse, macs_coarse) = approximate_ppr(&g.adj, 5, 0.25, 1e-2);
+        let (fine, macs_fine) = approximate_ppr(&g.adj, 5, 0.25, 1e-5);
+        let mass = |l: &PprList| l.iter().map(|&(_, w)| w).sum::<f32>();
+        assert!(mass(&fine) >= mass(&coarse));
+        assert!(macs_fine >= macs_coarse);
+    }
+
+    #[test]
+    fn isolated_seed_keeps_all_mass() {
+        let adj = CsrMatrix::undirected_adjacency(3, &[(1, 2)]).unwrap();
+        let (list, _) = approximate_ppr(&adj, 0, 0.25, 1e-4);
+        assert_eq!(list.len(), 1);
+        assert_eq!(list[0].0, 0);
+        assert!((list[0].1 - 1.0).abs() < 1e-3, "weight {}", list[0].1);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let list = vec![(0, 0.5), (1, 0.3), (2, 0.2)];
+        assert_eq!(top_k(list.clone(), 2).len(), 2);
+        assert_eq!(top_k(list, 10).len(), 3);
+    }
+
+    #[test]
+    fn trained_pprgo_beats_chance_inductively() {
+        let g = graph(400);
+        let split = InductiveSplit::random(400, 0.5, 0.2, &mut StdRng::seed_from_u64(7));
+        let model = PprGo::train(
+            &g,
+            &split,
+            &PprGoConfig {
+                epochs: 40,
+                ..Default::default()
+            },
+        );
+        let run = model.infer(&g, &split.test, &g.labels);
+        assert!(
+            run.report.accuracy > 1.0 / 3.0 + 0.1,
+            "acc {}",
+            run.report.accuracy
+        );
+        assert!(run.report.macs.propagation > 0);
+        assert!(run.report.macs.classification > 0);
+    }
+
+    #[test]
+    fn batched_inference_matches_per_node() {
+        let g = graph(300);
+        let split = InductiveSplit::random(300, 0.5, 0.2, &mut StdRng::seed_from_u64(8));
+        let model = PprGo::train(
+            &g,
+            &split,
+            &PprGoConfig {
+                epochs: 15,
+                ..Default::default()
+            },
+        );
+        let a = model.infer(&g, &split.test, &g.labels);
+        let b = model.infer_batched(&g, &split.test, &g.labels, 64);
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(a.report.macs.propagation, b.report.macs.propagation);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in (0,1)")]
+    fn invalid_alpha_panics() {
+        let g = graph(50);
+        let _ = approximate_ppr(&g.adj, 0, 1.5, 1e-4);
+    }
+}

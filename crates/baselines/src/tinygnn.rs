@@ -1,0 +1,265 @@
+//! TinyGNN (Yan et al., KDD 2020): a single-layer GNN distilled from a
+//! deep teacher.
+//!
+//! The peer-aware module (PAM) is realised as scaled dot-product neighbor
+//! attention (`nai-nn::attention`); the student combines the attended
+//! neighborhood summary with the node's own features and classifies with a
+//! small MLP. Only 1-hop neighbors are touched at inference — but the
+//! attention projections and per-edge scores make its MACs grow with batch
+//! size and feature dimension, reproducing the cost signature in the
+//! paper's Table V and Fig. 5.
+
+use crate::common::{make_run, teacher_logits_on_train, BaselineRun};
+use nai_core::macs::MacsBreakdown;
+use nai_core::pipeline::TrainedNai;
+use nai_graph::{Graph, InductiveSplit};
+use nai_linalg::ops::argmax_rows;
+use nai_linalg::DenseMatrix;
+use nai_nn::adam::Adam;
+use nai_nn::attention::{NeighborAttention, NeighborBatch};
+use nai_nn::loss::{distillation_loss, softmax_cross_entropy};
+use nai_nn::mlp::{Mlp, MlpConfig};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// TinyGNN knobs.
+#[derive(Debug, Clone)]
+pub struct TinyGnnConfig {
+    /// Attention output dimensionality.
+    pub attn_dim: usize,
+    /// Max sampled neighbors per node (the original samples peers).
+    pub max_neighbors: usize,
+    /// Head hidden widths.
+    pub hidden: Vec<usize>,
+    /// KD temperature.
+    pub temperature: f32,
+    /// KD mixing weight.
+    pub lambda: f32,
+    /// Epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Default for TinyGnnConfig {
+    fn default() -> Self {
+        Self {
+            attn_dim: 32,
+            max_neighbors: 10,
+            hidden: vec![64],
+            temperature: 1.5,
+            lambda: 0.7,
+            epochs: 40,
+            batch_size: 128,
+            lr: 0.01,
+        }
+    }
+}
+
+/// Trained TinyGNN student.
+pub struct TinyGnn {
+    attention: NeighborAttention,
+    head: Mlp,
+    max_neighbors: usize,
+}
+
+impl TinyGnn {
+    /// Samples up to `cap` neighbors (plus self) for each node; returns
+    /// batch structure indexing into the *global* feature matrix.
+    fn neighbor_batch<RNG: rand::Rng>(
+        graph: &Graph,
+        nodes: &[u32],
+        cap: usize,
+        rng: &mut RNG,
+    ) -> NeighborBatch {
+        let lists: Vec<Vec<u32>> = nodes
+            .iter()
+            .map(|&u| {
+                let mut nbrs: Vec<u32> = graph.adj.row_indices(u as usize).to_vec();
+                if nbrs.len() > cap {
+                    nbrs.shuffle(rng);
+                    nbrs.truncate(cap);
+                }
+                nbrs.push(u); // self participates in the peer set
+                nbrs
+            })
+            .collect();
+        NeighborBatch::from_lists(&lists)
+    }
+
+    /// Distills the deep teacher into the single-layer student on the
+    /// training graph.
+    pub fn distill(
+        trained: &TrainedNai,
+        graph: &Graph,
+        split: &InductiveSplit,
+        cfg: &TinyGnnConfig,
+        seed: u64,
+    ) -> Self {
+        let (view, teacher_logits) = teacher_logits_on_train(trained, graph, split);
+        let f = graph.feature_dim();
+        let c = graph.num_classes;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut attention = NeighborAttention::new(f, cfg.attn_dim, &mut rng);
+        let mut head = Mlp::new(
+            &MlpConfig {
+                in_dim: f + cfg.attn_dim,
+                hidden: cfg.hidden.clone(),
+                out_dim: c,
+                dropout: 0.0,
+            },
+            &mut rng,
+        );
+        let opt = Adam::new(cfg.lr, 0.0);
+        let n = view.train_local.len();
+        let batch = cfg.batch_size.min(n).max(1);
+        let mut order: Vec<usize> = (0..n).collect();
+        let t2 = cfg.temperature * cfg.temperature;
+        for _ in 0..cfg.epochs {
+            order.shuffle(&mut rng);
+            for chunk in order.chunks(batch) {
+                let nodes: Vec<u32> = chunk.iter().map(|&p| view.train_local[p]).collect();
+                let idx: Vec<usize> = nodes.iter().map(|&v| v as usize).collect();
+                let x_self = view.graph.features.gather_rows(&idx).expect("rows");
+                let nb = Self::neighbor_batch(&view.graph, &nodes, cfg.max_neighbors, &mut rng);
+                attention.zero_grads();
+                head.zero_grads();
+                let summary = attention.forward(&x_self, &view.graph.features, &nb, true);
+                let input = x_self.hconcat(&summary).expect("aligned");
+                let logits = head.forward_train(&input, &mut rng);
+                let yb: Vec<u32> = idx.iter().map(|&r| view.graph.labels[r]).collect();
+                let tb = teacher_logits.gather_rows(chunk).expect("teacher rows");
+                let (_, mut d) = softmax_cross_entropy(&logits, &yb);
+                let (_, dkd) = distillation_loss(&logits, &tb, cfg.temperature);
+                d.scale(1.0 - cfg.lambda);
+                d.axpy(cfg.lambda * t2, &dkd).expect("shapes");
+                let dinput = head.backward(&d);
+                // Split the input gradient: first f cols belong to raw
+                // features (leaves), the rest to the attention summary.
+                let mut dsummary = DenseMatrix::zeros(dinput.rows(), cfg.attn_dim);
+                for r in 0..dinput.rows() {
+                    dsummary
+                        .row_mut(r)
+                        .copy_from_slice(&dinput.row(r)[f..]);
+                }
+                attention.backward(&dsummary);
+                head.apply_grads(&opt);
+                attention.apply_grads(&opt);
+            }
+        }
+        Self {
+            attention,
+            head,
+            max_neighbors: cfg.max_neighbors,
+        }
+    }
+
+    /// Inductive inference with full-graph 1-hop neighbors.
+    pub fn infer(
+        &mut self,
+        graph: &Graph,
+        test_nodes: &[u32],
+        labels: &[u32],
+        batch_size: usize,
+        seed: u64,
+    ) -> BaselineRun {
+        let start = Instant::now();
+        let mut feature_time = std::time::Duration::ZERO;
+        let mut macs = MacsBreakdown::default();
+        let mut predictions = Vec::with_capacity(test_nodes.len());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let f = graph.feature_dim();
+        let mut batches = 0usize;
+        for chunk in test_nodes.chunks(batch_size.max(1)) {
+            batches += 1;
+            let fp = Instant::now();
+            let idx: Vec<usize> = chunk.iter().map(|&v| v as usize).collect();
+            let x_self = graph.features.gather_rows(&idx).expect("rows");
+            let nb = Self::neighbor_batch(graph, chunk, self.max_neighbors, &mut rng);
+            let summary = self.attention.forward(&x_self, &graph.features, &nb, false);
+            // Attention = feature processing in the paper's accounting.
+            macs.propagation += self.attention.macs(
+                chunk.len() as u64,
+                nb.total_neighbors() as u64,
+                nb.total_neighbors() as u64,
+                f as u64,
+            );
+            feature_time += fp.elapsed();
+            let input = x_self.hconcat(&summary).expect("aligned");
+            let logits = self.head.forward(&input);
+            macs.classification += chunk.len() as u64 * self.head.macs_per_row();
+            predictions.extend(argmax_rows(&logits));
+        }
+        make_run(
+            predictions,
+            test_nodes,
+            labels,
+            macs,
+            start.elapsed(),
+            feature_time,
+            batches,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nai_core::config::PipelineConfig;
+    use nai_core::pipeline::NaiPipeline;
+    use nai_graph::generators::{generate, GeneratorConfig};
+    use nai_models::ModelKind;
+
+    #[test]
+    fn tinygnn_trains_and_attention_dominates_macs() {
+        let g = generate(
+            &GeneratorConfig {
+                num_nodes: 300,
+                num_classes: 3,
+                feature_dim: 8,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(400),
+        );
+        let split = InductiveSplit::random(300, 0.5, 0.2, &mut StdRng::seed_from_u64(401));
+        let cfg = PipelineConfig {
+            k: 2,
+            hidden: vec![16],
+            epochs: 30,
+            patience: 8,
+            lr: 0.02,
+            use_multi_scale: false,
+            ..PipelineConfig::default()
+        };
+        let trained = NaiPipeline::new(ModelKind::Sgc, cfg).train(&g, &split, false);
+        let mut tiny = TinyGnn::distill(
+            &trained,
+            &g,
+            &split,
+            &TinyGnnConfig {
+                epochs: 15,
+                ..TinyGnnConfig::default()
+            },
+            402,
+        );
+        let run = tiny.infer(&g, &split.test, &g.labels, 64, 403);
+        assert!(run.report.accuracy > 0.4, "acc {}", run.report.accuracy);
+        // The attention projections are the dominant cost (the paper's
+        // observation about the peer-aware module).
+        assert!(run.report.macs.propagation > run.report.macs.classification / 4);
+    }
+
+    #[test]
+    fn neighbor_batch_caps_and_includes_self() {
+        let g = nai_graph::generators::star_graph(30, 4);
+        let mut rng = StdRng::seed_from_u64(404);
+        let nb = TinyGnn::neighbor_batch(&g, &[0], 5, &mut rng);
+        // Hub: 29 neighbors capped at 5, plus self.
+        assert_eq!(nb.total_neighbors(), 6);
+        assert!(nb.neighbor_rows.contains(&0));
+    }
+}

@@ -1,0 +1,142 @@
+//! Baseline edge cases: isolated nodes, tiny batches, and cost-accounting
+//! consistency across the four methods.
+
+use nai_baselines::glnn::{Glnn, GlnnConfig};
+use nai_baselines::nosmog::{Nosmog, NosmogConfig};
+use nai_baselines::quantization::QuantizedModel;
+use nai_baselines::tinygnn::{TinyGnn, TinyGnnConfig};
+use nai_core::config::PipelineConfig;
+use nai_core::pipeline::{NaiPipeline, TrainedNai};
+use nai_graph::generators::{generate, GeneratorConfig};
+use nai_graph::{Graph, InductiveSplit};
+use nai_models::ModelKind;
+use nai_nn::trainer::TrainConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup() -> (Graph, InductiveSplit, TrainedNai) {
+    // avg_degree 1.5 ⇒ plenty of isolated / degree-1 nodes.
+    let g = generate(
+        &GeneratorConfig {
+            num_nodes: 200,
+            num_classes: 3,
+            feature_dim: 6,
+            avg_degree: 1.5,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(600),
+    );
+    let split = InductiveSplit::random(200, 0.5, 0.2, &mut StdRng::seed_from_u64(601));
+    let cfg = PipelineConfig {
+        k: 2,
+        hidden: vec![8],
+        epochs: 10,
+        use_single_scale: false,
+        use_multi_scale: false,
+        ..PipelineConfig::default()
+    };
+    let t = NaiPipeline::new(ModelKind::Sgc, cfg).train(&g, &split, false);
+    (g, split, t)
+}
+
+fn tiny_train() -> TrainConfig {
+    TrainConfig {
+        epochs: 10,
+        patience: 5,
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn glnn_handles_batch_of_one() {
+    let (g, split, t) = setup();
+    let glnn = Glnn::distill(
+        &t,
+        &g,
+        &split,
+        &GlnnConfig {
+            hidden: vec![16],
+            train: tiny_train(),
+            ..GlnnConfig::default()
+        },
+        1,
+    );
+    let run = glnn.infer(&g, &split.test[..1], &g.labels, 1);
+    assert_eq!(run.predictions.len(), 1);
+    assert_eq!(run.report.batches, 1);
+}
+
+#[test]
+fn nosmog_zeroes_positions_for_isolated_unseen_nodes() {
+    let (g, split, t) = setup();
+    let nosmog = Nosmog::distill(
+        &t,
+        &g,
+        &split,
+        &NosmogConfig {
+            hidden: vec![16],
+            position_dim: 4,
+            train: tiny_train(),
+            ..NosmogConfig::default()
+        },
+        2,
+    );
+    // Isolated test nodes exist at avg degree 1.5; inference must not
+    // panic and must classify them (zero position vector).
+    let isolated: Vec<u32> = split
+        .test
+        .iter()
+        .copied()
+        .filter(|&v| g.adj.row_nnz(v as usize) == 0)
+        .collect();
+    if !isolated.is_empty() {
+        let run = nosmog.infer(&g, &isolated, &g.labels, 16);
+        assert_eq!(run.predictions.len(), isolated.len());
+        // No neighbor fetches happened for them.
+        assert_eq!(run.report.macs.propagation, 0);
+    }
+}
+
+#[test]
+fn tinygnn_handles_isolated_nodes_with_self_only_peer_set() {
+    let (g, split, t) = setup();
+    let mut tiny = TinyGnn::distill(
+        &t,
+        &g,
+        &split,
+        &TinyGnnConfig {
+            epochs: 5,
+            attn_dim: 8,
+            hidden: vec![8],
+            ..TinyGnnConfig::default()
+        },
+        3,
+    );
+    let run = tiny.infer(&g, &split.test, &g.labels, 32, 4);
+    assert_eq!(run.predictions.len(), split.test.len());
+    assert!(run.predictions.iter().all(|&p| p < g.num_classes));
+}
+
+#[test]
+fn quantized_model_deterministic_across_runs() {
+    let (g, split, t) = setup();
+    let quant = QuantizedModel::from_engine(&t.engine);
+    let a = quant.infer(&t.engine, &split.test, &g.labels, 50);
+    let b = quant.infer(&t.engine, &split.test, &g.labels, 50);
+    assert_eq!(a.predictions, b.predictions);
+    assert_eq!(a.report.macs.total(), b.report.macs.total());
+}
+
+#[test]
+fn mac_accounting_is_batch_size_invariant_for_fixed_methods() {
+    // Propagation MACs may differ with batching (frontier sharing), but
+    // classification MACs must be exactly batch-size independent.
+    let (g, split, t) = setup();
+    let quant = QuantizedModel::from_engine(&t.engine);
+    let small = quant.infer(&t.engine, &split.test, &g.labels, 10);
+    let large = quant.infer(&t.engine, &split.test, &g.labels, 1000);
+    assert_eq!(
+        small.report.macs.classification,
+        large.report.macs.classification
+    );
+}

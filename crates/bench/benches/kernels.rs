@@ -1,0 +1,122 @@
+//! Criterion micro-benchmarks of the kernels behind every experiment:
+//! SpMM (feature propagation), dense matmul (classification), stationary
+//! state, NAP distance checks, gate decisions, and BFS frontier
+//! discovery.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nai::core::stationary::StationaryState;
+use nai::core::{napd, InferenceConfig};
+use nai::datasets::{load, DatasetId, Scale};
+use nai::graph::frontier::BfsScratch;
+use nai::graph::{normalized_adjacency, Convolution};
+use nai::linalg::DenseMatrix;
+use nai::prelude::*;
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let ds = load(DatasetId::FlickrProxy, Scale::Test);
+    let norm = normalized_adjacency(&ds.graph.adj, Convolution::Symmetric);
+    let x = ds.graph.features.clone();
+    let n = ds.graph.num_nodes();
+
+    c.bench_function("spmm_propagation_step", |b| {
+        b.iter(|| black_box(norm.spmm(&x)))
+    });
+
+    let mut wrng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(1);
+    let w = nai::linalg::init::glorot_uniform(x.cols(), 64, &mut wrng);
+    c.bench_function("dense_matmul_classifier", |b| {
+        b.iter(|| black_box(x.matmul(&w).unwrap()))
+    });
+
+    c.bench_function("stationary_state_precompute", |b| {
+        b.iter(|| black_box(StationaryState::compute(&ds.graph.adj, &x, 0.5)))
+    });
+
+    let st = StationaryState::compute(&ds.graph.adj, &x, 0.5);
+    let batch: Vec<u32> = (0..(200.min(n) as u32)).collect();
+    c.bench_function("stationary_rows_batch200", |b| {
+        b.iter(|| black_box(st.rows(&batch)))
+    });
+
+    let xinf = st.rows(&batch);
+    let idx: Vec<usize> = batch.iter().map(|&v| v as usize).collect();
+    let xb = x.gather_rows(&idx).unwrap();
+    c.bench_function("napd_distance_batch200", |b| {
+        b.iter(|| black_box(napd::exit_mask(&xb, &xinf, 0.5)))
+    });
+
+    c.bench_function("bfs_hop_sets_radius3", |b| {
+        b.iter_batched(
+            || BfsScratch::new(n),
+            |mut bfs| black_box(bfs.hop_sets(&ds.graph.adj, &batch, 3)),
+            BatchSize::SmallInput,
+        )
+    });
+
+    // End-to-end adaptive batch (small, trained quickly once).
+    let cfg = PipelineConfig {
+        k: 2,
+        hidden: vec![16],
+        epochs: 8,
+        use_single_scale: false,
+        use_multi_scale: false,
+        ..PipelineConfig::default()
+    };
+    let trained = NaiPipeline::new(ModelKind::Sgc, cfg).train(&ds.graph, &ds.split, false);
+    c.bench_function("engine_infer_batch_napd", |b| {
+        b.iter(|| {
+            black_box(trained.engine.infer(
+                &ds.split.test,
+                &ds.graph.labels,
+                &InferenceConfig::distance(1.0, 1, 2),
+            ))
+        })
+    });
+
+    // Parallel vs serial engine on multi-batch workloads (batch 100 →
+    // several independent batches to distribute).
+    let par_cfg = InferenceConfig {
+        batch_size: 100,
+        ..InferenceConfig::distance(1.0, 1, 2)
+    };
+    c.bench_function("engine_infer_serial_b100", |b| {
+        b.iter(|| {
+            black_box(trained
+                .engine
+                .infer(&ds.split.test, &ds.graph.labels, &par_cfg))
+        })
+    });
+    c.bench_function("engine_infer_parallel2_b100", |b| {
+        b.iter(|| {
+            black_box(trained.engine.infer_parallel(
+                &ds.split.test,
+                &ds.graph.labels,
+                &par_cfg,
+                2,
+            ))
+        })
+    });
+
+    let mut dm = DenseMatrix::from_fn(512, 64, |r, q| ((r * 64 + q) as f32 * 0.01).sin());
+    c.bench_function("softmax_rows_512x64", |b| {
+        b.iter(|| {
+            nai::linalg::ops::softmax_rows(&mut dm);
+            black_box(&dm);
+        })
+    });
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = kernels;
+    config = configured();
+    targets = bench_kernels
+}
+criterion_main!(kernels);

@@ -1,0 +1,50 @@
+//! **Table VII** — NAP ablation on Ogbn-arxiv and Ogbn-products proxies:
+//! "NAI w/o NAP" (fixed depth) vs NAI_d vs NAI_g for every
+//! `T_max ∈ [2, k]`, reporting ACC, per-node time and the node
+//! distribution.
+
+use nai::datasets::DatasetId;
+use nai::prelude::*;
+use nai_bench::{dataset, k_for, print_paper_reference, select_ts, train_nai, OperatingPoint};
+
+fn main() {
+    println!("Table VII reproduction — NAP ablation under different T_max");
+    for id in [DatasetId::ArxivProxy, DatasetId::ProductsProxy] {
+        let ds = dataset(id);
+        let k = k_for(id);
+        let trained = train_nai(&ds, ModelKind::Sgc);
+        let ts = select_ts(&trained, &ds, k, OperatingPoint::Balanced);
+        println!("\n[{}] k = {k}, T_s = {ts}", ds.id.name());
+        println!(
+            "{:<6} {:<12} {:>8} {:>12}  node distribution",
+            "T_max", "method", "ACC%", "ms/node"
+        );
+        for t_max in 2..=k {
+            let variants: [(&str, InferenceConfig); 3] = [
+                ("w/o NAP", InferenceConfig::fixed(t_max)),
+                ("NAI_d", InferenceConfig::distance(ts, 1, t_max)),
+                ("NAI_g", InferenceConfig::gate(1, t_max)),
+            ];
+            for (name, cfg) in variants {
+                let run = trained.engine.infer(&ds.split.test, &ds.graph.labels, &cfg);
+                println!(
+                    "{:<6} {:<12} {:>8.2} {:>12.4}  {:?}",
+                    t_max,
+                    name,
+                    100.0 * run.report.accuracy,
+                    run.report.time_ms_per_node(),
+                    run.report.depth_histogram
+                );
+            }
+        }
+    }
+    print_paper_reference(
+        "Table VII (shape)",
+        &[
+            "at every T_max, NAI_d matches or beats 'w/o NAP' accuracy at lower time",
+            "(adaptive depth mitigates over-smoothing AND saves computation);",
+            "NAI_g is slightly more accurate than NAI_d at slightly higher gate cost;",
+            "time grows super-linearly in T_max for the fixed variant.",
+        ],
+    );
+}

@@ -1,0 +1,71 @@
+//! **Table VIII** — Inception Distillation ablation: accuracy of the
+//! weakest classifier `f^(1)` with no distillation ("w/o ID"), single-scale
+//! only ("w/o MS"), multi-scale only ("w/o SS"), and the full method.
+//!
+//! Stages share the same base-trained classifier stack (cloned per
+//! variant) so the comparison isolates the distillation signal.
+
+use nai::core::config::InferenceConfig;
+use nai::core::pipeline::NaiPipeline;
+use nai::datasets::DatasetId;
+use nai::prelude::*;
+use nai_bench::{dataset, k_for, pipeline_config, print_paper_reference};
+
+fn f1_accuracy(trained: &TrainedNai, ds: &nai::datasets::Dataset, k: usize) -> f64 {
+    // Exit every node at depth 1 → predictions come from f^(1).
+    trained
+        .engine
+        .infer(
+            &ds.split.test,
+            &ds.graph.labels,
+            &InferenceConfig::distance(f32::INFINITY, 1, k),
+        )
+        .report
+        .accuracy
+}
+
+fn main() {
+    println!("Table VIII reproduction — Inception Distillation ablation (f^(1) accuracy)");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "variant", "Flickr", "Arxiv", "Products"
+    );
+    let mut table: Vec<(&str, Vec<f64>)> = vec![
+        ("NAI w/o ID", vec![]),
+        ("NAI w/o MS", vec![]),
+        ("NAI w/o SS", vec![]),
+        ("NAI (full)", vec![]),
+    ];
+    for id in DatasetId::all() {
+        let ds = dataset(id);
+        let k = k_for(id);
+        for (variant_idx, (use_ss, use_ms)) in
+            [(false, false), (true, false), (false, true), (true, true)]
+                .into_iter()
+                .enumerate()
+        {
+            let mut cfg = pipeline_config(id, ModelKind::Sgc);
+            cfg.use_single_scale = use_ss;
+            cfg.use_multi_scale = use_ms;
+            let trained = NaiPipeline::new(ModelKind::Sgc, cfg).train(&ds.graph, &ds.split, false);
+            table[variant_idx].1.push(f1_accuracy(&trained, &ds, k));
+        }
+    }
+    for (name, accs) in &table {
+        print!("{name:<22}");
+        for a in accs {
+            print!(" {:>9.2}%", 100.0 * a);
+        }
+        println!();
+    }
+    print_paper_reference(
+        "Table VIII (f^(1) accuracy, real datasets)",
+        &[
+            "NAI w/o ID : 40.86 (Flickr) 65.54 (Arxiv) 70.17 (Products)",
+            "NAI w/o MS : 44.41          65.91          70.28",
+            "NAI w/o SS : 42.81          66.08          70.37",
+            "NAI (full) : 44.85          66.10          70.49",
+            "shape to reproduce: full >= either single stage >= no distillation.",
+        ],
+    );
+}

@@ -1,0 +1,207 @@
+//! Minimal `--flag value` argument parsing.
+//!
+//! The offline dependency set has no dedicated CLI parser pinned for this
+//! workspace, and the surface is small: every subcommand takes
+//! `--key value` pairs (plus bare `--key` booleans). Unknown keys are
+//! errors, so typos fail loudly instead of silently using defaults.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus its flags.
+#[derive(Debug, Clone)]
+pub struct ParsedArgs {
+    /// First positional token (the subcommand).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+/// Argument-parsing failures, rendered to the user with usage help.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand was given.
+    MissingCommand,
+    /// A token that is not a `--flag`.
+    UnexpectedToken(String),
+    /// A flag the subcommand does not accept.
+    UnknownFlag(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag name.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// A required flag was absent.
+    MissingFlag(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::MissingCommand => write!(f, "no subcommand given"),
+            ArgError::UnexpectedToken(t) => write!(f, "unexpected token `{t}`"),
+            ArgError::UnknownFlag(k) => write!(f, "unknown flag `--{k}`"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "bad value `{value}` for --{flag}: expected {expected}"),
+            ArgError::MissingFlag(k) => write!(f, "missing required flag `--{k}`"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl ParsedArgs {
+    /// Parses raw arguments (excluding the program name) into a
+    /// subcommand and `--key value` flags. A `--key` immediately followed
+    /// by another `--key` (or end of input) is a boolean flag with value
+    /// `"true"`.
+    ///
+    /// # Errors
+    /// Returns [`ArgError`] on structural problems; flag *validity* is
+    /// checked later by [`Self::finish`].
+    pub fn parse(args: &[String]) -> Result<Self, ArgError> {
+        let mut it = args.iter().peekable();
+        let command = it.next().ok_or(ArgError::MissingCommand)?.clone();
+        if command.starts_with("--") {
+            return Err(ArgError::MissingCommand);
+        }
+        let mut flags = BTreeMap::new();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| ArgError::UnexpectedToken(tok.clone()))?;
+            let value = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
+                _ => "true".to_string(),
+            };
+            flags.insert(key.to_string(), value);
+        }
+        Ok(Self { command, flags })
+    }
+
+    /// String flag with a default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.flags.get(key).map(String::as_str).unwrap_or(default)
+    }
+
+    /// Required string flag.
+    ///
+    /// # Errors
+    /// [`ArgError::MissingFlag`] when absent.
+    pub fn require(&self, key: &str) -> Result<&str, ArgError> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError::MissingFlag(key.to_string()))
+    }
+
+    /// Parsed numeric flag with a default.
+    ///
+    /// # Errors
+    /// [`ArgError::BadValue`] when present but unparseable.
+    pub fn get_parse_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+    ) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                flag: key.to_string(),
+                value: v.clone(),
+                expected: std::any::type_name::<T>(),
+            }),
+        }
+    }
+
+    /// Boolean flag: present (any value except "false") → true.
+    pub fn get_bool(&self, key: &str) -> bool {
+        matches!(self.flags.get(key), Some(v) if v != "false")
+    }
+
+    /// Validates that only `allowed` flags were provided; call once per
+    /// subcommand after reading everything.
+    ///
+    /// # Errors
+    /// [`ArgError::UnknownFlag`] on the first unexpected key.
+    pub fn finish(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError::UnknownFlag(key.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let p = ParsedArgs::parse(&args(&["train", "--k", "5", "--gates"])).unwrap();
+        assert_eq!(p.command, "train");
+        assert_eq!(p.get_or("k", "1"), "5");
+        assert!(p.get_bool("gates"));
+        assert!(!p.get_bool("absent"));
+    }
+
+    #[test]
+    fn missing_command_is_error() {
+        assert_eq!(
+            ParsedArgs::parse(&args(&[])).unwrap_err(),
+            ArgError::MissingCommand
+        );
+        assert_eq!(
+            ParsedArgs::parse(&args(&["--k", "5"])).unwrap_err(),
+            ArgError::MissingCommand
+        );
+    }
+
+    #[test]
+    fn bare_value_is_unexpected() {
+        let err = ParsedArgs::parse(&args(&["train", "k", "5"])).unwrap_err();
+        assert_eq!(err, ArgError::UnexpectedToken("k".to_string()));
+    }
+
+    #[test]
+    fn numeric_parsing_and_defaults() {
+        let p = ParsedArgs::parse(&args(&["x", "--epochs", "30"])).unwrap();
+        assert_eq!(p.get_parse_or("epochs", 10usize).unwrap(), 30);
+        assert_eq!(p.get_parse_or("k", 5usize).unwrap(), 5);
+        let bad = ParsedArgs::parse(&args(&["x", "--epochs", "many"])).unwrap();
+        assert!(bad.get_parse_or("epochs", 10usize).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_by_finish() {
+        let p = ParsedArgs::parse(&args(&["x", "--good", "1", "--bad", "2"])).unwrap();
+        assert!(p.finish(&["good"]).is_err());
+        assert!(p.finish(&["good", "bad"]).is_ok());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let p = ParsedArgs::parse(&args(&["x"])).unwrap();
+        assert_eq!(
+            p.require("out").unwrap_err(),
+            ArgError::MissingFlag("out".to_string())
+        );
+    }
+
+    #[test]
+    fn boolean_false_literal() {
+        let p = ParsedArgs::parse(&args(&["x", "--gates", "false"])).unwrap();
+        assert!(!p.get_bool("gates"));
+    }
+}

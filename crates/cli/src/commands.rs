@@ -1,0 +1,426 @@
+//! Subcommand implementations.
+
+use crate::args::{ArgError, ParsedArgs};
+use nai_core::checkpoint::ModelCheckpoint;
+use nai_core::config::{DistillConfig, InferenceConfig, NapMode, PipelineConfig};
+use nai_core::eval::ConfusionMatrix;
+use nai_core::inference::InferenceResult;
+use nai_core::pipeline::NaiPipeline;
+use nai_datasets::{load, DatasetId, Scale};
+use nai_graph::io::{load_graph, load_split, save_graph, save_split};
+use nai_graph::{Graph, InductiveSplit};
+use nai_models::ModelKind;
+use nai_stream::{DynamicGraph, StreamingEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::Path;
+
+/// CLI failures with user-readable messages.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument problems (rendered with usage help).
+    Args(ArgError),
+    /// Anything else, already formatted.
+    Other(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<nai_graph::GraphError> for CliError {
+    fn from(e: nai_graph::GraphError) -> Self {
+        CliError::Other(e.to_string())
+    }
+}
+
+impl From<nai_core::checkpoint::CheckpointError> for CliError {
+    fn from(e: nai_core::checkpoint::CheckpointError) -> Self {
+        CliError::Other(e.to_string())
+    }
+}
+
+/// Result alias for subcommands.
+pub type CliResult = Result<(), CliError>;
+
+/// Parses `--dataset` / `--scale` into a dataset id and scale.
+pub fn dataset_of(args: &ParsedArgs) -> Result<(DatasetId, Scale), CliError> {
+    let id = match args.get_or("dataset", "arxiv") {
+        "flickr" => DatasetId::FlickrProxy,
+        "arxiv" => DatasetId::ArxivProxy,
+        "products" => DatasetId::ProductsProxy,
+        other => {
+            return Err(ArgError::BadValue {
+                flag: "dataset".into(),
+                value: other.into(),
+                expected: "flickr | arxiv | products",
+            }
+            .into())
+        }
+    };
+    let scale = match args.get_or("scale", "test") {
+        "test" => Scale::Test,
+        "bench" => Scale::Bench,
+        other => {
+            return Err(ArgError::BadValue {
+                flag: "scale".into(),
+                value: other.into(),
+                expected: "test | bench",
+            }
+            .into())
+        }
+    };
+    Ok((id, scale))
+}
+
+/// Parses `--model-kind`.
+pub fn model_kind_of(args: &ParsedArgs) -> Result<ModelKind, CliError> {
+    match args.get_or("model-kind", "sgc") {
+        "sgc" => Ok(ModelKind::Sgc),
+        "sign" => Ok(ModelKind::Sign),
+        "s2gc" => Ok(ModelKind::S2gc),
+        "gamlp" => Ok(ModelKind::Gamlp),
+        other => Err(ArgError::BadValue {
+            flag: "model-kind".into(),
+            value: other.into(),
+            expected: "sgc | sign | s2gc | gamlp",
+        }
+        .into()),
+    }
+}
+
+/// Parses `--nap`/`--ts`/`--tmin`/`--tmax`/`--batch` into an
+/// [`InferenceConfig`].
+pub fn inference_config_of(args: &ParsedArgs, k: usize) -> Result<InferenceConfig, CliError> {
+    let t_min = args.get_parse_or("tmin", 1usize)?;
+    let t_max = args.get_parse_or("tmax", k)?;
+    let ts = args.get_parse_or("ts", 0.5f32)?;
+    let batch_size = args.get_parse_or("batch", 500usize)?;
+    let nap = match args.get_or("nap", "distance") {
+        "fixed" => NapMode::Fixed,
+        "distance" => NapMode::Distance { ts },
+        "gate" => NapMode::Gate,
+        "upper" => NapMode::UpperBound { ts },
+        other => {
+            return Err(ArgError::BadValue {
+                flag: "nap".into(),
+                value: other.into(),
+                expected: "fixed | distance | gate | upper",
+            }
+            .into())
+        }
+    };
+    let cfg = InferenceConfig {
+        t_min: if matches!(nap, NapMode::Fixed) { t_max } else { t_min },
+        t_max,
+        nap,
+        batch_size,
+    };
+    cfg.validate(k).map_err(CliError::Other)?;
+    Ok(cfg)
+}
+
+/// Loads either a named proxy dataset or an on-disk graph+split pair.
+pub fn load_data(args: &ParsedArgs) -> Result<(Graph, InductiveSplit, String), CliError> {
+    if let (Ok(gpath), Ok(spath)) = (args.require("graph"), args.require("split")) {
+        let graph = load_graph(Path::new(gpath))?;
+        let split = load_split(Path::new(spath))?;
+        split
+            .validate(graph.num_nodes())
+            .map_err(|e| CliError::Other(e.to_string()))?;
+        return Ok((graph, split, format!("{gpath} + {spath}")));
+    }
+    let (id, scale) = dataset_of(args)?;
+    let ds = load(id, scale);
+    Ok((ds.graph, ds.split, ds.id.name().to_string()))
+}
+
+/// `nai generate`: materializes a dataset proxy to disk.
+pub fn generate(args: &ParsedArgs) -> CliResult {
+    args.finish(&["dataset", "scale", "out"])?;
+    let (id, scale) = dataset_of(args)?;
+    let out = args.require("out")?;
+    let ds = load(id, scale);
+    let gpath = format!("{out}.graph");
+    let spath = format!("{out}.split");
+    save_graph(&ds.graph, Path::new(&gpath))?;
+    save_split(&ds.split, Path::new(&spath))?;
+    println!(
+        "wrote {} ({} nodes, {} edges, f={}, c={}) to {gpath} / {spath}",
+        ds.id.name(),
+        ds.graph.num_nodes(),
+        ds.graph.num_edges(),
+        ds.graph.feature_dim(),
+        ds.graph.num_classes,
+    );
+    Ok(())
+}
+
+/// `nai train`: trains the NAI pipeline and saves a checkpoint.
+pub fn train(args: &ParsedArgs) -> CliResult {
+    args.finish(&[
+        "dataset", "scale", "graph", "split", "model-kind", "k", "epochs", "hidden", "lr",
+        "gates", "no-distill", "seed", "out",
+    ])?;
+    let (graph, split, name) = load_data(args)?;
+    let kind = model_kind_of(args)?;
+    let k = args.get_parse_or("k", 3usize)?;
+    let epochs = args.get_parse_or("epochs", 50usize)?;
+    let hidden = args.get_parse_or("hidden", 32usize)?;
+    let lr = args.get_parse_or("lr", 0.01f32)?;
+    let seed = args.get_parse_or("seed", 42u64)?;
+    let distill = !args.get_bool("no-distill");
+    let train_gates = args.get_bool("gates");
+    let out = args.require("out")?;
+
+    let cfg = PipelineConfig {
+        k,
+        hidden: vec![hidden],
+        epochs,
+        lr,
+        seed,
+        use_single_scale: distill,
+        use_multi_scale: distill,
+        distill: DistillConfig {
+            epochs: epochs / 3 + 1,
+            ensemble_r: DistillConfig::default().ensemble_r.min(k),
+            ..DistillConfig::default()
+        },
+        ..PipelineConfig::default()
+    };
+    println!(
+        "training {} (k={k}, hidden={hidden}, epochs={epochs}, gates={train_gates}) on {name} ...",
+        kind.name()
+    );
+    let trained = NaiPipeline::new(kind, cfg).train(&graph, &split, train_gates);
+    println!(
+        "base f^({k}) best val acc {:.4}",
+        trained.reports.base.best_val_acc
+    );
+    let ckpt = ModelCheckpoint::from_engine(&trained.engine, 0.5);
+    ckpt.save(Path::new(out))?;
+    println!("checkpoint saved to {out}");
+    Ok(())
+}
+
+fn print_report(label: &str, res: &InferenceResult, graph: &Graph, test: &[u32]) {
+    let r = &res.report;
+    let labels_view: Vec<u32> = test.iter().map(|&v| graph.labels[v as usize]).collect();
+    let cm = ConfusionMatrix::from_predictions(&res.predictions, &labels_view, graph.num_classes);
+    println!(
+        "{label:>10} | acc {:.4} | macro-F1 {:.4} | mMACs/node {:.3} (fp {:.3}) | \
+         ms/node {:.4} (fp {:.4}) | mean depth {:.2} | exits {:?}",
+        r.accuracy,
+        cm.macro_f1(),
+        r.mmacs_per_node(),
+        r.fp_mmacs_per_node(),
+        r.time_ms_per_node(),
+        r.fp_time_ms_per_node(),
+        r.mean_depth(),
+        r.depth_histogram,
+    );
+}
+
+/// `nai infer`: deploys a checkpoint and runs one inference pass.
+pub fn infer(args: &ParsedArgs) -> CliResult {
+    args.finish(&[
+        "dataset", "scale", "graph", "split", "model", "nap", "ts", "tmin", "tmax", "batch",
+    ])?;
+    let (graph, split, name) = load_data(args)?;
+    let ckpt = ModelCheckpoint::load(Path::new(args.require("model")?))?;
+    let engine = ckpt.deploy(&graph);
+    let cfg = inference_config_of(args, ckpt.k)?;
+    println!(
+        "{} (k={}) on {name}: {} test nodes, nap {:?}",
+        ckpt.kind.name(),
+        ckpt.k,
+        split.test.len(),
+        cfg.nap
+    );
+    let res = engine.infer(&split.test, &graph.labels, &cfg);
+    print_report("result", &res, &graph, &split.test);
+    Ok(())
+}
+
+/// `nai eval`: compares every NAP policy on one deployment.
+pub fn eval(args: &ParsedArgs) -> CliResult {
+    args.finish(&[
+        "dataset", "scale", "graph", "split", "model", "ts", "tmin", "batch",
+    ])?;
+    let (graph, split, name) = load_data(args)?;
+    let ckpt = ModelCheckpoint::load(Path::new(args.require("model")?))?;
+    let engine = ckpt.deploy(&graph);
+    let k = ckpt.k;
+    let ts = args.get_parse_or("ts", 0.5f32)?;
+    let t_min = args.get_parse_or("tmin", 1usize)?;
+    let batch = args.get_parse_or("batch", 500usize)?;
+    println!(
+        "{} (k={k}) on {name}: {} test nodes, T_s={ts}",
+        ckpt.kind.name(),
+        split.test.len()
+    );
+    let mut configs = vec![
+        ("fixed", InferenceConfig::fixed(k)),
+        ("distance", InferenceConfig::distance(ts, t_min, k)),
+        ("upper", InferenceConfig::upper_bound(ts, t_min, k)),
+    ];
+    if ckpt.has_gates() {
+        configs.push(("gate", InferenceConfig::gate(t_min, k)));
+    }
+    for (label, mut cfg) in configs {
+        cfg.batch_size = batch;
+        let res = engine.infer(&split.test, &graph.labels, &cfg);
+        print_report(label, &res, &graph, &split.test);
+    }
+    Ok(())
+}
+
+/// `nai stream`: streaming-arrival demo with latency percentiles.
+pub fn stream(args: &ParsedArgs) -> CliResult {
+    args.finish(&[
+        "dataset", "scale", "graph", "split", "model", "nap", "ts", "tmin", "tmax", "arrivals",
+        "batch", "degree", "seed",
+    ])?;
+    let (graph, _, name) = load_data(args)?;
+    let ckpt = ModelCheckpoint::load(Path::new(args.require("model")?))?;
+    let cfg = inference_config_of(args, ckpt.k)?;
+    let arrivals = args.get_parse_or("arrivals", 200usize)?;
+    let degree = args.get_parse_or("degree", 3usize)?;
+    let seed = args.get_parse_or("seed", 7u64)?;
+    let mut engine = StreamingEngine::from_checkpoint(&ckpt, DynamicGraph::from_graph(&graph));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let f = graph.feature_dim();
+    println!(
+        "streaming {arrivals} arrivals (≈{degree} edges each) into {name}, \
+         micro-batch {} ...",
+        cfg.batch_size
+    );
+    let mut served = 0usize;
+    for _ in 0..arrivals {
+        let feats: Vec<f32> = (0..f).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let n = engine.graph().num_nodes();
+        let nbrs: Vec<u32> = (0..degree).map(|_| rng.gen_range(0..n) as u32).collect();
+        engine.ingest(&feats, &nbrs);
+        if engine.pending().len() >= cfg.batch_size {
+            served += engine.flush(&cfg).len();
+        }
+    }
+    served += engine.flush(&cfg).len();
+    let s = engine.stats();
+    println!(
+        "served {served} | p50 {:?} | p95 {:?} | p99 {:?} | max {:?} | \
+         mean depth {:.2} | throughput {:.0}/s | total MACs {:.1}M",
+        s.p50(),
+        s.p95(),
+        s.p99(),
+        s.max(),
+        s.mean_depth(),
+        s.throughput(),
+        engine.macs_total() as f64 / 1e6,
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(s: &[&str]) -> ParsedArgs {
+        let v: Vec<String> = s.iter().map(|x| x.to_string()).collect();
+        ParsedArgs::parse(&v).unwrap()
+    }
+
+    #[test]
+    fn dataset_parsing() {
+        let p = parsed(&["x", "--dataset", "flickr", "--scale", "bench"]);
+        let (id, scale) = dataset_of(&p).unwrap();
+        assert_eq!(id, DatasetId::FlickrProxy);
+        assert_eq!(scale, Scale::Bench);
+        let bad = parsed(&["x", "--dataset", "reddit"]);
+        assert!(dataset_of(&bad).is_err());
+    }
+
+    #[test]
+    fn model_kind_parsing() {
+        assert_eq!(
+            model_kind_of(&parsed(&["x", "--model-kind", "gamlp"])).unwrap(),
+            ModelKind::Gamlp
+        );
+        assert!(model_kind_of(&parsed(&["x", "--model-kind", "gcn"])).is_err());
+    }
+
+    #[test]
+    fn inference_config_parsing() {
+        let p = parsed(&["x", "--nap", "upper", "--ts", "0.3", "--tmax", "2"]);
+        let cfg = inference_config_of(&p, 3).unwrap();
+        assert_eq!(cfg.t_max, 2);
+        assert!(matches!(cfg.nap, NapMode::UpperBound { ts } if (ts - 0.3).abs() < 1e-6));
+        // fixed pins t_min to t_max.
+        let f = inference_config_of(&parsed(&["x", "--nap", "fixed", "--tmax", "2"]), 3).unwrap();
+        assert_eq!(f.t_min, 2);
+        // t_max beyond k is rejected.
+        assert!(inference_config_of(&parsed(&["x", "--tmax", "9"]), 3).is_err());
+    }
+
+    #[test]
+    fn generate_train_infer_roundtrip_via_tempdir() {
+        let dir = std::env::temp_dir().join("nai_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("ds");
+        let base_s = base.to_str().unwrap();
+
+        generate(&parsed(&[
+            "generate", "--dataset", "arxiv", "--scale", "test", "--out", base_s,
+        ]))
+        .unwrap();
+        assert!(dir.join("ds.graph").exists());
+        assert!(dir.join("ds.split").exists());
+
+        let model = dir.join("m.naic");
+        let model_s = model.to_str().unwrap();
+        let gpath = format!("{base_s}.graph");
+        let spath = format!("{base_s}.split");
+        train(&parsed(&[
+            "train", "--graph", &gpath, "--split", &spath, "--k", "2", "--epochs", "10",
+            "--hidden", "8", "--out", model_s,
+        ]))
+        .unwrap();
+        assert!(model.exists());
+
+        infer(&parsed(&[
+            "infer", "--graph", &gpath, "--split", &spath, "--model", model_s, "--nap",
+            "distance", "--ts", "0.5",
+        ]))
+        .unwrap();
+
+        eval(&parsed(&[
+            "eval", "--graph", &gpath, "--split", &spath, "--model", model_s,
+        ]))
+        .unwrap();
+
+        stream(&parsed(&[
+            "stream", "--graph", &gpath, "--split", &spath, "--model", model_s, "--arrivals",
+            "20", "--batch", "5",
+        ]))
+        .unwrap();
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_flag_is_rejected() {
+        let p = parsed(&["generate", "--dataset", "arxiv", "--frobnicate", "1"]);
+        assert!(matches!(generate(&p), Err(CliError::Args(_))));
+    }
+}

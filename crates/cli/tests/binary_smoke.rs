@@ -1,0 +1,79 @@
+//! End-to-end smoke tests of the compiled `nai` binary.
+
+use std::process::Command;
+
+fn nai() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_nai"))
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    let out = nai().arg("help").output().expect("binary runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("generate"));
+    assert!(text.contains("stream"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero_with_usage() {
+    let out = nai().arg("frobnicate").output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown command"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn missing_flag_is_reported() {
+    let out = nai()
+        .args(["generate", "--dataset", "arxiv"])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--out"), "stderr: {err}");
+}
+
+#[test]
+fn full_workflow_through_the_binary() {
+    let dir = std::env::temp_dir().join("nai_binary_smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = dir.join("ds");
+    let model = dir.join("m.naic");
+
+    let gen = nai()
+        .args([
+            "generate", "--dataset", "arxiv", "--scale", "test", "--out",
+            base.to_str().unwrap(),
+        ])
+        .output()
+        .expect("generate");
+    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+
+    let gpath = format!("{}.graph", base.display());
+    let spath = format!("{}.split", base.display());
+    let train = nai()
+        .args([
+            "train", "--graph", &gpath, "--split", &spath, "--k", "2", "--epochs", "8",
+            "--hidden", "8", "--out", model.to_str().unwrap(),
+        ])
+        .output()
+        .expect("train");
+    assert!(train.status.success(), "{}", String::from_utf8_lossy(&train.stderr));
+    assert!(model.exists());
+
+    let infer = nai()
+        .args([
+            "infer", "--graph", &gpath, "--split", &spath, "--model",
+            model.to_str().unwrap(), "--nap", "upper", "--ts", "0.5",
+        ])
+        .output()
+        .expect("infer");
+    assert!(infer.status.success(), "{}", String::from_utf8_lossy(&infer.stderr));
+    let text = String::from_utf8_lossy(&infer.stdout);
+    assert!(text.contains("acc"), "stdout: {text}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}

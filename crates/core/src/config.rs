@@ -1,0 +1,224 @@
+//! Configuration types for training and inference.
+
+use serde::{Deserialize, Serialize};
+
+/// Which Node-Adaptive Propagation module controls early exits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NapMode {
+    /// No adaptivity: every node propagates to `t_max` ("NAI w/o NAP" in
+    /// Table VII; equivalent to the vanilla base model when
+    /// `t_max = k`).
+    Fixed,
+    /// Distance-based NAP (NAP_d): exit when `‖X^(l) − X^(∞)‖ < t_s`.
+    Distance {
+        /// Exit threshold `T_s` of Eq. (9).
+        ts: f32,
+    },
+    /// Gate-based NAP (NAP_g): trained gates decide exits (Eq. 11–13).
+    Gate,
+    /// Upper-bound NAP (NAP_u, extension): assigns each node the Eq. (10)
+    /// spectral depth bound *before* propagation starts. Depths depend only
+    /// on node degree and graph-level constants, so no per-depth distance or
+    /// gate evaluation is spent — the cheapest policy, at some accuracy cost
+    /// relative to NAP_d/NAP_g (see the `ablation_napu` bench).
+    UpperBound {
+        /// Smoothness threshold `T_s` fed into the Eq. (10) bound.
+        ts: f32,
+    },
+}
+
+/// Inference-time knobs of Algorithm 1.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct InferenceConfig {
+    /// Minimum propagation depth `T_min` (no exits before this depth).
+    pub t_min: usize,
+    /// Maximum propagation depth `T_max` (everything left exits here).
+    pub t_max: usize,
+    /// NAP module selection.
+    pub nap: NapMode,
+    /// Test-batch size (the paper's default is 500).
+    pub batch_size: usize,
+}
+
+impl InferenceConfig {
+    /// Speed-first distance configuration used in Table V.
+    pub fn distance(ts: f32, t_min: usize, t_max: usize) -> Self {
+        Self {
+            t_min,
+            t_max,
+            nap: NapMode::Distance { ts },
+            batch_size: 500,
+        }
+    }
+
+    /// Gate configuration.
+    pub fn gate(t_min: usize, t_max: usize) -> Self {
+        Self {
+            t_min,
+            t_max,
+            nap: NapMode::Gate,
+            batch_size: 500,
+        }
+    }
+
+    /// Upper-bound (NAP_u) configuration.
+    pub fn upper_bound(ts: f32, t_min: usize, t_max: usize) -> Self {
+        Self {
+            t_min,
+            t_max,
+            nap: NapMode::UpperBound { ts },
+            batch_size: 500,
+        }
+    }
+
+    /// Fixed-depth configuration (ablation baseline).
+    pub fn fixed(t_max: usize) -> Self {
+        Self {
+            t_min: t_max,
+            t_max,
+            nap: NapMode::Fixed,
+            batch_size: 500,
+        }
+    }
+
+    /// Validates `1 ≤ t_min ≤ t_max ≤ k`.
+    ///
+    /// # Errors
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self, k: usize) -> Result<(), String> {
+        if self.t_min < 1 {
+            return Err(format!("t_min must be ≥ 1, got {}", self.t_min));
+        }
+        if self.t_min > self.t_max {
+            return Err(format!(
+                "t_min ({}) must not exceed t_max ({})",
+                self.t_min, self.t_max
+            ));
+        }
+        if self.t_max > k {
+            return Err(format!(
+                "t_max ({}) must not exceed the trained depth k ({k})",
+                self.t_max
+            ));
+        }
+        if self.batch_size == 0 {
+            return Err("batch_size must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Inception Distillation hyper-parameters (Tables III–IV of the paper).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DistillConfig {
+    /// Single-scale temperature `T_single`.
+    pub t_single: f32,
+    /// Single-scale mixing weight `λ_single`.
+    pub lambda_single: f32,
+    /// Multi-scale temperature `T_multi`.
+    pub t_multi: f32,
+    /// Multi-scale mixing weight `λ_multi`.
+    pub lambda_multi: f32,
+    /// Ensemble size `r` (number of top-depth classifiers voting).
+    pub ensemble_r: usize,
+    /// Multi-scale training epochs.
+    pub epochs: usize,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        Self {
+            t_single: 1.2,
+            lambda_single: 0.5,
+            t_multi: 1.8,
+            lambda_multi: 0.8,
+            ensemble_r: 3,
+            epochs: 60,
+        }
+    }
+}
+
+/// End-to-end training configuration for the NAI pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Highest propagation depth `k` (one classifier per depth `1..=k`).
+    pub k: usize,
+    /// Hidden widths of every classifier MLP.
+    pub hidden: Vec<usize>,
+    /// Classifier dropout.
+    pub dropout: f32,
+    /// Learning rate.
+    pub lr: f32,
+    /// Weight decay.
+    pub weight_decay: f32,
+    /// Epoch budget for base/single-scale training.
+    pub epochs: usize,
+    /// Early-stopping patience.
+    pub patience: usize,
+    /// Mini-batch size for classifier training (0 = full batch).
+    pub train_batch: usize,
+    /// Distillation settings.
+    pub distill: DistillConfig,
+    /// Whether Inception Distillation runs at all (ablations switch the
+    /// stages off).
+    pub use_single_scale: bool,
+    /// Whether Multi-Scale Distillation runs.
+    pub use_multi_scale: bool,
+    /// Gate training epochs (gate-based NAP).
+    pub gate_epochs: usize,
+    /// Gumbel-softmax temperature for gate training.
+    pub gate_tau: f32,
+    /// Master RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            k: 5,
+            hidden: vec![64],
+            dropout: 0.1,
+            lr: 0.01,
+            weight_decay: 0.0,
+            epochs: 100,
+            patience: 20,
+            train_batch: 0,
+            distill: DistillConfig::default(),
+            use_single_scale: true,
+            use_multi_scale: true,
+            gate_epochs: 40,
+            gate_tau: 1.0,
+            seed: 42,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_accepts_sane_configs() {
+        assert!(InferenceConfig::distance(0.1, 1, 5).validate(5).is_ok());
+        assert!(InferenceConfig::fixed(3).validate(5).is_ok());
+        assert!(InferenceConfig::gate(2, 4).validate(5).is_ok());
+    }
+
+    #[test]
+    fn validation_rejects_bad_bounds() {
+        assert!(InferenceConfig::distance(0.1, 0, 5).validate(5).is_err());
+        assert!(InferenceConfig::distance(0.1, 4, 3).validate(5).is_err());
+        assert!(InferenceConfig::distance(0.1, 1, 9).validate(5).is_err());
+        let mut c = InferenceConfig::fixed(2);
+        c.batch_size = 0;
+        assert!(c.validate(5).is_err());
+    }
+
+    #[test]
+    fn fixed_mode_pins_tmin_to_tmax() {
+        let c = InferenceConfig::fixed(4);
+        assert_eq!(c.t_min, 4);
+        assert_eq!(c.t_max, 4);
+        assert_eq!(c.nap, NapMode::Fixed);
+    }
+}

@@ -1,0 +1,290 @@
+//! Classification-quality metrics beyond plain accuracy.
+//!
+//! The paper reports ACC only, but a deployable inference framework needs
+//! per-class diagnostics: adaptive early exits could in principle trade
+//! accuracy unevenly across classes (e.g. hurt rare classes whose nodes
+//! sit in sparse regions and need deeper propagation). This module
+//! provides a confusion matrix with macro/micro precision–recall–F1 and
+//! an expected-calibration-error estimate over predicted probabilities,
+//! used by the `class_balance` failure-injection tests and the CLI's
+//! `eval` subcommand.
+
+use nai_linalg::DenseMatrix;
+
+/// A `c × c` confusion matrix; rows are true classes, columns predicted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<u64>,
+    num_classes: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from aligned prediction/label slices.
+    ///
+    /// # Panics
+    /// Panics if lengths differ or any class id is `≥ num_classes`.
+    pub fn from_predictions(predictions: &[usize], labels: &[u32], num_classes: usize) -> Self {
+        assert_eq!(
+            predictions.len(),
+            labels.len(),
+            "predictions and labels must align"
+        );
+        let mut counts = vec![0u64; num_classes * num_classes];
+        for (&p, &y) in predictions.iter().zip(labels) {
+            let y = y as usize;
+            assert!(p < num_classes, "prediction {p} out of range");
+            assert!(y < num_classes, "label {y} out of range");
+            counts[y * num_classes + p] += 1;
+        }
+        Self {
+            counts,
+            num_classes,
+        }
+    }
+
+    /// Number of classes `c`.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Count of true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> u64 {
+        self.counts[t * self.num_classes + p]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (trace / total); 0 for an empty matrix.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.num_classes).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// True positives, false positives, and false negatives of class `c`.
+    pub fn class_tallies(&self, c: usize) -> (u64, u64, u64) {
+        let tp = self.count(c, c);
+        let fp: u64 = (0..self.num_classes)
+            .filter(|&t| t != c)
+            .map(|t| self.count(t, c))
+            .sum();
+        let fnn: u64 = (0..self.num_classes)
+            .filter(|&p| p != c)
+            .map(|p| self.count(c, p))
+            .sum();
+        (tp, fp, fnn)
+    }
+
+    /// Precision of class `c`; 0 when the class was never predicted.
+    pub fn precision(&self, c: usize) -> f64 {
+        let (tp, fp, _) = self.class_tallies(c);
+        if tp + fp == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fp) as f64
+        }
+    }
+
+    /// Recall of class `c`; 0 when the class has no true samples.
+    pub fn recall(&self, c: usize) -> f64 {
+        let (tp, _, fnn) = self.class_tallies(c);
+        if tp + fnn == 0 {
+            0.0
+        } else {
+            tp as f64 / (tp + fnn) as f64
+        }
+    }
+
+    /// F1 of class `c` (harmonic mean of precision and recall).
+    pub fn f1(&self, c: usize) -> f64 {
+        let p = self.precision(c);
+        let r = self.recall(c);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean of per-class F1 scores.
+    pub fn macro_f1(&self) -> f64 {
+        if self.num_classes == 0 {
+            return 0.0;
+        }
+        (0..self.num_classes).map(|c| self.f1(c)).sum::<f64>() / self.num_classes as f64
+    }
+
+    /// Micro-averaged F1. With single-label multi-class data every false
+    /// positive is another class's false negative, so micro-F1 equals
+    /// accuracy — kept as a separate method (and tested for that identity)
+    /// because callers read them as different quantities.
+    pub fn micro_f1(&self) -> f64 {
+        let (mut tp, mut fp, mut fnn) = (0u64, 0u64, 0u64);
+        for c in 0..self.num_classes {
+            let (t, f, n) = self.class_tallies(c);
+            tp += t;
+            fp += f;
+            fnn += n;
+        }
+        if 2 * tp + fp + fnn == 0 {
+            0.0
+        } else {
+            2.0 * tp as f64 / (2 * tp + fp + fnn) as f64
+        }
+    }
+
+    /// Per-class support (number of true samples).
+    pub fn support(&self, c: usize) -> u64 {
+        (0..self.num_classes).map(|p| self.count(c, p)).sum()
+    }
+}
+
+/// Expected Calibration Error over `bins` equal-width confidence bins.
+///
+/// `probs` holds one softmax row per sample; confidence is the max
+/// probability, and ECE is the support-weighted mean |accuracy −
+/// confidence| over the bins. Empty input yields 0.
+///
+/// # Panics
+/// Panics if `bins == 0` or `probs.rows() != labels.len()`.
+pub fn expected_calibration_error(probs: &DenseMatrix, labels: &[u32], bins: usize) -> f64 {
+    assert!(bins > 0, "need at least one bin");
+    assert_eq!(probs.rows(), labels.len(), "probs rows must match labels");
+    let n = probs.rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut bin_conf = vec![0.0f64; bins];
+    let mut bin_correct = vec![0u64; bins];
+    let mut bin_count = vec![0u64; bins];
+    for (i, &label) in labels.iter().enumerate() {
+        let row = probs.row(i);
+        let (mut arg, mut best) = (0usize, f32::NEG_INFINITY);
+        for (j, &p) in row.iter().enumerate() {
+            if p > best {
+                best = p;
+                arg = j;
+            }
+        }
+        let b = (((best as f64) * bins as f64) as usize).min(bins - 1);
+        bin_conf[b] += best as f64;
+        bin_count[b] += 1;
+        if arg == label as usize {
+            bin_correct[b] += 1;
+        }
+    }
+    let mut ece = 0.0;
+    for b in 0..bins {
+        if bin_count[b] == 0 {
+            continue;
+        }
+        let acc = bin_correct[b] as f64 / bin_count[b] as f64;
+        let conf = bin_conf[b] / bin_count[b] as f64;
+        ece += bin_count[b] as f64 / n as f64 * (acc - conf).abs();
+    }
+    ece
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_class() -> ConfusionMatrix {
+        // true:      0 0 0 0 1 1 1 2 2 2
+        // predicted: 0 0 0 1 1 1 2 2 2 0
+        let labels = [0, 0, 0, 0, 1, 1, 1, 2, 2, 2];
+        let preds = [0, 0, 0, 1, 1, 1, 2, 2, 2, 0];
+        ConfusionMatrix::from_predictions(&preds, &labels, 3)
+    }
+
+    #[test]
+    fn counts_and_accuracy() {
+        let m = three_class();
+        assert_eq!(m.total(), 10);
+        assert_eq!(m.count(0, 0), 3);
+        assert_eq!(m.count(0, 1), 1);
+        assert_eq!(m.count(2, 0), 1);
+        assert!((m.accuracy() - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_class_precision_recall_f1() {
+        let m = three_class();
+        // Class 0: tp=3, fp=1 (true 2 → 0), fn=1 (true 0 → 1).
+        assert!((m.precision(0) - 0.75).abs() < 1e-12);
+        assert!((m.recall(0) - 0.75).abs() < 1e-12);
+        assert!((m.f1(0) - 0.75).abs() < 1e-12);
+        // Class 1: tp=2, fp=1, fn=1.
+        assert!((m.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn micro_f1_equals_accuracy_for_single_label() {
+        let m = three_class();
+        assert!((m.micro_f1() - m.accuracy()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn macro_f1_penalizes_missing_class() {
+        // Class 2 never predicted correctly.
+        let labels = [0, 0, 1, 1, 2, 2];
+        let preds = [0, 0, 1, 1, 0, 1];
+        let m = ConfusionMatrix::from_predictions(&preds, &labels, 3);
+        assert_eq!(m.f1(2), 0.0);
+        assert!(m.macro_f1() < m.micro_f1());
+    }
+
+    #[test]
+    fn support_sums_to_total() {
+        let m = three_class();
+        let s: u64 = (0..3).map(|c| m.support(c)).sum();
+        assert_eq!(s, m.total());
+        assert_eq!(m.support(0), 4);
+    }
+
+    #[test]
+    fn perfect_predictions_are_perfect_everywhere() {
+        let labels = [0u32, 1, 2, 1, 0];
+        let preds = [0usize, 1, 2, 1, 0];
+        let m = ConfusionMatrix::from_predictions(&preds, &labels, 3);
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.macro_f1(), 1.0);
+        assert_eq!(m.micro_f1(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let _ = ConfusionMatrix::from_predictions(&[0], &[7], 3);
+    }
+
+    #[test]
+    fn ece_zero_for_perfectly_calibrated_confident_model() {
+        // All predictions correct with confidence 1.0.
+        let probs = DenseMatrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]);
+        let labels = [0u32, 1, 0];
+        assert!(expected_calibration_error(&probs, &labels, 10) < 1e-9);
+    }
+
+    #[test]
+    fn ece_detects_overconfidence() {
+        // Confident (0.9) but always wrong → ECE ≈ 0.9.
+        let probs = DenseMatrix::from_vec(4, 2, vec![0.9, 0.1, 0.9, 0.1, 0.9, 0.1, 0.9, 0.1]);
+        let labels = [1u32, 1, 1, 1];
+        let ece = expected_calibration_error(&probs, &labels, 10);
+        assert!((ece - 0.9).abs() < 1e-6, "ece {ece}");
+    }
+
+    #[test]
+    fn ece_empty_input_is_zero() {
+        let probs = DenseMatrix::zeros(0, 3);
+        assert_eq!(expected_calibration_error(&probs, &[], 5), 0.0);
+    }
+}

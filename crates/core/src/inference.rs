@@ -1,0 +1,915 @@
+//! Algorithm 1 — batched node-adaptive inductive inference.
+//!
+//! For each test batch the engine:
+//!
+//! 1. computes the batch's stationary rows (line 2);
+//! 2. BFS-collects supporting hop sets `S_l = N_{T_max−l}(batch)`
+//!    (line 3);
+//! 3. propagates online: `H_l[i] = Σ_j Â_ij H_{l−1}[j]` for `i ∈ S_l`
+//!    (valid because `N(S_l) ⊆ S_{l−1}`, a property tested in
+//!    `nai-graph`);
+//! 4. from depth `T_min` onward applies the selected NAP module to the
+//!    still-active batch nodes; exiting nodes are classified by `f^(l)`
+//!    immediately (lines 6–15);
+//! 5. when nodes exit, **recomputes the remaining hop sets from the
+//!    surviving actives**, shrinking every later SpMM — this is where the
+//!    nonlinear speedup of Table V comes from, because supporting sets
+//!    grow exponentially with depth;
+//! 6. classifies whatever remains at `T_max` (line 17).
+//!
+//! Wall-clock time is split into feature processing (sampling +
+//! propagation + stationary + NAP) and total, matching the paper's
+//! "FP Time" / "Time" columns; MACs are tallied by
+//! [`crate::macs::MacsBreakdown`].
+
+use crate::config::{InferenceConfig, NapMode};
+use crate::gates::GateSet;
+use crate::macs::MacsBreakdown;
+use crate::metrics::InferenceReport;
+use crate::napd;
+use crate::stationary::StationaryState;
+use crate::upper_bound;
+use nai_graph::frontier::BfsScratch;
+use nai_graph::{CsrMatrix, Graph};
+use nai_linalg::ops::argmax_rows;
+use nai_linalg::DenseMatrix;
+use nai_models::DepthClassifier;
+use std::time::{Duration, Instant};
+
+/// Per-node outcome of an inference run, aligned with the input order.
+#[derive(Debug, Clone)]
+pub struct InferenceResult {
+    /// Predicted class per test node.
+    pub predictions: Vec<usize>,
+    /// Personalized propagation depth per test node.
+    pub depths: Vec<usize>,
+    /// Aggregate metrics.
+    pub report: InferenceReport,
+}
+
+/// A trained NAI deployment: full-graph adjacency, per-depth classifiers,
+/// optional gates, and the stationary state.
+pub struct NaiEngine {
+    /// Raw adjacency of the full graph (BFS frontier discovery).
+    adj: CsrMatrix,
+    /// Normalized adjacency `Â` of the full graph (online propagation).
+    norm_adj: CsrMatrix,
+    /// Raw features `X^(0)` of the full graph.
+    features: DenseMatrix,
+    /// Stationary state of the full graph.
+    stationary: StationaryState,
+    /// `classifiers[l−1]` serves exit depth `l`.
+    classifiers: Vec<DepthClassifier>,
+    /// Gates for NAP_g (depths `1..k−1`).
+    gates: Option<GateSet>,
+    /// `2m + n` of the deployment graph (Eq. 7/10 normalizer).
+    total_tilde_degree: f64,
+    /// Cached λ₂ estimate of `Â` (NAP_u; computed on first use).
+    lambda2: std::sync::OnceLock<f32>,
+}
+
+impl NaiEngine {
+    /// Assembles an engine.
+    ///
+    /// # Panics
+    /// Panics if no classifiers are supplied or shapes disagree.
+    pub fn new(
+        graph: &Graph,
+        norm_adj: CsrMatrix,
+        stationary: StationaryState,
+        classifiers: Vec<DepthClassifier>,
+        gates: Option<GateSet>,
+    ) -> Self {
+        assert!(!classifiers.is_empty(), "need at least one classifier");
+        assert_eq!(norm_adj.n(), graph.num_nodes(), "normalized adjacency size");
+        for (i, c) in classifiers.iter().enumerate() {
+            assert_eq!(c.depth(), i + 1, "classifiers must be ordered by depth");
+        }
+        let total_tilde_degree = (graph.adj.nnz() + graph.adj.n()) as f64;
+        Self {
+            adj: graph.adj.clone(),
+            norm_adj,
+            features: graph.features.clone(),
+            stationary,
+            classifiers,
+            gates,
+            total_tilde_degree,
+            lambda2: std::sync::OnceLock::new(),
+        }
+    }
+
+    /// λ₂ estimate of the normalized adjacency, cached after the first
+    /// call (NAP_u treats it as a deployment constant, like the stationary
+    /// component sums).
+    pub fn lambda2(&self) -> f32 {
+        *self
+            .lambda2
+            .get_or_init(|| self.norm_adj.lambda2_estimate(100, 0x1a2b).min(0.999))
+    }
+
+    /// `2m + n` of the deployment graph.
+    pub fn total_tilde_degree(&self) -> f64 {
+        self.total_tilde_degree
+    }
+
+    /// Highest trained depth `k`.
+    pub fn k(&self) -> usize {
+        self.classifiers.len()
+    }
+
+    /// Classifier serving depth `l` (1-based).
+    pub fn classifier(&self, l: usize) -> &DepthClassifier {
+        &self.classifiers[l - 1]
+    }
+
+    /// All per-depth classifiers, ordered by depth.
+    pub fn classifiers(&self) -> &[DepthClassifier] {
+        &self.classifiers
+    }
+
+    /// Trained gates, when NAP_g was trained.
+    pub fn gates(&self) -> Option<&GateSet> {
+        self.gates.as_ref()
+    }
+
+    /// Feature dimensionality `f` of the deployment graph.
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Runs Algorithm 1 over `test_nodes`, comparing predictions against
+    /// `labels` (full-graph label array) for the report's accuracy.
+    ///
+    /// # Panics
+    /// Panics if the config fails validation, a gate mode is requested
+    /// without gates, or node ids exceed the graph.
+    pub fn infer(
+        &self,
+        test_nodes: &[u32],
+        labels: &[u32],
+        cfg: &InferenceConfig,
+    ) -> InferenceResult {
+        self.infer_with_heads(
+            test_nodes,
+            labels,
+            cfg,
+            &|l, feats| self.classifiers[l - 1].forward(feats),
+            &|l| self.classifiers[l - 1].macs_per_node(),
+        )
+    }
+
+    /// Algorithm 1 with **pluggable classifier heads**: `head(l, feats)`
+    /// produces the exit-depth-`l` logits from the per-depth feature
+    /// history, and `head_macs(l)` its per-node MACs. The engine keeps
+    /// propagation, NAP decisions, and frontier bookkeeping; callers swap
+    /// in alternative heads — the INT8-quantized adaptive deployment
+    /// (`nai-baselines::quantization::QuantizedNai`) is built on this seam.
+    ///
+    /// # Panics
+    /// Same contract as [`Self::infer`].
+    pub fn infer_with_heads(
+        &self,
+        test_nodes: &[u32],
+        labels: &[u32],
+        cfg: &InferenceConfig,
+        head: &dyn Fn(usize, &[DenseMatrix]) -> DenseMatrix,
+        head_macs: &dyn Fn(usize) -> u64,
+    ) -> InferenceResult {
+        cfg.validate(self.k()).expect("invalid inference config");
+        if matches!(cfg.nap, NapMode::Gate) {
+            assert!(
+                self.gates.is_some(),
+                "gate NAP requested but the engine has no trained gates"
+            );
+        }
+        let f = self.features.cols();
+        let n = self.adj.n();
+        let total_start = Instant::now();
+        let mut feature_time = Duration::ZERO;
+        let mut macs = MacsBreakdown::default();
+        // Stationary precompute charged once per run (rank-1 structure;
+        // see DESIGN.md §5 / EXPERIMENTS.md accounting).
+        macs.stationary += self.stationary.precompute_macs();
+
+        let mut predictions = vec![usize::MAX; test_nodes.len()];
+        let mut depths = vec![0usize; test_nodes.len()];
+        let mut histogram = vec![0usize; cfg.t_max];
+        let mut bfs = BfsScratch::new(n);
+        let mut col_map = vec![u32::MAX; n];
+        let mut batches = 0usize;
+
+        for batch_start in (0..test_nodes.len()).step_by(cfg.batch_size) {
+            let batch = &test_nodes[batch_start..(batch_start + cfg.batch_size).min(test_nodes.len())];
+            batches += 1;
+            self.infer_batch(
+                batch,
+                batch_start,
+                cfg,
+                head,
+                head_macs,
+                &mut bfs,
+                &mut col_map,
+                &mut macs,
+                &mut feature_time,
+                &mut predictions,
+                &mut depths,
+                &mut histogram,
+            );
+            let _ = f;
+        }
+
+        let total_time = total_start.elapsed();
+        let eval: Vec<usize> = (0..test_nodes.len()).collect();
+        let label_view: Vec<u32> = test_nodes.iter().map(|&v| labels[v as usize]).collect();
+        let accuracy = nai_linalg::ops::accuracy(&predictions, &label_view, &eval);
+        InferenceResult {
+            report: InferenceReport {
+                num_nodes: test_nodes.len(),
+                accuracy,
+                macs,
+                total_time,
+                feature_time,
+                depth_histogram: histogram,
+                batches,
+            },
+            predictions,
+            depths,
+        }
+    }
+
+    /// Multi-threaded Algorithm 1: test batches are independent, so they
+    /// are partitioned (at batch granularity) over `num_threads` OS
+    /// threads, each with its own BFS scratch. Predictions, depths, MACs,
+    /// and the exit histogram are bit-identical with [`Self::infer`];
+    /// only wall-clock changes. `feature_time` is summed across threads
+    /// (busy time, not elapsed), matching the MACs-style accounting.
+    ///
+    /// # Panics
+    /// Same contract as [`Self::infer`], plus `num_threads ≥ 1`.
+    pub fn infer_parallel(
+        &self,
+        test_nodes: &[u32],
+        labels: &[u32],
+        cfg: &InferenceConfig,
+        num_threads: usize,
+    ) -> InferenceResult {
+        assert!(num_threads >= 1, "need at least one thread");
+        cfg.validate(self.k()).expect("invalid inference config");
+        if matches!(cfg.nap, NapMode::Gate) {
+            assert!(
+                self.gates.is_some(),
+                "gate NAP requested but the engine has no trained gates"
+            );
+        }
+        // Initialize the λ₂ cache before workers share it.
+        if matches!(cfg.nap, NapMode::UpperBound { .. }) {
+            let _ = self.lambda2();
+        }
+        let total_start = Instant::now();
+        let n = self.adj.n();
+        let batch_size = cfg.batch_size;
+        let n_batches = test_nodes.len().div_ceil(batch_size).max(1);
+        let per_thread = n_batches.div_ceil(num_threads);
+
+        let mut predictions = vec![usize::MAX; test_nodes.len()];
+        let mut depths = vec![0usize; test_nodes.len()];
+
+        struct WorkerOut {
+            macs: MacsBreakdown,
+            feature_time: Duration,
+            histogram: Vec<usize>,
+            batches: usize,
+        }
+
+        let outs: Vec<WorkerOut> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            let mut pred_rest: &mut [usize] = &mut predictions;
+            let mut depth_rest: &mut [usize] = &mut depths;
+            let mut consumed = 0usize;
+            for t in 0..num_threads {
+                let node_start = (t * per_thread * batch_size).min(test_nodes.len());
+                let node_end = ((t + 1) * per_thread * batch_size).min(test_nodes.len());
+                if node_start >= node_end {
+                    break;
+                }
+                debug_assert_eq!(node_start, consumed);
+                let count = node_end - node_start;
+                let (pred_slice, pr) = pred_rest.split_at_mut(count);
+                let (depth_slice, dr) = depth_rest.split_at_mut(count);
+                pred_rest = pr;
+                depth_rest = dr;
+                consumed += count;
+                let nodes = &test_nodes[node_start..node_end];
+                handles.push(scope.spawn(move || {
+                    let mut out = WorkerOut {
+                        macs: MacsBreakdown::default(),
+                        feature_time: Duration::ZERO,
+                        histogram: vec![0usize; cfg.t_max],
+                        batches: 0,
+                    };
+                    let mut bfs = BfsScratch::new(n);
+                    let mut col_map = vec![u32::MAX; n];
+                    for start in (0..nodes.len()).step_by(batch_size) {
+                        let batch = &nodes[start..(start + batch_size).min(nodes.len())];
+                        out.batches += 1;
+                        self.infer_batch(
+                            batch,
+                            start,
+                            cfg,
+                            &|l, feats| self.classifiers[l - 1].forward(feats),
+                            &|l| self.classifiers[l - 1].macs_per_node(),
+                            &mut bfs,
+                            &mut col_map,
+                            &mut out.macs,
+                            &mut out.feature_time,
+                            pred_slice,
+                            depth_slice,
+                            &mut out.histogram,
+                        );
+                    }
+                    out
+                }));
+            }
+            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+        });
+
+        let mut macs = MacsBreakdown::default();
+        macs.stationary += self.stationary.precompute_macs();
+        let mut feature_time = Duration::ZERO;
+        let mut histogram = vec![0usize; cfg.t_max];
+        let mut batches = 0usize;
+        for o in outs {
+            macs.add(&o.macs);
+            feature_time += o.feature_time;
+            for (h, v) in histogram.iter_mut().zip(&o.histogram) {
+                *h += v;
+            }
+            batches += o.batches;
+        }
+
+        let total_time = total_start.elapsed();
+        let eval: Vec<usize> = (0..test_nodes.len()).collect();
+        let label_view: Vec<u32> = test_nodes.iter().map(|&v| labels[v as usize]).collect();
+        let accuracy = nai_linalg::ops::accuracy(&predictions, &label_view, &eval);
+        InferenceResult {
+            report: InferenceReport {
+                num_nodes: test_nodes.len(),
+                accuracy,
+                macs,
+                total_time,
+                feature_time,
+                depth_histogram: histogram,
+                batches,
+            },
+            predictions,
+            depths,
+        }
+    }
+
+    /// Online frontier propagation *without* adaptive exits: returns the
+    /// per-depth features `X^(0..=depth)` of `batch` (rows aligned with
+    /// `batch`), the MACs spent, and the feature-processing wall time.
+    ///
+    /// This is the vanilla inductive-inference path (Fig. 1 (d)) that the
+    /// fixed-depth baselines — vanilla Scalable GNNs and the Quantization
+    /// baseline — share with NAI.
+    ///
+    /// # Panics
+    /// Panics if `depth` is zero or any node id is out of range.
+    pub fn propagate_only(
+        &self,
+        batch: &[u32],
+        depth: usize,
+    ) -> (Vec<DenseMatrix>, MacsBreakdown, Duration) {
+        assert!(depth >= 1, "depth must be positive");
+        let start = Instant::now();
+        let mut macs = MacsBreakdown::default();
+        let n = self.adj.n();
+        let mut bfs = BfsScratch::new(n);
+        let mut col_map = vec![u32::MAX; n];
+        let sets = bfs.hop_sets(&self.adj, batch, depth);
+        let batch_idx: Vec<usize> = batch.iter().map(|&v| v as usize).collect();
+        let mut history: Vec<DenseMatrix> = vec![self
+            .features
+            .gather_rows(&batch_idx)
+            .expect("batch nodes in range")];
+        let mut support_prev = sets[0].clone();
+        let mut h_prev = {
+            let idx: Vec<usize> = support_prev.iter().map(|&v| v as usize).collect();
+            self.features.gather_rows(&idx).expect("support in range")
+        };
+        for (l, support_l) in sets.iter().enumerate().skip(1) {
+            for (t, &g) in support_prev.iter().enumerate() {
+                col_map[g as usize] = t as u32;
+            }
+            let (h_l, step_macs) = self.norm_adj.spmm_gather(support_l, &col_map, &h_prev);
+            for &g in support_prev.iter() {
+                col_map[g as usize] = u32::MAX;
+            }
+            macs.propagation += step_macs;
+            let mut pos = std::collections::HashMap::with_capacity(batch.len());
+            for (t, &g) in support_l.iter().enumerate() {
+                pos.insert(g, t);
+            }
+            let rows: Vec<usize> = batch
+                .iter()
+                .map(|g| *pos.get(g).expect("batch ⊆ hop sets"))
+                .collect();
+            history.push(h_l.gather_rows(&rows).expect("rows located"));
+            support_prev = support_l.clone();
+            h_prev = h_l;
+            let _ = l;
+        }
+        (history, macs, start.elapsed())
+    }
+
+    /// One batch of Algorithm 1 (lines 2–17).
+    #[allow(clippy::too_many_arguments)]
+    fn infer_batch(
+        &self,
+        batch: &[u32],
+        batch_offset: usize,
+        cfg: &InferenceConfig,
+        head: &dyn Fn(usize, &[DenseMatrix]) -> DenseMatrix,
+        head_macs: &dyn Fn(usize) -> u64,
+        bfs: &mut BfsScratch,
+        col_map: &mut [u32],
+        macs: &mut MacsBreakdown,
+        feature_time: &mut Duration,
+        predictions: &mut [usize],
+        depths: &mut [usize],
+        histogram: &mut [usize],
+    ) {
+        if batch.is_empty() {
+            return;
+        }
+        let f = self.features.cols();
+        let fp0 = Instant::now();
+
+        // Line 2: stationary rows for the batch.
+        let mut x_inf_active = self.stationary.rows(batch);
+        macs.stationary += batch.len() as u64 * self.stationary.macs_per_row();
+
+        // NAP_u precomputes every node's exit depth from Eq. (10) before
+        // propagation (O(1) per node: a sqrt, a division and two logs).
+        let mut assigned: Vec<usize> = match cfg.nap {
+            NapMode::UpperBound { ts } => {
+                macs.nap += batch.len() as u64 * 4;
+                upper_bound::assign_depths(
+                    &self.adj,
+                    batch,
+                    ts,
+                    self.lambda2(),
+                    self.total_tilde_degree,
+                    cfg.t_min,
+                    cfg.t_max,
+                )
+            }
+            _ => Vec::new(),
+        };
+
+        // Line 3: supporting hop sets.
+        let mut sets = bfs.hop_sets(&self.adj, batch, cfg.t_max);
+
+        // Active bookkeeping: original batch position per active row.
+        let mut active_pos: Vec<usize> = (0..batch.len()).collect();
+        let mut active_nodes: Vec<u32> = batch.to_vec();
+
+        // Per-depth feature history of active rows (X^(0) first).
+        let batch_idx: Vec<usize> = batch.iter().map(|&v| v as usize).collect();
+        let mut history: Vec<DenseMatrix> = vec![self
+            .features
+            .gather_rows(&batch_idx)
+            .expect("batch nodes in range")];
+
+        // Frontier state.
+        let mut support_prev: Vec<u32> = sets[0].clone();
+        let mut h_prev = {
+            let idx: Vec<usize> = support_prev.iter().map(|&v| v as usize).collect();
+            self.features.gather_rows(&idx).expect("support in range")
+        };
+        *feature_time += fp0.elapsed();
+
+        for l in 1..=cfg.t_max {
+            let fp = Instant::now();
+            let support_l = std::mem::take(&mut sets[l]);
+            // Map previous support into local rows of h_prev.
+            for (t, &g) in support_prev.iter().enumerate() {
+                col_map[g as usize] = t as u32;
+            }
+            let (h_l, step_macs) = self.norm_adj.spmm_gather(&support_l, col_map, &h_prev);
+            for &g in support_prev.iter() {
+                col_map[g as usize] = u32::MAX;
+            }
+            macs.propagation += step_macs;
+
+            // Locate active rows inside support_l and extend history.
+            let mut pos_in_support = std::collections::HashMap::with_capacity(active_nodes.len());
+            for (t, &g) in support_l.iter().enumerate() {
+                pos_in_support.insert(g, t);
+            }
+            let active_rows: Vec<usize> = active_nodes
+                .iter()
+                .map(|g| *pos_in_support.get(g).expect("active ⊆ every hop set"))
+                .collect();
+            history.push(h_l.gather_rows(&active_rows).expect("rows located"));
+            *feature_time += fp.elapsed();
+
+            // Lines 6–15: early exits.
+            let at_final = l == cfg.t_max;
+            let mut exit_mask: Vec<bool> = vec![at_final; active_nodes.len()];
+            if !at_final && l >= cfg.t_min {
+                let fp = Instant::now();
+                match cfg.nap {
+                    NapMode::Fixed => {}
+                    NapMode::Distance { ts } => {
+                        exit_mask = napd::exit_mask(&history[l], &x_inf_active, ts);
+                        macs.nap += active_nodes.len() as u64 * napd::macs_per_node(f);
+                    }
+                    NapMode::Gate => {
+                        let gates = self.gates.as_ref().expect("validated above");
+                        if l < gates.k() {
+                            exit_mask = gates.decide(l, &history[l], &x_inf_active);
+                            macs.nap += active_nodes.len() as u64 * gates.macs_per_node();
+                        }
+                    }
+                    NapMode::UpperBound { .. } => {
+                        // Depths were fixed before propagation; exiting here
+                        // costs no feature comparison at all.
+                        for (e, &d) in exit_mask.iter_mut().zip(assigned.iter()) {
+                            *e = d == l;
+                        }
+                    }
+                }
+                *feature_time += fp.elapsed();
+            }
+
+            if exit_mask.iter().any(|&e| e) {
+                let exit_rows: Vec<usize> = exit_mask
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &e)| e.then_some(i))
+                    .collect();
+                // Classify the exiting nodes with f^(l) (line 12/17).
+                let exit_feats: Vec<DenseMatrix> = history[..=l]
+                    .iter()
+                    .map(|m| m.gather_rows(&exit_rows).expect("exit rows"))
+                    .collect();
+                let logits = head(l, &exit_feats);
+                macs.classification += exit_rows.len() as u64 * head_macs(l);
+                let preds = argmax_rows(&logits);
+                for (t, &row) in exit_rows.iter().enumerate() {
+                    let orig = active_pos[row];
+                    predictions[batch_offset + orig] = preds[t];
+                    depths[batch_offset + orig] = l;
+                    histogram[l - 1] += 1;
+                }
+
+                // Shrink active state to survivors.
+                let keep_rows: Vec<usize> = exit_mask
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &e)| (!e).then_some(i))
+                    .collect();
+                if keep_rows.is_empty() {
+                    return; // whole batch classified
+                }
+                active_pos = keep_rows.iter().map(|&i| active_pos[i]).collect();
+                active_nodes = keep_rows.iter().map(|&i| active_nodes[i]).collect();
+                if !assigned.is_empty() {
+                    assigned = keep_rows.iter().map(|&i| assigned[i]).collect();
+                }
+                x_inf_active = x_inf_active.gather_rows(&keep_rows).expect("keep rows");
+                for m in history.iter_mut() {
+                    *m = m.gather_rows(&keep_rows).expect("keep rows");
+                }
+
+                // Line 5 revisited: shrink future supporting sets to the
+                // survivors' neighborhoods.
+                if l < cfg.t_max {
+                    let fp = Instant::now();
+                    let new_sets = bfs.hop_sets(&self.adj, &active_nodes, cfg.t_max - l);
+                    for (j, ns) in new_sets.into_iter().enumerate() {
+                        if j >= 1 {
+                            sets[l + j] = ns;
+                        }
+                    }
+                    *feature_time += fp.elapsed();
+                }
+            }
+
+            support_prev = support_l;
+            h_prev = h_l;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InferenceConfig;
+    use nai_graph::generators::{generate, GeneratorConfig};
+    use nai_graph::normalize::normalized_adjacency;
+    use nai_graph::Convolution;
+    use nai_models::propagate_features;
+    use nai_models::train::train_depth_classifier;
+    use nai_models::ModelKind;
+    use nai_nn::adam::Adam;
+    use nai_nn::trainer::TrainConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a small engine trained transductively (tests only exercise
+    /// the inference mechanics, not the inductive protocol — the pipeline
+    /// tests cover that).
+    fn engine(k: usize) -> (NaiEngine, Graph, Vec<u32>) {
+        let g = generate(
+            &GeneratorConfig {
+                num_nodes: 300,
+                num_classes: 3,
+                feature_dim: 8,
+                avg_degree: 8.0,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(77),
+        );
+        let norm = normalized_adjacency(&g.adj, Convolution::Symmetric);
+        let feats = propagate_features(&norm, &g.features, k);
+        let st = StationaryState::compute(&g.adj, &g.features, 0.5);
+        let train: Vec<u32> = (0..200u32).collect();
+        let val: Vec<u32> = (200..250u32).collect();
+        let test: Vec<u32> = (250..300u32).collect();
+        let mut classifiers = Vec::new();
+        for l in 1..=k {
+            let mut rng = StdRng::seed_from_u64(100 + l as u64);
+            let mut clf = DepthClassifier::new(ModelKind::Sgc, l, 8, 3, &[16], 0.0, &mut rng);
+            train_depth_classifier(
+                &mut clf,
+                &feats,
+                &train,
+                &g.labels,
+                None,
+                &val,
+                &TrainConfig {
+                    epochs: 40,
+                    patience: 10,
+                    adam: Adam::new(0.02, 0.0),
+                    ..TrainConfig::default()
+                },
+            );
+            classifiers.push(clf);
+        }
+        let engine = NaiEngine::new(&g, norm, st, classifiers, None);
+        (engine, g, test)
+    }
+
+    #[test]
+    fn fixed_mode_uses_exactly_tmax() {
+        let (engine, g, test) = engine(3);
+        let res = engine.infer(&test, &g.labels, &InferenceConfig::fixed(2));
+        assert!(res.depths.iter().all(|&d| d == 2));
+        // Histogram is sized by t_max, not k.
+        assert_eq!(res.report.depth_histogram, vec![0, 50]);
+        assert_eq!(res.report.num_nodes, 50);
+    }
+
+    #[test]
+    fn fixed_at_k_matches_vanilla_accuracy_shape() {
+        let (engine, g, test) = engine(3);
+        let res = engine.infer(&test, &g.labels, &InferenceConfig::fixed(3));
+        assert!(res.report.accuracy > 0.5, "acc {}", res.report.accuracy);
+        assert!(res.predictions.iter().all(|&p| p < 3));
+    }
+
+    #[test]
+    fn distance_mode_exits_early_and_saves_macs() {
+        let (engine, g, test) = engine(3);
+        let fixed = engine.infer(&test, &g.labels, &InferenceConfig::fixed(3));
+        // Generous threshold: everything exits at t_min.
+        let eager = engine.infer(
+            &test,
+            &g.labels,
+            &InferenceConfig::distance(f32::INFINITY, 1, 3),
+        );
+        assert!(eager.depths.iter().all(|&d| d == 1));
+        assert!(
+            eager.report.macs.propagation < fixed.report.macs.propagation,
+            "eager {} vs fixed {}",
+            eager.report.macs.propagation,
+            fixed.report.macs.propagation
+        );
+        // Zero threshold: nobody exits early.
+        let never = engine.infer(&test, &g.labels, &InferenceConfig::distance(0.0, 1, 3));
+        assert!(never.depths.iter().all(|&d| d == 3));
+    }
+
+    #[test]
+    fn tmin_blocks_exits_before_it() {
+        let (engine, g, test) = engine(3);
+        let res = engine.infer(
+            &test,
+            &g.labels,
+            &InferenceConfig::distance(f32::INFINITY, 2, 3),
+        );
+        assert!(res.depths.iter().all(|&d| d == 2));
+    }
+
+    #[test]
+    fn histogram_matches_depths() {
+        let (engine, g, test) = engine(3);
+        let res = engine.infer(&test, &g.labels, &InferenceConfig::distance(2.0, 1, 3));
+        let mut manual = vec![0usize; 3];
+        for &d in &res.depths {
+            manual[d - 1] += 1;
+        }
+        assert_eq!(res.report.depth_histogram, manual);
+        assert_eq!(
+            res.report.depth_histogram.iter().sum::<usize>(),
+            test.len()
+        );
+    }
+
+    #[test]
+    fn batch_size_does_not_change_predictions() {
+        let (engine, g, test) = engine(3);
+        let a = engine.infer(
+            &test,
+            &g.labels,
+            &InferenceConfig {
+                batch_size: 7,
+                ..InferenceConfig::distance(1.0, 1, 3)
+            },
+        );
+        let b = engine.infer(
+            &test,
+            &g.labels,
+            &InferenceConfig {
+                batch_size: 50,
+                ..InferenceConfig::distance(1.0, 1, 3)
+            },
+        );
+        assert_eq!(a.predictions, b.predictions);
+        assert_eq!(a.depths, b.depths);
+    }
+
+    #[test]
+    fn empty_test_set_is_safe() {
+        let (engine, g, _) = engine(2);
+        let res = engine.infer(&[], &g.labels, &InferenceConfig::fixed(2));
+        assert_eq!(res.predictions.len(), 0);
+        assert_eq!(res.report.accuracy, 0.0);
+    }
+
+    #[test]
+    fn online_propagation_matches_offline_at_fixed_depth() {
+        // The frontier-propagated features must equal full-graph offline
+        // propagation for the test nodes (depth = t_max, no exits).
+        let (engine, g, test) = engine(3);
+        let norm = normalized_adjacency(&g.adj, Convolution::Symmetric);
+        let offline = propagate_features(&norm, &g.features, 3);
+        let res = engine.infer(&test, &g.labels, &InferenceConfig::fixed(3));
+        // Compare via classifier agreement: predictions from offline
+        // features must match the engine's.
+        let idx: Vec<usize> = test.iter().map(|&v| v as usize).collect();
+        let gathered: Vec<DenseMatrix> = offline
+            .iter()
+            .map(|m| m.gather_rows(&idx).unwrap())
+            .collect();
+        let logits = engine.classifier(3).forward(&gathered);
+        let offline_preds = argmax_rows(&logits);
+        assert_eq!(res.predictions, offline_preds);
+    }
+
+    #[test]
+    fn upper_bound_mode_assigns_depths_without_feature_comparisons() {
+        let (engine, g, test) = engine(3);
+        let res = engine.infer(
+            &test,
+            &g.labels,
+            &InferenceConfig::upper_bound(0.5, 1, 3),
+        );
+        assert_eq!(res.predictions.len(), test.len());
+        assert!(res.depths.iter().all(|&d| (1..=3).contains(&d)));
+        // NAP MACs are O(1) per node — far below one distance evaluation
+        // (which costs f MACs per node per depth).
+        assert!(res.report.macs.nap <= 4 * test.len() as u64);
+        // Assigned depths must agree with the standalone policy function.
+        let expected = crate::upper_bound::assign_depths(
+            &g.adj,
+            &test,
+            0.5,
+            engine.lambda2(),
+            engine.total_tilde_degree(),
+            1,
+            3,
+        );
+        assert_eq!(res.depths, expected);
+    }
+
+    #[test]
+    fn upper_bound_high_degree_exits_no_later_than_low_degree() {
+        let (engine, g, test) = engine(3);
+        let res = engine.infer(
+            &test,
+            &g.labels,
+            &InferenceConfig::upper_bound(0.5, 1, 3),
+        );
+        let mut pairs: Vec<(usize, usize)> = test
+            .iter()
+            .zip(&res.depths)
+            .map(|(&v, &d)| (g.adj.row_nnz(v as usize), d))
+            .collect();
+        pairs.sort_by_key(|&(deg, _)| deg);
+        let half = pairs.len() / 2;
+        let low: f64 = pairs[..half].iter().map(|&(_, d)| d as f64).sum::<f64>() / half as f64;
+        let high: f64 = pairs[half..].iter().map(|&(_, d)| d as f64).sum::<f64>()
+            / (pairs.len() - half) as f64;
+        assert!(
+            high <= low + f64::EPSILON,
+            "high-degree mean depth {high:.2} must not exceed low-degree {low:.2}"
+        );
+    }
+
+    #[test]
+    fn parallel_inference_is_bit_identical_with_serial() {
+        let (engine, g, test) = engine(3);
+        for cfg in [
+            InferenceConfig::fixed(3),
+            InferenceConfig {
+                batch_size: 7,
+                ..InferenceConfig::distance(1.0, 1, 3)
+            },
+            InferenceConfig {
+                batch_size: 13,
+                ..InferenceConfig::upper_bound(0.5, 1, 3)
+            },
+        ] {
+            let serial = engine.infer(&test, &g.labels, &cfg);
+            for threads in [1, 2, 4, 7] {
+                let par = engine.infer_parallel(&test, &g.labels, &cfg, threads);
+                assert_eq!(serial.predictions, par.predictions, "{threads} threads");
+                assert_eq!(serial.depths, par.depths, "{threads} threads");
+                assert_eq!(
+                    serial.report.macs.total(),
+                    par.report.macs.total(),
+                    "{threads} threads"
+                );
+                assert_eq!(
+                    serial.report.depth_histogram, par.report.depth_histogram,
+                    "{threads} threads"
+                );
+                assert_eq!(serial.report.batches, par.report.batches);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_with_more_threads_than_batches() {
+        let (engine, g, test) = engine(2);
+        let cfg = InferenceConfig {
+            batch_size: 100, // one batch for 50 test nodes
+            ..InferenceConfig::fixed(2)
+        };
+        let par = engine.infer_parallel(&test, &g.labels, &cfg, 8);
+        assert_eq!(par.predictions.len(), test.len());
+        assert_eq!(par.report.batches, 1);
+    }
+
+    #[test]
+    fn parallel_empty_test_set_is_safe() {
+        let (engine, g, _) = engine(2);
+        let res = engine.infer_parallel(&[], &g.labels, &InferenceConfig::fixed(2), 4);
+        assert_eq!(res.predictions.len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let (engine, g, test) = engine(2);
+        let _ = engine.infer_parallel(&test, &g.labels, &InferenceConfig::fixed(2), 0);
+    }
+
+    #[test]
+    fn lambda2_is_cached_and_in_range() {
+        let (engine, _, _) = engine(2);
+        let a = engine.lambda2();
+        let b = engine.lambda2();
+        assert_eq!(a, b);
+        assert!((0.0..1.0).contains(&a), "lambda2 {a}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid inference config")]
+    fn invalid_config_panics() {
+        let (engine, g, test) = engine(2);
+        let bad = InferenceConfig::distance(0.5, 1, 9);
+        let _ = engine.infer(&test, &g.labels, &bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "no trained gates")]
+    fn gate_mode_without_gates_panics() {
+        let (engine, g, test) = engine(2);
+        let _ = engine.infer(&test, &g.labels, &InferenceConfig::gate(1, 2));
+    }
+}

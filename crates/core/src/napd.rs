@@ -1,0 +1,181 @@
+//! Distance-based Node-Adaptive Propagation (NAP_d, Eq. 8–9).
+//!
+//! A node's smoothing status is measured *explicitly* as the L2 distance
+//! between its current propagated feature and its stationary state; once
+//! the distance drops below the global threshold `T_s`, further propagation
+//! is redundant (and risks over-smoothing), so the node exits and is
+//! classified by `f^(l)`.
+
+use nai_linalg::ops::l2_distance;
+use nai_linalg::DenseMatrix;
+
+/// Per-node distances `∆^(l)_i = ‖X^(l)_i − X^(∞)_i‖` (Eq. 8).
+///
+/// Rows of `current` and `stationary` must be aligned.
+///
+/// # Panics
+/// Panics if the shapes differ.
+pub fn distances(current: &DenseMatrix, stationary: &DenseMatrix) -> Vec<f32> {
+    assert_eq!(current.shape(), stationary.shape(), "aligned rows required");
+    (0..current.rows())
+        .map(|r| l2_distance(current.row(r), stationary.row(r)))
+        .collect()
+}
+
+/// Exit decisions at one depth: `true` = stop propagating (Eq. 9).
+pub fn exit_mask(current: &DenseMatrix, stationary: &DenseMatrix, ts: f32) -> Vec<bool> {
+    distances(current, stationary)
+        .into_iter()
+        .map(|d| d < ts)
+        .collect()
+}
+
+/// MACs per node for one distance evaluation (`f` multiply-accumulates:
+/// one fused subtract-square-accumulate per feature).
+pub fn macs_per_node(f: usize) -> u64 {
+    f as u64
+}
+
+/// Offline personalized depth (Eq. 9) for transductive analysis: given all
+/// propagated levels of one node's features and its stationary row,
+/// returns the smallest depth `l ∈ [1, k]` with `∆^(l) < ts`, or `k` when
+/// none qualifies.
+pub fn personalized_depth(levels: &[&[f32]], stationary: &[f32], ts: f32) -> usize {
+    let k = levels.len().saturating_sub(1);
+    for (l, row) in levels.iter().enumerate().skip(1) {
+        if l2_distance(row, stationary) < ts {
+            return l;
+        }
+    }
+    k.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stationary::StationaryState;
+    use nai_graph::generators::{generate, GeneratorConfig};
+    use nai_graph::{normalized_adjacency, Convolution};
+    use nai_models::propagate_features;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distances_shrink_with_depth() {
+        let g = generate(
+            &GeneratorConfig {
+                num_nodes: 200,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(1),
+        );
+        let norm = normalized_adjacency(&g.adj, Convolution::Symmetric);
+        let feats = propagate_features(&norm, &g.features, 8);
+        let st = StationaryState::compute(&g.adj, &g.features, 0.5);
+        let xinf = st.full();
+        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        let d1 = mean(&distances(&feats[1], &xinf));
+        let d4 = mean(&distances(&feats[4], &xinf));
+        let d8 = mean(&distances(&feats[8], &xinf));
+        assert!(d4 < d1, "d1 {d1} d4 {d4}");
+        assert!(d8 < d4, "d4 {d4} d8 {d8}");
+    }
+
+    #[test]
+    fn high_degree_nodes_exit_earlier() {
+        // Eq. (10): personalized depth is negatively correlated with
+        // degree. The ordering is cleanest for the row-stochastic operator
+        // (γ = 0), where every node shares the same stationary row and the
+        // distance purely measures mixing speed; under symmetric
+        // normalization the √d̃ scaling of `X^(∞)` confounds absolute
+        // distances. Compare the highest- and lowest-degree deciles under a
+        // common threshold.
+        let g = generate(
+            &GeneratorConfig {
+                num_nodes: 600,
+                avg_degree: 8.0,
+                power_law_exponent: 2.2,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(2),
+        );
+        let norm = normalized_adjacency(&g.adj, Convolution::ReverseTransition);
+        let k = 8;
+        let feats = propagate_features(&norm, &g.features, k);
+        let st = StationaryState::compute(&g.adj, &g.features, 0.0);
+        let xinf = st.full();
+        // Mid-range threshold: mean distance at depth k/2.
+        let ts = {
+            let d = distances(&feats[k / 2], &xinf);
+            d.iter().sum::<f32>() / d.len() as f32
+        };
+        let degrees = g.adj.degrees();
+        let mut order: Vec<usize> = (0..g.num_nodes()).collect();
+        order.sort_by(|&a, &b| degrees[b].partial_cmp(&degrees[a]).unwrap());
+        let depth_of = |node: usize| {
+            let levels: Vec<&[f32]> = feats.iter().map(|m| m.row(node)).collect();
+            personalized_depth(&levels, xinf.row(node), ts)
+        };
+        let decile = g.num_nodes() / 10;
+        let high: f32 = order[..decile].iter().map(|&i| depth_of(i) as f32).sum::<f32>() / decile as f32;
+        let low: f32 = order[g.num_nodes() - decile..]
+            .iter()
+            .map(|&i| depth_of(i) as f32)
+            .sum::<f32>()
+            / decile as f32;
+        assert!(
+            high < low,
+            "high-degree mean depth {high} should be below low-degree {low}"
+        );
+    }
+
+    #[test]
+    fn threshold_monotonicity() {
+        // Larger T_s can only produce earlier (or equal) exits.
+        let g = generate(
+            &GeneratorConfig {
+                num_nodes: 100,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(3),
+        );
+        let norm = normalized_adjacency(&g.adj, Convolution::Symmetric);
+        let feats = propagate_features(&norm, &g.features, 6);
+        let st = StationaryState::compute(&g.adj, &g.features, 0.5);
+        let xinf = st.full();
+        for node in [0usize, 10, 50] {
+            let levels: Vec<&[f32]> = feats.iter().map(|m| m.row(node)).collect();
+            let d_small = personalized_depth(&levels, xinf.row(node), 0.05);
+            let d_large = personalized_depth(&levels, xinf.row(node), 5.0);
+            assert!(d_large <= d_small, "node {node}: {d_large} > {d_small}");
+        }
+    }
+
+    #[test]
+    fn exit_mask_thresholds() {
+        let cur = DenseMatrix::from_vec(2, 2, vec![0.0, 0.0, 3.0, 4.0]);
+        let stat = DenseMatrix::zeros(2, 2);
+        let mask = exit_mask(&cur, &stat, 1.0);
+        assert_eq!(mask, vec![true, false]); // distances 0 and 5
+    }
+
+    #[test]
+    fn zero_threshold_never_exits() {
+        let cur = DenseMatrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let stat = DenseMatrix::zeros(1, 2);
+        // Distance 0 is NOT < 0.
+        assert_eq!(exit_mask(&cur, &stat, 0.0), vec![false]);
+    }
+
+    #[test]
+    fn infinite_threshold_always_exits() {
+        let cur = DenseMatrix::from_vec(1, 2, vec![100.0, -50.0]);
+        let stat = DenseMatrix::zeros(1, 2);
+        assert_eq!(exit_mask(&cur, &stat, f32::INFINITY), vec![true]);
+    }
+
+    #[test]
+    fn macs_is_feature_dim() {
+        assert_eq!(macs_per_node(128), 128);
+    }
+}

@@ -1,0 +1,248 @@
+//! The stationary feature state `X^(∞)` (Eq. 6–7).
+//!
+//! As depth grows, `Â^k X` converges (per connected component, with
+//! self-loops preventing bipartite oscillation) to
+//!
+//! ```text
+//! X^(∞)_i = (d_i+1)^γ / S_c · Σ_{j ∈ comp(i)} (d_j+1)^(1−γ) x_j,
+//! S_c = Σ_{j ∈ comp(i)} (d_j + 1)
+//! ```
+//!
+//! which matches Eq. (7): `Â^(∞)_ij = (d_i+1)^γ (d_j+1)^(1−γ) / (2m+n)`
+//! on a connected graph, where `S_c = 2m + n`. The paper presents the
+//! global normalizer because its datasets are dominated by one giant
+//! component; we keep the per-component sums so the fixed-point property
+//! holds exactly on disconnected graphs too.
+//!
+//! Materializing `Â^(∞)` would cost `O(n²f)` (the Table I accounting);
+//! the rank-1 structure lets us precompute component sums once in
+//! `O(n·f)` and emit any node's stationary row in `O(f)` — the accounting
+//! used by [`crate::macs`] and documented in EXPERIMENTS.md.
+
+use nai_graph::components::{connected_components, Components};
+use nai_graph::CsrMatrix;
+use nai_linalg::DenseMatrix;
+
+/// Precomputed stationary state for one graph.
+#[derive(Debug, Clone)]
+pub struct StationaryState {
+    components: Components,
+    /// Per component: `Σ_j (d_j+1)^(1−γ) x_j`, an `f`-vector.
+    weighted_sums: Vec<Vec<f64>>,
+    /// Per component: `Σ_j (d_j+1)`.
+    masses: Vec<f64>,
+    /// Per node: `(d_i+1)^γ`.
+    left_coef: Vec<f32>,
+    feature_dim: usize,
+    /// MACs spent in precomputation (`≈ n·f`).
+    precompute_macs: u64,
+}
+
+impl StationaryState {
+    /// Computes the stationary state of `(adj, features)` for convolution
+    /// coefficient `gamma`.
+    ///
+    /// # Panics
+    /// Panics if `features.rows() != adj.n()`.
+    pub fn compute(adj: &CsrMatrix, features: &DenseMatrix, gamma: f32) -> Self {
+        assert_eq!(features.rows(), adj.n(), "feature rows must match graph");
+        let n = adj.n();
+        let f = features.cols();
+        let components = connected_components(adj);
+        let deg = adj.degrees();
+        let mut weighted_sums = vec![vec![0.0f64; f]; components.count];
+        let mut masses = vec![0.0f64; components.count];
+        let mut left_coef = vec![0.0f32; n];
+        for i in 0..n {
+            let dt = deg[i] + 1.0;
+            let comp = components.labels[i] as usize;
+            masses[comp] += dt as f64;
+            left_coef[i] = dt.powf(gamma);
+            let right = dt.powf(1.0 - gamma) as f64;
+            let acc = &mut weighted_sums[comp];
+            for (a, &x) in acc.iter_mut().zip(features.row(i)) {
+                *a += right * x as f64;
+            }
+        }
+        Self {
+            components,
+            weighted_sums,
+            masses,
+            left_coef,
+            feature_dim: f,
+            precompute_macs: (n * f) as u64,
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// MACs spent by [`Self::compute`].
+    pub fn precompute_macs(&self) -> u64 {
+        self.precompute_macs
+    }
+
+    /// Writes `X^(∞)_node` into `out`.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != feature_dim` or `node` is out of range.
+    pub fn write_row(&self, node: u32, out: &mut [f32]) {
+        assert_eq!(out.len(), self.feature_dim, "output buffer size");
+        let comp = self.components.labels[node as usize] as usize;
+        let scale = self.left_coef[node as usize] as f64 / self.masses[comp].max(f64::MIN_POSITIVE);
+        for (o, &s) in out.iter_mut().zip(self.weighted_sums[comp].iter()) {
+            *o = (scale * s) as f32;
+        }
+    }
+
+    /// Stationary rows for a set of nodes (`nodes.len() × f`). Costs
+    /// `O(|nodes|·f)` — this is the per-batch stationary computation of
+    /// Algorithm 1 line 2.
+    pub fn rows(&self, nodes: &[u32]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(nodes.len(), self.feature_dim);
+        for (t, &node) in nodes.iter().enumerate() {
+            self.write_row(node, out.row_mut(t));
+        }
+        out
+    }
+
+    /// Full `n × f` stationary matrix (tests / diagnostics).
+    pub fn full(&self) -> DenseMatrix {
+        let n = self.components.labels.len();
+        let nodes: Vec<u32> = (0..n as u32).collect();
+        self.rows(&nodes)
+    }
+
+    /// MACs charged per emitted row (`f`, per DESIGN.md §5).
+    pub fn macs_per_row(&self) -> u64 {
+        self.feature_dim as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nai_graph::generators::{generate, path_graph, GeneratorConfig};
+    use nai_graph::{normalized_adjacency, Convolution};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Brute-force reference: propagate many times.
+    fn brute_force(adj: &CsrMatrix, x: &DenseMatrix, conv: Convolution, iters: usize) -> DenseMatrix {
+        let norm = normalized_adjacency(adj, conv);
+        let mut h = x.clone();
+        for _ in 0..iters {
+            h = norm.spmm(&h);
+        }
+        h
+    }
+
+    #[test]
+    fn matches_long_propagation_symmetric() {
+        let g = path_graph(12, 3);
+        let st = StationaryState::compute(&g.adj, &g.features, 0.5);
+        let limit = brute_force(&g.adj, &g.features, Convolution::Symmetric, 600);
+        let exact = st.full();
+        for (a, b) in exact.as_slice().iter().zip(limit.as_slice()) {
+            assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn matches_long_propagation_transition_gammas() {
+        let g = path_graph(8, 2);
+        for (gamma, conv) in [
+            (1.0, Convolution::Transition),
+            (0.0, Convolution::ReverseTransition),
+        ] {
+            let st = StationaryState::compute(&g.adj, &g.features, gamma);
+            let limit = brute_force(&g.adj, &g.features, conv, 800);
+            let exact = st.full();
+            for (a, b) in exact.as_slice().iter().zip(limit.as_slice()) {
+                assert!((a - b).abs() < 1e-3, "gamma {gamma}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn is_fixed_point_of_propagation() {
+        let g = generate(
+            &GeneratorConfig {
+                num_nodes: 150,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(2),
+        );
+        let st = StationaryState::compute(&g.adj, &g.features, 0.5);
+        let xinf = st.full();
+        let norm = normalized_adjacency(&g.adj, Convolution::Symmetric);
+        let once = norm.spmm(&xinf);
+        let scale = xinf.max_abs().max(1.0);
+        for (a, b) in once.as_slice().iter().zip(xinf.as_slice()) {
+            assert!((a - b).abs() / scale < 1e-4, "not a fixed point: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn disconnected_components_do_not_mix() {
+        // Two disjoint edges with very different features.
+        let adj = CsrMatrix::undirected_adjacency(4, &[(0, 1), (2, 3)]).unwrap();
+        let mut x = DenseMatrix::zeros(4, 1);
+        x.set(0, 0, 10.0);
+        x.set(1, 0, 10.0);
+        x.set(2, 0, -6.0);
+        x.set(3, 0, -6.0);
+        let st = StationaryState::compute(&adj, &x, 0.5);
+        let full = st.full();
+        assert!(full.get(0, 0) > 0.0 && full.get(1, 0) > 0.0);
+        assert!(full.get(2, 0) < 0.0 && full.get(3, 0) < 0.0);
+    }
+
+    #[test]
+    fn rows_subset_matches_full() {
+        let g = path_graph(9, 2);
+        let st = StationaryState::compute(&g.adj, &g.features, 0.5);
+        let full = st.full();
+        let rows = st.rows(&[7, 0, 3]);
+        assert_eq!(rows.row(0), full.row(7));
+        assert_eq!(rows.row(1), full.row(0));
+        assert_eq!(rows.row(2), full.row(3));
+    }
+
+    #[test]
+    fn degree_dependence_matches_eq7() {
+        // For γ = ½ the stationary row scales with sqrt(d+1) within a
+        // component: hub of a star vs a leaf.
+        let g = nai_graph::generators::star_graph(6, 1);
+        let st = StationaryState::compute(&g.adj, &g.features, 0.5);
+        let full = st.full();
+        let hub = full.get(0, 0);
+        let leaf = full.get(1, 0);
+        let want_ratio = (6.0f32).sqrt() / (2.0f32).sqrt(); // d̃_hub=6, d̃_leaf=2
+        assert!(
+            (hub / leaf - want_ratio).abs() < 1e-4,
+            "ratio {} vs {want_ratio}",
+            hub / leaf
+        );
+    }
+
+    #[test]
+    fn macs_accounting() {
+        let g = path_graph(10, 4);
+        let st = StationaryState::compute(&g.adj, &g.features, 0.5);
+        assert_eq!(st.precompute_macs(), 40);
+        assert_eq!(st.macs_per_row(), 4);
+    }
+
+    #[test]
+    fn isolated_node_stationary_is_own_feature() {
+        let adj = CsrMatrix::undirected_adjacency(2, &[]).unwrap();
+        let x = DenseMatrix::from_fn(2, 2, |r, c| (r * 2 + c) as f32);
+        let st = StationaryState::compute(&adj, &x, 0.5);
+        let full = st.full();
+        assert_eq!(full.row(0), x.row(0));
+        assert_eq!(full.row(1), x.row(1));
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the NAI core invariants.
+
+use nai_core::napd;
+use nai_core::stationary::StationaryState;
+use nai_graph::csr::CsrMatrix;
+use nai_graph::normalize::{normalized_adjacency, Convolution};
+use nai_linalg::DenseMatrix;
+use proptest::prelude::*;
+
+fn random_graph() -> impl Strategy<Value = (CsrMatrix, DenseMatrix)> {
+    (3usize..30).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 1..n * 2);
+        let feats = proptest::collection::vec(-5.0f32..5.0, n * 4);
+        (Just(n), edges, feats).prop_map(|(n, edges, feats)| {
+            let adj = CsrMatrix::undirected_adjacency(n, &edges).unwrap();
+            let x = DenseMatrix::from_vec(n, 4, feats);
+            (adj, x)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `X^(∞)` is a fixed point of propagation for every γ operating point.
+    #[test]
+    fn stationary_is_fixed_point((adj, x) in random_graph()) {
+        for (gamma, conv) in [
+            (0.5f32, Convolution::Symmetric),
+            (0.0, Convolution::ReverseTransition),
+            (1.0, Convolution::Transition),
+        ] {
+            let st = StationaryState::compute(&adj, &x, gamma);
+            let xinf = st.full();
+            let norm = normalized_adjacency(&adj, conv);
+            let once = norm.spmm(&xinf);
+            let scale = xinf.max_abs().max(1.0);
+            for (a, b) in once.as_slice().iter().zip(xinf.as_slice()) {
+                prop_assert!(
+                    (a - b).abs() / scale < 1e-3,
+                    "gamma {}: {} vs {}", gamma, a, b
+                );
+            }
+        }
+    }
+
+    /// Distances to the stationary state contract (weakly) over long
+    /// horizons: depth 2k is no farther than depth 1 on average.
+    #[test]
+    fn distances_contract_on_average((adj, x) in random_graph()) {
+        let norm = normalized_adjacency(&adj, Convolution::Symmetric);
+        let st = StationaryState::compute(&adj, &x, 0.5);
+        let xinf = st.full();
+        let mut h = norm.spmm(&x);
+        let early: f32 = napd::distances(&h, &xinf).iter().sum();
+        for _ in 0..7 {
+            h = norm.spmm(&h);
+        }
+        let late: f32 = napd::distances(&h, &xinf).iter().sum();
+        prop_assert!(late <= early + 1e-3, "early {} late {}", early, late);
+    }
+
+    /// Personalized depth is monotone non-increasing in `T_s`.
+    #[test]
+    fn personalized_depth_monotone_in_threshold((adj, x) in random_graph()) {
+        let norm = normalized_adjacency(&adj, Convolution::Symmetric);
+        let st = StationaryState::compute(&adj, &x, 0.5);
+        let xinf = st.full();
+        let mut levels = vec![x.clone()];
+        for _ in 0..5 {
+            levels.push(norm.spmm(levels.last().unwrap()));
+        }
+        for node in 0..adj.n().min(5) {
+            let rows: Vec<&[f32]> = levels.iter().map(|m| m.row(node)).collect();
+            let mut last_depth = usize::MAX;
+            for ts in [0.01f32, 0.1, 1.0, 10.0, 100.0] {
+                let d = napd::personalized_depth(&rows, xinf.row(node), ts);
+                prop_assert!(d <= last_depth, "depth grew with larger ts");
+                last_depth = d;
+            }
+        }
+    }
+
+    /// Exit masks respect the threshold semantics exactly.
+    #[test]
+    fn exit_mask_matches_distances(
+        cur in proptest::collection::vec(-3.0f32..3.0, 12),
+        stat in proptest::collection::vec(-3.0f32..3.0, 12),
+        ts in 0.0f32..10.0,
+    ) {
+        let cur = DenseMatrix::from_vec(3, 4, cur);
+        let stat = DenseMatrix::from_vec(3, 4, stat);
+        let d = napd::distances(&cur, &stat);
+        let m = napd::exit_mask(&cur, &stat, ts);
+        for (dist, exit) in d.iter().zip(m.iter()) {
+            prop_assert_eq!(*exit, *dist < ts);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Connected-component labelling.
+//!
+//! The stationary state `X^(∞)` (Eq. 6–7) is a per-component rank-1
+//! object: nodes only mix with their own component in the infinite-depth
+//! limit. We label components once per graph with an iterative BFS.
+
+use crate::csr::CsrMatrix;
+
+/// Component labelling: `labels[i]` is the component id of node `i`,
+/// ids are dense in `0..num_components`.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Per-node component id.
+    pub labels: Vec<u32>,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl Components {
+    /// Sizes of each component.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Nodes of each component, grouped.
+    pub fn members(&self) -> Vec<Vec<u32>> {
+        let mut out = vec![Vec::new(); self.count];
+        for (i, &l) in self.labels.iter().enumerate() {
+            out[l as usize].push(i as u32);
+        }
+        out
+    }
+}
+
+/// Labels connected components of an undirected adjacency matrix.
+pub fn connected_components(adj: &CsrMatrix) -> Components {
+    let n = adj.n();
+    let mut labels = vec![u32::MAX; n];
+    let mut queue: Vec<u32> = Vec::new();
+    let mut count = 0u32;
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        labels[start] = count;
+        queue.clear();
+        queue.push(start as u32);
+        while let Some(u) = queue.pop() {
+            for (v, _) in adj.row_iter(u as usize) {
+                if labels[v as usize] == u32::MAX {
+                    labels[v as usize] = count;
+                    queue.push(v);
+                }
+            }
+        }
+        count += 1;
+    }
+    Components {
+        labels,
+        count: count as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_component_path() {
+        let adj = CsrMatrix::undirected_adjacency(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let c = connected_components(&adj);
+        assert_eq!(c.count, 1);
+        assert!(c.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn two_components_plus_isolate() {
+        let adj = CsrMatrix::undirected_adjacency(5, &[(0, 1), (2, 3)]).unwrap();
+        let c = connected_components(&adj);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.labels[0], c.labels[1]);
+        assert_eq!(c.labels[2], c.labels[3]);
+        assert_ne!(c.labels[0], c.labels[2]);
+        assert_ne!(c.labels[4], c.labels[0]);
+        assert_eq!(c.sizes().iter().sum::<usize>(), 5);
+    }
+
+    #[test]
+    fn members_partition_nodes() {
+        let adj = CsrMatrix::undirected_adjacency(6, &[(0, 1), (1, 2), (4, 5)]).unwrap();
+        let c = connected_components(&adj);
+        let members = c.members();
+        let total: usize = members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, 6);
+        assert!(members.iter().all(|m| !m.is_empty()));
+    }
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let adj = CsrMatrix::undirected_adjacency(0, &[]).unwrap();
+        let c = connected_components(&adj);
+        assert_eq!(c.count, 0);
+        assert!(c.labels.is_empty());
+    }
+}

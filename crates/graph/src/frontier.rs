@@ -1,0 +1,205 @@
+//! Supporting-node discovery for batched inductive inference.
+//!
+//! To compute depth-`l` features of a test batch online (Fig. 1 (d)), the
+//! engine needs the batch's `r`-hop neighborhoods ("supporting nodes"). The
+//! number of supporting nodes grows roughly exponentially with `r` — the
+//! *neighbor explosion* the paper's introduction describes — so shrinking
+//! `r` per node is exactly where NAI's speedup comes from.
+//!
+//! [`BfsScratch`] keeps a stamp array so repeated BFS calls (the engine
+//! recomputes frontiers whenever nodes exit early) cost `O(visited)`, never
+//! `O(n)` re-initialisation.
+
+use crate::csr::CsrMatrix;
+
+/// Reusable BFS workspace. One instance per engine; never shrinks.
+#[derive(Debug)]
+pub struct BfsScratch {
+    stamp: Vec<u64>,
+    current: u64,
+}
+
+impl BfsScratch {
+    /// Workspace for graphs with `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            stamp: vec![0; n],
+            current: 0,
+        }
+    }
+
+    /// All nodes within `hops` of `seeds` (including the seeds), in BFS
+    /// discovery order. `hops == 0` returns the (deduplicated) seeds.
+    pub fn nodes_within(&mut self, adj: &CsrMatrix, seeds: &[u32], hops: usize) -> Vec<u32> {
+        self.current += 1;
+        let stamp = self.current;
+        let mut out: Vec<u32> = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            if self.stamp[s as usize] != stamp {
+                self.stamp[s as usize] = stamp;
+                out.push(s);
+            }
+        }
+        let mut level_start = 0usize;
+        for _ in 0..hops {
+            let level_end = out.len();
+            if level_start == level_end {
+                break; // frontier exhausted early
+            }
+            for idx in level_start..level_end {
+                let u = out[idx];
+                for (v, _) in adj.row_iter(u as usize) {
+                    if self.stamp[v as usize] != stamp {
+                        self.stamp[v as usize] = stamp;
+                        out.push(v);
+                    }
+                }
+            }
+            level_start = level_end;
+        }
+        out
+    }
+
+    /// Hop sets for Algorithm 1: `sets[l]` contains all nodes within
+    /// `max_depth − l` hops of `seeds`, for `l = 0..=max_depth`. So
+    /// `sets[0]` is the widest supporting frontier and
+    /// `sets[max_depth]` is the batch itself. Sets are nested:
+    /// `sets[l+1] ⊆ sets[l]`, and `N(sets[l+1]) ⊆ sets[l]`.
+    pub fn hop_sets(&mut self, adj: &CsrMatrix, seeds: &[u32], max_depth: usize) -> Vec<Vec<u32>> {
+        // One BFS recording distance, then bucket by hop count.
+        self.current += 1;
+        let stamp = self.current;
+        let mut order: Vec<(u32, u32)> = Vec::with_capacity(seeds.len()); // (node, dist)
+        for &s in seeds {
+            if self.stamp[s as usize] != stamp {
+                self.stamp[s as usize] = stamp;
+                order.push((s, 0));
+            }
+        }
+        let mut qi = 0usize;
+        while qi < order.len() {
+            let (u, d) = order[qi];
+            qi += 1;
+            if d as usize >= max_depth {
+                continue;
+            }
+            for (v, _) in adj.row_iter(u as usize) {
+                if self.stamp[v as usize] != stamp {
+                    self.stamp[v as usize] = stamp;
+                    order.push((v, d + 1));
+                }
+            }
+        }
+        let mut sets: Vec<Vec<u32>> = vec![Vec::new(); max_depth + 1];
+        for &(node, dist) in &order {
+            // Node at distance d belongs to sets[l] whenever
+            // max_depth − l >= d, i.e. l <= max_depth − d.
+            for set in sets.iter_mut().take(max_depth - dist as usize + 1) {
+                set.push(node);
+            }
+        }
+        sets
+    }
+}
+
+/// Total nnz over the rows of `nodes` — the SpMM cost of propagating one
+/// step for this frontier (in multiply-accumulates per feature column).
+pub fn frontier_nnz(adj: &CsrMatrix, nodes: &[u32]) -> u64 {
+    nodes.iter().map(|&u| adj.row_nnz(u as usize) as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> CsrMatrix {
+        CsrMatrix::undirected_adjacency(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn zero_hops_returns_seeds_dedup() {
+        let adj = path5();
+        let mut bfs = BfsScratch::new(5);
+        let got = bfs.nodes_within(&adj, &[2, 2, 4], 0);
+        assert_eq!(got, vec![2, 4]);
+    }
+
+    #[test]
+    fn hops_expand_along_path() {
+        let adj = path5();
+        let mut bfs = BfsScratch::new(5);
+        let mut got = bfs.nodes_within(&adj, &[0], 2);
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+        let mut all = bfs.nodes_within(&adj, &[0], 10);
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_calls() {
+        let adj = path5();
+        let mut bfs = BfsScratch::new(5);
+        for _ in 0..10 {
+            let got = bfs.nodes_within(&adj, &[2], 1);
+            let mut sorted = got.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn hop_sets_are_nested_and_correct() {
+        let adj = path5();
+        let mut bfs = BfsScratch::new(5);
+        let sets = bfs.hop_sets(&adj, &[0], 3);
+        assert_eq!(sets.len(), 4);
+        let as_sorted = |v: &Vec<u32>| {
+            let mut s = v.clone();
+            s.sort_unstable();
+            s
+        };
+        assert_eq!(as_sorted(&sets[3]), vec![0]); // batch itself
+        assert_eq!(as_sorted(&sets[2]), vec![0, 1]);
+        assert_eq!(as_sorted(&sets[1]), vec![0, 1, 2]);
+        assert_eq!(as_sorted(&sets[0]), vec![0, 1, 2, 3]);
+        // Nesting.
+        for l in 0..3 {
+            let outer: std::collections::HashSet<u32> = sets[l].iter().copied().collect();
+            assert!(sets[l + 1].iter().all(|x| outer.contains(x)));
+        }
+    }
+
+    #[test]
+    fn hop_sets_match_nodes_within() {
+        let adj = CsrMatrix::undirected_adjacency(
+            7,
+            &[(0, 1), (0, 2), (1, 3), (2, 4), (4, 5), (5, 6)],
+        )
+        .unwrap();
+        let mut bfs = BfsScratch::new(7);
+        let sets = bfs.hop_sets(&adj, &[0, 6], 2);
+        for (l, set) in sets.iter().enumerate() {
+            let mut a = set.clone();
+            a.sort_unstable();
+            let mut b = bfs.nodes_within(&adj, &[0, 6], 2 - l);
+            b.sort_unstable();
+            assert_eq!(a, b, "hop set {l}");
+        }
+    }
+
+    #[test]
+    fn frontier_nnz_counts_degrees() {
+        let adj = path5();
+        assert_eq!(frontier_nnz(&adj, &[0, 2]), 1 + 2);
+        assert_eq!(frontier_nnz(&adj, &[]), 0);
+    }
+
+    #[test]
+    fn disconnected_seed_stops_expanding() {
+        let adj = CsrMatrix::undirected_adjacency(4, &[(0, 1)]).unwrap();
+        let mut bfs = BfsScratch::new(4);
+        let got = bfs.nodes_within(&adj, &[3], 5);
+        assert_eq!(got, vec![3]);
+    }
+}

@@ -1,0 +1,179 @@
+//! The attributed graph bundle: adjacency + features + labels.
+
+use crate::csr::CsrMatrix;
+use crate::{GraphError, Result};
+use nai_linalg::DenseMatrix;
+
+/// An undirected attributed graph for node classification.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Simple undirected adjacency (unit weights, no self-loops).
+    pub adj: CsrMatrix,
+    /// Node feature matrix, `n × f`.
+    pub features: DenseMatrix,
+    /// Node class labels in `0..num_classes`.
+    pub labels: Vec<u32>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl Graph {
+    /// Builds a graph, validating array consistency.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InconsistentArrays`] when features/labels do
+    /// not match the adjacency node count or a label exceeds
+    /// `num_classes`.
+    pub fn new(
+        adj: CsrMatrix,
+        features: DenseMatrix,
+        labels: Vec<u32>,
+        num_classes: usize,
+    ) -> Result<Self> {
+        let n = adj.n();
+        if features.rows() != n {
+            return Err(GraphError::InconsistentArrays(format!(
+                "features have {} rows, graph has {n} nodes",
+                features.rows()
+            )));
+        }
+        if labels.len() != n {
+            return Err(GraphError::InconsistentArrays(format!(
+                "{} labels for {n} nodes",
+                labels.len()
+            )));
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l as usize >= num_classes) {
+            return Err(GraphError::InconsistentArrays(format!(
+                "label {bad} out of range (num_classes = {num_classes})"
+            )));
+        }
+        Ok(Self {
+            adj,
+            features,
+            labels,
+            num_classes,
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.n()
+    }
+
+    /// Number of undirected edges `m` (each stored twice in CSR).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.adj.nnz() / 2
+    }
+
+    /// Feature dimensionality `f`.
+    #[inline]
+    pub fn feature_dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The `2m + n` normalizer of the stationary-state formula (Eq. 7):
+    /// the total tilde-degree mass `Σ_i (d_i + 1)`.
+    pub fn total_tilde_degree(&self) -> f64 {
+        (self.adj.nnz() + self.num_nodes()) as f64
+    }
+
+    /// Induced subgraph on `nodes` (global ids, unique). Returns the
+    /// subgraph plus the node mapping (`mapping[local] = global`). Used to
+    /// build the training graph of the inductive protocol: test nodes and
+    /// every edge touching them are dropped.
+    pub fn induced_subgraph(&self, nodes: &[u32]) -> Result<(Graph, Vec<u32>)> {
+        for &g in nodes {
+            if g as usize >= self.num_nodes() {
+                return Err(GraphError::NodeOutOfRange {
+                    node: g,
+                    num_nodes: self.num_nodes(),
+                });
+            }
+        }
+        let sub_adj = self.adj.induced(nodes);
+        let idx: Vec<usize> = nodes.iter().map(|&g| g as usize).collect();
+        let features = self
+            .features
+            .gather_rows(&idx)
+            .expect("indices validated above");
+        let labels: Vec<u32> = idx.iter().map(|&g| self.labels[g]).collect();
+        Ok((
+            Graph {
+                adj: sub_adj,
+                features,
+                labels,
+                num_classes: self.num_classes,
+            },
+            nodes.to_vec(),
+        ))
+    }
+
+    /// Per-class node counts (diagnostics and generator tests).
+    pub fn class_histogram(&self) -> Vec<usize> {
+        let mut h = vec![0usize; self.num_classes];
+        for &l in &self.labels {
+            h[l as usize] += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Graph {
+        let adj = CsrMatrix::undirected_adjacency(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let feats = DenseMatrix::from_fn(4, 2, |r, c| (r + c) as f32);
+        Graph::new(adj, feats, vec![0, 1, 0, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn counts_are_consistent() {
+        let g = toy();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.feature_dim(), 2);
+        assert_eq!(g.total_tilde_degree(), (2 * 3 + 4) as f64);
+    }
+
+    #[test]
+    fn rejects_bad_feature_rows() {
+        let adj = CsrMatrix::undirected_adjacency(3, &[]).unwrap();
+        let feats = DenseMatrix::zeros(2, 2);
+        assert!(Graph::new(adj, feats, vec![0, 0, 0], 1).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_label() {
+        let adj = CsrMatrix::undirected_adjacency(2, &[]).unwrap();
+        let feats = DenseMatrix::zeros(2, 1);
+        assert!(Graph::new(adj, feats, vec![0, 5], 2).is_err());
+    }
+
+    #[test]
+    fn induced_subgraph_remaps() {
+        let g = toy();
+        let (sub, mapping) = g.induced_subgraph(&[1, 2]).unwrap();
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.num_edges(), 1); // only (1,2) survives
+        assert_eq!(mapping, vec![1, 2]);
+        assert_eq!(sub.labels, vec![1, 0]);
+        assert_eq!(sub.features.row(0), g.features.row(1));
+    }
+
+    #[test]
+    fn induced_subgraph_rejects_bad_node() {
+        let g = toy();
+        assert!(g.induced_subgraph(&[9]).is_err());
+    }
+
+    #[test]
+    fn class_histogram_sums_to_n() {
+        let g = toy();
+        assert_eq!(g.class_histogram(), vec![2, 2]);
+    }
+}

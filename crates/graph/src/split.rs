@@ -1,0 +1,213 @@
+//! Inductive train/val/test splits (§II-A of the paper).
+//!
+//! The node set is partitioned into training, validation and test nodes.
+//! Models are trained on the subgraph induced by train ∪ val nodes only
+//! (`G_train`); test nodes — and every edge incident to them — are invisible
+//! until inference, when they arrive as "unseen" nodes of the full graph
+//! `G`. This is what forces feature propagation to run online and is the
+//! setting NAI accelerates.
+
+use crate::graph::Graph;
+use crate::{GraphError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Disjoint node-index sets for the inductive protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InductiveSplit {
+    /// Labeled training nodes (`V_l` in the paper).
+    pub train: Vec<u32>,
+    /// Validation nodes (used for model selection / NAI operating points).
+    pub val: Vec<u32>,
+    /// Test nodes — unseen during training.
+    pub test: Vec<u32>,
+}
+
+impl InductiveSplit {
+    /// Random split by fractions; remaining mass goes to test.
+    ///
+    /// # Panics
+    /// Panics if fractions are negative or sum above 1.
+    pub fn random<R: Rng>(n: usize, train_frac: f64, val_frac: f64, rng: &mut R) -> Self {
+        assert!(train_frac >= 0.0 && val_frac >= 0.0 && train_frac + val_frac <= 1.0);
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        ids.shuffle(rng);
+        let n_train = (n as f64 * train_frac).round() as usize;
+        let n_val = (n as f64 * val_frac).round() as usize;
+        let train = ids[..n_train].to_vec();
+        let val = ids[n_train..(n_train + n_val).min(n)].to_vec();
+        let test = ids[(n_train + n_val).min(n)..].to_vec();
+        Self { train, val, test }
+    }
+
+    /// Validates the split against a node count: disjoint, in-range, and
+    /// jointly covering at most `n` nodes.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::InconsistentArrays`] on overlap or range
+    /// violations.
+    pub fn validate(&self, n: usize) -> Result<()> {
+        let mut seen = vec![false; n];
+        for (name, set) in [
+            ("train", &self.train),
+            ("val", &self.val),
+            ("test", &self.test),
+        ] {
+            for &v in set.iter() {
+                if v as usize >= n {
+                    return Err(GraphError::NodeOutOfRange {
+                        node: v,
+                        num_nodes: n,
+                    });
+                }
+                if seen[v as usize] {
+                    return Err(GraphError::InconsistentArrays(format!(
+                        "node {v} appears twice (last in {name})"
+                    )));
+                }
+                seen[v as usize] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// The observed node set train ∪ val, sorted — this is `G_train`'s
+    /// node universe.
+    pub fn observed(&self) -> Vec<u32> {
+        let mut obs: Vec<u32> = self.train.iter().chain(self.val.iter()).copied().collect();
+        obs.sort_unstable();
+        obs
+    }
+}
+
+/// Everything training needs about the observed subgraph, produced once by
+/// [`build_training_view`]: the induced graph, plus mappings between global
+/// and local (subgraph) node ids.
+#[derive(Debug, Clone)]
+pub struct TrainingView {
+    /// Induced subgraph on train ∪ val (local ids).
+    pub graph: Graph,
+    /// `local_of[global] = local id + 1`, or `0` when unobserved.
+    local_of: Vec<u32>,
+    /// `global_of[local] = global id`.
+    pub global_of: Vec<u32>,
+    /// Train node ids in *local* coordinates.
+    pub train_local: Vec<u32>,
+    /// Val node ids in *local* coordinates.
+    pub val_local: Vec<u32>,
+}
+
+impl TrainingView {
+    /// Local id of a global node, if observed.
+    pub fn local_of(&self, global: u32) -> Option<u32> {
+        match self.local_of.get(global as usize) {
+            Some(&x) if x > 0 => Some(x - 1),
+            _ => None,
+        }
+    }
+}
+
+/// Builds the inductive training view: induced subgraph over train ∪ val
+/// plus id mappings.
+///
+/// # Errors
+/// Propagates validation errors from the split.
+pub fn build_training_view(graph: &Graph, split: &InductiveSplit) -> Result<TrainingView> {
+    split.validate(graph.num_nodes())?;
+    let observed = split.observed();
+    let (sub, global_of) = graph.induced_subgraph(&observed)?;
+    let mut local_of = vec![0u32; graph.num_nodes()];
+    for (l, &g) in global_of.iter().enumerate() {
+        local_of[g as usize] = l as u32 + 1;
+    }
+    let to_local = |set: &[u32]| -> Vec<u32> {
+        set.iter()
+            .map(|&g| local_of[g as usize] - 1)
+            .collect::<Vec<u32>>()
+    };
+    Ok(TrainingView {
+        train_local: to_local(&split.train),
+        val_local: to_local(&split.val),
+        graph: sub,
+        local_of,
+        global_of,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrMatrix;
+    use nai_linalg::DenseMatrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy() -> Graph {
+        let adj =
+            CsrMatrix::undirected_adjacency(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]).unwrap();
+        let feats = DenseMatrix::from_fn(6, 2, |r, _| r as f32);
+        Graph::new(adj, feats, vec![0, 1, 0, 1, 0, 1], 2).unwrap()
+    }
+
+    #[test]
+    fn random_split_partitions_nodes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = InductiveSplit::random(100, 0.5, 0.2, &mut rng);
+        assert_eq!(s.train.len(), 50);
+        assert_eq!(s.val.len(), 20);
+        assert_eq!(s.test.len(), 30);
+        s.validate(100).unwrap();
+    }
+
+    #[test]
+    fn validate_catches_overlap() {
+        let s = InductiveSplit {
+            train: vec![0, 1],
+            val: vec![1],
+            test: vec![],
+        };
+        assert!(s.validate(3).is_err());
+    }
+
+    #[test]
+    fn validate_catches_out_of_range() {
+        let s = InductiveSplit {
+            train: vec![5],
+            val: vec![],
+            test: vec![],
+        };
+        assert!(s.validate(3).is_err());
+    }
+
+    #[test]
+    fn training_view_hides_test_edges() {
+        let g = toy();
+        let split = InductiveSplit {
+            train: vec![0, 1, 2],
+            val: vec![3],
+            test: vec![4, 5],
+        };
+        let view = build_training_view(&g, &split).unwrap();
+        assert_eq!(view.graph.num_nodes(), 4);
+        // Edges among {0,1,2,3}: (0,1),(1,2),(2,3) — the (3,4) edge is gone.
+        assert_eq!(view.graph.num_edges(), 3);
+        assert_eq!(view.local_of(4), None);
+        assert_eq!(view.local_of(0), Some(0));
+        assert_eq!(view.global_of.len(), 4);
+        // Labels survive the remap.
+        for &t in &view.train_local {
+            let g_id = view.global_of[t as usize];
+            assert_eq!(view.graph.labels[t as usize], g.labels[g_id as usize]);
+        }
+    }
+
+    #[test]
+    fn observed_is_sorted_union() {
+        let split = InductiveSplit {
+            train: vec![4, 0],
+            val: vec![2],
+            test: vec![1, 3],
+        };
+        assert_eq!(split.observed(), vec![0, 2, 4]);
+    }
+}

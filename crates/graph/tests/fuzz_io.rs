@@ -1,0 +1,62 @@
+//! Robustness fuzzing of the binary graph format: corrupted or truncated
+//! inputs must produce errors, never panics or bogus graphs.
+
+use nai_graph::generators::{generate, GeneratorConfig};
+use nai_graph::io::{decode_graph, encode_graph};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_bytes() -> Vec<u8> {
+    let g = generate(
+        &GeneratorConfig {
+            num_nodes: 60,
+            feature_dim: 4,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(1),
+    );
+    encode_graph(&g).to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any single-byte corruption either still decodes to a structurally
+    /// valid graph or errors cleanly — no panic, no invariant violation.
+    #[test]
+    fn single_byte_corruption_never_panics(pos in 0usize..4096, delta in 1u8..255) {
+        let mut data = sample_bytes();
+        let idx = pos % data.len();
+        data[idx] = data[idx].wrapping_add(delta);
+        match decode_graph(&data) {
+            Err(_) => {}
+            Ok(g) => {
+                // Decoded graphs must satisfy the CSR invariants.
+                let n = g.num_nodes();
+                prop_assert_eq!(g.features.rows(), n);
+                prop_assert_eq!(g.labels.len(), n);
+                let indptr = g.adj.indptr();
+                prop_assert_eq!(indptr.len(), n + 1);
+                prop_assert!(indptr.windows(2).all(|w| w[0] <= w[1]));
+                prop_assert!(g.adj.indices().iter().all(|&j| (j as usize) < n));
+            }
+        }
+    }
+
+    /// Every truncation point fails cleanly.
+    #[test]
+    fn truncation_never_panics(cut_frac in 0.0f64..1.0) {
+        let data = sample_bytes();
+        let cut = ((data.len() as f64) * cut_frac) as usize;
+        if cut < data.len() {
+            prop_assert!(decode_graph(&data[..cut]).is_err());
+        }
+    }
+
+    /// Random garbage never decodes into a panic.
+    #[test]
+    fn random_bytes_never_panic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode_graph(&data);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the graph substrate.
+
+use nai_graph::csr::CsrMatrix;
+use nai_graph::frontier::BfsScratch;
+use nai_graph::normalize::{normalized_adjacency, Convolution};
+use nai_linalg::DenseMatrix;
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Random edge list on up to `max_n` nodes.
+fn edge_list(max_n: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..=max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..n * 3);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #[test]
+    fn adjacency_is_symmetric_and_loop_free((n, edges) in edge_list(40)) {
+        let adj = CsrMatrix::undirected_adjacency(n, &edges).unwrap();
+        prop_assert!(adj.is_symmetric(0.0));
+        for i in 0..n {
+            prop_assert!(adj.row_indices(i).iter().all(|&j| j as usize != i));
+            // Sorted, no duplicates.
+            let row = adj.row_indices(i);
+            prop_assert!(row.windows(2).all(|w| w[0] < w[1]));
+        }
+        // Degree sum equals 2m.
+        let degsum: f32 = adj.degrees().iter().sum();
+        prop_assert_eq!(degsum as usize, adj.nnz());
+    }
+
+    #[test]
+    fn spmm_matches_dense_reference((n, edges) in edge_list(25)) {
+        let adj = CsrMatrix::undirected_adjacency(n, &edges).unwrap();
+        let x = DenseMatrix::from_fn(n, 3, |r, c| ((r * 3 + c) as f32 * 0.37).sin());
+        let got = adj.spmm(&x);
+        let want = adj.to_dense().matmul(&x).unwrap();
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn reverse_transition_is_row_stochastic((n, edges) in edge_list(40)) {
+        let adj = CsrMatrix::undirected_adjacency(n, &edges).unwrap();
+        let norm = normalized_adjacency(&adj, Convolution::ReverseTransition);
+        for i in 0..n {
+            let s: f32 = norm.row_iter(i).map(|(_, v)| v).sum();
+            prop_assert!((s - 1.0).abs() < 1e-5, "row {} sums to {}", i, s);
+        }
+    }
+
+    #[test]
+    fn symmetric_normalization_is_symmetric((n, edges) in edge_list(30)) {
+        let adj = CsrMatrix::undirected_adjacency(n, &edges).unwrap();
+        let norm = normalized_adjacency(&adj, Convolution::Symmetric);
+        prop_assert!(norm.is_symmetric(1e-5));
+    }
+
+    #[test]
+    fn hop_sets_nested_and_closed_under_neighborhood((n, edges) in edge_list(30)) {
+        let adj = CsrMatrix::undirected_adjacency(n, &edges).unwrap();
+        let mut bfs = BfsScratch::new(n);
+        let seeds = vec![0u32];
+        let depth = 3;
+        let sets = bfs.hop_sets(&adj, &seeds, depth);
+        prop_assert_eq!(sets.len(), depth + 1);
+        for l in 0..depth {
+            let outer: HashSet<u32> = sets[l].iter().copied().collect();
+            // Nesting: sets[l+1] ⊆ sets[l].
+            prop_assert!(sets[l + 1].iter().all(|x| outer.contains(x)));
+            // Closure: N(sets[l+1]) ⊆ sets[l].
+            for &u in &sets[l + 1] {
+                for (v, _) in adj.row_iter(u as usize) {
+                    prop_assert!(outer.contains(&v), "neighbor {} of {} escapes set {}", v, u, l);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_internal_structure((n, edges) in edge_list(30)) {
+        let adj = CsrMatrix::undirected_adjacency(n, &edges).unwrap();
+        let picked: Vec<u32> = (0..n as u32).step_by(2).collect();
+        let sub = adj.induced(&picked);
+        prop_assert_eq!(sub.n(), picked.len());
+        prop_assert!(sub.is_symmetric(0.0));
+        // Every sub edge corresponds to an original edge.
+        for (li, &gi) in picked.iter().enumerate() {
+            for (lj, _) in sub.row_iter(li) {
+                let gj = picked[lj as usize];
+                prop_assert!(adj.row_indices(gi as usize).contains(&gj));
+            }
+        }
+    }
+
+    #[test]
+    fn io_roundtrip_random_graphs((n, edges) in edge_list(30)) {
+        let adj = CsrMatrix::undirected_adjacency(n, &edges).unwrap();
+        let features = DenseMatrix::from_fn(n, 4, |r, c| (r + c) as f32 * 0.5);
+        let labels: Vec<u32> = (0..n as u32).map(|i| i % 3).collect();
+        let g = nai_graph::Graph::new(adj, features, labels, 3).unwrap();
+        let bytes = nai_graph::io::encode_graph(&g);
+        let back = nai_graph::io::decode_graph(&bytes).unwrap();
+        prop_assert_eq!(back.adj.indices(), g.adj.indices());
+        prop_assert_eq!(back.features.as_slice(), g.features.as_slice());
+        prop_assert_eq!(back.labels, g.labels);
+    }
+}

@@ -1,0 +1,67 @@
+//! Dense `f32` linear algebra substrate for the NAI reproduction.
+//!
+//! The whole stack (feature propagation, MLP classifiers, gates,
+//! distillation) operates on row-major dense matrices of `f32`. This crate
+//! provides:
+//!
+//! * [`DenseMatrix`] — the single owned matrix type used everywhere,
+//! * parallel matrix multiplication tuned for the "tall-skinny × small"
+//!   shapes that dominate GNN classifier workloads ([`DenseMatrix::matmul`]),
+//! * row-wise numeric kernels (softmax, log-softmax, L2 norms, argmax) in
+//!   [`ops`],
+//! * weight initialisation helpers (Glorot/He) in [`init`],
+//! * a tiny scoped parallel-for utility in [`parallel`] built on
+//!   `crossbeam::thread::scope` — no global thread pool, no `unsafe`.
+//!
+//! Design choices follow the Rust performance guide read for this session:
+//! preallocate, iterate row-major in `(i, k, j)` order, chunk work across
+//! threads only above a size threshold, and keep types small and `Copy`-free
+//! clones explicit.
+
+pub mod dense;
+pub mod init;
+pub mod ops;
+pub mod parallel;
+
+pub use dense::DenseMatrix;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, LinalgError>;
+
+/// Errors produced by shape-checked operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Two operands disagree on a dimension.
+    ShapeMismatch {
+        /// Human-readable operation name (e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// An index was out of bounds for the matrix.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Number of valid entries.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: lhs {}x{} vs rhs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}

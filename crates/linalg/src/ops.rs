@@ -1,0 +1,237 @@
+//! Row-wise numeric kernels shared by classifiers, gates and NAP modules.
+
+use crate::dense::DenseMatrix;
+use crate::parallel::par_map_range;
+
+/// Numerically stable in-place softmax over each row.
+pub fn softmax_rows(m: &mut DenseMatrix) {
+    let cols = m.cols();
+    if cols == 0 {
+        return;
+    }
+    for row in m.as_mut_slice().chunks_mut(cols) {
+        softmax_slice(row);
+    }
+}
+
+/// Numerically stable softmax of a single slice, in place.
+pub fn softmax_slice(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        let inv = 1.0 / sum;
+        for v in row.iter_mut() {
+            *v *= inv;
+        }
+    } else {
+        // All -inf row: fall back to uniform so downstream stays finite.
+        let u = 1.0 / row.len() as f32;
+        row.fill(u);
+    }
+}
+
+/// Numerically stable log-softmax of a single slice, in place.
+pub fn log_softmax_slice(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for v in row.iter() {
+        sum += (*v - max).exp();
+    }
+    let lse = max + sum.ln();
+    for v in row.iter_mut() {
+        *v -= lse;
+    }
+}
+
+/// Tempered softmax: `softmax(row / t)` in place. `t` must be positive.
+pub fn softmax_slice_with_temperature(row: &mut [f32], t: f32) {
+    debug_assert!(t > 0.0, "temperature must be positive, got {t}");
+    let inv_t = 1.0 / t;
+    for v in row.iter_mut() {
+        *v *= inv_t;
+    }
+    softmax_slice(row);
+}
+
+/// Index of the maximum element of a slice (first on ties).
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn argmax(row: &[f32]) -> usize {
+    assert!(!row.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    let mut best_v = row[0];
+    for (i, &v) in row.iter().enumerate().skip(1) {
+        if v > best_v {
+            best = i;
+            best_v = v;
+        }
+    }
+    best
+}
+
+/// Per-row argmax of a matrix.
+pub fn argmax_rows(m: &DenseMatrix) -> Vec<usize> {
+    (0..m.rows()).map(|r| argmax(m.row(r))).collect()
+}
+
+/// Euclidean (L2) distance between two slices.
+///
+/// # Panics
+/// Panics (debug) if lengths differ.
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        let d = x - y;
+        acc += d * d;
+    }
+    acc.sqrt()
+}
+
+/// L2 norm of each row, computed in parallel for large matrices.
+pub fn row_l2_norms(m: &DenseMatrix) -> Vec<f32> {
+    let cols = m.cols();
+    par_map_range(m.rows(), cols, |r| {
+        m.row(r).iter().map(|v| v * v).sum::<f32>().sqrt()
+    })
+}
+
+/// Mean of all elements (`0.0` for empty matrices).
+pub fn mean(m: &DenseMatrix) -> f32 {
+    if m.as_slice().is_empty() {
+        return 0.0;
+    }
+    m.as_slice().iter().sum::<f32>() / m.as_slice().len() as f32
+}
+
+/// Scalar sigmoid.
+#[inline]
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Dot product of two slices.
+///
+/// # Panics
+/// Panics (debug) if lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Classification accuracy of `pred` against integer `labels`, restricted to
+/// `eval_idx` (indices into both arrays).
+pub fn accuracy(pred: &[usize], labels: &[u32], eval_idx: &[usize]) -> f64 {
+    if eval_idx.is_empty() {
+        return 0.0;
+    }
+    let correct = eval_idx
+        .iter()
+        .filter(|&&i| pred[i] == labels[i] as usize)
+        .count();
+    correct as f64 / eval_idx.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = DenseMatrix::from_fn(4, 5, |r, c| (r as f32 - c as f32) * 3.0);
+        softmax_rows(&mut m);
+        for r in 0..4 {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+            assert!(m.row(r).iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = vec![1.0f32, 2.0, 3.0];
+        let mut b = vec![1001.0f32, 1002.0, 1003.0];
+        softmax_slice(&mut a);
+        softmax_slice(&mut b);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_neg_infinity_row() {
+        let mut row = vec![f32::NEG_INFINITY; 4];
+        softmax_slice(&mut row);
+        assert!(row.iter().all(|&v| (v - 0.25).abs() < 1e-6));
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let src = vec![0.3f32, -1.2, 2.5, 0.0];
+        let mut ls = src.clone();
+        log_softmax_slice(&mut ls);
+        let mut sm = src.clone();
+        softmax_slice(&mut sm);
+        for (l, s) in ls.iter().zip(sm.iter()) {
+            assert!((l.exp() - s).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn temperature_flattens_distribution() {
+        let src = vec![1.0f32, 3.0];
+        let mut hot = src.clone();
+        softmax_slice_with_temperature(&mut hot, 10.0);
+        let mut cold = src.clone();
+        softmax_slice_with_temperature(&mut cold, 0.1);
+        assert!(hot[1] - hot[0] < cold[1] - cold[0]);
+        assert!(cold[1] > 0.999);
+    }
+
+    #[test]
+    fn argmax_first_on_ties() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), 1);
+        assert_eq!(argmax(&[5.0]), 0);
+    }
+
+    #[test]
+    fn l2_distance_basic() {
+        assert!((l2_distance(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert_eq!(l2_distance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn row_l2_norms_match_manual() {
+        let m = DenseMatrix::from_fn(3, 2, |r, _| (r + 1) as f32);
+        let n = row_l2_norms(&m);
+        for (r, v) in n.iter().enumerate() {
+            let want = ((r + 1) as f32) * 2.0f32.sqrt();
+            assert!((v - want).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let pred = vec![0, 1, 2, 1];
+        let labels = vec![0u32, 1, 0, 1];
+        let acc = accuracy(&pred, &labels, &[0, 1, 2, 3]);
+        assert!((acc - 0.75).abs() < 1e-9);
+        assert_eq!(accuracy(&pred, &labels, &[]), 0.0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!((sigmoid(3.0) + sigmoid(-3.0) - 1.0).abs() < 1e-6);
+    }
+}

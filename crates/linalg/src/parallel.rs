@@ -1,0 +1,174 @@
+//! Minimal scoped data-parallelism helpers built on `crossbeam`.
+//!
+//! GNN inference kernels are embarrassingly parallel over matrix rows.
+//! Rather than pulling in a work-stealing pool, we split the row range into
+//! contiguous chunks, hand each chunk to a scoped thread, and join. Scoped
+//! threads let us borrow the input matrices without `Arc` gymnastics.
+
+/// Work below this many "cells" (rows × cost hint) runs sequentially.
+///
+/// Workers are scoped OS threads (no persistent pool), so each parallel
+/// section pays thread spawn + join (~100 µs). That only amortises for
+/// kernels in the ≥ milliseconds range — roughly a million multiply-adds —
+/// hence the high threshold: classifier-sized matmuls run sequentially,
+/// large SpMM frontiers and full-graph propagation parallelise.
+pub const PAR_THRESHOLD: usize = 1 << 20;
+
+/// Returns the number of worker threads to use for a task of the given size.
+///
+/// `work` is an approximate element count (e.g. `rows * cols`). Small tasks
+/// get one thread; large tasks use the machine's available parallelism,
+/// capped so each thread receives at least `PAR_THRESHOLD` work.
+pub fn thread_count(work: usize) -> usize {
+    if work < PAR_THRESHOLD {
+        return 1;
+    }
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    hw.min(work / PAR_THRESHOLD).max(1)
+}
+
+/// Runs `f(chunk_index, row_range, out_chunk)` over disjoint chunks of
+/// `out`, splitting `out` by rows of width `row_width`.
+///
+/// `out.len()` must be a multiple of `row_width`. The closure receives the
+/// global starting row of its chunk so it can index shared inputs.
+///
+/// # Panics
+/// Panics if `row_width == 0` or `out.len() % row_width != 0`.
+pub fn par_rows_mut<F>(out: &mut [f32], row_width: usize, cost_hint: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert!(row_width > 0, "row_width must be positive");
+    assert_eq!(
+        out.len() % row_width,
+        0,
+        "output length {} not a multiple of row width {}",
+        out.len(),
+        row_width
+    );
+    let rows = out.len() / row_width;
+    if rows == 0 {
+        return;
+    }
+    let threads = thread_count(rows.saturating_mul(cost_hint.max(1)));
+    if threads <= 1 {
+        f(0, out);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = out;
+        let mut start_row = 0usize;
+        while !rest.is_empty() {
+            let take = (rows_per * row_width).min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let fr = &f;
+            let row0 = start_row;
+            scope.spawn(move |_| fr(row0, chunk));
+            start_row += take / row_width;
+            rest = tail;
+        }
+    })
+    .expect("worker thread panicked");
+}
+
+/// Parallel map over an index range, collecting results in order.
+///
+/// Used for per-node reductions (e.g. row norms) where each output is a
+/// single value.
+pub fn par_map_range<T, F>(n: usize, cost_hint: usize, f: F) -> Vec<T>
+where
+    T: Send + Default + Clone,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    let threads = thread_count(n.saturating_mul(cost_hint.max(1)));
+    if threads <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return out;
+    }
+    let per = n.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        let mut rest = out.as_mut_slice();
+        let mut start = 0usize;
+        while !rest.is_empty() {
+            let take = per.min(rest.len());
+            let (chunk, tail) = rest.split_at_mut(take);
+            let fr = &f;
+            let s0 = start;
+            scope.spawn(move |_| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = fr(s0 + off);
+                }
+            });
+            start += take;
+            rest = tail;
+        }
+    })
+    .expect("worker thread panicked");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_rows_mut_covers_all_rows_once() {
+        let rows = 1000;
+        let width = 8;
+        let mut out = vec![0.0f32; rows * width];
+        par_rows_mut(&mut out, width, PAR_THRESHOLD, |row0, chunk| {
+            for (r, row) in chunk.chunks_mut(width).enumerate() {
+                for v in row.iter_mut() {
+                    *v += (row0 + r) as f32;
+                }
+            }
+        });
+        for (r, row) in out.chunks(width).enumerate() {
+            assert!(row.iter().all(|&v| v == r as f32), "row {r} wrong: {row:?}");
+        }
+    }
+
+    #[test]
+    fn par_rows_mut_sequential_small() {
+        let mut out = vec![0.0f32; 4];
+        par_rows_mut(&mut out, 2, 1, |row0, chunk| {
+            assert_eq!(row0, 0);
+            chunk.fill(1.0);
+        });
+        assert_eq!(out, vec![1.0; 4]);
+    }
+
+    #[test]
+    fn par_rows_mut_empty_output_is_noop() {
+        let mut out: Vec<f32> = vec![];
+        par_rows_mut(&mut out, 3, 100, |_, _| panic!("must not be called"));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of row width")]
+    fn par_rows_mut_rejects_ragged() {
+        let mut out = vec![0.0f32; 5];
+        par_rows_mut(&mut out, 2, 1, |_, _| {});
+    }
+
+    #[test]
+    fn par_map_range_matches_sequential() {
+        let got = par_map_range(10_000, 64, |i| (i * 3) as u64);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(*v, (i * 3) as u64);
+        }
+    }
+
+    #[test]
+    fn thread_count_is_one_for_tiny_work() {
+        assert_eq!(thread_count(10), 1);
+        assert!(thread_count(PAR_THRESHOLD * 64) >= 1);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the dense kernels.
+
+use nai_linalg::ops;
+use nai_linalg::DenseMatrix;
+use proptest::prelude::*;
+
+fn small_matrix(max_dim: usize) -> impl Strategy<Value = DenseMatrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| DenseMatrix::from_vec(r, c, data))
+    })
+}
+
+fn paired_matmul_operands(max_dim: usize) -> impl Strategy<Value = (DenseMatrix, DenseMatrix)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        let a = proptest::collection::vec(-5.0f32..5.0, m * k)
+            .prop_map(move |d| DenseMatrix::from_vec(m, k, d));
+        let b = proptest::collection::vec(-5.0f32..5.0, k * n)
+            .prop_map(move |d| DenseMatrix::from_vec(k, n, d));
+        (a, b)
+    })
+}
+
+fn naive_matmul(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0f64;
+            for k in 0..a.cols() {
+                acc += a.get(i, k) as f64 * b.get(k, j) as f64;
+            }
+            out.set(i, j, acc as f32);
+        }
+    }
+    out
+}
+
+proptest! {
+    #[test]
+    fn matmul_agrees_with_naive((a, b) in paired_matmul_operands(12)) {
+        let got = a.matmul(&b).unwrap();
+        let want = naive_matmul(&a, &b);
+        for (x, y) in got.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn transpose_variants_consistent((a, b) in paired_matmul_operands(10)) {
+        // (A·B)ᵀ == Bᵀ·Aᵀ, exercised through the fused kernels.
+        let ab_t = a.matmul(&b).unwrap().transpose();
+        let bt_at = b.transpose().matmul(&a.transpose()).unwrap();
+        for (x, y) in ab_t.as_slice().iter().zip(bt_at.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in small_matrix(10)) {
+        let mut s = m.clone();
+        ops::softmax_rows(&mut s);
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(m in small_matrix(10)) {
+        let before: Vec<usize> = ops::argmax_rows(&m);
+        let mut s = m.clone();
+        ops::softmax_rows(&mut s);
+        prop_assert_eq!(before, ops::argmax_rows(&s));
+    }
+
+    #[test]
+    fn l2_distance_triangle_inequality(
+        a in proptest::collection::vec(-10.0f32..10.0, 8),
+        b in proptest::collection::vec(-10.0f32..10.0, 8),
+        c in proptest::collection::vec(-10.0f32..10.0, 8),
+    ) {
+        let ab = ops::l2_distance(&a, &b);
+        let bc = ops::l2_distance(&b, &c);
+        let ac = ops::l2_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-4);
+    }
+
+    #[test]
+    fn gather_rows_roundtrip(m in small_matrix(10)) {
+        let all: Vec<usize> = (0..m.rows()).collect();
+        let g = m.gather_rows(&all).unwrap();
+        prop_assert_eq!(g.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn hconcat_widths_add(a in small_matrix(8)) {
+        let b = DenseMatrix::zeros(a.rows(), 3);
+        let c = a.hconcat(&b).unwrap();
+        prop_assert_eq!(c.cols(), a.cols() + 3);
+        prop_assert_eq!(c.rows(), a.rows());
+    }
+}

@@ -1,0 +1,313 @@
+//! Per-depth classifiers `f^(l)`.
+//!
+//! The NAI framework trains one classifier per candidate exit depth
+//! (Fig. 2). A [`DepthClassifier`] bundles the model-specific multi-depth
+//! combination (stateless rule or GAMLP attention head) with an MLP, and
+//! exposes a uniform train/infer interface used by the inference engine and
+//! by Inception Distillation.
+
+use crate::combine::CombineRule;
+use crate::gamlp::GamlpHead;
+use crate::ModelKind;
+use nai_linalg::DenseMatrix;
+use nai_nn::adam::Adam;
+use nai_nn::mlp::{Mlp, MlpConfig};
+use rand::Rng;
+
+/// A classifier operating on propagated features up to a fixed depth.
+#[derive(Debug, Clone)]
+pub struct DepthClassifier {
+    kind: ModelKind,
+    depth: usize,
+    feature_dim: usize,
+    rule: Option<CombineRule>,
+    gamlp: Option<GamlpHead>,
+    /// The MLP head (public for distillation code that needs raw layers).
+    pub mlp: Mlp,
+}
+
+/// Snapshot of all trainable state of a [`DepthClassifier`].
+#[derive(Debug, Clone)]
+pub struct ClassifierSnapshot {
+    mlp: Vec<(Vec<f32>, Vec<f32>)>,
+    gamlp: Option<(Vec<f32>, Vec<f32>)>,
+}
+
+impl ClassifierSnapshot {
+    /// Per-layer `(weights, bias)` of the MLP head.
+    pub fn mlp_layers(&self) -> &[(Vec<f32>, Vec<f32>)] {
+        &self.mlp
+    }
+
+    /// GAMLP attention parameters, when the base model is GAMLP.
+    pub fn gamlp_params(&self) -> Option<&(Vec<f32>, Vec<f32>)> {
+        self.gamlp.as_ref()
+    }
+
+    /// Reassembles a snapshot from raw parts (checkpoint deserialization).
+    pub fn from_parts(
+        mlp: Vec<(Vec<f32>, Vec<f32>)>,
+        gamlp: Option<(Vec<f32>, Vec<f32>)>,
+    ) -> Self {
+        Self { mlp, gamlp }
+    }
+}
+
+impl DepthClassifier {
+    /// Builds `f^(depth)` for the given base model.
+    pub fn new<R: Rng>(
+        kind: ModelKind,
+        depth: usize,
+        feature_dim: usize,
+        num_classes: usize,
+        hidden: &[usize],
+        dropout: f32,
+        rng: &mut R,
+    ) -> Self {
+        let (rule, gamlp) = match kind {
+            ModelKind::Sgc => (Some(CombineRule::Last), None),
+            ModelKind::Sign => (Some(CombineRule::Concat), None),
+            ModelKind::S2gc => (Some(CombineRule::Average), None),
+            ModelKind::Gamlp => (None, Some(GamlpHead::new(feature_dim, depth, rng))),
+        };
+        let in_dim = match rule {
+            Some(r) => r.input_dim(feature_dim, depth),
+            None => feature_dim,
+        };
+        let mlp = Mlp::new(
+            &MlpConfig {
+                in_dim,
+                hidden: hidden.to_vec(),
+                out_dim: num_classes,
+                dropout,
+            },
+            rng,
+        );
+        Self {
+            kind,
+            depth,
+            feature_dim,
+            rule,
+            gamlp,
+            mlp,
+        }
+    }
+
+    /// Base-model kind.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Exit depth `l` this classifier serves.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Inference logits from per-depth feature matrices (aligned rows;
+    /// `depth_feats[t]` holds `X^(t)`).
+    pub fn forward(&self, depth_feats: &[DenseMatrix]) -> DenseMatrix {
+        let input = self.combine_input(depth_feats);
+        self.mlp.forward(&input)
+    }
+
+    /// The classifier's MLP input built from per-depth features — the
+    /// model-specific combination stage alone (used by the quantization
+    /// baseline, which swaps the MLP for an INT8 head but keeps the
+    /// combination in f32).
+    pub fn combine_input(&self, depth_feats: &[DenseMatrix]) -> DenseMatrix {
+        match (&self.rule, &self.gamlp) {
+            (Some(rule), _) => rule.combine(depth_feats, self.depth),
+            (None, Some(head)) => head.combine(depth_feats),
+            _ => unreachable!("classifier has either a rule or a gamlp head"),
+        }
+    }
+
+    /// Training forward (dropout active, caches kept for backward).
+    pub fn forward_train<R: Rng>(
+        &mut self,
+        depth_feats: &[DenseMatrix],
+        rng: &mut R,
+    ) -> DenseMatrix {
+        let input = match (&self.rule, &mut self.gamlp) {
+            (Some(rule), _) => rule.combine(depth_feats, self.depth),
+            (None, Some(head)) => head.forward_train(depth_feats),
+            _ => unreachable!("classifier has either a rule or a gamlp head"),
+        };
+        self.mlp.forward_train(&input, rng)
+    }
+
+    /// Backward from logits gradient; accumulates into the MLP and (for
+    /// GAMLP) the attention head.
+    pub fn backward(&mut self, dlogits: &DenseMatrix) {
+        let dinput = self.mlp.backward(dlogits);
+        if let Some(head) = &mut self.gamlp {
+            head.backward(&dinput);
+        }
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grads(&mut self) {
+        self.mlp.zero_grads();
+        if let Some(h) = &mut self.gamlp {
+            h.zero_grads();
+        }
+    }
+
+    /// Applies all gradients.
+    pub fn apply_grads(&mut self, opt: &Adam) {
+        self.mlp.apply_grads(opt);
+        if let Some(h) = &mut self.gamlp {
+            h.apply_grads(opt);
+        }
+    }
+
+    /// Snapshot of every trainable tensor.
+    pub fn snapshot(&self) -> ClassifierSnapshot {
+        ClassifierSnapshot {
+            mlp: self.mlp.snapshot(),
+            gamlp: self.gamlp.as_ref().map(|h| h.snapshot()),
+        }
+    }
+
+    /// Restores a snapshot.
+    ///
+    /// # Panics
+    /// Panics on architecture mismatch.
+    pub fn restore(&mut self, snap: &ClassifierSnapshot) {
+        self.mlp.restore(&snap.mlp);
+        match (&mut self.gamlp, &snap.gamlp) {
+            (Some(h), Some(s)) => h.restore(s),
+            (None, None) => {}
+            _ => panic!("snapshot/classifier GAMLP mismatch"),
+        }
+    }
+
+    /// MACs per node to build the classifier input at inference.
+    pub fn combine_macs_per_node(&self) -> u64 {
+        match (&self.rule, &self.gamlp) {
+            (Some(rule), _) => rule.combine_macs_per_node(self.feature_dim, self.depth),
+            (None, Some(head)) => head.combine_macs_per_node(self.feature_dim),
+            _ => unreachable!(),
+        }
+    }
+
+    /// MACs per node for the MLP head.
+    pub fn head_macs_per_node(&self) -> u64 {
+        self.mlp.macs_per_row()
+    }
+
+    /// Total classification MACs per node (combination + head), the
+    /// `nf²`-type terms of Table I.
+    pub fn macs_per_node(&self) -> u64 {
+        self.combine_macs_per_node() + self.head_macs_per_node()
+    }
+
+    /// Trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.mlp.num_params() + self.gamlp.as_ref().map_or(0, |h| h.num_params())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn feats(levels: usize, rows: usize, f: usize, seed: u64) -> Vec<DenseMatrix> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..levels)
+            .map(|_| nai_linalg::init::gaussian(rows, f, 1.0, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn input_dims_per_kind() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = 6;
+        let c = 3;
+        for (kind, want_in) in [
+            (ModelKind::Sgc, f),
+            (ModelKind::Sign, 3 * f),
+            (ModelKind::S2gc, f),
+            (ModelKind::Gamlp, f),
+        ] {
+            let clf = DepthClassifier::new(kind, 2, f, c, &[8], 0.0, &mut rng);
+            assert_eq!(clf.mlp.in_dim(), want_in, "{kind:?}");
+            assert_eq!(clf.mlp.out_dim(), c);
+        }
+    }
+
+    #[test]
+    fn forward_shapes_per_kind() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let fs = feats(3, 5, 6, 3);
+        for kind in ModelKind::all() {
+            let clf = DepthClassifier::new(kind, 2, 6, 4, &[], 0.0, &mut rng);
+            let logits = clf.forward(&fs);
+            assert_eq!(logits.shape(), (5, 4), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn train_step_decreases_loss_for_all_kinds() {
+        let fs = feats(3, 40, 6, 4);
+        let labels: Vec<u32> = (0..40).map(|i| (i % 3) as u32).collect();
+        for kind in ModelKind::all() {
+            let mut rng = StdRng::seed_from_u64(5);
+            let mut clf = DepthClassifier::new(kind, 2, 6, 3, &[16], 0.0, &mut rng);
+            let opt = Adam::new(0.01, 0.0);
+            let mut first = None;
+            let mut last = 0.0;
+            for _ in 0..60 {
+                clf.zero_grads();
+                let logits = clf.forward_train(&fs, &mut rng);
+                let (loss, d) = nai_nn::loss::softmax_cross_entropy(&logits, &labels);
+                clf.backward(&d);
+                clf.apply_grads(&opt);
+                if first.is_none() {
+                    first = Some(loss);
+                }
+                last = loss;
+            }
+            assert!(
+                last < first.unwrap(),
+                "{kind:?}: loss {first:?} -> {last}"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_all_kinds() {
+        let fs = feats(2, 4, 5, 6);
+        for kind in ModelKind::all() {
+            let mut rng = StdRng::seed_from_u64(7);
+            let mut clf = DepthClassifier::new(kind, 1, 5, 2, &[], 0.0, &mut rng);
+            let snap = clf.snapshot();
+            let before = clf.forward(&fs);
+            let opt = Adam::new(0.1, 0.0);
+            clf.zero_grads();
+            let logits = clf.forward_train(&fs, &mut rng);
+            let (_, d) = nai_nn::loss::softmax_cross_entropy(&logits, &[0, 1, 0, 1]);
+            clf.backward(&d);
+            clf.apply_grads(&opt);
+            clf.restore(&snap);
+            let after = clf.forward(&fs);
+            assert_eq!(before.as_slice(), after.as_slice(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn mac_accounting_is_kind_specific() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let f = 10;
+        let sgc = DepthClassifier::new(ModelKind::Sgc, 3, f, 4, &[], 0.0, &mut rng);
+        assert_eq!(sgc.macs_per_node(), (f * 4) as u64);
+        let sign = DepthClassifier::new(ModelKind::Sign, 3, f, 4, &[], 0.0, &mut rng);
+        assert_eq!(sign.macs_per_node(), (4 * f * 4) as u64);
+        let s2gc = DepthClassifier::new(ModelKind::S2gc, 3, f, 4, &[], 0.0, &mut rng);
+        assert_eq!(s2gc.macs_per_node(), (4 * f) as u64 + (f * 4) as u64);
+        let gamlp = DepthClassifier::new(ModelKind::Gamlp, 3, f, 4, &[], 0.0, &mut rng);
+        assert_eq!(gamlp.macs_per_node(), (2 * 4 * f) as u64 + (f * 4) as u64);
+    }
+}

@@ -1,0 +1,128 @@
+//! Stateless multi-depth feature combination for SGC, SIGN and S²GC.
+//!
+//! GAMLP's attention combination is trainable and lives in
+//! [`crate::gamlp`].
+
+use nai_linalg::DenseMatrix;
+
+/// How a classifier at depth `l` consumes the propagated features
+/// `X^(0) … X^(l)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CombineRule {
+    /// Use only `X^(l)` (SGC, Eq. 2).
+    Last,
+    /// Concatenate `X^(0) ‖ … ‖ X^(l)` (SIGN, Eq. 3; depth transforms are
+    /// folded into the classifier's first layer).
+    Concat,
+    /// Average `(1/(l+1)) Σ X^(t)` (S²GC, Eq. 4).
+    Average,
+}
+
+impl CombineRule {
+    /// Classifier input dimensionality at depth `l` given feature dim `f`.
+    pub fn input_dim(self, f: usize, l: usize) -> usize {
+        match self {
+            CombineRule::Last => f,
+            CombineRule::Concat => f * (l + 1),
+            CombineRule::Average => f,
+        }
+    }
+
+    /// Builds the classifier input from per-depth feature matrices
+    /// (`depth_feats[t]` holds `X^(t)` for the same rows).
+    ///
+    /// # Panics
+    /// Panics if `depth_feats.len() < l + 1` or shapes disagree.
+    pub fn combine(self, depth_feats: &[DenseMatrix], l: usize) -> DenseMatrix {
+        assert!(
+            depth_feats.len() > l,
+            "need features up to depth {l}, have {}",
+            depth_feats.len()
+        );
+        match self {
+            CombineRule::Last => depth_feats[l].clone(),
+            CombineRule::Concat => {
+                let parts: Vec<&DenseMatrix> = depth_feats[..=l].iter().collect();
+                DenseMatrix::hconcat_all(&parts).expect("uniform shapes")
+            }
+            CombineRule::Average => {
+                let mut acc = depth_feats[0].clone();
+                for m in &depth_feats[1..=l] {
+                    acc.add_assign(m).expect("uniform shapes");
+                }
+                acc.scale(1.0 / (l + 1) as f32);
+                acc
+            }
+        }
+    }
+
+    /// Extra multiply-accumulates per node for the combination itself
+    /// (additions counted as MACs, matching the paper's `knf` term for
+    /// S²GC in Table I).
+    pub fn combine_macs_per_node(self, f: usize, l: usize) -> u64 {
+        match self {
+            CombineRule::Last => 0,
+            CombineRule::Concat => 0, // pure copy
+            CombineRule::Average => ((l + 1) * f) as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feats() -> Vec<DenseMatrix> {
+        (0..3)
+            .map(|t| DenseMatrix::from_fn(2, 2, |r, c| (t * 100 + r * 10 + c) as f32))
+            .collect()
+    }
+
+    #[test]
+    fn last_picks_depth_l() {
+        let f = feats();
+        let out = CombineRule::Last.combine(&f, 2);
+        assert_eq!(out.as_slice(), f[2].as_slice());
+        assert_eq!(CombineRule::Last.input_dim(2, 2), 2);
+    }
+
+    #[test]
+    fn concat_stacks_depths_in_order() {
+        let f = feats();
+        let out = CombineRule::Concat.combine(&f, 1);
+        assert_eq!(out.shape(), (2, 4));
+        assert_eq!(out.row(0), &[0.0, 1.0, 100.0, 101.0]);
+        assert_eq!(CombineRule::Concat.input_dim(2, 1), 4);
+    }
+
+    #[test]
+    fn average_is_elementwise_mean() {
+        let f = feats();
+        let out = CombineRule::Average.combine(&f, 2);
+        assert_eq!(out.get(0, 0), (0.0 + 100.0 + 200.0) / 3.0);
+        assert_eq!(CombineRule::Average.input_dim(2, 2), 2);
+    }
+
+    #[test]
+    fn combine_at_depth_zero_is_raw_features() {
+        let f = feats();
+        for rule in [CombineRule::Last, CombineRule::Concat, CombineRule::Average] {
+            let out = rule.combine(&f, 0);
+            assert_eq!(out.as_slice(), f[0].as_slice(), "{rule:?}");
+        }
+    }
+
+    #[test]
+    fn macs_accounting() {
+        assert_eq!(CombineRule::Last.combine_macs_per_node(8, 3), 0);
+        assert_eq!(CombineRule::Concat.combine_macs_per_node(8, 3), 0);
+        assert_eq!(CombineRule::Average.combine_macs_per_node(8, 3), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "need features up to depth")]
+    fn missing_depths_panic() {
+        let f = feats();
+        let _ = CombineRule::Last.combine(&f, 5);
+    }
+}

@@ -1,0 +1,301 @@
+//! GAMLP's node-wise attention over propagation depths (Eq. 5, "basic"
+//! variant).
+//!
+//! Each node receives per-depth scores `e_t = σ(X^(t) a)` from a shared
+//! trainable vector `a`, normalised across depths with a softmax; the
+//! classifier input is the attention-weighted sum `Σ_t w_t ⊙ X^(t)`. This
+//! is the `T^(l)` diagonal node-wise attention of the paper with the
+//! attention logits produced by a single scoring head — the "basic version
+//! of GAMLP which utilizes the attention mechanism in feature propagation"
+//! (§III-B).
+
+use nai_linalg::ops::{sigmoid, softmax_slice};
+use nai_linalg::DenseMatrix;
+use nai_nn::adam::Adam;
+use nai_nn::linear::Linear;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+struct GamlpCache {
+    /// Per-depth inputs for the cached batch.
+    inputs: Vec<DenseMatrix>,
+    /// σ-activated scores, `batch × (depth+1)`.
+    scores: DenseMatrix,
+    /// Softmax weights, `batch × (depth+1)`.
+    weights: DenseMatrix,
+}
+
+/// Trainable attention combiner over depths `0..=depth`.
+#[derive(Debug, Clone)]
+pub struct GamlpHead {
+    /// Shared scoring head `a : f × 1`.
+    score: Linear,
+    depth: usize,
+    cache: Option<GamlpCache>,
+}
+
+impl GamlpHead {
+    /// New head for features of dim `f`, combining `depth + 1` levels.
+    pub fn new<R: Rng>(feature_dim: usize, depth: usize, rng: &mut R) -> Self {
+        Self {
+            score: Linear::new(feature_dim, 1, rng),
+            depth,
+            cache: None,
+        }
+    }
+
+    /// Highest depth this head combines.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    fn attention(&self, depth_feats: &[DenseMatrix]) -> (DenseMatrix, DenseMatrix) {
+        let l = self.depth;
+        let rows = depth_feats[0].rows();
+        let mut scores = DenseMatrix::zeros(rows, l + 1);
+        for (t, xt) in depth_feats[..=l].iter().enumerate() {
+            let raw = self.score.forward_infer(xt); // rows × 1
+            for r in 0..rows {
+                scores.set(r, t, sigmoid(raw.get(r, 0)));
+            }
+        }
+        let mut weights = scores.clone();
+        let cols = weights.cols();
+        for row in weights.as_mut_slice().chunks_mut(cols) {
+            softmax_slice(row);
+        }
+        (scores, weights)
+    }
+
+    fn mix(weights: &DenseMatrix, depth_feats: &[DenseMatrix], l: usize) -> DenseMatrix {
+        let rows = depth_feats[0].rows();
+        let f = depth_feats[0].cols();
+        let mut out = DenseMatrix::zeros(rows, f);
+        for (t, xt) in depth_feats[..=l].iter().enumerate() {
+            for r in 0..rows {
+                let w = weights.get(r, t);
+                let orow = out.row_mut(r);
+                for (o, &x) in orow.iter_mut().zip(xt.row(r)) {
+                    *o += w * x;
+                }
+            }
+        }
+        out
+    }
+
+    /// Inference combination: `Σ_t softmax_t(σ(X^(t) a)) ⊙ X^(t)`.
+    ///
+    /// # Panics
+    /// Panics if fewer than `depth + 1` feature levels are supplied.
+    pub fn combine(&self, depth_feats: &[DenseMatrix]) -> DenseMatrix {
+        assert!(depth_feats.len() > self.depth, "need depth+1 feature levels");
+        let (_, weights) = self.attention(depth_feats);
+        Self::mix(&weights, depth_feats, self.depth)
+    }
+
+    /// Training combination with cache for [`Self::backward`].
+    pub fn forward_train(&mut self, depth_feats: &[DenseMatrix]) -> DenseMatrix {
+        assert!(depth_feats.len() > self.depth, "need depth+1 feature levels");
+        let (scores, weights) = self.attention(depth_feats);
+        let out = Self::mix(&weights, depth_feats, self.depth);
+        self.cache = Some(GamlpCache {
+            inputs: depth_feats[..=self.depth].to_vec(),
+            scores,
+            weights,
+        });
+        out
+    }
+
+    /// Backward from the gradient of the combined features; accumulates the
+    /// scoring-head gradient. Input gradients are not produced (propagated
+    /// features are leaves).
+    ///
+    /// # Panics
+    /// Panics if called without a cached training forward.
+    pub fn backward(&mut self, d_combined: &DenseMatrix) {
+        let cache = self
+            .cache
+            .take()
+            .expect("backward called without training forward");
+        let l = self.depth;
+        let rows = d_combined.rows();
+        // dw[r][t] = dcombined[r] · X^(t)[r]
+        let mut dw = DenseMatrix::zeros(rows, l + 1);
+        for (t, xt) in cache.inputs.iter().enumerate() {
+            for r in 0..rows {
+                dw.set(r, t, nai_linalg::ops::dot(d_combined.row(r), xt.row(r)));
+            }
+        }
+        // Softmax backward per row, then sigmoid backward.
+        let mut dscore_raw = DenseMatrix::zeros(rows, l + 1); // grad wrt pre-sigmoid logit
+        for r in 0..rows {
+            let w = cache.weights.row(r);
+            let dwr = dw.row(r);
+            let dot: f32 = w.iter().zip(dwr.iter()).map(|(a, b)| a * b).sum();
+            for t in 0..=l {
+                let de = w[t] * (dwr[t] - dot); // d loss / d score_t (post-sigmoid)
+                let s = cache.scores.get(r, t);
+                dscore_raw.set(r, t, de * s * (1.0 - s));
+            }
+        }
+        // Route per-depth logit gradients through the shared scoring layer.
+        for (t, xt) in cache.inputs.iter().enumerate() {
+            // Re-run the layer forward in train mode to set its input cache,
+            // then backprop the column gradient.
+            let _ = self.score.forward(xt, true);
+            let mut col = DenseMatrix::zeros(rows, 1);
+            for r in 0..rows {
+                col.set(r, 0, dscore_raw.get(r, t));
+            }
+            let _ = self.score.backward(&col);
+        }
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.score.zero_grads();
+    }
+
+    /// Applies accumulated gradients.
+    pub fn apply_grads(&mut self, opt: &Adam) {
+        self.score.apply_grads(opt);
+    }
+
+    /// Parameter snapshot.
+    pub fn snapshot(&self) -> (Vec<f32>, Vec<f32>) {
+        self.score.snapshot()
+    }
+
+    /// Restores a snapshot.
+    pub fn restore(&mut self, snap: &(Vec<f32>, Vec<f32>)) {
+        self.score.restore(snap);
+    }
+
+    /// MACs per node: scoring each depth (`(l+1)·f`) plus the weighted sum
+    /// (`(l+1)·f`).
+    pub fn combine_macs_per_node(&self, f: usize) -> u64 {
+        (2 * (self.depth + 1) * f) as u64
+    }
+
+    /// Trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.score.num_params()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn feats(rows: usize, f: usize, levels: usize, seed: u64) -> Vec<DenseMatrix> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..levels)
+            .map(|_| nai_linalg::init::gaussian(rows, f, 1.0, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn combine_is_convex_mixture() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let head = GamlpHead::new(3, 2, &mut rng);
+        let fs = feats(4, 3, 3, 2);
+        let out = head.combine(&fs);
+        assert_eq!(out.shape(), (4, 3));
+        // Each output element lies within per-depth min/max.
+        for r in 0..4 {
+            for c in 0..3 {
+                let vals: Vec<f32> = (0..3).map(|t| fs[t].get(r, c)).collect();
+                let lo = vals.iter().cloned().fold(f32::INFINITY, f32::min);
+                let hi = vals.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let v = out.get(r, c);
+                assert!(v >= lo - 1e-5 && v <= hi + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn train_and_infer_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut head = GamlpHead::new(3, 1, &mut rng);
+        let fs = feats(5, 3, 2, 4);
+        let a = head.combine(&fs);
+        let b = head.forward_train(&fs);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn score_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut head = GamlpHead::new(3, 2, &mut rng);
+        let fs = feats(4, 3, 3, 6);
+        // Loss = sum(out²)/2.
+        head.zero_grads();
+        let out = head.forward_train(&fs);
+        head.backward(&out);
+        let analytic = head.score.grad_w().get(1, 0);
+        let eps = 1e-3f32;
+        let orig = head.score.w.get(1, 0);
+        let loss_with = |head: &GamlpHead| -> f32 {
+            let o = head.combine(&fs);
+            o.as_slice().iter().map(|v| v * v / 2.0).sum()
+        };
+        head.score.w.set(1, 0, orig + eps);
+        let lp = loss_with(&head);
+        head.score.w.set(1, 0, orig - eps);
+        let lm = loss_with(&head);
+        head.score.w.set(1, 0, orig);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - analytic).abs() < 2e-2 * (1.0 + numeric.abs()),
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn learns_to_prefer_informative_depth() {
+        // Depth 1 carries the target signal, depth 0 is noise. Training the
+        // head to regress the depth-1 features should push weights toward
+        // depth 1.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut head = GamlpHead::new(4, 1, &mut rng);
+        let noise = feats(64, 4, 1, 8).remove(0);
+        let mut signal = nai_linalg::init::gaussian(64, 4, 1.0, &mut rng);
+        for v in signal.as_mut_slice() {
+            *v += 2.0; // biased so the score head can separate the depths
+        }
+        let fs = vec![noise, signal.clone()];
+        let opt = Adam::new(0.05, 0.0);
+        for _ in 0..300 {
+            head.zero_grads();
+            let out = head.forward_train(&fs);
+            let mut d = out.clone();
+            d.axpy(-1.0, &signal).unwrap();
+            head.backward(&d);
+            head.apply_grads(&opt);
+        }
+        let (_, w) = head.attention(&fs);
+        // Sigmoid scores live in (0, 1), so the softmax weight over two
+        // depths is structurally capped at σ→1 vs σ→0: e/(e+1) ≈ 0.731.
+        let mean_w1: f32 = (0..64).map(|r| w.get(r, 1)).sum::<f32>() / 64.0;
+        assert!(mean_w1 > 0.65, "weight on informative depth {mean_w1}");
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut head = GamlpHead::new(3, 1, &mut rng);
+        let snap = head.snapshot();
+        head.score.w.set(0, 0, 123.0);
+        head.restore(&snap);
+        assert_ne!(head.score.w.get(0, 0), 123.0);
+    }
+
+    #[test]
+    fn macs_counts_scale_with_depth() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let head = GamlpHead::new(8, 3, &mut rng);
+        assert_eq!(head.combine_macs_per_node(8), 2 * 4 * 8);
+    }
+}

@@ -1,0 +1,63 @@
+//! Scalable GNNs on precomputed propagated features.
+//!
+//! All four base models of the paper share the same skeleton (Fig. 1 (b–c)):
+//! non-parametric feature propagation `X^(l) = Â X^(l−1)` done once
+//! ([`propagation`]), followed by a trainable classifier over the
+//! propagated features. They differ only in how features from multiple
+//! depths are combined before classification:
+//!
+//! | model | combination (Eq.) | here |
+//! |-------|-------------------|------|
+//! | SGC   | `X^(k)` (Eq. 2)   | [`combine::CombineRule::Last`] |
+//! | SIGN  | `X^(0)W₀ ‖ … ‖ X^(k)W_k` (Eq. 3) | [`combine::CombineRule::Concat`] — the per-depth transforms are folded into the first classifier layer over the concatenation, an equivalent parameterisation |
+//! | S²GC  | `(1/k) Σ X^(l)` (Eq. 4) | [`combine::CombineRule::Average`] |
+//! | GAMLP | `Σ T^(l) X^(l)` (Eq. 5) | [`gamlp::GamlpHead`] — trainable node-wise attention over depths ("basic" GAMLP) |
+//!
+//! [`classifier::DepthClassifier`] wraps combination + MLP into the
+//! per-depth classifiers `f^(l)` that the NAI framework trains and deploys
+//! (one per candidate exit depth).
+
+pub mod classifier;
+pub mod combine;
+pub mod gamlp;
+pub mod propagation;
+pub mod train;
+
+pub use classifier::DepthClassifier;
+pub use combine::CombineRule;
+pub use propagation::propagate_features;
+
+/// Which Scalable GNN the pipeline reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    /// Simplified Graph Convolution (Wu et al.).
+    Sgc,
+    /// Scalable Inception Graph Networks (Frasca et al.).
+    Sign,
+    /// Simple Spectral Graph Convolution (Zhu & Koniusz).
+    S2gc,
+    /// Graph Attention MLP, basic variant (Zhang et al.).
+    Gamlp,
+}
+
+impl ModelKind {
+    /// Display name matching the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Sgc => "SGC",
+            ModelKind::Sign => "SIGN",
+            ModelKind::S2gc => "S2GC",
+            ModelKind::Gamlp => "GAMLP",
+        }
+    }
+
+    /// All four, in paper order.
+    pub fn all() -> [ModelKind; 4] {
+        [
+            ModelKind::Sgc,
+            ModelKind::Sign,
+            ModelKind::S2gc,
+            ModelKind::Gamlp,
+        ]
+    }
+}

@@ -1,0 +1,100 @@
+//! Offline feature propagation (the preprocessing of Fig. 1 (b)).
+
+use nai_graph::CsrMatrix;
+use nai_linalg::DenseMatrix;
+
+/// Computes `[X^(0), X^(1), …, X^(k)]` with `X^(l) = Â X^(l−1)` (Eq. 2).
+///
+/// This is the transductive precomputation Scalable GNNs run once before
+/// training; the returned vector has `k + 1` matrices of identical shape.
+///
+/// # Panics
+/// Panics if `x.rows() != norm_adj.n()`.
+pub fn propagate_features(norm_adj: &CsrMatrix, x: &DenseMatrix, k: usize) -> Vec<DenseMatrix> {
+    assert_eq!(x.rows(), norm_adj.n(), "feature rows must match graph");
+    let mut out = Vec::with_capacity(k + 1);
+    out.push(x.clone());
+    for _ in 0..k {
+        let next = norm_adj.spmm(out.last().expect("non-empty"));
+        out.push(next);
+    }
+    out
+}
+
+/// Multiply-accumulate cost of the full precomputation: `k · nnz(Â) · f`.
+pub fn propagation_macs(norm_adj: &CsrMatrix, f: usize, k: usize) -> u64 {
+    k as u64 * norm_adj.nnz() as u64 * f as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nai_graph::generators::path_graph;
+    use nai_graph::{normalized_adjacency, Convolution};
+
+    #[test]
+    fn returns_k_plus_one_levels() {
+        let g = path_graph(5, 3);
+        let norm = normalized_adjacency(&g.adj, Convolution::Symmetric);
+        let feats = propagate_features(&norm, &g.features, 4);
+        assert_eq!(feats.len(), 5);
+        assert_eq!(feats[0].as_slice(), g.features.as_slice());
+        for f in &feats {
+            assert_eq!(f.shape(), g.features.shape());
+        }
+    }
+
+    #[test]
+    fn depth_one_equals_single_spmm() {
+        let g = path_graph(6, 2);
+        let norm = normalized_adjacency(&g.adj, Convolution::Symmetric);
+        let feats = propagate_features(&norm, &g.features, 1);
+        let direct = norm.spmm(&g.features);
+        assert_eq!(feats[1].as_slice(), direct.as_slice());
+    }
+
+    #[test]
+    fn row_stochastic_propagation_preserves_constants() {
+        let g = path_graph(7, 1);
+        let norm = normalized_adjacency(&g.adj, Convolution::ReverseTransition);
+        let ones = DenseMatrix::from_fn(7, 1, |_, _| 1.0);
+        let feats = propagate_features(&norm, &ones, 5);
+        for f in &feats {
+            assert!(f.as_slice().iter().all(|&v| (v - 1.0).abs() < 1e-5));
+        }
+    }
+
+    #[test]
+    fn propagation_smooths_features() {
+        // Variance across nodes must not increase under row-stochastic
+        // propagation on a connected graph.
+        let g = path_graph(20, 1);
+        let norm = normalized_adjacency(&g.adj, Convolution::ReverseTransition);
+        let x = DenseMatrix::from_fn(20, 1, |r, _| if r % 2 == 0 { 1.0 } else { -1.0 });
+        let feats = propagate_features(&norm, &x, 6);
+        let variance = |m: &DenseMatrix| {
+            let mean = m.as_slice().iter().sum::<f32>() / m.rows() as f32;
+            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.rows() as f32
+        };
+        let v0 = variance(&feats[0]);
+        let v6 = variance(&feats[6]);
+        assert!(v6 < v0 * 0.5, "variance {v0} -> {v6}");
+    }
+
+    #[test]
+    fn macs_formula() {
+        let g = path_graph(5, 3);
+        let norm = normalized_adjacency(&g.adj, Convolution::Symmetric);
+        // nnz = 2·4 edges + 5 self loops = 13.
+        assert_eq!(propagation_macs(&norm, 3, 2), 2 * 13 * 3);
+    }
+
+    #[test]
+    fn k_zero_is_identity() {
+        let g = path_graph(4, 2);
+        let norm = normalized_adjacency(&g.adj, Convolution::Symmetric);
+        let feats = propagate_features(&norm, &g.features, 0);
+        assert_eq!(feats.len(), 1);
+        assert_eq!(feats[0].as_slice(), g.features.as_slice());
+    }
+}

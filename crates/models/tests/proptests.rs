@@ -1,0 +1,100 @@
+//! Property-based tests for propagation and multi-depth combination.
+
+use nai_graph::csr::CsrMatrix;
+use nai_graph::normalize::{normalized_adjacency, Convolution};
+use nai_linalg::DenseMatrix;
+use nai_models::{propagate_features, CombineRule};
+use proptest::prelude::*;
+
+fn graph_and_features() -> impl Strategy<Value = (CsrMatrix, DenseMatrix)> {
+    (4usize..25).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 1..n * 2);
+        let feats = proptest::collection::vec(-4.0f32..4.0, n * 3);
+        (Just(n), edges, feats).prop_map(|(n, e, f)| {
+            (
+                CsrMatrix::undirected_adjacency(n, &e).unwrap(),
+                DenseMatrix::from_vec(n, 3, f),
+            )
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Propagation is linear: P(aX + bY) = aP(X) + bP(Y) at every depth.
+    #[test]
+    fn propagation_is_linear((adj, x) in graph_and_features(), a in -2.0f32..2.0) {
+        let norm = normalized_adjacency(&adj, Convolution::Symmetric);
+        let mut ax = x.clone();
+        ax.scale(a);
+        let p_x = propagate_features(&norm, &x, 3);
+        let p_ax = propagate_features(&norm, &ax, 3);
+        for (px, pax) in p_x.iter().zip(p_ax.iter()) {
+            let mut scaled = px.clone();
+            scaled.scale(a);
+            for (s, g) in scaled.as_slice().iter().zip(pax.as_slice()) {
+                prop_assert!((s - g).abs() < 1e-3 * (1.0 + s.abs()));
+            }
+        }
+    }
+
+    /// Depth-l features computed in one shot equal incremental computation.
+    #[test]
+    fn propagation_composes((adj, x) in graph_and_features()) {
+        let norm = normalized_adjacency(&adj, Convolution::Symmetric);
+        let all = propagate_features(&norm, &x, 4);
+        // Propagate the depth-2 output two more times.
+        let tail = propagate_features(&norm, &all[2], 2);
+        for (a, b) in all[4].as_slice().iter().zip(tail[2].as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()));
+        }
+    }
+
+    /// Row-stochastic propagation preserves per-row value bounds
+    /// (each output value is a convex combination of inputs).
+    #[test]
+    fn row_stochastic_propagation_is_bounded((adj, x) in graph_and_features()) {
+        let norm = normalized_adjacency(&adj, Convolution::ReverseTransition);
+        let (lo, hi) = x.as_slice().iter().fold(
+            (f32::INFINITY, f32::NEG_INFINITY),
+            |(l, h), &v| (l.min(v), h.max(v)),
+        );
+        let out = propagate_features(&norm, &x, 5);
+        for level in &out {
+            for &v in level.as_slice() {
+                prop_assert!(v >= lo - 1e-4 && v <= hi + 1e-4, "{v} outside [{lo},{hi}]");
+            }
+        }
+    }
+
+    /// Average combine equals the mean of Last combines.
+    #[test]
+    fn average_combine_is_mean_of_levels((adj, x) in graph_and_features()) {
+        let norm = normalized_adjacency(&adj, Convolution::Symmetric);
+        let levels = propagate_features(&norm, &x, 3);
+        let avg = CombineRule::Average.combine(&levels, 3);
+        let mut manual = DenseMatrix::zeros(x.rows(), x.cols());
+        for l in 0..=3 {
+            manual.add_assign(&CombineRule::Last.combine(&levels, l)).unwrap();
+        }
+        manual.scale(0.25);
+        for (a, b) in avg.as_slice().iter().zip(manual.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// Concat combine contains every level verbatim, in order.
+    #[test]
+    fn concat_combine_preserves_levels((adj, x) in graph_and_features()) {
+        let norm = normalized_adjacency(&adj, Convolution::Symmetric);
+        let levels = propagate_features(&norm, &x, 2);
+        let cat = CombineRule::Concat.combine(&levels, 2);
+        let f = x.cols();
+        for r in 0..x.rows() {
+            for (l, level) in levels.iter().enumerate() {
+                prop_assert_eq!(&cat.row(r)[l * f..(l + 1) * f], level.row(r));
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Adam optimizer (Kingma & Ba), the optimizer used for every trainable
+//! component in the paper's experiments.
+
+/// Adam hyper-parameters. `weight_decay` is decoupled (AdamW-style): it is
+/// applied directly to the parameter, not folded into the moment estimates.
+#[derive(Debug, Clone, Copy)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+    /// Decoupled weight decay coefficient.
+    pub weight_decay: f32,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Self {
+            lr: 1e-3,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+        }
+    }
+}
+
+impl Adam {
+    /// Convenience constructor with the two knobs the paper tunes.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        Self {
+            lr,
+            weight_decay,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-tensor optimizer state (first/second moments + step counter).
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl AdamState {
+    /// State for a tensor with `len` elements.
+    pub fn new(len: usize) -> Self {
+        Self {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+            t: 0,
+        }
+    }
+
+    /// Applies one Adam update: `param -= lr * m̂ / (sqrt(v̂) + eps)`.
+    ///
+    /// # Panics
+    /// Panics (debug) if tensor lengths disagree with the state.
+    pub fn update(&mut self, opt: &Adam, param: &mut [f32], grad: &[f32]) {
+        debug_assert_eq!(param.len(), self.m.len());
+        debug_assert_eq!(grad.len(), self.m.len());
+        self.t += 1;
+        let b1t = 1.0 - opt.beta1.powi(self.t as i32);
+        let b2t = 1.0 - opt.beta2.powi(self.t as i32);
+        for i in 0..param.len() {
+            let g = grad[i];
+            self.m[i] = opt.beta1 * self.m[i] + (1.0 - opt.beta1) * g;
+            self.v[i] = opt.beta2 * self.v[i] + (1.0 - opt.beta2) * g * g;
+            let m_hat = self.m[i] / b1t;
+            let v_hat = self.v[i] / b2t;
+            let mut p = param[i];
+            if opt.weight_decay > 0.0 {
+                p -= opt.lr * opt.weight_decay * p;
+            }
+            param[i] = p - opt.lr * m_hat / (v_hat.sqrt() + opt.eps);
+        }
+    }
+
+    /// Resets moments and step count (used when a snapshot is restored).
+    pub fn reset(&mut self) {
+        self.m.fill(0.0);
+        self.v.fill(0.0);
+        self.t = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adam_minimizes_quadratic() {
+        // f(x) = ||x - target||², gradient 2(x - target).
+        let target = [3.0f32, -2.0, 0.5];
+        let mut x = [0.0f32; 3];
+        let opt = Adam::new(0.05, 0.0);
+        let mut state = AdamState::new(3);
+        for _ in 0..800 {
+            let grad: Vec<f32> = x.iter().zip(target.iter()).map(|(a, t)| 2.0 * (a - t)).collect();
+            state.update(&opt, &mut x, &grad);
+        }
+        for (a, t) in x.iter().zip(target.iter()) {
+            assert!((a - t).abs() < 1e-2, "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_without_gradient() {
+        let mut x = [10.0f32];
+        let opt = Adam {
+            lr: 0.1,
+            weight_decay: 0.1,
+            ..Adam::default()
+        };
+        let mut state = AdamState::new(1);
+        for _ in 0..50 {
+            state.update(&opt, &mut x, &[0.0]);
+        }
+        assert!(x[0] < 10.0 * 0.99f32.powi(10));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut state = AdamState::new(2);
+        let opt = Adam::default();
+        let mut x = [1.0f32, 1.0];
+        state.update(&opt, &mut x, &[1.0, 1.0]);
+        assert_eq!(state.t, 1);
+        state.reset();
+        assert_eq!(state.t, 0);
+        assert!(state.m.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn first_step_moves_by_approximately_lr() {
+        // With bias correction, |Δx| of the first step ≈ lr regardless of
+        // gradient magnitude.
+        let mut x = [0.0f32];
+        let opt = Adam::new(0.01, 0.0);
+        let mut state = AdamState::new(1);
+        state.update(&opt, &mut x, &[123.0]);
+        assert!((x[0] + 0.01).abs() < 1e-4, "x = {}", x[0]);
+    }
+}

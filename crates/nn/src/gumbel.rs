@@ -1,0 +1,99 @@
+//! Gumbel-softmax sampling (Jang et al.), used by the NAP gates (Eq. 11).
+//!
+//! During gate training the discrete "exit vs continue" decision is relaxed
+//! to a differentiable sample `GS(e)`; at inference the decision is the
+//! hard argmax. The straight-through estimator keeps the forward pass
+//! discrete while gradients flow through the soft sample.
+
+use nai_linalg::ops::softmax_slice;
+use rand::Rng;
+
+/// One standard Gumbel(0, 1) sample.
+pub fn sample_gumbel<R: Rng>(rng: &mut R) -> f32 {
+    let mut u: f32 = rng.gen();
+    while u <= f32::MIN_POSITIVE {
+        u = rng.gen();
+    }
+    -(-u.ln()).ln()
+}
+
+/// In-place Gumbel-softmax: perturbs `logits` with Gumbel noise, applies a
+/// tempered softmax and leaves the *soft* sample in the slice.
+///
+/// # Panics
+/// Panics (debug) if `tau <= 0`.
+pub fn gumbel_softmax<R: Rng>(logits: &mut [f32], tau: f32, rng: &mut R) {
+    debug_assert!(tau > 0.0, "gumbel-softmax temperature must be positive");
+    for v in logits.iter_mut() {
+        *v = (*v + sample_gumbel(rng)) / tau;
+    }
+    softmax_slice(logits);
+}
+
+/// Straight-through hard sample: returns the one-hot argmax of the soft
+/// sample (forward value); callers back-propagate through the soft values.
+pub fn hard_one_hot(soft: &[f32]) -> Vec<f32> {
+    let k = nai_linalg::ops::argmax(soft);
+    let mut out = vec![0.0; soft.len()];
+    out[k] = 1.0;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gumbel_mean_is_euler_mascheroni() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mean: f32 = (0..n).map(|_| sample_gumbel(&mut rng)).sum::<f32>() / n as f32;
+        assert!((mean - 0.5772).abs() < 0.03, "mean {mean}");
+    }
+
+    #[test]
+    fn soft_sample_is_distribution() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut logits = vec![1.0f32, 0.0, -1.0];
+        gumbel_softmax(&mut logits, 0.5, &mut rng);
+        let s: f32 = logits.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(logits.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn low_temperature_approaches_one_hot() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut logits = vec![5.0f32, 0.0];
+        gumbel_softmax(&mut logits, 0.05, &mut rng);
+        assert!(logits.iter().any(|&v| v > 0.99));
+    }
+
+    #[test]
+    fn sampling_frequencies_track_logits() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = [0usize; 2];
+        for _ in 0..2000 {
+            let mut logits = vec![1.5f32, 0.0];
+            gumbel_softmax(&mut logits, 1.0, &mut rng);
+            let hard = hard_one_hot(&logits);
+            if hard[0] == 1.0 {
+                counts[0] += 1;
+            } else {
+                counts[1] += 1;
+            }
+        }
+        // P(argmax = 0) should be softmax(1.5, 0) ≈ 0.82.
+        let p0 = counts[0] as f32 / 2000.0;
+        assert!((p0 - 0.82).abs() < 0.05, "p0 = {p0}");
+    }
+
+    #[test]
+    fn hard_one_hot_is_one_hot() {
+        let h = hard_one_hot(&[0.1, 0.7, 0.2]);
+        assert_eq!(h, vec![0.0, 1.0, 0.0]);
+        assert_eq!(h.iter().sum::<f32>(), 1.0);
+    }
+}

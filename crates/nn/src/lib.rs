@@ -1,0 +1,33 @@
+//! Explicit-backprop neural-network substrate.
+//!
+//! No autograd framework is available offline, and none is needed: every
+//! trainable component in the NAI pipeline (per-depth classifiers `f^(l)`,
+//! propagation gates `g^(l)`, distillation ensembles, baseline models) is a
+//! shallow network whose gradients have simple closed forms. This crate
+//! provides those pieces:
+//!
+//! * [`linear::Linear`] — dense layer with cached forward and accumulated
+//!   gradients, each layer carrying its own Adam moments;
+//! * [`mlp::Mlp`] — ReLU/dropout stacks used for every classifier;
+//! * [`loss`] — softmax cross-entropy, soft-target cross-entropy, and the
+//!   temperature-scaled distillation loss of Eq. (14)–(15);
+//! * [`adam::Adam`] — the optimizer used throughout the paper;
+//! * [`gumbel`] — Gumbel-softmax sampling for the NAP gates (Eq. 11);
+//! * [`quant`] — symmetric INT8 post-training quantization, the
+//!   "Quantization" baseline;
+//! * [`attention`] — single-hop neighbor attention for the TinyGNN
+//!   baseline's peer-aware module;
+//! * [`trainer`] — a small supervised training loop with early stopping.
+
+pub mod adam;
+pub mod attention;
+pub mod gumbel;
+pub mod linear;
+pub mod loss;
+pub mod mlp;
+pub mod quant;
+pub mod trainer;
+
+pub use adam::Adam;
+pub use linear::Linear;
+pub use mlp::{Mlp, MlpConfig};

@@ -1,0 +1,255 @@
+//! Dense linear layer with cached forward pass and accumulated gradients.
+
+use crate::adam::{Adam, AdamState};
+use nai_linalg::init::glorot_uniform;
+use nai_linalg::DenseMatrix;
+use rand::Rng;
+
+/// `y = x W + b`, with `W : in_dim × out_dim` and row-vector bias.
+///
+/// The layer owns its gradients and Adam moments; a training step is
+/// `zero_grads → forward → backward → apply_grads`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight matrix, `in_dim × out_dim`.
+    pub w: DenseMatrix,
+    /// Bias vector, `out_dim`.
+    pub b: Vec<f32>,
+    gw: DenseMatrix,
+    gb: Vec<f32>,
+    w_state: AdamState,
+    b_state: AdamState,
+    input_cache: Option<DenseMatrix>,
+}
+
+impl Linear {
+    /// Glorot-initialised layer.
+    pub fn new<R: Rng>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Self {
+            w: glorot_uniform(in_dim, out_dim, rng),
+            b: vec![0.0; out_dim],
+            gw: DenseMatrix::zeros(in_dim, out_dim),
+            gb: vec![0.0; out_dim],
+            w_state: AdamState::new(in_dim * out_dim),
+            b_state: AdamState::new(out_dim),
+            input_cache: None,
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass. When `train` is set, the input is cached for
+    /// [`Self::backward`].
+    pub fn forward(&mut self, x: &DenseMatrix, train: bool) -> DenseMatrix {
+        let mut y = x.matmul(&self.w).expect("linear shape mismatch");
+        y.add_bias_row(&self.b);
+        if train {
+            self.input_cache = Some(x.clone());
+        }
+        y
+    }
+
+    /// Inference-only forward (no caching, usable through `&self`).
+    pub fn forward_infer(&self, x: &DenseMatrix) -> DenseMatrix {
+        let mut y = x.matmul(&self.w).expect("linear shape mismatch");
+        y.add_bias_row(&self.b);
+        y
+    }
+
+    /// Backward pass: accumulates `dW += xᵀ dy`, `db += Σ dy`, returns
+    /// `dx = dy Wᵀ`.
+    ///
+    /// # Panics
+    /// Panics if called without a cached training forward.
+    pub fn backward(&mut self, dy: &DenseMatrix) -> DenseMatrix {
+        let x = self
+            .input_cache
+            .as_ref()
+            .expect("backward called without training forward");
+        let gw = x.transpose_matmul(dy).expect("grad shape");
+        self.gw.add_assign(&gw).expect("grad accumulation shape");
+        for row in dy.as_slice().chunks(dy.cols()) {
+            for (g, &d) in self.gb.iter_mut().zip(row.iter()) {
+                *g += d;
+            }
+        }
+        dy.matmul_transpose_rhs(&self.w).expect("input grad shape")
+    }
+
+    /// Zeroes accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        self.gw.as_mut_slice().fill(0.0);
+        self.gb.fill(0.0);
+    }
+
+    /// Applies accumulated gradients with Adam and drops the forward cache.
+    pub fn apply_grads(&mut self, opt: &Adam) {
+        self.w_state
+            .update(opt, self.w.as_mut_slice(), self.gw.as_slice());
+        self.b_state.update(opt, &mut self.b, &self.gb);
+        self.input_cache = None;
+    }
+
+    /// Direct access to the accumulated weight gradient (tests, custom
+    /// heads).
+    pub fn grad_w(&self) -> &DenseMatrix {
+        &self.gw
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+
+    /// Multiply-accumulates needed per input row at inference.
+    pub fn macs_per_row(&self) -> u64 {
+        (self.w.rows() * self.w.cols()) as u64
+    }
+
+    /// Copies of the parameters (early-stopping snapshots).
+    pub fn snapshot(&self) -> (Vec<f32>, Vec<f32>) {
+        (self.w.as_slice().to_vec(), self.b.clone())
+    }
+
+    /// Restores parameters from a snapshot and resets optimizer state.
+    ///
+    /// # Panics
+    /// Panics if lengths disagree with the layer shape.
+    pub fn restore(&mut self, snap: &(Vec<f32>, Vec<f32>)) {
+        assert_eq!(snap.0.len(), self.w.as_slice().len());
+        assert_eq!(snap.1.len(), self.b.len());
+        self.w.as_mut_slice().copy_from_slice(&snap.0);
+        self.b.copy_from_slice(&snap.1);
+        self.w_state.reset();
+        self.b_state.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn forward_shapes_and_bias() {
+        let mut l = Linear::new(3, 2, &mut rng());
+        l.b = vec![1.0, -1.0];
+        let x = DenseMatrix::zeros(4, 3);
+        let y = l.forward(&x, false);
+        assert_eq!(y.shape(), (4, 2));
+        for r in 0..4 {
+            assert_eq!(y.row(r), &[1.0, -1.0]);
+        }
+    }
+
+    #[test]
+    fn backward_matches_finite_differences() {
+        let mut l = Linear::new(3, 2, &mut rng());
+        let x = DenseMatrix::from_fn(2, 3, |r, c| (r as f32 + 1.0) * 0.3 - c as f32 * 0.2);
+        // Loss = sum(y²)/2 so dy = y.
+        let y = l.forward(&x, true);
+        let dx = l.backward(&y);
+
+        let eps = 1e-3f32;
+        // Check dW numerically for a few entries.
+        for &(i, j) in &[(0usize, 0usize), (1, 1), (2, 0)] {
+            let orig = l.w.get(i, j);
+            l.w.set(i, j, orig + eps);
+            let yp = l.forward_infer(&x);
+            let lp: f32 = yp.as_slice().iter().map(|v| v * v / 2.0).sum();
+            l.w.set(i, j, orig - eps);
+            let ym = l.forward_infer(&x);
+            let lm: f32 = ym.as_slice().iter().map(|v| v * v / 2.0).sum();
+            l.w.set(i, j, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let analytic = l.grad_w().get(i, j);
+            assert!(
+                (numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()),
+                "dW[{i},{j}]: numeric {numeric} vs analytic {analytic}"
+            );
+        }
+        // Check dx numerically for one entry.
+        let probe = (1usize, 2usize);
+        let base = |l: &Linear, x: &DenseMatrix| -> f32 {
+            let y = l.forward_infer(x);
+            y.as_slice().iter().map(|v| v * v / 2.0).sum()
+        };
+        let mut xp = x.clone();
+        xp.set(probe.0, probe.1, x.get(probe.0, probe.1) + eps);
+        let mut xm = x.clone();
+        xm.set(probe.0, probe.1, x.get(probe.0, probe.1) - eps);
+        let numeric = (base(&l, &xp) - base(&l, &xm)) / (2.0 * eps);
+        let analytic = dx.get(probe.0, probe.1);
+        assert!(
+            (numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()),
+            "dx: numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn training_step_reduces_regression_loss() {
+        let mut rng = rng();
+        let mut l = Linear::new(4, 1, &mut rng);
+        let x = DenseMatrix::from_fn(16, 4, |r, c| ((r * 4 + c) as f32 * 0.7).sin());
+        let target = DenseMatrix::from_fn(16, 1, |r, _| x.row(r).iter().sum::<f32>() * 0.5);
+        let opt = Adam::new(0.05, 0.0);
+        let mut last = f32::INFINITY;
+        for epoch in 0..200 {
+            l.zero_grads();
+            let y = l.forward(&x, true);
+            let mut dy = y.clone();
+            dy.axpy(-1.0, &target).unwrap();
+            let loss: f32 = dy.as_slice().iter().map(|v| v * v / 2.0).sum();
+            l.backward(&dy);
+            l.apply_grads(&opt);
+            if epoch % 50 == 0 {
+                assert!(loss <= last + 1e-3, "loss rose: {last} -> {loss}");
+                last = loss;
+            }
+        }
+        assert!(last < 0.1, "final loss {last}");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut l = Linear::new(3, 3, &mut rng());
+        let snap = l.snapshot();
+        let opt = Adam::new(0.1, 0.0);
+        let x = DenseMatrix::from_fn(2, 3, |_, _| 1.0);
+        l.zero_grads();
+        let y = l.forward(&x, true);
+        l.backward(&y);
+        l.apply_grads(&opt);
+        assert_ne!(l.w.as_slice(), snap.0.as_slice());
+        l.restore(&snap);
+        assert_eq!(l.w.as_slice(), snap.0.as_slice());
+    }
+
+    #[test]
+    fn macs_and_params_counts() {
+        let l = Linear::new(10, 5, &mut rng());
+        assert_eq!(l.macs_per_row(), 50);
+        assert_eq!(l.num_params(), 55);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called without training forward")]
+    fn backward_without_forward_panics() {
+        let mut l = Linear::new(2, 2, &mut rng());
+        let dy = DenseMatrix::zeros(1, 2);
+        let _ = l.backward(&dy);
+    }
+}

@@ -1,0 +1,232 @@
+//! Loss functions: hard-label cross-entropy, soft-target cross-entropy and
+//! the temperature-scaled knowledge-distillation loss of Eq. (14)–(15).
+//!
+//! Every function returns `(mean loss, dlogits)` with the gradient already
+//! divided by the batch size, so callers can scale by loss weights (the
+//! paper's λ and T² factors) and feed straight into `Mlp::backward`.
+
+use nai_linalg::ops::{log_softmax_slice, softmax_slice};
+use nai_linalg::DenseMatrix;
+
+/// Hard-label softmax cross-entropy over all rows.
+///
+/// Returns the mean loss and `d loss / d logits`.
+///
+/// # Panics
+/// Panics if `labels.len() != logits.rows()` or a label is out of range.
+pub fn softmax_cross_entropy(logits: &DenseMatrix, labels: &[u32]) -> (f32, DenseMatrix) {
+    assert_eq!(labels.len(), logits.rows(), "one label per row");
+    let n = logits.rows().max(1) as f32;
+    let c = logits.cols();
+    let mut grad = logits.clone();
+    let mut loss = 0.0f32;
+    for (r, row) in grad.as_mut_slice().chunks_mut(c).enumerate() {
+        let y = labels[r] as usize;
+        assert!(y < c, "label {y} out of range ({c} classes)");
+        let mut logp = row.to_vec();
+        log_softmax_slice(&mut logp);
+        loss -= logp[y];
+        // grad = (softmax - onehot) / n
+        softmax_slice(row);
+        row[y] -= 1.0;
+        for v in row.iter_mut() {
+            *v /= n;
+        }
+    }
+    (loss / n, grad)
+}
+
+/// Cross-entropy against soft targets (rows of `targets` are probability
+/// distributions). Returns mean loss and gradient w.r.t. logits.
+///
+/// # Panics
+/// Panics if shapes differ.
+pub fn soft_cross_entropy(logits: &DenseMatrix, targets: &DenseMatrix) -> (f32, DenseMatrix) {
+    assert_eq!(logits.shape(), targets.shape(), "soft CE shape mismatch");
+    let n = logits.rows().max(1) as f32;
+    let c = logits.cols();
+    let mut grad = logits.clone();
+    let mut loss = 0.0f32;
+    for (r, row) in grad.as_mut_slice().chunks_mut(c).enumerate() {
+        let t = targets.row(r);
+        let mut logp = row.to_vec();
+        log_softmax_slice(&mut logp);
+        for (lp, &tv) in logp.iter().zip(t.iter()) {
+            loss -= tv * lp;
+        }
+        softmax_slice(row);
+        for (g, &tv) in row.iter_mut().zip(t.iter()) {
+            *g = (*g - tv) / n;
+        }
+    }
+    (loss / n, grad)
+}
+
+/// Knowledge-distillation loss (Hinton et al., Eq. 14–15 of the paper):
+/// `CE(softmax(z_s / T), softmax(z_t / T))`.
+///
+/// The returned gradient is w.r.t. the *student* logits and includes the
+/// `1/T` chain factor; the conventional `T²` loss rescaling (Eq. 17) is
+/// left to the caller as part of the loss weight.
+///
+/// # Panics
+/// Panics if shapes differ or `temperature <= 0`.
+pub fn distillation_loss(
+    student_logits: &DenseMatrix,
+    teacher_logits: &DenseMatrix,
+    temperature: f32,
+) -> (f32, DenseMatrix) {
+    assert!(temperature > 0.0, "temperature must be positive");
+    assert_eq!(
+        student_logits.shape(),
+        teacher_logits.shape(),
+        "distillation shape mismatch"
+    );
+    let n = student_logits.rows().max(1) as f32;
+    let c = student_logits.cols();
+    let inv_t = 1.0 / temperature;
+    let mut grad = DenseMatrix::zeros(student_logits.rows(), c);
+    let mut loss = 0.0f32;
+    let mut ps = vec![0.0f32; c];
+    let mut pt = vec![0.0f32; c];
+    for r in 0..student_logits.rows() {
+        for (dst, &src) in ps.iter_mut().zip(student_logits.row(r)) {
+            *dst = src * inv_t;
+        }
+        log_softmax_slice(&mut ps);
+        for (dst, &src) in pt.iter_mut().zip(teacher_logits.row(r)) {
+            *dst = src * inv_t;
+        }
+        softmax_slice(&mut pt);
+        for (lp, &t) in ps.iter().zip(pt.iter()) {
+            loss -= t * lp;
+        }
+        let grow = grad.row_mut(r);
+        for ((g, lp), &t) in grow.iter_mut().zip(ps.iter()).zip(pt.iter()) {
+            // d/dz_s [CE(softmax(z_s/T), p_t)] = (softmax(z_s/T) − p_t) / T
+            *g = (lp.exp() - t) * inv_t / n;
+        }
+    }
+    (loss / n, grad)
+}
+
+/// Row-wise soft predictions `softmax(logits / T)` — the `p̃` of Eq. (14).
+pub fn soften(logits: &DenseMatrix, temperature: f32) -> DenseMatrix {
+    assert!(temperature > 0.0, "temperature must be positive");
+    let mut out = logits.clone();
+    let c = out.cols();
+    for row in out.as_mut_slice().chunks_mut(c) {
+        for v in row.iter_mut() {
+            *v /= temperature;
+        }
+        softmax_slice(row);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hard_ce_is_minimized_by_correct_confident_logits() {
+        let good = DenseMatrix::from_vec(1, 3, vec![10.0, -5.0, -5.0]);
+        let bad = DenseMatrix::from_vec(1, 3, vec![-5.0, 10.0, -5.0]);
+        let (lg, _) = softmax_cross_entropy(&good, &[0]);
+        let (lb, _) = softmax_cross_entropy(&bad, &[0]);
+        assert!(lg < 0.01);
+        assert!(lb > 5.0);
+    }
+
+    #[test]
+    fn hard_ce_gradient_sums_to_zero_per_row() {
+        let logits = DenseMatrix::from_vec(2, 3, vec![0.1, 0.5, -0.3, 1.0, 1.0, 1.0]);
+        let (_, g) = softmax_cross_entropy(&logits, &[2, 0]);
+        for r in 0..2 {
+            let s: f32 = g.row(r).iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn hard_ce_gradient_matches_finite_difference() {
+        let logits = DenseMatrix::from_vec(1, 3, vec![0.2, -0.4, 0.9]);
+        let labels = [1u32];
+        let (_, g) = softmax_cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut lp = logits.clone();
+            lp.set(0, j, logits.get(0, j) + eps);
+            let mut lm = logits.clone();
+            lm.set(0, j, logits.get(0, j) - eps);
+            let (fp, _) = softmax_cross_entropy(&lp, &labels);
+            let (fm, _) = softmax_cross_entropy(&lm, &labels);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - g.get(0, j)).abs() < 1e-3,
+                "j={j}: {numeric} vs {}",
+                g.get(0, j)
+            );
+        }
+    }
+
+    #[test]
+    fn soft_ce_with_onehot_matches_hard_ce() {
+        let logits = DenseMatrix::from_vec(2, 3, vec![0.3, -0.2, 0.8, 1.2, 0.0, -1.0]);
+        let onehot = DenseMatrix::from_vec(2, 3, vec![0.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+        let (lh, gh) = softmax_cross_entropy(&logits, &[2, 0]);
+        let (ls, gs) = soft_cross_entropy(&logits, &onehot);
+        assert!((lh - ls).abs() < 1e-5);
+        for (a, b) in gh.as_slice().iter().zip(gs.as_slice()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn distillation_zero_when_student_equals_teacher() {
+        let z = DenseMatrix::from_vec(2, 3, vec![0.5, -0.5, 0.1, 2.0, 1.0, 0.0]);
+        let (_, g) = distillation_loss(&z, &z, 2.0);
+        // Gradient vanishes when distributions coincide (loss is at entropy
+        // floor, not zero).
+        assert!(g.as_slice().iter().all(|v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn distillation_gradient_matches_finite_difference() {
+        let zs = DenseMatrix::from_vec(1, 3, vec![0.2, 0.7, -0.1]);
+        let zt = DenseMatrix::from_vec(1, 3, vec![1.0, -1.0, 0.3]);
+        let t = 1.7;
+        let (_, g) = distillation_loss(&zs, &zt, t);
+        let eps = 1e-3;
+        for j in 0..3 {
+            let mut p = zs.clone();
+            p.set(0, j, zs.get(0, j) + eps);
+            let mut m = zs.clone();
+            m.set(0, j, zs.get(0, j) - eps);
+            let (fp, _) = distillation_loss(&p, &zt, t);
+            let (fm, _) = distillation_loss(&m, &zt, t);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (numeric - g.get(0, j)).abs() < 1e-3,
+                "j={j}: {numeric} vs {}",
+                g.get(0, j)
+            );
+        }
+    }
+
+    #[test]
+    fn higher_temperature_softens_targets() {
+        let z = DenseMatrix::from_vec(1, 2, vec![2.0, 0.0]);
+        let sharp = soften(&z, 1.0);
+        let soft = soften(&z, 5.0);
+        assert!(sharp.get(0, 0) > soft.get(0, 0));
+        assert!((soft.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one label per row")]
+    fn label_count_mismatch_panics() {
+        let logits = DenseMatrix::zeros(2, 2);
+        let _ = softmax_cross_entropy(&logits, &[0]);
+    }
+}

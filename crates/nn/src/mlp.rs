@@ -1,0 +1,338 @@
+//! Multi-layer perceptron with ReLU activations and inverted dropout.
+//!
+//! Every classifier in the reproduction — the per-depth classifiers
+//! `f^(l)`, the GLNN/NOSMOG students, TinyGNN's head — is an [`Mlp`].
+
+use crate::adam::Adam;
+use crate::linear::Linear;
+use nai_linalg::DenseMatrix;
+use rand::Rng;
+
+/// Architecture + regularisation of an MLP.
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Input dimensionality.
+    pub in_dim: usize,
+    /// Hidden layer widths (empty = linear model, as in SGC's head).
+    pub hidden: Vec<usize>,
+    /// Output dimensionality (number of classes).
+    pub out_dim: usize,
+    /// Inverted-dropout probability applied after each hidden activation.
+    pub dropout: f32,
+}
+
+impl MlpConfig {
+    /// Linear softmax classifier (no hidden layers).
+    pub fn linear(in_dim: usize, out_dim: usize) -> Self {
+        Self {
+            in_dim,
+            hidden: vec![],
+            out_dim,
+            dropout: 0.0,
+        }
+    }
+
+    /// Single-hidden-layer classifier.
+    pub fn one_hidden(in_dim: usize, hidden: usize, out_dim: usize, dropout: f32) -> Self {
+        Self {
+            in_dim,
+            hidden: vec![hidden],
+            out_dim,
+            dropout,
+        }
+    }
+}
+
+/// ReLU + dropout MLP with explicit backprop.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    dropout: f32,
+    // Caches from the last training forward.
+    relu_inputs: Vec<DenseMatrix>,
+    dropout_masks: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Builds the MLP described by `cfg`.
+    pub fn new<R: Rng>(cfg: &MlpConfig, rng: &mut R) -> Self {
+        let mut dims = vec![cfg.in_dim];
+        dims.extend_from_slice(&cfg.hidden);
+        dims.push(cfg.out_dim);
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
+        Self {
+            layers,
+            dropout: cfg.dropout,
+            relu_inputs: Vec::new(),
+            dropout_masks: Vec::new(),
+        }
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Layer access (custom heads need the raw layers).
+    pub fn layers(&self) -> &[Linear] {
+        &self.layers
+    }
+
+    /// Training forward: caches pre-activations and dropout masks.
+    pub fn forward_train<R: Rng>(&mut self, x: &DenseMatrix, rng: &mut R) -> DenseMatrix {
+        self.relu_inputs.clear();
+        self.dropout_masks.clear();
+        let n_layers = self.layers.len();
+        let mut h = x.clone();
+        for li in 0..n_layers {
+            h = self.layers[li].forward(&h, true);
+            if li + 1 < n_layers {
+                // Cache pre-activation, apply ReLU.
+                self.relu_inputs.push(h.clone());
+                for v in h.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                // Inverted dropout.
+                let mut mask = vec![1.0f32; h.as_slice().len()];
+                if self.dropout > 0.0 {
+                    let keep = 1.0 - self.dropout;
+                    let scale = 1.0 / keep;
+                    for m in mask.iter_mut() {
+                        *m = if rng.gen::<f32>() < keep { scale } else { 0.0 };
+                    }
+                    for (v, &m) in h.as_mut_slice().iter_mut().zip(mask.iter()) {
+                        *v *= m;
+                    }
+                }
+                self.dropout_masks.push(mask);
+            }
+        }
+        h
+    }
+
+    /// Inference forward (no dropout, no caching).
+    pub fn forward(&self, x: &DenseMatrix) -> DenseMatrix {
+        let n_layers = self.layers.len();
+        let mut h = x.clone();
+        for (li, layer) in self.layers.iter().enumerate() {
+            h = layer.forward_infer(&h);
+            if li + 1 < n_layers {
+                for v in h.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        h
+    }
+
+    /// Backward from output gradient, accumulating into every layer.
+    /// Returns the input gradient (needed by custom heads like GAMLP).
+    pub fn backward(&mut self, dlogits: &DenseMatrix) -> DenseMatrix {
+        let n_layers = self.layers.len();
+        let mut g = dlogits.clone();
+        for li in (0..n_layers).rev() {
+            if li + 1 < n_layers {
+                // Undo dropout then ReLU.
+                let mask = &self.dropout_masks[li];
+                for (v, &m) in g.as_mut_slice().iter_mut().zip(mask.iter()) {
+                    *v *= m;
+                }
+                let pre = &self.relu_inputs[li];
+                for (v, &p) in g.as_mut_slice().iter_mut().zip(pre.as_slice().iter()) {
+                    if p <= 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+            g = self.layers[li].backward(&g);
+        }
+        g
+    }
+
+    /// Zeroes all accumulated gradients.
+    pub fn zero_grads(&mut self) {
+        for l in &mut self.layers {
+            l.zero_grads();
+        }
+    }
+
+    /// Applies all accumulated gradients with Adam.
+    pub fn apply_grads(&mut self, opt: &Adam) {
+        for l in &mut self.layers {
+            l.apply_grads(opt);
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn num_params(&self) -> usize {
+        self.layers.iter().map(|l| l.num_params()).sum()
+    }
+
+    /// Multiply-accumulates per input row at inference (classification MACs
+    /// in the paper's accounting).
+    pub fn macs_per_row(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs_per_row()).sum()
+    }
+
+    /// Parameter snapshot for early stopping.
+    pub fn snapshot(&self) -> Vec<(Vec<f32>, Vec<f32>)> {
+        self.layers.iter().map(|l| l.snapshot()).collect()
+    }
+
+    /// Restores a snapshot taken with [`Self::snapshot`].
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the architecture.
+    pub fn restore(&mut self, snap: &[(Vec<f32>, Vec<f32>)]) {
+        assert_eq!(snap.len(), self.layers.len(), "snapshot layer count");
+        for (l, s) in self.layers.iter_mut().zip(snap.iter()) {
+            l.restore(s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::softmax_cross_entropy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_flow_through() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new(&MlpConfig::one_hidden(8, 16, 3, 0.0), &mut rng);
+        assert_eq!(mlp.in_dim(), 8);
+        assert_eq!(mlp.out_dim(), 3);
+        let x = DenseMatrix::zeros(5, 8);
+        assert_eq!(mlp.forward(&x).shape(), (5, 3));
+        assert_eq!(mlp.num_params(), 8 * 16 + 16 + 16 * 3 + 3);
+        assert_eq!(mlp.macs_per_row(), (8 * 16 + 16 * 3) as u64);
+    }
+
+    #[test]
+    fn linear_config_has_single_layer() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(&MlpConfig::linear(4, 2), &mut rng);
+        assert_eq!(mlp.layers().len(), 1);
+    }
+
+    #[test]
+    fn learns_xor_like_separation() {
+        // Two interleaved clusters that a linear model cannot separate.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 200;
+        let x = DenseMatrix::from_fn(n, 2, |r, c| {
+            let q = r % 4;
+            let (a, b) = match q {
+                0 => (0.0, 0.0),
+                1 => (1.0, 1.0),
+                2 => (0.0, 1.0),
+                _ => (1.0, 0.0),
+            };
+            let base = if c == 0 { a } else { b };
+            base + 0.05 * ((r * 31 + c * 7) % 10) as f32 / 10.0
+        });
+        let y: Vec<u32> = (0..n).map(|r| if r % 4 < 2 { 0 } else { 1 }).collect();
+        let mut mlp = Mlp::new(&MlpConfig::one_hidden(2, 16, 2, 0.0), &mut rng);
+        let opt = Adam::new(0.02, 0.0);
+        for _ in 0..300 {
+            mlp.zero_grads();
+            let logits = mlp.forward_train(&x, &mut rng);
+            let (_, dlogits) = softmax_cross_entropy(&logits, &y);
+            mlp.backward(&dlogits);
+            mlp.apply_grads(&opt);
+        }
+        let logits = mlp.forward(&x);
+        let pred = nai_linalg::ops::argmax_rows(&logits);
+        let all: Vec<usize> = (0..n).collect();
+        let acc = nai_linalg::ops::accuracy(&pred, &y, &all);
+        assert!(acc > 0.95, "xor accuracy {acc}");
+    }
+
+    #[test]
+    fn dropout_zeroes_some_activations_in_training_only() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut mlp = Mlp::new(
+            &MlpConfig {
+                in_dim: 4,
+                hidden: vec![64],
+                out_dim: 2,
+                dropout: 0.5,
+            },
+            &mut rng,
+        );
+        let x = DenseMatrix::from_fn(8, 4, |_, _| 1.0);
+        let _ = mlp.forward_train(&x, &mut rng);
+        let zeros = mlp.dropout_masks[0].iter().filter(|&&m| m == 0.0).count();
+        assert!(zeros > 0, "expected some dropped units");
+        // Inference path must be deterministic.
+        let a = mlp.forward(&x);
+        let b = mlp.forward(&x);
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn backward_matches_finite_difference_loss() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut mlp = Mlp::new(&MlpConfig::one_hidden(3, 5, 2, 0.0), &mut rng);
+        let x = DenseMatrix::from_fn(4, 3, |r, c| ((r + c) as f32 * 0.41).cos());
+        let y = vec![0u32, 1, 1, 0];
+        mlp.zero_grads();
+        let logits = mlp.forward_train(&x, &mut rng);
+        let (_, dlogits) = softmax_cross_entropy(&logits, &y);
+        mlp.backward(&dlogits);
+        // Numeric check on first-layer weight (0,0).
+        let eps = 1e-3f32;
+        let loss_at = |mlp: &Mlp| {
+            let (l, _) = softmax_cross_entropy(&mlp.forward(&x), &y);
+            l
+        };
+        let analytic = mlp.layers()[0].grad_w().get(0, 0);
+        let mut plus = mlp.clone();
+        let snap = plus.snapshot();
+        let mut sp = snap.clone();
+        sp[0].0[0] += eps;
+        plus.restore(&sp);
+        let lp = loss_at(&plus);
+        let mut sm = snap.clone();
+        sm[0].0[0] -= eps;
+        plus.restore(&sm);
+        let lm = loss_at(&plus);
+        let numeric = (lp - lm) / (2.0 * eps);
+        assert!(
+            (numeric - analytic).abs() < 1e-2 * (1.0 + numeric.abs()),
+            "numeric {numeric} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut mlp = Mlp::new(&MlpConfig::one_hidden(3, 4, 2, 0.0), &mut rng);
+        let snap = mlp.snapshot();
+        let x = DenseMatrix::from_fn(2, 3, |_, _| 0.5);
+        let before = mlp.forward(&x);
+        let opt = Adam::new(0.1, 0.0);
+        mlp.zero_grads();
+        let logits = mlp.forward_train(&x, &mut rng);
+        let (_, d) = softmax_cross_entropy(&logits, &[0, 1]);
+        mlp.backward(&d);
+        mlp.apply_grads(&opt);
+        mlp.restore(&snap);
+        let after = mlp.forward(&x);
+        assert_eq!(before.as_slice(), after.as_slice());
+    }
+}

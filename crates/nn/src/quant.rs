@@ -1,0 +1,184 @@
+//! Symmetric INT8 post-training quantization — the "Quantization" baseline.
+//!
+//! The paper quantizes classifier parameters from FP32 to INT8 and observes
+//! that only classification MACs shrink; feature propagation (the dominant
+//! cost) is untouched, which is why the baseline's acceleration is limited.
+//! We reproduce the same scheme: per-tensor symmetric weight quantization,
+//! per-row dynamic input quantization, i32 accumulation, f32 bias add.
+
+use crate::mlp::Mlp;
+use nai_linalg::DenseMatrix;
+
+/// INT8-quantized linear layer.
+#[derive(Debug, Clone)]
+pub struct QuantizedLinear {
+    /// Quantized weights, row-major `in_dim × out_dim`.
+    q_weights: Vec<i8>,
+    /// Weight dequantization scale.
+    w_scale: f32,
+    /// Bias kept in f32 (standard for INT8 inference).
+    bias: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl QuantizedLinear {
+    /// Quantizes an f32 weight matrix symmetrically to INT8.
+    pub fn from_weights(w: &DenseMatrix, bias: &[f32]) -> Self {
+        let max_abs = w.max_abs().max(f32::MIN_POSITIVE);
+        let w_scale = max_abs / 127.0;
+        let q_weights = w
+            .as_slice()
+            .iter()
+            .map(|&v| (v / w_scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Self {
+            q_weights,
+            w_scale,
+            bias: bias.to_vec(),
+            in_dim: w.rows(),
+            out_dim: w.cols(),
+        }
+    }
+
+    /// Quantized forward pass: dynamic per-row input quantization, i32
+    /// accumulation, dequantized f32 output.
+    ///
+    /// # Panics
+    /// Panics if `x.cols() != in_dim`.
+    pub fn forward(&self, x: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(x.cols(), self.in_dim, "quantized linear input dim");
+        let mut out = DenseMatrix::zeros(x.rows(), self.out_dim);
+        let mut qx = vec![0i8; self.in_dim];
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let max_abs = row.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let x_scale = (max_abs / 127.0).max(f32::MIN_POSITIVE);
+            for (q, &v) in qx.iter_mut().zip(row.iter()) {
+                *q = (v / x_scale).round().clamp(-127.0, 127.0) as i8;
+            }
+            let orow = out.row_mut(r);
+            // i32 accumulation over the quantized operands.
+            for (k, &xq) in qx.iter().enumerate() {
+                if xq == 0 {
+                    continue;
+                }
+                let wrow = &self.q_weights[k * self.out_dim..(k + 1) * self.out_dim];
+                for (o, &wq) in orow.iter_mut().zip(wrow.iter()) {
+                    *o += (xq as i32 * wq as i32) as f32;
+                }
+            }
+            let dequant = x_scale * self.w_scale;
+            for (o, &b) in orow.iter_mut().zip(self.bias.iter()) {
+                *o = *o * dequant + b;
+            }
+        }
+        out
+    }
+
+    /// MACs per input row (same count as f32; the baseline saves on
+    /// operand width, not operation count).
+    pub fn macs_per_row(&self) -> u64 {
+        (self.in_dim * self.out_dim) as u64
+    }
+}
+
+/// INT8-quantized MLP (ReLU between layers, like [`Mlp`]).
+#[derive(Debug, Clone)]
+pub struct QuantizedMlp {
+    layers: Vec<QuantizedLinear>,
+}
+
+impl QuantizedMlp {
+    /// Quantizes every layer of an [`Mlp`].
+    pub fn from_mlp(mlp: &Mlp) -> Self {
+        let layers = mlp
+            .layers()
+            .iter()
+            .map(|l| QuantizedLinear::from_weights(&l.w, &l.b))
+            .collect();
+        Self { layers }
+    }
+
+    /// Quantized inference forward.
+    pub fn forward(&self, x: &DenseMatrix) -> DenseMatrix {
+        let n = self.layers.len();
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(&h);
+            if i + 1 < n {
+                for v in h.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+            }
+        }
+        h
+    }
+
+    /// Total MACs per input row.
+    pub fn macs_per_row(&self) -> u64 {
+        self.layers.iter().map(|l| l.macs_per_row()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::MlpConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn quantized_linear_approximates_f32() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let w = nai_linalg::init::glorot_uniform(16, 8, &mut rng);
+        let bias = vec![0.1f32; 8];
+        let q = QuantizedLinear::from_weights(&w, &bias);
+        let x = nai_linalg::init::gaussian(10, 16, 1.0, &mut rng);
+        let got = q.forward(&x);
+        let mut want = x.matmul(&w).unwrap();
+        want.add_bias_row(&bias);
+        let scale = want.max_abs().max(1e-6);
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!(
+                (a - b).abs() / scale < 0.05,
+                "quantization error too large: {a} vs {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_mlp_mostly_preserves_argmax() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mlp = Mlp::new(&MlpConfig::one_hidden(12, 24, 5, 0.0), &mut rng);
+        let q = QuantizedMlp::from_mlp(&mlp);
+        let x = nai_linalg::init::gaussian(200, 12, 1.0, &mut rng);
+        let f32_pred = nai_linalg::ops::argmax_rows(&mlp.forward(&x));
+        let q_pred = nai_linalg::ops::argmax_rows(&q.forward(&x));
+        let agree = f32_pred
+            .iter()
+            .zip(q_pred.iter())
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(agree >= 190, "only {agree}/200 predictions agree");
+    }
+
+    #[test]
+    fn mac_counts_match_f32_layer() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mlp = Mlp::new(&MlpConfig::one_hidden(10, 20, 3, 0.0), &mut rng);
+        let q = QuantizedMlp::from_mlp(&mlp);
+        assert_eq!(q.macs_per_row(), mlp.macs_per_row());
+    }
+
+    #[test]
+    fn zero_weight_matrix_quantizes_safely() {
+        let w = DenseMatrix::zeros(4, 4);
+        let q = QuantizedLinear::from_weights(&w, &[0.0; 4]);
+        let x = DenseMatrix::from_fn(2, 4, |_, _| 1.0);
+        let y = q.forward(&x);
+        assert!(y.as_slice().iter().all(|&v| v == 0.0));
+    }
+}

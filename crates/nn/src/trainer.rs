@@ -1,0 +1,329 @@
+//! Supervised training loop with mini-batches, early stopping and optional
+//! knowledge distillation.
+//!
+//! Used for the base classifier `f^(k)` (plain cross-entropy) and — with a
+//! teacher attached — for Single-Scale Distillation students and the
+//! GLNN/NOSMOG baselines. Multi-Scale Distillation needs a joint objective
+//! over all students and lives in `nai-core::distill`.
+
+use crate::adam::Adam;
+use crate::loss::{distillation_loss, softmax_cross_entropy};
+use crate::mlp::Mlp;
+use nai_linalg::ops::{accuracy, argmax_rows};
+use nai_linalg::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Training-loop configuration.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    /// Maximum epochs.
+    pub epochs: usize,
+    /// Mini-batch size (0 = full batch).
+    pub batch_size: usize,
+    /// Early-stopping patience in epochs without val-accuracy improvement.
+    pub patience: usize,
+    /// Optimizer settings.
+    pub adam: Adam,
+    /// RNG seed for shuffling and dropout.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 100,
+            batch_size: 0,
+            patience: 20,
+            adam: Adam::default(),
+            seed: 0,
+        }
+    }
+}
+
+/// Optional distillation signal: teacher logits aligned row-for-row with
+/// the training matrix, plus Eq. (17)'s temperature and mixing weight.
+#[derive(Debug, Clone, Copy)]
+pub struct Distillation<'a> {
+    /// Teacher logits (`rows == training rows`).
+    pub teacher_logits: &'a DenseMatrix,
+    /// Softening temperature `T`.
+    pub temperature: f32,
+    /// Mixing weight λ: loss = `(1−λ)·CE + λ·T²·KD`.
+    pub lambda: f32,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Best validation accuracy seen (the restored model's accuracy).
+    pub best_val_acc: f64,
+    /// Epochs actually run (≤ `epochs` with early stopping).
+    pub epochs_run: usize,
+    /// Training loss of the final epoch.
+    pub final_train_loss: f32,
+}
+
+/// Trains `mlp` on `(x, y)`, early-stopping on `(x_val, y_val)` accuracy,
+/// and restores the best snapshot before returning.
+///
+/// # Panics
+/// Panics on row/label count mismatches.
+pub fn train(
+    mlp: &mut Mlp,
+    x: &DenseMatrix,
+    y: &[u32],
+    distill: Option<Distillation<'_>>,
+    x_val: &DenseMatrix,
+    y_val: &[u32],
+    cfg: &TrainConfig,
+) -> TrainReport {
+    assert_eq!(x.rows(), y.len(), "one label per training row");
+    assert_eq!(x_val.rows(), y_val.len(), "one label per val row");
+    if let Some(d) = &distill {
+        assert_eq!(
+            d.teacher_logits.rows(),
+            x.rows(),
+            "teacher logits must align with training rows"
+        );
+    }
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = x.rows();
+    let batch = if cfg.batch_size == 0 || cfg.batch_size >= n {
+        n
+    } else {
+        cfg.batch_size
+    };
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut best_val = -1.0f64;
+    let mut best_snap = mlp.snapshot();
+    let mut since_best = 0usize;
+    let mut epochs_run = 0usize;
+    let mut last_loss = 0.0f32;
+    let val_all: Vec<usize> = (0..y_val.len()).collect();
+
+    for _epoch in 0..cfg.epochs {
+        epochs_run += 1;
+        order.shuffle(&mut rng);
+        let mut epoch_loss = 0.0f32;
+        let mut batches = 0usize;
+        for chunk in order.chunks(batch) {
+            let xb = x.gather_rows(chunk).expect("indices in range");
+            let yb: Vec<u32> = chunk.iter().map(|&i| y[i]).collect();
+            mlp.zero_grads();
+            let logits = mlp.forward_train(&xb, &mut rng);
+            let (loss, dlogits) = match &distill {
+                None => softmax_cross_entropy(&logits, &yb),
+                Some(d) => {
+                    let tb = d.teacher_logits.gather_rows(chunk).expect("teacher rows");
+                    let (ce, mut dce) = softmax_cross_entropy(&logits, &yb);
+                    let (kd, dkd) = distillation_loss(&logits, &tb, d.temperature);
+                    let t2 = d.temperature * d.temperature;
+                    dce.scale(1.0 - d.lambda);
+                    dce.axpy(d.lambda * t2, &dkd).expect("grad shapes");
+                    ((1.0 - d.lambda) * ce + d.lambda * t2 * kd, dce)
+                }
+            };
+            epoch_loss += loss;
+            batches += 1;
+            mlp.backward(&dlogits);
+            mlp.apply_grads(&cfg.adam);
+        }
+        last_loss = epoch_loss / batches.max(1) as f32;
+
+        // Validation.
+        let val_acc = if y_val.is_empty() {
+            // No validation set: treat training loss decrease as progress.
+            -last_loss as f64
+        } else {
+            let pred = argmax_rows(&mlp.forward(x_val));
+            accuracy(&pred, y_val, &val_all)
+        };
+        if val_acc > best_val {
+            best_val = val_acc;
+            best_snap = mlp.snapshot();
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if since_best > cfg.patience {
+                break;
+            }
+        }
+    }
+    mlp.restore(&best_snap);
+    TrainReport {
+        best_val_acc: best_val.max(0.0),
+        epochs_run,
+        final_train_loss: last_loss,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::MlpConfig;
+    use nai_linalg::init::gaussian;
+
+    /// Two gaussian blobs; returns (x, y).
+    fn blobs(n: usize, seed: u64) -> (DenseMatrix, Vec<u32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noise = gaussian(n, 2, 0.5, &mut rng);
+        let mut x = DenseMatrix::zeros(n, 2);
+        let mut y = Vec::with_capacity(n);
+        for i in 0..n {
+            let cls = (i % 2) as u32;
+            let center = if cls == 0 { -1.5 } else { 1.5 };
+            x.set(i, 0, center + noise.get(i, 0));
+            x.set(i, 1, -center + noise.get(i, 1));
+            y.push(cls);
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn trains_to_high_accuracy_on_blobs() {
+        let (x, y) = blobs(200, 1);
+        let (xv, yv) = blobs(80, 2);
+        let mut mlp = Mlp::new(
+            &MlpConfig::linear(2, 2),
+            &mut StdRng::seed_from_u64(3),
+        );
+        let report = train(
+            &mut mlp,
+            &x,
+            &y,
+            None,
+            &xv,
+            &yv,
+            &TrainConfig {
+                epochs: 100,
+                adam: Adam::new(0.05, 0.0),
+                ..TrainConfig::default()
+            },
+        );
+        assert!(report.best_val_acc > 0.95, "val acc {}", report.best_val_acc);
+    }
+
+    #[test]
+    fn early_stopping_halts_before_epoch_limit() {
+        let (x, y) = blobs(100, 4);
+        let (xv, yv) = blobs(40, 5);
+        let mut mlp = Mlp::new(&MlpConfig::linear(2, 2), &mut StdRng::seed_from_u64(6));
+        let report = train(
+            &mut mlp,
+            &x,
+            &y,
+            None,
+            &xv,
+            &yv,
+            &TrainConfig {
+                epochs: 5000,
+                patience: 5,
+                adam: Adam::new(0.05, 0.0),
+                ..TrainConfig::default()
+            },
+        );
+        assert!(report.epochs_run < 5000, "ran {} epochs", report.epochs_run);
+    }
+
+    #[test]
+    fn distillation_transfers_teacher_behaviour() {
+        // Teacher: fixed linear map. Student trained only on KD (λ = 1)
+        // should match the teacher's predictions even where labels disagree.
+        let (x, y) = blobs(300, 7);
+        let mut teacher = Mlp::new(&MlpConfig::linear(2, 2), &mut StdRng::seed_from_u64(8));
+        let _ = train(
+            &mut teacher,
+            &x,
+            &y,
+            None,
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 150,
+                adam: Adam::new(0.05, 0.0),
+                ..TrainConfig::default()
+            },
+        );
+        let teacher_logits = teacher.forward(&x);
+        let mut student = Mlp::new(
+            &MlpConfig::one_hidden(2, 8, 2, 0.0),
+            &mut StdRng::seed_from_u64(9),
+        );
+        let report = train(
+            &mut student,
+            &x,
+            &y,
+            Some(Distillation {
+                teacher_logits: &teacher_logits,
+                temperature: 2.0,
+                lambda: 1.0,
+            }),
+            &x,
+            &y,
+            &TrainConfig {
+                epochs: 200,
+                adam: Adam::new(0.02, 0.0),
+                ..TrainConfig::default()
+            },
+        );
+        let tp = argmax_rows(&teacher.forward(&x));
+        let sp = argmax_rows(&student.forward(&x));
+        let agree = tp.iter().zip(sp.iter()).filter(|(a, b)| a == b).count();
+        assert!(
+            agree as f64 / tp.len() as f64 > 0.95,
+            "student agrees on {agree}/{} (report {report:?})",
+            tp.len()
+        );
+    }
+
+    #[test]
+    fn minibatch_and_fullbatch_both_learn() {
+        let (x, y) = blobs(128, 10);
+        for bs in [0usize, 32] {
+            let mut mlp = Mlp::new(&MlpConfig::linear(2, 2), &mut StdRng::seed_from_u64(11));
+            let report = train(
+                &mut mlp,
+                &x,
+                &y,
+                None,
+                &x,
+                &y,
+                &TrainConfig {
+                    epochs: 80,
+                    batch_size: bs,
+                    adam: Adam::new(0.05, 0.0),
+                    ..TrainConfig::default()
+                },
+            );
+            assert!(
+                report.best_val_acc > 0.9,
+                "bs={bs}: acc {}",
+                report.best_val_acc
+            );
+        }
+    }
+
+    #[test]
+    fn empty_validation_uses_training_loss() {
+        let (x, y) = blobs(64, 12);
+        let xv = DenseMatrix::zeros(0, 2);
+        let yv: Vec<u32> = vec![];
+        let mut mlp = Mlp::new(&MlpConfig::linear(2, 2), &mut StdRng::seed_from_u64(13));
+        let report = train(
+            &mut mlp,
+            &x,
+            &y,
+            None,
+            &xv,
+            &yv,
+            &TrainConfig {
+                epochs: 30,
+                adam: Adam::new(0.05, 0.0),
+                ..TrainConfig::default()
+            },
+        );
+        assert!(report.epochs_run >= 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the neural-network substrate.
+
+use nai_linalg::DenseMatrix;
+use nai_nn::adam::{Adam, AdamState};
+use nai_nn::loss::{distillation_loss, soft_cross_entropy, softmax_cross_entropy, soften};
+use nai_nn::mlp::{Mlp, MlpConfig};
+use nai_nn::quant::QuantizedLinear;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CE loss is non-negative and its gradient rows sum to zero.
+    #[test]
+    fn ce_loss_properties(
+        logits in proptest::collection::vec(-8.0f32..8.0, 4 * 5),
+        labels in proptest::collection::vec(0u32..5, 4),
+    ) {
+        let logits = DenseMatrix::from_vec(4, 5, logits);
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels);
+        prop_assert!(loss >= 0.0);
+        for r in 0..4 {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5);
+        }
+    }
+
+    /// KD gradient vanishes iff student and teacher distributions agree;
+    /// tempered softening always yields valid distributions.
+    #[test]
+    fn distillation_properties(
+        zs in proptest::collection::vec(-4.0f32..4.0, 3 * 4),
+        zt in proptest::collection::vec(-4.0f32..4.0, 3 * 4),
+        t in 0.5f32..4.0,
+    ) {
+        let zs = DenseMatrix::from_vec(3, 4, zs);
+        let zt = DenseMatrix::from_vec(3, 4, zt);
+        let (loss, _) = distillation_loss(&zs, &zt, t);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        let p = soften(&zt, t);
+        for r in 0..3 {
+            let s: f32 = p.row(r).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+        }
+        // Self-distillation gradient is ~0.
+        let (_, g) = distillation_loss(&zt, &zt, t);
+        prop_assert!(g.as_slice().iter().all(|v| v.abs() < 1e-5));
+    }
+
+    /// Soft CE against a one-hot target equals hard CE.
+    #[test]
+    fn soft_ce_consistency(
+        logits in proptest::collection::vec(-6.0f32..6.0, 2 * 3),
+        labels in proptest::collection::vec(0u32..3, 2),
+    ) {
+        let logits = DenseMatrix::from_vec(2, 3, logits);
+        let mut onehot = DenseMatrix::zeros(2, 3);
+        for (r, &y) in labels.iter().enumerate() {
+            onehot.set(r, y as usize, 1.0);
+        }
+        let (lh, gh) = softmax_cross_entropy(&logits, &labels);
+        let (ls, gs) = soft_cross_entropy(&logits, &onehot);
+        prop_assert!((lh - ls).abs() < 1e-4);
+        for (a, b) in gh.as_slice().iter().zip(gs.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    /// Adam converges on arbitrary strongly-convex quadratics.
+    #[test]
+    fn adam_converges_on_quadratics(
+        target in proptest::collection::vec(-5.0f32..5.0, 4),
+        curvature in 0.5f32..4.0,
+    ) {
+        let opt = Adam::new(0.1, 0.0);
+        let mut state = AdamState::new(4);
+        let mut x = vec![0.0f32; 4];
+        for _ in 0..600 {
+            let grad: Vec<f32> = x.iter().zip(target.iter())
+                .map(|(a, t)| 2.0 * curvature * (a - t)).collect();
+            state.update(&opt, &mut x, &grad);
+        }
+        for (a, t) in x.iter().zip(target.iter()) {
+            prop_assert!((a - t).abs() < 0.05, "x {} target {}", a, t);
+        }
+    }
+
+    /// Quantized linear output stays within a few percent of f32.
+    #[test]
+    fn quantization_error_bounded(
+        seed in 0u64..1000,
+        rows in 1usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = nai_linalg::init::glorot_uniform(10, 6, &mut rng);
+        let bias = vec![0.05f32; 6];
+        let q = QuantizedLinear::from_weights(&w, &bias);
+        let x = nai_linalg::init::gaussian(rows, 10, 1.0, &mut rng);
+        let got = q.forward(&x);
+        let mut want = x.matmul(&w).unwrap();
+        want.add_bias_row(&bias);
+        let scale = want.max_abs().max(0.1);
+        for (a, b) in got.as_slice().iter().zip(want.as_slice()) {
+            prop_assert!((a - b).abs() / scale < 0.08, "{} vs {}", a, b);
+        }
+    }
+
+    /// MLP inference is deterministic and dropout-free.
+    #[test]
+    fn mlp_inference_deterministic(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mlp = Mlp::new(&MlpConfig::one_hidden(5, 8, 3, 0.5), &mut rng);
+        let x = nai_linalg::init::gaussian(4, 5, 1.0, &mut rng);
+        let a = mlp.forward(&x);
+        let b = mlp.forward(&x);
+        prop_assert_eq!(a.as_slice(), b.as_slice());
+    }
+}

@@ -1,0 +1,302 @@
+//! A growable undirected graph for streaming arrivals.
+//!
+//! [`nai_graph::CsrMatrix`] is immutable by design (compressed storage
+//! cannot absorb appends); streaming workloads instead keep adjacency
+//! lists and derive normalization weights from *current* degrees at
+//! propagation time, so an edge arrival never invalidates precomputed
+//! values.
+
+use nai_graph::{CsrMatrix, Graph};
+use nai_linalg::DenseMatrix;
+
+/// Growable undirected graph: adjacency lists + row-major features.
+#[derive(Debug, Clone)]
+pub struct DynamicGraph {
+    adj: Vec<Vec<u32>>,
+    features: Vec<f32>,
+    feature_dim: usize,
+    num_edges: usize,
+}
+
+impl DynamicGraph {
+    /// An empty graph with the given feature dimensionality.
+    ///
+    /// # Panics
+    /// Panics if `feature_dim` is zero.
+    pub fn new(feature_dim: usize) -> Self {
+        assert!(feature_dim > 0, "feature_dim must be positive");
+        Self {
+            adj: Vec::new(),
+            features: Vec::new(),
+            feature_dim,
+            num_edges: 0,
+        }
+    }
+
+    /// Seeds a dynamic graph from a static one (the observed training
+    /// graph in the inductive protocol).
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut adj = vec![Vec::new(); n];
+        for (i, neighbors) in adj.iter_mut().enumerate() {
+            neighbors.extend(g.adj.row_indices(i));
+        }
+        Self {
+            adj,
+            features: g.features.as_slice().to_vec(),
+            feature_dim: g.feature_dim(),
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Node count.
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Undirected edge count (each edge counted once).
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Degree of `v` (neighbor count, self excluded).
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Neighbors of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Feature row of `v`.
+    pub fn feature(&self, v: u32) -> &[f32] {
+        let f = self.feature_dim;
+        &self.features[v as usize * f..(v as usize + 1) * f]
+    }
+
+    /// `2m + n`, the Eq. (7) normalizer of the current graph.
+    pub fn total_tilde_degree(&self) -> f64 {
+        (2 * self.num_edges + self.num_nodes()) as f64
+    }
+
+    /// Appends a node with `features` connected to existing `neighbors`.
+    /// Duplicate neighbor ids are collapsed; returns the new node id.
+    ///
+    /// # Panics
+    /// Panics if the feature length is wrong or a neighbor id does not
+    /// exist yet (streaming arrivals attach to the *observed* graph).
+    pub fn add_node(&mut self, features: &[f32], neighbors: &[u32]) -> u32 {
+        assert_eq!(
+            features.len(),
+            self.feature_dim,
+            "feature length must match graph dimension"
+        );
+        let v = self.adj.len() as u32;
+        let mut uniq: Vec<u32> = neighbors.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        for &u in &uniq {
+            assert!(
+                (u as usize) < self.adj.len(),
+                "neighbor {u} must already exist (graph has {} nodes)",
+                self.adj.len()
+            );
+        }
+        self.features.extend_from_slice(features);
+        self.adj.push(uniq.clone());
+        for &u in &uniq {
+            self.adj[u as usize].push(v);
+        }
+        self.num_edges += uniq.len();
+        v
+    }
+
+    /// Adds an undirected edge between existing nodes. Returns `false`
+    /// (and changes nothing) when the edge already exists.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids or a self-loop (self-loops are implicit
+    /// in the `Ã` normalization and never stored).
+    pub fn add_edge(&mut self, u: u32, v: u32) -> bool {
+        assert!(u != v, "explicit self-loops are not representable");
+        assert!((u as usize) < self.adj.len(), "node {u} out of range");
+        assert!((v as usize) < self.adj.len(), "node {v} out of range");
+        if self.adj[u as usize].contains(&v) {
+            return false;
+        }
+        self.adj[u as usize].push(v);
+        self.adj[v as usize].push(u);
+        self.num_edges += 1;
+        true
+    }
+
+    /// Materializes the current adjacency as a [`CsrMatrix`]
+    /// (equivalence tests and λ₂ estimation).
+    pub fn snapshot_csr(&self) -> CsrMatrix {
+        let mut edges = Vec::with_capacity(self.num_edges);
+        for (i, neighbors) in self.adj.iter().enumerate() {
+            for &j in neighbors {
+                if (i as u32) < j {
+                    edges.push((i as u32, j));
+                }
+            }
+        }
+        CsrMatrix::undirected_adjacency(self.adj.len(), &edges).expect("valid dynamic graph")
+    }
+
+    /// Materializes a static [`Graph`] with the supplied labels.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != num_nodes` or `num_classes == 0`.
+    pub fn snapshot_graph(&self, labels: Vec<u32>, num_classes: usize) -> Graph {
+        assert_eq!(labels.len(), self.num_nodes(), "one label per node");
+        let features = DenseMatrix::from_vec(
+            self.num_nodes(),
+            self.feature_dim,
+            self.features.clone(),
+        );
+        Graph::new(self.snapshot_csr(), features, labels, num_classes)
+            .expect("snapshot is structurally valid")
+    }
+
+    /// Gathers feature rows for `nodes`.
+    pub fn gather_features(&self, nodes: &[u32]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(nodes.len(), self.feature_dim);
+        for (t, &v) in nodes.iter().enumerate() {
+            out.row_mut(t).copy_from_slice(self.feature(v));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nai_graph::generators::{generate, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn seed_graph(n: usize) -> Graph {
+        generate(
+            &GeneratorConfig {
+                num_nodes: n,
+                num_classes: 3,
+                feature_dim: 4,
+                avg_degree: 6.0,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(11),
+        )
+    }
+
+    #[test]
+    fn from_graph_preserves_structure() {
+        let g = seed_graph(100);
+        let d = DynamicGraph::from_graph(&g);
+        assert_eq!(d.num_nodes(), 100);
+        assert_eq!(d.num_edges(), g.num_edges());
+        for v in 0..100u32 {
+            assert_eq!(d.degree(v), g.adj.row_nnz(v as usize));
+            assert_eq!(d.feature(v), g.features.row(v as usize));
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_to_identical_csr() {
+        let g = seed_graph(80);
+        let d = DynamicGraph::from_graph(&g);
+        let csr = d.snapshot_csr();
+        assert_eq!(csr.nnz(), g.adj.nnz());
+        for i in 0..80 {
+            let mut a: Vec<u32> = csr.row_indices(i).to_vec();
+            let mut b: Vec<u32> = g.adj.row_indices(i).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "row {i}");
+        }
+    }
+
+    #[test]
+    fn add_node_wires_both_directions() {
+        let g = seed_graph(20);
+        let mut d = DynamicGraph::from_graph(&g);
+        let v = d.add_node(&[1.0, 2.0, 3.0, 4.0], &[0, 5, 5, 7]);
+        assert_eq!(v, 20);
+        assert_eq!(d.degree(v), 3, "duplicates collapse");
+        assert!(d.neighbors(0).contains(&v));
+        assert!(d.neighbors(5).contains(&v));
+        assert!(d.neighbors(7).contains(&v));
+        assert_eq!(d.num_edges(), g.num_edges() + 3);
+        assert_eq!(d.feature(v), &[1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn add_edge_dedups() {
+        let g = seed_graph(10);
+        let mut d = DynamicGraph::from_graph(&g);
+        let before = d.num_edges();
+        let u = 0u32;
+        // Find a non-neighbor of 0.
+        let v = (1..10u32).find(|x| !d.neighbors(u).contains(x)).unwrap();
+        assert!(d.add_edge(u, v));
+        assert!(!d.add_edge(u, v), "duplicate edge rejected");
+        assert!(!d.add_edge(v, u), "reverse duplicate rejected");
+        assert_eq!(d.num_edges(), before + 1);
+    }
+
+    #[test]
+    fn isolated_arrival_is_allowed() {
+        let g = seed_graph(10);
+        let mut d = DynamicGraph::from_graph(&g);
+        let v = d.add_node(&[0.0; 4], &[]);
+        assert_eq!(d.degree(v), 0);
+        assert_eq!(d.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn total_tilde_degree_tracks_arrivals() {
+        let g = seed_graph(30);
+        let mut d = DynamicGraph::from_graph(&g);
+        let base = d.total_tilde_degree();
+        d.add_node(&[0.0; 4], &[0, 1]);
+        // +1 node, +2 edges → 2m+n grows by 2·2 + 1 = 5.
+        assert_eq!(d.total_tilde_degree(), base + 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must already exist")]
+    fn future_neighbor_panics() {
+        let g = seed_graph(5);
+        let mut d = DynamicGraph::from_graph(&g);
+        let _ = d.add_node(&[0.0; 4], &[99]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let g = seed_graph(5);
+        let mut d = DynamicGraph::from_graph(&g);
+        let _ = d.add_edge(2, 2);
+    }
+
+    #[test]
+    fn snapshot_graph_carries_features_and_labels() {
+        let g = seed_graph(25);
+        let mut d = DynamicGraph::from_graph(&g);
+        d.add_node(&[9.0; 4], &[3]);
+        let labels: Vec<u32> = (0..26).map(|i| i % 3).collect();
+        let snap = d.snapshot_graph(labels.clone(), 3);
+        assert_eq!(snap.num_nodes(), 26);
+        assert_eq!(snap.labels, labels);
+        assert_eq!(snap.features.row(25), &[9.0; 4]);
+    }
+}

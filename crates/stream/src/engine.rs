@@ -1,0 +1,695 @@
+//! Per-arrival node-adaptive inference over a growing graph.
+//!
+//! [`StreamingEngine`] is Algorithm 1 re-hosted on [`DynamicGraph`]:
+//! supporting frontiers come from BFS over adjacency lists, and the
+//! normalized-adjacency weights `d̃_i^(γ−1) d̃_j^(−γ)` of Eq. (1) are
+//! computed from the **current** degrees at propagation time, so arrivals
+//! never invalidate a stored matrix. The stationary reference comes from
+//! [`IncrementalStationary`] in `O(f)` per arrival.
+//!
+//! The workflow is ingest → flush:
+//!
+//! ```text
+//! let id = engine.ingest(&features, &edges);   // O(deg) bookkeeping
+//! ...
+//! let preds = engine.flush(&cfg);              // micro-batch Algorithm 1
+//! ```
+//!
+//! `flush` processes pending arrivals in `cfg.batch_size` micro-batches;
+//! each prediction carries the personalized depth and the wall-clock
+//! latency of its micro-batch (the time-to-answer a caller would see).
+
+use crate::dynamic::DynamicGraph;
+use crate::stationary::IncrementalStationary;
+use crate::stats::LatencyStats;
+use nai_core::config::{InferenceConfig, NapMode};
+use nai_core::gates::GateSet;
+use nai_core::napd;
+use nai_core::upper_bound::spectral_bound;
+use nai_graph::normalized_adjacency;
+use nai_graph::Convolution;
+use nai_linalg::ops::argmax_rows;
+use nai_linalg::DenseMatrix;
+use nai_models::DepthClassifier;
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// One streaming prediction.
+#[derive(Debug, Clone)]
+pub struct StreamPrediction {
+    /// Node id in the dynamic graph.
+    pub node: u32,
+    /// Predicted class.
+    pub prediction: usize,
+    /// Personalized propagation depth used.
+    pub depth: usize,
+    /// Wall-clock latency of the micro-batch that served this node.
+    pub latency: Duration,
+}
+
+/// A deployed NAI model serving a stream of arrivals.
+pub struct StreamingEngine {
+    graph: DynamicGraph,
+    stationary: IncrementalStationary,
+    classifiers: Vec<DepthClassifier>,
+    gates: Option<GateSet>,
+    gamma: f32,
+    lambda2: f32,
+    pending: Vec<u32>,
+    stats: LatencyStats,
+    macs_total: u64,
+}
+
+impl StreamingEngine {
+    /// Deploys trained classifiers (and optional gates) over a seed graph.
+    ///
+    /// λ₂ is estimated once from the seed graph and treated as a
+    /// deployment constant thereafter (it drifts only with large
+    /// topology changes; re-deploy to refresh it).
+    ///
+    /// # Panics
+    /// Panics if no classifiers are supplied, they are not ordered by
+    /// depth, or dimensions disagree with the graph.
+    pub fn new(
+        graph: DynamicGraph,
+        classifiers: Vec<DepthClassifier>,
+        gates: Option<GateSet>,
+        gamma: f32,
+    ) -> Self {
+        assert!(!classifiers.is_empty(), "need at least one classifier");
+        for (i, c) in classifiers.iter().enumerate() {
+            assert_eq!(c.depth(), i + 1, "classifiers must be ordered by depth");
+        }
+        let lambda2 = if graph.num_nodes() >= 2 {
+            let csr = graph.snapshot_csr();
+            let norm = normalized_adjacency(&csr, Convolution::Gamma(gamma));
+            norm.lambda2_estimate(100, 0x57e4).min(0.999)
+        } else {
+            0.9
+        };
+        let stationary = IncrementalStationary::from_dynamic(&graph, gamma);
+        Self {
+            graph,
+            stationary,
+            classifiers,
+            gates,
+            gamma,
+            lambda2,
+            pending: Vec::new(),
+            stats: LatencyStats::new(),
+            macs_total: 0,
+        }
+    }
+
+    /// Deploys a [`nai_core::checkpoint::ModelCheckpoint`] over a seed
+    /// graph.
+    ///
+    /// # Panics
+    /// Panics if the graph's feature dimension disagrees with the
+    /// checkpoint.
+    pub fn from_checkpoint(
+        ckpt: &nai_core::checkpoint::ModelCheckpoint,
+        graph: DynamicGraph,
+    ) -> Self {
+        assert_eq!(
+            graph.feature_dim(),
+            ckpt.feature_dim,
+            "graph feature dim must match checkpoint"
+        );
+        Self::new(graph, ckpt.build_classifiers(), ckpt.build_gates(), ckpt.gamma)
+    }
+
+    /// Highest trained depth `k`.
+    pub fn k(&self) -> usize {
+        self.classifiers.len()
+    }
+
+    /// The current graph state.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Latency statistics over everything flushed so far.
+    pub fn stats(&self) -> &LatencyStats {
+        &self.stats
+    }
+
+    /// Cumulative propagation + NAP + classification MACs.
+    pub fn macs_total(&self) -> u64 {
+        self.macs_total
+    }
+
+    /// Clears accumulated latency statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = LatencyStats::new();
+    }
+
+    /// Ids queued for the next [`Self::flush`].
+    pub fn pending(&self) -> &[u32] {
+        &self.pending
+    }
+
+    /// Ingests an arriving node: appends it to the graph, updates the
+    /// stationary accumulators, and queues it for inference. Returns the
+    /// assigned node id.
+    ///
+    /// # Panics
+    /// Panics on wrong feature length or unknown neighbor ids.
+    pub fn ingest(&mut self, features: &[f32], neighbors: &[u32]) -> u32 {
+        let mut uniq: Vec<u32> = neighbors.to_vec();
+        uniq.sort_unstable();
+        uniq.dedup();
+        let old: Vec<(usize, Vec<f32>)> = uniq
+            .iter()
+            .map(|&u| (self.graph.degree(u), self.graph.feature(u).to_vec()))
+            .collect();
+        let id = self.graph.add_node(features, &uniq);
+        let old_refs: Vec<(usize, &[f32])> =
+            old.iter().map(|(d, x)| (*d, x.as_slice())).collect();
+        self.stationary.on_add_node(features, &old_refs);
+        self.pending.push(id);
+        id
+    }
+
+    /// Observes an edge arrival between existing nodes (e.g. a new
+    /// interaction between known users). Returns `false` when the edge
+    /// already existed.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids or a self-loop.
+    pub fn observe_edge(&mut self, u: u32, v: u32) -> bool {
+        if self.graph.neighbors(u).contains(&v) {
+            return false;
+        }
+        let (du, dv) = (self.graph.degree(u), self.graph.degree(v));
+        let (xu, xv) = (
+            self.graph.feature(u).to_vec(),
+            self.graph.feature(v).to_vec(),
+        );
+        let added = self.graph.add_edge(u, v);
+        debug_assert!(added);
+        self.stationary.on_add_edge(&xu, du, &xv, dv);
+        true
+    }
+
+    /// Runs node-adaptive inference on all pending arrivals in micro-
+    /// batches of `cfg.batch_size`, recording per-arrival latency.
+    ///
+    /// # Panics
+    /// Panics if the config fails validation or requests gates the engine
+    /// does not have.
+    pub fn flush(&mut self, cfg: &InferenceConfig) -> Vec<StreamPrediction> {
+        let pending = std::mem::take(&mut self.pending);
+        let mut out = Vec::with_capacity(pending.len());
+        for chunk in pending.chunks(cfg.batch_size.max(1)) {
+            let start = Instant::now();
+            let results = self.infer_nodes(chunk, cfg);
+            let elapsed = start.elapsed();
+            for (t, &node) in chunk.iter().enumerate() {
+                let (prediction, depth) = results[t];
+                self.stats.record(elapsed, depth);
+                out.push(StreamPrediction {
+                    node,
+                    prediction,
+                    depth,
+                    latency: elapsed,
+                });
+            }
+        }
+        out
+    }
+
+    /// Algorithm 1 over the current graph for explicit `nodes` (they must
+    /// already be in the graph). Returns `(prediction, depth)` per node.
+    ///
+    /// # Panics
+    /// Panics on invalid config, missing gates, or unknown node ids.
+    pub fn infer_nodes(&mut self, nodes: &[u32], cfg: &InferenceConfig) -> Vec<(usize, usize)> {
+        cfg.validate(self.k()).expect("invalid inference config");
+        if matches!(cfg.nap, NapMode::Gate) {
+            assert!(
+                self.gates.is_some(),
+                "gate NAP requested but the engine has no trained gates"
+            );
+        }
+        if nodes.is_empty() {
+            return Vec::new();
+        }
+        let n = self.graph.num_nodes();
+        let f = self.graph.feature_dim();
+        let mut results = vec![(usize::MAX, 0usize); nodes.len()];
+        let mut col_map = vec![u32::MAX; n];
+
+        // Stationary rows (Algorithm 1 line 2) — O(f) per node thanks to
+        // the incremental accumulators.
+        let mut x_inf_active = self.stationary.rows(&self.graph, nodes);
+
+        // NAP_u: depths fixed from Eq. (10) before propagation.
+        let mut assigned: Vec<usize> = match cfg.nap {
+            NapMode::UpperBound { ts } => {
+                self.macs_total += nodes.len() as u64 * 4;
+                let total = self.graph.total_tilde_degree();
+                nodes
+                    .iter()
+                    .map(|&v| {
+                        let degree = self.graph.degree(v) as f32;
+                        match spectral_bound(ts, degree, total, self.lambda2) {
+                            Some(b) => (b.ceil() as usize).clamp(cfg.t_min, cfg.t_max),
+                            None => cfg.t_max,
+                        }
+                    })
+                    .collect()
+            }
+            _ => Vec::new(),
+        };
+
+        // Supporting hop sets (line 3).
+        let mut sets = self.hop_sets(nodes, cfg.t_max);
+
+        let mut active_pos: Vec<usize> = (0..nodes.len()).collect();
+        let mut active_nodes: Vec<u32> = nodes.to_vec();
+        let mut history: Vec<DenseMatrix> = vec![self.graph.gather_features(nodes)];
+        let mut support_prev: Vec<u32> = sets[0].clone();
+        let mut h_prev = self.graph.gather_features(&support_prev);
+
+        for l in 1..=cfg.t_max {
+            let support_l = std::mem::take(&mut sets[l]);
+            for (t, &g) in support_prev.iter().enumerate() {
+                col_map[g as usize] = t as u32;
+            }
+            let (h_l, step_macs) = self.propagate_step(&support_l, &col_map, &h_prev);
+            for &g in support_prev.iter() {
+                col_map[g as usize] = u32::MAX;
+            }
+            self.macs_total += step_macs;
+
+            let mut pos_in_support = HashMap::with_capacity(active_nodes.len());
+            for (t, &g) in support_l.iter().enumerate() {
+                pos_in_support.insert(g, t);
+            }
+            let active_rows: Vec<usize> = active_nodes
+                .iter()
+                .map(|g| *pos_in_support.get(g).expect("active ⊆ every hop set"))
+                .collect();
+            history.push(h_l.gather_rows(&active_rows).expect("rows located"));
+
+            let at_final = l == cfg.t_max;
+            let mut exit_mask: Vec<bool> = vec![at_final; active_nodes.len()];
+            if !at_final && l >= cfg.t_min {
+                match cfg.nap {
+                    NapMode::Fixed => {}
+                    NapMode::Distance { ts } => {
+                        exit_mask = napd::exit_mask(&history[l], &x_inf_active, ts);
+                        self.macs_total += active_nodes.len() as u64 * napd::macs_per_node(f);
+                    }
+                    NapMode::Gate => {
+                        let gates = self.gates.as_ref().expect("validated above");
+                        if l < gates.k() {
+                            exit_mask = gates.decide(l, &history[l], &x_inf_active);
+                            self.macs_total +=
+                                active_nodes.len() as u64 * gates.macs_per_node();
+                        }
+                    }
+                    NapMode::UpperBound { .. } => {
+                        for (e, &d) in exit_mask.iter_mut().zip(assigned.iter()) {
+                            *e = d == l;
+                        }
+                    }
+                }
+            }
+
+            if exit_mask.iter().any(|&e| e) {
+                let exit_rows: Vec<usize> = exit_mask
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &e)| e.then_some(i))
+                    .collect();
+                let clf = &self.classifiers[l - 1];
+                let exit_feats: Vec<DenseMatrix> = history[..=l]
+                    .iter()
+                    .map(|m| m.gather_rows(&exit_rows).expect("exit rows"))
+                    .collect();
+                let logits = clf.forward(&exit_feats);
+                self.macs_total += exit_rows.len() as u64 * clf.macs_per_node();
+                let preds = argmax_rows(&logits);
+                for (t, &row) in exit_rows.iter().enumerate() {
+                    results[active_pos[row]] = (preds[t], l);
+                }
+
+                let keep_rows: Vec<usize> = exit_mask
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, &e)| (!e).then_some(i))
+                    .collect();
+                if keep_rows.is_empty() {
+                    return results;
+                }
+                active_pos = keep_rows.iter().map(|&i| active_pos[i]).collect();
+                active_nodes = keep_rows.iter().map(|&i| active_nodes[i]).collect();
+                if !assigned.is_empty() {
+                    assigned = keep_rows.iter().map(|&i| assigned[i]).collect();
+                }
+                x_inf_active = x_inf_active.gather_rows(&keep_rows).expect("keep rows");
+                for m in history.iter_mut() {
+                    *m = m.gather_rows(&keep_rows).expect("keep rows");
+                }
+                if l < cfg.t_max {
+                    let new_sets = self.hop_sets(&active_nodes, cfg.t_max - l);
+                    for (j, ns) in new_sets.into_iter().enumerate() {
+                        if j >= 1 {
+                            sets[l + j] = ns;
+                        }
+                    }
+                }
+            }
+
+            support_prev = support_l;
+            h_prev = h_l;
+        }
+        results
+    }
+
+    /// Hop sets over the dynamic graph, mirroring
+    /// [`nai_graph::frontier::BfsScratch::hop_sets`]: `sets[l]` holds all
+    /// nodes within `max_depth − l` hops of `seeds`.
+    fn hop_sets(&self, seeds: &[u32], max_depth: usize) -> Vec<Vec<u32>> {
+        let n = self.graph.num_nodes();
+        let mut dist = vec![u32::MAX; n];
+        let mut order: Vec<(u32, u32)> = Vec::with_capacity(seeds.len());
+        for &s in seeds {
+            assert!((s as usize) < n, "node {s} out of range");
+            if dist[s as usize] == u32::MAX {
+                dist[s as usize] = 0;
+                order.push((s, 0));
+            }
+        }
+        let mut qi = 0usize;
+        while qi < order.len() {
+            let (u, d) = order[qi];
+            qi += 1;
+            if d as usize >= max_depth {
+                continue;
+            }
+            for &v in self.graph.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = d + 1;
+                    order.push((v, d + 1));
+                }
+            }
+        }
+        let mut sets: Vec<Vec<u32>> = vec![Vec::new(); max_depth + 1];
+        for &(node, d) in &order {
+            for set in sets.iter_mut().take(max_depth - d as usize + 1) {
+                set.push(node);
+            }
+        }
+        sets
+    }
+
+    /// One propagation step `H_l[i] = Σ_{j ∈ Ñ(i)} Â_ij H_{l−1}[j]` with
+    /// weights derived from current degrees (self-loop included).
+    fn propagate_step(
+        &self,
+        support_l: &[u32],
+        col_map: &[u32],
+        h_prev: &DenseMatrix,
+    ) -> (DenseMatrix, u64) {
+        let f = h_prev.cols();
+        let gamma = self.gamma;
+        let mut out = DenseMatrix::zeros(support_l.len(), f);
+        let mut macs = 0u64;
+        let prev = h_prev.as_slice();
+        for (t, &gi) in support_l.iter().enumerate() {
+            let di = (self.graph.degree(gi) + 1) as f32;
+            let left = di.powf(gamma - 1.0);
+            let orow = out.row_mut(t);
+            // Self-loop term of Ã = A + I.
+            let self_local = col_map[gi as usize];
+            debug_assert_ne!(self_local, u32::MAX, "support nesting violated");
+            let w_self = left * di.powf(-gamma);
+            let src = &prev[self_local as usize * f..(self_local as usize + 1) * f];
+            for (o, &x) in orow.iter_mut().zip(src) {
+                *o += w_self * x;
+            }
+            macs += f as u64;
+            for &j in self.graph.neighbors(gi) {
+                let local = col_map[j as usize];
+                debug_assert_ne!(local, u32::MAX, "support nesting violated");
+                let w = left * ((self.graph.degree(j) + 1) as f32).powf(-gamma);
+                let src = &prev[local as usize * f..(local as usize + 1) * f];
+                for (o, &x) in orow.iter_mut().zip(src) {
+                    *o += w * x;
+                }
+                macs += f as u64;
+            }
+        }
+        (out, macs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nai_core::config::PipelineConfig;
+    use nai_core::pipeline::NaiPipeline;
+    use nai_graph::generators::{generate, GeneratorConfig};
+    use nai_graph::{Graph, InductiveSplit};
+    use nai_models::ModelKind;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn trained(n: usize, k: usize) -> (Graph, InductiveSplit, nai_core::pipeline::TrainedNai) {
+        let g = generate(
+            &GeneratorConfig {
+                num_nodes: n,
+                num_classes: 3,
+                feature_dim: 8,
+                avg_degree: 8.0,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(31),
+        );
+        let split = InductiveSplit::random(n, 0.6, 0.2, &mut StdRng::seed_from_u64(32));
+        let cfg = PipelineConfig {
+            k,
+            hidden: vec![16],
+            epochs: 25,
+            patience: 8,
+            gate_epochs: 8,
+            distill: nai_core::config::DistillConfig {
+                epochs: 8,
+                ensemble_r: 2,
+                ..Default::default()
+            },
+            ..PipelineConfig::default()
+        };
+        let t = NaiPipeline::new(ModelKind::Sgc, cfg).train(&g, &split, true);
+        (g, split, t)
+    }
+
+    fn engine_from(t: &nai_core::pipeline::TrainedNai, g: &Graph) -> StreamingEngine {
+        let ckpt = nai_core::checkpoint::ModelCheckpoint::from_engine(&t.engine, 0.5);
+        StreamingEngine::from_checkpoint(&ckpt, DynamicGraph::from_graph(g))
+    }
+
+    #[test]
+    fn static_nodes_match_core_engine_across_nap_modes() {
+        // With no arrivals, the streaming engine must agree exactly with
+        // the static NaiEngine on the same graph, for every NAP mode.
+        let (g, split, t) = trained(300, 3);
+        let mut se = engine_from(&t, &g);
+        for cfg in [
+            InferenceConfig::fixed(3),
+            InferenceConfig::fixed(2),
+            InferenceConfig::distance(0.5, 1, 3),
+            InferenceConfig::gate(1, 3),
+            InferenceConfig::upper_bound(0.5, 1, 3),
+        ] {
+            let stat = t.engine.infer(&split.test, &g.labels, &cfg);
+            let stream = se.infer_nodes(&split.test, &cfg);
+            let (preds, depths): (Vec<usize>, Vec<usize>) = stream.into_iter().unzip();
+            assert_eq!(stat.predictions, preds, "{:?}", cfg.nap);
+            assert_eq!(stat.depths, depths, "{:?}", cfg.nap);
+        }
+    }
+
+    #[test]
+    fn ingest_then_flush_returns_predictions() {
+        let (g, _, t) = trained(200, 3);
+        let mut se = engine_from(&t, &g);
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut ids = Vec::new();
+        for _ in 0..20 {
+            let feats: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let nbrs: Vec<u32> = (0..3).map(|_| rng.gen_range(0..200u32)).collect();
+            ids.push(se.ingest(&feats, &nbrs));
+        }
+        assert_eq!(se.pending().len(), 20);
+        let preds = se.flush(&InferenceConfig::distance(0.5, 1, 3));
+        assert_eq!(preds.len(), 20);
+        assert!(se.pending().is_empty());
+        for (p, &id) in preds.iter().zip(&ids) {
+            assert_eq!(p.node, id);
+            assert!(p.prediction < 3);
+            assert!((1..=3).contains(&p.depth));
+        }
+        assert_eq!(se.stats().count(), 20);
+        assert!(se.macs_total() > 0);
+    }
+
+    #[test]
+    fn flushed_arrivals_match_static_engine_on_final_graph() {
+        // Ingest all arrivals, then flush once: predictions must equal a
+        // static engine deployed on the final materialized graph.
+        let (g, _, t) = trained(250, 3);
+        let mut se = engine_from(&t, &g);
+        let mut rng = StdRng::seed_from_u64(123);
+        let mut arrivals = Vec::new();
+        for _ in 0..15 {
+            let feats: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut nbrs: Vec<u32> = (0..rng.gen_range(1..4))
+                .map(|_| rng.gen_range(0..250u32))
+                .collect();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            arrivals.push(se.ingest(&feats, &nbrs));
+        }
+        let cfg = InferenceConfig::distance(0.4, 1, 3);
+        let stream = se.flush(&cfg);
+
+        // Static replay on the final graph.
+        let labels: Vec<u32> = (0..se.graph().num_nodes()).map(|i| (i % 3) as u32).collect();
+        let final_graph = se.graph().snapshot_graph(labels.clone(), 3);
+        let comps = nai_graph::components::connected_components(&final_graph.adj);
+        if comps.count != 1 {
+            return; // stationary normalizers only comparable when connected
+        }
+        let ckpt = nai_core::checkpoint::ModelCheckpoint::from_engine(&t.engine, 0.5);
+        let static_engine = ckpt.deploy(&final_graph);
+        let stat = static_engine.infer(&arrivals, &labels, &cfg);
+        let stream_preds: Vec<usize> = stream.iter().map(|p| p.prediction).collect();
+        let stream_depths: Vec<usize> = stream.iter().map(|p| p.depth).collect();
+        assert_eq!(stat.predictions, stream_preds);
+        assert_eq!(stat.depths, stream_depths);
+    }
+
+    #[test]
+    fn observe_edge_changes_later_predictions_only() {
+        let (g, _, t) = trained(150, 2);
+        let mut se = engine_from(&t, &g);
+        let u = 0u32;
+        let v = (1..150u32).find(|x| !se.graph().neighbors(u).contains(x)).unwrap();
+        let before_edges = se.graph().num_edges();
+        assert!(se.observe_edge(u, v));
+        assert!(!se.observe_edge(u, v));
+        assert_eq!(se.graph().num_edges(), before_edges + 1);
+        // The engine still answers (graph consistency after edge arrival).
+        let res = se.infer_nodes(&[u, v], &InferenceConfig::fixed(2));
+        assert_eq!(res.len(), 2);
+    }
+
+    #[test]
+    fn micro_batching_respects_batch_size() {
+        let (g, _, t) = trained(150, 2);
+        let mut se = engine_from(&t, &g);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let feats: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            se.ingest(&feats, &[0, 1]);
+        }
+        let cfg = InferenceConfig {
+            batch_size: 3,
+            ..InferenceConfig::fixed(2)
+        };
+        let preds = se.flush(&cfg);
+        assert_eq!(preds.len(), 10);
+        // 10 arrivals in batches of 3 → 4 distinct micro-batch latencies
+        // at most; every node in one batch shares its latency.
+        let distinct: std::collections::HashSet<u128> =
+            preds.iter().map(|p| p.latency.as_nanos()).collect();
+        assert!(distinct.len() <= 4);
+    }
+
+    #[test]
+    fn isolated_arrival_is_classified() {
+        let (g, _, t) = trained(120, 2);
+        let mut se = engine_from(&t, &g);
+        se.ingest(&[0.3; 8], &[]);
+        let preds = se.flush(&InferenceConfig::distance(0.5, 1, 2));
+        assert_eq!(preds.len(), 1);
+        assert!(preds[0].prediction < 3);
+    }
+
+    #[test]
+    fn gate_mode_without_gates_panics_in_stream_too() {
+        let (g, _, t) = trained(100, 2);
+        let ckpt = nai_core::checkpoint::ModelCheckpoint::from_engine(&t.engine, 0.5);
+        let mut se = StreamingEngine::new(
+            DynamicGraph::from_graph(&g),
+            ckpt.build_classifiers(),
+            None,
+            0.5,
+        );
+        se.ingest(&[0.0; 8], &[0]);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            se.flush(&InferenceConfig::gate(1, 2))
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn flush_with_nothing_pending_is_empty() {
+        let (g, _, t) = trained(100, 2);
+        let mut se = engine_from(&t, &g);
+        let preds = se.flush(&InferenceConfig::fixed(2));
+        assert!(preds.is_empty());
+        assert_eq!(se.stats().count(), 0);
+    }
+
+    #[test]
+    fn duplicate_neighbor_ids_in_ingest_collapse() {
+        let (g, _, t) = trained(100, 2);
+        let mut se = engine_from(&t, &g);
+        let id = se.ingest(&[0.2; 8], &[3, 3, 3, 7]);
+        assert_eq!(se.graph().degree(id), 2);
+        let preds = se.flush(&InferenceConfig::fixed(2));
+        assert_eq!(preds.len(), 1);
+    }
+
+    #[test]
+    fn upper_bound_mode_streams() {
+        let (g, _, t) = trained(150, 3);
+        let mut se = engine_from(&t, &g);
+        for i in 0..6u32 {
+            se.ingest(&[0.1 * i as f32; 8], &[i, i + 1]);
+        }
+        let preds = se.flush(&InferenceConfig::upper_bound(0.5, 1, 3));
+        assert_eq!(preds.len(), 6);
+        assert!(preds.iter().all(|p| (1..=3).contains(&p.depth)));
+    }
+
+    #[test]
+    fn arrivals_see_previous_arrivals() {
+        // A second arrival may attach to the first one — ids are live
+        // immediately.
+        let (g, _, t) = trained(80, 2);
+        let mut se = engine_from(&t, &g);
+        let a = se.ingest(&[0.5; 8], &[0]);
+        let b = se.ingest(&[0.6; 8], &[a]);
+        assert!(se.graph().neighbors(a).contains(&b));
+        let preds = se.flush(&InferenceConfig::distance(0.5, 1, 2));
+        assert_eq!(preds.len(), 2);
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let (g, _, t) = trained(100, 2);
+        let mut se = engine_from(&t, &g);
+        se.ingest(&[0.1; 8], &[0, 1]);
+        se.flush(&InferenceConfig::fixed(2));
+        assert_eq!(se.stats().count(), 1);
+        assert!(se.stats().mean_depth() > 0.0);
+        se.reset_stats();
+        assert_eq!(se.stats().count(), 0);
+    }
+}

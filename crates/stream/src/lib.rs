@@ -1,0 +1,37 @@
+//! Streaming inductive inference for NAI.
+//!
+//! The paper motivates NAI with latency-critical *streaming* workloads:
+//! session recommenders, millisecond fraud detection, point-cloud
+//! perception. Those systems do not re-load a frozen graph per request —
+//! nodes and edges **arrive continuously** and every arrival needs a
+//! prediction now. This crate supplies the substrate the paper assumes but
+//! never spells out:
+//!
+//! * [`dynamic::DynamicGraph`] — a growable undirected graph with O(1)
+//!   amortized node/edge appends and on-the-fly symmetric normalization
+//!   (adjacency weights are derived from *current* degrees, so no stored
+//!   normalized matrix can go stale);
+//! * [`stationary::IncrementalStationary`] — the rank-1 stationary state
+//!   `X^(∞)` of Eq. (7) maintained under node/edge arrivals in `O(f)` per
+//!   update instead of `O(n·f)` recomputation;
+//! * [`engine::StreamingEngine`] — per-arrival Algorithm 1: ingest a node,
+//!   flush a micro-batch, get back predictions with personalized depths
+//!   and per-arrival latency;
+//! * [`stats::LatencyStats`] — p50/p95/p99 latency and throughput
+//!   accounting for the streaming benches.
+//!
+//! The static [`nai_core::inference::NaiEngine`] and this engine agree
+//! exactly when the stream is ingested fully before one flush (tested in
+//! `tests/stream_matches_static.rs`); the streaming value is everything
+//! before that point: predictions against the graph *as it existed at
+//! arrival time*, without rebuilding CSR matrices or stationary states.
+
+pub mod dynamic;
+pub mod engine;
+pub mod stationary;
+pub mod stats;
+
+pub use dynamic::DynamicGraph;
+pub use engine::{StreamPrediction, StreamingEngine};
+pub use stationary::IncrementalStationary;
+pub use stats::LatencyStats;

@@ -1,0 +1,292 @@
+//! Incremental maintenance of the stationary state `X^(∞)` (Eq. 7).
+//!
+//! The stationary row of node `i` is rank-1:
+//!
+//! ```text
+//! X^(∞)_i = (d_i+1)^γ / (2m+n) · Σ_j (d_j+1)^(1−γ) x_j
+//! ```
+//!
+//! Both the weighted sum and the normalizer are simple accumulators, so a
+//! node arrival with `d` edges or a single edge arrival updates them in
+//! `O(f)` (the arriving row plus degree-delta corrections for the touched
+//! endpoints) instead of the `O(n·f)` full recomputation of
+//! [`nai_core::stationary::StationaryState`].
+//!
+//! Like the paper's Eq. (7), this uses the **global** normalizer `2m+n`:
+//! streaming graphs are treated as one connected population (sessions
+//! attach to the observed graph). The per-component refinement for
+//! disconnected static graphs lives in `nai-core`; on a connected graph
+//! the two agree exactly, which the cross-crate tests verify.
+
+use crate::dynamic::DynamicGraph;
+use nai_linalg::DenseMatrix;
+
+/// Accumulator form of `X^(∞)` under node/edge arrivals.
+#[derive(Debug, Clone)]
+pub struct IncrementalStationary {
+    /// `Σ_j (d_j+1)^(1−γ) x_j`, in f64 to keep increments stable.
+    weighted_sum: Vec<f64>,
+    /// `2m + n`.
+    mass: f64,
+    gamma: f32,
+    feature_dim: usize,
+}
+
+impl IncrementalStationary {
+    /// Computes the accumulators of the current graph (one `O(n·f)` pass;
+    /// subsequent updates are incremental).
+    pub fn from_dynamic(g: &DynamicGraph, gamma: f32) -> Self {
+        let f = g.feature_dim();
+        let mut weighted_sum = vec![0.0f64; f];
+        for v in 0..g.num_nodes() as u32 {
+            let w = (g.degree(v) as f64 + 1.0).powf(1.0 - gamma as f64);
+            for (acc, &x) in weighted_sum.iter_mut().zip(g.feature(v)) {
+                *acc += w * x as f64;
+            }
+        }
+        Self {
+            weighted_sum,
+            mass: g.total_tilde_degree(),
+            gamma,
+            feature_dim: f,
+        }
+    }
+
+    /// Convolution coefficient γ.
+    pub fn gamma(&self) -> f32 {
+        self.gamma
+    }
+
+    /// Current normalizer `2m + n`.
+    pub fn mass(&self) -> f64 {
+        self.mass
+    }
+
+    /// Applies a node arrival. `features` is the new node's attribute row
+    /// and `neighbor_old_degrees` lists, for every *distinct* neighbor it
+    /// attached to, that neighbor's degree **before** the arrival together
+    /// with the neighbor's feature row.
+    ///
+    /// Call this *after* [`DynamicGraph::add_node`] using the degrees
+    /// captured before the insertion (see [`crate::engine::StreamingEngine::ingest`]).
+    ///
+    /// # Panics
+    /// Panics if a feature slice has the wrong length.
+    pub fn on_add_node(&mut self, features: &[f32], neighbor_old_degrees: &[(usize, &[f32])]) {
+        assert_eq!(features.len(), self.feature_dim, "arrival feature length");
+        let d = neighbor_old_degrees.len();
+        let g1 = 1.0 - self.gamma as f64;
+        // The new node contributes (d+1)^(1−γ) x_v.
+        let w_new = (d as f64 + 1.0).powf(g1);
+        for (acc, &x) in self.weighted_sum.iter_mut().zip(features) {
+            *acc += w_new * x as f64;
+        }
+        // Each touched neighbor's weight moves from (d_u+1)^(1−γ) to
+        // (d_u+2)^(1−γ).
+        for &(old_deg, xu) in neighbor_old_degrees {
+            assert_eq!(xu.len(), self.feature_dim, "neighbor feature length");
+            let delta = (old_deg as f64 + 2.0).powf(g1) - (old_deg as f64 + 1.0).powf(g1);
+            for (acc, &x) in self.weighted_sum.iter_mut().zip(xu) {
+                *acc += delta * x as f64;
+            }
+        }
+        // 2m+n: the node adds 1, each new edge adds 2.
+        self.mass += 1.0 + 2.0 * d as f64;
+    }
+
+    /// Applies an edge arrival between existing nodes whose degrees
+    /// before the arrival were `old_deg_u` / `old_deg_v`.
+    ///
+    /// # Panics
+    /// Panics if a feature slice has the wrong length.
+    pub fn on_add_edge(
+        &mut self,
+        xu: &[f32],
+        old_deg_u: usize,
+        xv: &[f32],
+        old_deg_v: usize,
+    ) {
+        assert_eq!(xu.len(), self.feature_dim, "endpoint feature length");
+        assert_eq!(xv.len(), self.feature_dim, "endpoint feature length");
+        let g1 = 1.0 - self.gamma as f64;
+        for (x, old) in [(xu, old_deg_u), (xv, old_deg_v)] {
+            let delta = (old as f64 + 2.0).powf(g1) - (old as f64 + 1.0).powf(g1);
+            for (acc, &val) in self.weighted_sum.iter_mut().zip(x) {
+                *acc += delta * val as f64;
+            }
+        }
+        self.mass += 2.0;
+    }
+
+    /// Writes `X^(∞)_v` for a node of the given current degree.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != feature_dim`.
+    pub fn write_row(&self, degree: usize, out: &mut [f32]) {
+        assert_eq!(out.len(), self.feature_dim, "output buffer size");
+        let scale =
+            (degree as f64 + 1.0).powf(self.gamma as f64) / self.mass.max(f64::MIN_POSITIVE);
+        for (o, &s) in out.iter_mut().zip(self.weighted_sum.iter()) {
+            *o = (scale * s) as f32;
+        }
+    }
+
+    /// Stationary rows for `nodes` against the current graph state.
+    pub fn rows(&self, g: &DynamicGraph, nodes: &[u32]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(nodes.len(), self.feature_dim);
+        for (t, &v) in nodes.iter().enumerate() {
+            self.write_row(g.degree(v), out.row_mut(t));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nai_graph::generators::{generate, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn dyn_graph(n: usize, seed: u64) -> DynamicGraph {
+        let g = generate(
+            &GeneratorConfig {
+                num_nodes: n,
+                num_classes: 3,
+                feature_dim: 6,
+                avg_degree: 6.0,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        DynamicGraph::from_graph(&g)
+    }
+
+    fn assert_matches_recompute(inc: &IncrementalStationary, g: &DynamicGraph) {
+        let fresh = IncrementalStationary::from_dynamic(g, inc.gamma());
+        assert!((inc.mass() - fresh.mass()).abs() < 1e-6, "mass drift");
+        for v in 0..g.num_nodes() as u32 {
+            let mut a = vec![0.0f32; g.feature_dim()];
+            let mut b = vec![0.0f32; g.feature_dim()];
+            inc.write_row(g.degree(v), &mut a);
+            fresh.write_row(g.degree(v), &mut b);
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-4, "row {v}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn node_arrival_matches_recompute() {
+        let mut g = dyn_graph(60, 3);
+        let mut inc = IncrementalStationary::from_dynamic(&g, 0.5);
+        let feats = vec![0.5f32; 6];
+        let neighbors = [0u32, 7, 13];
+        let old: Vec<(usize, Vec<f32>)> = neighbors
+            .iter()
+            .map(|&u| (g.degree(u), g.feature(u).to_vec()))
+            .collect();
+        g.add_node(&feats, &neighbors);
+        let old_refs: Vec<(usize, &[f32])> =
+            old.iter().map(|(d, x)| (*d, x.as_slice())).collect();
+        inc.on_add_node(&feats, &old_refs);
+        assert_matches_recompute(&inc, &g);
+    }
+
+    #[test]
+    fn edge_arrival_matches_recompute() {
+        let mut g = dyn_graph(60, 4);
+        let mut inc = IncrementalStationary::from_dynamic(&g, 0.5);
+        let (u, v) = (0u32, 31u32);
+        if g.neighbors(u).contains(&v) {
+            return; // already connected in this seed; nothing to test
+        }
+        let (du, dv) = (g.degree(u), g.degree(v));
+        let (xu, xv) = (g.feature(u).to_vec(), g.feature(v).to_vec());
+        assert!(g.add_edge(u, v));
+        inc.on_add_edge(&xu, du, &xv, dv);
+        assert_matches_recompute(&inc, &g);
+    }
+
+    #[test]
+    fn matches_core_stationary_on_connected_graph() {
+        // On a connected static graph, the incremental (global-normalizer)
+        // form equals nai-core's per-component form.
+        let g = generate(
+            &GeneratorConfig {
+                num_nodes: 80,
+                num_classes: 3,
+                feature_dim: 6,
+                avg_degree: 10.0,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(9),
+        );
+        let comps = nai_graph::components::connected_components(&g.adj);
+        if comps.count != 1 {
+            return; // only the connected case is comparable
+        }
+        let d = DynamicGraph::from_graph(&g);
+        let inc = IncrementalStationary::from_dynamic(&d, 0.5);
+        let core = nai_core::stationary::StationaryState::compute(&g.adj, &g.features, 0.5);
+        let nodes: Vec<u32> = (0..80).collect();
+        let a = inc.rows(&d, &nodes);
+        let b = core.rows(&nodes);
+        for i in 0..80 {
+            for (x, y) in a.row(i).iter().zip(b.row(i)) {
+                assert!((x - y).abs() < 1e-4, "node {i}: {x} vs {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn long_arrival_sequence_stays_consistent() {
+        let mut g = dyn_graph(40, 5);
+        let mut inc = IncrementalStationary::from_dynamic(&g, 0.5);
+        let mut rng = StdRng::seed_from_u64(17);
+        for step in 0..60 {
+            if step % 3 == 0 && g.num_edges() > 0 {
+                // Random edge between existing nodes.
+                let u = rng.gen_range(0..g.num_nodes()) as u32;
+                let v = rng.gen_range(0..g.num_nodes()) as u32;
+                if u == v || g.neighbors(u).contains(&v) {
+                    continue;
+                }
+                let (du, dv) = (g.degree(u), g.degree(v));
+                let (xu, xv) = (g.feature(u).to_vec(), g.feature(v).to_vec());
+                g.add_edge(u, v);
+                inc.on_add_edge(&xu, du, &xv, dv);
+            } else {
+                let deg = rng.gen_range(0..4);
+                let mut nbrs: Vec<u32> = (0..deg)
+                    .map(|_| rng.gen_range(0..g.num_nodes()) as u32)
+                    .collect();
+                nbrs.sort_unstable();
+                nbrs.dedup();
+                let feats: Vec<f32> = (0..6).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let old: Vec<(usize, Vec<f32>)> = nbrs
+                    .iter()
+                    .map(|&u| (g.degree(u), g.feature(u).to_vec()))
+                    .collect();
+                g.add_node(&feats, &nbrs);
+                let old_refs: Vec<(usize, &[f32])> =
+                    old.iter().map(|(d, x)| (*d, x.as_slice())).collect();
+                inc.on_add_node(&feats, &old_refs);
+            }
+        }
+        assert_matches_recompute(&inc, &g);
+    }
+
+    #[test]
+    fn gamma_zero_weights_only_source_degrees() {
+        // γ = 0 ⇒ left coefficient is 1 for every node: rows are equal
+        // regardless of degree.
+        let g = dyn_graph(30, 6);
+        let inc = IncrementalStationary::from_dynamic(&g, 0.0);
+        let mut a = vec![0.0f32; 6];
+        let mut b = vec![0.0f32; 6];
+        inc.write_row(1, &mut a);
+        inc.write_row(50, &mut b);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,149 @@
+//! Latency/throughput accounting for streaming inference.
+
+use std::time::Duration;
+
+/// Accumulates per-arrival latencies and exit depths.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    latencies: Vec<Duration>,
+    depth_sum: u64,
+    total_busy: Duration,
+}
+
+impl LatencyStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one prediction's latency and exit depth.
+    pub fn record(&mut self, latency: Duration, depth: usize) {
+        self.latencies.push(latency);
+        self.depth_sum += depth as u64;
+        self.total_busy += latency;
+    }
+
+    /// Number of recorded predictions.
+    pub fn count(&self) -> usize {
+        self.latencies.len()
+    }
+
+    /// Mean exit depth.
+    pub fn mean_depth(&self) -> f64 {
+        if self.latencies.is_empty() {
+            return 0.0;
+        }
+        self.depth_sum as f64 / self.latencies.len() as f64
+    }
+
+    /// Mean latency.
+    pub fn mean_latency(&self) -> Duration {
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        self.total_busy / self.latencies.len() as u32
+    }
+
+    /// The `q`-quantile latency (`q ∈ [0, 1]`), nearest-rank.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.latencies.is_empty() {
+            return Duration::ZERO;
+        }
+        let mut sorted = self.latencies.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.5)
+    }
+
+    /// 95th-percentile latency.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+
+    /// Worst-case latency.
+    pub fn max(&self) -> Duration {
+        self.latencies.iter().copied().max().unwrap_or(Duration::ZERO)
+    }
+
+    /// Predictions per second of busy time (0 when nothing recorded).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.total_busy.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.latencies.len() as f64 / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_of(ms: &[u64]) -> LatencyStats {
+        let mut s = LatencyStats::new();
+        for (i, &m) in ms.iter().enumerate() {
+            s.record(Duration::from_millis(m), i % 3 + 1);
+        }
+        s
+    }
+
+    #[test]
+    fn quantiles_are_nearest_rank() {
+        let s = stats_of(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 10]);
+        assert_eq!(s.p50(), Duration::from_millis(5));
+        assert_eq!(s.quantile(1.0), Duration::from_millis(10));
+        assert_eq!(s.quantile(0.0), Duration::from_millis(1));
+        assert_eq!(s.p95(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn mean_and_max() {
+        let s = stats_of(&[2, 4, 6]);
+        assert_eq!(s.mean_latency(), Duration::from_millis(4));
+        assert_eq!(s.max(), Duration::from_millis(6));
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = LatencyStats::new();
+        assert_eq!(s.p99(), Duration::ZERO);
+        assert_eq!(s.mean_latency(), Duration::ZERO);
+        assert_eq!(s.throughput(), 0.0);
+        assert_eq!(s.mean_depth(), 0.0);
+    }
+
+    #[test]
+    fn throughput_inverts_mean_latency() {
+        let s = stats_of(&[10, 10, 10, 10]);
+        assert!((s.throughput() - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_depth_tracks_records() {
+        let mut s = LatencyStats::new();
+        s.record(Duration::from_millis(1), 2);
+        s.record(Duration::from_millis(1), 4);
+        assert!((s.mean_depth() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn out_of_range_quantile_panics() {
+        let _ = stats_of(&[1]).quantile(1.5);
+    }
+}

@@ -1,0 +1,55 @@
+//! Latency/accuracy trade-off sweep (the Fig. 4 mechanic, interactive).
+//!
+//! NAI's operating point is a pair of simple global knobs (`T_s`,
+//! `T_min`/`T_max`): sweeping them traces an accuracy-vs-cost frontier
+//! that a deployment can pick from per its latency constraint. This
+//! example prints the frontier alongside the exit-depth distributions
+//! (the paper's Table VI view of the same runs).
+//!
+//! ```sh
+//! cargo run --release --example latency_tradeoff
+//! ```
+
+use nai::datasets::{load, DatasetId, Scale};
+use nai::prelude::*;
+
+fn main() {
+    let ds = load(DatasetId::ArxivProxy, Scale::Test);
+    let k = 5;
+    let cfg = PipelineConfig {
+        k,
+        hidden: vec![32],
+        epochs: 60,
+        gate_epochs: 15,
+        ..PipelineConfig::default()
+    };
+    println!("training NAI (SGC, k = {k}) on {} ...", ds.id.name());
+    let trained = NaiPipeline::new(ModelKind::Sgc, cfg).train(&ds.graph, &ds.split, true);
+
+    println!(
+        "\n{:<26} {:>8} {:>12} {:>10}  exit-depth distribution",
+        "operating point", "ACC", "FP mMACs", "meandepth"
+    );
+    let mut frontier: Vec<(String, InferenceConfig)> = vec![
+        ("vanilla (fixed k)".into(), InferenceConfig::fixed(k)),
+        ("gate NAP".into(), InferenceConfig::gate(1, k)),
+    ];
+    for ts in [0.25f32, 0.5, 1.0, 2.0, 4.0] {
+        frontier.push((
+            format!("distance T_s = {ts}"),
+            InferenceConfig::distance(ts, 1, k),
+        ));
+    }
+    for (name, cfg) in &frontier {
+        let run = trained.engine.infer(&ds.split.test, &ds.graph.labels, cfg);
+        println!(
+            "{:<26} {:>8.3} {:>12.4} {:>10.2}  {:?}",
+            name,
+            run.report.accuracy,
+            run.report.fp_mmacs_per_node(),
+            run.report.mean_depth(),
+            run.report.depth_histogram
+        );
+    }
+    println!("\nlarger T_s → earlier exits → lower cost; pick the point that fits your SLA.");
+}

@@ -1,0 +1,137 @@
+//! 3D point-cloud semantic segmentation: NAI on a k-NN graph.
+//!
+//! The paper's introduction motivates real-time GNN inference with
+//! point-cloud perception in automated driving (Point-GNN-style object
+//! pipelines). This example builds the graph from scratch — sampled 3D
+//! points in class-shaped clusters, connected by k-nearest-neighbor
+//! edges — exercising the low-level `Graph`/`CsrMatrix` API rather than
+//! the dataset registry, then compares fixed-depth inference against the
+//! three NAP policies with per-class F1 (segmentation cares about rare
+//! parts, not just overall accuracy).
+//!
+//! ```sh
+//! cargo run --release --example point_cloud
+//! ```
+
+use nai::graph::CsrMatrix;
+use nai::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples `n` points in `c` Gaussian clusters ("object parts") and
+/// returns (positions, labels).
+fn sample_cloud(n: usize, c: usize, rng: &mut StdRng) -> (Vec<[f32; 3]>, Vec<u32>) {
+    let centers: Vec<[f32; 3]> = (0..c)
+        .map(|_| {
+            [
+                rng.gen_range(-4.0f32..4.0),
+                rng.gen_range(-4.0f32..4.0),
+                rng.gen_range(-1.0f32..1.0),
+            ]
+        })
+        .collect();
+    let mut points = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let cls = i % c;
+        let ctr = centers[cls];
+        points.push([
+            ctr[0] + rng.gen_range(-1.0f32..1.0),
+            ctr[1] + rng.gen_range(-1.0f32..1.0),
+            ctr[2] + rng.gen_range(-0.5f32..0.5),
+        ]);
+        labels.push(cls as u32);
+    }
+    (points, labels)
+}
+
+/// Exact k-NN edges by Euclidean distance (quadratic scan — fine at demo
+/// scale; real perception stacks use spatial indices).
+fn knn_edges(points: &[[f32; 3]], k: usize) -> Vec<(u32, u32)> {
+    let n = points.len();
+    let mut edges = Vec::with_capacity(n * k);
+    for i in 0..n {
+        let mut dist: Vec<(f32, u32)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let d: f32 = points[i]
+                    .iter()
+                    .zip(&points[j])
+                    .map(|(a, b)| (a - b) * (a - b))
+                    .sum();
+                (d, j as u32)
+            })
+            .collect();
+        dist.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for &(_, j) in dist.iter().take(k) {
+            let (a, b) = (i as u32, j);
+            edges.push(if a < b { (a, b) } else { (b, a) });
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+    edges
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(2024);
+    let (n, classes, knn) = (900, 5, 8);
+    let (points, labels) = sample_cloud(n, classes, &mut rng);
+    let adj = CsrMatrix::undirected_adjacency(n, &knn_edges(&points, knn))
+        .expect("knn edges are valid");
+
+    // Per-point descriptor: xyz + 5 noisy intensity channels correlated
+    // with the part label (lidar return intensity, normals, ...).
+    let f = 8;
+    let features = DenseMatrix::from_fn(n, f, |i, j| match j {
+        0..=2 => points[i][j],
+        _ => labels[i] as f32 * 0.7 + rng.gen_range(-1.2f32..1.2),
+    });
+    let graph = Graph::new(adj, features, labels, classes).expect("consistent graph");
+    println!(
+        "point cloud: {} points, {} knn edges, {} part classes",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.num_classes
+    );
+
+    let split = InductiveSplit::random(n, 0.5, 0.2, &mut StdRng::seed_from_u64(7));
+    let k = 4;
+    let cfg = PipelineConfig {
+        k,
+        hidden: vec![32],
+        epochs: 60,
+        gate_epochs: 12,
+        ..PipelineConfig::default()
+    };
+    let trained = NaiPipeline::new(ModelKind::Sgc, cfg).train(&graph, &split, true);
+
+    // NAP_u consumes T_s through the Eq. (10) spectral bound, which is
+    // loose when λ₂ ≈ 1 (k-NN graphs are well connected) — its useful
+    // threshold range sits far above NAP_d's distance scale.
+    let policies = [
+        ("fixed k", InferenceConfig::fixed(k)),
+        ("NAP_d", InferenceConfig::distance(0.6, 1, k)),
+        ("NAP_g", InferenceConfig::gate(1, k)),
+        ("NAP_u", InferenceConfig::upper_bound(30.0, 1, k)),
+    ];
+    println!("\n{:>8} | {:>6} | {:>8} | {:>10} | per-class F1", "policy", "acc", "macro-F1", "mean depth");
+    for (name, cfg) in policies {
+        let res = trained.engine.infer(&split.test, &graph.labels, &cfg);
+        let truth: Vec<u32> = split.test.iter().map(|&v| graph.labels[v as usize]).collect();
+        let cm = ConfusionMatrix::from_predictions(&res.predictions, &truth, classes);
+        let per_class: Vec<String> = (0..classes).map(|c| format!("{:.2}", cm.f1(c))).collect();
+        println!(
+            "{name:>8} | {:.3}  | {:.3}    | {:>10.2} | [{}]",
+            res.report.accuracy,
+            cm.macro_f1(),
+            res.report.mean_depth(),
+            per_class.join(", ")
+        );
+    }
+    println!(
+        "\nadaptive policies keep macro-F1 close to fixed-depth while \
+         cutting the mean propagation depth — the latency lever for a \
+         perception loop."
+    );
+}

@@ -1,0 +1,171 @@
+//! Baseline integration: every method of Table V trains against the same
+//! teacher and produces the cost signature the paper reports.
+
+use nai::baselines::glnn::{Glnn, GlnnConfig};
+use nai::baselines::nosmog::{Nosmog, NosmogConfig};
+use nai::baselines::pprgo::{PprGo, PprGoConfig};
+use nai::baselines::quantization::{QuantizedModel, QuantizedNai};
+use nai::baselines::tinygnn::{TinyGnn, TinyGnnConfig};
+use nai::datasets::{load, DatasetId, Scale};
+use nai::nn::trainer::TrainConfig;
+use nai::prelude::*;
+
+fn setup() -> (nai::datasets::Dataset, TrainedNai) {
+    let ds = load(DatasetId::ArxivProxy, Scale::Test);
+    let cfg = PipelineConfig {
+        k: 3,
+        hidden: vec![32],
+        epochs: 50,
+        patience: 12,
+        distill: nai::core::config::DistillConfig {
+            epochs: 12,
+            ensemble_r: 2,
+            ..Default::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let t = NaiPipeline::new(ModelKind::Sgc, cfg).train(&ds.graph, &ds.split, false);
+    (ds, t)
+}
+
+fn kd_train_cfg() -> TrainConfig {
+    TrainConfig {
+        epochs: 60,
+        patience: 15,
+        adam: nai::nn::adam::Adam::new(0.02, 0.0),
+        ..TrainConfig::default()
+    }
+}
+
+#[test]
+fn all_baselines_beat_chance_and_show_their_cost_signature() {
+    let (ds, trained) = setup();
+    let test = &ds.split.test;
+    let labels = &ds.graph.labels;
+    let chance = 1.0 / ds.graph.num_classes as f64;
+
+    let vanilla = trained
+        .engine
+        .infer(test, labels, &InferenceConfig::fixed(3));
+
+    // GLNN: zero FP MACs.
+    let glnn = Glnn::distill(
+        &trained,
+        &ds.graph,
+        &ds.split,
+        &GlnnConfig {
+            train: kd_train_cfg(),
+            ..GlnnConfig::default()
+        },
+        1,
+    );
+    let glnn_run = glnn.infer(&ds.graph, test, labels, 100);
+    assert!(glnn_run.report.accuracy > chance + 0.1);
+    assert_eq!(glnn_run.report.macs.feature_processing(), 0);
+
+    // NOSMOG: small, nonzero FP cost; usually better than GLNN
+    // inductively.
+    let nosmog = Nosmog::distill(
+        &trained,
+        &ds.graph,
+        &ds.split,
+        &NosmogConfig {
+            train: kd_train_cfg(),
+            ..NosmogConfig::default()
+        },
+        2,
+    );
+    let nosmog_run = nosmog.infer(&ds.graph, test, labels, 100);
+    assert!(nosmog_run.report.accuracy > chance + 0.1);
+    assert!(nosmog_run.report.macs.feature_processing() > 0);
+    assert!(
+        nosmog_run.report.macs.feature_processing() < vanilla.report.macs.feature_processing()
+    );
+
+    // TinyGNN: 1-hop only, attention-heavy.
+    let mut tiny = TinyGnn::distill(
+        &trained,
+        &ds.graph,
+        &ds.split,
+        &TinyGnnConfig {
+            epochs: 20,
+            ..TinyGnnConfig::default()
+        },
+        3,
+    );
+    let tiny_run = tiny.infer(&ds.graph, test, labels, 100, 4);
+    assert!(tiny_run.report.accuracy > chance + 0.1);
+    assert!(tiny_run.report.macs.propagation > 0);
+
+    // Quantization: identical propagation cost to vanilla, near-identical
+    // accuracy.
+    let quant = QuantizedModel::from_engine(&trained.engine);
+    let quant_run = quant.infer(&trained.engine, test, labels, 500);
+    assert_eq!(
+        quant_run.report.macs.propagation,
+        vanilla.report.macs.propagation
+    );
+    assert!((quant_run.report.accuracy - vanilla.report.accuracy).abs() < 0.05);
+
+    // PPRGo (extension): its push cost is bounded by 1/(α·ε) pushes and
+    // independent of k — unlike frontier propagation, whose cost grows
+    // with depth. Its classification MACs scale with top-k (the
+    // signature that distinguishes it from every Table V method).
+    let pprgo = PprGo::train(
+        &ds.graph,
+        &ds.split,
+        &PprGoConfig {
+            epochs: 40,
+            ..PprGoConfig::default()
+        },
+    );
+    let pprgo_run = pprgo.infer_batched(&ds.graph, test, labels, 100);
+    assert!(pprgo_run.report.accuracy > chance + 0.1);
+    assert!(pprgo_run.report.macs.propagation > 0);
+    assert!(
+        pprgo_run.report.macs.classification > pprgo_run.report.macs.propagation / 2,
+        "top-k MLP evaluations should be a first-order cost for PPRGo"
+    );
+
+    // Quantized adaptive (extension): NAP exits identical to f32.
+    let qnai = QuantizedNai::from_engine(&trained.engine);
+    let cfg = InferenceConfig::distance(0.6, 1, 3);
+    let f32_adaptive = trained.engine.infer(test, labels, &cfg);
+    let q_adaptive = qnai.infer(&trained.engine, test, labels, &cfg);
+    assert_eq!(f32_adaptive.depths, q_adaptive.depths);
+    assert!((q_adaptive.report.accuracy - f32_adaptive.report.accuracy).abs() < 0.05);
+}
+
+#[test]
+fn nai_dominates_glnn_on_inductive_accuracy() {
+    // The paper's core comparison: GLNN is fastest but loses accuracy on
+    // unseen nodes because it ignores topology; NAI keeps the accuracy.
+    let (ds, trained) = setup();
+    let glnn = Glnn::distill(
+        &trained,
+        &ds.graph,
+        &ds.split,
+        &GlnnConfig {
+            train: kd_train_cfg(),
+            ..GlnnConfig::default()
+        },
+        5,
+    );
+    let glnn_acc = glnn
+        .infer(&ds.graph, &ds.split.test, &ds.graph.labels, 100)
+        .report
+        .accuracy;
+    let nai_acc = trained
+        .engine
+        .infer(
+            &ds.split.test,
+            &ds.graph.labels,
+            &InferenceConfig::distance(1.0, 1, 3),
+        )
+        .report
+        .accuracy;
+    assert!(
+        nai_acc > glnn_acc - 0.02,
+        "NAI {nai_acc} should not lose to GLNN {glnn_acc} inductively"
+    );
+}

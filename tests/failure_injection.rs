@@ -1,0 +1,189 @@
+//! Failure injection: degenerate configurations and hostile inputs must
+//! fail loudly (typed errors / panics with clear messages), never corrupt
+//! results silently.
+
+use nai::datasets::{load, DatasetId, Scale};
+use nai::graph::generators::{generate, GeneratorConfig};
+use nai::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn quick_trained() -> (nai::datasets::Dataset, TrainedNai) {
+    let ds = load(DatasetId::ArxivProxy, Scale::Test);
+    let cfg = PipelineConfig {
+        k: 2,
+        hidden: vec![8],
+        epochs: 8,
+        use_single_scale: false,
+        use_multi_scale: false,
+        ..PipelineConfig::default()
+    };
+    let t = NaiPipeline::new(ModelKind::Sgc, cfg).train(&ds.graph, &ds.split, false);
+    (ds, t)
+}
+
+#[test]
+fn tmin_equal_tmax_degenerates_to_fixed_depth() {
+    let (ds, t) = quick_trained();
+    let a = t.engine.infer(
+        &ds.split.test,
+        &ds.graph.labels,
+        &InferenceConfig {
+            t_min: 2,
+            t_max: 2,
+            nap: NapMode::Distance { ts: f32::INFINITY },
+            batch_size: 64,
+        },
+    );
+    let b = t
+        .engine
+        .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::fixed(2));
+    assert_eq!(a.predictions, b.predictions);
+    assert_eq!(a.depths, b.depths);
+}
+
+#[test]
+fn nan_features_do_not_crash_inference() {
+    // A node with NaN features must not bring the engine down; its own
+    // prediction is garbage (NaN logits → argmax 0) but neighbors further
+    // than T_max hops away are unaffected.
+    let mut g = generate(
+        &GeneratorConfig {
+            num_nodes: 120,
+            feature_dim: 6,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(2),
+    );
+    g.features.set(0, 0, f32::NAN);
+    let split = InductiveSplit::random(120, 0.5, 0.2, &mut StdRng::seed_from_u64(3));
+    let cfg = PipelineConfig {
+        k: 2,
+        hidden: vec![],
+        epochs: 5,
+        use_single_scale: false,
+        use_multi_scale: false,
+        ..PipelineConfig::default()
+    };
+    let t = NaiPipeline::new(ModelKind::Sgc, cfg).train(&g, &split, false);
+    let run = t
+        .engine
+        .infer(&split.test, &g.labels, &InferenceConfig::fixed(2));
+    assert_eq!(run.predictions.len(), split.test.len());
+}
+
+#[test]
+#[should_panic(expected = "invalid inference config")]
+fn zero_batch_size_rejected() {
+    let (ds, t) = quick_trained();
+    let _ = t.engine.infer(
+        &ds.split.test,
+        &ds.graph.labels,
+        &InferenceConfig {
+            batch_size: 0,
+            ..InferenceConfig::fixed(2)
+        },
+    );
+}
+
+#[test]
+#[should_panic]
+fn out_of_range_test_node_rejected() {
+    let (ds, t) = quick_trained();
+    let bad = vec![ds.graph.num_nodes() as u32 + 5];
+    let _ = t
+        .engine
+        .infer(&bad, &ds.graph.labels, &InferenceConfig::fixed(2));
+}
+
+#[test]
+fn split_with_everything_in_test_still_trains_on_rest() {
+    // Extreme inductive setting: only 10% observed.
+    let g = generate(
+        &GeneratorConfig {
+            num_nodes: 300,
+            feature_dim: 8,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(4),
+    );
+    let split = InductiveSplit::random(300, 0.07, 0.03, &mut StdRng::seed_from_u64(5));
+    let cfg = PipelineConfig {
+        k: 2,
+        hidden: vec![16],
+        epochs: 20,
+        use_multi_scale: false,
+        ..PipelineConfig::default()
+    };
+    let t = NaiPipeline::new(ModelKind::Sgc, cfg).train(&g, &split, false);
+    let run = t.engine.infer(
+        &split.test,
+        &g.labels,
+        &InferenceConfig::distance(1.0, 1, 2),
+    );
+    assert_eq!(run.predictions.len(), split.test.len());
+    assert!(run.report.accuracy > 1.0 / g.num_classes as f64);
+}
+
+#[test]
+fn duplicate_test_nodes_get_consistent_predictions() {
+    let (ds, t) = quick_trained();
+    let node = ds.split.test[0];
+    let run = t.engine.infer(
+        &[node, node, node],
+        &ds.graph.labels,
+        &InferenceConfig::distance(1.0, 1, 2),
+    );
+    assert_eq!(run.predictions[0], run.predictions[1]);
+    assert_eq!(run.predictions[1], run.predictions[2]);
+    assert_eq!(run.depths[0], run.depths[2]);
+}
+
+#[test]
+fn propagate_only_matches_engine_histories() {
+    let (ds, t) = quick_trained();
+    let batch = &ds.split.test[..8.min(ds.split.test.len())];
+    let (history, macs, _) = t.engine.propagate_only(batch, 2);
+    assert_eq!(history.len(), 3);
+    for h in &history {
+        assert_eq!(h.rows(), batch.len());
+    }
+    assert!(macs.propagation > 0);
+    // Raw level must equal the graph's features for those nodes.
+    for (r, &node) in batch.iter().enumerate() {
+        assert_eq!(history[0].row(r), ds.graph.features.row(node as usize));
+    }
+}
+
+#[test]
+fn gate_training_on_tiny_label_budget_survives() {
+    // Only 12 labeled nodes: gates must still train without panicking.
+    let g = generate(
+        &GeneratorConfig {
+            num_nodes: 100,
+            feature_dim: 6,
+            num_classes: 3,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(6),
+    );
+    let split = InductiveSplit {
+        train: (0..12u32).collect(),
+        val: (12..20u32).collect(),
+        test: (20..100u32).collect(),
+    };
+    let cfg = PipelineConfig {
+        k: 2,
+        hidden: vec![],
+        epochs: 5,
+        gate_epochs: 3,
+        use_single_scale: false,
+        use_multi_scale: false,
+        ..PipelineConfig::default()
+    };
+    let t = NaiPipeline::new(ModelKind::Sgc, cfg).train(&g, &split, true);
+    let run = t
+        .engine
+        .infer(&split.test, &g.labels, &InferenceConfig::gate(1, 2));
+    assert_eq!(run.predictions.len(), 80);
+}

@@ -1,0 +1,191 @@
+//! End-to-end inductive pipeline tests: train on the observed subgraph,
+//! infer on unseen nodes, and verify the paper's headline claims in
+//! miniature — adaptive depth saves feature-processing work without a
+//! meaningful accuracy drop.
+
+use nai::datasets::{load, DatasetId, Scale};
+use nai::prelude::*;
+
+fn trained(id: DatasetId, k: usize, gates: bool) -> (nai::datasets::Dataset, TrainedNai) {
+    let ds = load(id, Scale::Test);
+    let cfg = PipelineConfig {
+        k,
+        hidden: vec![32],
+        epochs: 50,
+        patience: 12,
+        gate_epochs: 12,
+        distill: nai::core::config::DistillConfig {
+            epochs: 15,
+            ensemble_r: 2,
+            ..Default::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let t = NaiPipeline::new(ModelKind::Sgc, cfg).train(&ds.graph, &ds.split, gates);
+    (ds, t)
+}
+
+#[test]
+fn vanilla_inductive_inference_beats_majority_class() {
+    let (ds, t) = trained(DatasetId::ArxivProxy, 3, false);
+    let run = t
+        .engine
+        .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::fixed(3));
+    let majority = ds
+        .graph
+        .class_histogram()
+        .into_iter()
+        .max()
+        .unwrap() as f64
+        / ds.graph.num_nodes() as f64;
+    assert!(
+        run.report.accuracy > majority + 0.1,
+        "acc {} vs majority {majority}",
+        run.report.accuracy
+    );
+}
+
+#[test]
+fn distance_nap_saves_fp_macs_with_small_accuracy_cost() {
+    let (ds, t) = trained(DatasetId::ArxivProxy, 4, false);
+    let vanilla = t
+        .engine
+        .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::fixed(4));
+    // Mid threshold chosen on validation.
+    let mut best: Option<(f32, f64)> = None;
+    for ts in [0.5f32, 1.0, 2.0] {
+        let v = t.engine.infer(
+            &ds.split.val,
+            &ds.graph.labels,
+            &InferenceConfig::distance(ts, 1, 4),
+        );
+        if best.is_none_or(|(_, acc)| v.report.accuracy > acc) {
+            best = Some((ts, v.report.accuracy));
+        }
+    }
+    let (ts, _) = best.unwrap();
+    let nai = t.engine.infer(
+        &ds.split.test,
+        &ds.graph.labels,
+        &InferenceConfig::distance(ts, 1, 4),
+    );
+    // A conservative validation-chosen threshold may trigger few exits, in
+    // which case the distance checks add up to `f` MACs per node per depth
+    // of overhead; allow that margin but nothing more.
+    assert!(
+        nai.report.macs.feature_processing() as f64
+            <= vanilla.report.macs.feature_processing() as f64 * 1.05,
+        "NAP must not do meaningfully more FP work ({} vs {})",
+        nai.report.macs.feature_processing(),
+        vanilla.report.macs.feature_processing()
+    );
+    assert!(
+        nai.report.accuracy > vanilla.report.accuracy - 0.08,
+        "NAI {} vs vanilla {}",
+        nai.report.accuracy,
+        vanilla.report.accuracy
+    );
+}
+
+#[test]
+fn gate_nap_runs_end_to_end_on_unseen_nodes() {
+    let (ds, t) = trained(DatasetId::ArxivProxy, 3, true);
+    let run = t
+        .engine
+        .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::gate(1, 3));
+    assert_eq!(run.predictions.len(), ds.split.test.len());
+    assert!(run.depths.iter().all(|&d| (1..=3).contains(&d)));
+    assert!(run.report.accuracy > 0.3, "acc {}", run.report.accuracy);
+}
+
+#[test]
+fn aggressive_early_exit_is_cheaper_than_conservative() {
+    let (ds, t) = trained(DatasetId::ProductsProxy, 3, false);
+    let eager = t.engine.infer(
+        &ds.split.test,
+        &ds.graph.labels,
+        &InferenceConfig::distance(f32::INFINITY, 1, 3),
+    );
+    let lazy = t.engine.infer(
+        &ds.split.test,
+        &ds.graph.labels,
+        &InferenceConfig::distance(0.0, 1, 3),
+    );
+    assert!(eager.report.mean_depth() < lazy.report.mean_depth());
+    assert!(eager.report.macs.propagation < lazy.report.macs.propagation);
+    // MACs ordering must also show up per Table I's q-dependence.
+    assert!(eager.report.mmacs_per_node() < lazy.report.mmacs_per_node());
+}
+
+#[test]
+fn depth_histogram_partitions_the_test_set() {
+    let (ds, t) = trained(DatasetId::FlickrProxy, 3, false);
+    let run = t.engine.infer(
+        &ds.split.test,
+        &ds.graph.labels,
+        &InferenceConfig::distance(1.0, 1, 3),
+    );
+    assert_eq!(
+        run.report.depth_histogram.iter().sum::<usize>(),
+        ds.split.test.len()
+    );
+    for (i, &d) in run.depths.iter().enumerate() {
+        assert!((1..=3).contains(&d), "node {i} depth {d}");
+    }
+}
+
+#[test]
+fn tmin_tmax_bounds_are_respected() {
+    let (ds, t) = trained(DatasetId::ArxivProxy, 4, false);
+    let run = t.engine.infer(
+        &ds.split.test,
+        &ds.graph.labels,
+        &InferenceConfig {
+            t_min: 2,
+            t_max: 3,
+            nap: NapMode::Distance { ts: f32::INFINITY },
+            batch_size: 100,
+        },
+    );
+    assert!(run.depths.iter().all(|&d| (2..=3).contains(&d)));
+}
+
+#[test]
+fn inception_distillation_helps_shallow_exits() {
+    // Train twice: with and without Inception Distillation; compare
+    // accuracy at the all-exit-at-depth-1 operating point (Table VIII's
+    // f^(1) comparison).
+    let ds = load(DatasetId::ArxivProxy, Scale::Test);
+    let base_cfg = PipelineConfig {
+        k: 3,
+        hidden: vec![32],
+        epochs: 50,
+        patience: 12,
+        distill: nai::core::config::DistillConfig {
+            epochs: 15,
+            ensemble_r: 2,
+            ..Default::default()
+        },
+        ..PipelineConfig::default()
+    };
+    let mut no_id = base_cfg.clone();
+    no_id.use_single_scale = false;
+    no_id.use_multi_scale = false;
+    let with_id = NaiPipeline::new(ModelKind::Sgc, base_cfg).train(&ds.graph, &ds.split, false);
+    let without_id = NaiPipeline::new(ModelKind::Sgc, no_id).train(&ds.graph, &ds.split, false);
+    let exit1 = InferenceConfig::distance(f32::INFINITY, 1, 3);
+    let acc_with = with_id
+        .engine
+        .infer(&ds.split.test, &ds.graph.labels, &exit1)
+        .report
+        .accuracy;
+    let acc_without = without_id
+        .engine
+        .infer(&ds.split.test, &ds.graph.labels, &exit1)
+        .report
+        .accuracy;
+    assert!(
+        acc_with >= acc_without - 0.03,
+        "ID should not hurt f^(1): with {acc_with} vs without {acc_without}"
+    );
+}
