@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full verification gate for the NAI workspace.
+#
+#   ./ci.sh
+#
+# Order mirrors cost: cheap static checks come after the build so that
+# compile errors surface with full diagnostics first.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release (tier-1, all targets incl. benches)"
+cargo build --release --all-targets
+
+echo "==> cargo test -q (tier-1)"
+cargo test -q
+
+echo "==> cargo doc --no-deps (-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "ci.sh: all green"

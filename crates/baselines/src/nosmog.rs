@@ -69,12 +69,7 @@ pub struct Nosmog {
 
 impl Nosmog {
     /// Computes position features on a graph: `(D̃⁻¹ Ã)^t · R`.
-    fn diffuse_positions(
-        graph: &Graph,
-        dim: usize,
-        steps: usize,
-        rng: &mut StdRng,
-    ) -> DenseMatrix {
+    fn diffuse_positions(graph: &Graph, dim: usize, steps: usize, rng: &mut StdRng) -> DenseMatrix {
         let norm = normalized_adjacency(&graph.adj, Convolution::ReverseTransition);
         let mut p = nai_linalg::init::gaussian(graph.num_nodes(), dim, 1.0, rng);
         for _ in 0..steps {
@@ -174,8 +169,7 @@ impl Nosmog {
                 for (j, _) in graph.adj.row_iter(node as usize) {
                     if self.observed_mask[j as usize] {
                         count += 1.0;
-                        for (o, &p) in row.iter_mut().zip(self.observed_positions.row(j as usize))
-                        {
+                        for (o, &p) in row.iter_mut().zip(self.observed_positions.row(j as usize)) {
                             *o += p;
                         }
                         macs.propagation += self.position_dim as u64;
@@ -269,7 +263,10 @@ mod tests {
         let p3 = Nosmog::diffuse_positions(&g, 8, 3, &mut rng);
         let var = |m: &DenseMatrix| {
             let mean = m.as_slice().iter().sum::<f32>() / m.as_slice().len() as f32;
-            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>()
+            m.as_slice()
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
         };
         assert!(var(&p3) < var(&p0), "diffusion should smooth positions");
     }

@@ -183,11 +183,8 @@ impl PprGo {
                     .collect();
                 support.sort_unstable();
                 support.dedup();
-                let col_of: std::collections::HashMap<u32, usize> = support
-                    .iter()
-                    .enumerate()
-                    .map(|(t, &v)| (v, t))
-                    .collect();
+                let col_of: std::collections::HashMap<u32, usize> =
+                    support.iter().enumerate().map(|(t, &v)| (v, t)).collect();
                 let rows: Vec<usize> = support.iter().map(|&v| v as usize).collect();
                 let x = tg.features.gather_rows(&rows).expect("support rows");
                 let h = mlp.forward_train(&x, &mut rng);
@@ -293,11 +290,8 @@ impl PprGo {
                 .collect();
             support.sort_unstable();
             support.dedup();
-            let col_of: std::collections::HashMap<u32, usize> = support
-                .iter()
-                .enumerate()
-                .map(|(t, &v)| (v, t))
-                .collect();
+            let col_of: std::collections::HashMap<u32, usize> =
+                support.iter().enumerate().map(|(t, &v)| (v, t)).collect();
             let rows: Vec<usize> = support.iter().map(|&v| v as usize).collect();
             let x = graph.features.gather_rows(&rows).expect("support rows");
             let h = self.mlp.forward(&x);
@@ -309,8 +303,8 @@ impl PprGo {
                 }
             }
             let z = agg.matmul(&h).expect("aggregate");
-            macs.classification += lists.iter().map(|l| l.len() as u64).sum::<u64>()
-                * h.cols() as u64;
+            macs.classification +=
+                lists.iter().map(|l| l.len() as u64).sum::<u64>() * h.cols() as u64;
             predictions.extend(argmax_rows(&z));
         }
         make_run(

@@ -114,9 +114,7 @@ impl QuantizedNai {
                 let input = engine.classifier(l).combine_input(feats);
                 self.heads[l - 1].forward(&input)
             },
-            &|l| {
-                engine.classifier(l).combine_macs_per_node() + self.heads[l - 1].macs_per_row()
-            },
+            &|l| engine.classifier(l).combine_macs_per_node() + self.heads[l - 1].macs_per_row(),
         )
     }
 }

@@ -142,9 +142,7 @@ impl TinyGnn {
                 // features (leaves), the rest to the attention summary.
                 let mut dsummary = DenseMatrix::zeros(dinput.rows(), cfg.attn_dim);
                 for r in 0..dinput.rows() {
-                    dsummary
-                        .row_mut(r)
-                        .copy_from_slice(&dinput.row(r)[f..]);
+                    dsummary.row_mut(r).copy_from_slice(&dinput.row(r)[f..]);
                 }
                 attention.backward(&dsummary);
                 head.apply_grads(&opt);

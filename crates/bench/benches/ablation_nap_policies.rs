@@ -38,10 +38,17 @@ fn main() {
     // NAP_u consumes T_s through the loose Eq. (10) spectral bound; its
     // useful range sits orders of magnitude above the distance scale.
     for ts in [4.0f32, 16.0, 64.0, 256.0] {
-        push(format!("NAP_u {ts}"), InferenceConfig::upper_bound(ts, 1, k));
+        push(
+            format!("NAP_u {ts}"),
+            InferenceConfig::upper_bound(ts, 1, k),
+        );
     }
 
-    print_table("NAP policy ablation (SGC, Ogbn-arxiv proxy)", &rows, "fixed");
+    print_table(
+        "NAP policy ablation (SGC, Ogbn-arxiv proxy)",
+        &rows,
+        "fixed",
+    );
     println!("\nmean personalized depth q:");
     for (label, q) in depths {
         println!("  {label:<12} {q:.2}");

@@ -9,8 +9,7 @@
 use nai::datasets::DatasetId;
 use nai::prelude::*;
 use nai_bench::{
-    baseline_rows, dataset, k_for, print_paper_reference, select_ts, train_nai, OperatingPoint,
-    Row,
+    baseline_rows, dataset, k_for, print_paper_reference, select_ts, train_nai, OperatingPoint, Row,
 };
 
 fn main() {
@@ -46,16 +45,26 @@ fn main() {
             };
             let mut gcfg = InferenceConfig::gate(1, t_max);
             gcfg.batch_size = 500;
-            let run = trained.engine.infer(&ds.split.test, &ds.graph.labels, &gcfg);
+            let run = trained
+                .engine
+                .infer(&ds.split.test, &ds.graph.labels, &gcfg);
             series.push(Row::from_report(
                 format!("NAI{}_g", point.label()),
                 &run.report,
             ));
         }
-        println!("\n[{}] accuracy-vs-time series (plot: x = Time, y = ACC):", ds.id.name());
+        println!(
+            "\n[{}] accuracy-vs-time series (plot: x = Time, y = ACC):",
+            ds.id.name()
+        );
         println!("{:<10} {:>8} {:>12}", "point", "ACC%", "Time(ms/node)");
         for r in &series {
-            println!("{:<10} {:>8.2} {:>12.4}", r.method, 100.0 * r.acc, r.time_ms);
+            println!(
+                "{:<10} {:>8.2} {:>12.4}",
+                r.method,
+                100.0 * r.acc,
+                r.time_ms
+            );
         }
     }
     print_paper_reference(

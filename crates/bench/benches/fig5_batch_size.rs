@@ -81,16 +81,32 @@ fn main() {
         let mut cfg = InferenceConfig::fixed(k);
         cfg.batch_size = b;
         let sgc = trained.engine.infer(test, labels, &cfg);
-        emit("SGC", sgc.report.mmacs_per_node(), sgc.report.time_ms_per_node());
+        emit(
+            "SGC",
+            sgc.report.mmacs_per_node(),
+            sgc.report.time_ms_per_node(),
+        );
 
         let g = glnn.infer(&ds.graph, test, labels, b);
-        emit("GLNN", g.report.mmacs_per_node(), g.report.time_ms_per_node());
+        emit(
+            "GLNN",
+            g.report.mmacs_per_node(),
+            g.report.time_ms_per_node(),
+        );
 
         let ns = nosmog.infer(&ds.graph, test, labels, b);
-        emit("NOSMOG", ns.report.mmacs_per_node(), ns.report.time_ms_per_node());
+        emit(
+            "NOSMOG",
+            ns.report.mmacs_per_node(),
+            ns.report.time_ms_per_node(),
+        );
 
         let tg = tiny.infer(&ds.graph, test, labels, b, 24);
-        emit("TinyGNN", tg.report.mmacs_per_node(), tg.report.time_ms_per_node());
+        emit(
+            "TinyGNN",
+            tg.report.mmacs_per_node(),
+            tg.report.time_ms_per_node(),
+        );
 
         let q = quant.infer(&trained.engine, test, labels, b);
         emit(
@@ -102,12 +118,20 @@ fn main() {
         let mut dcfg = InferenceConfig::distance(ts, 1, k);
         dcfg.batch_size = b;
         let nd = trained.engine.infer(test, labels, &dcfg);
-        emit("NAI_d", nd.report.mmacs_per_node(), nd.report.time_ms_per_node());
+        emit(
+            "NAI_d",
+            nd.report.mmacs_per_node(),
+            nd.report.time_ms_per_node(),
+        );
 
         let mut gcfg = InferenceConfig::gate(1, k);
         gcfg.batch_size = b;
         let ng = trained.engine.infer(test, labels, &gcfg);
-        emit("NAI_g", ng.report.mmacs_per_node(), ng.report.time_ms_per_node());
+        emit(
+            "NAI_g",
+            ng.report.mmacs_per_node(),
+            ng.report.time_ms_per_node(),
+        );
         println!();
     }
     print_paper_reference(

@@ -108,7 +108,10 @@ fn main() {
     };
 
     println!("\nλ sweep (f^(1) accuracy):");
-    println!("{:<8} {:>14} {:>14}", "lambda", "single-scale", "multi-scale");
+    println!(
+        "{:<8} {:>14} {:>14}",
+        "lambda", "single-scale", "multi-scale"
+    );
     for lambda in [0.0f32, 0.3, 0.6, 0.9] {
         let s = run_point(
             DistillConfig {

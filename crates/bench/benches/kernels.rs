@@ -82,19 +82,20 @@ fn bench_kernels(c: &mut Criterion) {
     };
     c.bench_function("engine_infer_serial_b100", |b| {
         b.iter(|| {
-            black_box(trained
-                .engine
-                .infer(&ds.split.test, &ds.graph.labels, &par_cfg))
+            black_box(
+                trained
+                    .engine
+                    .infer(&ds.split.test, &ds.graph.labels, &par_cfg),
+            )
         })
     });
     c.bench_function("engine_infer_parallel2_b100", |b| {
         b.iter(|| {
-            black_box(trained.engine.infer_parallel(
-                &ds.split.test,
-                &ds.graph.labels,
-                &par_cfg,
-                2,
-            ))
+            black_box(
+                trained
+                    .engine
+                    .infer_parallel(&ds.split.test, &ds.graph.labels, &par_cfg, 2),
+            )
         })
     });
 

@@ -30,9 +30,10 @@ fn main() {
         let trained = train_nai(&ds, ModelKind::Sgc);
         let mut rows = Vec::new();
 
-        let vanilla = trained
-            .engine
-            .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::fixed(k));
+        let vanilla =
+            trained
+                .engine
+                .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::fixed(k));
         rows.push(Row::from_report("SGC", &vanilla.report));
 
         let nai_run = trained.engine.infer(

@@ -20,7 +20,11 @@ fn main() {
     rows.extend(baseline_rows(&ds, &trained, 500));
     let (nai, ts) = nai_rows(&ds, &trained, k, OperatingPoint::SpeedFirst, 500);
     rows.extend(nai);
-    print_table(&format!("Table X — S2GC on Flickr (k = {k}, T_s = {ts})"), &rows, "S2GC");
+    print_table(
+        &format!("Table X — S2GC on Flickr (k = {k}, T_s = {ts})"),
+        &rows,
+        "S2GC",
+    );
     print_paper_reference(
         "Table X (S2GC on Flickr)",
         &[

@@ -20,7 +20,11 @@ fn main() {
     rows.extend(baseline_rows(&ds, &trained, 500));
     let (nai, ts) = nai_rows(&ds, &trained, k, OperatingPoint::SpeedFirst, 500);
     rows.extend(nai);
-    print_table(&format!("Table XI — GAMLP on Flickr (T_s = {ts})"), &rows, "GAMLP");
+    print_table(
+        &format!("Table XI — GAMLP on Flickr (T_s = {ts})"),
+        &rows,
+        "GAMLP",
+    );
     print_paper_reference(
         "Table XI (GAMLP on Flickr)",
         &[

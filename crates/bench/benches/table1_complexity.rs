@@ -34,9 +34,10 @@ fn main() {
             ..PipelineConfig::default()
         };
         let trained = NaiPipeline::new(kind, cfg).train(&ds.graph, &ds.split, false);
-        let run = trained
-            .engine
-            .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::fixed(k));
+        let run =
+            trained
+                .engine
+                .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::fixed(k));
         let measured = run.report.macs.total();
         // The formula's m is the nnz actually touched by the batched
         // frontier propagation, divided by k steps.

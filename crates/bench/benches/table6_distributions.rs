@@ -29,9 +29,7 @@ fn main() {
             } else {
                 InferenceConfig::distance(select_ts(&trained, &ds, k, point), 1, k)
             };
-            let run = trained
-                .engine
-                .infer(&ds.split.test, &ds.graph.labels, &cfg);
+            let run = trained.engine.infer(&ds.split.test, &ds.graph.labels, &cfg);
             let ts = match cfg.nap {
                 NapMode::Distance { ts } => ts,
                 _ => unreachable!("distance selection returns distance configs"),
@@ -54,12 +52,14 @@ fn main() {
                 };
                 InferenceConfig::gate(1, t_max)
             };
-            let run = trained
-                .engine
-                .infer(&ds.split.test, &ds.graph.labels, &cfg);
+            let run = trained.engine.infer(&ds.split.test, &ds.graph.labels, &cfg);
             let mut h = run.report.depth_histogram.clone();
             h.resize(k, 0);
-            println!("  NAI{}_g (T_max={}):        {h:?}", point.label(), cfg.t_max);
+            println!(
+                "  NAI{}_g (T_max={}):        {h:?}",
+                point.label(),
+                cfg.t_max
+            );
         }
     }
     print_paper_reference(

@@ -244,7 +244,7 @@ pub fn select_ts(trained: &TrainedNai, ds: &Dataset, k: usize, point: OperatingP
 }
 
 /// Joint `(T_s, T_max)` selection on the validation set — §III-A: "users
-/// can choose the hyper-parameters by using [the] validation set that
+/// can choose the hyper-parameters by using \[the\] validation set that
 /// align with the latency requirements". Speed-first/balanced pick the
 /// config with the lowest validation FP MACs whose accuracy stays within
 /// tolerance of the fixed-depth reference; accuracy-first picks the most
@@ -429,10 +429,14 @@ pub fn nai_rows(
 ) -> (Vec<Row>, String) {
     let mut d_cfg = select_distance_config(trained, ds, k, point);
     d_cfg.batch_size = batch;
-    let napd = trained.engine.infer(&ds.split.test, &ds.graph.labels, &d_cfg);
+    let napd = trained
+        .engine
+        .infer(&ds.split.test, &ds.graph.labels, &d_cfg);
     let mut g_cfg = select_gate_config(trained, ds, k, point);
     g_cfg.batch_size = batch;
-    let napg = trained.engine.infer(&ds.split.test, &ds.graph.labels, &g_cfg);
+    let napg = trained
+        .engine
+        .infer(&ds.split.test, &ds.graph.labels, &g_cfg);
     let describe = |cfg: &InferenceConfig| match cfg.nap {
         nai::core::config::NapMode::Distance { ts } => {
             format!("T_s={ts}, T_max={}", cfg.t_max)

@@ -104,11 +104,7 @@ impl ParsedArgs {
     ///
     /// # Errors
     /// [`ArgError::BadValue`] when present but unparseable.
-    pub fn get_parse_or<T: std::str::FromStr>(
-        &self,
-        key: &str,
-        default: T,
-    ) -> Result<T, ArgError> {
+    pub fn get_parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
         match self.flags.get(key) {
             None => Ok(default),
             Some(v) => v.parse().map_err(|_| ArgError::BadValue {

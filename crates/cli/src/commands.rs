@@ -122,7 +122,11 @@ pub fn inference_config_of(args: &ParsedArgs, k: usize) -> Result<InferenceConfi
         }
     };
     let cfg = InferenceConfig {
-        t_min: if matches!(nap, NapMode::Fixed) { t_max } else { t_min },
+        t_min: if matches!(nap, NapMode::Fixed) {
+            t_max
+        } else {
+            t_min
+        },
         t_max,
         nap,
         batch_size,
@@ -170,8 +174,19 @@ pub fn generate(args: &ParsedArgs) -> CliResult {
 /// `nai train`: trains the NAI pipeline and saves a checkpoint.
 pub fn train(args: &ParsedArgs) -> CliResult {
     args.finish(&[
-        "dataset", "scale", "graph", "split", "model-kind", "k", "epochs", "hidden", "lr",
-        "gates", "no-distill", "seed", "out",
+        "dataset",
+        "scale",
+        "graph",
+        "split",
+        "model-kind",
+        "k",
+        "epochs",
+        "hidden",
+        "lr",
+        "gates",
+        "no-distill",
+        "seed",
+        "out",
     ])?;
     let (graph, split, name) = load_data(args)?;
     let kind = model_kind_of(args)?;
@@ -381,7 +396,13 @@ mod tests {
         let base_s = base.to_str().unwrap();
 
         generate(&parsed(&[
-            "generate", "--dataset", "arxiv", "--scale", "test", "--out", base_s,
+            "generate",
+            "--dataset",
+            "arxiv",
+            "--scale",
+            "test",
+            "--out",
+            base_s,
         ]))
         .unwrap();
         assert!(dir.join("ds.graph").exists());
@@ -399,8 +420,8 @@ mod tests {
         assert!(model.exists());
 
         infer(&parsed(&[
-            "infer", "--graph", &gpath, "--split", &spath, "--model", model_s, "--nap",
-            "distance", "--ts", "0.5",
+            "infer", "--graph", &gpath, "--split", &spath, "--model", model_s, "--nap", "distance",
+            "--ts", "0.5",
         ]))
         .unwrap();
 
@@ -410,8 +431,17 @@ mod tests {
         .unwrap();
 
         stream(&parsed(&[
-            "stream", "--graph", &gpath, "--split", &spath, "--model", model_s, "--arrivals",
-            "20", "--batch", "5",
+            "stream",
+            "--graph",
+            &gpath,
+            "--split",
+            &spath,
+            "--model",
+            model_s,
+            "--arrivals",
+            "20",
+            "--batch",
+            "5",
         ]))
         .unwrap();
 

@@ -45,33 +45,70 @@ fn full_workflow_through_the_binary() {
 
     let gen = nai()
         .args([
-            "generate", "--dataset", "arxiv", "--scale", "test", "--out",
+            "generate",
+            "--dataset",
+            "arxiv",
+            "--scale",
+            "test",
+            "--out",
             base.to_str().unwrap(),
         ])
         .output()
         .expect("generate");
-    assert!(gen.status.success(), "{}", String::from_utf8_lossy(&gen.stderr));
+    assert!(
+        gen.status.success(),
+        "{}",
+        String::from_utf8_lossy(&gen.stderr)
+    );
 
     let gpath = format!("{}.graph", base.display());
     let spath = format!("{}.split", base.display());
     let train = nai()
         .args([
-            "train", "--graph", &gpath, "--split", &spath, "--k", "2", "--epochs", "8",
-            "--hidden", "8", "--out", model.to_str().unwrap(),
+            "train",
+            "--graph",
+            &gpath,
+            "--split",
+            &spath,
+            "--k",
+            "2",
+            "--epochs",
+            "8",
+            "--hidden",
+            "8",
+            "--out",
+            model.to_str().unwrap(),
         ])
         .output()
         .expect("train");
-    assert!(train.status.success(), "{}", String::from_utf8_lossy(&train.stderr));
+    assert!(
+        train.status.success(),
+        "{}",
+        String::from_utf8_lossy(&train.stderr)
+    );
     assert!(model.exists());
 
     let infer = nai()
         .args([
-            "infer", "--graph", &gpath, "--split", &spath, "--model",
-            model.to_str().unwrap(), "--nap", "upper", "--ts", "0.5",
+            "infer",
+            "--graph",
+            &gpath,
+            "--split",
+            &spath,
+            "--model",
+            model.to_str().unwrap(),
+            "--nap",
+            "upper",
+            "--ts",
+            "0.5",
         ])
         .output()
         .expect("infer");
-    assert!(infer.status.success(), "{}", String::from_utf8_lossy(&infer.stderr));
+    assert!(
+        infer.status.success(),
+        "{}",
+        String::from_utf8_lossy(&infer.stderr)
+    );
     let text = String::from_utf8_lossy(&infer.stdout);
     assert!(text.contains("acc"), "stdout: {text}");
 

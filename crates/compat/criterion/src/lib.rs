@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the handful of entry points `crates/bench/benches/kernels.rs`
+//! uses — [`Criterion::bench_function`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with a simple wall-clock measurement
+//! loop instead of criterion's statistical machinery. Each benchmark
+//! runs a warm-up, then `sample_size` timed samples, and prints the
+//! mean / min / max per-iteration time.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Hint for how `iter_batched` amortizes setup cost. The stub reruns
+/// setup per iteration for every variant (setup time is excluded from
+/// measurement either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+    /// Collected per-iteration durations, one entry per sample.
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(warm_up: Duration, measurement: Duration, samples: usize) -> Self {
+        Bencher {
+            warm_up,
+            measurement,
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, running it repeatedly until the warm-up and
+    /// measurement budgets are spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: run until the budget elapses (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_sample = self.measurement.max(Duration::from_millis(1)) / self.samples as u32;
+        for _ in 0..self.samples {
+            let mut iters = 0u64;
+            let start = Instant::now();
+            loop {
+                black_box(routine());
+                iters += 1;
+                if start.elapsed() >= per_sample {
+                    break;
+                }
+            }
+            self.results.push(start.elapsed() / iters as u32);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if warm_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.results.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark driver: configuration plus a result printer.
+pub struct Criterion {
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement: Duration::from_secs(2),
+            warm_up: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one named benchmark and prints its timing summary.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.warm_up, self.measurement, self.sample_size);
+        f(&mut b);
+        let fmt = |d: Duration| -> String {
+            let ns = d.as_nanos();
+            if ns >= 1_000_000_000 {
+                format!("{:.3} s", d.as_secs_f64())
+            } else if ns >= 1_000_000 {
+                format!("{:.3} ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.3} µs", ns as f64 / 1e3)
+            } else {
+                format!("{ns} ns")
+            }
+        };
+        if b.results.is_empty() {
+            println!("{name:<40} (no samples)");
+        } else {
+            let total: Duration = b.results.iter().sum();
+            let mean = total / b.results.len() as u32;
+            let min = *b.results.iter().min().unwrap();
+            let max = *b.results.iter().max().unwrap();
+            println!(
+                "{name:<40} mean {:>12}   min {:>12}   max {:>12}   ({} samples)",
+                fmt(mean),
+                fmt(min),
+                fmt(max),
+                b.results.len()
+            );
+        }
+        self
+    }
+}
+
+/// Declares a benchmark group: a function that builds the configured
+/// [`Criterion`] and runs each target against it.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(1));
+        let mut ran = 0u64;
+        c.bench_function("noop", |b| b.iter(|| ran += 1));
+        assert!(ran >= 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default()
+            .sample_size(4)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op derive macros from the vendored `serde_derive`
+//! and declares marker traits with the canonical names, so
+//! `use serde::{Deserialize, Serialize}` plus `#[derive(Serialize,
+//! Deserialize)]` compile unchanged. Nothing in this workspace calls
+//! serde serialization at runtime — the on-disk formats are the
+//! hand-rolled binary codecs in `nai-graph::io` and
+//! `nai-core::checkpoint`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never implemented by the
+/// no-op derive; present so trait-position uses keep compiling).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never implemented by the
+/// no-op derive).
+pub trait Deserialize<'de>: Sized {}

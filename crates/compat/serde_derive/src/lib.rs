@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde_derive`: no-op `Serialize` / `Deserialize`
+//! derive macros.
+//!
+//! The workspace never serializes through serde (the binary codecs in
+//! `nai-graph::io` and `nai-core::checkpoint` are hand-rolled); the
+//! derives exist only so config/metrics structs stay annotated for a
+//! future online build against real serde. Each macro expands to an
+//! empty token stream.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -259,16 +259,20 @@ impl ModelCheckpoint {
             )));
         }
         need(data, hidden_len * 8, "hidden widths")?;
-        let hidden: Vec<usize> = (0..hidden_len).map(|_| data.get_u64_le() as usize).collect();
+        let hidden: Vec<usize> = (0..hidden_len)
+            .map(|_| data.get_u64_le() as usize)
+            .collect();
         // Bound every dimension before anything is allocated from it: a
         // corrupted metadata field must produce a decode error, never an
         // absurd allocation in `build_classifiers`.
         const MAX_DIM: usize = 1 << 22;
-        for (what, v) in [("k", k), ("feature_dim", feature_dim), ("num_classes", num_classes)] {
+        for (what, v) in [
+            ("k", k),
+            ("feature_dim", feature_dim),
+            ("num_classes", num_classes),
+        ] {
             if v == 0 || v > MAX_DIM {
-                return Err(CheckpointError::Decode(format!(
-                    "implausible {what} = {v}"
-                )));
+                return Err(CheckpointError::Decode(format!("implausible {what} = {v}")));
             }
         }
         if k > 256 {
@@ -490,7 +494,13 @@ impl ModelCheckpoint {
         );
         let norm = normalized_adjacency(&graph.adj, Convolution::Symmetric);
         let st = StationaryState::compute(&graph.adj, &graph.features, self.gamma);
-        NaiEngine::new(graph, norm, st, self.build_classifiers(), self.build_gates())
+        NaiEngine::new(
+            graph,
+            norm,
+            st,
+            self.build_classifiers(),
+            self.build_gates(),
+        )
     }
 }
 
@@ -607,7 +617,9 @@ mod tests {
     #[test]
     fn unsupported_version_is_rejected() {
         let (_, _, t) = trained();
-        let mut bytes = ModelCheckpoint::from_engine(&t.engine, 0.5).encode().to_vec();
+        let mut bytes = ModelCheckpoint::from_engine(&t.engine, 0.5)
+            .encode()
+            .to_vec();
         bytes[4] = 99;
         let err = ModelCheckpoint::decode(&bytes).unwrap_err();
         assert!(err.to_string().contains("version"));

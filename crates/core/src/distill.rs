@@ -311,11 +311,7 @@ pub fn multi_scale(
             let pred = nai_linalg::ops::argmax_rows(&classifiers[l - 1].forward(&vf));
             acc_sum += nai_linalg::ops::accuracy(&pred, &val_labels, &val_all);
         }
-        let mean_acc = if k > 1 {
-            acc_sum / (k - 1) as f64
-        } else {
-            0.0
-        };
+        let mean_acc = if k > 1 { acc_sum / (k - 1) as f64 } else { 0.0 };
         if mean_acc > best_acc {
             best_acc = mean_acc;
             best_snaps = classifiers.iter().map(|c| c.snapshot()).collect();
@@ -397,7 +393,11 @@ mod tests {
             &mut StdRng::seed_from_u64(51),
         );
         let report = train_base(&mut cls, &fx.feats, &fx.train, &fx.labels, &fx.val, &cfg());
-        assert!(report.best_val_acc > 0.6, "teacher acc {}", report.best_val_acc);
+        assert!(
+            report.best_val_acc > 0.6,
+            "teacher acc {}",
+            report.best_val_acc
+        );
     }
 
     #[test]
@@ -405,7 +405,15 @@ mod tests {
         // Table VIII's phenomenon: f^(1) with SS+MS beats f^(1) w/o ID.
         let fx = fixture(52);
         let make = |seed: u64| {
-            build_classifiers(ModelKind::Sgc, 4, 8, 3, &[16], 0.0, &mut StdRng::seed_from_u64(seed))
+            build_classifiers(
+                ModelKind::Sgc,
+                4,
+                8,
+                3,
+                &[16],
+                0.0,
+                &mut StdRng::seed_from_u64(seed),
+            )
         };
         // Without ID: plain CE training for every depth.
         let mut plain = make(53);
@@ -430,7 +438,15 @@ mod tests {
             epochs: 30,
             ..DistillConfig::default()
         };
-        single_scale(&mut full, &fx.feats, &fx.train, &fx.labels, &fx.val, &cfg(), &dcfg);
+        single_scale(
+            &mut full,
+            &fx.feats,
+            &fx.train,
+            &fx.labels,
+            &fx.val,
+            &cfg(),
+            &dcfg,
+        );
         multi_scale(
             &mut full,
             &fx.feats,

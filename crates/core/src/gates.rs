@@ -22,7 +22,7 @@
 //! [`GateSet::decide_with_penalty`] demonstrates the equivalence and is
 //! exercised in tests).
 
-use nai_linalg::ops::{softmax_slice, softmax_rows};
+use nai_linalg::ops::{softmax_rows, softmax_slice};
 use nai_linalg::DenseMatrix;
 use nai_models::train::gather_depth_feats;
 use nai_models::DepthClassifier;
@@ -231,7 +231,8 @@ impl GateSet {
                 let feats = gather_depth_feats(depth_feats, self.k + 1, &rows);
                 let yb: Vec<u32> = rows.iter().map(|&r| labels[r]).collect();
                 let x_inf = stationary.gather_rows(&rows).expect("stationary rows");
-                let (loss, depth) = self.train_batch(&feats, &x_inf, classifiers, &yb, cfg, &mut rng);
+                let (loss, depth) =
+                    self.train_batch(&feats, &x_inf, classifiers, &yb, cfg, &mut rng);
                 epoch_loss += loss;
                 epoch_depth += depth;
                 batches += 1;

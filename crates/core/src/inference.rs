@@ -199,7 +199,8 @@ impl NaiEngine {
         let mut batches = 0usize;
 
         for batch_start in (0..test_nodes.len()).step_by(cfg.batch_size) {
-            let batch = &test_nodes[batch_start..(batch_start + cfg.batch_size).min(test_nodes.len())];
+            let batch =
+                &test_nodes[batch_start..(batch_start + cfg.batch_size).min(test_nodes.len())];
             batches += 1;
             self.infer_batch(
                 batch,
@@ -330,7 +331,10 @@ impl NaiEngine {
                     out
                 }));
             }
-            handles.into_iter().map(|h| h.join().expect("worker")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker"))
+                .collect()
         });
 
         let mut macs = MacsBreakdown::default();
@@ -723,10 +727,7 @@ mod tests {
             manual[d - 1] += 1;
         }
         assert_eq!(res.report.depth_histogram, manual);
-        assert_eq!(
-            res.report.depth_histogram.iter().sum::<usize>(),
-            test.len()
-        );
+        assert_eq!(res.report.depth_histogram.iter().sum::<usize>(), test.len());
     }
 
     #[test]
@@ -783,11 +784,7 @@ mod tests {
     #[test]
     fn upper_bound_mode_assigns_depths_without_feature_comparisons() {
         let (engine, g, test) = engine(3);
-        let res = engine.infer(
-            &test,
-            &g.labels,
-            &InferenceConfig::upper_bound(0.5, 1, 3),
-        );
+        let res = engine.infer(&test, &g.labels, &InferenceConfig::upper_bound(0.5, 1, 3));
         assert_eq!(res.predictions.len(), test.len());
         assert!(res.depths.iter().all(|&d| (1..=3).contains(&d)));
         // NAP MACs are O(1) per node — far below one distance evaluation
@@ -809,11 +806,7 @@ mod tests {
     #[test]
     fn upper_bound_high_degree_exits_no_later_than_low_degree() {
         let (engine, g, test) = engine(3);
-        let res = engine.infer(
-            &test,
-            &g.labels,
-            &InferenceConfig::upper_bound(0.5, 1, 3),
-        );
+        let res = engine.infer(&test, &g.labels, &InferenceConfig::upper_bound(0.5, 1, 3));
         let mut pairs: Vec<(usize, usize)> = test
             .iter()
             .zip(&res.depths)
@@ -822,8 +815,8 @@ mod tests {
         pairs.sort_by_key(|&(deg, _)| deg);
         let half = pairs.len() / 2;
         let low: f64 = pairs[..half].iter().map(|&(_, d)| d as f64).sum::<f64>() / half as f64;
-        let high: f64 = pairs[half..].iter().map(|&(_, d)| d as f64).sum::<f64>()
-            / (pairs.len() - half) as f64;
+        let high: f64 =
+            pairs[half..].iter().map(|&(_, d)| d as f64).sum::<f64>() / (pairs.len() - half) as f64;
         assert!(
             high <= low + f64::EPSILON,
             "high-degree mean depth {high:.2} must not exceed low-degree {low:.2}"

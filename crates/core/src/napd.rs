@@ -117,7 +117,11 @@ mod tests {
             personalized_depth(&levels, xinf.row(node), ts)
         };
         let decile = g.num_nodes() / 10;
-        let high: f32 = order[..decile].iter().map(|&i| depth_of(i) as f32).sum::<f32>() / decile as f32;
+        let high: f32 = order[..decile]
+            .iter()
+            .map(|&i| depth_of(i) as f32)
+            .sum::<f32>()
+            / decile as f32;
         let low: f32 = order[g.num_nodes() - decile..]
             .iter()
             .map(|&i| depth_of(i) as f32)

@@ -83,15 +83,8 @@ impl NaiPipeline {
 
         // Classifier stack.
         let mut rng = StdRng::seed_from_u64(cfg.seed);
-        let mut classifiers = distill::build_classifiers(
-            self.kind,
-            cfg.k,
-            f,
-            c,
-            &cfg.hidden,
-            cfg.dropout,
-            &mut rng,
-        );
+        let mut classifiers =
+            distill::build_classifiers(self.kind, cfg.k, f, c, &cfg.hidden, cfg.dropout, &mut rng);
         let tcfg = TrainConfig {
             epochs: cfg.epochs,
             batch_size: cfg.train_batch,

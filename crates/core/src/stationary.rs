@@ -130,7 +130,12 @@ mod tests {
     use rand::SeedableRng;
 
     /// Brute-force reference: propagate many times.
-    fn brute_force(adj: &CsrMatrix, x: &DenseMatrix, conv: Convolution, iters: usize) -> DenseMatrix {
+    fn brute_force(
+        adj: &CsrMatrix,
+        x: &DenseMatrix,
+        conv: Convolution,
+        iters: usize,
+    ) -> DenseMatrix {
         let norm = normalized_adjacency(adj, conv);
         let mut h = x.clone();
         for _ in 0..iters {
@@ -181,7 +186,10 @@ mod tests {
         let once = norm.spmm(&xinf);
         let scale = xinf.max_abs().max(1.0);
         for (a, b) in once.as_slice().iter().zip(xinf.as_slice()) {
-            assert!((a - b).abs() / scale < 1e-4, "not a fixed point: {a} vs {b}");
+            assert!(
+                (a - b).abs() / scale < 1e-4,
+                "not a fixed point: {a} vs {b}"
+            );
         }
     }
 

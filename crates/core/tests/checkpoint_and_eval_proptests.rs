@@ -24,7 +24,15 @@ fn kind_strategy() -> impl Strategy<Value = ModelKind> {
 
 /// Builds an untrained engine with an arbitrary architecture — checkpoints
 /// must roundtrip regardless of training state.
-fn engine_of(kind: ModelKind, k: usize, f: usize, c: usize, hidden: &[usize], gates: bool, seed: u64) -> NaiEngine {
+fn engine_of(
+    kind: ModelKind,
+    k: usize,
+    f: usize,
+    c: usize,
+    hidden: &[usize],
+    gates: bool,
+    seed: u64,
+) -> NaiEngine {
     let g = generate(
         &GeneratorConfig {
             num_nodes: 60,

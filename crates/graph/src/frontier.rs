@@ -172,11 +172,9 @@ mod tests {
 
     #[test]
     fn hop_sets_match_nodes_within() {
-        let adj = CsrMatrix::undirected_adjacency(
-            7,
-            &[(0, 1), (0, 2), (1, 3), (2, 4), (4, 5), (5, 6)],
-        )
-        .unwrap();
+        let adj =
+            CsrMatrix::undirected_adjacency(7, &[(0, 1), (0, 2), (1, 3), (2, 4), (4, 5), (5, 6)])
+                .unwrap();
         let mut bfs = BfsScratch::new(7);
         let sets = bfs.hop_sets(&adj, &[0, 6], 2);
         for (l, set) in sets.iter().enumerate() {

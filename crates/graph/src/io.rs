@@ -133,8 +133,7 @@ const SPLIT_MAGIC: &[u8; 4] = b"NAIS";
 /// Encodes an inductive split (magic `NAIS`, same versioned LE format as
 /// graphs).
 pub fn encode_split(s: &crate::InductiveSplit) -> Bytes {
-    let mut buf =
-        BytesMut::with_capacity(32 + 4 * (s.train.len() + s.val.len() + s.test.len()));
+    let mut buf = BytesMut::with_capacity(32 + 4 * (s.train.len() + s.val.len() + s.test.len()));
     buf.put_slice(SPLIT_MAGIC);
     buf.put_u32_le(VERSION);
     for part in [&s.train, &s.val, &s.test] {

@@ -83,7 +83,12 @@ mod tests {
         let m = gaussian(200, 50, 2.0, &mut rng);
         let n = m.as_slice().len() as f32;
         let mean = m.as_slice().iter().sum::<f32>() / n;
-        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var.sqrt() - 2.0).abs() < 0.1, "std {}", var.sqrt());
     }

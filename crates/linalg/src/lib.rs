@@ -11,7 +11,7 @@
 //!   [`ops`],
 //! * weight initialisation helpers (Glorot/He) in [`init`],
 //! * a tiny scoped parallel-for utility in [`parallel`] built on
-//!   `crossbeam::thread::scope` — no global thread pool, no `unsafe`.
+//!   [`std::thread::scope`] — no global thread pool, no `unsafe`.
 //!
 //! Design choices follow the Rust performance guide read for this session:
 //! preallocate, iterate row-major in `(i, k, j)` order, chunk work across

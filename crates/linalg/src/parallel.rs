@@ -1,4 +1,4 @@
-//! Minimal scoped data-parallelism helpers built on `crossbeam`.
+//! Minimal scoped data-parallelism helpers built on [`std::thread::scope`].
 //!
 //! GNN inference kernels are embarrassingly parallel over matrix rows.
 //! Rather than pulling in a work-stealing pool, we split the row range into
@@ -29,8 +29,8 @@ pub fn thread_count(work: usize) -> usize {
     hw.min(work / PAR_THRESHOLD).max(1)
 }
 
-/// Runs `f(chunk_index, row_range, out_chunk)` over disjoint chunks of
-/// `out`, splitting `out` by rows of width `row_width`.
+/// Runs `f(start_row, out_chunk)` over disjoint chunks of `out`,
+/// splitting `out` by rows of width `row_width`.
 ///
 /// `out.len()` must be a multiple of `row_width`. The closure receives the
 /// global starting row of its chunk so it can index shared inputs.
@@ -59,7 +59,7 @@ where
         return;
     }
     let rows_per = rows.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = out;
         let mut start_row = 0usize;
         while !rest.is_empty() {
@@ -67,12 +67,11 @@ where
             let (chunk, tail) = rest.split_at_mut(take);
             let fr = &f;
             let row0 = start_row;
-            scope.spawn(move |_| fr(row0, chunk));
+            scope.spawn(move || fr(row0, chunk));
             start_row += take / row_width;
             rest = tail;
         }
-    })
-    .expect("worker thread panicked");
+    });
 }
 
 /// Parallel map over an index range, collecting results in order.
@@ -93,7 +92,7 @@ where
         return out;
     }
     let per = n.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut rest = out.as_mut_slice();
         let mut start = 0usize;
         while !rest.is_empty() {
@@ -101,7 +100,7 @@ where
             let (chunk, tail) = rest.split_at_mut(take);
             let fr = &f;
             let s0 = start;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for (off, slot) in chunk.iter_mut().enumerate() {
                     *slot = fr(s0 + off);
                 }
@@ -109,8 +108,7 @@ where
             start += take;
             rest = tail;
         }
-    })
-    .expect("worker thread panicked");
+    });
     out
 }
 

@@ -45,10 +45,7 @@ impl ClassifierSnapshot {
     }
 
     /// Reassembles a snapshot from raw parts (checkpoint deserialization).
-    pub fn from_parts(
-        mlp: Vec<(Vec<f32>, Vec<f32>)>,
-        gamlp: Option<(Vec<f32>, Vec<f32>)>,
-    ) -> Self {
+    pub fn from_parts(mlp: Vec<(Vec<f32>, Vec<f32>)>, gamlp: Option<(Vec<f32>, Vec<f32>)>) -> Self {
         Self { mlp, gamlp }
     }
 }
@@ -270,10 +267,7 @@ mod tests {
                 }
                 last = loss;
             }
-            assert!(
-                last < first.unwrap(),
-                "{kind:?}: loss {first:?} -> {last}"
-            );
+            assert!(last < first.unwrap(), "{kind:?}: loss {first:?} -> {last}");
         }
     }
 

@@ -88,14 +88,20 @@ impl GamlpHead {
     /// # Panics
     /// Panics if fewer than `depth + 1` feature levels are supplied.
     pub fn combine(&self, depth_feats: &[DenseMatrix]) -> DenseMatrix {
-        assert!(depth_feats.len() > self.depth, "need depth+1 feature levels");
+        assert!(
+            depth_feats.len() > self.depth,
+            "need depth+1 feature levels"
+        );
         let (_, weights) = self.attention(depth_feats);
         Self::mix(&weights, depth_feats, self.depth)
     }
 
     /// Training combination with cache for [`Self::backward`].
     pub fn forward_train(&mut self, depth_feats: &[DenseMatrix]) -> DenseMatrix {
-        assert!(depth_feats.len() > self.depth, "need depth+1 feature levels");
+        assert!(
+            depth_feats.len() > self.depth,
+            "need depth+1 feature levels"
+        );
         let (scores, weights) = self.attention(depth_feats);
         let out = Self::mix(&weights, depth_feats, self.depth);
         self.cache = Some(GamlpCache {

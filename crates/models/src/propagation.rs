@@ -74,7 +74,11 @@ mod tests {
         let feats = propagate_features(&norm, &x, 6);
         let variance = |m: &DenseMatrix| {
             let mean = m.as_slice().iter().sum::<f32>() / m.rows() as f32;
-            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.rows() as f32
+            m.as_slice()
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / m.rows() as f32
         };
         let v0 = variance(&feats[0]);
         let v6 = variance(&feats[6]);

@@ -274,18 +274,17 @@ mod tests {
         let teacher_logits = teacher.forward(&tfeats);
 
         let mut student = DepthClassifier::new(ModelKind::Sgc, 1, 8, c, &[16], 0.0, &mut rng);
-        let plain = train_depth_classifier(
-            &mut student,
-            &feats,
-            &train,
-            &labels,
-            None,
-            &val,
-            &cfg,
-        )
-        .best_val_acc;
-        let mut student_kd =
-            DepthClassifier::new(ModelKind::Sgc, 1, 8, c, &[16], 0.0, &mut StdRng::seed_from_u64(37));
+        let plain = train_depth_classifier(&mut student, &feats, &train, &labels, None, &val, &cfg)
+            .best_val_acc;
+        let mut student_kd = DepthClassifier::new(
+            ModelKind::Sgc,
+            1,
+            8,
+            c,
+            &[16],
+            0.0,
+            &mut StdRng::seed_from_u64(37),
+        );
         let kd = train_depth_classifier(
             &mut student_kd,
             &feats,

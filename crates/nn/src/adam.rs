@@ -102,7 +102,11 @@ mod tests {
         let opt = Adam::new(0.05, 0.0);
         let mut state = AdamState::new(3);
         for _ in 0..800 {
-            let grad: Vec<f32> = x.iter().zip(target.iter()).map(|(a, t)| 2.0 * (a - t)).collect();
+            let grad: Vec<f32> = x
+                .iter()
+                .zip(target.iter())
+                .map(|(a, t)| 2.0 * (a - t))
+                .collect();
             state.update(&opt, &mut x, &grad);
         }
         for (a, t) in x.iter().zip(target.iter()) {

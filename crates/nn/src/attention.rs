@@ -267,7 +267,10 @@ mod tests {
                     (l.min(v), h.max(v))
                 });
             let o = out.get(0, c);
-            assert!(o >= lo - 1e-5 && o <= hi + 1e-5, "out {o} outside [{lo},{hi}]");
+            assert!(
+                o >= lo - 1e-5 && o <= hi + 1e-5,
+                "out {o} outside [{lo},{hi}]"
+            );
         }
     }
 

@@ -185,10 +185,7 @@ mod tests {
     fn trains_to_high_accuracy_on_blobs() {
         let (x, y) = blobs(200, 1);
         let (xv, yv) = blobs(80, 2);
-        let mut mlp = Mlp::new(
-            &MlpConfig::linear(2, 2),
-            &mut StdRng::seed_from_u64(3),
-        );
+        let mut mlp = Mlp::new(&MlpConfig::linear(2, 2), &mut StdRng::seed_from_u64(3));
         let report = train(
             &mut mlp,
             &x,
@@ -202,7 +199,11 @@ mod tests {
                 ..TrainConfig::default()
             },
         );
-        assert!(report.best_val_acc > 0.95, "val acc {}", report.best_val_acc);
+        assert!(
+            report.best_val_acc > 0.95,
+            "val acc {}",
+            report.best_val_acc
+        );
     }
 
     #[test]

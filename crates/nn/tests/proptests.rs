@@ -2,7 +2,7 @@
 
 use nai_linalg::DenseMatrix;
 use nai_nn::adam::{Adam, AdamState};
-use nai_nn::loss::{distillation_loss, soft_cross_entropy, softmax_cross_entropy, soften};
+use nai_nn::loss::{distillation_loss, soft_cross_entropy, soften, softmax_cross_entropy};
 use nai_nn::mlp::{Mlp, MlpConfig};
 use nai_nn::quant::QuantizedLinear;
 use proptest::prelude::*;

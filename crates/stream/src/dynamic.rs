@@ -159,11 +159,8 @@ impl DynamicGraph {
     /// Panics if `labels.len() != num_nodes` or `num_classes == 0`.
     pub fn snapshot_graph(&self, labels: Vec<u32>, num_classes: usize) -> Graph {
         assert_eq!(labels.len(), self.num_nodes(), "one label per node");
-        let features = DenseMatrix::from_vec(
-            self.num_nodes(),
-            self.feature_dim,
-            self.features.clone(),
-        );
+        let features =
+            DenseMatrix::from_vec(self.num_nodes(), self.feature_dim, self.features.clone());
         Graph::new(self.snapshot_csr(), features, labels, num_classes)
             .expect("snapshot is structurally valid")
     }

@@ -116,7 +116,12 @@ impl StreamingEngine {
             ckpt.feature_dim,
             "graph feature dim must match checkpoint"
         );
-        Self::new(graph, ckpt.build_classifiers(), ckpt.build_gates(), ckpt.gamma)
+        Self::new(
+            graph,
+            ckpt.build_classifiers(),
+            ckpt.build_gates(),
+            ckpt.gamma,
+        )
     }
 
     /// Highest trained depth `k`.
@@ -164,8 +169,7 @@ impl StreamingEngine {
             .map(|&u| (self.graph.degree(u), self.graph.feature(u).to_vec()))
             .collect();
         let id = self.graph.add_node(features, &uniq);
-        let old_refs: Vec<(usize, &[f32])> =
-            old.iter().map(|(d, x)| (*d, x.as_slice())).collect();
+        let old_refs: Vec<(usize, &[f32])> = old.iter().map(|(d, x)| (*d, x.as_slice())).collect();
         self.stationary.on_add_node(features, &old_refs);
         self.pending.push(id);
         id
@@ -306,8 +310,7 @@ impl StreamingEngine {
                         let gates = self.gates.as_ref().expect("validated above");
                         if l < gates.k() {
                             exit_mask = gates.decide(l, &history[l], &x_inf_active);
-                            self.macs_total +=
-                                active_nodes.len() as u64 * gates.macs_per_node();
+                            self.macs_total += active_nodes.len() as u64 * gates.macs_per_node();
                         }
                     }
                     NapMode::UpperBound { .. } => {
@@ -494,8 +497,18 @@ mod tests {
 
     #[test]
     fn static_nodes_match_core_engine_across_nap_modes() {
-        // With no arrivals, the streaming engine must agree exactly with
-        // the static NaiEngine on the same graph, for every NAP mode.
+        // With no arrivals, the streaming engine must agree with the
+        // static NaiEngine on the same graph, for every NAP mode.
+        //
+        // Fixed-depth modes share the propagation arithmetic exactly, so
+        // they must match bit-for-bit. Threshold modes (distance, gate,
+        // upper-bound) compare against the stationary state, which the
+        // two engines compute by different algorithms (incremental f64
+        // accumulators vs. the per-component direct form — equal only to
+        // ~1e-4, see `IncrementalStationary`). A node whose exit score
+        // sits within float noise of the threshold may therefore exit at
+        // a different layer; such flips must be rare and must always
+        // come with a different depth.
         let (g, split, t) = trained(300, 3);
         let mut se = engine_from(&t, &g);
         for cfg in [
@@ -508,8 +521,37 @@ mod tests {
             let stat = t.engine.infer(&split.test, &g.labels, &cfg);
             let stream = se.infer_nodes(&split.test, &cfg);
             let (preds, depths): (Vec<usize>, Vec<usize>) = stream.into_iter().unzip();
-            assert_eq!(stat.predictions, preds, "{:?}", cfg.nap);
-            assert_eq!(stat.depths, depths, "{:?}", cfg.nap);
+            assert_eq!(stat.predictions.len(), preds.len(), "{:?}", cfg.nap);
+            if matches!(cfg.nap, NapMode::Fixed) {
+                assert_eq!(stat.predictions, preds, "{:?}", cfg.nap);
+                assert_eq!(stat.depths, depths, "{:?}", cfg.nap);
+                continue;
+            }
+            let mut flips = 0usize;
+            for i in 0..preds.len() {
+                if stat.predictions[i] == preds[i] && stat.depths[i] == depths[i] {
+                    continue;
+                }
+                // A flipped node need not land one layer away: missing a
+                // near-threshold exit at layer l means it continues until
+                // the next layer whose check fires, possibly the forced
+                // exit at t_max. The required signature is only that the
+                // depths differ.
+                assert_ne!(
+                    stat.depths[i], depths[i],
+                    "{:?}: node {i} disagrees on prediction ({} vs {}) without a \
+                     depth flip — not a threshold rounding artifact",
+                    cfg.nap, stat.predictions[i], preds[i],
+                );
+                flips += 1;
+            }
+            let budget = preds.len().div_ceil(50); // ≤ 2% of the batch
+            assert!(
+                flips <= budget,
+                "{:?}: {flips} threshold flips out of {} nodes (budget {budget})",
+                cfg.nap,
+                preds.len(),
+            );
         }
     }
 
@@ -558,7 +600,9 @@ mod tests {
         let stream = se.flush(&cfg);
 
         // Static replay on the final graph.
-        let labels: Vec<u32> = (0..se.graph().num_nodes()).map(|i| (i % 3) as u32).collect();
+        let labels: Vec<u32> = (0..se.graph().num_nodes())
+            .map(|i| (i % 3) as u32)
+            .collect();
         let final_graph = se.graph().snapshot_graph(labels.clone(), 3);
         let comps = nai_graph::components::connected_components(&final_graph.adj);
         if comps.count != 1 {
@@ -578,7 +622,9 @@ mod tests {
         let (g, _, t) = trained(150, 2);
         let mut se = engine_from(&t, &g);
         let u = 0u32;
-        let v = (1..150u32).find(|x| !se.graph().neighbors(u).contains(x)).unwrap();
+        let v = (1..150u32)
+            .find(|x| !se.graph().neighbors(u).contains(x))
+            .unwrap();
         let before_edges = se.graph().num_edges();
         assert!(se.observe_edge(u, v));
         assert!(!se.observe_edge(u, v));

@@ -99,13 +99,7 @@ impl IncrementalStationary {
     ///
     /// # Panics
     /// Panics if a feature slice has the wrong length.
-    pub fn on_add_edge(
-        &mut self,
-        xu: &[f32],
-        old_deg_u: usize,
-        xv: &[f32],
-        old_deg_v: usize,
-    ) {
+    pub fn on_add_edge(&mut self, xu: &[f32], old_deg_u: usize, xv: &[f32], old_deg_v: usize) {
         assert_eq!(xu.len(), self.feature_dim, "endpoint feature length");
         assert_eq!(xv.len(), self.feature_dim, "endpoint feature length");
         let g1 = 1.0 - self.gamma as f64;
@@ -187,8 +181,7 @@ mod tests {
             .map(|&u| (g.degree(u), g.feature(u).to_vec()))
             .collect();
         g.add_node(&feats, &neighbors);
-        let old_refs: Vec<(usize, &[f32])> =
-            old.iter().map(|(d, x)| (*d, x.as_slice())).collect();
+        let old_refs: Vec<(usize, &[f32])> = old.iter().map(|(d, x)| (*d, x.as_slice())).collect();
         inc.on_add_node(&feats, &old_refs);
         assert_matches_recompute(&inc, &g);
     }

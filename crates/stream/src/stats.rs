@@ -76,7 +76,11 @@ impl LatencyStats {
 
     /// Worst-case latency.
     pub fn max(&self) -> Duration {
-        self.latencies.iter().copied().max().unwrap_or(Duration::ZERO)
+        self.latencies
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Predictions per second of busy time (0 when nothing recorded).

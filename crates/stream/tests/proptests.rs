@@ -43,11 +43,7 @@ fn features_from_seed(seed: u64, f: usize) -> Vec<f32> {
 }
 
 /// Applies the script, keeping the incremental stationary in sync.
-fn apply(
-    g: &mut DynamicGraph,
-    inc: &mut IncrementalStationary,
-    script: &[Arrival],
-) {
+fn apply(g: &mut DynamicGraph, inc: &mut IncrementalStationary, script: &[Arrival]) {
     for a in script {
         match a {
             Arrival::Node { feat_seed, picks } => {

@@ -39,17 +39,14 @@ fn main() {
     // Calibrate T_s on the validation set: pick the largest threshold (=
     // fastest inference) whose accuracy stays within 1 point of the
     // fixed-depth reference.
-    let reference = trained.engine.infer(
-        &ds.split.val,
-        &ds.graph.labels,
-        &InferenceConfig::fixed(k),
-    );
+    let reference =
+        trained
+            .engine
+            .infer(&ds.split.val, &ds.graph.labels, &InferenceConfig::fixed(k));
     let mut chosen = InferenceConfig::fixed(k);
     for ts in [4.0f32, 2.0, 1.0, 0.5, 0.25] {
         let cfg = InferenceConfig::distance(ts, 1, k);
-        let run = trained
-            .engine
-            .infer(&ds.split.val, &ds.graph.labels, &cfg);
+        let run = trained.engine.infer(&ds.split.val, &ds.graph.labels, &cfg);
         println!(
             "  T_s = {ts:<5} val acc {:.3} (ref {:.3}), mean depth {:.2}",
             run.report.accuracy,

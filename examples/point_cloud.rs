@@ -77,8 +77,8 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(2024);
     let (n, classes, knn) = (900, 5, 8);
     let (points, labels) = sample_cloud(n, classes, &mut rng);
-    let adj = CsrMatrix::undirected_adjacency(n, &knn_edges(&points, knn))
-        .expect("knn edges are valid");
+    let adj =
+        CsrMatrix::undirected_adjacency(n, &knn_edges(&points, knn)).expect("knn edges are valid");
 
     // Per-point descriptor: xyz + 5 noisy intensity channels correlated
     // with the part label (lidar return intensity, normals, ...).
@@ -115,10 +115,17 @@ fn main() {
         ("NAP_g", InferenceConfig::gate(1, k)),
         ("NAP_u", InferenceConfig::upper_bound(30.0, 1, k)),
     ];
-    println!("\n{:>8} | {:>6} | {:>8} | {:>10} | per-class F1", "policy", "acc", "macro-F1", "mean depth");
+    println!(
+        "\n{:>8} | {:>6} | {:>8} | {:>10} | per-class F1",
+        "policy", "acc", "macro-F1", "mean depth"
+    );
     for (name, cfg) in policies {
         let res = trained.engine.infer(&split.test, &graph.labels, &cfg);
-        let truth: Vec<u32> = split.test.iter().map(|&v| graph.labels[v as usize]).collect();
+        let truth: Vec<u32> = split
+            .test
+            .iter()
+            .map(|&v| graph.labels[v as usize])
+            .collect();
         let cm = ConfusionMatrix::from_predictions(&res.predictions, &truth, classes);
         let per_class: Vec<String> = (0..classes).map(|c| format!("{:.2}", cm.f1(c))).collect();
         println!(

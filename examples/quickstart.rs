@@ -46,9 +46,10 @@ fn main() {
     // 3. Calibrate T_s on the validation set (speed-first: the largest
     //    threshold within one point of the fixed-depth reference), then
     //    compare vanilla fixed-depth inference with the two NAP modes.
-    let vanilla_val = trained
-        .engine
-        .infer(&ds.split.val, &ds.graph.labels, &InferenceConfig::fixed(4));
+    let vanilla_val =
+        trained
+            .engine
+            .infer(&ds.split.val, &ds.graph.labels, &InferenceConfig::fixed(4));
     let ts = [8.0f32, 4.0, 2.0, 1.0, 0.5]
         .into_iter()
         .find(|&ts| {
@@ -66,19 +67,25 @@ fn main() {
         .unwrap_or(0.5);
     println!("  calibrated T_s = {ts} on the validation set");
 
-    let vanilla = trained
-        .engine
-        .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::fixed(4));
+    let vanilla =
+        trained
+            .engine
+            .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::fixed(4));
     let napd = trained.engine.infer(
         &ds.split.test,
         &ds.graph.labels,
         &InferenceConfig::distance(ts, 1, 4),
     );
-    let napg = trained
-        .engine
-        .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::gate(1, 4));
+    let napg = trained.engine.infer(
+        &ds.split.test,
+        &ds.graph.labels,
+        &InferenceConfig::gate(1, 4),
+    );
 
-    println!("\n{:<12} {:>8} {:>12} {:>12} {:>10}", "method", "ACC", "mMACs/node", "FP mMACs", "mean depth");
+    println!(
+        "\n{:<12} {:>8} {:>12} {:>12} {:>10}",
+        "method", "ACC", "mMACs/node", "FP mMACs", "mean depth"
+    );
     for (name, r) in [
         ("vanilla", &vanilla.report),
         ("NAI-d", &napd.report),
@@ -90,7 +97,11 @@ fn main() {
             r.accuracy,
             r.mmacs_per_node(),
             r.fp_mmacs_per_node(),
-            if r.depth_histogram.is_empty() { 4.0 } else { r.mean_depth() },
+            if r.depth_histogram.is_empty() {
+                4.0
+            } else {
+                r.mean_depth()
+            },
         );
     }
     println!(

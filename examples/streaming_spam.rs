@@ -55,10 +55,8 @@ fn main() {
         .induced_subgraph(&observed)
         .expect("observed view is valid");
     let ckpt = ModelCheckpoint::from_engine(&trained.engine, 0.5);
-    let mut engine = StreamingEngine::from_checkpoint(
-        &ckpt,
-        DynamicGraph::from_graph(&observed_graph),
-    );
+    let mut engine =
+        StreamingEngine::from_checkpoint(&ckpt, DynamicGraph::from_graph(&observed_graph));
 
     // Global node id → id inside the dynamic graph (observed nodes keep
     // their induced-subgraph ids; arrivals get fresh ids at ingest).

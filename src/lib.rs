@@ -1,0 +1,9 @@
+//! Root package of the NAI workspace.
+//!
+//! This crate intentionally contains no code: it exists so the
+//! cross-crate integration suite in `tests/` and the runnable examples
+//! in `examples/` are first-class Cargo targets of the workspace root.
+//! All functionality lives in the `crates/*` libraries and is consumed
+//! here through the [`nai`] facade crate.
+
+pub use nai;

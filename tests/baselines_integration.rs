@@ -78,9 +78,7 @@ fn all_baselines_beat_chance_and_show_their_cost_signature() {
     let nosmog_run = nosmog.infer(&ds.graph, test, labels, 100);
     assert!(nosmog_run.report.accuracy > chance + 0.1);
     assert!(nosmog_run.report.macs.feature_processing() > 0);
-    assert!(
-        nosmog_run.report.macs.feature_processing() < vanilla.report.macs.feature_processing()
-    );
+    assert!(nosmog_run.report.macs.feature_processing() < vanilla.report.macs.feature_processing());
 
     // TinyGNN: 1-hop only, attention-heavy.
     let mut tiny = TinyGnn::distill(

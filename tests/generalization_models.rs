@@ -19,9 +19,10 @@ fn run_for(kind: ModelKind) -> (f64, f64, f64) {
         ..PipelineConfig::default()
     };
     let trained = NaiPipeline::new(kind, cfg).train(&ds.graph, &ds.split, false);
-    let vanilla = trained
-        .engine
-        .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::fixed(3));
+    let vanilla =
+        trained
+            .engine
+            .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::fixed(3));
     // Pick T_s on the validation set, as the paper's protocol prescribes.
     let ts = [0.5f32, 1.0, 2.0, 4.0]
         .into_iter()

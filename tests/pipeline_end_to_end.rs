@@ -31,13 +31,8 @@ fn vanilla_inductive_inference_beats_majority_class() {
     let run = t
         .engine
         .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::fixed(3));
-    let majority = ds
-        .graph
-        .class_histogram()
-        .into_iter()
-        .max()
-        .unwrap() as f64
-        / ds.graph.num_nodes() as f64;
+    let majority =
+        ds.graph.class_histogram().into_iter().max().unwrap() as f64 / ds.graph.num_nodes() as f64;
     assert!(
         run.report.accuracy > majority + 0.1,
         "acc {} vs majority {majority}",
@@ -90,9 +85,11 @@ fn distance_nap_saves_fp_macs_with_small_accuracy_cost() {
 #[test]
 fn gate_nap_runs_end_to_end_on_unseen_nodes() {
     let (ds, t) = trained(DatasetId::ArxivProxy, 3, true);
-    let run = t
-        .engine
-        .infer(&ds.split.test, &ds.graph.labels, &InferenceConfig::gate(1, 3));
+    let run = t.engine.infer(
+        &ds.split.test,
+        &ds.graph.labels,
+        &InferenceConfig::gate(1, 3),
+    );
     assert_eq!(run.predictions.len(), ds.split.test.len());
     assert!(run.depths.iter().all(|&d| (1..=3).contains(&d)));
     assert!(run.report.accuracy > 0.3, "acc {}", run.report.accuracy);
