@@ -4,20 +4,37 @@
 #   ./ci.sh
 #
 # Order mirrors cost: cheap static checks come after the build so that
-# compile errors surface with full diagnostics first.
+# compile errors surface with full diagnostics first. Each step prints
+# its wall time so bench-visible regressions (e.g. a test suite that
+# suddenly takes twice as long) show up directly in CI logs.
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release (tier-1, all targets incl. benches)"
-cargo build --release --all-targets
+step() {
+  local name="$1"
+  shift
+  echo "==> ${name}"
+  local t0
+  t0=$(date +%s)
+  "$@"
+  local t1
+  t1=$(date +%s)
+  echo "    [${name}: $((t1 - t0))s]"
+}
 
-echo "==> cargo test -q (tier-1)"
-cargo test -q
+step "cargo build --release (tier-1, all targets incl. benches)" \
+  cargo build --release --all-targets
 
-echo "==> cargo doc --no-deps (-D warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+step "cargo test -q (tier-1)" \
+  cargo test -q
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+step "cargo clippy --all-targets (-D warnings)" \
+  cargo clippy --all-targets --quiet -- -D warnings
+
+step "cargo doc --no-deps (-D warnings)" \
+  env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+step "cargo fmt --check" \
+  cargo fmt --check
 
 echo "ci.sh: all green"

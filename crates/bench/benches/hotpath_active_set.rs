@@ -1,0 +1,267 @@
+//! Exit-round overhead of Algorithm 1's hot loop: legacy bookkeeping
+//! (per-depth `HashMap` row location, full-history `gather_rows`
+//! compaction, from-scratch BFS after exits) versus the active-set
+//! engine (stamped column-map lookups, index-only `ActiveSet`
+//! compaction, in-place incremental hop-set shrinking).
+//!
+//! Both variants perform the *same* exit round — identical graph, batch,
+//! support frontier, history depth, and exit mask — so the per-iteration
+//! time is exactly the bookkeeping the paper never charges for. A third
+//! pair of benchmarks reports the end-to-end engine (`infer`) with the
+//! row-parallel SpMM knob off/on for context.
+//!
+//! Run with `cargo bench --bench hotpath_active_set`
+//! (`NAI_BENCH_SCALE=test` for the quick proxy).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nai::core::active::{ActiveSet, EngineScratch};
+use nai::core::stationary::StationaryState;
+use nai::graph::frontier::BfsScratch;
+use nai::graph::generators::{generate, GeneratorConfig};
+use nai::linalg::DenseMatrix;
+use nai::prelude::*;
+use nai_bench::bench_scale;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+struct Workload {
+    graph: Graph,
+    batch: Vec<u32>,
+    /// Hop sets of the batch at `t_max`.
+    sets: Vec<Vec<u32>>,
+    /// Support frontier at the exit depth (`sets[l]`).
+    support: Vec<u32>,
+    /// Active-aligned history `X^(0..=l)` (legacy layout).
+    history: Vec<DenseMatrix>,
+    /// Batch-aligned stationary rows.
+    x_inf: DenseMatrix,
+    exit_mask: Vec<bool>,
+    t_max: usize,
+    exit_depth: usize,
+}
+
+fn workload() -> Workload {
+    let (num_nodes, batch_size) = match bench_scale() {
+        nai::datasets::Scale::Test => (3_000, 200),
+        _ => (20_000, 500),
+    };
+    let f = 32;
+    let graph = generate(
+        &GeneratorConfig {
+            num_nodes,
+            num_classes: 5,
+            feature_dim: f,
+            avg_degree: 8.0,
+            power_law_exponent: 2.3,
+            ..Default::default()
+        },
+        &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(9),
+    );
+    let t_max = 3;
+    let exit_depth = 1;
+    let batch: Vec<u32> = (0..batch_size as u32).collect();
+    let mut bfs = BfsScratch::new(num_nodes);
+    let sets = bfs.hop_sets(&graph.adj, &batch, t_max);
+    let support = sets[exit_depth].clone();
+    // Active-aligned history as the legacy loop held it at depth l.
+    let history: Vec<DenseMatrix> = (0..=exit_depth)
+        .map(|lvl| {
+            DenseMatrix::from_fn(batch.len(), f, |r, c| ((r * 31 + c * 7 + lvl) as f32).sin())
+        })
+        .collect();
+    let st = StationaryState::compute(&graph.adj, &graph.features, 0.5);
+    let x_inf = st.rows(&batch);
+    // ~40% of the batch exits this round, spread across the batch.
+    let exit_mask: Vec<bool> = (0..batch.len()).map(|i| i % 5 < 2).collect();
+    Workload {
+        graph,
+        batch,
+        sets,
+        support,
+        history,
+        x_inf,
+        exit_mask,
+        t_max,
+        exit_depth,
+    }
+}
+
+/// The pre-refactor exit round: locate actives via a rebuilt `HashMap`,
+/// classify-side gathers, compact every history level + stationary rows
+/// to the survivors, then BFS the remaining hop sets from scratch.
+fn legacy_exit_round(w: &Workload, bfs: &mut BfsScratch) -> usize {
+    let mut pos_in_support = HashMap::with_capacity(w.batch.len());
+    for (t, &g) in w.support.iter().enumerate() {
+        pos_in_support.insert(g, t);
+    }
+    let active_rows: Vec<usize> = w
+        .batch
+        .iter()
+        .map(|g| *pos_in_support.get(g).expect("active ⊆ support"))
+        .collect();
+    black_box(&active_rows);
+
+    let exit_rows: Vec<usize> = w
+        .exit_mask
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &e)| e.then_some(i))
+        .collect();
+    let exit_feats: Vec<DenseMatrix> = w
+        .history
+        .iter()
+        .map(|m| m.gather_rows(&exit_rows).unwrap())
+        .collect();
+    black_box(&exit_feats);
+
+    let keep_rows: Vec<usize> = w
+        .exit_mask
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &e)| (!e).then_some(i))
+        .collect();
+    let survivors: Vec<u32> = keep_rows.iter().map(|&i| w.batch[i]).collect();
+    let _x_inf = w.x_inf.gather_rows(&keep_rows).unwrap();
+    let compacted: Vec<DenseMatrix> = w
+        .history
+        .iter()
+        .map(|m| m.gather_rows(&keep_rows).unwrap())
+        .collect();
+    black_box(&compacted);
+
+    let new_sets = bfs.hop_sets(&w.graph.adj, &survivors, w.t_max - w.exit_depth);
+    new_sets.iter().map(Vec::len).sum()
+}
+
+/// The active-set exit round on the same state: stamped column-map
+/// lookups, index-only compaction, exit-rows-only gather, in-place
+/// incremental shrink.
+fn active_exit_round(
+    w: &Workload,
+    bfs: &mut BfsScratch,
+    active: &mut ActiveSet,
+    col_map: &mut [u32],
+    sets: &mut [Vec<u32>],
+    active_rows: &mut Vec<usize>,
+) -> usize {
+    for (t, &g) in w.support.iter().enumerate() {
+        col_map[g as usize] = t as u32;
+    }
+    active_rows.clear();
+    for &g in active.nodes() {
+        active_rows.push(col_map[g as usize] as usize);
+    }
+    black_box(&active_rows);
+
+    let exited = active.apply_exits(&w.exit_mask);
+    let exit_feats: Vec<DenseMatrix> = w
+        .history
+        .iter()
+        .map(|m| m.gather_rows(exited).unwrap())
+        .collect();
+    black_box(&exit_feats);
+
+    bfs.shrink_hop_sets(
+        &w.graph.adj,
+        active.nodes(),
+        &mut sets[w.exit_depth + 1..=w.t_max],
+        w.t_max - w.exit_depth - 1,
+    );
+    for &g in &w.support {
+        col_map[g as usize] = u32::MAX;
+    }
+    sets[w.exit_depth + 1..].iter().map(Vec::len).sum()
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    let w = workload();
+    println!(
+        "workload: {} nodes, batch {}, support {}, t_max {}, exit depth {}, {} exiting",
+        w.graph.num_nodes(),
+        w.batch.len(),
+        w.support.len(),
+        w.t_max,
+        w.exit_depth,
+        w.exit_mask.iter().filter(|&&e| e).count(),
+    );
+
+    let n = w.graph.num_nodes();
+    c.bench_function("exit_round/legacy", |b| {
+        let mut bfs = BfsScratch::new(n);
+        b.iter(|| black_box(legacy_exit_round(&w, &mut bfs)))
+    });
+
+    c.bench_function("exit_round/active_set", |b| {
+        let mut bfs = BfsScratch::new(n);
+        let mut col_map = vec![u32::MAX; n];
+        let mut active_rows = Vec::new();
+        b.iter_batched(
+            || {
+                let mut active = ActiveSet::default();
+                active.reset(&w.batch);
+                (active, w.sets.clone())
+            },
+            |(mut active, mut sets)| {
+                black_box(active_exit_round(
+                    &w,
+                    &mut bfs,
+                    &mut active,
+                    &mut col_map,
+                    &mut sets,
+                    &mut active_rows,
+                ))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+
+    // End-to-end context: a quickly trained engine under distance NAP,
+    // serial vs row-parallel SpMM (bit-identical results either way).
+    let split = InductiveSplit::random(
+        w.graph.num_nodes(),
+        0.6,
+        0.2,
+        &mut <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(10),
+    );
+    let cfg = PipelineConfig {
+        k: w.t_max,
+        hidden: vec![16],
+        epochs: 15,
+        patience: 5,
+        use_single_scale: false,
+        use_multi_scale: false,
+        gate_epochs: 0,
+        ..PipelineConfig::default()
+    };
+    let trained = NaiPipeline::new(ModelKind::Sgc, cfg).train(&w.graph, &split, false);
+    let infer_cfg = InferenceConfig::distance(0.5, 1, w.t_max);
+    c.bench_function("infer/distance_serial", |b| {
+        b.iter(|| {
+            black_box(
+                trained
+                    .engine
+                    .infer(&split.test, &w.graph.labels, &infer_cfg),
+            )
+        })
+    });
+    let par_cfg = infer_cfg.with_parallel_spmm(true);
+    c.bench_function("infer/distance_parallel_spmm", |b| {
+        b.iter(|| black_box(trained.engine.infer(&split.test, &w.graph.labels, &par_cfg)))
+    });
+
+    // Fixed-depth propagate-only path with a shared scratch (the
+    // baseline fed by `propagate_only_with`).
+    let mut scratch = EngineScratch::new();
+    c.bench_function("propagate_only/shared_scratch", |b| {
+        b.iter(|| {
+            black_box(
+                trained
+                    .engine
+                    .propagate_only_with(&w.batch, w.t_max, &mut scratch),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_hotpath);
+criterion_main!(benches);

@@ -58,6 +58,7 @@ fn main() {
                 t_max: k,
                 nap,
                 batch_size: batch,
+                parallel_spmm: false,
             };
             let mut correct = 0usize;
             let mut pending_truth: Vec<u32> = Vec::new();

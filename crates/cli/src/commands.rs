@@ -130,6 +130,7 @@ pub fn inference_config_of(args: &ParsedArgs, k: usize) -> Result<InferenceConfi
         t_max,
         nap,
         batch_size,
+        parallel_spmm: false,
     };
     cfg.validate(k).map_err(CliError::Other)?;
     Ok(cfg)

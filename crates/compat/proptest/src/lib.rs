@@ -656,7 +656,7 @@ mod tests {
         #![proptest_config(ProptestConfig::with_cases(8))]
         #[test]
         fn config_attr_is_accepted(b in any::<bool>()) {
-            prop_assert!(b || !b);
+            prop_assert!(matches!(b, true | false));
         }
     }
 

@@ -38,6 +38,14 @@ pub struct InferenceConfig {
     pub nap: NapMode,
     /// Test-batch size (the paper's default is 500).
     pub batch_size: usize,
+    /// Parallelize each propagation SpMM over the frontier's rows
+    /// (`nai_linalg::parallel`), honored by both the static engine and
+    /// the streaming engine. Results are bit-identical either way —
+    /// every output row is an independent reduction — so this purely
+    /// trades threads for intra-batch latency. Off by default: batch-level
+    /// parallelism (`NaiEngine::infer_parallel`) usually scales better
+    /// when many batches are in flight.
+    pub parallel_spmm: bool,
 }
 
 impl InferenceConfig {
@@ -48,6 +56,7 @@ impl InferenceConfig {
             t_max,
             nap: NapMode::Distance { ts },
             batch_size: 500,
+            parallel_spmm: false,
         }
     }
 
@@ -58,6 +67,7 @@ impl InferenceConfig {
             t_max,
             nap: NapMode::Gate,
             batch_size: 500,
+            parallel_spmm: false,
         }
     }
 
@@ -68,6 +78,7 @@ impl InferenceConfig {
             t_max,
             nap: NapMode::UpperBound { ts },
             batch_size: 500,
+            parallel_spmm: false,
         }
     }
 
@@ -78,7 +89,15 @@ impl InferenceConfig {
             t_max,
             nap: NapMode::Fixed,
             batch_size: 500,
+            parallel_spmm: false,
         }
+    }
+
+    /// Returns a copy with intra-batch row-parallel SpMM switched
+    /// on/off.
+    pub fn with_parallel_spmm(mut self, on: bool) -> Self {
+        self.parallel_spmm = on;
+        self
     }
 
     /// Validates `1 ≤ t_min ≤ t_max ≤ k`.

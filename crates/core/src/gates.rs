@@ -160,6 +160,39 @@ impl GateSet {
             .collect()
     }
 
+    /// Row-streaming variant of [`Self::decide`] for the active-set
+    /// engine: decides each node from borrowed `(X^(l), X̂)` row pairs
+    /// without materializing the concatenated gate input or gathering
+    /// active rows into matrices. Decisions are **bit-identical** with
+    /// [`Self::decide`] on the equivalent matrices (same accumulation
+    /// order via `Linear::forward_row_infer`, same per-row softmax).
+    ///
+    /// # Panics
+    /// Panics if `depth` has no gate or a row pair's length differs from
+    /// the gate's feature dimension.
+    pub fn decide_rows<'a, I>(&self, depth: usize, rows: I, out: &mut Vec<bool>)
+    where
+        I: Iterator<Item = (&'a [f32], &'a [f32])>,
+    {
+        assert!(
+            depth >= 1 && depth < self.k,
+            "gate depth {depth} out of range [1, {})",
+            self.k
+        );
+        let gate = &self.gates[depth - 1];
+        let f = self.feature_dim;
+        let mut input = vec![0.0f32; 2 * f];
+        let mut logits = [0.0f32; 2];
+        out.clear();
+        for (x_l, x_hat) in rows {
+            input[..f].copy_from_slice(x_l);
+            input[f..].copy_from_slice(x_hat);
+            gate.forward_row_infer(&input, &mut logits);
+            softmax_slice(&mut logits);
+            out.push(logits[0] > logits[1]);
+        }
+    }
+
     /// Faithful Eq. (11)–(13) decision including the penalty term Θ built
     /// from previous selections. `already_selected[i]` is true when node
     /// `i` was selected by an earlier gate; the returned mask is then
@@ -510,6 +543,36 @@ mod tests {
         let xh = xinf.gather_rows(&rows).unwrap();
         let d = gates.decide(1, &x1, &xh);
         assert_eq!(d.len(), 40);
+    }
+
+    #[test]
+    fn decide_rows_matches_matrix_decide_bitwise() {
+        let (feats, xinf, classifiers, train, labels) = fixture();
+        let mut gates = GateSet::new(8, 3, &mut StdRng::seed_from_u64(23));
+        gates.train(
+            &feats,
+            &xinf,
+            &classifiers,
+            &train,
+            &labels,
+            &GateTrainConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
+        let rows: Vec<usize> = (0..40).collect();
+        for (depth, level) in feats.iter().enumerate().take(3).skip(1) {
+            let x1 = level.gather_rows(&rows).unwrap();
+            let xh = xinf.gather_rows(&rows).unwrap();
+            let matrix = gates.decide(depth, &x1, &xh);
+            let mut streamed = Vec::new();
+            gates.decide_rows(
+                depth,
+                rows.iter().map(|&r| (level.row(r), xinf.row(r))),
+                &mut streamed,
+            );
+            assert_eq!(matrix, streamed, "depth {depth}");
+        }
     }
 
     #[test]

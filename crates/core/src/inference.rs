@@ -11,17 +11,23 @@
 //! 4. from depth `T_min` onward applies the selected NAP module to the
 //!    still-active batch nodes; exiting nodes are classified by `f^(l)`
 //!    immediately (lines 6–15);
-//! 5. when nodes exit, **recomputes the remaining hop sets from the
-//!    surviving actives**, shrinking every later SpMM — this is where the
-//!    nonlinear speedup of Table V comes from, because supporting sets
-//!    grow exponentially with depth;
+//! 5. when nodes exit, **shrinks the remaining hop sets to the
+//!    survivors' neighborhoods** (an in-place filter, membership-equal
+//!    to recomputation — see `nai-graph::frontier`), shrinking every
+//!    later SpMM — this is where the nonlinear speedup of Table V comes
+//!    from, because supporting sets grow exponentially with depth;
 //! 6. classifies whatever remains at `T_max` (line 17).
 //!
-//! Wall-clock time is split into feature processing (sampling +
-//! propagation + stationary + NAP) and total, matching the paper's
-//! "FP Time" / "Time" columns; MACs are tallied by
-//! [`crate::macs::MacsBreakdown`].
+//! The loop runs on the [`crate::active`] engine: one
+//! [`EngineScratch`] per worker amortizes every buffer across batches,
+//! exit rounds compact index vectors instead of copying feature
+//! history, and support lookups go through the stamped column map
+//! instead of per-depth hash maps. Wall-clock time is split into
+//! feature processing (sampling + propagation + stationary + NAP) and
+//! total, matching the paper's "FP Time" / "Time" columns; MACs are
+//! tallied by [`crate::macs::MacsBreakdown`].
 
+use crate::active::EngineScratch;
 use crate::config::{InferenceConfig, NapMode};
 use crate::gates::GateSet;
 use crate::macs::MacsBreakdown;
@@ -29,9 +35,8 @@ use crate::metrics::InferenceReport;
 use crate::napd;
 use crate::stationary::StationaryState;
 use crate::upper_bound;
-use nai_graph::frontier::BfsScratch;
 use nai_graph::{CsrMatrix, Graph};
-use nai_linalg::ops::argmax_rows;
+use nai_linalg::ops::{argmax_rows, l2_distance};
 use nai_linalg::DenseMatrix;
 use nai_models::DepthClassifier;
 use std::time::{Duration, Instant};
@@ -182,8 +187,6 @@ impl NaiEngine {
                 "gate NAP requested but the engine has no trained gates"
             );
         }
-        let f = self.features.cols();
-        let n = self.adj.n();
         let total_start = Instant::now();
         let mut feature_time = Duration::ZERO;
         let mut macs = MacsBreakdown::default();
@@ -194,8 +197,7 @@ impl NaiEngine {
         let mut predictions = vec![usize::MAX; test_nodes.len()];
         let mut depths = vec![0usize; test_nodes.len()];
         let mut histogram = vec![0usize; cfg.t_max];
-        let mut bfs = BfsScratch::new(n);
-        let mut col_map = vec![u32::MAX; n];
+        let mut scratch = EngineScratch::new();
         let mut batches = 0usize;
 
         for batch_start in (0..test_nodes.len()).step_by(cfg.batch_size) {
@@ -208,15 +210,14 @@ impl NaiEngine {
                 cfg,
                 head,
                 head_macs,
-                &mut bfs,
-                &mut col_map,
+                &mut scratch,
                 &mut macs,
                 &mut feature_time,
                 &mut predictions,
                 &mut depths,
                 &mut histogram,
+                true,
             );
-            let _ = f;
         }
 
         let total_time = total_start.elapsed();
@@ -267,7 +268,6 @@ impl NaiEngine {
             let _ = self.lambda2();
         }
         let total_start = Instant::now();
-        let n = self.adj.n();
         let batch_size = cfg.batch_size;
         let n_batches = test_nodes.len().div_ceil(batch_size).max(1);
         let per_thread = n_batches.div_ceil(num_threads);
@@ -308,8 +308,7 @@ impl NaiEngine {
                         histogram: vec![0usize; cfg.t_max],
                         batches: 0,
                     };
-                    let mut bfs = BfsScratch::new(n);
-                    let mut col_map = vec![u32::MAX; n];
+                    let mut scratch = EngineScratch::new();
                     for start in (0..nodes.len()).step_by(batch_size) {
                         let batch = &nodes[start..(start + batch_size).min(nodes.len())];
                         out.batches += 1;
@@ -319,13 +318,13 @@ impl NaiEngine {
                             cfg,
                             &|l, feats| self.classifiers[l - 1].forward(feats),
                             &|l| self.classifiers[l - 1].macs_per_node(),
-                            &mut bfs,
-                            &mut col_map,
+                            &mut scratch,
                             &mut out.macs,
                             &mut out.feature_time,
                             pred_slice,
                             depth_slice,
                             &mut out.histogram,
+                            true,
                         );
                     }
                     out
@@ -376,7 +375,11 @@ impl NaiEngine {
     ///
     /// This is the vanilla inductive-inference path (Fig. 1 (d)) that the
     /// fixed-depth baselines — vanilla Scalable GNNs and the Quantization
-    /// baseline — share with NAI.
+    /// baseline — share with NAI. It runs on the same active-set engine
+    /// as [`Self::infer`] (fixed depth, capturing head). This
+    /// convenience wrapper builds a fresh [`EngineScratch`] per call;
+    /// callers issuing many batches should hold one scratch and use
+    /// [`Self::propagate_only_with`] instead.
     ///
     /// # Panics
     /// Panics if `depth` is zero or any node id is out of range.
@@ -385,49 +388,73 @@ impl NaiEngine {
         batch: &[u32],
         depth: usize,
     ) -> (Vec<DenseMatrix>, MacsBreakdown, Duration) {
+        let mut scratch = EngineScratch::new();
+        self.propagate_only_with(batch, depth, &mut scratch)
+    }
+
+    /// [`Self::propagate_only`] reusing a caller-owned scratch, so a
+    /// stream of batches pays `O(visited)` per batch rather than `O(n)`
+    /// workspace setup.
+    ///
+    /// # Panics
+    /// Same contract as [`Self::propagate_only`].
+    pub fn propagate_only_with(
+        &self,
+        batch: &[u32],
+        depth: usize,
+        scratch: &mut EngineScratch,
+    ) -> (Vec<DenseMatrix>, MacsBreakdown, Duration) {
         assert!(depth >= 1, "depth must be positive");
         let start = Instant::now();
         let mut macs = MacsBreakdown::default();
-        let n = self.adj.n();
-        let mut bfs = BfsScratch::new(n);
-        let mut col_map = vec![u32::MAX; n];
-        let sets = bfs.hop_sets(&self.adj, batch, depth);
-        let batch_idx: Vec<usize> = batch.iter().map(|&v| v as usize).collect();
-        let mut history: Vec<DenseMatrix> = vec![self
-            .features
-            .gather_rows(&batch_idx)
-            .expect("batch nodes in range")];
-        let mut support_prev = sets[0].clone();
-        let mut h_prev = {
-            let idx: Vec<usize> = support_prev.iter().map(|&v| v as usize).collect();
-            self.features.gather_rows(&idx).expect("support in range")
-        };
-        for (l, support_l) in sets.iter().enumerate().skip(1) {
-            for (t, &g) in support_prev.iter().enumerate() {
-                col_map[g as usize] = t as u32;
-            }
-            let (h_l, step_macs) = self.norm_adj.spmm_gather(support_l, &col_map, &h_prev);
-            for &g in support_prev.iter() {
-                col_map[g as usize] = u32::MAX;
-            }
-            macs.propagation += step_macs;
-            let mut pos = std::collections::HashMap::with_capacity(batch.len());
-            for (t, &g) in support_l.iter().enumerate() {
-                pos.insert(g, t);
-            }
-            let rows: Vec<usize> = batch
-                .iter()
-                .map(|g| *pos.get(g).expect("batch ⊆ hop sets"))
-                .collect();
-            history.push(h_l.gather_rows(&rows).expect("rows located"));
-            support_prev = support_l.clone();
-            h_prev = h_l;
-            let _ = l;
+        if batch.is_empty() {
+            let f = self.features.cols();
+            return (
+                vec![DenseMatrix::zeros(0, f); depth + 1],
+                macs,
+                start.elapsed(),
+            );
         }
-        (history, macs, start.elapsed())
+        let cfg = InferenceConfig {
+            t_min: depth,
+            t_max: depth,
+            nap: NapMode::Fixed,
+            batch_size: batch.len(),
+            parallel_spmm: false,
+        };
+        // At fixed depth every node exits together at `depth`, so the
+        // capturing head observes exactly `X^(0..=depth)` aligned with
+        // the batch; its logits are discarded.
+        let captured = std::cell::RefCell::new(Vec::new());
+        let mut feature_time = Duration::ZERO;
+        let mut predictions = vec![usize::MAX; batch.len()];
+        let mut depths = vec![0usize; batch.len()];
+        let mut histogram = vec![0usize; depth];
+        self.infer_batch(
+            batch,
+            0,
+            &cfg,
+            &|_, feats| {
+                *captured.borrow_mut() = feats.to_vec();
+                DenseMatrix::zeros(feats[0].rows(), 1)
+            },
+            &|_| 0,
+            scratch,
+            &mut macs,
+            &mut feature_time,
+            &mut predictions,
+            &mut depths,
+            &mut histogram,
+            false,
+        );
+        (captured.into_inner(), macs, start.elapsed())
     }
 
-    /// One batch of Algorithm 1 (lines 2–17).
+    /// One batch of Algorithm 1 (lines 2–17) on the active-set engine.
+    ///
+    /// `with_stationary` disables the line-2 stationary computation for
+    /// the propagate-only path (which must not charge stationary MACs);
+    /// it must be `true` for every adaptive NAP mode.
     #[allow(clippy::too_many_arguments)]
     fn infer_batch(
         &self,
@@ -436,27 +463,35 @@ impl NaiEngine {
         cfg: &InferenceConfig,
         head: &dyn Fn(usize, &[DenseMatrix]) -> DenseMatrix,
         head_macs: &dyn Fn(usize) -> u64,
-        bfs: &mut BfsScratch,
-        col_map: &mut [u32],
+        scratch: &mut EngineScratch,
         macs: &mut MacsBreakdown,
         feature_time: &mut Duration,
         predictions: &mut [usize],
         depths: &mut [usize],
         histogram: &mut [usize],
+        with_stationary: bool,
     ) {
         if batch.is_empty() {
             return;
         }
+        debug_assert!(
+            with_stationary || matches!(cfg.nap, NapMode::Fixed),
+            "adaptive NAP modes need the stationary rows"
+        );
         let f = self.features.cols();
         let fp0 = Instant::now();
+        scratch.begin_batch(self.adj.n(), batch, cfg.t_max, f);
 
         // Line 2: stationary rows for the batch.
-        let mut x_inf_active = self.stationary.rows(batch);
-        macs.stationary += batch.len() as u64 * self.stationary.macs_per_row();
+        if with_stationary {
+            self.stationary.rows_into(batch, &mut scratch.x_inf);
+            macs.stationary += batch.len() as u64 * self.stationary.macs_per_row();
+        }
 
         // NAP_u precomputes every node's exit depth from Eq. (10) before
         // propagation (O(1) per node: a sqrt, a division and two logs).
-        let mut assigned: Vec<usize> = match cfg.nap {
+        // Indexed by original batch row, like the history.
+        let assigned: Vec<usize> = match cfg.nap {
             NapMode::UpperBound { ts } => {
                 macs.nap += batch.len() as u64 * 4;
                 upper_bound::assign_depths(
@@ -472,139 +507,147 @@ impl NaiEngine {
             _ => Vec::new(),
         };
 
-        // Line 3: supporting hop sets.
-        let mut sets = bfs.hop_sets(&self.adj, batch, cfg.t_max);
+        // Line 3: supporting hop sets; the widest becomes the initial
+        // support frontier, mapped in the stamped column map.
+        scratch
+            .bfs
+            .hop_sets_into(&self.adj, batch, cfg.t_max, &mut scratch.plan.sets);
+        scratch.plan.init_support();
 
-        // Active bookkeeping: original batch position per active row.
-        let mut active_pos: Vec<usize> = (0..batch.len()).collect();
-        let mut active_nodes: Vec<u32> = batch.to_vec();
-
-        // Per-depth feature history of active rows (X^(0) first).
-        let batch_idx: Vec<usize> = batch.iter().map(|&v| v as usize).collect();
-        let mut history: Vec<DenseMatrix> = vec![self
-            .features
-            .gather_rows(&batch_idx)
-            .expect("batch nodes in range")];
-
-        // Frontier state.
-        let mut support_prev: Vec<u32> = sets[0].clone();
-        let mut h_prev = {
-            let idx: Vec<usize> = support_prev.iter().map(|&v| v as usize).collect();
-            self.features.gather_rows(&idx).expect("support in range")
-        };
+        // History level 0 is X^(0) of the batch; the support features
+        // start as X^(0) of the widest frontier.
+        for (r, &v) in batch.iter().enumerate() {
+            scratch.history[0]
+                .row_mut(r)
+                .copy_from_slice(self.features.row(v as usize));
+        }
+        scratch
+            .h_prev
+            .reset_for_overwrite(scratch.plan.support().len(), f);
+        for (t, &g) in scratch.plan.support().iter().enumerate() {
+            scratch
+                .h_prev
+                .row_mut(t)
+                .copy_from_slice(self.features.row(g as usize));
+        }
         *feature_time += fp0.elapsed();
 
         for l in 1..=cfg.t_max {
             let fp = Instant::now();
-            let support_l = std::mem::take(&mut sets[l]);
-            // Map previous support into local rows of h_prev.
-            for (t, &g) in support_prev.iter().enumerate() {
-                col_map[g as usize] = t as u32;
-            }
-            let (h_l, step_macs) = self.norm_adj.spmm_gather(&support_l, col_map, &h_prev);
-            for &g in support_prev.iter() {
-                col_map[g as usize] = u32::MAX;
-            }
+            let support_l = std::mem::take(&mut scratch.plan.sets[l]);
+            // The column map still describes the previous support (the
+            // rows of h_prev); N(sets[l]) ⊆ sets[l−1] guarantees every
+            // neighbor is mapped.
+            let step_macs = self.norm_adj.spmm_gather_into(
+                &support_l,
+                scratch.plan.col_map(),
+                &scratch.h_prev,
+                &mut scratch.h_next,
+                cfg.parallel_spmm,
+            );
             macs.propagation += step_macs;
+            scratch.plan.advance(support_l);
 
-            // Locate active rows inside support_l and extend history.
-            let mut pos_in_support = std::collections::HashMap::with_capacity(active_nodes.len());
-            for (t, &g) in support_l.iter().enumerate() {
-                pos_in_support.insert(g, t);
+            // Locate active rows in the new support (O(1) stamped
+            // lookups) and extend the full-width history.
+            scratch.active_rows.clear();
+            for &g in scratch.active.nodes() {
+                let local = scratch.plan.local(g);
+                debug_assert_ne!(local, u32::MAX, "active ⊆ every hop set");
+                scratch.active_rows.push(local as usize);
             }
-            let active_rows: Vec<usize> = active_nodes
-                .iter()
-                .map(|g| *pos_in_support.get(g).expect("active ⊆ every hop set"))
-                .collect();
-            history.push(h_l.gather_rows(&active_rows).expect("rows located"));
+            let hist_l = &mut scratch.history[l];
+            for (a, &row) in scratch.active_rows.iter().enumerate() {
+                hist_l
+                    .row_mut(scratch.active.origs()[a])
+                    .copy_from_slice(scratch.h_next.row(row));
+            }
             *feature_time += fp.elapsed();
 
             // Lines 6–15: early exits.
             let at_final = l == cfg.t_max;
-            let mut exit_mask: Vec<bool> = vec![at_final; active_nodes.len()];
+            scratch.exit_mask.clear();
+            scratch.exit_mask.resize(scratch.active.len(), at_final);
             if !at_final && l >= cfg.t_min {
                 let fp = Instant::now();
                 match cfg.nap {
                     NapMode::Fixed => {}
                     NapMode::Distance { ts } => {
-                        exit_mask = napd::exit_mask(&history[l], &x_inf_active, ts);
-                        macs.nap += active_nodes.len() as u64 * napd::macs_per_node(f);
+                        for a in 0..scratch.active.len() {
+                            let cur = scratch.h_next.row(scratch.active_rows[a]);
+                            let stat = scratch.x_inf.row(scratch.active.origs()[a]);
+                            scratch.exit_mask[a] = l2_distance(cur, stat) < ts;
+                        }
+                        macs.nap += scratch.active.len() as u64 * napd::macs_per_node(f);
                     }
                     NapMode::Gate => {
                         let gates = self.gates.as_ref().expect("validated above");
                         if l < gates.k() {
-                            exit_mask = gates.decide(l, &history[l], &x_inf_active);
-                            macs.nap += active_nodes.len() as u64 * gates.macs_per_node();
+                            let (h_next, x_inf) = (&scratch.h_next, &scratch.x_inf);
+                            let rows = scratch
+                                .active_rows
+                                .iter()
+                                .zip(scratch.active.origs())
+                                .map(|(&r, &o)| (h_next.row(r), x_inf.row(o)));
+                            gates.decide_rows(l, rows, &mut scratch.exit_mask);
+                            macs.nap += scratch.active.len() as u64 * gates.macs_per_node();
                         }
                     }
                     NapMode::UpperBound { .. } => {
                         // Depths were fixed before propagation; exiting here
                         // costs no feature comparison at all.
-                        for (e, &d) in exit_mask.iter_mut().zip(assigned.iter()) {
-                            *e = d == l;
+                        for a in 0..scratch.active.len() {
+                            scratch.exit_mask[a] = assigned[scratch.active.origs()[a]] == l;
                         }
                     }
                 }
                 *feature_time += fp.elapsed();
             }
 
-            if exit_mask.iter().any(|&e| e) {
-                let exit_rows: Vec<usize> = exit_mask
+            if scratch.exit_mask.iter().any(|&e| e) {
+                // Compact the index vectors; the history matrices stay
+                // where they are (rows addressed by original batch row).
+                let exited = scratch.active.apply_exits(&scratch.exit_mask);
+
+                // Classify the exiting nodes with f^(l) (line 12/17),
+                // gathering only their rows from the history.
+                let exit_feats: Vec<DenseMatrix> = scratch.history[..=l]
                     .iter()
-                    .enumerate()
-                    .filter_map(|(i, &e)| e.then_some(i))
-                    .collect();
-                // Classify the exiting nodes with f^(l) (line 12/17).
-                let exit_feats: Vec<DenseMatrix> = history[..=l]
-                    .iter()
-                    .map(|m| m.gather_rows(&exit_rows).expect("exit rows"))
+                    .map(|m| m.gather_rows(exited).expect("exit rows"))
                     .collect();
                 let logits = head(l, &exit_feats);
-                macs.classification += exit_rows.len() as u64 * head_macs(l);
+                macs.classification += exited.len() as u64 * head_macs(l);
                 let preds = argmax_rows(&logits);
-                for (t, &row) in exit_rows.iter().enumerate() {
-                    let orig = active_pos[row];
+                for (t, &orig) in exited.iter().enumerate() {
                     predictions[batch_offset + orig] = preds[t];
                     depths[batch_offset + orig] = l;
                     histogram[l - 1] += 1;
                 }
 
-                // Shrink active state to survivors.
-                let keep_rows: Vec<usize> = exit_mask
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, &e)| (!e).then_some(i))
-                    .collect();
-                if keep_rows.is_empty() {
+                if scratch.active.is_empty() {
+                    scratch.plan.finish();
                     return; // whole batch classified
                 }
-                active_pos = keep_rows.iter().map(|&i| active_pos[i]).collect();
-                active_nodes = keep_rows.iter().map(|&i| active_nodes[i]).collect();
-                if !assigned.is_empty() {
-                    assigned = keep_rows.iter().map(|&i| assigned[i]).collect();
-                }
-                x_inf_active = x_inf_active.gather_rows(&keep_rows).expect("keep rows");
-                for m in history.iter_mut() {
-                    *m = m.gather_rows(&keep_rows).expect("keep rows");
-                }
 
-                // Line 5 revisited: shrink future supporting sets to the
-                // survivors' neighborhoods.
+                // Line 5 revisited: shrink the future supporting sets to
+                // the survivors' neighborhoods, in place.
                 if l < cfg.t_max {
                     let fp = Instant::now();
-                    let new_sets = bfs.hop_sets(&self.adj, &active_nodes, cfg.t_max - l);
-                    for (j, ns) in new_sets.into_iter().enumerate() {
-                        if j >= 1 {
-                            sets[l + j] = ns;
-                        }
-                    }
+                    scratch.bfs.shrink_hop_sets(
+                        &self.adj,
+                        scratch.active.nodes(),
+                        &mut scratch.plan.sets[l + 1..=cfg.t_max],
+                        cfg.t_max - l - 1,
+                    );
                     *feature_time += fp.elapsed();
                 }
             }
 
-            support_prev = support_l;
-            h_prev = h_l;
+            std::mem::swap(&mut scratch.h_prev, &mut scratch.h_next);
         }
+        // Defensive: the forced exit at t_max always empties the batch
+        // above, but keep the column-map invariant on every path.
+        scratch.plan.finish();
     }
 }
 

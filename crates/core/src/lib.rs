@@ -15,6 +15,8 @@
 //!   (Eq. 11–13);
 //! * [`inference`] — Algorithm 1: batched online propagation with
 //!   per-node early exit and shrinking supporting frontiers;
+//! * [`active`] — the allocation-free active-set / frontier-plan
+//!   bookkeeping both the static and streaming engines run on;
 //! * [`distill`] — Inception Distillation (Eq. 14–21): Single-Scale KD
 //!   from `f^(k)` and Multi-Scale KD from a trainable ensemble teacher;
 //! * [`macs`] / [`metrics`] — the MACs accounting of Table I and the
@@ -23,6 +25,7 @@
 //!   classifier → distillation → gates) producing a ready
 //!   [`inference::NaiEngine`].
 
+pub mod active;
 pub mod checkpoint;
 pub mod config;
 pub mod distill;

@@ -37,17 +37,28 @@ pub fn macs_per_node(f: usize) -> u64 {
 }
 
 /// Offline personalized depth (Eq. 9) for transductive analysis: given all
-/// propagated levels of one node's features and its stationary row,
-/// returns the smallest depth `l ∈ [1, k]` with `∆^(l) < ts`, or `k` when
-/// none qualifies.
+/// propagated levels of one node's features (`X^(0)` first) and its
+/// stationary row, returns the smallest depth `l ∈ [1, k]` with
+/// `∆^(l) < ts`, or `k` when none qualifies.
+///
+/// # Panics
+/// Panics unless `levels` holds at least `X^(0)` and `X^(1)`
+/// (`levels.len() >= 2`): with only `X^(0)` there is no propagated level
+/// to exit at, and silently claiming depth 1 would point at a classifier
+/// that was never trained.
 pub fn personalized_depth(levels: &[&[f32]], stationary: &[f32], ts: f32) -> usize {
-    let k = levels.len().saturating_sub(1);
+    assert!(
+        levels.len() >= 2,
+        "personalized_depth needs X^(0) and at least one propagated level, got {}",
+        levels.len()
+    );
+    let k = levels.len() - 1;
     for (l, row) in levels.iter().enumerate().skip(1) {
         if l2_distance(row, stationary) < ts {
             return l;
         }
     }
-    k.max(1)
+    k
 }
 
 #[cfg(test)]
@@ -181,5 +192,24 @@ mod tests {
     #[test]
     fn macs_is_feature_dim() {
         assert_eq!(macs_per_node(128), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one propagated level")]
+    fn personalized_depth_rejects_unpropagated_input() {
+        // Only X^(0): no exit depth exists, so claiming one would name a
+        // classifier that was never trained.
+        let x0 = [1.0f32, 2.0];
+        let stat = [0.0f32, 0.0];
+        let _ = personalized_depth(&[&x0], &stat, 10.0);
+    }
+
+    #[test]
+    fn personalized_depth_caps_at_deepest_level() {
+        // Nothing qualifies under a zero threshold → depth k.
+        let x0 = [1.0f32, 2.0];
+        let x1 = [0.5f32, 1.0];
+        let stat = [0.0f32, 0.0];
+        assert_eq!(personalized_depth(&[&x0, &x1], &stat, 0.0), 1);
     }
 }

@@ -102,10 +102,17 @@ impl StationaryState {
     /// Algorithm 1 line 2.
     pub fn rows(&self, nodes: &[u32]) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(nodes.len(), self.feature_dim);
+        self.rows_into(nodes, &mut out);
+        out
+    }
+
+    /// [`Self::rows`] into a caller-owned buffer (resized in place), so
+    /// hot loops can reuse one matrix across batches.
+    pub fn rows_into(&self, nodes: &[u32], out: &mut DenseMatrix) {
+        out.reset_zeroed(nodes.len(), self.feature_dim);
         for (t, &node) in nodes.iter().enumerate() {
             self.write_row(node, out.row_mut(t));
         }
-        out
     }
 
     /// Full `n × f` stationary matrix (tests / diagnostics).

@@ -232,25 +232,80 @@ impl CsrMatrix {
         col_map: &[u32],
         rhs: &DenseMatrix,
     ) -> (DenseMatrix, u64) {
+        let mut out = DenseMatrix::zeros(out_rows.len(), rhs.cols());
+        let macs = self.spmm_gather_into(out_rows, col_map, rhs, &mut out, false);
+        (out, macs)
+    }
+
+    /// [`Self::spmm_gather`] into a caller-owned output buffer (resized
+    /// and zeroed in place), optionally parallel over output rows.
+    ///
+    /// Each output row depends only on its own adjacency row, so the
+    /// parallel path is **bit-identical** with the serial one — `parallel`
+    /// trades threads for wall-clock without perturbing results or the
+    /// returned MAC count. Small frontiers fall back to the serial loop
+    /// (see [`nai_linalg::parallel::thread_count`]).
+    pub fn spmm_gather_into(
+        &self,
+        out_rows: &[u32],
+        col_map: &[u32],
+        rhs: &DenseMatrix,
+        out: &mut DenseMatrix,
+        parallel: bool,
+    ) -> u64 {
         let f = rhs.cols();
-        let mut out = DenseMatrix::zeros(out_rows.len(), f);
-        let mut macs = 0u64;
+        out.reset_zeroed(out_rows.len(), f);
         let rhs_data = rhs.as_slice();
-        for (t, &gi) in out_rows.iter().enumerate() {
-            let orow = out.row_mut(t);
-            for (j, w) in self.row_iter(gi as usize) {
-                let local = col_map[j as usize];
-                if local == u32::MAX {
-                    continue;
+        let avg_nnz = self.nnz().div_ceil(self.n.max(1));
+        let threads = if parallel && f > 0 && !out_rows.is_empty() {
+            nai_linalg::parallel::thread_count(out_rows.len() * avg_nnz.max(1) * f)
+        } else {
+            1
+        };
+        if threads <= 1 {
+            let mut macs = 0u64;
+            for (t, &gi) in out_rows.iter().enumerate() {
+                let orow = out.row_mut(t);
+                for (j, w) in self.row_iter(gi as usize) {
+                    let local = col_map[j as usize];
+                    if local == u32::MAX {
+                        continue;
+                    }
+                    let src = &rhs_data[local as usize * f..(local as usize + 1) * f];
+                    for (o, &x) in orow.iter_mut().zip(src.iter()) {
+                        *o += w * x;
+                    }
+                    macs += f as u64;
                 }
-                let src = &rhs_data[local as usize * f..(local as usize + 1) * f];
-                for (o, &x) in orow.iter_mut().zip(src.iter()) {
-                    *o += w * x;
+            }
+            return macs;
+        }
+        // Parallel path: count MACs in a cheap index-only pre-pass, then
+        // fill disjoint row chunks concurrently.
+        let mut macs = 0u64;
+        for &gi in out_rows {
+            for &j in self.row_indices(gi as usize) {
+                if col_map[j as usize] != u32::MAX {
+                    macs += f as u64;
                 }
-                macs += f as u64;
             }
         }
-        (out, macs)
+        par_rows_mut(out.as_mut_slice(), f, avg_nnz.max(1) * f, |row0, chunk| {
+            for (off, orow) in chunk.chunks_mut(f).enumerate() {
+                let gi = out_rows[row0 + off];
+                for (j, w) in self.row_iter(gi as usize) {
+                    let local = col_map[j as usize];
+                    if local == u32::MAX {
+                        continue;
+                    }
+                    let src = &rhs_data[local as usize * f..(local as usize + 1) * f];
+                    for (o, &x) in orow.iter_mut().zip(src.iter()) {
+                        *o += w * x;
+                    }
+                }
+            }
+        });
+        macs
     }
 
     /// Dense representation (tests / tiny graphs only).

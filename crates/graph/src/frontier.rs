@@ -6,16 +6,28 @@
 //! *neighbor explosion* the paper's introduction describes — so shrinking
 //! `r` per node is exactly where NAI's speedup comes from.
 //!
-//! [`BfsScratch`] keeps a stamp array so repeated BFS calls (the engine
-//! recomputes frontiers whenever nodes exit early) cost `O(visited)`, never
-//! `O(n)` re-initialisation.
+//! [`BfsScratch`] keeps stamp and distance arrays so repeated BFS calls
+//! cost `O(visited)`, never `O(n)` re-initialisation. When nodes exit
+//! early, the engine does **not** rediscover frontiers from scratch:
+//! [`BfsScratch::shrink_hop_sets`] filters the existing hop sets down to
+//! the survivors' neighborhoods in place — membership-equal to a fresh
+//! BFS from the survivors (survivors are a subset of the nodes the sets
+//! were built for, so a node within `r` hops of the survivors is also
+//! within `r` hops of the original seeds), but `O(visited)` with zero
+//! allocation. The `*_by` variants take a neighbor closure instead of a
+//! [`CsrMatrix`], so graph representations that are not CSR (e.g. the
+//! streaming engine's adjacency lists) share the same scratch and
+//! algorithms.
 
 use crate::csr::CsrMatrix;
 
 /// Reusable BFS workspace. One instance per engine; never shrinks.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct BfsScratch {
     stamp: Vec<u64>,
+    dist: Vec<u32>,
+    /// `(node, distance)` discovery order of the most recent traversal.
+    order: Vec<(u32, u32)>,
     current: u64,
 }
 
@@ -24,7 +36,18 @@ impl BfsScratch {
     pub fn new(n: usize) -> Self {
         Self {
             stamp: vec![0; n],
+            dist: vec![0; n],
+            order: Vec::new(),
             current: 0,
+        }
+    }
+
+    /// Grows the workspace to cover `n` nodes (no-op when already large
+    /// enough). Lets one scratch follow a growing graph.
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.stamp.len() < n {
+            self.stamp.resize(n, 0);
+            self.dist.resize(n, 0);
         }
     }
 
@@ -60,45 +83,152 @@ impl BfsScratch {
         out
     }
 
+    /// One BFS from `seeds` up to `max_hops`, recording each visited
+    /// node's distance in the stamped `dist` array and the discovery
+    /// order in `self.order`.
+    fn bfs_distances<I>(
+        &mut self,
+        mut neighbors: impl FnMut(u32) -> I,
+        seeds: &[u32],
+        max_hops: usize,
+    ) where
+        I: Iterator<Item = u32>,
+    {
+        self.current += 1;
+        let stamp = self.current;
+        self.order.clear();
+        for &s in seeds {
+            if self.stamp[s as usize] != stamp {
+                self.stamp[s as usize] = stamp;
+                self.dist[s as usize] = 0;
+                self.order.push((s, 0));
+            }
+        }
+        let mut qi = 0usize;
+        while qi < self.order.len() {
+            let (u, d) = self.order[qi];
+            qi += 1;
+            if d as usize >= max_hops {
+                continue;
+            }
+            for v in neighbors(u) {
+                if self.stamp[v as usize] != stamp {
+                    self.stamp[v as usize] = stamp;
+                    self.dist[v as usize] = d + 1;
+                    self.order.push((v, d + 1));
+                }
+            }
+        }
+    }
+
     /// Hop sets for Algorithm 1: `sets[l]` contains all nodes within
     /// `max_depth − l` hops of `seeds`, for `l = 0..=max_depth`. So
     /// `sets[0]` is the widest supporting frontier and
     /// `sets[max_depth]` is the batch itself. Sets are nested:
     /// `sets[l+1] ⊆ sets[l]`, and `N(sets[l+1]) ⊆ sets[l]`.
     pub fn hop_sets(&mut self, adj: &CsrMatrix, seeds: &[u32], max_depth: usize) -> Vec<Vec<u32>> {
-        // One BFS recording distance, then bucket by hop count.
-        self.current += 1;
-        let stamp = self.current;
-        let mut order: Vec<(u32, u32)> = Vec::with_capacity(seeds.len()); // (node, dist)
-        for &s in seeds {
-            if self.stamp[s as usize] != stamp {
-                self.stamp[s as usize] = stamp;
-                order.push((s, 0));
-            }
+        let mut sets = Vec::new();
+        self.hop_sets_into(adj, seeds, max_depth, &mut sets);
+        sets
+    }
+
+    /// [`Self::hop_sets`] writing into caller-owned buffers, reusing
+    /// their allocations across batches.
+    pub fn hop_sets_into(
+        &mut self,
+        adj: &CsrMatrix,
+        seeds: &[u32],
+        max_depth: usize,
+        sets: &mut Vec<Vec<u32>>,
+    ) {
+        self.hop_sets_by_into(
+            |u| adj.row_indices(u as usize).iter().copied(),
+            seeds,
+            max_depth,
+            sets,
+        );
+    }
+
+    /// [`Self::hop_sets_into`] over an arbitrary neighbor function —
+    /// `neighbors(u)` yields the adjacency of `u`. Callers must have
+    /// sized the scratch (see [`Self::ensure_capacity`]) to cover every
+    /// reachable node id.
+    pub fn hop_sets_by_into<I>(
+        &mut self,
+        neighbors: impl FnMut(u32) -> I,
+        seeds: &[u32],
+        max_depth: usize,
+        sets: &mut Vec<Vec<u32>>,
+    ) where
+        I: Iterator<Item = u32>,
+    {
+        self.bfs_distances(neighbors, seeds, max_depth);
+        sets.resize_with(max_depth + 1, Vec::new);
+        for set in sets.iter_mut() {
+            set.clear();
         }
-        let mut qi = 0usize;
-        while qi < order.len() {
-            let (u, d) = order[qi];
-            qi += 1;
-            if d as usize >= max_depth {
-                continue;
-            }
-            for (v, _) in adj.row_iter(u as usize) {
-                if self.stamp[v as usize] != stamp {
-                    self.stamp[v as usize] = stamp;
-                    order.push((v, d + 1));
-                }
-            }
-        }
-        let mut sets: Vec<Vec<u32>> = vec![Vec::new(); max_depth + 1];
-        for &(node, dist) in &order {
+        for &(node, dist) in &self.order {
             // Node at distance d belongs to sets[l] whenever
             // max_depth − l >= d, i.e. l <= max_depth − d.
             for set in sets.iter_mut().take(max_depth - dist as usize + 1) {
                 set.push(node);
             }
         }
-        sets
+    }
+
+    /// Incremental frontier shrink after early exits: filters existing
+    /// hop sets down to the `survivors`' neighborhoods **in place**.
+    ///
+    /// `sets[j]` must currently hold all nodes within `max_hops − j`
+    /// hops of a node set that *includes* `survivors` (the still-active
+    /// nodes are always a subset of the nodes the sets were built for).
+    /// After the call, `sets[j]` holds exactly the nodes within
+    /// `max_hops − j` hops of `survivors` — the same membership a fresh
+    /// [`Self::hop_sets`] from the survivors would produce (property
+    /// tested in `tests/proptests.rs`), in a cost of one `O(visited)`
+    /// BFS plus one linear pass over the sets, with no allocation.
+    ///
+    /// # Panics
+    /// Panics if `sets.len() > max_hops + 1`.
+    pub fn shrink_hop_sets(
+        &mut self,
+        adj: &CsrMatrix,
+        survivors: &[u32],
+        sets: &mut [Vec<u32>],
+        max_hops: usize,
+    ) {
+        self.shrink_hop_sets_by(
+            |u| adj.row_indices(u as usize).iter().copied(),
+            survivors,
+            sets,
+            max_hops,
+        );
+    }
+
+    /// [`Self::shrink_hop_sets`] over an arbitrary neighbor function.
+    ///
+    /// # Panics
+    /// Panics if `sets.len() > max_hops + 1`.
+    pub fn shrink_hop_sets_by<I>(
+        &mut self,
+        neighbors: impl FnMut(u32) -> I,
+        survivors: &[u32],
+        sets: &mut [Vec<u32>],
+        max_hops: usize,
+    ) where
+        I: Iterator<Item = u32>,
+    {
+        assert!(
+            sets.len() <= max_hops + 1,
+            "{} hop sets cannot span {max_hops} hops",
+            sets.len()
+        );
+        self.bfs_distances(neighbors, survivors, max_hops);
+        let stamp = self.current;
+        for (j, set) in sets.iter_mut().enumerate() {
+            let budget = (max_hops - j) as u32;
+            set.retain(|&v| self.stamp[v as usize] == stamp && self.dist[v as usize] <= budget);
+        }
     }
 }
 
@@ -149,6 +279,19 @@ mod tests {
     }
 
     #[test]
+    fn default_scratch_grows_on_demand() {
+        let adj = path5();
+        let mut bfs = BfsScratch::default();
+        bfs.ensure_capacity(5);
+        let sets = bfs.hop_sets(&adj, &[0], 2);
+        assert_eq!(sets.len(), 3);
+        // Shrinking capacity requests are no-ops.
+        bfs.ensure_capacity(2);
+        let again = bfs.hop_sets(&adj, &[0], 2);
+        assert_eq!(sets, again);
+    }
+
+    #[test]
     fn hop_sets_are_nested_and_correct() {
         let adj = path5();
         let mut bfs = BfsScratch::new(5);
@@ -184,6 +327,55 @@ mod tests {
             b.sort_unstable();
             assert_eq!(a, b, "hop set {l}");
         }
+    }
+
+    #[test]
+    fn hop_sets_into_reuses_and_resizes_buffers() {
+        let adj = path5();
+        let mut bfs = BfsScratch::new(5);
+        let mut sets = vec![vec![9u32; 8]; 7]; // stale, oversized
+        bfs.hop_sets_into(&adj, &[0], 2, &mut sets);
+        assert_eq!(sets.len(), 3);
+        assert_eq!(sets, bfs.hop_sets(&adj, &[0], 2));
+    }
+
+    #[test]
+    fn shrink_matches_recomputation_on_path() {
+        let adj = path5();
+        let mut bfs = BfsScratch::new(5);
+        // Sets for batch {0, 4} at depth 3; drop node 4, keep survivor {0}.
+        let mut sets = bfs.hop_sets(&adj, &[0, 4], 3);
+        let survivors = [0u32];
+        // Shrink the suffix sets[1..=3] (radii 2, 1, 0).
+        bfs.shrink_hop_sets(&adj, &survivors, &mut sets[1..=3], 2);
+        let fresh = bfs.hop_sets(&adj, &survivors, 2);
+        for j in 0..=2 {
+            let mut a = sets[1 + j].clone();
+            a.sort_unstable();
+            let mut b = fresh[j].clone();
+            b.sort_unstable();
+            assert_eq!(a, b, "level {j}");
+        }
+    }
+
+    #[test]
+    fn shrink_preserves_original_order() {
+        let adj = path5();
+        let mut bfs = BfsScratch::new(5);
+        let mut sets = bfs.hop_sets(&adj, &[4, 0], 2);
+        let before = sets[1].clone();
+        bfs.shrink_hop_sets(&adj, &[4, 0], &mut sets[1..=2], 1);
+        // Survivors unchanged → sets unchanged, order included.
+        assert_eq!(sets[1], before);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot span")]
+    fn shrink_rejects_overlong_suffix() {
+        let adj = path5();
+        let mut bfs = BfsScratch::new(5);
+        let mut sets = bfs.hop_sets(&adj, &[0], 3);
+        bfs.shrink_hop_sets(&adj, &[0], &mut sets[..], 2);
     }
 
     #[test]

@@ -80,6 +80,50 @@ proptest! {
         }
     }
 
+    /// Incremental hop-set shrinkage (the engine's post-exit path) must
+    /// equal full recomputation from the survivors: same membership per
+    /// level, for random graphs, random batches, random exit rounds, and
+    /// random survivor subsets.
+    #[test]
+    fn incremental_shrink_matches_recomputation(
+        (n, edges) in edge_list(30),
+        raw_batch in proptest::collection::vec(0u32..30, 1..8),
+        t_max in 1usize..5,
+        exit_round in 0usize..4,
+        keep_bits in proptest::collection::vec(any::<bool>(), 8),
+    ) {
+        let adj = CsrMatrix::undirected_adjacency(n, &edges).unwrap();
+        let mut batch: Vec<u32> = raw_batch.into_iter().map(|v| v % n as u32).collect();
+        batch.sort_unstable();
+        batch.dedup();
+        // An exit round happens strictly before t_max.
+        let l = exit_round.min(t_max - 1);
+        // Random non-empty survivor subset of the batch.
+        let mut survivors: Vec<u32> = batch
+            .iter()
+            .zip(keep_bits.iter().cycle())
+            .filter_map(|(&v, &keep)| keep.then_some(v))
+            .collect();
+        if survivors.is_empty() {
+            survivors.push(batch[0]);
+        }
+
+        let mut bfs = BfsScratch::new(n);
+        let mut sets = bfs.hop_sets(&adj, &batch, t_max);
+        bfs.shrink_hop_sets(&adj, &survivors, &mut sets[l + 1..=t_max], t_max - l - 1);
+        let fresh = bfs.hop_sets(&adj, &survivors, t_max - l);
+        for j in 1..=(t_max - l) {
+            let shrunk: HashSet<u32> = sets[l + j].iter().copied().collect();
+            let recomputed: HashSet<u32> = fresh[j].iter().copied().collect();
+            prop_assert_eq!(
+                &shrunk, &recomputed,
+                "level {} (exit at {}, t_max {})", l + j, l, t_max
+            );
+            // No duplicates got introduced by the in-place retain.
+            prop_assert_eq!(shrunk.len(), sets[l + j].len());
+        }
+    }
+
     #[test]
     fn induced_subgraph_preserves_internal_structure((n, edges) in edge_list(30)) {
         let adj = CsrMatrix::undirected_adjacency(n, &edges).unwrap();

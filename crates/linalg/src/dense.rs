@@ -29,6 +29,14 @@ impl std::fmt::Debug for DenseMatrix {
     }
 }
 
+impl Default for DenseMatrix {
+    /// An empty `0 × 0` matrix (useful as a reusable buffer seed; see
+    /// [`DenseMatrix::reset_zeroed`]).
+    fn default() -> Self {
+        Self::zeros(0, 0)
+    }
+}
+
 impl DenseMatrix {
     /// All-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -128,6 +136,27 @@ impl DenseMatrix {
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
         self.data[r * self.cols + c] = v;
+    }
+
+    /// Reshapes the matrix in place to `rows × cols`, zero-filling every
+    /// element. Reuses the existing buffer capacity, so hot loops can
+    /// recycle one matrix across iterations without reallocating.
+    pub fn reset_zeroed(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Reshapes the matrix in place to `rows × cols` **without** clearing
+    /// retained elements (newly grown space is zeroed; anything else
+    /// keeps its previous, now-stale value). For buffers whose every read
+    /// row is unconditionally written first — skips
+    /// [`Self::reset_zeroed`]'s full memset on the hot path.
+    pub fn reset_for_overwrite(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// Copies the given rows into a new matrix (gather).

@@ -64,6 +64,34 @@ impl Linear {
         y
     }
 
+    /// Single-row inference forward into a caller buffer, **bit-identical**
+    /// with the corresponding row of [`Self::forward_infer`] (same
+    /// accumulation order and zero-input skip as the matmul kernel). Lets
+    /// hot loops score one row at a time without materializing an input
+    /// matrix.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != in_dim` or `out.len() != out_dim`.
+    pub fn forward_row_infer(&self, x: &[f32], out: &mut [f32]) {
+        assert_eq!(x.len(), self.w.rows(), "input row length");
+        assert_eq!(out.len(), self.w.cols(), "output row length");
+        let wcols = self.w.cols();
+        let wdata = self.w.as_slice();
+        out.fill(0.0);
+        for (k, &a) in x.iter().enumerate() {
+            if a == 0.0 {
+                continue;
+            }
+            let brow = &wdata[k * wcols..(k + 1) * wcols];
+            for (o, &b) in out.iter_mut().zip(brow.iter()) {
+                *o += a * b;
+            }
+        }
+        for (o, &b) in out.iter_mut().zip(self.b.iter()) {
+            *o += b;
+        }
+    }
+
     /// Backward pass: accumulates `dW += xᵀ dy`, `db += Σ dy`, returns
     /// `dx = dy Wᵀ`.
     ///

@@ -22,16 +22,16 @@
 use crate::dynamic::DynamicGraph;
 use crate::stationary::IncrementalStationary;
 use crate::stats::LatencyStats;
+use nai_core::active::EngineScratch;
 use nai_core::config::{InferenceConfig, NapMode};
 use nai_core::gates::GateSet;
 use nai_core::napd;
 use nai_core::upper_bound::spectral_bound;
 use nai_graph::normalized_adjacency;
 use nai_graph::Convolution;
-use nai_linalg::ops::argmax_rows;
+use nai_linalg::ops::{argmax_rows, l2_distance};
 use nai_linalg::DenseMatrix;
 use nai_models::DepthClassifier;
-use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
 /// One streaming prediction.
@@ -58,6 +58,10 @@ pub struct StreamingEngine {
     pending: Vec<u32>,
     stats: LatencyStats,
     macs_total: u64,
+    /// Shared active-set workspace (same engine layer as
+    /// `nai_core::inference::NaiEngine`); grows with the graph and is
+    /// reused across flushes.
+    scratch: EngineScratch,
 }
 
 impl StreamingEngine {
@@ -98,6 +102,7 @@ impl StreamingEngine {
             pending: Vec::new(),
             stats: LatencyStats::new(),
             macs_total: 0,
+            scratch: EngineScratch::new(),
         }
     }
 
@@ -226,6 +231,12 @@ impl StreamingEngine {
     /// Algorithm 1 over the current graph for explicit `nodes` (they must
     /// already be in the graph). Returns `(prediction, depth)` per node.
     ///
+    /// Runs on the same [`nai_core::active`] engine as the static
+    /// `NaiEngine`: shared exit bookkeeping (`ActiveSet`), stamped
+    /// column-map support lookups, full-width history with one row
+    /// indirection, and in-place incremental hop-set shrinking — only
+    /// the propagation arithmetic (degree-derived weights) differs.
+    ///
     /// # Panics
     /// Panics on invalid config, missing gates, or unknown node ids.
     pub fn infer_nodes(&mut self, nodes: &[u32], cfg: &InferenceConfig) -> Vec<(usize, usize)> {
@@ -239,17 +250,37 @@ impl StreamingEngine {
         if nodes.is_empty() {
             return Vec::new();
         }
+        // Detach the scratch so the borrow checker can see it is disjoint
+        // from the graph/stationary state it is used alongside.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let results = self.infer_nodes_inner(nodes, cfg, &mut scratch);
+        self.scratch = scratch;
+        results
+    }
+
+    fn infer_nodes_inner(
+        &mut self,
+        nodes: &[u32],
+        cfg: &InferenceConfig,
+        scratch: &mut EngineScratch,
+    ) -> Vec<(usize, usize)> {
         let n = self.graph.num_nodes();
         let f = self.graph.feature_dim();
         let mut results = vec![(usize::MAX, 0usize); nodes.len()];
-        let mut col_map = vec![u32::MAX; n];
+        scratch.begin_batch(n, nodes, cfg.t_max, f);
+        for &v in nodes {
+            assert!((v as usize) < n, "node {v} out of range");
+        }
 
         // Stationary rows (Algorithm 1 line 2) — O(f) per node thanks to
-        // the incremental accumulators.
-        let mut x_inf_active = self.stationary.rows(&self.graph, nodes);
+        // the incremental accumulators. Indexed by original batch row,
+        // written into the reusable scratch buffer.
+        self.stationary
+            .rows_into(&self.graph, nodes, &mut scratch.x_inf);
 
-        // NAP_u: depths fixed from Eq. (10) before propagation.
-        let mut assigned: Vec<usize> = match cfg.nap {
+        // NAP_u: depths fixed from Eq. (10) before propagation, indexed
+        // by original batch row.
+        let assigned: Vec<usize> = match cfg.nap {
             NapMode::UpperBound { ts } => {
                 self.macs_total += nodes.len() as u64 * 4;
                 let total = self.graph.total_tilde_degree();
@@ -267,165 +298,157 @@ impl StreamingEngine {
             _ => Vec::new(),
         };
 
-        // Supporting hop sets (line 3).
-        let mut sets = self.hop_sets(nodes, cfg.t_max);
+        // Supporting hop sets (line 3) over the dynamic adjacency lists.
+        let graph = &self.graph;
+        scratch.bfs.hop_sets_by_into(
+            |u| graph.neighbors(u).iter().copied(),
+            nodes,
+            cfg.t_max,
+            &mut scratch.plan.sets,
+        );
+        scratch.plan.init_support();
 
-        let mut active_pos: Vec<usize> = (0..nodes.len()).collect();
-        let mut active_nodes: Vec<u32> = nodes.to_vec();
-        let mut history: Vec<DenseMatrix> = vec![self.graph.gather_features(nodes)];
-        let mut support_prev: Vec<u32> = sets[0].clone();
-        let mut h_prev = self.graph.gather_features(&support_prev);
+        for (r, &v) in nodes.iter().enumerate() {
+            scratch.history[0]
+                .row_mut(r)
+                .copy_from_slice(self.graph.feature(v));
+        }
+        scratch
+            .h_prev
+            .reset_for_overwrite(scratch.plan.support().len(), f);
+        for (t, &g) in scratch.plan.support().iter().enumerate() {
+            scratch
+                .h_prev
+                .row_mut(t)
+                .copy_from_slice(self.graph.feature(g));
+        }
 
         for l in 1..=cfg.t_max {
-            let support_l = std::mem::take(&mut sets[l]);
-            for (t, &g) in support_prev.iter().enumerate() {
-                col_map[g as usize] = t as u32;
-            }
-            let (h_l, step_macs) = self.propagate_step(&support_l, &col_map, &h_prev);
-            for &g in support_prev.iter() {
-                col_map[g as usize] = u32::MAX;
-            }
+            let support_l = std::mem::take(&mut scratch.plan.sets[l]);
+            let step_macs = self.propagate_step_into(
+                &support_l,
+                scratch.plan.col_map(),
+                &scratch.h_prev,
+                &mut scratch.h_next,
+                cfg.parallel_spmm,
+            );
             self.macs_total += step_macs;
+            scratch.plan.advance(support_l);
 
-            let mut pos_in_support = HashMap::with_capacity(active_nodes.len());
-            for (t, &g) in support_l.iter().enumerate() {
-                pos_in_support.insert(g, t);
+            scratch.active_rows.clear();
+            for &g in scratch.active.nodes() {
+                let local = scratch.plan.local(g);
+                debug_assert_ne!(local, u32::MAX, "active ⊆ every hop set");
+                scratch.active_rows.push(local as usize);
             }
-            let active_rows: Vec<usize> = active_nodes
-                .iter()
-                .map(|g| *pos_in_support.get(g).expect("active ⊆ every hop set"))
-                .collect();
-            history.push(h_l.gather_rows(&active_rows).expect("rows located"));
+            let hist_l = &mut scratch.history[l];
+            for (a, &row) in scratch.active_rows.iter().enumerate() {
+                hist_l
+                    .row_mut(scratch.active.origs()[a])
+                    .copy_from_slice(scratch.h_next.row(row));
+            }
 
             let at_final = l == cfg.t_max;
-            let mut exit_mask: Vec<bool> = vec![at_final; active_nodes.len()];
+            scratch.exit_mask.clear();
+            scratch.exit_mask.resize(scratch.active.len(), at_final);
             if !at_final && l >= cfg.t_min {
                 match cfg.nap {
                     NapMode::Fixed => {}
                     NapMode::Distance { ts } => {
-                        exit_mask = napd::exit_mask(&history[l], &x_inf_active, ts);
-                        self.macs_total += active_nodes.len() as u64 * napd::macs_per_node(f);
+                        for a in 0..scratch.active.len() {
+                            let cur = scratch.h_next.row(scratch.active_rows[a]);
+                            let stat = scratch.x_inf.row(scratch.active.origs()[a]);
+                            scratch.exit_mask[a] = l2_distance(cur, stat) < ts;
+                        }
+                        self.macs_total += scratch.active.len() as u64 * napd::macs_per_node(f);
                     }
                     NapMode::Gate => {
                         let gates = self.gates.as_ref().expect("validated above");
                         if l < gates.k() {
-                            exit_mask = gates.decide(l, &history[l], &x_inf_active);
-                            self.macs_total += active_nodes.len() as u64 * gates.macs_per_node();
+                            let (h_next, x_inf) = (&scratch.h_next, &scratch.x_inf);
+                            let rows = scratch
+                                .active_rows
+                                .iter()
+                                .zip(scratch.active.origs())
+                                .map(|(&r, &o)| (h_next.row(r), x_inf.row(o)));
+                            gates.decide_rows(l, rows, &mut scratch.exit_mask);
+                            self.macs_total += scratch.active.len() as u64 * gates.macs_per_node();
                         }
                     }
                     NapMode::UpperBound { .. } => {
-                        for (e, &d) in exit_mask.iter_mut().zip(assigned.iter()) {
-                            *e = d == l;
+                        for a in 0..scratch.active.len() {
+                            scratch.exit_mask[a] = assigned[scratch.active.origs()[a]] == l;
                         }
                     }
                 }
             }
 
-            if exit_mask.iter().any(|&e| e) {
-                let exit_rows: Vec<usize> = exit_mask
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, &e)| e.then_some(i))
-                    .collect();
+            if scratch.exit_mask.iter().any(|&e| e) {
+                let exited = scratch.active.apply_exits(&scratch.exit_mask);
                 let clf = &self.classifiers[l - 1];
-                let exit_feats: Vec<DenseMatrix> = history[..=l]
+                let exit_feats: Vec<DenseMatrix> = scratch.history[..=l]
                     .iter()
-                    .map(|m| m.gather_rows(&exit_rows).expect("exit rows"))
+                    .map(|m| m.gather_rows(exited).expect("exit rows"))
                     .collect();
                 let logits = clf.forward(&exit_feats);
-                self.macs_total += exit_rows.len() as u64 * clf.macs_per_node();
+                self.macs_total += exited.len() as u64 * clf.macs_per_node();
                 let preds = argmax_rows(&logits);
-                for (t, &row) in exit_rows.iter().enumerate() {
-                    results[active_pos[row]] = (preds[t], l);
+                for (t, &orig) in exited.iter().enumerate() {
+                    results[orig] = (preds[t], l);
                 }
 
-                let keep_rows: Vec<usize> = exit_mask
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, &e)| (!e).then_some(i))
-                    .collect();
-                if keep_rows.is_empty() {
+                if scratch.active.is_empty() {
+                    scratch.plan.finish();
                     return results;
                 }
-                active_pos = keep_rows.iter().map(|&i| active_pos[i]).collect();
-                active_nodes = keep_rows.iter().map(|&i| active_nodes[i]).collect();
-                if !assigned.is_empty() {
-                    assigned = keep_rows.iter().map(|&i| assigned[i]).collect();
-                }
-                x_inf_active = x_inf_active.gather_rows(&keep_rows).expect("keep rows");
-                for m in history.iter_mut() {
-                    *m = m.gather_rows(&keep_rows).expect("keep rows");
-                }
                 if l < cfg.t_max {
-                    let new_sets = self.hop_sets(&active_nodes, cfg.t_max - l);
-                    for (j, ns) in new_sets.into_iter().enumerate() {
-                        if j >= 1 {
-                            sets[l + j] = ns;
-                        }
-                    }
+                    let graph = &self.graph;
+                    scratch.bfs.shrink_hop_sets_by(
+                        |u| graph.neighbors(u).iter().copied(),
+                        scratch.active.nodes(),
+                        &mut scratch.plan.sets[l + 1..=cfg.t_max],
+                        cfg.t_max - l - 1,
+                    );
                 }
             }
 
-            support_prev = support_l;
-            h_prev = h_l;
+            std::mem::swap(&mut scratch.h_prev, &mut scratch.h_next);
         }
+        scratch.plan.finish();
         results
     }
 
-    /// Hop sets over the dynamic graph, mirroring
-    /// [`nai_graph::frontier::BfsScratch::hop_sets`]: `sets[l]` holds all
-    /// nodes within `max_depth − l` hops of `seeds`.
-    fn hop_sets(&self, seeds: &[u32], max_depth: usize) -> Vec<Vec<u32>> {
-        let n = self.graph.num_nodes();
-        let mut dist = vec![u32::MAX; n];
-        let mut order: Vec<(u32, u32)> = Vec::with_capacity(seeds.len());
-        for &s in seeds {
-            assert!((s as usize) < n, "node {s} out of range");
-            if dist[s as usize] == u32::MAX {
-                dist[s as usize] = 0;
-                order.push((s, 0));
-            }
-        }
-        let mut qi = 0usize;
-        while qi < order.len() {
-            let (u, d) = order[qi];
-            qi += 1;
-            if d as usize >= max_depth {
-                continue;
-            }
-            for &v in self.graph.neighbors(u) {
-                if dist[v as usize] == u32::MAX {
-                    dist[v as usize] = d + 1;
-                    order.push((v, d + 1));
-                }
-            }
-        }
-        let mut sets: Vec<Vec<u32>> = vec![Vec::new(); max_depth + 1];
-        for &(node, d) in &order {
-            for set in sets.iter_mut().take(max_depth - d as usize + 1) {
-                set.push(node);
-            }
-        }
-        sets
-    }
-
     /// One propagation step `H_l[i] = Σ_{j ∈ Ñ(i)} Â_ij H_{l−1}[j]` with
-    /// weights derived from current degrees (self-loop included).
-    fn propagate_step(
+    /// weights derived from current degrees (self-loop included), written
+    /// into the reusable `out` buffer.
+    ///
+    /// When `parallel` is set, output rows are filled concurrently via
+    /// `nai_linalg::parallel` (honoring `InferenceConfig::parallel_spmm`);
+    /// each row is an independent reduction, so results and the returned
+    /// MAC count are bit-identical with the serial path. Small frontiers
+    /// fall back to the serial loop.
+    fn propagate_step_into(
         &self,
         support_l: &[u32],
         col_map: &[u32],
         h_prev: &DenseMatrix,
-    ) -> (DenseMatrix, u64) {
+        out: &mut DenseMatrix,
+        parallel: bool,
+    ) -> u64 {
         let f = h_prev.cols();
         let gamma = self.gamma;
-        let mut out = DenseMatrix::zeros(support_l.len(), f);
-        let mut macs = 0u64;
+        out.reset_zeroed(support_l.len(), f);
         let prev = h_prev.as_slice();
-        for (t, &gi) in support_l.iter().enumerate() {
+        // Self-loop + one term per neighbor, every one mapped by the
+        // nesting invariant — the MAC count is exact without a pass over
+        // the features.
+        let macs: u64 = support_l
+            .iter()
+            .map(|&gi| (self.graph.degree(gi) as u64 + 1) * f as u64)
+            .sum();
+        let fill_row = |gi: u32, orow: &mut [f32]| {
             let di = (self.graph.degree(gi) + 1) as f32;
             let left = di.powf(gamma - 1.0);
-            let orow = out.row_mut(t);
             // Self-loop term of Ã = A + I.
             let self_local = col_map[gi as usize];
             debug_assert_ne!(self_local, u32::MAX, "support nesting violated");
@@ -434,7 +457,6 @@ impl StreamingEngine {
             for (o, &x) in orow.iter_mut().zip(src) {
                 *o += w_self * x;
             }
-            macs += f as u64;
             for &j in self.graph.neighbors(gi) {
                 let local = col_map[j as usize];
                 debug_assert_ne!(local, u32::MAX, "support nesting violated");
@@ -443,10 +465,27 @@ impl StreamingEngine {
                 for (o, &x) in orow.iter_mut().zip(src) {
                     *o += w * x;
                 }
-                macs += f as u64;
             }
+        };
+        let threads = if parallel && f > 0 && !support_l.is_empty() {
+            let avg_cost = (macs as usize / support_l.len()).max(1);
+            nai_linalg::parallel::thread_count(support_l.len() * avg_cost)
+        } else {
+            1
+        };
+        if threads <= 1 {
+            for (t, &gi) in support_l.iter().enumerate() {
+                fill_row(gi, out.row_mut(t));
+            }
+            return macs;
         }
-        (out, macs)
+        let avg_cost = (macs as usize / support_l.len()).max(1);
+        nai_linalg::parallel::par_rows_mut(out.as_mut_slice(), f, avg_cost, |row0, chunk| {
+            for (off, orow) in chunk.chunks_mut(f).enumerate() {
+                fill_row(support_l[row0 + off], orow);
+            }
+        });
+        macs
     }
 }
 
@@ -700,6 +739,22 @@ mod tests {
         assert_eq!(se.graph().degree(id), 2);
         let preds = se.flush(&InferenceConfig::fixed(2));
         assert_eq!(preds.len(), 1);
+    }
+
+    #[test]
+    fn parallel_spmm_knob_is_bit_identical_in_stream() {
+        let (g, split, t) = trained(300, 3);
+        let mut serial_engine = engine_from(&t, &g);
+        let mut parallel_engine = engine_from(&t, &g);
+        for cfg in [
+            InferenceConfig::fixed(3),
+            InferenceConfig::distance(0.5, 1, 3),
+        ] {
+            let a = serial_engine.infer_nodes(&split.test, &cfg);
+            let b = parallel_engine.infer_nodes(&split.test, &cfg.with_parallel_spmm(true));
+            assert_eq!(a, b, "{:?}", cfg.nap);
+        }
+        assert_eq!(serial_engine.macs_total(), parallel_engine.macs_total());
     }
 
     #[test]

@@ -128,10 +128,17 @@ impl IncrementalStationary {
     /// Stationary rows for `nodes` against the current graph state.
     pub fn rows(&self, g: &DynamicGraph, nodes: &[u32]) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(nodes.len(), self.feature_dim);
+        self.rows_into(g, nodes, &mut out);
+        out
+    }
+
+    /// [`Self::rows`] into a caller-owned buffer (resized in place), so
+    /// the streaming engine reuses one matrix across flushes.
+    pub fn rows_into(&self, g: &DynamicGraph, nodes: &[u32], out: &mut DenseMatrix) {
+        out.reset_zeroed(nodes.len(), self.feature_dim);
         for (t, &v) in nodes.iter().enumerate() {
             self.write_row(g.degree(v), out.row_mut(t));
         }
-        out
     }
 }
 

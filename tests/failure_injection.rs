@@ -33,6 +33,7 @@ fn tmin_equal_tmax_degenerates_to_fixed_depth() {
             t_max: 2,
             nap: NapMode::Distance { ts: f32::INFINITY },
             batch_size: 64,
+            parallel_spmm: false,
         },
     );
     let b = t

@@ -142,6 +142,7 @@ fn tmin_tmax_bounds_are_respected() {
             t_max: 3,
             nap: NapMode::Distance { ts: f32::INFINITY },
             batch_size: 100,
+            parallel_spmm: false,
         },
     );
     assert!(run.depths.iter().all(|&d| (2..=3).contains(&d)));
