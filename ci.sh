@@ -31,6 +31,46 @@ step "cargo test -q (tier-1)" \
 step "cargo clippy --all-targets (-D warnings)" \
   cargo clippy --all-targets --quiet -- -D warnings
 
+# Boots `nai serve` on an ephemeral port against a freshly trained
+# checkpoint, health-checks it, pushes one inference batch over TCP via
+# `nai loadgen`, and asserts the process shuts down cleanly (exit 0,
+# "stopped cleanly" in its log).
+serve_smoke() {
+  local dir bin pid="" addr
+  dir=$(mktemp -d)
+  # Never leave the background server (or the temp dir) behind, even
+  # when a mid-function step fails under `set -e`. RETURN traps are
+  # global in bash, so the trap removes itself after the first firing.
+  trap 'trap - RETURN; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null; rm -rf "$dir"; true' RETURN
+  bin=target/release/nai
+  "$bin" generate --dataset arxiv --scale test --out "$dir/ds" > /dev/null
+  "$bin" train --graph "$dir/ds.graph" --split "$dir/ds.split" \
+    --k 2 --epochs 8 --hidden 8 --out "$dir/m.naic" > /dev/null
+  "$bin" serve --graph "$dir/ds.graph" --split "$dir/ds.split" \
+    --model "$dir/m.naic" --port 0 --workers 2 --max-batch 16 \
+    --max-wait-ms 1 > "$dir/serve.log" 2>&1 &
+  pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$dir/serve.log" && break
+    sleep 0.1
+  done
+  addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$dir/serve.log")
+  if [ -z "$addr" ]; then
+    echo "serve never came up:"; cat "$dir/serve.log"
+    return 1
+  fi
+  curl -sf "http://$addr/healthz" | grep -q '"status":"ok"'
+  curl -sf -X POST --data '{"op":"infer","nodes":[1,2,3]}' "http://$addr/v1" \
+    | grep -q '"ok":true'
+  "$bin" loadgen --addr "$addr" --requests 40 --clients 2 --mode mixed --shutdown
+  wait "$pid"
+  pid=""
+  grep -q "stopped cleanly" "$dir/serve.log"
+}
+
+step "serve smoke (healthz + inference over TCP + clean shutdown)" \
+  serve_smoke
+
 step "cargo doc --no-deps (-D warnings)" \
   env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 

@@ -1,0 +1,152 @@
+//! Extension bench: the Fig. 5 batch-size trade-off at the *service*
+//! level.
+//!
+//! The paper's Fig. 5 varies the inference batch size offline; a
+//! serving system tunes the same dial at runtime through the dynamic
+//! micro-batcher's `max_batch` / `max_wait` knobs. This harness runs a
+//! closed loop of concurrent clients against an in-process
+//! [`NaiService`] (no sockets — the batcher and workers are what is
+//! being measured) and reports throughput and the p50/p99 service
+//! latency per knob setting.
+//!
+//! Expected shape, mirroring Fig. 5: growing `max_batch` amortizes the
+//! per-batch stationary/BFS work (throughput up, per-request p99 up —
+//! requests wait for peers); growing `max_wait` with a large
+//! `max_batch` moves p99 roughly with the deadline while throughput
+//! saturates — the knob trades tail latency against efficiency.
+
+use nai::core::config::{LoadShedPolicy, ServeConfig};
+use nai::prelude::*;
+use nai::serve::{NaiService, Op, Reply, Request};
+use nai::stream::DynamicGraph;
+use nai_bench::{dataset, k_for, train_nai};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 16;
+
+fn run_cell(
+    ckpt: &ModelCheckpoint,
+    seed_graph: &DynamicGraph,
+    infer_cfg: &InferenceConfig,
+    max_batch: usize,
+    max_wait: Duration,
+    requests_per_client: usize,
+) -> (f64, Duration, Duration, f64) {
+    let service = NaiService::from_checkpoint(
+        ckpt,
+        seed_graph,
+        *infer_cfg,
+        ServeConfig {
+            workers: 2,
+            max_batch,
+            max_wait,
+            queue_cap: 4 * CLIENTS,
+            shed: LoadShedPolicy {
+                trigger_fraction: 1.0,
+                t_max_cap: 0, // measure the batcher, not the shedder
+            },
+        },
+    )
+    .expect("valid service");
+    let n = seed_graph.num_nodes() as u32;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let service = &service;
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xBE7C + c as u64);
+                for _ in 0..requests_per_client {
+                    let reply = service
+                        .call(Request {
+                            op: Op::Infer {
+                                nodes: vec![rng.gen_range(0..n)],
+                            },
+                            shard: None,
+                        })
+                        .expect("closed loop never overloads");
+                    assert!(matches!(reply, Reply::Infer { .. }));
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    let m = service.metrics();
+    let total = (CLIENTS * requests_per_client) as f64;
+    let mean_batch = total / m.batches.max(1) as f64;
+    (total / wall, m.stats.p50(), m.stats.p99(), mean_batch)
+}
+
+fn main() {
+    let ds = dataset(nai::datasets::DatasetId::ArxivProxy);
+    let k = k_for(ds.id);
+    let trained = train_nai(&ds, ModelKind::Sgc);
+    let ckpt = ModelCheckpoint::from_engine(&trained.engine, 0.5);
+    let seed_graph = DynamicGraph::from_graph(&ds.graph);
+    let infer_cfg = InferenceConfig::distance(8.0, 1, k);
+    let requests_per_client = if nai_bench::bench_scale() == nai::datasets::Scale::Test {
+        40
+    } else {
+        150
+    };
+
+    println!(
+        "serve batcher — {} ({} nodes), {CLIENTS} closed-loop clients × {requests_per_client} \
+         infer requests, 2 shards (k={k}, NAP_d)",
+        ds.id.name(),
+        ds.graph.num_nodes(),
+    );
+    println!(
+        "\n{:<26} {:>12} {:>12} {:>12} {:>11}",
+        "max_batch / max_wait", "req/s", "p50", "p99", "mean batch"
+    );
+
+    // Dial 1: batch size. The deadline is loose enough for the size
+    // bound to close full-rate batches, but short enough that the
+    // closed loop's end-of-run stragglers (fewer active clients than
+    // max_batch) don't sit on it forever.
+    for max_batch in [1usize, 4, 16] {
+        let (rps, p50, p99, mb) = run_cell(
+            &ckpt,
+            &seed_graph,
+            &infer_cfg,
+            max_batch,
+            Duration::from_millis(2),
+            requests_per_client,
+        );
+        println!(
+            "{:<26} {:>12.0} {:>12?} {:>12?} {:>11.1}",
+            format!("b={max_batch} / 2ms"),
+            rps,
+            p50,
+            p99,
+            mb
+        );
+    }
+    // Dial 2: wait deadline (batch bound loose, the deadline closes it).
+    for wait_us in [200u64, 1000, 5000] {
+        let max_wait = Duration::from_micros(wait_us);
+        let (rps, p50, p99, mb) = run_cell(
+            &ckpt,
+            &seed_graph,
+            &infer_cfg,
+            64,
+            max_wait,
+            requests_per_client,
+        );
+        println!(
+            "{:<26} {:>12.0} {:>12?} {:>12?} {:>11.1}",
+            format!("b=64 / {}µs", wait_us),
+            rps,
+            p50,
+            p99,
+            mb
+        );
+    }
+    println!(
+        "\nexpected shape: larger max_batch lifts req/s and mean batch while p99 \
+         grows (peers wait for the batch to fill); with the size bound loose, p99 \
+         tracks max_wait — the service-level Fig. 5 latency/throughput dial."
+    );
+}

@@ -2,7 +2,9 @@
 
 use crate::args::{ArgError, ParsedArgs};
 use nai_core::checkpoint::ModelCheckpoint;
-use nai_core::config::{DistillConfig, InferenceConfig, NapMode, PipelineConfig};
+use nai_core::config::{
+    DistillConfig, InferenceConfig, LoadShedPolicy, NapMode, PipelineConfig, ServeConfig,
+};
 use nai_core::eval::ConfusionMatrix;
 use nai_core::inference::InferenceResult;
 use nai_core::pipeline::NaiPipeline;
@@ -10,10 +12,12 @@ use nai_datasets::{load, DatasetId, Scale};
 use nai_graph::io::{load_graph, load_split, save_graph, save_split};
 use nai_graph::{Graph, InductiveSplit};
 use nai_models::ModelKind;
+use nai_serve::{NaiService, Server};
 use nai_stream::{DynamicGraph, StreamingEngine};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::path::Path;
+use std::time::Duration;
 
 /// CLI failures with user-readable messages.
 #[derive(Debug)]
@@ -100,13 +104,14 @@ pub fn model_kind_of(args: &ParsedArgs) -> Result<ModelKind, CliError> {
     }
 }
 
-/// Parses `--nap`/`--ts`/`--tmin`/`--tmax`/`--batch` into an
-/// [`InferenceConfig`].
+/// Parses `--nap`/`--ts`/`--tmin`/`--tmax`/`--batch`/`--parallel-spmm`
+/// into an [`InferenceConfig`].
 pub fn inference_config_of(args: &ParsedArgs, k: usize) -> Result<InferenceConfig, CliError> {
     let t_min = args.get_parse_or("tmin", 1usize)?;
     let t_max = args.get_parse_or("tmax", k)?;
     let ts = args.get_parse_or("ts", 0.5f32)?;
     let batch_size = args.get_parse_or("batch", 500usize)?;
+    let parallel_spmm = args.get_bool("parallel-spmm");
     let nap = match args.get_or("nap", "distance") {
         "fixed" => NapMode::Fixed,
         "distance" => NapMode::Distance { ts },
@@ -130,7 +135,7 @@ pub fn inference_config_of(args: &ParsedArgs, k: usize) -> Result<InferenceConfi
         t_max,
         nap,
         batch_size,
-        parallel_spmm: false,
+        parallel_spmm,
     };
     cfg.validate(k).map_err(CliError::Other)?;
     Ok(cfg)
@@ -251,7 +256,17 @@ fn print_report(label: &str, res: &InferenceResult, graph: &Graph, test: &[u32])
 /// `nai infer`: deploys a checkpoint and runs one inference pass.
 pub fn infer(args: &ParsedArgs) -> CliResult {
     args.finish(&[
-        "dataset", "scale", "graph", "split", "model", "nap", "ts", "tmin", "tmax", "batch",
+        "dataset",
+        "scale",
+        "graph",
+        "split",
+        "model",
+        "nap",
+        "ts",
+        "tmin",
+        "tmax",
+        "batch",
+        "parallel-spmm",
     ])?;
     let (graph, split, name) = load_data(args)?;
     let ckpt = ModelCheckpoint::load(Path::new(args.require("model")?))?;
@@ -305,8 +320,20 @@ pub fn eval(args: &ParsedArgs) -> CliResult {
 /// `nai stream`: streaming-arrival demo with latency percentiles.
 pub fn stream(args: &ParsedArgs) -> CliResult {
     args.finish(&[
-        "dataset", "scale", "graph", "split", "model", "nap", "ts", "tmin", "tmax", "arrivals",
-        "batch", "degree", "seed",
+        "dataset",
+        "scale",
+        "graph",
+        "split",
+        "model",
+        "nap",
+        "ts",
+        "tmin",
+        "tmax",
+        "arrivals",
+        "batch",
+        "degree",
+        "seed",
+        "parallel-spmm",
     ])?;
     let (graph, _, name) = load_data(args)?;
     let ckpt = ModelCheckpoint::load(Path::new(args.require("model")?))?;
@@ -348,6 +375,245 @@ pub fn stream(args: &ParsedArgs) -> CliResult {
     Ok(())
 }
 
+/// `nai serve`: boots the online inference service over a checkpoint.
+///
+/// Prints `nai-serve listening on HOST:PORT` once ready, then blocks
+/// until a `POST /shutdown` arrives (scripts grep the line for the
+/// ephemeral port when `--port 0`).
+pub fn serve(args: &ParsedArgs) -> CliResult {
+    args.finish(&[
+        "dataset",
+        "scale",
+        "graph",
+        "split",
+        "model",
+        "nap",
+        "ts",
+        "tmin",
+        "tmax",
+        "batch",
+        "parallel-spmm",
+        "port",
+        "workers",
+        "max-batch",
+        "max-wait-ms",
+        "queue-cap",
+        "shed-at",
+        "shed-tmax",
+    ])?;
+    let (graph, _, name) = load_data(args)?;
+    let ckpt = ModelCheckpoint::load(Path::new(args.require("model")?))?;
+    let infer_cfg = inference_config_of(args, ckpt.k)?;
+    let port = args.get_parse_or("port", 8080u16)?;
+    let max_wait_ms = args.get_parse_or("max-wait-ms", 2.0f64)?;
+    if !max_wait_ms.is_finite() || !(0.0..=60_000.0).contains(&max_wait_ms) {
+        return Err(CliError::Other(format!(
+            "--max-wait-ms must be a finite value in [0, 60000], got {max_wait_ms}"
+        )));
+    }
+    let serve_cfg = ServeConfig {
+        workers: args.get_parse_or("workers", 2usize)?,
+        max_batch: args.get_parse_or("max-batch", 64usize)?,
+        max_wait: Duration::from_secs_f64(max_wait_ms / 1000.0),
+        queue_cap: args.get_parse_or("queue-cap", 1024usize)?,
+        shed: LoadShedPolicy {
+            trigger_fraction: args.get_parse_or("shed-at", 0.75f64)?,
+            t_max_cap: args.get_parse_or("shed-tmax", 1usize)?,
+        },
+    };
+    let service = NaiService::from_checkpoint(
+        &ckpt,
+        &DynamicGraph::from_graph(&graph),
+        infer_cfg,
+        serve_cfg,
+    )
+    .map_err(CliError::Other)?;
+    let server = Server::start(std::sync::Arc::new(service), ("127.0.0.1", port))
+        .map_err(|e| CliError::Other(format!("bind failed: {e}")))?;
+    println!(
+        "nai-serve listening on {} ({} k={} on {name}; shards {}, max_batch {}, \
+         max_wait {max_wait_ms}ms, queue_cap {}, shed at {:.0}% → t_max {})",
+        server.local_addr(),
+        ckpt.kind.name(),
+        ckpt.k,
+        serve_cfg.workers,
+        serve_cfg.max_batch,
+        serve_cfg.queue_cap,
+        serve_cfg.shed.trigger_fraction * 100.0,
+        serve_cfg.shed.t_max_cap,
+    );
+    server.join();
+    println!("nai-serve stopped cleanly");
+    Ok(())
+}
+
+/// `nai loadgen`: closed-loop load driver against a running server.
+pub fn loadgen(args: &ParsedArgs) -> CliResult {
+    args.finish(&[
+        "addr",
+        "requests",
+        "clients",
+        "mode",
+        "nodes-per-request",
+        "seed",
+        "shutdown",
+    ])?;
+    let addr = args.require("addr")?.to_string();
+    let total: usize = args.get_parse_or("requests", 200usize)?;
+    let clients: usize = args.get_parse_or("clients", 4usize)?.max(1);
+    let per: usize = args.get_parse_or("nodes-per-request", 1usize)?.max(1);
+    let seed = args.get_parse_or("seed", 7u64)?;
+    let mode = args.get_or("mode", "infer");
+    if !matches!(mode, "infer" | "ingest" | "mixed") {
+        return Err(ArgError::BadValue {
+            flag: "mode".into(),
+            value: mode.into(),
+            expected: "infer | ingest | mixed",
+        }
+        .into());
+    }
+
+    // Discover deployment facts from the server itself.
+    let (status, body) = nai_serve::http_call(addr.as_str(), "GET", "/healthz", None)
+        .map_err(|e| CliError::Other(format!("healthz failed: {e}")))?;
+    if status != 200 {
+        return Err(CliError::Other(format!("healthz returned {status}")));
+    }
+    let health = nai_serve::Json::parse(body.trim())
+        .map_err(|e| CliError::Other(format!("healthz parse: {e}")))?;
+    let want = |field: &str| -> Result<u64, CliError> {
+        health
+            .get(field)
+            .and_then(nai_serve::Json::as_u64)
+            .ok_or_else(|| CliError::Other(format!("healthz missing `{field}`")))
+    };
+    let seed_nodes = want("seed_nodes")? as u32;
+    let feature_dim = want("feature_dim")? as usize;
+    if seed_nodes == 0 {
+        return Err(CliError::Other("server has an empty seed graph".into()));
+    }
+    println!(
+        "loadgen: {total} {mode} requests ({clients} clients) against {addr} \
+         (seed_nodes {seed_nodes}, f {feature_dim})"
+    );
+
+    let mode = mode.to_string();
+    let counters = std::sync::Mutex::new((nai_stream::LatencyStats::new(), 0u64, 0u64, 0u64));
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let share = total / clients + usize::from(c < total % clients);
+            let (addr, mode, counters) = (&addr, &mode, &counters);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37));
+                let mut local = nai_stream::LatencyStats::new();
+                let (mut ok, mut overloaded, mut failed) = (0u64, 0u64, 0u64);
+                let mut client = match nai_serve::HttpClient::connect(addr.as_str()) {
+                    Ok(cl) => cl,
+                    Err(_) => {
+                        counters.lock().unwrap().3 += share as u64;
+                        return;
+                    }
+                };
+                for i in 0..share {
+                    let op = match mode.as_str() {
+                        "ingest" => ingest_op(&mut rng, seed_nodes, feature_dim),
+                        "infer" => infer_op(&mut rng, seed_nodes, per),
+                        _ if i % 3 == 2 => ingest_op(&mut rng, seed_nodes, feature_dim),
+                        _ => infer_op(&mut rng, seed_nodes, per),
+                    };
+                    let line =
+                        nai_serve::proto::render_request(&nai_serve::Request { op, shard: None });
+                    let start = std::time::Instant::now();
+                    match client.request("POST", "/v1", Some(&format!("{line}\n"))) {
+                        Ok((_, body)) => {
+                            let elapsed = start.elapsed();
+                            match nai_serve::Json::parse(body.trim()) {
+                                Ok(v)
+                                    if v.get("ok").and_then(nai_serve::Json::as_bool)
+                                        == Some(true) =>
+                                {
+                                    let depth = v
+                                        .get("depth")
+                                        .or_else(|| {
+                                            v.get("results")
+                                                .and_then(nai_serve::Json::as_arr)
+                                                .and_then(|r| r.first())
+                                                .and_then(|r| r.get("depth"))
+                                        })
+                                        .and_then(nai_serve::Json::as_u64)
+                                        .unwrap_or(0);
+                                    local.record(elapsed, depth as usize);
+                                    ok += 1;
+                                }
+                                Ok(v)
+                                    if v.get("error").and_then(nai_serve::Json::as_str)
+                                        == Some("overloaded") =>
+                                {
+                                    overloaded += 1;
+                                }
+                                _ => failed += 1,
+                            }
+                        }
+                        Err(_) => {
+                            failed += 1;
+                            // The connection is poisoned; reconnect.
+                            match nai_serve::HttpClient::connect(addr.as_str()) {
+                                Ok(cl) => client = cl,
+                                Err(_) => {
+                                    counters.lock().unwrap().3 += (share - i - 1) as u64;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+                let mut agg = counters.lock().unwrap();
+                agg.0.merge(&local);
+                agg.1 += ok;
+                agg.2 += overloaded;
+                agg.3 += failed;
+            });
+        }
+    });
+    let (stats, ok, overloaded, failed) = counters.into_inner().unwrap();
+    println!(
+        "ok {ok} | overloaded {overloaded} | failed {failed} | p50 {:?} | p95 {:?} | \
+         p99 {:?} | max {:?} | mean depth {:.2} | throughput {:.0}/s",
+        stats.p50(),
+        stats.p95(),
+        stats.p99(),
+        stats.max(),
+        stats.mean_depth(),
+        stats.throughput(),
+    );
+    if args.get_bool("shutdown") {
+        let (status, _) = nai_serve::http_call(addr.as_str(), "POST", "/shutdown", None)
+            .map_err(|e| CliError::Other(format!("shutdown failed: {e}")))?;
+        println!("shutdown requested (status {status})");
+    }
+    if ok == 0 {
+        return Err(CliError::Other(
+            "no request succeeded — is the server reachable?".into(),
+        ));
+    }
+    Ok(())
+}
+
+fn infer_op(rng: &mut StdRng, seed_nodes: u32, per: usize) -> nai_serve::Op {
+    nai_serve::Op::Infer {
+        nodes: (0..per).map(|_| rng.gen_range(0..seed_nodes)).collect(),
+    }
+}
+
+fn ingest_op(rng: &mut StdRng, seed_nodes: u32, feature_dim: usize) -> nai_serve::Op {
+    nai_serve::Op::Ingest {
+        features: (0..feature_dim)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+        neighbors: (0..3).map(|_| rng.gen_range(0..seed_nodes)).collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +648,12 @@ mod tests {
         let cfg = inference_config_of(&p, 3).unwrap();
         assert_eq!(cfg.t_max, 2);
         assert!(matches!(cfg.nap, NapMode::UpperBound { ts } if (ts - 0.3).abs() < 1e-6));
+        // The PR 2 knob is reachable from the binary.
+        assert!(!cfg.parallel_spmm, "off by default");
+        let par = parsed(&["x", "--parallel-spmm"]);
+        assert!(inference_config_of(&par, 3).unwrap().parallel_spmm);
+        let off = parsed(&["x", "--parallel-spmm", "false"]);
+        assert!(!inference_config_of(&off, 3).unwrap().parallel_spmm);
         // fixed pins t_min to t_max.
         let f = inference_config_of(&parsed(&["x", "--nap", "fixed", "--tmax", "2"]), 3).unwrap();
         assert_eq!(f.t_min, 2);

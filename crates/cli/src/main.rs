@@ -32,12 +32,20 @@ COMMANDS:
              --seed N, --out PATH
   infer      Deploy a checkpoint, run one adaptive inference pass
              data flags, --model PATH, --nap fixed|distance|gate|upper,
-             --ts F, --tmin N, --tmax N, --batch N
+             --ts F, --tmin N, --tmax N, --batch N, --parallel-spmm
   eval       Compare all NAP policies on one deployment
              data flags, --model PATH, --ts F, --tmin N, --batch N
   stream     Streaming-arrival demo with latency percentiles
              data flags, --model PATH, --nap ..., --arrivals N, --degree N,
-             --batch N, --seed N
+             --batch N, --seed N, --parallel-spmm
+  serve      Online inference service (HTTP + newline-JSON, micro-batching)
+             data flags, --model PATH, --nap ..., --port N (0 = ephemeral),
+             --workers N, --max-batch N, --max-wait-ms F, --queue-cap N,
+             --shed-at F, --shed-tmax N, --parallel-spmm
+  loadgen    Closed-loop load driver against a running `nai serve`
+             --addr HOST:PORT, --requests N, --clients N,
+             --mode infer|ingest|mixed, --nodes-per-request N, --seed N,
+             --shutdown
 
 Data flags: either --dataset NAME --scale SCALE (generated proxy) or
 --graph PATH --split PATH (files from `nai generate`).
@@ -58,6 +66,8 @@ fn main() {
         "infer" => commands::infer(&parsed),
         "eval" => commands::eval(&parsed),
         "stream" => commands::stream(&parsed),
+        "serve" => commands::serve(&parsed),
+        "loadgen" => commands::loadgen(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -127,6 +127,112 @@ impl InferenceConfig {
     }
 }
 
+/// Load-shedding policy for the serving layer: the paper's
+/// accuracy↔latency dial (depth budget) driven by queue pressure.
+///
+/// When the number of admitted-but-unanswered requests reaches
+/// `trigger_fraction × queue_cap`, batches are dispatched with a
+/// *degraded* [`InferenceConfig`] whose depth budget is capped at
+/// `t_max_cap` — every node exits by that depth, trading accuracy for
+/// drain rate instead of queueing (or rejecting) further work.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LoadShedPolicy {
+    /// Queue-pressure trigger as a fraction of the admission bound
+    /// (`0.0..=1.0`); shedding engages when
+    /// `in_flight ≥ trigger_fraction × queue_cap`.
+    pub trigger_fraction: f64,
+    /// Depth budget under pressure (`t_max` is clamped to this).
+    /// `0` disables shedding entirely.
+    pub t_max_cap: usize,
+}
+
+impl Default for LoadShedPolicy {
+    fn default() -> Self {
+        Self {
+            trigger_fraction: 0.75,
+            t_max_cap: 1,
+        }
+    }
+}
+
+impl LoadShedPolicy {
+    /// Whether the policy degrades batches at this in-flight level.
+    pub fn engaged(&self, in_flight: usize, queue_cap: usize) -> bool {
+        self.t_max_cap > 0 && (in_flight as f64) >= self.trigger_fraction * queue_cap as f64
+    }
+
+    /// The degraded inference configuration: `t_max` capped (and
+    /// `t_min` lowered to keep the config valid). A no-op when the
+    /// budget already fits under the cap or shedding is disabled.
+    pub fn degrade(&self, cfg: &InferenceConfig) -> InferenceConfig {
+        if self.t_max_cap == 0 || cfg.t_max <= self.t_max_cap {
+            return *cfg;
+        }
+        let t_max = self.t_max_cap;
+        InferenceConfig {
+            t_min: cfg.t_min.min(t_max),
+            t_max,
+            ..*cfg
+        }
+    }
+}
+
+/// Serving-layer knobs for `nai-serve`: dynamic micro-batching,
+/// admission control, and sharding over engine replicas.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Worker count — engine shards, each owning one replica and its
+    /// amortized scratch.
+    pub workers: usize,
+    /// A forming batch is dispatched as soon as it holds this many
+    /// requests (the Fig. 5 batch-size dial at the service level).
+    pub max_batch: usize,
+    /// ... or as soon as its oldest request has waited this long.
+    pub max_wait: std::time::Duration,
+    /// Admission bound: maximum requests in flight (queued or being
+    /// served); submissions beyond it are rejected as `Overloaded`.
+    pub queue_cap: usize,
+    /// Accuracy↔latency dial under queue pressure.
+    pub shed: LoadShedPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_batch: 64,
+            max_wait: std::time::Duration::from_millis(2),
+            queue_cap: 1024,
+            shed: LoadShedPolicy::default(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates worker/batch/queue bounds and the shed trigger.
+    ///
+    /// # Errors
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.workers == 0 {
+            return Err("workers must be ≥ 1".to_string());
+        }
+        if self.max_batch == 0 {
+            return Err("max_batch must be ≥ 1".to_string());
+        }
+        if self.queue_cap == 0 {
+            return Err("queue_cap must be ≥ 1".to_string());
+        }
+        if !(0.0..=1.0).contains(&self.shed.trigger_fraction) {
+            return Err(format!(
+                "shed.trigger_fraction must be in [0, 1], got {}",
+                self.shed.trigger_fraction
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// Inception Distillation hyper-parameters (Tables III–IV of the paper).
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct DistillConfig {
@@ -239,5 +345,76 @@ mod tests {
         assert_eq!(c.t_min, 4);
         assert_eq!(c.t_max, 4);
         assert_eq!(c.nap, NapMode::Fixed);
+    }
+
+    #[test]
+    fn serve_config_validation() {
+        assert!(ServeConfig::default().validate().is_ok());
+        for broken in [
+            ServeConfig {
+                workers: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                max_batch: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                queue_cap: 0,
+                ..ServeConfig::default()
+            },
+            ServeConfig {
+                shed: LoadShedPolicy {
+                    trigger_fraction: 1.5,
+                    t_max_cap: 1,
+                },
+                ..ServeConfig::default()
+            },
+        ] {
+            assert!(broken.validate().is_err(), "{broken:?}");
+        }
+    }
+
+    #[test]
+    fn load_shed_engages_at_trigger_fraction() {
+        let shed = LoadShedPolicy {
+            trigger_fraction: 0.5,
+            t_max_cap: 1,
+        };
+        assert!(!shed.engaged(4, 10));
+        assert!(shed.engaged(5, 10));
+        assert!(shed.engaged(10, 10));
+        // t_max_cap = 0 disables shedding regardless of pressure.
+        let off = LoadShedPolicy {
+            trigger_fraction: 0.0,
+            t_max_cap: 0,
+        };
+        assert!(!off.engaged(10, 10));
+    }
+
+    #[test]
+    fn degrade_caps_depth_budget_and_stays_valid() {
+        let shed = LoadShedPolicy {
+            trigger_fraction: 0.75,
+            t_max_cap: 2,
+        };
+        let deep = InferenceConfig::distance(0.5, 1, 5);
+        let capped = shed.degrade(&deep);
+        assert_eq!(capped.t_max, 2);
+        assert_eq!(capped.t_min, 1);
+        assert!(capped.validate(5).is_ok());
+        // Fixed mode (t_min == t_max) stays valid after capping.
+        let fixed = shed.degrade(&InferenceConfig::fixed(4));
+        assert_eq!((fixed.t_min, fixed.t_max), (2, 2));
+        assert!(fixed.validate(5).is_ok());
+        // Already under the cap → unchanged.
+        let shallow = InferenceConfig::distance(0.5, 1, 2);
+        assert_eq!(shed.degrade(&shallow).t_max, 2);
+        // Disabled policy is the identity.
+        let off = LoadShedPolicy {
+            trigger_fraction: 0.75,
+            t_max_cap: 0,
+        };
+        assert_eq!(off.degrade(&deep).t_max, 5);
     }
 }

@@ -51,6 +51,7 @@
 //! | [`baselines`] | GLNN, NOSMOG, TinyGNN, Quantization, PPRGo |
 //! | [`datasets`] | Flickr / Ogbn-arxiv / Ogbn-products proxies |
 //! | [`stream`] | dynamic graphs + per-arrival streaming inference |
+//! | [`serve`] | online inference service: micro-batching, shard workers, HTTP |
 
 pub use nai_baselines as baselines;
 pub use nai_core as core;
@@ -59,6 +60,7 @@ pub use nai_graph as graph;
 pub use nai_linalg as linalg;
 pub use nai_models as models;
 pub use nai_nn as nn;
+pub use nai_serve as serve;
 pub use nai_stream as stream;
 
 /// One-stop imports for applications.

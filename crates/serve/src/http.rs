@@ -1,0 +1,425 @@
+//! Minimal HTTP/1.1 front end over [`std::net::TcpListener`].
+//!
+//! Endpoints:
+//!
+//! | method | path        | body                         | answer |
+//! |--------|-------------|------------------------------|--------|
+//! | GET    | `/healthz`  | —                            | deployment facts + queue depth |
+//! | GET    | `/metrics`  | —                            | [`crate::service::MetricsSnapshot`] as JSON |
+//! | POST   | `/v1`       | newline-JSON requests        | newline-JSON replies, in order |
+//! | POST   | `/shutdown` | —                            | ack, then the server stops accepting |
+//!
+//! The server speaks just enough HTTP/1.1 for `curl`, the bundled
+//! [`crate::client::HttpClient`], and browsers: request line, headers,
+//! `Content-Length` bodies, and keep-alive (closed on request or on
+//! HTTP/1.0). One thread per connection; per-request work is bounded by
+//! the service's admission control, so connection concurrency — not
+//! request concurrency — is the only unbounded resource, which is fine
+//! at the workloads this reproduction targets.
+
+use crate::json::Json;
+use crate::proto::{error_line, parse_request, render_reply};
+use crate::service::{NaiService, ServeError, Ticket};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Upper bound on accepted request bodies (1 MiB — far above any
+/// realistic micro-batch line, far below memory trouble).
+const MAX_BODY: usize = 1 << 20;
+/// Upper bound on one request/header line; longer lines are rejected
+/// before they buffer, so a connection can hold at most
+/// `MAX_HEADERS × MAX_HEADER_LINE + MAX_BODY` bytes.
+const MAX_HEADER_LINE: usize = 8 << 10;
+/// Upper bound on headers per request.
+const MAX_HEADERS: usize = 100;
+/// Per-connection socket read timeout.
+const READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+struct ServerState {
+    service: Arc<NaiService>,
+    addr: SocketAddr,
+    stop: AtomicBool,
+    active_conns: AtomicUsize,
+}
+
+impl ServerState {
+    fn request_stop(&self) {
+        if !self.stop.swap(true, Ordering::AcqRel) {
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+}
+
+/// A running HTTP server; dropping it does *not* stop it — call
+/// [`Server::shutdown`] (or POST `/shutdown`) then [`Server::join`].
+pub struct Server {
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// accepting connections for `service`.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn start(service: Arc<NaiService>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            service,
+            addr: local,
+            stop: AtomicBool::new(false),
+            active_conns: AtomicUsize::new(0),
+        });
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::Builder::new()
+            .name("nai-serve-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_state))
+            .expect("spawn accept thread");
+        Ok(Server {
+            state,
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (the actual port when bound with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Signals the accept loop to stop (equivalent to POST `/shutdown`).
+    pub fn shutdown(&self) {
+        self.state.request_stop();
+    }
+
+    /// Blocks until the accept loop has stopped and in-flight
+    /// connections have wound down, then shuts the service itself down
+    /// (draining every admitted request).
+    pub fn join(mut self) {
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Give connection threads a short grace to write their final
+        // responses; they hold no service slots beyond their tickets.
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while self.state.active_conns.load(Ordering::Acquire) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.state.service.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.stop.load(Ordering::Acquire) {
+                    break;
+                }
+                let conn_state = Arc::clone(&state);
+                conn_state.active_conns.fetch_add(1, Ordering::AcqRel);
+                let _ = std::thread::Builder::new()
+                    .name("nai-serve-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &conn_state);
+                        conn_state.active_conns.fetch_sub(1, Ordering::AcqRel);
+                    });
+            }
+            Err(_) => {
+                if state.stop.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+struct HttpRequest {
+    method: String,
+    path: String,
+    http10: bool,
+    close: bool,
+    body: String,
+}
+
+/// `read_line` with a hard length cap: a peer streaming bytes with no
+/// newline cannot grow the buffer past `MAX_HEADER_LINE`.
+fn read_line_capped(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+) -> std::io::Result<usize> {
+    let n = (&mut *reader)
+        .take(MAX_HEADER_LINE as u64)
+        .read_line(line)?;
+    if n >= MAX_HEADER_LINE && !line.ends_with('\n') {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "header line too long",
+        ));
+    }
+    Ok(n)
+}
+
+fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<HttpRequest>> {
+    let mut line = String::new();
+    if read_line_capped(reader, &mut line)? == 0 {
+        return Ok(None); // clean EOF between requests
+    }
+    let mut parts = line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v.to_string()),
+        _ => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "malformed request line",
+            ))
+        }
+    };
+    let http10 = version == "HTTP/1.0";
+    let mut content_length = 0usize;
+    let mut close = http10;
+    for seen in 0.. {
+        if seen > MAX_HEADERS {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
+        }
+        let mut header = String::new();
+        if read_line_capped(reader, &mut header)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "eof inside headers",
+            ));
+        }
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((key, value)) = header.split_once(':') {
+            let key = key.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if key == "content-length" {
+                content_length = value.parse().map_err(|_| {
+                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
+                })?;
+            } else if key == "connection" {
+                let v = value.to_ascii_lowercase();
+                close = v.contains("close") || (http10 && !v.contains("keep-alive"));
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "body too large",
+        ));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+    Ok(Some(HttpRequest {
+        method,
+        path,
+        http10,
+        close,
+        body,
+    }))
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let connection = if close { "close" } else { "keep-alive" };
+    write!(
+        stream,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let req = match read_request(&mut reader) {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
+                let body = format!("{}\n", error_line("bad_request", Some(&e.to_string())));
+                let _ = write_response(&mut writer, 400, &body, true);
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let shutting_down = req.method == "POST" && req.path == "/shutdown";
+        let (status, body) = route(&req, state);
+        let close = req.close || req.http10 || shutting_down;
+        if shutting_down {
+            // Stop *before* writing the acknowledgement: a client that
+            // fires /shutdown and disconnects without reading the reply
+            // must still take the server down.
+            state.request_stop();
+        }
+        write_response(&mut writer, status, &body, close)?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+fn route(req: &HttpRequest, state: &ServerState) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, format!("{}\n", health_json(&state.service))),
+        ("GET", "/metrics") => (200, format!("{}\n", metrics_json(&state.service))),
+        ("POST", "/v1") => batch_endpoint(&state.service, &req.body),
+        ("POST", "/shutdown") => (
+            200,
+            format!(
+                "{}\n",
+                Json::obj(vec![("status", Json::str("shutting_down"))])
+            ),
+        ),
+        ("GET" | "POST", _) => (404, format!("{}\n", error_line("not_found", None))),
+        _ => (405, format!("{}\n", error_line("method_not_allowed", None))),
+    }
+}
+
+/// Runs every line of a newline-JSON body through the service,
+/// preserving order. The HTTP status reflects the single-line case
+/// (503 overloaded / 400 invalid); multi-line bodies always get 200
+/// with per-line `"ok"` flags.
+fn batch_endpoint(service: &NaiService, body: &str) -> (u16, String) {
+    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        return (400, format!("{}\n", error_line("empty_body", None)));
+    }
+    enum Outcome {
+        Pending(Ticket),
+        Failed(ServeError),
+        Unparsed(String),
+    }
+    let outcomes: Vec<Outcome> = lines
+        .iter()
+        .map(|line| match parse_request(line) {
+            Err(msg) => Outcome::Unparsed(msg),
+            Ok(req) => match service.submit(req) {
+                Ok(ticket) => Outcome::Pending(ticket),
+                Err(e) => Outcome::Failed(e),
+            },
+        })
+        .collect();
+    let mut status = 200;
+    let single = outcomes.len() == 1;
+    let mut out = String::new();
+    for outcome in outcomes {
+        let line = match outcome {
+            Outcome::Pending(ticket) => match ticket.wait(READ_TIMEOUT) {
+                Ok(reply) => render_reply(&reply),
+                Err(_) => {
+                    if single {
+                        status = 503;
+                    }
+                    error_line("timeout", None).to_string()
+                }
+            },
+            Outcome::Failed(e) => {
+                let (kind, message) = match &e {
+                    ServeError::Overloaded => ("overloaded", None),
+                    ServeError::ShuttingDown => ("shutting_down", None),
+                    ServeError::Timeout => ("timeout", None),
+                    ServeError::Invalid(m) => ("invalid", Some(m.as_str())),
+                };
+                if single {
+                    status = match e {
+                        ServeError::Invalid(_) => 400,
+                        _ => 503,
+                    };
+                }
+                error_line(kind, message).to_string()
+            }
+            Outcome::Unparsed(msg) => {
+                if single {
+                    status = 400;
+                }
+                error_line("invalid", Some(&msg)).to_string()
+            }
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    (status, out)
+}
+
+fn health_json(service: &NaiService) -> Json {
+    let info = service.info();
+    Json::obj(vec![
+        ("status", Json::str("ok")),
+        ("shards", Json::uint(info.shards as u64)),
+        ("feature_dim", Json::uint(info.feature_dim as u64)),
+        ("k", Json::uint(info.k as u64)),
+        ("seed_nodes", Json::uint(info.seed_nodes as u64)),
+        ("queue_depth", Json::uint(service.queue_depth() as u64)),
+    ])
+}
+
+fn metrics_json(service: &NaiService) -> Json {
+    let m = service.metrics();
+    let us = |d: Duration| Json::uint(d.as_micros().min(u64::MAX as u128) as u64);
+    // One sort of the merged samples serves every percentile.
+    let qs = m.stats.quantiles(&[0.5, 0.95, 0.99]);
+    Json::obj(vec![
+        ("queue_depth", Json::uint(m.queue_depth as u64)),
+        ("served", Json::uint(m.served)),
+        ("overloaded", Json::uint(m.overloaded)),
+        ("batches", Json::uint(m.batches)),
+        ("degraded_batches", Json::uint(m.degraded_batches)),
+        ("shed_ops", Json::uint(m.shed_ops)),
+        ("edges_observed", Json::uint(m.edges_observed)),
+        ("op_errors", Json::uint(m.op_errors)),
+        (
+            "latency_us",
+            Json::obj(vec![
+                ("p50", us(qs[0])),
+                ("p95", us(qs[1])),
+                ("p99", us(qs[2])),
+                ("max", us(m.stats.max())),
+                ("mean", us(m.stats.mean_latency())),
+            ]),
+        ),
+        ("mean_depth", Json::Num(m.stats.mean_depth())),
+        ("throughput", Json::Num(m.stats.throughput())),
+        (
+            "macs",
+            Json::obj(vec![
+                ("propagation", Json::uint(m.macs.propagation)),
+                ("nap", Json::uint(m.macs.nap)),
+                ("classification", Json::uint(m.macs.classification)),
+                ("total", Json::uint(m.macs.total())),
+            ]),
+        ),
+    ])
+}

@@ -1,0 +1,474 @@
+//! # nai-serve — online inference service for NAI
+//!
+//! The paper motivates node-adaptive propagation with *online*
+//! inference: nodes arrive as requests and must be answered within a
+//! latency budget. [`nai_stream::StreamingEngine`] supplies the
+//! per-arrival algorithm; this crate supplies the serving system around
+//! it, std-only (the workspace has no crates.io access):
+//!
+//! * [`service::NaiService`] — a **dynamic micro-batcher** (requests
+//!   coalesce until `max_batch` or a `max_wait` deadline — the Fig. 5
+//!   batch-size/latency trade-off as a runtime policy) feeding a
+//!   **worker pool** of engine shards, each owning its replica and
+//!   amortized scratch; **admission control** rejects work beyond a
+//!   bounded in-flight cap with a typed `Overloaded` (never a hang),
+//!   and a **load-shed policy** lowers the NAP depth budget under
+//!   queue pressure — the paper's accuracy↔latency dial driven by load;
+//! * [`http::Server`] — a minimal HTTP/1.1 transport over
+//!   [`std::net::TcpListener`] with newline-JSON bodies (`POST /v1`)
+//!   plus `/healthz`, `/metrics` (merged p50/p95/p99, queue depth,
+//!   shed count, per-stage MACs), and `/shutdown`;
+//! * [`proto`] / [`json`] — the wire protocol and the vendored JSON it
+//!   rides on;
+//! * [`client::HttpClient`] — the tiny blocking client used by
+//!   `nai loadgen` and the end-to-end tests.
+//!
+//! ```text
+//! clients ──HTTP──▶ Server ──submit──▶ NaiService ──batches──▶ shard engines
+//! ```
+//!
+//! Correctness contract (checked in `tests/serve_end_to_end.rs`): for
+//! any per-shard closed-loop request sequence, replies are identical to
+//! a single-threaded [`nai_stream::StreamingEngine`] fed the same
+//! sequence.
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod proto;
+pub mod service;
+
+pub use client::{http_call, HttpClient};
+pub use http::Server;
+pub use json::Json;
+pub use proto::{NodeResult, Op, Reply, Request};
+pub use service::{MetricsSnapshot, NaiService, ServeError, ServiceInfo, Ticket};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nai_core::config::{InferenceConfig, LoadShedPolicy, ServeConfig};
+    use nai_models::{DepthClassifier, ModelKind};
+    use nai_stream::{DynamicGraph, StreamingEngine};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const F: usize = 6;
+    const K: usize = 2;
+    const CLASSES: usize = 3;
+
+    /// An untrained (random-weight) deployment — serving correctness
+    /// tests only need *deterministic* classifiers, not accurate ones,
+    /// and skipping the training pipeline keeps these tests fast.
+    fn engine_shards(n_nodes: usize, n_shards: usize, seed: u64) -> Vec<StreamingEngine> {
+        let g = nai_graph::generators::generate(
+            &nai_graph::generators::GeneratorConfig {
+                num_nodes: n_nodes,
+                num_classes: CLASSES,
+                feature_dim: F,
+                avg_degree: 5.0,
+                ..Default::default()
+            },
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let seed_graph = DynamicGraph::from_graph(&g);
+        (0..n_shards)
+            .map(|_| {
+                // Re-seeded per shard: every replica (and the oracle the
+                // tests peel off) gets bit-identical weights.
+                let mut rng = StdRng::seed_from_u64(seed ^ 0xC1A55);
+                let classifiers: Vec<DepthClassifier> = (1..=K)
+                    .map(|d| {
+                        DepthClassifier::new(ModelKind::Sgc, d, F, CLASSES, &[8], 0.0, &mut rng)
+                    })
+                    .collect();
+                StreamingEngine::with_lambda2(seed_graph.clone(), classifiers, None, 0.5, 0.9)
+            })
+            .collect()
+    }
+
+    fn serve_cfg(workers: usize) -> ServeConfig {
+        ServeConfig {
+            workers,
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 64,
+            shed: LoadShedPolicy {
+                trigger_fraction: 1.0,
+                t_max_cap: 0, // shedding off unless a test turns it on
+            },
+        }
+    }
+
+    fn infer_cfg() -> InferenceConfig {
+        InferenceConfig::distance(0.5, 1, K)
+    }
+
+    #[test]
+    fn infer_matches_direct_engine() {
+        let mut shards = engine_shards(80, 2, 7);
+        let mut oracle = shards.pop().unwrap(); // same weights as shard 0/1
+        let service = NaiService::new(shards, infer_cfg(), serve_cfg(1)).unwrap();
+        let nodes: Vec<u32> = vec![0, 13, 55, 7];
+        let expected = oracle.infer_nodes(&nodes, &infer_cfg());
+        match service
+            .call(Request {
+                op: Op::Infer {
+                    nodes: nodes.clone(),
+                },
+                shard: Some(0),
+            })
+            .unwrap()
+        {
+            Reply::Infer { shard, results } => {
+                assert_eq!(shard, 0);
+                let got: Vec<(usize, usize)> =
+                    results.iter().map(|r| (r.prediction, r.depth)).collect();
+                assert_eq!(got, expected);
+                assert_eq!(results.iter().map(|r| r.node).collect::<Vec<_>>(), nodes);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn ingest_matches_ingest_flush_oracle() {
+        let mut shards = engine_shards(60, 2, 11);
+        let mut oracle = shards.pop().unwrap();
+        let service = NaiService::new(shards, infer_cfg(), serve_cfg(1)).unwrap();
+        let features = vec![0.25f32; F];
+        let neighbors = vec![3u32, 9, 9];
+        let oid = oracle.ingest(&features, &neighbors);
+        let opred = oracle.flush(&infer_cfg());
+        match service
+            .call(Request {
+                op: Op::Ingest {
+                    features,
+                    neighbors,
+                },
+                shard: Some(0),
+            })
+            .unwrap()
+        {
+            Reply::Ingest {
+                shard,
+                node,
+                prediction,
+                depth,
+            } => {
+                assert_eq!(shard, 0);
+                assert_eq!(node, oid);
+                assert_eq!(prediction, opred[0].prediction);
+                assert_eq!(depth, opred[0].depth);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn observe_edge_dedups_and_validates() {
+        let shards = engine_shards(30, 1, 3);
+        let service = NaiService::new(shards, infer_cfg(), serve_cfg(1)).unwrap();
+        let find_missing = |service: &NaiService| -> (u32, u32) {
+            // Edge (0, v) for some v not adjacent to 0: probe via replies.
+            for v in 1..30u32 {
+                if let Reply::Edge { added: true, .. } = service
+                    .call(Request {
+                        op: Op::ObserveEdge { u: 0, v },
+                        shard: Some(0),
+                    })
+                    .unwrap()
+                {
+                    return (0, v);
+                }
+            }
+            panic!("node 0 adjacent to everything");
+        };
+        let (u, v) = find_missing(&service);
+        // Second observation of the same edge: not added.
+        match service
+            .call(Request {
+                op: Op::ObserveEdge { u, v },
+                shard: Some(0),
+            })
+            .unwrap()
+        {
+            Reply::Edge { added, .. } => assert!(!added),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // Validation failures come back as per-op errors, not panics.
+        for bad in [
+            Op::ObserveEdge { u: 5, v: 5 },
+            Op::ObserveEdge { u: 0, v: 999 },
+            Op::Infer { nodes: vec![999] },
+            Op::Ingest {
+                features: vec![0.0; F + 1],
+                neighbors: vec![],
+            },
+            Op::Ingest {
+                features: vec![0.0; F],
+                neighbors: vec![999],
+            },
+            Op::Ingest {
+                features: vec![f32::INFINITY; F],
+                neighbors: vec![],
+            },
+        ] {
+            match service
+                .call(Request {
+                    op: bad,
+                    shard: Some(0),
+                })
+                .unwrap()
+            {
+                Reply::Error { .. } => {}
+                other => panic!("expected per-op error, got {other:?}"),
+            }
+        }
+        assert_eq!(service.metrics().op_errors, 6);
+    }
+
+    #[test]
+    fn round_robin_assigns_owners_and_replies_name_them() {
+        let shards = engine_shards(40, 3, 5);
+        let service = NaiService::new(shards, infer_cfg(), serve_cfg(3)).unwrap();
+        let mut owners = Vec::new();
+        for _ in 0..6 {
+            match service
+                .call(Request {
+                    op: Op::Ingest {
+                        features: vec![0.1; F],
+                        neighbors: vec![0],
+                    },
+                    shard: None,
+                })
+                .unwrap()
+            {
+                Reply::Ingest { shard, node, .. } => {
+                    owners.push(shard);
+                    // Every shard starts at 40 nodes; the assigned id
+                    // reflects only that shard's mutations.
+                    assert!(node >= 40);
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        // Closed-loop round-robin touches every shard.
+        for s in 0..3 {
+            assert!(owners.contains(&s), "shard {s} never assigned: {owners:?}");
+        }
+    }
+
+    #[test]
+    fn overloaded_is_typed_and_immediate() {
+        let shards = engine_shards(40, 1, 9);
+        let cfg = ServeConfig {
+            workers: 1,
+            max_batch: 1024,
+            max_wait: Duration::from_millis(300),
+            queue_cap: 2,
+            ..serve_cfg(1)
+        };
+        let service = NaiService::new(shards, infer_cfg(), cfg).unwrap();
+        // Fill the admission bound: the scheduler sits on its max_wait
+        // deadline, so these stay in flight.
+        let t1 = service
+            .submit(Request {
+                op: Op::Infer { nodes: vec![1] },
+                shard: None,
+            })
+            .unwrap();
+        let t2 = service
+            .submit(Request {
+                op: Op::Infer { nodes: vec![2] },
+                shard: None,
+            })
+            .unwrap();
+        let start = std::time::Instant::now();
+        let rejected = service.submit(Request {
+            op: Op::Infer { nodes: vec![3] },
+            shard: None,
+        });
+        assert!(matches!(rejected, Err(ServeError::Overloaded)));
+        assert!(
+            start.elapsed() < Duration::from_millis(100),
+            "rejection must be immediate, took {:?}",
+            start.elapsed()
+        );
+        assert_eq!(service.metrics().overloaded, 1);
+        // The admitted requests still complete.
+        assert!(t1.wait(Duration::from_secs(10)).is_ok());
+        assert!(t2.wait(Duration::from_secs(10)).is_ok());
+    }
+
+    #[test]
+    fn load_shed_caps_depth_under_pressure() {
+        let shards = engine_shards(60, 1, 13);
+        let cfg = ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_wait: Duration::from_millis(50),
+            queue_cap: 8,
+            shed: LoadShedPolicy {
+                trigger_fraction: 0.0, // always under pressure
+                t_max_cap: 1,
+            },
+        };
+        // Fixed-depth K config: without shedding every node exits at K.
+        let service = NaiService::new(shards, InferenceConfig::fixed(K), cfg).unwrap();
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| {
+                service
+                    .submit(Request {
+                        op: Op::Infer { nodes: vec![i] },
+                        shard: None,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            match t.wait(Duration::from_secs(10)).unwrap() {
+                Reply::Infer { results, .. } => {
+                    assert_eq!(results[0].depth, 1, "depth budget capped to 1 under shed");
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        let m = service.metrics();
+        assert!(m.degraded_batches >= 1);
+        assert_eq!(m.shed_ops, 4);
+    }
+
+    #[test]
+    fn invalid_shard_rejected_at_submit() {
+        let shards = engine_shards(20, 2, 1);
+        let service = NaiService::new(shards, infer_cfg(), serve_cfg(2)).unwrap();
+        let err = service.call(Request {
+            op: Op::Infer { nodes: vec![0] },
+            shard: Some(7),
+        });
+        assert!(matches!(err, Err(ServeError::Invalid(_))));
+    }
+
+    #[test]
+    fn metrics_track_served_and_macs() {
+        let shards = engine_shards(50, 2, 21);
+        let service = NaiService::new(shards, infer_cfg(), serve_cfg(2)).unwrap();
+        for i in 0..10u32 {
+            service
+                .call(Request {
+                    op: Op::Infer {
+                        nodes: vec![i, i + 10],
+                    },
+                    shard: None,
+                })
+                .unwrap();
+        }
+        let m = service.metrics();
+        assert_eq!(m.stats.count(), 20, "two nodes per request");
+        assert_eq!(m.served, 20);
+        assert!(m.macs.propagation > 0);
+        assert!(m.macs.classification > 0);
+        assert_eq!(
+            m.macs.total(),
+            m.macs.propagation + m.macs.nap + m.macs.classification
+        );
+        assert!(m.batches >= 1);
+        assert_eq!(m.queue_depth, 0, "closed loop leaves nothing in flight");
+        assert!(m.stats.p99() >= m.stats.p50());
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_rejected() {
+        let shards = engine_shards(20, 1, 2);
+        let service = NaiService::new(shards, infer_cfg(), serve_cfg(1)).unwrap();
+        service.shutdown();
+        let err = service.submit(Request {
+            op: Op::Infer { nodes: vec![0] },
+            shard: None,
+        });
+        assert!(matches!(err, Err(ServeError::ShuttingDown)));
+        service.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn http_server_end_to_end_small() {
+        let shards = engine_shards(50, 2, 17);
+        let service = Arc::new(NaiService::new(shards, infer_cfg(), serve_cfg(2)).unwrap());
+        let server = Server::start(Arc::clone(&service), "127.0.0.1:0").unwrap();
+        let addr = server.local_addr();
+
+        let mut client = HttpClient::connect(addr).unwrap();
+        let (status, body) = client.request("GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        let health = Json::parse(body.trim()).unwrap();
+        assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+        assert_eq!(health.get("shards").unwrap().as_u64(), Some(2));
+        assert_eq!(health.get("feature_dim").unwrap().as_u64(), Some(F as u64));
+
+        // One infer over the wire (keep-alive reuses the connection).
+        let (status, body) = client
+            .request(
+                "POST",
+                "/v1",
+                Some("{\"op\":\"infer\",\"nodes\":[1,2],\"shard\":0}\n"),
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+        let reply = Json::parse(body.trim()).unwrap();
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(reply.get("results").unwrap().as_arr().unwrap().len(), 2);
+
+        // Multi-line body: replies line up with request lines.
+        let (status, body) = client
+            .request(
+                "POST",
+                "/v1",
+                Some("{\"op\":\"infer\",\"nodes\":[3]}\nnot json\n{\"op\":\"observe_edge\",\"u\":0,\"v\":1}\n"),
+            )
+            .unwrap();
+        assert_eq!(status, 200);
+        let lines: Vec<&str> = body.trim().lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            Json::parse(lines[0]).unwrap().get("op").unwrap().as_str(),
+            Some("infer")
+        );
+        assert_eq!(
+            Json::parse(lines[1])
+                .unwrap()
+                .get("error")
+                .unwrap()
+                .as_str(),
+            Some("invalid")
+        );
+
+        // Unknown path → 404; bad method → 405; empty body → 400.
+        assert_eq!(client.request("GET", "/nope", None).unwrap().0, 404);
+        assert_eq!(client.request("PUT", "/v1", None).unwrap().0, 405);
+        assert_eq!(client.request("POST", "/v1", Some("")).unwrap().0, 400);
+
+        let (status, body) = client.request("GET", "/metrics", None).unwrap();
+        assert_eq!(status, 200);
+        let metrics = Json::parse(body.trim()).unwrap();
+        assert!(metrics.get("served").unwrap().as_u64().unwrap() >= 3);
+        assert!(metrics.get("latency_us").unwrap().get("p50").is_some());
+        assert!(metrics.get("macs").unwrap().get("propagation").is_some());
+
+        // POST /shutdown answers, then the server stops accepting.
+        let (status, _) = http_call(addr, "POST", "/shutdown", None).unwrap();
+        assert_eq!(status, 200);
+        server.join();
+        assert!(
+            HttpClient::connect(addr).is_err() || {
+                // The OS may accept briefly during teardown; a request must
+                // then fail.
+                let mut c = HttpClient::connect(addr).unwrap();
+                c.request("GET", "/healthz", None).is_err()
+            }
+        );
+    }
+}

@@ -1,0 +1,777 @@
+//! The in-process serving engine: admission control → dynamic
+//! micro-batcher → shard worker pool.
+//!
+//! ```text
+//!             submit()                 scheduler thread              worker threads
+//! clients ──[admission: in-flight ≤ queue_cap]──▶ bounded MPSC ──▶ forming batch
+//!                │ Overloaded                          │  closes on max_batch
+//!                ▼                                     │  or max_wait deadline
+//!            rejected                                  ▼
+//!                                         split by shard, shed check
+//!                                                      │
+//!                                        ┌─────────────┼─────────────┐
+//!                                        ▼             ▼             ▼
+//!                                    worker 0      worker 1  …   worker N−1
+//!                                   (engine +     (engine +     (engine +
+//!                                    scratch)      scratch)      scratch)
+//! ```
+//!
+//! **Batching** is the paper's Fig. 5 trade-off as a runtime policy: a
+//! forming batch closes when it holds `max_batch` requests *or* its
+//! oldest request has waited `max_wait` — larger/longer batches amortize
+//! the per-batch stationary and BFS work, at the cost of queueing
+//! latency.
+//!
+//! **Sharding**: each worker owns one [`StreamingEngine`] replica (same
+//! checkpoint, private graph + scratch). Reads fan out round-robin;
+//! mutations land on one owning shard (explicit `shard` field, or
+//! round-robin assignment for ingests, whose replies name the owner).
+//! Shards therefore diverge under mutation — routing consistency is the
+//! client's contract, checked per shard against a single-threaded
+//! engine oracle in the end-to-end tests.
+//!
+//! **Admission / shedding**: at most `queue_cap` requests may be in
+//! flight (queued or being served); beyond that, [`ServeError::Overloaded`]
+//! is returned immediately — never a hang. Before that hard wall, the
+//! [`nai_core::config::LoadShedPolicy`] caps the NAP depth budget of
+//! batches dispatched under queue pressure, trading accuracy for drain
+//! rate (the accuracy↔latency dial driven by load).
+
+use crate::proto::{NodeResult, Op, Reply, Request};
+use nai_core::checkpoint::ModelCheckpoint;
+use nai_core::config::{InferenceConfig, ServeConfig};
+use nai_stream::{DynamicGraph, LatencyStats, MacsBreakdown, StreamingEngine};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Service-level failures surfaced to the transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission bound (`queue_cap`) is full; retry later.
+    Overloaded,
+    /// The service is shutting down; no new work is accepted.
+    ShuttingDown,
+    /// The worker did not answer within the wait deadline.
+    Timeout,
+    /// The request can never be served (e.g. shard out of range).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "overloaded"),
+            ServeError::ShuttingDown => write!(f, "shutting_down"),
+            ServeError::Timeout => write!(f, "timeout"),
+            ServeError::Invalid(m) => write!(f, "invalid request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Static facts about a deployed service (the `/healthz` payload).
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceInfo {
+    /// Worker / shard count.
+    pub shards: usize,
+    /// Feature dimensionality every ingest must match.
+    pub feature_dim: usize,
+    /// Highest trained depth.
+    pub k: usize,
+    /// Node count of the seed graph every shard started from (ids below
+    /// this are valid on every shard).
+    pub seed_nodes: usize,
+}
+
+/// A point-in-time view of the service counters (the `/metrics`
+/// payload). Latency statistics are merged across workers with
+/// [`LatencyStats::merge`]; MACs with [`MacsBreakdown::merge`].
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Requests currently queued or being served.
+    pub queue_depth: usize,
+    /// Submissions rejected at the admission bound.
+    pub overloaded: u64,
+    /// Batches dispatched so far.
+    pub batches: u64,
+    /// Batches dispatched with a degraded (load-shed) depth budget.
+    pub degraded_batches: u64,
+    /// Requests dispatched inside degraded batches (counted per
+    /// request at dispatch time, whatever its kind or node count).
+    pub shed_ops: u64,
+    /// Edge mutations applied.
+    pub edges_observed: u64,
+    /// Per-op validation failures answered.
+    pub op_errors: u64,
+    /// Predictions answered since the service started (one per node
+    /// for `infer`, one per `ingest`).
+    pub served: u64,
+    /// Enqueue→reply latency and exit depths, merged across workers.
+    /// Bounded: each worker restarts its accumulator after every
+    /// [`STATS_WINDOW`] samples (so quantiles cover the current
+    /// accumulation period, not all time, and a long-lived service
+    /// cannot grow without bound); `served` keeps the all-time count.
+    pub stats: LatencyStats,
+    /// Cumulative per-stage MACs summed over shard engines.
+    pub macs: MacsBreakdown,
+}
+
+struct Job {
+    op: Op,
+    shard: Option<usize>,
+    responder: Sender<Reply>,
+    enqueued: Instant,
+}
+
+struct RoutedJob {
+    op: Op,
+    responder: Sender<Reply>,
+    enqueued: Instant,
+}
+
+type ShardBatch = (Vec<RoutedJob>, InferenceConfig);
+
+/// Per-worker latency-sample bound: the accumulator restarts from
+/// empty each time it reaches this many samples, so quantiles describe
+/// the current accumulation period while counters cover all time
+/// (`LatencyStats` stores every recorded sample, so an unbounded
+/// accumulator would leak on a long-lived server).
+pub const STATS_WINDOW: usize = 1 << 18;
+
+struct Shared {
+    in_flight: AtomicUsize,
+    overloaded: AtomicU64,
+    batches: AtomicU64,
+    degraded_batches: AtomicU64,
+    shed_ops: AtomicU64,
+    edges_observed: AtomicU64,
+    op_errors: AtomicU64,
+    served: AtomicU64,
+    /// Replies sent (all kinds) — lets a panicking worker repair the
+    /// in-flight counter for the jobs its batch never answered.
+    answered: AtomicU64,
+    worker_stats: Vec<Mutex<LatencyStats>>,
+    /// `[propagation, nap, classification]` per worker, overwritten
+    /// after each batch from the engine's own breakdown.
+    worker_macs: Vec<[AtomicU64; 3]>,
+}
+
+impl Shared {
+    fn respond(&self, worker: usize, job: &RoutedJob, reply: Reply) {
+        let latency = job.enqueued.elapsed();
+        match &reply {
+            Reply::Infer { results, .. } => {
+                self.served
+                    .fetch_add(results.len() as u64, Ordering::Relaxed);
+                let mut stats = self.worker_stats[worker].lock().unwrap();
+                for r in results {
+                    if stats.count() >= STATS_WINDOW {
+                        *stats = LatencyStats::new();
+                    }
+                    stats.record(latency, r.depth);
+                }
+            }
+            Reply::Ingest { depth, .. } => {
+                self.served.fetch_add(1, Ordering::Relaxed);
+                let mut stats = self.worker_stats[worker].lock().unwrap();
+                if stats.count() >= STATS_WINDOW {
+                    *stats = LatencyStats::new();
+                }
+                stats.record(latency, *depth);
+            }
+            Reply::Edge { .. } => {
+                self.edges_observed.fetch_add(1, Ordering::Relaxed);
+            }
+            Reply::Error { .. } => {
+                self.op_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Free the admission slot *before* the reply is visible, so a
+        // client that has its answer can immediately resubmit without
+        // racing the counter (and `queue_depth` reads 0 once every
+        // reply of a closed loop has been received).
+        self.answered.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        let _ = job.responder.send(reply);
+    }
+}
+
+/// A pending answer; `wait` blocks until the worker responds.
+pub struct Ticket {
+    rx: Receiver<Reply>,
+}
+
+impl Ticket {
+    /// Blocks for the reply up to `timeout`.
+    ///
+    /// # Errors
+    /// [`ServeError::Timeout`] if no reply arrives in time (the request
+    /// may still complete server-side; its reply is then discarded).
+    pub fn wait(self, timeout: Duration) -> Result<Reply, ServeError> {
+        self.rx
+            .recv_timeout(timeout)
+            .map_err(|_| ServeError::Timeout)
+    }
+}
+
+/// The online inference service (transport-agnostic; see
+/// [`crate::http`] for the TCP front end).
+pub struct NaiService {
+    tx: Mutex<Option<SyncSender<Job>>>,
+    shared: Arc<Shared>,
+    info: ServiceInfo,
+    cfg: ServeConfig,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl NaiService {
+    /// Deploys the service over pre-built engine shards.
+    ///
+    /// # Errors
+    /// Returns a description when `cfg` fails validation, the shard
+    /// count disagrees with `cfg.workers`, or `infer_cfg` is invalid
+    /// for the engines' trained depth.
+    pub fn new(
+        engines: Vec<StreamingEngine>,
+        infer_cfg: InferenceConfig,
+        cfg: ServeConfig,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        if engines.len() != cfg.workers {
+            return Err(format!(
+                "cfg.workers = {} but {} engine shards supplied",
+                cfg.workers,
+                engines.len()
+            ));
+        }
+        let k = engines[0].k();
+        infer_cfg.validate(k)?;
+        let feature_dim = engines[0].graph().feature_dim();
+        let seed_nodes = engines[0].graph().num_nodes();
+        for e in &engines {
+            if e.k() != k || e.graph().feature_dim() != feature_dim {
+                return Err("engine shards must share k and feature_dim".to_string());
+            }
+        }
+        let info = ServiceInfo {
+            shards: cfg.workers,
+            feature_dim,
+            k,
+            seed_nodes,
+        };
+        let shared = Arc::new(Shared {
+            in_flight: AtomicUsize::new(0),
+            overloaded: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            degraded_batches: AtomicU64::new(0),
+            shed_ops: AtomicU64::new(0),
+            edges_observed: AtomicU64::new(0),
+            op_errors: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            answered: AtomicU64::new(0),
+            worker_stats: (0..cfg.workers)
+                .map(|_| Mutex::new(LatencyStats::new()))
+                .collect(),
+            worker_macs: (0..cfg.workers)
+                .map(|_| [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)])
+                .collect(),
+        });
+
+        let mut threads = Vec::with_capacity(cfg.workers + 1);
+        let mut worker_txs = Vec::with_capacity(cfg.workers);
+        for (w, engine) in engines.into_iter().enumerate() {
+            let (wtx, wrx) = mpsc::channel::<ShardBatch>();
+            worker_txs.push(wtx);
+            let shared_w = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("nai-serve-worker-{w}"))
+                    .spawn(move || worker_loop(w, engine, wrx, shared_w))
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_cap);
+        let shared_s = Arc::clone(&shared);
+        let sched_cfg = cfg;
+        threads.push(
+            std::thread::Builder::new()
+                .name("nai-serve-batcher".to_string())
+                .spawn(move || scheduler_loop(rx, worker_txs, infer_cfg, sched_cfg, shared_s))
+                .expect("spawn scheduler thread"),
+        );
+
+        Ok(Self {
+            tx: Mutex::new(Some(tx)),
+            shared,
+            info,
+            cfg,
+            threads: Mutex::new(threads),
+        })
+    }
+
+    /// Deploys over `cfg.workers` shard replicas built from one
+    /// checkpoint and seed graph (λ₂ estimated once — see
+    /// [`StreamingEngine::shard_replicas`]).
+    ///
+    /// # Errors
+    /// As [`Self::new`].
+    pub fn from_checkpoint(
+        ckpt: &ModelCheckpoint,
+        seed: &DynamicGraph,
+        infer_cfg: InferenceConfig,
+        cfg: ServeConfig,
+    ) -> Result<Self, String> {
+        cfg.validate()?;
+        let engines = StreamingEngine::shard_replicas(ckpt, seed, cfg.workers);
+        Self::new(engines, infer_cfg, cfg)
+    }
+
+    /// Static deployment facts.
+    pub fn info(&self) -> ServiceInfo {
+        self.info
+    }
+
+    /// The serving configuration this service runs under.
+    pub fn config(&self) -> ServeConfig {
+        self.cfg
+    }
+
+    /// Enqueues a request; returns a [`Ticket`] for the eventual reply.
+    ///
+    /// # Errors
+    /// [`ServeError::Overloaded`] at the admission bound,
+    /// [`ServeError::Invalid`] for an out-of-range shard,
+    /// [`ServeError::ShuttingDown`] after [`Self::shutdown`] began.
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        if let Some(s) = req.shard {
+            if s >= self.info.shards {
+                return Err(ServeError::Invalid(format!(
+                    "shard {s} out of range (service has {} shards)",
+                    self.info.shards
+                )));
+            }
+        }
+        // Admission: reserve an in-flight slot or reject immediately.
+        if self
+            .shared
+            .in_flight
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
+                (c < self.cfg.queue_cap).then_some(c + 1)
+            })
+            .is_err()
+        {
+            self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Overloaded);
+        }
+        let (rtx, rrx) = mpsc::channel();
+        let job = Job {
+            op: req.op,
+            shard: req.shard,
+            responder: rtx,
+            enqueued: Instant::now(),
+        };
+        let guard = self.tx.lock().unwrap();
+        let outcome = match guard.as_ref() {
+            None => Err(ServeError::ShuttingDown),
+            Some(tx) => match tx.try_send(job) {
+                Ok(()) => Ok(Ticket { rx: rrx }),
+                // The sync_channel capacity equals queue_cap, so with the
+                // admission counter reserved this is unreachable in
+                // practice — kept as a typed backstop, not a panic.
+                Err(TrySendError::Full(_)) => Err(ServeError::Overloaded),
+                Err(TrySendError::Disconnected(_)) => Err(ServeError::ShuttingDown),
+            },
+        };
+        drop(guard);
+        if let Err(e) = &outcome {
+            self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+            if *e == ServeError::Overloaded {
+                self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        outcome
+    }
+
+    /// [`Self::submit`] + wait, with a 30 s answer deadline.
+    ///
+    /// # Errors
+    /// As [`Self::submit`], plus [`ServeError::Timeout`].
+    pub fn call(&self, req: Request) -> Result<Reply, ServeError> {
+        self.submit(req)?.wait(Duration::from_secs(30))
+    }
+
+    /// Requests currently queued or executing — one atomic load, cheap
+    /// enough for a liveness probe (unlike [`Self::metrics`], which
+    /// merges every worker's latency samples).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.in_flight.load(Ordering::Acquire)
+    }
+
+    /// Merged counters, latency statistics, and MACs.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let s = &self.shared;
+        let mut stats = LatencyStats::new();
+        for w in &s.worker_stats {
+            stats.merge(&w.lock().unwrap());
+        }
+        let mut macs = MacsBreakdown::default();
+        for m in &s.worker_macs {
+            macs.merge(&MacsBreakdown {
+                propagation: m[0].load(Ordering::Relaxed),
+                nap: m[1].load(Ordering::Relaxed),
+                classification: m[2].load(Ordering::Relaxed),
+            });
+        }
+        MetricsSnapshot {
+            queue_depth: s.in_flight.load(Ordering::Acquire),
+            overloaded: s.overloaded.load(Ordering::Relaxed),
+            batches: s.batches.load(Ordering::Relaxed),
+            degraded_batches: s.degraded_batches.load(Ordering::Relaxed),
+            shed_ops: s.shed_ops.load(Ordering::Relaxed),
+            edges_observed: s.edges_observed.load(Ordering::Relaxed),
+            served: s.served.load(Ordering::Relaxed),
+            op_errors: s.op_errors.load(Ordering::Relaxed),
+            stats,
+            macs,
+        }
+    }
+
+    /// Stops accepting work, drains queued requests (every admitted
+    /// request still gets its reply), and joins all threads.
+    /// Idempotent; also runs on drop.
+    pub fn shutdown(&self) {
+        // Dropping the submission sender disconnects the scheduler's
+        // receive loop; the scheduler dispatches its forming batch,
+        // then drops the worker senders, which drains the workers.
+        drop(self.tx.lock().unwrap().take());
+        let mut threads = self.threads.lock().unwrap();
+        for handle in threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NaiService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn scheduler_loop(
+    rx: Receiver<Job>,
+    worker_txs: Vec<Sender<ShardBatch>>,
+    base_cfg: InferenceConfig,
+    cfg: ServeConfig,
+    shared: Arc<Shared>,
+) {
+    let mut forming: Vec<Job> = Vec::with_capacity(cfg.max_batch);
+    let mut rr = 0usize;
+    let dispatch = |forming: &mut Vec<Job>, rr: &mut usize| {
+        if forming.is_empty() {
+            return;
+        }
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        let degraded = cfg
+            .shed
+            .engaged(shared.in_flight.load(Ordering::Acquire), cfg.queue_cap);
+        let batch_cfg = if degraded {
+            shared.degraded_batches.fetch_add(1, Ordering::Relaxed);
+            shared
+                .shed_ops
+                .fetch_add(forming.len() as u64, Ordering::Relaxed);
+            cfg.shed.degrade(&base_cfg)
+        } else {
+            base_cfg
+        };
+        let mut per_shard: Vec<Vec<RoutedJob>> =
+            (0..worker_txs.len()).map(|_| Vec::new()).collect();
+        for job in forming.drain(..) {
+            let shard = job.shard.unwrap_or_else(|| match job.op {
+                // Mutations without an owner default to shard 0 so
+                // repeated un-routed edges stay self-consistent; reads
+                // and new-node ingests are assigned round-robin.
+                Op::ObserveEdge { .. } => 0,
+                _ => {
+                    let s = *rr % worker_txs.len();
+                    *rr += 1;
+                    s
+                }
+            });
+            per_shard[shard].push(RoutedJob {
+                op: job.op,
+                responder: job.responder,
+                enqueued: job.enqueued,
+            });
+        }
+        for (shard, jobs) in per_shard.into_iter().enumerate() {
+            if jobs.is_empty() {
+                continue;
+            }
+            // Workers outlive the scheduler by construction, but if one
+            // ever died (engine panic), answer its jobs instead of
+            // leaking their admission slots and hanging the clients.
+            if let Err(dead) = worker_txs[shard].send((jobs, batch_cfg)) {
+                for job in dead.0 .0 {
+                    shared.respond(
+                        shard,
+                        &job,
+                        Reply::Error {
+                            message: format!("shard {shard} worker is gone"),
+                        },
+                    );
+                }
+            }
+        }
+    };
+
+    loop {
+        let next = if forming.is_empty() {
+            match rx.recv() {
+                Ok(job) => Some(job),
+                Err(_) => break,
+            }
+        } else {
+            let deadline = forming[0].enqueued + cfg.max_wait;
+            match deadline.checked_duration_since(Instant::now()) {
+                None => None, // oldest request's wait budget is spent
+                Some(remaining) => match rx.recv_timeout(remaining) {
+                    Ok(job) => Some(job),
+                    Err(RecvTimeoutError::Timeout) => None,
+                    Err(RecvTimeoutError::Disconnected) => {
+                        dispatch(&mut forming, &mut rr);
+                        break;
+                    }
+                },
+            }
+        };
+        match next {
+            Some(job) => {
+                forming.push(job);
+                if forming.len() >= cfg.max_batch {
+                    dispatch(&mut forming, &mut rr);
+                }
+            }
+            None => dispatch(&mut forming, &mut rr),
+        }
+    }
+    // Senders to workers drop here; workers drain and exit.
+}
+
+fn worker_loop(
+    worker: usize,
+    mut engine: StreamingEngine,
+    rx: Receiver<ShardBatch>,
+    shared: Arc<Shared>,
+) {
+    while let Ok((jobs, cfg)) = rx.recv() {
+        let batch_len = jobs.len() as u64;
+        let answered_before = shared.answered.load(Ordering::Relaxed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            process_shard_batch(worker, &mut engine, jobs, &cfg, &shared);
+        }));
+        if let Err(panic) = outcome {
+            // The engine may be in an inconsistent state — let the
+            // worker die (the scheduler answers its future batches with
+            // "worker is gone") — but first give back the admission
+            // slots of the jobs this batch never answered, so queue
+            // capacity is not permanently shrunk. Their clients see a
+            // timeout rather than a reply.
+            let answered = shared.answered.load(Ordering::Relaxed) - answered_before;
+            let leaked = batch_len.saturating_sub(answered);
+            if leaked > 0 {
+                shared
+                    .in_flight
+                    .fetch_sub(leaked as usize, Ordering::AcqRel);
+            }
+            std::panic::resume_unwind(panic);
+        }
+        let b = engine.macs_breakdown();
+        shared.worker_macs[worker][0].store(b.propagation, Ordering::Relaxed);
+        shared.worker_macs[worker][1].store(b.nap, Ordering::Relaxed);
+        shared.worker_macs[worker][2].store(b.classification, Ordering::Relaxed);
+        // The service keeps its own (queue-inclusive) latency samples;
+        // drop the engine's internal per-flush copy so a long-lived
+        // worker does not accumulate a second unbounded sample vector.
+        engine.reset_stats();
+    }
+}
+
+/// Executes one shard's slice of a batch in arrival order, coalescing
+/// runs of same-kind operations: consecutive `infer`s become one
+/// active-set engine call (per-node results are batch-composition
+/// independent), consecutive `ingest`s are appended together and
+/// answered by one flush (each arrival sees every earlier arrival of
+/// the run, exactly like `ingest…ingest→flush` on a single-threaded
+/// engine).
+fn process_shard_batch(
+    worker: usize,
+    engine: &mut StreamingEngine,
+    jobs: Vec<RoutedJob>,
+    cfg: &InferenceConfig,
+    shared: &Shared,
+) {
+    let mut i = 0;
+    while i < jobs.len() {
+        match &jobs[i].op {
+            Op::Infer { .. } => {
+                let mut j = i;
+                while j < jobs.len() && matches!(jobs[j].op, Op::Infer { .. }) {
+                    j += 1;
+                }
+                infer_run(worker, engine, &jobs[i..j], cfg, shared);
+                i = j;
+            }
+            Op::Ingest { .. } => {
+                let mut j = i;
+                while j < jobs.len() && matches!(jobs[j].op, Op::Ingest { .. }) {
+                    j += 1;
+                }
+                ingest_run(worker, engine, &jobs[i..j], cfg, shared);
+                i = j;
+            }
+            Op::ObserveEdge { u, v } => {
+                let (u, v) = (*u, *v);
+                let n = engine.graph().num_nodes() as u32;
+                let reply = if u == v {
+                    Reply::Error {
+                        message: format!("self-loop edge ({u},{u}) is not representable"),
+                    }
+                } else if u >= n || v >= n {
+                    Reply::Error {
+                        message: format!("edge ({u},{v}) out of range (shard has {n} nodes)"),
+                    }
+                } else {
+                    Reply::Edge {
+                        shard: worker,
+                        added: engine.observe_edge(u, v),
+                    }
+                };
+                shared.respond(worker, &jobs[i], reply);
+                i += 1;
+            }
+        }
+    }
+}
+
+fn infer_run(
+    worker: usize,
+    engine: &mut StreamingEngine,
+    jobs: &[RoutedJob],
+    cfg: &InferenceConfig,
+    shared: &Shared,
+) {
+    let n = engine.graph().num_nodes() as u32;
+    // Validate per job; only valid jobs contribute nodes to the engine
+    // call. `spans` keeps (job index, node count) to slice results back.
+    let mut nodes: Vec<u32> = Vec::new();
+    let mut spans: Vec<(usize, usize)> = Vec::new();
+    let mut invalid: Vec<(usize, String)> = Vec::new();
+    for (idx, job) in jobs.iter().enumerate() {
+        let Op::Infer { nodes: req } = &job.op else {
+            unreachable!("infer run contains only infer jobs");
+        };
+        match req.iter().find(|&&v| v >= n) {
+            Some(&bad) => invalid.push((
+                idx,
+                format!("node {bad} out of range (shard has {n} nodes)"),
+            )),
+            None => {
+                spans.push((idx, req.len()));
+                nodes.extend_from_slice(req);
+            }
+        }
+    }
+    let results = engine.infer_nodes(&nodes, cfg);
+    let mut offset = 0;
+    for (idx, len) in spans {
+        let Op::Infer { nodes: req } = &jobs[idx].op else {
+            unreachable!();
+        };
+        let slice = &results[offset..offset + len];
+        offset += len;
+        let reply = Reply::Infer {
+            shard: worker,
+            results: req
+                .iter()
+                .zip(slice)
+                .map(|(&node, &(prediction, depth))| NodeResult {
+                    node,
+                    prediction,
+                    depth,
+                })
+                .collect(),
+        };
+        shared.respond(worker, &jobs[idx], reply);
+    }
+    for (idx, message) in invalid {
+        shared.respond(worker, &jobs[idx], Reply::Error { message });
+    }
+}
+
+fn ingest_run(
+    worker: usize,
+    engine: &mut StreamingEngine,
+    jobs: &[RoutedJob],
+    cfg: &InferenceConfig,
+    shared: &Shared,
+) {
+    let feature_dim = engine.graph().feature_dim();
+    // Sequential validation: each arrival may attach to nodes ingested
+    // earlier in the same run.
+    let mut admitted: Vec<usize> = Vec::with_capacity(jobs.len());
+    let mut invalid: Vec<(usize, String)> = Vec::new();
+    for (idx, job) in jobs.iter().enumerate() {
+        let Op::Ingest {
+            features,
+            neighbors,
+        } = &job.op
+        else {
+            unreachable!("ingest run contains only ingest jobs");
+        };
+        let n = engine.graph().num_nodes() as u32;
+        if features.len() != feature_dim {
+            invalid.push((
+                idx,
+                format!(
+                    "feature length {} does not match graph dimension {feature_dim}",
+                    features.len()
+                ),
+            ));
+        } else if features.iter().any(|x| !x.is_finite()) {
+            // One inf/NaN feature would poison the shard's shared
+            // incremental stationary accumulators for every later
+            // request — reject it at the door.
+            invalid.push((idx, "features must be finite".to_string()));
+        } else if let Some(&bad) = neighbors.iter().find(|&&v| v >= n) {
+            invalid.push((
+                idx,
+                format!("neighbor {bad} out of range (shard has {n} nodes)"),
+            ));
+        } else {
+            engine.ingest(features, neighbors);
+            admitted.push(idx);
+        }
+    }
+    let predictions = engine.flush(cfg);
+    debug_assert_eq!(predictions.len(), admitted.len());
+    for (p, idx) in predictions.iter().zip(admitted) {
+        shared.respond(
+            worker,
+            &jobs[idx],
+            Reply::Ingest {
+                shard: worker,
+                node: p.node,
+                prediction: p.prediction,
+                depth: p.depth,
+            },
+        );
+    }
+    for (idx, message) in invalid {
+        shared.respond(worker, &jobs[idx], Reply::Error { message });
+    }
+}

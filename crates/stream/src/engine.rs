@@ -21,7 +21,7 @@
 
 use crate::dynamic::DynamicGraph;
 use crate::stationary::IncrementalStationary;
-use crate::stats::LatencyStats;
+use crate::stats::{LatencyStats, MacsBreakdown};
 use nai_core::active::EngineScratch;
 use nai_core::config::{InferenceConfig, NapMode};
 use nai_core::gates::GateSet;
@@ -57,7 +57,7 @@ pub struct StreamingEngine {
     lambda2: f32,
     pending: Vec<u32>,
     stats: LatencyStats,
-    macs_total: u64,
+    macs: MacsBreakdown,
     /// Shared active-set workspace (same engine layer as
     /// `nai_core::inference::NaiEngine`); grows with the graph and is
     /// reused across flushes.
@@ -80,17 +80,30 @@ impl StreamingEngine {
         gates: Option<GateSet>,
         gamma: f32,
     ) -> Self {
+        let lambda2 = Self::estimate_lambda2(&graph, gamma);
+        Self::with_lambda2(graph, classifiers, gates, gamma, lambda2)
+    }
+
+    /// [`Self::new`] with a precomputed λ₂ — the shard hand-off path:
+    /// when many engine replicas are deployed from one checkpoint (e.g.
+    /// the `nai-serve` worker pool), λ₂ is estimated once on the seed
+    /// graph and handed to every shard instead of being re-estimated
+    /// per replica.
+    ///
+    /// # Panics
+    /// Panics if no classifiers are supplied or they are not ordered by
+    /// depth.
+    pub fn with_lambda2(
+        graph: DynamicGraph,
+        classifiers: Vec<DepthClassifier>,
+        gates: Option<GateSet>,
+        gamma: f32,
+        lambda2: f32,
+    ) -> Self {
         assert!(!classifiers.is_empty(), "need at least one classifier");
         for (i, c) in classifiers.iter().enumerate() {
             assert_eq!(c.depth(), i + 1, "classifiers must be ordered by depth");
         }
-        let lambda2 = if graph.num_nodes() >= 2 {
-            let csr = graph.snapshot_csr();
-            let norm = normalized_adjacency(&csr, Convolution::Gamma(gamma));
-            norm.lambda2_estimate(100, 0x57e4).min(0.999)
-        } else {
-            0.9
-        };
         let stationary = IncrementalStationary::from_dynamic(&graph, gamma);
         Self {
             graph,
@@ -101,8 +114,18 @@ impl StreamingEngine {
             lambda2,
             pending: Vec::new(),
             stats: LatencyStats::new(),
-            macs_total: 0,
+            macs: MacsBreakdown::default(),
             scratch: EngineScratch::new(),
+        }
+    }
+
+    fn estimate_lambda2(graph: &DynamicGraph, gamma: f32) -> f32 {
+        if graph.num_nodes() >= 2 {
+            let csr = graph.snapshot_csr();
+            let norm = normalized_adjacency(&csr, Convolution::Gamma(gamma));
+            norm.lambda2_estimate(100, 0x57e4).min(0.999)
+        } else {
+            0.9
         }
     }
 
@@ -129,6 +152,53 @@ impl StreamingEngine {
         )
     }
 
+    /// [`Self::from_checkpoint`] with a precomputed λ₂ (see
+    /// [`Self::with_lambda2`]).
+    ///
+    /// # Panics
+    /// Panics if the graph's feature dimension disagrees with the
+    /// checkpoint.
+    pub fn from_checkpoint_with_lambda2(
+        ckpt: &nai_core::checkpoint::ModelCheckpoint,
+        graph: DynamicGraph,
+        lambda2: f32,
+    ) -> Self {
+        assert_eq!(
+            graph.feature_dim(),
+            ckpt.feature_dim,
+            "graph feature dim must match checkpoint"
+        );
+        Self::with_lambda2(
+            graph,
+            ckpt.build_classifiers(),
+            ckpt.build_gates(),
+            ckpt.gamma,
+            lambda2,
+        )
+    }
+
+    /// Builds `n` independent engine replicas ("shards") from one
+    /// checkpoint and seed graph: λ₂ is estimated once, then every
+    /// shard gets its own graph copy, stationary accumulators, and
+    /// scratch. Shards share no state — after deployment each evolves
+    /// with whatever mutations are routed to it (the `nai-serve`
+    /// ownership model).
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or the graph's feature dimension disagrees
+    /// with the checkpoint.
+    pub fn shard_replicas(
+        ckpt: &nai_core::checkpoint::ModelCheckpoint,
+        seed: &DynamicGraph,
+        n: usize,
+    ) -> Vec<Self> {
+        assert!(n > 0, "need at least one shard");
+        let lambda2 = Self::estimate_lambda2(seed, ckpt.gamma);
+        (0..n)
+            .map(|_| Self::from_checkpoint_with_lambda2(ckpt, seed.clone(), lambda2))
+            .collect()
+    }
+
     /// Highest trained depth `k`.
     pub fn k(&self) -> usize {
         self.classifiers.len()
@@ -146,7 +216,18 @@ impl StreamingEngine {
 
     /// Cumulative propagation + NAP + classification MACs.
     pub fn macs_total(&self) -> u64 {
-        self.macs_total
+        self.macs.total()
+    }
+
+    /// Cumulative MACs split by pipeline stage (exported per worker by
+    /// the serving layer's `/metrics`).
+    pub fn macs_breakdown(&self) -> MacsBreakdown {
+        self.macs
+    }
+
+    /// λ₂ estimated (or handed over) at deployment.
+    pub fn lambda2(&self) -> f32 {
+        self.lambda2
     }
 
     /// Clears accumulated latency statistics.
@@ -282,7 +363,7 @@ impl StreamingEngine {
         // by original batch row.
         let assigned: Vec<usize> = match cfg.nap {
             NapMode::UpperBound { ts } => {
-                self.macs_total += nodes.len() as u64 * 4;
+                self.macs.nap += nodes.len() as u64 * 4;
                 let total = self.graph.total_tilde_degree();
                 nodes
                     .iter()
@@ -332,7 +413,7 @@ impl StreamingEngine {
                 &mut scratch.h_next,
                 cfg.parallel_spmm,
             );
-            self.macs_total += step_macs;
+            self.macs.propagation += step_macs;
             scratch.plan.advance(support_l);
 
             scratch.active_rows.clear();
@@ -360,7 +441,7 @@ impl StreamingEngine {
                             let stat = scratch.x_inf.row(scratch.active.origs()[a]);
                             scratch.exit_mask[a] = l2_distance(cur, stat) < ts;
                         }
-                        self.macs_total += scratch.active.len() as u64 * napd::macs_per_node(f);
+                        self.macs.nap += scratch.active.len() as u64 * napd::macs_per_node(f);
                     }
                     NapMode::Gate => {
                         let gates = self.gates.as_ref().expect("validated above");
@@ -372,7 +453,7 @@ impl StreamingEngine {
                                 .zip(scratch.active.origs())
                                 .map(|(&r, &o)| (h_next.row(r), x_inf.row(o)));
                             gates.decide_rows(l, rows, &mut scratch.exit_mask);
-                            self.macs_total += scratch.active.len() as u64 * gates.macs_per_node();
+                            self.macs.nap += scratch.active.len() as u64 * gates.macs_per_node();
                         }
                     }
                     NapMode::UpperBound { .. } => {
@@ -391,7 +472,7 @@ impl StreamingEngine {
                     .map(|m| m.gather_rows(exited).expect("exit rows"))
                     .collect();
                 let logits = clf.forward(&exit_feats);
-                self.macs_total += exited.len() as u64 * clf.macs_per_node();
+                self.macs.classification += exited.len() as u64 * clf.macs_per_node();
                 let preds = argmax_rows(&logits);
                 for (t, &orig) in exited.iter().enumerate() {
                     results[orig] = (preds[t], l);
@@ -780,6 +861,48 @@ mod tests {
         assert!(se.graph().neighbors(a).contains(&b));
         let preds = se.flush(&InferenceConfig::distance(0.5, 1, 2));
         assert_eq!(preds.len(), 2);
+    }
+
+    #[test]
+    fn shard_replicas_share_lambda2_and_agree_with_solo_engine() {
+        let (g, split, t) = trained(200, 2);
+        let ckpt = nai_core::checkpoint::ModelCheckpoint::from_engine(&t.engine, 0.5);
+        let seed = DynamicGraph::from_graph(&g);
+        let mut shards = StreamingEngine::shard_replicas(&ckpt, &seed, 3);
+        assert_eq!(shards.len(), 3);
+        let mut solo = StreamingEngine::from_checkpoint(&ckpt, seed);
+        let solo_l2 = solo.lambda2();
+        let cfg = InferenceConfig::distance(0.5, 1, 2);
+        let reference = solo.infer_nodes(&split.test, &cfg);
+        for shard in &mut shards {
+            // λ₂ handed over, not re-estimated — bit-equal across shards.
+            assert_eq!(shard.lambda2(), solo_l2);
+            assert_eq!(shard.infer_nodes(&split.test, &cfg), reference);
+        }
+        // Shards are independent: a mutation on one is invisible to the
+        // others.
+        let before = shards[1].graph().num_nodes();
+        shards[0].ingest(&[0.1; 8], &[0, 1]);
+        assert_eq!(shards[1].graph().num_nodes(), before);
+        assert_eq!(shards[0].graph().num_nodes(), before + 1);
+    }
+
+    #[test]
+    fn macs_breakdown_sums_to_total_and_covers_stages() {
+        let (g, split, t) = trained(200, 3);
+        let mut se = engine_from(&t, &g);
+        assert_eq!(se.macs_breakdown(), crate::stats::MacsBreakdown::default());
+        se.infer_nodes(&split.test, &InferenceConfig::distance(0.5, 1, 3));
+        let b = se.macs_breakdown();
+        assert_eq!(b.total(), se.macs_total());
+        assert!(b.propagation > 0, "propagation MACs counted");
+        assert!(b.nap > 0, "distance NAP MACs counted");
+        assert!(b.classification > 0, "classifier MACs counted");
+        // Fixed mode spends nothing on NAP decisions.
+        let mut fixed = engine_from(&t, &g);
+        fixed.infer_nodes(&split.test, &InferenceConfig::fixed(2));
+        assert_eq!(fixed.macs_breakdown().nap, 0);
+        assert_eq!(fixed.macs_breakdown().total(), fixed.macs_total());
     }
 
     #[test]

@@ -34,4 +34,4 @@ pub mod stats;
 pub use dynamic::DynamicGraph;
 pub use engine::{StreamPrediction, StreamingEngine};
 pub use stationary::IncrementalStationary;
-pub use stats::LatencyStats;
+pub use stats::{LatencyStats, MacsBreakdown};

@@ -2,6 +2,35 @@
 
 use std::time::Duration;
 
+/// Cumulative multiply-accumulate counts split by pipeline stage.
+///
+/// The serving layer exports these per worker (`/metrics`); summing the
+/// fields gives the engine's `macs_total()`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MacsBreakdown {
+    /// Feature-propagation SpMM MACs (the Eq. (1) steps).
+    pub propagation: u64,
+    /// NAP exit decisions: distance checks, gate forwards, Eq. (10)
+    /// bound evaluations.
+    pub nap: u64,
+    /// Per-depth classifier forwards at exit time.
+    pub classification: u64,
+}
+
+impl MacsBreakdown {
+    /// Sum over all stages.
+    pub fn total(&self) -> u64 {
+        self.propagation + self.nap + self.classification
+    }
+
+    /// Accumulates another breakdown (cross-worker aggregation).
+    pub fn merge(&mut self, other: &MacsBreakdown) {
+        self.propagation += other.propagation;
+        self.nap += other.nap;
+        self.classification += other.classification;
+    }
+}
+
 /// Accumulates per-arrival latencies and exit depths.
 #[derive(Debug, Clone, Default)]
 pub struct LatencyStats {
@@ -21,6 +50,16 @@ impl LatencyStats {
         self.latencies.push(latency);
         self.depth_sum += depth as u64;
         self.total_busy += latency;
+    }
+
+    /// Absorbs another accumulator, as if every one of its samples had
+    /// been [`Self::record`]ed here: quantiles over the merged
+    /// accumulator equal quantiles over the concatenated sample sets.
+    /// Used to aggregate per-worker stats for `/metrics`.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.latencies.extend_from_slice(&other.latencies);
+        self.depth_sum += other.depth_sum;
+        self.total_busy += other.total_busy;
     }
 
     /// Number of recorded predictions.
@@ -49,14 +88,30 @@ impl LatencyStats {
     /// # Panics
     /// Panics if `q` is outside `[0, 1]`.
     pub fn quantile(&self, q: f64) -> Duration {
-        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        self.quantiles(&[q])[0]
+    }
+
+    /// Several nearest-rank quantiles from one sort of the samples —
+    /// what a metrics endpoint should call instead of `quantile` three
+    /// times.
+    ///
+    /// # Panics
+    /// Panics if any `q` is outside `[0, 1]`.
+    pub fn quantiles(&self, qs: &[f64]) -> Vec<Duration> {
+        for q in qs {
+            assert!((0.0..=1.0).contains(q), "quantile must be in [0, 1]");
+        }
         if self.latencies.is_empty() {
-            return Duration::ZERO;
+            return vec![Duration::ZERO; qs.len()];
         }
         let mut sorted = self.latencies.clone();
         sorted.sort_unstable();
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        sorted[rank - 1]
+        qs.iter()
+            .map(|&q| {
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                sorted[rank - 1]
+            })
+            .collect()
     }
 
     /// Median latency.
@@ -149,5 +204,81 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn out_of_range_quantile_panics() {
         let _ = stats_of(&[1]).quantile(1.5);
+    }
+
+    #[test]
+    fn batched_quantiles_match_individual_calls() {
+        let s = stats_of(&[9, 1, 40, 3, 7, 7, 2, 100, 5, 6, 8, 11]);
+        let batch = s.quantiles(&[0.0, 0.5, 0.95, 0.99, 1.0]);
+        for (i, &q) in [0.0, 0.5, 0.95, 0.99, 1.0].iter().enumerate() {
+            assert_eq!(batch[i], s.quantile(q), "q={q}");
+        }
+        assert_eq!(
+            LatencyStats::new().quantiles(&[0.5, 0.99]),
+            vec![Duration::ZERO; 2]
+        );
+    }
+
+    #[test]
+    fn merged_quantiles_equal_concatenated_quantiles() {
+        // Three disjoint per-worker accumulators vs one accumulator fed
+        // every sample: all quantiles and aggregates must coincide.
+        let parts: [&[u64]; 3] = [&[9, 1, 40, 3], &[7, 7, 2], &[100, 5, 6, 8, 11]];
+        let mut merged = LatencyStats::new();
+        let mut concatenated = LatencyStats::new();
+        for (w, part) in parts.iter().enumerate() {
+            let mut worker = LatencyStats::new();
+            for (i, &ms) in part.iter().enumerate() {
+                worker.record(Duration::from_millis(ms), (w + i) % 4 + 1);
+                concatenated.record(Duration::from_millis(ms), (w + i) % 4 + 1);
+            }
+            merged.merge(&worker);
+        }
+        assert_eq!(merged.count(), concatenated.count());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(merged.quantile(q), concatenated.quantile(q), "q={q}");
+        }
+        assert_eq!(merged.mean_latency(), concatenated.mean_latency());
+        assert_eq!(merged.max(), concatenated.max());
+        assert!((merged.mean_depth() - concatenated.mean_depth()).abs() < 1e-12);
+        assert!((merged.throughput() - concatenated.throughput()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_into_empty_and_with_empty() {
+        let s = stats_of(&[4, 2, 9]);
+        let mut from_empty = LatencyStats::new();
+        from_empty.merge(&s);
+        assert_eq!(from_empty.count(), 3);
+        assert_eq!(from_empty.p50(), s.p50());
+        let mut with_empty = s.clone();
+        with_empty.merge(&LatencyStats::new());
+        assert_eq!(with_empty.count(), 3);
+        assert_eq!(with_empty.max(), s.max());
+    }
+
+    #[test]
+    fn macs_breakdown_totals_and_merges() {
+        let mut a = MacsBreakdown {
+            propagation: 100,
+            nap: 20,
+            classification: 3,
+        };
+        assert_eq!(a.total(), 123);
+        let b = MacsBreakdown {
+            propagation: 1,
+            nap: 2,
+            classification: 3,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            MacsBreakdown {
+                propagation: 101,
+                nap: 22,
+                classification: 6,
+            }
+        );
+        assert_eq!(MacsBreakdown::default().total(), 0);
     }
 }

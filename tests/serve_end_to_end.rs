@@ -1,0 +1,279 @@
+//! Integration: the online serving stack over real sockets.
+//!
+//! Boots `nai::serve` on an ephemeral port and drives it with
+//! concurrent clients, then checks the serving contract:
+//!
+//! * **shard determinism** — replies to a closed-loop per-shard
+//!   ingest/infer sequence are identical to a single-threaded
+//!   [`StreamingEngine`] fed the same sequence (closed-loop clients
+//!   put at most one op per shard in any micro-batch, so the worker's
+//!   run coalescing degenerates to exactly the oracle's
+//!   `ingest → flush` / `infer_nodes` cadence);
+//! * **bounded admission** — beyond `queue_cap` in-flight requests the
+//!   service answers `overloaded` immediately (HTTP 503 on single-line
+//!   bodies), it never hangs, and admitted requests still complete;
+//! * `/healthz`, `/metrics`, and `/shutdown` behave.
+
+use nai::core::config::{InferenceConfig, LoadShedPolicy, ServeConfig};
+use nai::models::{DepthClassifier, ModelKind};
+use nai::serve::{HttpClient, Json, NaiService, Op, Server};
+use nai::stream::{DynamicGraph, StreamingEngine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const F: usize = 6;
+const K: usize = 2;
+const CLASSES: usize = 4;
+const SEED_NODES: usize = 90;
+
+/// Engines with deterministic (seeded, untrained) weights: every call
+/// builds a bit-identical replica, so shards and oracles agree.
+fn engine() -> StreamingEngine {
+    let g = nai::graph::generators::generate(
+        &nai::graph::generators::GeneratorConfig {
+            num_nodes: SEED_NODES,
+            num_classes: CLASSES,
+            feature_dim: F,
+            avg_degree: 5.0,
+            ..Default::default()
+        },
+        &mut StdRng::seed_from_u64(41),
+    );
+    let mut rng = StdRng::seed_from_u64(42);
+    let classifiers: Vec<DepthClassifier> = (1..=K)
+        .map(|d| DepthClassifier::new(ModelKind::Sgc, d, F, CLASSES, &[8], 0.0, &mut rng))
+        .collect();
+    StreamingEngine::with_lambda2(DynamicGraph::from_graph(&g), classifiers, None, 0.5, 0.9)
+}
+
+fn infer_cfg() -> InferenceConfig {
+    InferenceConfig::distance(0.5, 1, K)
+}
+
+/// A deterministic closed-loop script for one shard: ingests grow the
+/// shard, infers read both seed and previously ingested nodes.
+fn client_script(seed: u64, len: usize) -> Vec<Op> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes = SEED_NODES as u32;
+    (0..len)
+        .map(|i| {
+            if i % 3 == 1 {
+                let neighbors: Vec<u32> = (0..3).map(|_| rng.gen_range(0..nodes)).collect();
+                nodes += 1;
+                Op::Ingest {
+                    features: (0..F).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
+                    neighbors,
+                }
+            } else {
+                Op::Infer {
+                    nodes: (0..2).map(|_| rng.gen_range(0..nodes)).collect(),
+                }
+            }
+        })
+        .collect()
+}
+
+fn render_line(op: &Op, shard: usize) -> String {
+    let line = nai::serve::proto::render_request(&nai::serve::Request {
+        op: op.clone(),
+        shard: Some(shard),
+    });
+    format!("{line}\n")
+}
+
+#[test]
+fn concurrent_clients_match_single_threaded_oracle_per_shard() {
+    const SHARDS: usize = 2;
+    const OPS: usize = 24;
+    let engines: Vec<StreamingEngine> = (0..SHARDS).map(|_| engine()).collect();
+    let service = NaiService::new(
+        engines,
+        infer_cfg(),
+        ServeConfig {
+            workers: SHARDS,
+            max_batch: 8,
+            max_wait: Duration::from_millis(1),
+            queue_cap: 256,
+            shed: LoadShedPolicy {
+                trigger_fraction: 1.0,
+                t_max_cap: 0, // shedding off: depths must match the oracle
+            },
+        },
+    )
+    .unwrap();
+    let server = Server::start(Arc::new(service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let scripts: Vec<Vec<Op>> = (0..SHARDS)
+        .map(|s| client_script(7000 + s as u64, OPS))
+        .collect();
+
+    // Drive each shard from its own client thread, concurrently, over
+    // real sockets; collect the parsed reply JSON per request.
+    let replies: Vec<Vec<Json>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..SHARDS)
+            .map(|s| {
+                let script = &scripts[s];
+                scope.spawn(move || {
+                    let mut client = HttpClient::connect(addr).unwrap();
+                    script
+                        .iter()
+                        .map(|op| {
+                            let (status, body) = client
+                                .request("POST", "/v1", Some(&render_line(op, s)))
+                                .unwrap();
+                            assert_eq!(status, 200, "body: {body}");
+                            Json::parse(body.trim()).unwrap()
+                        })
+                        .collect::<Vec<Json>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Replay every script on a fresh single-threaded engine and demand
+    // identical answers.
+    for (s, script) in scripts.iter().enumerate() {
+        let mut oracle = engine();
+        for (op, reply) in script.iter().zip(&replies[s]) {
+            assert_eq!(
+                reply.get("ok").and_then(Json::as_bool),
+                Some(true),
+                "shard {s}: {reply}"
+            );
+            assert_eq!(reply.get("shard").and_then(Json::as_u64), Some(s as u64));
+            match op {
+                Op::Infer { nodes } => {
+                    let expected = oracle.infer_nodes(nodes, &infer_cfg());
+                    let results = reply.get("results").unwrap().as_arr().unwrap();
+                    assert_eq!(results.len(), nodes.len());
+                    for ((r, &node), &(pred, depth)) in results.iter().zip(nodes).zip(&expected) {
+                        assert_eq!(r.get("node").unwrap().as_u64(), Some(node as u64));
+                        assert_eq!(r.get("prediction").unwrap().as_u64(), Some(pred as u64));
+                        assert_eq!(r.get("depth").unwrap().as_u64(), Some(depth as u64));
+                    }
+                }
+                Op::Ingest {
+                    features,
+                    neighbors,
+                } => {
+                    let id = oracle.ingest(features, neighbors);
+                    let expected = oracle.flush(&infer_cfg());
+                    assert_eq!(reply.get("node").unwrap().as_u64(), Some(id as u64));
+                    assert_eq!(
+                        reply.get("prediction").unwrap().as_u64(),
+                        Some(expected[0].prediction as u64)
+                    );
+                    assert_eq!(
+                        reply.get("depth").unwrap().as_u64(),
+                        Some(expected[0].depth as u64)
+                    );
+                }
+                Op::ObserveEdge { .. } => unreachable!("script has no edge ops"),
+            }
+        }
+    }
+
+    // Health and metrics reflect the traffic that just happened.
+    let mut client = HttpClient::connect(addr).unwrap();
+    let (status, body) = client.request("GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    let health = Json::parse(body.trim()).unwrap();
+    assert_eq!(health.get("shards").unwrap().as_u64(), Some(SHARDS as u64));
+    assert_eq!(
+        health.get("seed_nodes").unwrap().as_u64(),
+        Some(SEED_NODES as u64)
+    );
+    let (status, body) = client.request("GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    let metrics = Json::parse(body.trim()).unwrap();
+    // 2 shards × 24 ops: infers answer 2 nodes each, ingests 1.
+    let served = metrics.get("served").unwrap().as_u64().unwrap();
+    assert!(served >= (SHARDS * OPS) as u64, "served {served}");
+    assert_eq!(metrics.get("overloaded").unwrap().as_u64(), Some(0));
+    assert!(
+        metrics
+            .get("macs")
+            .unwrap()
+            .get("propagation")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    drop(client);
+
+    let (status, _) = nai::serve::http_call(addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(status, 200);
+    server.join();
+}
+
+#[test]
+fn queue_overflow_returns_overloaded_not_a_hang() {
+    const CAP: usize = 3;
+    const CLIENTS: usize = 12;
+    let service = NaiService::new(
+        vec![engine()],
+        infer_cfg(),
+        ServeConfig {
+            workers: 1,
+            // A large batch + long deadline keeps admitted requests in
+            // flight while the burst lands, so the bound must trip.
+            max_batch: 1024,
+            max_wait: Duration::from_millis(400),
+            queue_cap: CAP,
+            shed: LoadShedPolicy {
+                trigger_fraction: 1.0,
+                t_max_cap: 0,
+            },
+        },
+    )
+    .unwrap();
+    let server = Server::start(Arc::new(service), "127.0.0.1:0").unwrap();
+    let addr = server.local_addr();
+
+    let start = Instant::now();
+    let outcomes: Vec<(u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                scope.spawn(move || {
+                    let body = format!("{{\"op\":\"infer\",\"nodes\":[{}]}}\n", i % SEED_NODES);
+                    let (status, body) =
+                        nai::serve::http_call(addr, "POST", "/v1", Some(&body)).unwrap();
+                    let kind = Json::parse(body.trim())
+                        .unwrap()
+                        .get("error")
+                        .and_then(Json::as_str)
+                        .unwrap_or("ok")
+                        .to_string();
+                    (status, kind)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    // Every client got an answer, promptly — nobody hung on a full queue.
+    assert!(
+        start.elapsed() < Duration::from_secs(15),
+        "took {:?}",
+        start.elapsed()
+    );
+    assert_eq!(outcomes.len(), CLIENTS);
+    let overloaded = outcomes
+        .iter()
+        .filter(|(status, kind)| kind == "overloaded" && *status == 503)
+        .count();
+    let ok = outcomes.iter().filter(|(_, kind)| kind == "ok").count();
+    assert_eq!(ok + overloaded, CLIENTS, "outcomes: {outcomes:?}");
+    assert!(
+        overloaded >= CLIENTS - 2 * CAP,
+        "expected most of the burst shed, got {overloaded} of {CLIENTS}"
+    );
+    assert!(ok >= 1, "the admitted requests must still be answered");
+
+    server.shutdown();
+    server.join();
+}
