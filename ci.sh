@@ -62,6 +62,25 @@ serve_smoke() {
   curl -sf "http://$addr/healthz" | grep -q '"status":"ok"'
   curl -sf -X POST --data '{"op":"infer","nodes":[1,2,3]}' "http://$addr/v1" \
     | grep -q '"ok":true'
+  # Sequenced replication: ingest a node (no shard routing) and read it
+  # straight back; round-robin dispatch over the 2 workers means the
+  # reads land on different replicas than the ingest, and every one
+  # must know the new id — never an "out of range" error.
+  local fdim feats node read
+  fdim=$(curl -sf "http://$addr/healthz" | sed -n 's/.*"feature_dim":\([0-9]*\).*/\1/p')
+  [ -n "$fdim" ]
+  feats=$(printf '0.5,%.0s' $(seq 1 "$fdim"))
+  feats="[${feats%,}]"
+  node=$(curl -sf -X POST \
+    --data "{\"op\":\"ingest\",\"features\":$feats,\"neighbors\":[0,1]}" \
+    "http://$addr/v1" | sed -n 's/.*"node":\([0-9]*\).*/\1/p')
+  [ -n "$node" ]
+  for _ in 1 2; do
+    read=$(curl -sf -X POST --data "{\"op\":\"infer\",\"nodes\":[$node]}" \
+      "http://$addr/v1")
+    echo "$read" | grep -q '"ok":true'
+    ! echo "$read" | grep -q 'out of range'
+  done
   "$bin" loadgen --addr "$addr" --requests 40 --clients 2 --mode mixed --shutdown
   wait "$pid"
   pid=""

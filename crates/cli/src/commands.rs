@@ -448,6 +448,11 @@ pub fn serve(args: &ParsedArgs) -> CliResult {
 }
 
 /// `nai loadgen`: closed-loop load driver against a running server.
+///
+/// Requests carry no `shard` routing — mutations are sequenced and
+/// replicated server-side, so each client simply reads back any node
+/// id it has learned about, including the ids of its own ingests
+/// (read-your-writes with no client routing contract).
 pub fn loadgen(args: &ParsedArgs) -> CliResult {
     args.finish(&[
         "addr",
@@ -514,12 +519,16 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
                         return;
                     }
                 };
+                // Exclusive bound of the node ids this client knows to
+                // exist: the seed graph plus every ingest it has had
+                // acknowledged — any replica must serve all of them.
+                let mut known_nodes = seed_nodes;
                 for i in 0..share {
                     let op = match mode.as_str() {
-                        "ingest" => ingest_op(&mut rng, seed_nodes, feature_dim),
-                        "infer" => infer_op(&mut rng, seed_nodes, per),
-                        _ if i % 3 == 2 => ingest_op(&mut rng, seed_nodes, feature_dim),
-                        _ => infer_op(&mut rng, seed_nodes, per),
+                        "ingest" => ingest_op(&mut rng, known_nodes, feature_dim),
+                        "infer" => infer_op(&mut rng, known_nodes, per),
+                        _ if i % 3 == 2 => ingest_op(&mut rng, known_nodes, feature_dim),
+                        _ => infer_op(&mut rng, known_nodes, per),
                     };
                     let line =
                         nai_serve::proto::render_request(&nai_serve::Request { op, shard: None });
@@ -532,6 +541,14 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
                                     if v.get("ok").and_then(nai_serve::Json::as_bool)
                                         == Some(true) =>
                                 {
+                                    if let Some(node) =
+                                        v.get("node").and_then(nai_serve::Json::as_u64)
+                                    {
+                                        // Ingest ack: the id is valid
+                                        // service-wide from now on.
+                                        known_nodes =
+                                            known_nodes.max((node as u32).saturating_add(1));
+                                    }
                                     let depth = v
                                         .get("depth")
                                         .or_else(|| {
@@ -599,18 +616,18 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
     Ok(())
 }
 
-fn infer_op(rng: &mut StdRng, seed_nodes: u32, per: usize) -> nai_serve::Op {
+fn infer_op(rng: &mut StdRng, known_nodes: u32, per: usize) -> nai_serve::Op {
     nai_serve::Op::Infer {
-        nodes: (0..per).map(|_| rng.gen_range(0..seed_nodes)).collect(),
+        nodes: (0..per).map(|_| rng.gen_range(0..known_nodes)).collect(),
     }
 }
 
-fn ingest_op(rng: &mut StdRng, seed_nodes: u32, feature_dim: usize) -> nai_serve::Op {
+fn ingest_op(rng: &mut StdRng, known_nodes: u32, feature_dim: usize) -> nai_serve::Op {
     nai_serve::Op::Ingest {
         features: (0..feature_dim)
             .map(|_| rng.gen_range(-1.0f32..1.0))
             .collect(),
-        neighbors: (0..3).map(|_| rng.gen_range(0..seed_nodes)).collect(),
+        neighbors: (0..3).map(|_| rng.gen_range(0..known_nodes)).collect(),
     }
 }
 

@@ -1,5 +1,7 @@
 //! A tiny HTTP/1.1 client for the `nai loadgen` driver and the
 //! end-to-end tests — one keep-alive connection, blocking requests.
+//! Clients carry no shard-routing state: the service replicates every
+//! mutation to all shards, so any connection can issue any request.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};

@@ -418,6 +418,9 @@ fn metrics_json(service: &NaiService) -> Json {
                 ("propagation", Json::uint(m.macs.propagation)),
                 ("nap", Json::uint(m.macs.nap)),
                 ("classification", Json::uint(m.macs.classification)),
+                // Replicated mutation work, attributed once (max over
+                // replicas) — never multiplied by the shard count.
+                ("replication", Json::uint(m.macs.replication)),
                 ("total", Json::uint(m.macs.total())),
             ]),
         ),

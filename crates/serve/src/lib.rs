@@ -9,11 +9,16 @@
 //! * [`service::NaiService`] — a **dynamic micro-batcher** (requests
 //!   coalesce until `max_batch` or a `max_wait` deadline — the Fig. 5
 //!   batch-size/latency trade-off as a runtime policy) feeding a
-//!   **worker pool** of engine shards, each owning its replica and
-//!   amortized scratch; **admission control** rejects work beyond a
-//!   bounded in-flight cap with a typed `Overloaded` (never a hang),
-//!   and a **load-shed policy** lowers the NAP depth budget under
-//!   queue pressure — the paper's accuracy↔latency dial driven by load;
+//!   **worker pool** of engine replicas kept convergent by **sequenced
+//!   mutation replication**: every ingest/edge arrival is stamped with
+//!   a monotonic sequence number, validated once, and broadcast to
+//!   every replica, which applies its batch's mutation prefix in
+//!   sequence order before serving reads — so any replica answers any
+//!   node and clients never route; **admission control** rejects work
+//!   beyond a bounded in-flight cap with a typed `Overloaded` (never a
+//!   hang), and a **load-shed policy** lowers the NAP depth budget
+//!   under queue pressure — the paper's accuracy↔latency dial driven
+//!   by load;
 //! * [`http::Server`] — a minimal HTTP/1.1 transport over
 //!   [`std::net::TcpListener`] with newline-JSON bodies (`POST /v1`)
 //!   plus `/healthz`, `/metrics` (merged p50/p95/p99, queue depth,
@@ -27,10 +32,13 @@
 //! clients ──HTTP──▶ Server ──submit──▶ NaiService ──batches──▶ shard engines
 //! ```
 //!
-//! Correctness contract (checked in `tests/serve_end_to_end.rs`): for
-//! any per-shard closed-loop request sequence, replies are identical to
-//! a single-threaded [`nai_stream::StreamingEngine`] fed the same
-//! sequence.
+//! Correctness contract (checked in the workspace's
+//! `tests/serve_end_to_end.rs` and `tests/replica_convergence.rs`):
+//! for a closed-loop request sequence — mutations and reads freely
+//! interleaved, dispatched round-robin over any number of shards with
+//! no routing hints — replies are identical to a single-threaded
+//! [`nai_stream::StreamingEngine`] fed the same sequence, and after a
+//! drain every replica holds the identical graph.
 
 pub mod client;
 pub mod http;
@@ -122,8 +130,13 @@ mod tests {
             })
             .unwrap()
         {
-            Reply::Infer { shard, results } => {
+            Reply::Infer {
+                shard,
+                applied_seq,
+                results,
+            } => {
                 assert_eq!(shard, 0);
+                assert_eq!(applied_seq, 0, "no mutations sequenced yet");
                 let got: Vec<(usize, usize)> =
                     results.iter().map(|r| (r.prediction, r.depth)).collect();
                 assert_eq!(got, expected);
@@ -155,11 +168,13 @@ mod tests {
         {
             Reply::Ingest {
                 shard,
+                applied_seq,
                 node,
                 prediction,
                 depth,
             } => {
                 assert_eq!(shard, 0);
+                assert_eq!(applied_seq, 1, "first sequenced mutation");
                 assert_eq!(node, oid);
                 assert_eq!(prediction, opred[0].prediction);
                 assert_eq!(depth, opred[0].depth);
@@ -232,11 +247,11 @@ mod tests {
     }
 
     #[test]
-    fn round_robin_assigns_owners_and_replies_name_them() {
+    fn replicated_ingests_assign_global_ids_any_replica_serves_them() {
         let shards = engine_shards(40, 3, 5);
         let service = NaiService::new(shards, infer_cfg(), serve_cfg(3)).unwrap();
-        let mut owners = Vec::new();
-        for _ in 0..6 {
+        let mut answerers = Vec::new();
+        for i in 0..6u32 {
             match service
                 .call(Request {
                     op: Op::Ingest {
@@ -247,19 +262,158 @@ mod tests {
                 })
                 .unwrap()
             {
-                Reply::Ingest { shard, node, .. } => {
-                    owners.push(shard);
-                    // Every shard starts at 40 nodes; the assigned id
-                    // reflects only that shard's mutations.
-                    assert!(node >= 40);
+                Reply::Ingest {
+                    shard,
+                    applied_seq,
+                    node,
+                    ..
+                } => {
+                    answerers.push(shard);
+                    // Sequenced replication: ids are globally
+                    // sequential whatever replica answers.
+                    assert_eq!(node, 40 + i);
+                    assert_eq!(applied_seq, (i + 1) as u64);
                 }
                 other => panic!("unexpected reply {other:?}"),
             }
         }
-        // Closed-loop round-robin touches every shard.
+        // Closed-loop round-robin spreads the answering work.
         for s in 0..3 {
-            assert!(owners.contains(&s), "shard {s} never assigned: {owners:?}");
+            assert!(
+                answerers.contains(&s),
+                "shard {s} never answered: {answerers:?}"
+            );
         }
+        // Read-your-writes on *every* replica: each ingested id is in
+        // range and served by each shard when pinned via the hint.
+        for s in 0..3 {
+            match service
+                .call(Request {
+                    op: Op::Infer {
+                        nodes: vec![40, 43, 45],
+                    },
+                    shard: Some(s),
+                })
+                .unwrap()
+            {
+                Reply::Infer {
+                    shard,
+                    applied_seq,
+                    results,
+                } => {
+                    assert_eq!(shard, s, "hint honored");
+                    assert_eq!(applied_seq, 6);
+                    assert_eq!(results.len(), 3);
+                }
+                other => panic!("replica {s} failed the replicated read: {other:?}"),
+            }
+        }
+        // Replicas drained into identical graphs.
+        let engines = service.into_engines();
+        assert_eq!(engines.len(), 3);
+        let reference = engines[0].graph().snapshot_csr();
+        for e in &engines[1..] {
+            assert_eq!(e.graph().num_nodes(), 46);
+            let csr = e.graph().snapshot_csr();
+            assert_eq!(csr.nnz(), reference.nnz());
+            for i in 0..46 {
+                assert_eq!(csr.row_indices(i), reference.row_indices(i), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_macs_are_shard_count_independent() {
+        // The same mutation-only closed-loop workload on 1 and 3
+        // replicas must report identical total MACs: inference stages
+        // run on one replica per request, and the replication stage is
+        // attributed once however many replicas applied the mutation.
+        let run = |n_shards: usize| {
+            let service = NaiService::new(
+                engine_shards(50, n_shards, 19),
+                infer_cfg(),
+                serve_cfg(n_shards),
+            )
+            .unwrap();
+            for i in 0..8u32 {
+                let reply = service
+                    .call(Request {
+                        op: Op::Ingest {
+                            features: vec![0.05 * i as f32; F],
+                            neighbors: vec![i, i + 1],
+                        },
+                        shard: None,
+                    })
+                    .unwrap();
+                assert!(matches!(reply, Reply::Ingest { .. }), "{reply:?}");
+                let reply = service
+                    .call(Request {
+                        op: Op::ObserveEdge { u: 2 * i, v: 49 },
+                        shard: None,
+                    })
+                    .unwrap();
+                assert!(matches!(reply, Reply::Edge { .. }), "{reply:?}");
+            }
+            // Drain so every worker has stored its final MACs.
+            service.shutdown();
+            let m = service.metrics();
+            assert!(m.macs.replication > 0, "mutation work counted");
+            m.macs
+        };
+        let solo = run(1);
+        let replicated = run(3);
+        assert_eq!(
+            solo.total(),
+            replicated.total(),
+            "solo {solo:?} vs replicated {replicated:?}"
+        );
+        assert_eq!(solo, replicated);
+    }
+
+    #[test]
+    fn panicking_worker_repairs_admission_and_is_marked_dead() {
+        // Gate-mode inference without trained gates panics inside the
+        // engine: the worker must die without leaking its admission
+        // slot, and the scheduler must answer later requests with a
+        // typed error instead of hanging.
+        let shards = engine_shards(30, 1, 27);
+        let service = NaiService::new(shards, InferenceConfig::gate(1, K), serve_cfg(1)).unwrap();
+        let t = service
+            .submit(Request {
+                op: Op::Infer { nodes: vec![0] },
+                shard: None,
+            })
+            .unwrap();
+        // The worker dies mid-batch; the client sees a timeout, not a
+        // reply, and the in-flight slot is repaired.
+        assert!(matches!(
+            t.wait(Duration::from_secs(5)),
+            Err(crate::ServeError::Timeout)
+        ));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while service.queue_depth() != 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(service.queue_depth(), 0, "admission slot repaired");
+        // Later requests get a typed error, never a hang: a submission
+        // racing the worker's unwind lands in its channel and is
+        // answered by the dying worker's drain loop ("worker is
+        // gone"); once the scheduler has reaped the dead flag, jobs
+        // are answered at dispatch ("no live shard workers"). Either
+        // way every admission slot comes back.
+        for _ in 0..3 {
+            match service.call(Request {
+                op: Op::Infer { nodes: vec![1] },
+                shard: None,
+            }) {
+                Ok(Reply::Error { message }) => assert!(
+                    message.contains("worker is gone") || message.contains("no live shard"),
+                    "{message}"
+                ),
+                other => panic!("expected typed error, got {other:?}"),
+            }
+        }
+        assert_eq!(service.queue_depth(), 0, "no slot leaked past the drain");
     }
 
     #[test]
@@ -372,9 +526,10 @@ mod tests {
         assert_eq!(m.served, 20);
         assert!(m.macs.propagation > 0);
         assert!(m.macs.classification > 0);
+        assert_eq!(m.macs.replication, 0, "read-only workload");
         assert_eq!(
             m.macs.total(),
-            m.macs.propagation + m.macs.nap + m.macs.classification
+            m.macs.propagation + m.macs.nap + m.macs.classification + m.macs.replication
         );
         assert!(m.batches >= 1);
         assert_eq!(m.queue_depth, 0, "closed loop leaves nothing in flight");

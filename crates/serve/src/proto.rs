@@ -1,21 +1,30 @@
 //! The newline-JSON request/reply protocol.
 //!
 //! One request per line. Every request is an object with an `"op"`
-//! discriminator and an optional `"shard"` routing field:
+//! discriminator and an optional `"shard"` **affinity hint**:
 //!
 //! ```text
 //! {"op":"infer","nodes":[0,17,42]}
-//! {"op":"ingest","features":[0.1,0.2],"neighbors":[3,9],"shard":1}
-//! {"op":"observe_edge","u":3,"v":9,"shard":1}
+//! {"op":"ingest","features":[0.1,0.2],"neighbors":[3,9]}
+//! {"op":"observe_edge","u":3,"v":9}
 //! ```
 //!
+//! Clients never need to route: mutations are stamped with a global
+//! sequence number and replicated to every shard, so any replica can
+//! serve any node and an ingested node id is valid service-wide. The
+//! `"shard"` hint only biases which replica computes the reply (e.g.
+//! for measurement); it has no correctness meaning.
+//!
 //! Replies mirror the request order, one JSON object per line, each
-//! carrying `"ok"` plus either the result or an `"error"` kind:
+//! carrying `"ok"` plus either the result or an `"error"` kind, and —
+//! on success — the `"applied_seq"` sequence point of the serving
+//! replica (the mutation sequence number its state included when the
+//! reply was computed):
 //!
 //! ```text
-//! {"ok":true,"op":"infer","shard":0,"results":[{"node":0,"prediction":2,"depth":1},...]}
-//! {"ok":true,"op":"ingest","shard":1,"node":205,"prediction":0,"depth":2}
-//! {"ok":true,"op":"observe_edge","shard":1,"added":true}
+//! {"ok":true,"op":"infer","shard":0,"applied_seq":7,"results":[{"node":0,"prediction":2,"depth":1},...]}
+//! {"ok":true,"op":"ingest","shard":1,"applied_seq":8,"node":205,"prediction":0,"depth":2}
+//! {"ok":true,"op":"observe_edge","shard":1,"applied_seq":9,"added":true}
 //! {"ok":false,"error":"overloaded"}
 //! ```
 
@@ -24,20 +33,21 @@ use crate::json::Json;
 /// One graph-serving operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
-    /// Classify existing nodes (read — safe to fan out to any shard).
+    /// Classify existing nodes (read — served by any replica).
     Infer {
         /// Node ids to classify.
         nodes: Vec<u32>,
     },
     /// A node arrival: append it and answer its prediction (mutation —
-    /// lands on the owning shard).
+    /// sequenced and replicated to every shard).
     Ingest {
         /// The arriving node's features.
         features: Vec<f32>,
         /// Existing nodes it attaches to.
         neighbors: Vec<u32>,
     },
-    /// An edge arrival between existing nodes (mutation).
+    /// An edge arrival between existing nodes (mutation — sequenced and
+    /// replicated to every shard).
     ObserveEdge {
         /// One endpoint.
         u: u32,
@@ -46,24 +56,24 @@ pub enum Op {
     },
 }
 
-/// A routed operation: what to do and, optionally, on which shard.
+/// An operation plus an optional replica affinity hint.
 ///
-/// Without an explicit shard, reads and ingests are assigned
-/// round-robin by the scheduler (ingest replies report the owning
-/// shard so follow-ups can target it); `observe_edge` defaults to
-/// shard 0.
+/// The hint names the replica that computes (and answers) the request;
+/// without one, the scheduler assigns replicas round-robin. Mutations
+/// are applied on *every* replica regardless of the hint — routing is
+/// a load-balancing preference, never a consistency contract.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// The operation.
     pub op: Op,
-    /// Explicit shard routing, if any.
+    /// Replica affinity hint, if any.
     pub shard: Option<usize>,
 }
 
 /// One per-node classification result.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct NodeResult {
-    /// Node id on the serving shard.
+    /// Node id (globally valid — every replica knows it).
     pub node: u32,
     /// Predicted class.
     pub prediction: usize,
@@ -76,16 +86,24 @@ pub struct NodeResult {
 pub enum Reply {
     /// Answer to [`Op::Infer`].
     Infer {
-        /// Shard that served the read.
+        /// Replica that served the read (informational).
         shard: usize,
+        /// Mutation sequence number the serving replica's state
+        /// included when this read executed.
+        applied_seq: u64,
         /// One result per requested node, in request order.
         results: Vec<NodeResult>,
     },
     /// Answer to [`Op::Ingest`].
     Ingest {
-        /// Owning shard (route follow-up mutations here).
+        /// Replica that computed the prediction (informational — the
+        /// node exists on every replica).
         shard: usize,
-        /// Assigned node id on that shard.
+        /// Mutation sequence number the serving replica's state
+        /// included when the prediction was computed (≥ this ingest's
+        /// own sequence number).
+        applied_seq: u64,
+        /// Assigned node id, valid on every replica.
         node: u32,
         /// Predicted class for the arrival.
         prediction: usize,
@@ -94,8 +112,11 @@ pub enum Reply {
     },
     /// Answer to [`Op::ObserveEdge`].
     Edge {
-        /// Shard that applied the mutation.
+        /// Replica that answered (the mutation is applied everywhere).
         shard: usize,
+        /// This edge arrival's own sequence number (the answering
+        /// replica replies at the moment it applies it).
+        applied_seq: u64,
         /// `false` when the edge already existed.
         added: bool,
     },
@@ -218,10 +239,15 @@ pub fn render_request(req: &Request) -> String {
 /// Renders a reply as one wire line.
 pub fn render_reply(reply: &Reply) -> String {
     match reply {
-        Reply::Infer { shard, results } => Json::obj(vec![
+        Reply::Infer {
+            shard,
+            applied_seq,
+            results,
+        } => Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("op", Json::str("infer")),
             ("shard", Json::uint(*shard as u64)),
+            ("applied_seq", Json::uint(*applied_seq)),
             (
                 "results",
                 Json::Arr(
@@ -240,6 +266,7 @@ pub fn render_reply(reply: &Reply) -> String {
         ]),
         Reply::Ingest {
             shard,
+            applied_seq,
             node,
             prediction,
             depth,
@@ -247,14 +274,20 @@ pub fn render_reply(reply: &Reply) -> String {
             ("ok", Json::Bool(true)),
             ("op", Json::str("ingest")),
             ("shard", Json::uint(*shard as u64)),
+            ("applied_seq", Json::uint(*applied_seq)),
             ("node", Json::uint(*node as u64)),
             ("prediction", Json::uint(*prediction as u64)),
             ("depth", Json::uint(*depth as u64)),
         ]),
-        Reply::Edge { shard, added } => Json::obj(vec![
+        Reply::Edge {
+            shard,
+            applied_seq,
+            added,
+        } => Json::obj(vec![
             ("ok", Json::Bool(true)),
             ("op", Json::str("observe_edge")),
             ("shard", Json::uint(*shard as u64)),
+            ("applied_seq", Json::uint(*applied_seq)),
             ("added", Json::Bool(*added)),
         ]),
         Reply::Error { message } => error_line("invalid", Some(message)),
@@ -365,9 +398,10 @@ mod tests {
     }
 
     #[test]
-    fn replies_render_with_ok_flag() {
+    fn replies_render_with_ok_flag_and_sequence() {
         let line = render_reply(&Reply::Infer {
             shard: 2,
+            applied_seq: 11,
             results: vec![NodeResult {
                 node: 7,
                 prediction: 1,
@@ -377,9 +411,19 @@ mod tests {
         let v = Json::parse(&line).unwrap();
         assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(v.get("shard").unwrap().as_u64(), Some(2));
+        assert_eq!(v.get("applied_seq").unwrap().as_u64(), Some(11));
         let r = &v.get("results").unwrap().as_arr().unwrap()[0];
         assert_eq!(r.get("node").unwrap().as_u64(), Some(7));
         assert_eq!(r.get("depth").unwrap().as_u64(), Some(3));
+
+        let line = render_reply(&Reply::Edge {
+            shard: 0,
+            applied_seq: 4,
+            added: true,
+        });
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("applied_seq").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("added").unwrap().as_bool(), Some(true));
 
         let err = render_reply(&Reply::Error {
             message: "node 9 out of range".into(),

@@ -1,5 +1,5 @@
 //! The in-process serving engine: admission control → dynamic
-//! micro-batcher → shard worker pool.
+//! micro-batcher → replicated shard worker pool.
 //!
 //! ```text
 //!             submit()                 scheduler thread              worker threads
@@ -7,13 +7,17 @@
 //!                │ Overloaded                          │  closes on max_batch
 //!                ▼                                     │  or max_wait deadline
 //!            rejected                                  ▼
-//!                                         split by shard, shed check
+//!                              stamp mutations with seq, validate once,
+//!                              broadcast them to every worker; route
+//!                              reads (hint or round-robin)
 //!                                                      │
 //!                                        ┌─────────────┼─────────────┐
 //!                                        ▼             ▼             ▼
 //!                                    worker 0      worker 1  …   worker N−1
-//!                                   (engine +     (engine +     (engine +
-//!                                    scratch)      scratch)      scratch)
+//!                                 apply mutation  apply mutation  apply mutation
+//!                                 prefix in seq   prefix in seq   prefix in seq
+//!                                 order, then     order, then     order, then
+//!                                 serve reads     serve reads     serve reads
 //! ```
 //!
 //! **Batching** is the paper's Fig. 5 trade-off as a runtime policy: a
@@ -22,13 +26,18 @@
 //! the per-batch stationary and BFS work, at the cost of queueing
 //! latency.
 //!
-//! **Sharding**: each worker owns one [`StreamingEngine`] replica (same
-//! checkpoint, private graph + scratch). Reads fan out round-robin;
-//! mutations land on one owning shard (explicit `shard` field, or
-//! round-robin assignment for ingests, whose replies name the owner).
-//! Shards therefore diverge under mutation — routing consistency is the
-//! client's contract, checked per shard against a single-threaded
-//! engine oracle in the end-to-end tests.
+//! **Sequenced mutation replication**: each worker owns one
+//! [`StreamingEngine`] replica (same checkpoint, private graph +
+//! scratch). The scheduler stamps every mutation (ingest /
+//! observe_edge) with a monotonic sequence number, validates it once
+//! against its sequenced model of the global graph, and broadcasts it
+//! to *every* worker; exactly one replica — the affinity hint, or
+//! round-robin — holds the client's reply handle and pays for the
+//! prediction. A worker applies its batch's mutation prefix in
+//! sequence order *before* executing its slice of reads, and worker
+//! channels are FIFO, so every replica converges on the same graph and
+//! any replica can serve any node: read-your-writes holds at batch
+//! granularity with no client routing contract.
 //!
 //! **Admission / shedding**: at most `queue_cap` requests may be in
 //! flight (queued or being served); beyond that, [`ServeError::Overloaded`]
@@ -56,7 +65,7 @@ pub enum ServeError {
     ShuttingDown,
     /// The worker did not answer within the wait deadline.
     Timeout,
-    /// The request can never be served (e.g. shard out of range).
+    /// The request can never be served (e.g. shard hint out of range).
     Invalid(String),
 }
 
@@ -76,20 +85,23 @@ impl std::error::Error for ServeError {}
 /// Static facts about a deployed service (the `/healthz` payload).
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceInfo {
-    /// Worker / shard count.
+    /// Worker / shard replica count.
     pub shards: usize,
     /// Feature dimensionality every ingest must match.
     pub feature_dim: usize,
     /// Highest trained depth.
     pub k: usize,
-    /// Node count of the seed graph every shard started from (ids below
-    /// this are valid on every shard).
+    /// Node count of the seed graph every replica started from. Ids at
+    /// or above this are assigned by sequenced ingests and — because
+    /// every mutation is replicated everywhere — are equally valid on
+    /// every replica.
     pub seed_nodes: usize,
 }
 
 /// A point-in-time view of the service counters (the `/metrics`
 /// payload). Latency statistics are merged across workers with
-/// [`LatencyStats::merge`]; MACs with [`MacsBreakdown::merge`].
+/// [`LatencyStats::merge`]; MACs with a replication-aware merge (see
+/// [`MetricsSnapshot::macs`]).
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
     /// Requests currently queued or being served.
@@ -103,7 +115,8 @@ pub struct MetricsSnapshot {
     /// Requests dispatched inside degraded batches (counted per
     /// request at dispatch time, whatever its kind or node count).
     pub shed_ops: u64,
-    /// Edge mutations applied.
+    /// Edge mutations answered (sequenced once each, whatever the
+    /// replica count).
     pub edges_observed: u64,
     /// Per-op validation failures answered.
     pub op_errors: u64,
@@ -116,24 +129,61 @@ pub struct MetricsSnapshot {
     /// accumulation period, not all time, and a long-lived service
     /// cannot grow without bound); `served` keeps the all-time count.
     pub stats: LatencyStats,
-    /// Cumulative per-stage MACs summed over shard engines.
+    /// Cumulative per-stage MACs. Inference stages (propagation / NAP /
+    /// classification) are summed over replicas — each read or
+    /// prediction runs on exactly one. The `replication` stage is the
+    /// **max** over replicas, not the sum: every replica applies the
+    /// same sequenced mutations, so summing would bill one mutation
+    /// `shards` times. Totals are therefore shard-count independent.
     pub macs: MacsBreakdown,
+}
+
+/// The admission slot + reply channel of one accepted request; exactly
+/// one party (a worker, or the scheduler for never-dispatched jobs)
+/// answers it, releasing the slot.
+struct ReplyHandle {
+    responder: Sender<Reply>,
+    enqueued: Instant,
 }
 
 struct Job {
     op: Op,
+    /// Replica affinity hint (validated < shards at submit).
     shard: Option<usize>,
-    responder: Sender<Reply>,
-    enqueued: Instant,
+    handle: ReplyHandle,
 }
 
-struct RoutedJob {
+/// A read routed to one replica.
+struct ReadJob {
     op: Op,
-    responder: Sender<Reply>,
-    enqueued: Instant,
+    handle: ReplyHandle,
 }
 
-type ShardBatch = (Vec<RoutedJob>, InferenceConfig);
+/// One sequenced mutation, broadcast to every live worker. The op is
+/// shared (ingest feature rows are not cloned per replica); `handle`
+/// is present on exactly one worker's copy — that replica answers the
+/// client (and, for ingests, computes the prediction).
+struct SeqMutation {
+    seq: u64,
+    op: Arc<Op>,
+    handle: Option<ReplyHandle>,
+}
+
+struct ShardBatch {
+    /// This batch's full mutation prefix, in sequence order.
+    mutations: Vec<SeqMutation>,
+    /// This worker's slice of reads, executed after the prefix.
+    reads: Vec<ReadJob>,
+    cfg: InferenceConfig,
+}
+
+impl ShardBatch {
+    /// Jobs *this* worker must answer (its reply handles).
+    fn owned_jobs(&self) -> u64 {
+        self.reads.len() as u64
+            + self.mutations.iter().filter(|m| m.handle.is_some()).count() as u64
+    }
+}
 
 /// Per-worker latency-sample bound: the accumulator restarts from
 /// empty each time it reaches this many samples, so quantiles describe
@@ -151,23 +201,40 @@ struct Shared {
     edges_observed: AtomicU64,
     op_errors: AtomicU64,
     served: AtomicU64,
-    /// Replies sent (all kinds) — lets a panicking worker repair the
-    /// in-flight counter for the jobs its batch never answered.
-    answered: AtomicU64,
+    /// Replies sent, indexed by answering party (`0..workers` = that
+    /// worker, `workers` = the scheduler). Broadcast batches contain
+    /// jobs a worker does *not* answer, so panic repair must count
+    /// exactly the repairer's own replies — a global counter would mix
+    /// in concurrent replies from other workers and under-repair.
+    answered: Vec<AtomicU64>,
+    /// Set by a worker when its engine panics, *before* it starts
+    /// draining its channel. The scheduler reaps the flag at the next
+    /// dispatch (dropping its sender); a batch racing into the dying
+    /// channel in between is answered by the worker's drain loop — so
+    /// no admitted job is ever silently discarded with its admission
+    /// slot held.
+    dead: Vec<std::sync::atomic::AtomicBool>,
     worker_stats: Vec<Mutex<LatencyStats>>,
-    /// `[propagation, nap, classification]` per worker, overwritten
-    /// after each batch from the engine's own breakdown.
-    worker_macs: Vec<[AtomicU64; 3]>,
+    /// `[propagation, nap, classification, replication]` per worker,
+    /// overwritten after each batch from the engine's own breakdown.
+    worker_macs: Vec<[AtomicU64; 4]>,
+    /// Engine replicas handed back by workers at drain time (see
+    /// [`NaiService::into_engines`]); a panicked worker's replica is
+    /// absent.
+    returned: Mutex<Vec<(usize, StreamingEngine)>>,
 }
 
 impl Shared {
-    fn respond(&self, worker: usize, job: &RoutedJob, reply: Reply) {
-        let latency = job.enqueued.elapsed();
+    fn respond(&self, who: usize, handle: &ReplyHandle, reply: Reply) {
+        // `who == worker_stats.len()` is the scheduler's slot; it only
+        // ever answers errors, which touch no per-worker stats.
+        debug_assert!(who < self.worker_stats.len() || matches!(reply, Reply::Error { .. }));
+        let latency = handle.enqueued.elapsed();
         match &reply {
             Reply::Infer { results, .. } => {
                 self.served
                     .fetch_add(results.len() as u64, Ordering::Relaxed);
-                let mut stats = self.worker_stats[worker].lock().unwrap();
+                let mut stats = self.worker_stats[who].lock().unwrap();
                 for r in results {
                     if stats.count() >= STATS_WINDOW {
                         *stats = LatencyStats::new();
@@ -177,7 +244,7 @@ impl Shared {
             }
             Reply::Ingest { depth, .. } => {
                 self.served.fetch_add(1, Ordering::Relaxed);
-                let mut stats = self.worker_stats[worker].lock().unwrap();
+                let mut stats = self.worker_stats[who].lock().unwrap();
                 if stats.count() >= STATS_WINDOW {
                     *stats = LatencyStats::new();
                 }
@@ -194,9 +261,9 @@ impl Shared {
         // client that has its answer can immediately resubmit without
         // racing the counter (and `queue_depth` reads 0 once every
         // reply of a closed loop has been received).
-        self.answered.fetch_add(1, Ordering::Relaxed);
+        self.answered[who].fetch_add(1, Ordering::Relaxed);
         self.in_flight.fetch_sub(1, Ordering::AcqRel);
-        let _ = job.responder.send(reply);
+        let _ = handle.responder.send(reply);
     }
 }
 
@@ -210,7 +277,9 @@ impl Ticket {
     ///
     /// # Errors
     /// [`ServeError::Timeout`] if no reply arrives in time (the request
-    /// may still complete server-side; its reply is then discarded).
+    /// may still complete server-side; a timed-out *mutation* may in
+    /// particular still have been applied — its reply is discarded, not
+    /// its sequence point).
     pub fn wait(self, timeout: Duration) -> Result<Reply, ServeError> {
         self.rx
             .recv_timeout(timeout)
@@ -229,10 +298,13 @@ pub struct NaiService {
 }
 
 impl NaiService {
-    /// Deploys the service over pre-built engine shards.
+    /// Deploys the service over pre-built engine replicas. Every
+    /// replica must start from the same state (same seed graph and
+    /// checkpoint) — sequenced replication keeps them convergent from
+    /// there on.
     ///
     /// # Errors
-    /// Returns a description when `cfg` fails validation, the shard
+    /// Returns a description when `cfg` fails validation, the replica
     /// count disagrees with `cfg.workers`, or `infer_cfg` is invalid
     /// for the engines' trained depth.
     pub fn new(
@@ -256,6 +328,9 @@ impl NaiService {
             if e.k() != k || e.graph().feature_dim() != feature_dim {
                 return Err("engine shards must share k and feature_dim".to_string());
             }
+            if e.graph().num_nodes() != seed_nodes {
+                return Err("engine shards must start from the same seed graph".to_string());
+            }
         }
         let info = ServiceInfo {
             shards: cfg.workers,
@@ -272,13 +347,18 @@ impl NaiService {
             edges_observed: AtomicU64::new(0),
             op_errors: AtomicU64::new(0),
             served: AtomicU64::new(0),
-            answered: AtomicU64::new(0),
+            // One slot per worker plus the scheduler's.
+            answered: (0..=cfg.workers).map(|_| AtomicU64::new(0)).collect(),
+            dead: (0..cfg.workers)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
             worker_stats: (0..cfg.workers)
                 .map(|_| Mutex::new(LatencyStats::new()))
                 .collect(),
             worker_macs: (0..cfg.workers)
-                .map(|_| [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)])
+                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
                 .collect(),
+            returned: Mutex::new(Vec::new()),
         });
 
         let mut threads = Vec::with_capacity(cfg.workers + 1);
@@ -301,7 +381,9 @@ impl NaiService {
         threads.push(
             std::thread::Builder::new()
                 .name("nai-serve-batcher".to_string())
-                .spawn(move || scheduler_loop(rx, worker_txs, infer_cfg, sched_cfg, shared_s))
+                .spawn(move || {
+                    Scheduler::new(worker_txs, infer_cfg, sched_cfg, shared_s, info).run(rx)
+                })
                 .expect("spawn scheduler thread"),
         );
 
@@ -345,13 +427,13 @@ impl NaiService {
     ///
     /// # Errors
     /// [`ServeError::Overloaded`] at the admission bound,
-    /// [`ServeError::Invalid`] for an out-of-range shard,
+    /// [`ServeError::Invalid`] for an out-of-range shard hint,
     /// [`ServeError::ShuttingDown`] after [`Self::shutdown`] began.
     pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
         if let Some(s) = req.shard {
             if s >= self.info.shards {
                 return Err(ServeError::Invalid(format!(
-                    "shard {s} out of range (service has {} shards)",
+                    "shard hint {s} out of range (service has {} shards)",
                     self.info.shards
                 )));
             }
@@ -372,8 +454,10 @@ impl NaiService {
         let job = Job {
             op: req.op,
             shard: req.shard,
-            responder: rtx,
-            enqueued: Instant::now(),
+            handle: ReplyHandle {
+                responder: rtx,
+                enqueued: Instant::now(),
+            },
         };
         let guard = self.tx.lock().unwrap();
         let outcome = match guard.as_ref() {
@@ -421,11 +505,14 @@ impl NaiService {
         }
         let mut macs = MacsBreakdown::default();
         for m in &s.worker_macs {
-            macs.merge(&MacsBreakdown {
-                propagation: m[0].load(Ordering::Relaxed),
-                nap: m[1].load(Ordering::Relaxed),
-                classification: m[2].load(Ordering::Relaxed),
-            });
+            // Inference runs on exactly one replica per request: sum.
+            macs.propagation += m[0].load(Ordering::Relaxed);
+            macs.nap += m[1].load(Ordering::Relaxed);
+            macs.classification += m[2].load(Ordering::Relaxed);
+            // Replicated mutations run on *every* replica: attribute
+            // the work once (max = the most caught-up replica), so
+            // totals do not scale with the shard count.
+            macs.replication = macs.replication.max(m[3].load(Ordering::Relaxed));
         }
         MetricsSnapshot {
             queue_depth: s.in_flight.load(Ordering::Acquire),
@@ -454,6 +541,17 @@ impl NaiService {
             let _ = handle.join();
         }
     }
+
+    /// [`Self::shutdown`], then hands back the drained engine replicas
+    /// in worker order — the convergence oracle for tests (replicas
+    /// must hold identical graphs) and the state hand-off for
+    /// re-checkpointing. A replica whose worker panicked is absent.
+    pub fn into_engines(self) -> Vec<StreamingEngine> {
+        self.shutdown();
+        let mut replicas = std::mem::take(&mut *self.shared.returned.lock().unwrap());
+        replicas.sort_by_key(|(w, _)| *w);
+        replicas.into_iter().map(|(_, e)| e).collect()
+    }
 }
 
 impl Drop for NaiService {
@@ -462,104 +560,308 @@ impl Drop for NaiService {
     }
 }
 
-fn scheduler_loop(
-    rx: Receiver<Job>,
-    worker_txs: Vec<Sender<ShardBatch>>,
+/// The batcher thread: forms batches, sequences + validates mutations,
+/// broadcasts them, and routes reads.
+struct Scheduler {
+    /// `None` once a worker is known dead: its sender is dropped so
+    /// the worker's drain loop (see [`worker_loop`]) disconnects and
+    /// exits.
+    worker_txs: Vec<Option<Sender<ShardBatch>>>,
+    /// A worker found dead — its `Shared::dead` flag set by the panic
+    /// path, or its channel disconnected — is skipped by routing and
+    /// broadcast from then on; its jobs are answered with a typed
+    /// error instead of leaking their admission slots.
+    alive: Vec<bool>,
+    workers: usize,
     base_cfg: InferenceConfig,
     cfg: ServeConfig,
     shared: Arc<Shared>,
-) {
-    let mut forming: Vec<Job> = Vec::with_capacity(cfg.max_batch);
-    let mut rr = 0usize;
-    let dispatch = |forming: &mut Vec<Job>, rr: &mut usize| {
+    rr: usize,
+    /// Next mutation sequence number (1-based; 0 = "seed state").
+    next_seq: u64,
+    /// The scheduler's model of the replicated graph's node count:
+    /// seed nodes plus every valid sequenced ingest. Mutations are
+    /// validated against this once, here — replicas apply them without
+    /// re-checking.
+    nodes: u64,
+    feature_dim: usize,
+}
+
+impl Scheduler {
+    fn new(
+        worker_txs: Vec<Sender<ShardBatch>>,
+        base_cfg: InferenceConfig,
+        cfg: ServeConfig,
+        shared: Arc<Shared>,
+        info: ServiceInfo,
+    ) -> Self {
+        let workers = worker_txs.len();
+        Self {
+            worker_txs: worker_txs.into_iter().map(Some).collect(),
+            alive: vec![true; workers],
+            workers,
+            base_cfg,
+            cfg,
+            shared,
+            rr: 0,
+            next_seq: 1,
+            nodes: info.seed_nodes as u64,
+            feature_dim: info.feature_dim,
+        }
+    }
+
+    /// The scheduler's slot in `Shared::answered`.
+    fn self_slot(&self) -> usize {
+        self.workers
+    }
+
+    /// Retires workers whose panic path raised `Shared::dead` since the
+    /// last dispatch: drop their senders (disconnecting their drain
+    /// loops) and take them out of routing. A batch sent before the
+    /// flag was observed is answered by the worker's drain loop, so the
+    /// hand-off leaks nothing.
+    fn reap_dead_workers(&mut self) {
+        for w in 0..self.workers {
+            if self.alive[w] && self.shared.dead[w].load(Ordering::Acquire) {
+                self.alive[w] = false;
+                self.worker_txs[w] = None;
+            }
+        }
+    }
+
+    /// Picks the answering replica: the affinity hint when it names a
+    /// live worker, the next live worker round-robin otherwise; `None`
+    /// when every worker is gone.
+    fn route(&mut self, hint: Option<usize>) -> Option<usize> {
+        if let Some(s) = hint {
+            if self.alive[s] {
+                return Some(s);
+            }
+        }
+        for _ in 0..self.workers {
+            let s = self.rr % self.workers;
+            self.rr += 1;
+            if self.alive[s] {
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    /// Validates a mutation against the sequenced global graph model —
+    /// once, at sequencing time, identically for every replica.
+    fn validate_mutation(&self, op: &Op) -> Result<(), String> {
+        let n = self.nodes;
+        match op {
+            Op::Ingest {
+                features,
+                neighbors,
+            } => {
+                if features.len() != self.feature_dim {
+                    return Err(format!(
+                        "feature length {} does not match graph dimension {}",
+                        features.len(),
+                        self.feature_dim
+                    ));
+                }
+                if features.iter().any(|x| !x.is_finite()) {
+                    // One inf/NaN feature would poison every replica's
+                    // incremental stationary accumulators for every
+                    // later request — reject it at the door.
+                    return Err("features must be finite".to_string());
+                }
+                if let Some(&bad) = neighbors.iter().find(|&&v| v as u64 >= n) {
+                    return Err(format!("neighbor {bad} out of range (graph has {n} nodes)"));
+                }
+                if n > u32::MAX as u64 {
+                    return Err("graph is full (node ids are u32)".to_string());
+                }
+                Ok(())
+            }
+            Op::ObserveEdge { u, v } => {
+                if u == v {
+                    return Err(format!("self-loop edge ({u},{u}) is not representable"));
+                }
+                if *u as u64 >= n || *v as u64 >= n {
+                    return Err(format!("edge ({u},{v}) out of range (graph has {n} nodes)"));
+                }
+                Ok(())
+            }
+            Op::Infer { .. } => unreachable!("reads are not sequenced"),
+        }
+    }
+
+    fn dispatch(&mut self, forming: &mut Vec<Job>) {
         if forming.is_empty() {
             return;
         }
-        shared.batches.fetch_add(1, Ordering::Relaxed);
-        let degraded = cfg
-            .shed
-            .engaged(shared.in_flight.load(Ordering::Acquire), cfg.queue_cap);
+        self.reap_dead_workers();
+        if !self.alive.iter().any(|&a| a) {
+            // Every worker is gone: answer rather than hang or leak.
+            for job in forming.drain(..) {
+                self.shared.respond(
+                    self.self_slot(),
+                    &job.handle,
+                    Reply::Error {
+                        message: "no live shard workers".to_string(),
+                    },
+                );
+            }
+            return;
+        }
+        self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        let degraded = self.cfg.shed.engaged(
+            self.shared.in_flight.load(Ordering::Acquire),
+            self.cfg.queue_cap,
+        );
         let batch_cfg = if degraded {
-            shared.degraded_batches.fetch_add(1, Ordering::Relaxed);
-            shared
+            self.shared.degraded_batches.fetch_add(1, Ordering::Relaxed);
+            self.shared
                 .shed_ops
                 .fetch_add(forming.len() as u64, Ordering::Relaxed);
-            cfg.shed.degrade(&base_cfg)
+            self.cfg.shed.degrade(&self.base_cfg)
         } else {
-            base_cfg
+            self.base_cfg
         };
-        let mut per_shard: Vec<Vec<RoutedJob>> =
-            (0..worker_txs.len()).map(|_| Vec::new()).collect();
+
+        let mut reads: Vec<Vec<ReadJob>> = (0..self.workers).map(|_| Vec::new()).collect();
+        // (seq, op, answering replica, handle) in sequence order; the
+        // handle is moved into exactly one worker's broadcast copy.
+        let mut muts: Vec<(u64, Arc<Op>, usize, Option<ReplyHandle>)> = Vec::new();
         for job in forming.drain(..) {
-            let shard = job.shard.unwrap_or_else(|| match job.op {
-                // Mutations without an owner default to shard 0 so
-                // repeated un-routed edges stay self-consistent; reads
-                // and new-node ingests are assigned round-robin.
-                Op::ObserveEdge { .. } => 0,
-                _ => {
-                    let s = *rr % worker_txs.len();
-                    *rr += 1;
-                    s
+            match job.op {
+                Op::Infer { .. } => match self.route(job.shard) {
+                    Some(s) => reads[s].push(ReadJob {
+                        op: job.op,
+                        handle: job.handle,
+                    }),
+                    None => self.respond_no_workers(&job.handle),
+                },
+                Op::Ingest { .. } | Op::ObserveEdge { .. } => {
+                    if let Err(message) = self.validate_mutation(&job.op) {
+                        self.shared.respond(
+                            self.self_slot(),
+                            &job.handle,
+                            Reply::Error { message },
+                        );
+                        continue;
+                    }
+                    let Some(responder) = self.route(job.shard) else {
+                        self.respond_no_workers(&job.handle);
+                        continue;
+                    };
+                    let seq = self.next_seq;
+                    self.next_seq += 1;
+                    if matches!(job.op, Op::Ingest { .. }) {
+                        self.nodes += 1;
+                    }
+                    muts.push((seq, Arc::new(job.op), responder, Some(job.handle)));
                 }
-            });
-            per_shard[shard].push(RoutedJob {
-                op: job.op,
-                responder: job.responder,
-                enqueued: job.enqueued,
-            });
+            }
         }
-        for (shard, jobs) in per_shard.into_iter().enumerate() {
-            if jobs.is_empty() {
+
+        for (w, worker_reads) in reads.iter_mut().enumerate() {
+            if !self.alive[w] {
                 continue;
             }
-            // Workers outlive the scheduler by construction, but if one
-            // ever died (engine panic), answer its jobs instead of
-            // leaking their admission slots and hanging the clients.
-            if let Err(dead) = worker_txs[shard].send((jobs, batch_cfg)) {
-                for job in dead.0 .0 {
-                    shared.respond(
-                        shard,
-                        &job,
-                        Reply::Error {
-                            message: format!("shard {shard} worker is gone"),
-                        },
-                    );
+            let mutations: Vec<SeqMutation> = muts
+                .iter_mut()
+                .map(|(seq, op, responder, handle)| SeqMutation {
+                    seq: *seq,
+                    op: Arc::clone(op),
+                    handle: if *responder == w { handle.take() } else { None },
+                })
+                .collect();
+            let batch_reads = std::mem::take(worker_reads);
+            if mutations.is_empty() && batch_reads.is_empty() {
+                continue;
+            }
+            let batch = ShardBatch {
+                mutations,
+                reads: batch_reads,
+                cfg: batch_cfg,
+            };
+            let tx = self.worker_txs[w]
+                .as_ref()
+                .expect("alive workers keep a sender");
+            if let Err(dead) = tx.send(batch) {
+                // Backstop for a worker that died without raising its
+                // dead flag (should not happen — the panic path always
+                // sets it): answer the jobs only it would have
+                // answered, so their clients see a typed error instead
+                // of a timeout and no admission slot leaks. Its
+                // broadcast mutation copies are dropped — the replica
+                // is out of rotation for good, and the surviving
+                // replicas stay convergent with each other (a mutation
+                // answered by a live replica may thus outlive its dead
+                // responder, like a timeout).
+                self.alive[w] = false;
+                self.worker_txs[w] = None;
+                let gone = dead.0;
+                for m in gone.mutations.into_iter().filter_map(|m| m.handle) {
+                    self.respond_worker_gone(w, &m);
+                }
+                for r in gone.reads {
+                    self.respond_worker_gone(w, &r.handle);
                 }
             }
-        }
-    };
-
-    loop {
-        let next = if forming.is_empty() {
-            match rx.recv() {
-                Ok(job) => Some(job),
-                Err(_) => break,
-            }
-        } else {
-            let deadline = forming[0].enqueued + cfg.max_wait;
-            match deadline.checked_duration_since(Instant::now()) {
-                None => None, // oldest request's wait budget is spent
-                Some(remaining) => match rx.recv_timeout(remaining) {
-                    Ok(job) => Some(job),
-                    Err(RecvTimeoutError::Timeout) => None,
-                    Err(RecvTimeoutError::Disconnected) => {
-                        dispatch(&mut forming, &mut rr);
-                        break;
-                    }
-                },
-            }
-        };
-        match next {
-            Some(job) => {
-                forming.push(job);
-                if forming.len() >= cfg.max_batch {
-                    dispatch(&mut forming, &mut rr);
-                }
-            }
-            None => dispatch(&mut forming, &mut rr),
         }
     }
-    // Senders to workers drop here; workers drain and exit.
+
+    fn respond_no_workers(&self, handle: &ReplyHandle) {
+        self.shared.respond(
+            self.self_slot(),
+            handle,
+            Reply::Error {
+                message: "no live shard workers".to_string(),
+            },
+        );
+    }
+
+    fn respond_worker_gone(&self, worker: usize, handle: &ReplyHandle) {
+        self.shared.respond(
+            self.self_slot(),
+            handle,
+            Reply::Error {
+                message: format!("shard {worker} worker is gone"),
+            },
+        );
+    }
+
+    fn run(mut self, rx: Receiver<Job>) {
+        let mut forming: Vec<Job> = Vec::with_capacity(self.cfg.max_batch);
+        loop {
+            let next = if forming.is_empty() {
+                match rx.recv() {
+                    Ok(job) => Some(job),
+                    Err(_) => break,
+                }
+            } else {
+                let deadline = forming[0].handle.enqueued + self.cfg.max_wait;
+                match deadline.checked_duration_since(Instant::now()) {
+                    None => None, // oldest request's wait budget is spent
+                    Some(remaining) => match rx.recv_timeout(remaining) {
+                        Ok(job) => Some(job),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            self.dispatch(&mut forming);
+                            break;
+                        }
+                    },
+                }
+            };
+            match next {
+                Some(job) => {
+                    forming.push(job);
+                    if forming.len() >= self.cfg.max_batch {
+                        self.dispatch(&mut forming);
+                    }
+                }
+                None => self.dispatch(&mut forming),
+            }
+        }
+        // Senders to workers drop here; workers drain and exit.
+    }
 }
 
 fn worker_loop(
@@ -568,25 +870,54 @@ fn worker_loop(
     rx: Receiver<ShardBatch>,
     shared: Arc<Shared>,
 ) {
-    while let Ok((jobs, cfg)) = rx.recv() {
-        let batch_len = jobs.len() as u64;
-        let answered_before = shared.answered.load(Ordering::Relaxed);
+    // Sequence number of the last mutation applied to this replica
+    // (0 = seed state); exported in replies as `applied_seq`.
+    let mut applied_seq = 0u64;
+    while let Ok(batch) = rx.recv() {
+        let owned = batch.owned_jobs();
+        let answered_before = shared.answered[worker].load(Ordering::Relaxed);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            process_shard_batch(worker, &mut engine, jobs, &cfg, &shared);
+            process_shard_batch(worker, &mut engine, batch, &mut applied_seq, &shared);
         }));
         if let Err(panic) = outcome {
             // The engine may be in an inconsistent state — let the
-            // worker die (the scheduler answers its future batches with
-            // "worker is gone") — but first give back the admission
-            // slots of the jobs this batch never answered, so queue
-            // capacity is not permanently shrunk. Their clients see a
-            // timeout rather than a reply.
-            let answered = shared.answered.load(Ordering::Relaxed) - answered_before;
-            let leaked = batch_len.saturating_sub(answered);
+            // worker die (the scheduler reaps it and answers its future
+            // jobs with a typed error) — but first give back the
+            // admission slots of the jobs this batch owned and never
+            // answered, so queue capacity is not permanently shrunk.
+            // The per-worker counter makes the repair exact even while
+            // other workers answer their own slices of the same
+            // broadcast batch. These clients see a timeout rather than
+            // a reply.
+            let answered = shared.answered[worker].load(Ordering::Relaxed) - answered_before;
+            let leaked = owned.saturating_sub(answered);
             if leaked > 0 {
                 shared
                     .in_flight
                     .fetch_sub(leaked as usize, Ordering::AcqRel);
+            }
+            // Raise the dead flag, then drain: batches the scheduler
+            // sends before it observes the flag would otherwise be
+            // silently dropped with their admission slots held — answer
+            // their owned jobs with a typed error instead. The drain
+            // ends when the scheduler reaps this worker (dropping its
+            // sender) or shuts down.
+            shared.dead[worker].store(true, Ordering::Release);
+            while let Ok(stranded) = rx.recv() {
+                for handle in stranded
+                    .mutations
+                    .into_iter()
+                    .filter_map(|m| m.handle)
+                    .chain(stranded.reads.into_iter().map(|r| r.handle))
+                {
+                    shared.respond(
+                        worker,
+                        &handle,
+                        Reply::Error {
+                            message: format!("shard {worker} worker is gone"),
+                        },
+                    );
+                }
             }
             std::panic::resume_unwind(panic);
         }
@@ -594,91 +925,124 @@ fn worker_loop(
         shared.worker_macs[worker][0].store(b.propagation, Ordering::Relaxed);
         shared.worker_macs[worker][1].store(b.nap, Ordering::Relaxed);
         shared.worker_macs[worker][2].store(b.classification, Ordering::Relaxed);
+        shared.worker_macs[worker][3].store(b.replication, Ordering::Relaxed);
         // The service keeps its own (queue-inclusive) latency samples;
         // drop the engine's internal per-flush copy so a long-lived
         // worker does not accumulate a second unbounded sample vector.
         engine.reset_stats();
     }
+    // Drained cleanly: hand the replica back for `into_engines`.
+    shared.returned.lock().unwrap().push((worker, engine));
 }
 
-/// Executes one shard's slice of a batch in arrival order, coalescing
-/// runs of same-kind operations: consecutive `infer`s become one
-/// active-set engine call (per-node results are batch-composition
-/// independent), consecutive `ingest`s are appended together and
-/// answered by one flush (each arrival sees every earlier arrival of
-/// the run, exactly like `ingest…ingest→flush` on a single-threaded
-/// engine).
+/// Executes one worker's view of a batch: first the batch's full
+/// mutation prefix in sequence order (every replica applies every
+/// mutation; ingests owned by this worker are additionally queued and
+/// answered by one flush after the prefix), then this worker's slice
+/// of reads — which therefore observe every mutation of this batch and
+/// of all earlier batches (worker channels are FIFO), on whatever
+/// replica they landed.
 fn process_shard_batch(
     worker: usize,
     engine: &mut StreamingEngine,
-    jobs: Vec<RoutedJob>,
-    cfg: &InferenceConfig,
+    batch: ShardBatch,
+    applied_seq: &mut u64,
     shared: &Shared,
 ) {
-    let mut i = 0;
-    while i < jobs.len() {
-        match &jobs[i].op {
-            Op::Infer { .. } => {
-                let mut j = i;
-                while j < jobs.len() && matches!(jobs[j].op, Op::Infer { .. }) {
-                    j += 1;
+    let ShardBatch {
+        mutations,
+        reads,
+        cfg,
+    } = batch;
+    let mut ingest_handles: Vec<ReplyHandle> = Vec::new();
+    for m in mutations {
+        debug_assert_eq!(
+            m.seq,
+            *applied_seq + 1,
+            "broadcast must deliver every mutation in sequence order"
+        );
+        match m.op.as_ref() {
+            Op::Ingest {
+                features,
+                neighbors,
+            } => {
+                if let Some(handle) = m.handle {
+                    // This replica answers: queue for the post-prefix
+                    // flush (pending order = sequence order).
+                    engine.ingest(features, neighbors);
+                    ingest_handles.push(handle);
+                } else {
+                    engine.apply_replicated_ingest(features, neighbors);
                 }
-                infer_run(worker, engine, &jobs[i..j], cfg, shared);
-                i = j;
-            }
-            Op::Ingest { .. } => {
-                let mut j = i;
-                while j < jobs.len() && matches!(jobs[j].op, Op::Ingest { .. }) {
-                    j += 1;
-                }
-                ingest_run(worker, engine, &jobs[i..j], cfg, shared);
-                i = j;
             }
             Op::ObserveEdge { u, v } => {
-                let (u, v) = (*u, *v);
-                let n = engine.graph().num_nodes() as u32;
-                let reply = if u == v {
-                    Reply::Error {
-                        message: format!("self-loop edge ({u},{u}) is not representable"),
-                    }
-                } else if u >= n || v >= n {
-                    Reply::Error {
-                        message: format!("edge ({u},{v}) out of range (shard has {n} nodes)"),
-                    }
-                } else {
-                    Reply::Edge {
-                        shard: worker,
-                        added: engine.observe_edge(u, v),
-                    }
-                };
-                shared.respond(worker, &jobs[i], reply);
-                i += 1;
+                let added = engine.apply_replicated_edge(*u, *v);
+                if let Some(handle) = &m.handle {
+                    shared.respond(
+                        worker,
+                        handle,
+                        Reply::Edge {
+                            shard: worker,
+                            applied_seq: m.seq,
+                            added,
+                        },
+                    );
+                }
             }
+            Op::Infer { .. } => unreachable!("reads are never broadcast"),
+        }
+        *applied_seq = m.seq;
+    }
+    if !ingest_handles.is_empty() {
+        let predictions = engine.flush(&cfg);
+        debug_assert_eq!(predictions.len(), ingest_handles.len());
+        for (p, handle) in predictions.iter().zip(&ingest_handles) {
+            shared.respond(
+                worker,
+                handle,
+                Reply::Ingest {
+                    shard: worker,
+                    applied_seq: *applied_seq,
+                    node: p.node,
+                    prediction: p.prediction,
+                    depth: p.depth,
+                },
+            );
         }
     }
+    infer_run(worker, engine, &reads, &cfg, *applied_seq, shared);
 }
 
+/// Answers a slice of reads with one coalesced active-set engine call
+/// (per-node results are batch-composition independent).
 fn infer_run(
     worker: usize,
     engine: &mut StreamingEngine,
-    jobs: &[RoutedJob],
+    jobs: &[ReadJob],
     cfg: &InferenceConfig,
+    applied_seq: u64,
     shared: &Shared,
 ) {
+    if jobs.is_empty() {
+        return;
+    }
     let n = engine.graph().num_nodes() as u32;
     // Validate per job; only valid jobs contribute nodes to the engine
     // call. `spans` keeps (job index, node count) to slice results back.
+    // The node bound is the *replicated* graph — reads run after this
+    // batch's mutation prefix, so a just-ingested id is in range on
+    // every replica.
     let mut nodes: Vec<u32> = Vec::new();
     let mut spans: Vec<(usize, usize)> = Vec::new();
     let mut invalid: Vec<(usize, String)> = Vec::new();
     for (idx, job) in jobs.iter().enumerate() {
         let Op::Infer { nodes: req } = &job.op else {
-            unreachable!("infer run contains only infer jobs");
+            unreachable!("read slice contains only infer jobs");
         };
         match req.iter().find(|&&v| v >= n) {
             Some(&bad) => invalid.push((
                 idx,
-                format!("node {bad} out of range (shard has {n} nodes)"),
+                format!("node {bad} out of range (graph has {n} nodes)"),
             )),
             None => {
                 spans.push((idx, req.len()));
@@ -696,6 +1060,7 @@ fn infer_run(
         offset += len;
         let reply = Reply::Infer {
             shard: worker,
+            applied_seq,
             results: req
                 .iter()
                 .zip(slice)
@@ -706,72 +1071,9 @@ fn infer_run(
                 })
                 .collect(),
         };
-        shared.respond(worker, &jobs[idx], reply);
+        shared.respond(worker, &jobs[idx].handle, reply);
     }
     for (idx, message) in invalid {
-        shared.respond(worker, &jobs[idx], Reply::Error { message });
-    }
-}
-
-fn ingest_run(
-    worker: usize,
-    engine: &mut StreamingEngine,
-    jobs: &[RoutedJob],
-    cfg: &InferenceConfig,
-    shared: &Shared,
-) {
-    let feature_dim = engine.graph().feature_dim();
-    // Sequential validation: each arrival may attach to nodes ingested
-    // earlier in the same run.
-    let mut admitted: Vec<usize> = Vec::with_capacity(jobs.len());
-    let mut invalid: Vec<(usize, String)> = Vec::new();
-    for (idx, job) in jobs.iter().enumerate() {
-        let Op::Ingest {
-            features,
-            neighbors,
-        } = &job.op
-        else {
-            unreachable!("ingest run contains only ingest jobs");
-        };
-        let n = engine.graph().num_nodes() as u32;
-        if features.len() != feature_dim {
-            invalid.push((
-                idx,
-                format!(
-                    "feature length {} does not match graph dimension {feature_dim}",
-                    features.len()
-                ),
-            ));
-        } else if features.iter().any(|x| !x.is_finite()) {
-            // One inf/NaN feature would poison the shard's shared
-            // incremental stationary accumulators for every later
-            // request — reject it at the door.
-            invalid.push((idx, "features must be finite".to_string()));
-        } else if let Some(&bad) = neighbors.iter().find(|&&v| v >= n) {
-            invalid.push((
-                idx,
-                format!("neighbor {bad} out of range (shard has {n} nodes)"),
-            ));
-        } else {
-            engine.ingest(features, neighbors);
-            admitted.push(idx);
-        }
-    }
-    let predictions = engine.flush(cfg);
-    debug_assert_eq!(predictions.len(), admitted.len());
-    for (p, idx) in predictions.iter().zip(admitted) {
-        shared.respond(
-            worker,
-            &jobs[idx],
-            Reply::Ingest {
-                shard: worker,
-                node: p.node,
-                prediction: p.prediction,
-                depth: p.depth,
-            },
-        );
-    }
-    for (idx, message) in invalid {
-        shared.respond(worker, &jobs[idx], Reply::Error { message });
+        shared.respond(worker, &jobs[idx].handle, Reply::Error { message });
     }
 }

@@ -10,6 +10,13 @@ use nai_graph::{CsrMatrix, Graph};
 use nai_linalg::DenseMatrix;
 
 /// Growable undirected graph: adjacency lists + row-major features.
+///
+/// Every adjacency row is kept **sorted ascending** as an invariant, so
+/// edge-existence checks ([`Self::has_edge`], and the duplicate scan
+/// inside [`Self::add_edge`]) are `O(log d)` binary searches instead of
+/// `O(d)` scans — on a hub node under streaming ingest (and under the
+/// serving layer's mutation replication, which applies every arrival on
+/// every shard replica) the linear probe is the hot path.
 #[derive(Debug, Clone)]
 pub struct DynamicGraph {
     adj: Vec<Vec<u32>>,
@@ -40,6 +47,10 @@ impl DynamicGraph {
         let mut adj = vec![Vec::new(); n];
         for (i, neighbors) in adj.iter_mut().enumerate() {
             neighbors.extend(g.adj.row_indices(i));
+            // CSR rows are already ascending; sorting here makes the
+            // invariant independent of how the source graph was built
+            // (one-time seed cost, nearly free on sorted input).
+            neighbors.sort_unstable();
         }
         Self {
             adj,
@@ -72,9 +83,18 @@ impl DynamicGraph {
         self.adj[v as usize].len()
     }
 
-    /// Neighbors of `v`.
+    /// Neighbors of `v`, sorted ascending.
     pub fn neighbors(&self, v: u32) -> &[u32] {
         &self.adj[v as usize]
+    }
+
+    /// Whether the undirected edge `(u, v)` exists — an `O(log d)`
+    /// binary search over the sorted adjacency row.
+    ///
+    /// # Panics
+    /// Panics if `u` is out of range.
+    pub fn has_edge(&self, u: u32, v: u32) -> bool {
+        self.adj[u as usize].binary_search(&v).is_ok()
     }
 
     /// Feature row of `v`.
@@ -112,8 +132,11 @@ impl DynamicGraph {
             );
         }
         self.features.extend_from_slice(features);
-        self.adj.push(uniq.clone());
+        self.adj.push(uniq.clone()); // sorted by construction
         for &u in &uniq {
+            // `v` is the largest id in the graph, so appending keeps the
+            // neighbor's row sorted.
+            debug_assert!(self.adj[u as usize].last().is_none_or(|&last| last < v));
             self.adj[u as usize].push(v);
         }
         self.num_edges += uniq.len();
@@ -121,7 +144,8 @@ impl DynamicGraph {
     }
 
     /// Adds an undirected edge between existing nodes. Returns `false`
-    /// (and changes nothing) when the edge already exists.
+    /// (and changes nothing) when the edge already exists. The duplicate
+    /// check is an `O(log d)` binary search (rows stay sorted).
     ///
     /// # Panics
     /// Panics on out-of-range ids or a self-loop (self-loops are implicit
@@ -130,11 +154,15 @@ impl DynamicGraph {
         assert!(u != v, "explicit self-loops are not representable");
         assert!((u as usize) < self.adj.len(), "node {u} out of range");
         assert!((v as usize) < self.adj.len(), "node {v} out of range");
-        if self.adj[u as usize].contains(&v) {
-            return false;
-        }
-        self.adj[u as usize].push(v);
-        self.adj[v as usize].push(u);
+        let pos_u = match self.adj[u as usize].binary_search(&v) {
+            Ok(_) => return false,
+            Err(pos) => pos,
+        };
+        let pos_v = self.adj[v as usize]
+            .binary_search(&u)
+            .expect_err("adjacency must stay symmetric");
+        self.adj[u as usize].insert(pos_u, v);
+        self.adj[v as usize].insert(pos_v, u);
         self.num_edges += 1;
         true
     }
@@ -243,11 +271,43 @@ mod tests {
         let before = d.num_edges();
         let u = 0u32;
         // Find a non-neighbor of 0.
-        let v = (1..10u32).find(|x| !d.neighbors(u).contains(x)).unwrap();
+        let v = (1..10u32).find(|&x| !d.has_edge(u, x)).unwrap();
         assert!(d.add_edge(u, v));
         assert!(!d.add_edge(u, v), "duplicate edge rejected");
         assert!(!d.add_edge(v, u), "reverse duplicate rejected");
         assert_eq!(d.num_edges(), before + 1);
+        assert!(d.has_edge(u, v) && d.has_edge(v, u));
+    }
+
+    #[test]
+    fn adjacency_rows_stay_sorted_under_mutation() {
+        use rand::Rng;
+        let g = seed_graph(30);
+        let mut d = DynamicGraph::from_graph(&g);
+        let mut rng = StdRng::seed_from_u64(23);
+        for step in 0..80u32 {
+            if step % 2 == 0 {
+                let n = d.num_nodes() as u32;
+                let nbrs: Vec<u32> = (0..3).map(|k| (step.wrapping_mul(7) + k) % n).collect();
+                d.add_node(&[0.1; 4], &nbrs);
+            } else {
+                let n = d.num_nodes() as u32;
+                let (u, v) = (rng.gen_range(0..n), rng.gen_range(0..n));
+                if u != v {
+                    d.add_edge(u, v);
+                }
+            }
+        }
+        for v in 0..d.num_nodes() as u32 {
+            let row = d.neighbors(v);
+            assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "row {v} not sorted/unique: {row:?}"
+            );
+            for &u in row {
+                assert!(d.has_edge(v, u) && d.has_edge(u, v));
+            }
+        }
     }
 
     #[test]

@@ -180,9 +180,12 @@ impl StreamingEngine {
     /// Builds `n` independent engine replicas ("shards") from one
     /// checkpoint and seed graph: λ₂ is estimated once, then every
     /// shard gets its own graph copy, stationary accumulators, and
-    /// scratch. Shards share no state — after deployment each evolves
-    /// with whatever mutations are routed to it (the `nai-serve`
-    /// ownership model).
+    /// scratch. Shards share no state at runtime; the `nai-serve`
+    /// layer keeps them convergent by broadcasting every mutation to
+    /// every replica in one global sequence order (see
+    /// [`Self::apply_replicated_ingest`] /
+    /// [`Self::apply_replicated_edge`]), so any replica can serve any
+    /// node.
     ///
     /// # Panics
     /// Panics if `n == 0` or the graph's feature dimension disagrees
@@ -247,6 +250,29 @@ impl StreamingEngine {
     /// # Panics
     /// Panics on wrong feature length or unknown neighbor ids.
     pub fn ingest(&mut self, features: &[f32], neighbors: &[u32]) -> u32 {
+        let id = self.apply_node_arrival(features, neighbors);
+        self.pending.push(id);
+        id
+    }
+
+    /// Applies a node arrival replicated from the serving layer's
+    /// sequenced mutation broadcast: identical state change to
+    /// [`Self::ingest`] (graph append + stationary accumulator update),
+    /// but the node is **not** queued for inference — exactly one
+    /// replica (the one holding the client's reply handle) pays for the
+    /// prediction; every other replica only needs the state. The op was
+    /// validated once when it was sequenced, so this path adds no
+    /// checks beyond the graph's structural assertions, and no per-shard
+    /// λ₂ work (λ₂ is a deployment constant handed over at
+    /// [`Self::shard_replicas`] time).
+    ///
+    /// # Panics
+    /// Panics on wrong feature length or unknown neighbor ids.
+    pub fn apply_replicated_ingest(&mut self, features: &[f32], neighbors: &[u32]) -> u32 {
+        self.apply_node_arrival(features, neighbors)
+    }
+
+    fn apply_node_arrival(&mut self, features: &[f32], neighbors: &[u32]) -> u32 {
         let mut uniq: Vec<u32> = neighbors.to_vec();
         uniq.sort_unstable();
         uniq.dedup();
@@ -257,18 +283,20 @@ impl StreamingEngine {
         let id = self.graph.add_node(features, &uniq);
         let old_refs: Vec<(usize, &[f32])> = old.iter().map(|(d, x)| (*d, x.as_slice())).collect();
         self.stationary.on_add_node(features, &old_refs);
-        self.pending.push(id);
+        // One weighted row for the arrival plus one degree-delta
+        // correction per touched neighbor, each O(f).
+        self.macs.replication += (uniq.len() as u64 + 1) * self.graph.feature_dim() as u64;
         id
     }
 
     /// Observes an edge arrival between existing nodes (e.g. a new
     /// interaction between known users). Returns `false` when the edge
-    /// already existed.
+    /// already existed (an `O(log d)` sorted-adjacency probe).
     ///
     /// # Panics
     /// Panics on out-of-range ids or a self-loop.
     pub fn observe_edge(&mut self, u: u32, v: u32) -> bool {
-        if self.graph.neighbors(u).contains(&v) {
+        if self.graph.has_edge(u, v) {
             return false;
         }
         let (du, dv) = (self.graph.degree(u), self.graph.degree(v));
@@ -279,7 +307,19 @@ impl StreamingEngine {
         let added = self.graph.add_edge(u, v);
         debug_assert!(added);
         self.stationary.on_add_edge(&xu, du, &xv, dv);
+        // Two endpoint degree-delta corrections, each O(f).
+        self.macs.replication += 2 * self.graph.feature_dim() as u64;
         true
+    }
+
+    /// [`Self::observe_edge`] under replicated apply — the duplicate
+    /// probe must run on every replica (all replicas hold identical
+    /// state, so the `added` outcome agrees everywhere), which makes
+    /// the replicated path the same as the direct one; the distinct
+    /// name documents intent at the serving call sites.
+    #[inline]
+    pub fn apply_replicated_edge(&mut self, u: u32, v: u32) -> bool {
+        self.observe_edge(u, v)
     }
 
     /// Runs node-adaptive inference on all pending arrivals in micro-
@@ -742,9 +782,7 @@ mod tests {
         let (g, _, t) = trained(150, 2);
         let mut se = engine_from(&t, &g);
         let u = 0u32;
-        let v = (1..150u32)
-            .find(|x| !se.graph().neighbors(u).contains(x))
-            .unwrap();
+        let v = (1..150u32).find(|&x| !se.graph().has_edge(u, x)).unwrap();
         let before_edges = se.graph().num_edges();
         assert!(se.observe_edge(u, v));
         assert!(!se.observe_edge(u, v));
@@ -858,7 +896,7 @@ mod tests {
         let mut se = engine_from(&t, &g);
         let a = se.ingest(&[0.5; 8], &[0]);
         let b = se.ingest(&[0.6; 8], &[a]);
-        assert!(se.graph().neighbors(a).contains(&b));
+        assert!(se.graph().has_edge(a, b));
         let preds = se.flush(&InferenceConfig::distance(0.5, 1, 2));
         assert_eq!(preds.len(), 2);
     }
@@ -885,6 +923,56 @@ mod tests {
         shards[0].ingest(&[0.1; 8], &[0, 1]);
         assert_eq!(shards[1].graph().num_nodes(), before);
         assert_eq!(shards[0].graph().num_nodes(), before + 1);
+    }
+
+    #[test]
+    fn replicated_apply_matches_direct_mutations_without_pending() {
+        // A replica fed apply_replicated_* must end in the same graph +
+        // stationary state as an engine fed the direct mutation path,
+        // with the same replication MAC count — only the inference
+        // queueing differs.
+        let (g, _, t) = trained(120, 2);
+        let mut direct = engine_from(&t, &g);
+        let mut replica = engine_from(&t, &g);
+        let id_d = direct.ingest(&[0.3; 8], &[0, 4, 4, 9]);
+        let id_r = replica.apply_replicated_ingest(&[0.3; 8], &[0, 4, 4, 9]);
+        assert_eq!(id_d, id_r);
+        let v = (1..120u32)
+            .find(|&x| !direct.graph().has_edge(0, x))
+            .unwrap();
+        assert!(direct.observe_edge(0, v));
+        assert!(replica.apply_replicated_edge(0, v));
+        assert!(!replica.apply_replicated_edge(0, v), "dedup agrees");
+        assert!(!direct.observe_edge(0, v));
+
+        assert_eq!(direct.pending(), &[id_d], "direct path queues inference");
+        assert!(replica.pending().is_empty(), "replicated path does not");
+        assert!(direct.macs_breakdown().replication > 0);
+        assert_eq!(
+            direct.macs_breakdown().replication,
+            replica.macs_breakdown().replication,
+            "identical mutation work on both paths"
+        );
+        // State convergence: identical adjacency and stationary rows.
+        let (a, b) = (
+            direct.graph().snapshot_csr(),
+            replica.graph().snapshot_csr(),
+        );
+        assert_eq!(a.nnz(), b.nnz());
+        for i in 0..direct.graph().num_nodes() {
+            assert_eq!(a.row_indices(i), b.row_indices(i), "row {i}");
+        }
+        // The direct engine's flush answers only its own pending node;
+        // afterwards both replicas classify the ingested node equally.
+        let cfg = InferenceConfig::distance(0.5, 1, 2);
+        let preds = direct.flush(&cfg);
+        assert_eq!(preds.len(), 1);
+        let on_replica = replica.infer_nodes(&[id_r], &cfg);
+        assert_eq!(
+            (preds[0].prediction, preds[0].depth),
+            on_replica[0],
+            "replica answers the replicated node identically"
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Latency/throughput accounting for streaming inference.
 
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Cumulative multiply-accumulate counts split by pipeline stage.
@@ -15,28 +16,67 @@ pub struct MacsBreakdown {
     pub nap: u64,
     /// Per-depth classifier forwards at exit time.
     pub classification: u64,
+    /// Graph-mutation application: the incremental stationary
+    /// accumulator updates of an ingest / edge arrival. Under the
+    /// serving layer's sequenced mutation replication every shard
+    /// replica performs *identical* work here, so the service reports
+    /// this stage once (max over replicas) instead of summing it — a
+    /// mutation's cost must not scale with the shard count in
+    /// `/metrics`.
+    pub replication: u64,
 }
 
 impl MacsBreakdown {
     /// Sum over all stages.
     pub fn total(&self) -> u64 {
-        self.propagation + self.nap + self.classification
+        self.propagation + self.nap + self.classification + self.replication
     }
 
-    /// Accumulates another breakdown (cross-worker aggregation).
+    /// Accumulates another breakdown. This sums *every* stage — correct
+    /// for truly disjoint engines; for shard replicas that apply the
+    /// same replicated mutations, aggregate `replication` by `max`
+    /// instead (see `nai-serve`'s metrics merge).
     pub fn merge(&mut self, other: &MacsBreakdown) {
         self.propagation += other.propagation;
         self.nap += other.nap;
         self.classification += other.classification;
+        self.replication += other.replication;
     }
 }
 
-/// Accumulates per-arrival latencies and exit depths.
+/// Lazily maintained sorted view of the samples; `stale` and `buf`
+/// share one lock so their coherence needs no cross-field reasoning.
 #[derive(Debug, Clone, Default)]
+struct SortedCache {
+    buf: Vec<Duration>,
+    stale: bool,
+}
+
+/// Accumulates per-arrival latencies and exit depths.
+#[derive(Debug, Default)]
 pub struct LatencyStats {
     latencies: Vec<Duration>,
     depth_sum: u64,
     total_busy: Duration,
+    /// Sorted copy of `latencies`, rebuilt lazily on the first quantile
+    /// read after a mutation. A `/metrics` scrape between arrivals then
+    /// costs one buffer reuse instead of a fresh clone + sort of the
+    /// full sample vector (~2 MB of churn at the serving layer's
+    /// 2^18-sample worker bound). A `Mutex` (not `RefCell`) keeps the
+    /// type `Sync`; reads are single-threaded in practice, so the lock
+    /// is uncontended.
+    sorted: Mutex<SortedCache>,
+}
+
+impl Clone for LatencyStats {
+    fn clone(&self) -> Self {
+        Self {
+            latencies: self.latencies.clone(),
+            depth_sum: self.depth_sum,
+            total_busy: self.total_busy,
+            sorted: Mutex::new(self.sorted.lock().unwrap().clone()),
+        }
+    }
 }
 
 impl LatencyStats {
@@ -50,6 +90,7 @@ impl LatencyStats {
         self.latencies.push(latency);
         self.depth_sum += depth as u64;
         self.total_busy += latency;
+        self.sorted.get_mut().unwrap().stale = true;
     }
 
     /// Absorbs another accumulator, as if every one of its samples had
@@ -60,6 +101,7 @@ impl LatencyStats {
         self.latencies.extend_from_slice(&other.latencies);
         self.depth_sum += other.depth_sum;
         self.total_busy += other.total_busy;
+        self.sorted.get_mut().unwrap().stale = true;
     }
 
     /// Number of recorded predictions.
@@ -93,7 +135,10 @@ impl LatencyStats {
 
     /// Several nearest-rank quantiles from one sort of the samples —
     /// what a metrics endpoint should call instead of `quantile` three
-    /// times.
+    /// times. The sorted order is cached in a reusable scratch buffer
+    /// and only rebuilt after a [`Self::record`] / [`Self::merge`], so
+    /// back-to-back scrapes of an idle accumulator are allocation- and
+    /// sort-free.
     ///
     /// # Panics
     /// Panics if any `q` is outside `[0, 1]`.
@@ -104,8 +149,16 @@ impl LatencyStats {
         if self.latencies.is_empty() {
             return vec![Duration::ZERO; qs.len()];
         }
-        let mut sorted = self.latencies.clone();
-        sorted.sort_unstable();
+        let mut cache = self.sorted.lock().unwrap();
+        if cache.stale {
+            let buf = &mut cache.buf;
+            buf.clear();
+            buf.extend_from_slice(&self.latencies);
+            buf.sort_unstable();
+            cache.stale = false;
+        }
+        debug_assert_eq!(cache.buf.len(), self.latencies.len());
+        let sorted = &cache.buf;
         qs.iter()
             .map(|&q| {
                 let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
@@ -258,17 +311,36 @@ mod tests {
     }
 
     #[test]
+    fn quantile_cache_invalidates_on_record_and_merge() {
+        let mut s = stats_of(&[5, 1, 9]);
+        assert_eq!(s.p50(), Duration::from_millis(5));
+        // A repeated read reuses the cached sorted order.
+        assert_eq!(s.p50(), Duration::from_millis(5));
+        s.record(Duration::from_millis(2), 1);
+        assert_eq!(s.quantile(1.0), Duration::from_millis(9));
+        assert_eq!(s.p50(), Duration::from_millis(2), "new sample visible");
+        s.merge(&stats_of(&[100, 200, 300, 400]));
+        assert_eq!(s.quantile(1.0), Duration::from_millis(400));
+        assert_eq!(s.count(), 8);
+        // A clone carries consistent cache state of its own.
+        let c = s.clone();
+        assert_eq!(c.p50(), s.p50());
+    }
+
+    #[test]
     fn macs_breakdown_totals_and_merges() {
         let mut a = MacsBreakdown {
             propagation: 100,
             nap: 20,
             classification: 3,
+            replication: 7,
         };
-        assert_eq!(a.total(), 123);
+        assert_eq!(a.total(), 130);
         let b = MacsBreakdown {
             propagation: 1,
             nap: 2,
             classification: 3,
+            replication: 4,
         };
         a.merge(&b);
         assert_eq!(
@@ -277,6 +349,7 @@ mod tests {
                 propagation: 101,
                 nap: 22,
                 classification: 6,
+                replication: 11,
             }
         );
         assert_eq!(MacsBreakdown::default().total(), 0);

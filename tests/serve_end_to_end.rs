@@ -1,14 +1,15 @@
 //! Integration: the online serving stack over real sockets.
 //!
-//! Boots `nai::serve` on an ephemeral port and drives it with
-//! concurrent clients, then checks the serving contract:
+//! Boots `nai::serve` on an ephemeral port and drives it with clients,
+//! then checks the serving contract:
 //!
-//! * **shard determinism** — replies to a closed-loop per-shard
-//!   ingest/infer sequence are identical to a single-threaded
-//!   [`StreamingEngine`] fed the same sequence (closed-loop clients
-//!   put at most one op per shard in any micro-batch, so the worker's
-//!   run coalescing degenerates to exactly the oracle's
-//!   `ingest → flush` / `infer_nodes` cadence);
+//! * **replicated determinism** — replies to a closed-loop interleaved
+//!   ingest / edge-arrival / infer sequence, dispatched with **no**
+//!   `shard` routing (reads fan out round-robin over the replicas, and
+//!   every mutation is sequenced and broadcast to all of them), are
+//!   bit-equal to a single-threaded [`StreamingEngine`] fed the same
+//!   sequence — including reads of just-ingested nodes, which any
+//!   replica must serve;
 //! * **bounded admission** — beyond `queue_cap` in-flight requests the
 //!   service answers `overloaded` immediately (HTTP 503 on single-line
 //!   bodies), it never hangs, and admitted requests still complete;
@@ -52,41 +53,50 @@ fn infer_cfg() -> InferenceConfig {
     InferenceConfig::distance(0.5, 1, K)
 }
 
-/// A deterministic closed-loop script for one shard: ingests grow the
-/// shard, infers read both seed and previously ingested nodes.
-fn client_script(seed: u64, len: usize) -> Vec<Op> {
+/// A deterministic closed-loop interleaving of all three op kinds.
+/// Ingests grow the *global* graph (sequenced replication assigns ids
+/// service-wide); infers deliberately include the most recent arrival,
+/// so round-robin dispatch exercises read-your-writes on every
+/// replica; edge arrivals include occasional duplicates, whose
+/// `added:false` answer must match the oracle.
+fn interleaved_script(seed: u64, len: usize) -> Vec<Op> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut nodes = SEED_NODES as u32;
+    let mut last_ingested: Option<u32> = None;
     (0..len)
-        .map(|i| {
-            if i % 3 == 1 {
+        .map(|i| match i % 4 {
+            1 => {
                 let neighbors: Vec<u32> = (0..3).map(|_| rng.gen_range(0..nodes)).collect();
                 nodes += 1;
+                last_ingested = Some(nodes - 1);
                 Op::Ingest {
                     features: (0..F).map(|_| rng.gen_range(-1.0f32..1.0)).collect(),
                     neighbors,
                 }
-            } else {
-                Op::Infer {
-                    nodes: (0..2).map(|_| rng.gen_range(0..nodes)).collect(),
+            }
+            3 => {
+                let u = rng.gen_range(0..nodes);
+                let v = (u + 1 + rng.gen_range(0..nodes - 1)) % nodes;
+                debug_assert_ne!(u, v);
+                Op::ObserveEdge { u, v }
+            }
+            _ => {
+                let mut read: Vec<u32> = vec![rng.gen_range(0..nodes)];
+                if let Some(fresh) = last_ingested {
+                    // Immediately read back the latest arrival: the
+                    // next replica in the rotation must know it.
+                    read.push(fresh);
                 }
+                Op::Infer { nodes: read }
             }
         })
         .collect()
 }
 
-fn render_line(op: &Op, shard: usize) -> String {
-    let line = nai::serve::proto::render_request(&nai::serve::Request {
-        op: op.clone(),
-        shard: Some(shard),
-    });
-    format!("{line}\n")
-}
-
 #[test]
-fn concurrent_clients_match_single_threaded_oracle_per_shard() {
+fn round_robin_interleaved_workload_matches_single_engine_oracle() {
     const SHARDS: usize = 2;
-    const OPS: usize = 24;
+    const OPS: usize = 48;
     let engines: Vec<StreamingEngine> = (0..SHARDS).map(|_| engine()).collect();
     let service = NaiService::new(
         engines,
@@ -106,79 +116,85 @@ fn concurrent_clients_match_single_threaded_oracle_per_shard() {
     let server = Server::start(Arc::new(service), "127.0.0.1:0").unwrap();
     let addr = server.local_addr();
 
-    let scripts: Vec<Vec<Op>> = (0..SHARDS)
-        .map(|s| client_script(7000 + s as u64, OPS))
-        .collect();
+    let script = interleaved_script(7001, OPS);
 
-    // Drive each shard from its own client thread, concurrently, over
-    // real sockets; collect the parsed reply JSON per request.
-    let replies: Vec<Vec<Json>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..SHARDS)
-            .map(|s| {
-                let script = &scripts[s];
-                scope.spawn(move || {
-                    let mut client = HttpClient::connect(addr).unwrap();
-                    script
-                        .iter()
-                        .map(|op| {
-                            let (status, body) = client
-                                .request("POST", "/v1", Some(&render_line(op, s)))
-                                .unwrap();
-                            assert_eq!(status, 200, "body: {body}");
-                            Json::parse(body.trim()).unwrap()
-                        })
-                        .collect::<Vec<Json>>()
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+    // Drive the whole interleaved script closed-loop over one socket,
+    // with no shard field anywhere: the service's own round-robin
+    // decides which replica answers each request.
+    let mut client = HttpClient::connect(addr).unwrap();
+    let mut replies = Vec::with_capacity(OPS);
+    for op in &script {
+        let line = nai::serve::proto::render_request(&nai::serve::Request {
+            op: op.clone(),
+            shard: None,
+        });
+        let (status, body) = client
+            .request("POST", "/v1", Some(&format!("{line}\n")))
+            .unwrap();
+        assert_eq!(status, 200, "body: {body}");
+        replies.push(Json::parse(body.trim()).unwrap());
+    }
 
-    // Replay every script on a fresh single-threaded engine and demand
-    // identical answers.
-    for (s, script) in scripts.iter().enumerate() {
-        let mut oracle = engine();
-        for (op, reply) in script.iter().zip(&replies[s]) {
-            assert_eq!(
-                reply.get("ok").and_then(Json::as_bool),
-                Some(true),
-                "shard {s}: {reply}"
-            );
-            assert_eq!(reply.get("shard").and_then(Json::as_u64), Some(s as u64));
-            match op {
-                Op::Infer { nodes } => {
-                    let expected = oracle.infer_nodes(nodes, &infer_cfg());
-                    let results = reply.get("results").unwrap().as_arr().unwrap();
-                    assert_eq!(results.len(), nodes.len());
-                    for ((r, &node), &(pred, depth)) in results.iter().zip(nodes).zip(&expected) {
-                        assert_eq!(r.get("node").unwrap().as_u64(), Some(node as u64));
-                        assert_eq!(r.get("prediction").unwrap().as_u64(), Some(pred as u64));
-                        assert_eq!(r.get("depth").unwrap().as_u64(), Some(depth as u64));
-                    }
+    // Replay the script on a fresh single-threaded engine and demand
+    // bit-identical answers, whatever replica served each request.
+    let mut oracle = engine();
+    let mut last_applied = 0u64;
+    let mut answering_shards = std::collections::HashSet::new();
+    for (op, reply) in script.iter().zip(&replies) {
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{reply}"
+        );
+        let shard = reply.get("shard").and_then(Json::as_u64).unwrap();
+        assert!((shard as usize) < SHARDS);
+        answering_shards.insert(shard);
+        let applied = reply.get("applied_seq").and_then(Json::as_u64).unwrap();
+        assert!(
+            applied >= last_applied || matches!(op, Op::ObserveEdge { .. }),
+            "applied_seq regressed for a read: {applied} < {last_applied}"
+        );
+        last_applied = last_applied.max(applied);
+        match op {
+            Op::Infer { nodes } => {
+                let expected = oracle.infer_nodes(nodes, &infer_cfg());
+                let results = reply.get("results").unwrap().as_arr().unwrap();
+                assert_eq!(results.len(), nodes.len());
+                for ((r, &node), &(pred, depth)) in results.iter().zip(nodes).zip(&expected) {
+                    assert_eq!(r.get("node").unwrap().as_u64(), Some(node as u64));
+                    assert_eq!(r.get("prediction").unwrap().as_u64(), Some(pred as u64));
+                    assert_eq!(r.get("depth").unwrap().as_u64(), Some(depth as u64));
                 }
-                Op::Ingest {
-                    features,
-                    neighbors,
-                } => {
-                    let id = oracle.ingest(features, neighbors);
-                    let expected = oracle.flush(&infer_cfg());
-                    assert_eq!(reply.get("node").unwrap().as_u64(), Some(id as u64));
-                    assert_eq!(
-                        reply.get("prediction").unwrap().as_u64(),
-                        Some(expected[0].prediction as u64)
-                    );
-                    assert_eq!(
-                        reply.get("depth").unwrap().as_u64(),
-                        Some(expected[0].depth as u64)
-                    );
-                }
-                Op::ObserveEdge { .. } => unreachable!("script has no edge ops"),
+            }
+            Op::Ingest {
+                features,
+                neighbors,
+            } => {
+                let id = oracle.ingest(features, neighbors);
+                let expected = oracle.flush(&infer_cfg());
+                assert_eq!(reply.get("node").unwrap().as_u64(), Some(id as u64));
+                assert_eq!(
+                    reply.get("prediction").unwrap().as_u64(),
+                    Some(expected[0].prediction as u64)
+                );
+                assert_eq!(
+                    reply.get("depth").unwrap().as_u64(),
+                    Some(expected[0].depth as u64)
+                );
+            }
+            Op::ObserveEdge { u, v } => {
+                let added = oracle.observe_edge(*u, *v);
+                assert_eq!(reply.get("added").and_then(Json::as_bool), Some(added));
             }
         }
     }
+    assert_eq!(
+        answering_shards.len(),
+        SHARDS,
+        "round-robin must spread work over every replica"
+    );
 
     // Health and metrics reflect the traffic that just happened.
-    let mut client = HttpClient::connect(addr).unwrap();
     let (status, body) = client.request("GET", "/healthz", None).unwrap();
     assert_eq!(status, 200);
     let health = Json::parse(body.trim()).unwrap();
@@ -190,19 +206,18 @@ fn concurrent_clients_match_single_threaded_oracle_per_shard() {
     let (status, body) = client.request("GET", "/metrics", None).unwrap();
     assert_eq!(status, 200);
     let metrics = Json::parse(body.trim()).unwrap();
-    // 2 shards × 24 ops: infers answer 2 nodes each, ingests 1.
     let served = metrics.get("served").unwrap().as_u64().unwrap();
-    assert!(served >= (SHARDS * OPS) as u64, "served {served}");
+    assert!(served >= OPS as u64 / 2, "served {served}");
     assert_eq!(metrics.get("overloaded").unwrap().as_u64(), Some(0));
     assert!(
-        metrics
-            .get("macs")
-            .unwrap()
-            .get("propagation")
-            .unwrap()
-            .as_u64()
-            .unwrap()
-            > 0
+        metrics.get("edges_observed").unwrap().as_u64().unwrap() >= (OPS / 4) as u64,
+        "every edge arrival sequenced once"
+    );
+    let macs = metrics.get("macs").unwrap();
+    assert!(macs.get("propagation").unwrap().as_u64().unwrap() > 0);
+    assert!(
+        macs.get("replication").unwrap().as_u64().unwrap() > 0,
+        "replicated mutation work attributed to its own stage"
     );
     drop(client);
 
