@@ -90,6 +90,28 @@ serve_smoke() {
 step "serve smoke (healthz + inference over TCP + clean shutdown)" \
   serve_smoke
 
+# Runs a tiny (topology × workload) matrix through `nai bench` and
+# checks the machine-readable report. `nai bench` itself re-parses the
+# emitted JSON and validates it against a hard-coded schema field list
+# (see `validate_report` in crates/cli/src/bench.rs), so schema drift —
+# a renamed/dropped field, a missing cell — fails this step; the greps
+# below re-assert cell presence from the outside.
+bench_smoke() {
+  local dir
+  dir=$(mktemp -d)
+  trap 'trap - RETURN; rm -rf "$dir"; true' RETURN
+  target/release/nai bench --json "$dir/bench.json" --scale test \
+    --topologies power-law,hub-star --workloads uniform-read,zipf-read \
+    --requests 24 --epochs 4 --clients 2
+  for cell in power-law hub-star uniform-read zipf-read \
+      schema_version depth_histogram shed_ops throughput_rps; do
+    grep -q "\"$cell\"" "$dir/bench.json"
+  done
+}
+
+step "bench smoke (tiny scenario matrix → validated JSON report)" \
+  bench_smoke
+
 step "cargo doc --no-deps (-D warnings)" \
   env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 

@@ -447,6 +447,52 @@ pub fn serve(args: &ParsedArgs) -> CliResult {
     Ok(())
 }
 
+/// Builds the [`nai_serve::WorkloadSpec`] a loadgen invocation drives:
+/// `--mode` picks the read/mutation mix, `--sampling`/`--zipf-s` the
+/// node-id distribution — one shared code path with `nai bench` (no
+/// loadgen-local RNG plumbing).
+pub fn loadgen_workload(args: &ParsedArgs) -> Result<nai_serve::WorkloadSpec, CliError> {
+    let mode = args.get_or("mode", "infer");
+    let read_fraction = match mode {
+        "infer" => 1.0,
+        "ingest" => 0.0,
+        "mixed" => 2.0 / 3.0,
+        other => {
+            return Err(ArgError::BadValue {
+                flag: "mode".into(),
+                value: other.into(),
+                expected: "infer | ingest | mixed",
+            }
+            .into())
+        }
+    };
+    let sampling = match args.get_or("sampling", "uniform") {
+        "uniform" => nai_serve::Sampling::Uniform,
+        "zipf" => nai_serve::Sampling::Zipf {
+            exponent: args.get_parse_or("zipf-s", 1.1f64)?,
+        },
+        other => {
+            return Err(ArgError::BadValue {
+                flag: "sampling".into(),
+                value: other.into(),
+                expected: "uniform | zipf",
+            }
+            .into())
+        }
+    };
+    let spec = nai_serve::WorkloadSpec {
+        name: mode.to_string(),
+        read_fraction,
+        edge_fraction: 0.0,
+        sampling,
+        nodes_per_read: args.get_parse_or("nodes-per-request", 1usize)?.max(1),
+        ingest_degree: 3,
+        arrivals: nai_serve::Arrivals::Closed,
+    };
+    spec.validate().map_err(CliError::Other)?;
+    Ok(spec)
+}
+
 /// `nai loadgen`: closed-loop load driver against a running server.
 ///
 /// Requests carry no `shard` routing — mutations are sequenced and
@@ -459,6 +505,8 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
         "requests",
         "clients",
         "mode",
+        "sampling",
+        "zipf-s",
         "nodes-per-request",
         "seed",
         "shutdown",
@@ -466,17 +514,8 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
     let addr = args.require("addr")?.to_string();
     let total: usize = args.get_parse_or("requests", 200usize)?;
     let clients: usize = args.get_parse_or("clients", 4usize)?.max(1);
-    let per: usize = args.get_parse_or("nodes-per-request", 1usize)?.max(1);
     let seed = args.get_parse_or("seed", 7u64)?;
-    let mode = args.get_or("mode", "infer");
-    if !matches!(mode, "infer" | "ingest" | "mixed") {
-        return Err(ArgError::BadValue {
-            flag: "mode".into(),
-            value: mode.into(),
-            expected: "infer | ingest | mixed",
-        }
-        .into());
-    }
+    let workload = loadgen_workload(args)?;
 
     // Discover deployment facts from the server itself.
     let (status, body) = nai_serve::http_call(addr.as_str(), "GET", "/healthz", None)
@@ -498,18 +537,21 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
         return Err(CliError::Other("server has an empty seed graph".into()));
     }
     println!(
-        "loadgen: {total} {mode} requests ({clients} clients) against {addr} \
-         (seed_nodes {seed_nodes}, f {feature_dim})"
+        "loadgen: {total} {} requests ({clients} clients, {:?} sampling) against {addr} \
+         (seed_nodes {seed_nodes}, f {feature_dim})",
+        workload.name, workload.sampling,
     );
 
-    let mode = mode.to_string();
     let counters = std::sync::Mutex::new((nai_stream::LatencyStats::new(), 0u64, 0u64, 0u64));
     std::thread::scope(|scope| {
         for c in 0..clients {
             let share = total / clients + usize::from(c < total % clients);
-            let (addr, mode, counters) = (&addr, &mode, &counters);
+            let (addr, workload, counters) = (&addr, &workload, &counters);
             scope.spawn(move || {
-                let mut rng = StdRng::seed_from_u64(seed ^ (c as u64).wrapping_mul(0x9E37));
+                let mut sampler = nai_serve::WorkloadSampler::new(
+                    workload.clone(),
+                    seed ^ (c as u64).wrapping_mul(0x9E37),
+                );
                 let mut local = nai_stream::LatencyStats::new();
                 let (mut ok, mut overloaded, mut failed) = (0u64, 0u64, 0u64);
                 let mut client = match nai_serve::HttpClient::connect(addr.as_str()) {
@@ -524,12 +566,7 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
                 // acknowledged — any replica must serve all of them.
                 let mut known_nodes = seed_nodes;
                 for i in 0..share {
-                    let op = match mode.as_str() {
-                        "ingest" => ingest_op(&mut rng, known_nodes, feature_dim),
-                        "infer" => infer_op(&mut rng, known_nodes, per),
-                        _ if i % 3 == 2 => ingest_op(&mut rng, known_nodes, feature_dim),
-                        _ => infer_op(&mut rng, known_nodes, per),
-                    };
+                    let op = sampler.next_op(known_nodes, feature_dim);
                     let line =
                         nai_serve::proto::render_request(&nai_serve::Request { op, shard: None });
                     let start = std::time::Instant::now();
@@ -614,21 +651,6 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
         ));
     }
     Ok(())
-}
-
-fn infer_op(rng: &mut StdRng, known_nodes: u32, per: usize) -> nai_serve::Op {
-    nai_serve::Op::Infer {
-        nodes: (0..per).map(|_| rng.gen_range(0..known_nodes)).collect(),
-    }
-}
-
-fn ingest_op(rng: &mut StdRng, known_nodes: u32, feature_dim: usize) -> nai_serve::Op {
-    nai_serve::Op::Ingest {
-        features: (0..feature_dim)
-            .map(|_| rng.gen_range(-1.0f32..1.0))
-            .collect(),
-        neighbors: (0..3).map(|_| rng.gen_range(0..known_nodes)).collect(),
-    }
 }
 
 #[cfg(test)]
@@ -736,6 +758,51 @@ mod tests {
         .unwrap();
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loadgen_workload_maps_modes_and_sampling_onto_one_spec() {
+        let spec = loadgen_workload(&parsed(&["loadgen"])).unwrap();
+        assert_eq!(spec.read_fraction, 1.0, "default mode is read-only");
+        assert_eq!(spec.sampling, nai_serve::Sampling::Uniform);
+        assert_eq!(spec.edge_fraction, 0.0);
+
+        let spec = loadgen_workload(&parsed(&[
+            "loadgen",
+            "--mode",
+            "mixed",
+            "--sampling",
+            "zipf",
+            "--zipf-s",
+            "1.4",
+            "--nodes-per-request",
+            "3",
+        ]))
+        .unwrap();
+        assert!((spec.read_fraction - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(spec.nodes_per_read, 3);
+        assert!(
+            matches!(spec.sampling, nai_serve::Sampling::Zipf { exponent } if (exponent - 1.4).abs() < 1e-9)
+        );
+        assert_eq!(
+            loadgen_workload(&parsed(&["loadgen", "--mode", "ingest"]))
+                .unwrap()
+                .read_fraction,
+            0.0
+        );
+        assert!(loadgen_workload(&parsed(&["loadgen", "--mode", "chaos"])).is_err());
+        assert!(loadgen_workload(&parsed(&["loadgen", "--sampling", "pareto"])).is_err());
+        assert!(
+            loadgen_workload(&parsed(&[
+                "loadgen",
+                "--sampling",
+                "zipf",
+                "--zipf-s",
+                "-2"
+            ]))
+            .is_err(),
+            "invalid exponent rejected by WorkloadSpec::validate"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! ```
 
 mod args;
+mod bench;
 mod commands;
 
 use args::ParsedArgs;
@@ -44,8 +45,18 @@ COMMANDS:
              --shed-at F, --shed-tmax N, --parallel-spmm
   loadgen    Closed-loop load driver against a running `nai serve`
              --addr HOST:PORT, --requests N, --clients N,
-             --mode infer|ingest|mixed, --nodes-per-request N, --seed N,
-             --shutdown
+             --mode infer|ingest|mixed, --sampling uniform|zipf, --zipf-s F,
+             --nodes-per-request N, --seed N, --shutdown
+  bench      Scenario-matrix benchmark → machine-readable JSON report
+             --json PATH, --scale test|bench,
+             --topologies power-law,sbm-homophilous,sbm-heterophilous,
+                          small-world,hub-star (comma list; default all),
+             --workloads uniform-read,zipf-read,mixed-mutation,bursty-zipf
+                          (comma list; default all),
+             --requests N, --clients N, --workers N, --model-kind KIND,
+             --k N, --epochs N, --hidden N, --nap ..., --seed N,
+             --queue-cap N, --max-batch N, --max-wait-ms F,
+             --shed-at F, --shed-tmax N
 
 Data flags: either --dataset NAME --scale SCALE (generated proxy) or
 --graph PATH --split PATH (files from `nai generate`).
@@ -68,6 +79,7 @@ fn main() {
         "stream" => commands::stream(&parsed),
         "serve" => commands::serve(&parsed),
         "loadgen" => commands::loadgen(&parsed),
+        "bench" => bench::bench(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -1,0 +1,115 @@
+//! Property tests for the scenario topology generators (ISSUE 5
+//! satellite): every family is deterministic for a fixed seed, emits a
+//! well-formed CSR (sorted, deduped, in-bounds, no self-loops,
+//! symmetric — all graphs here are undirected), and lands within
+//! tolerance of its requested node/edge budget.
+
+use nai_datasets::{TopologyKind, TopologySpec};
+use proptest::prelude::*;
+
+/// A spec exercising one of the five scenario families with
+/// proptest-driven shape knobs. Hub counts are derived from the degree
+/// budget so the pure leaf→hub edge space can actually hold the
+/// requested edge count.
+fn spec(kind_idx: usize, n: usize, classes: usize, avg_degree: f64, seed: u64) -> TopologySpec {
+    let kind = match kind_idx {
+        0 => TopologyKind::PowerLaw {
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        },
+        1 => TopologyKind::Sbm {
+            homophily: 0.8,
+            power_law_exponent: 2.5,
+        },
+        2 => TopologyKind::Sbm {
+            homophily: 0.2,
+            power_law_exponent: 2.5,
+        },
+        3 => TopologyKind::SmallWorld { rewire: 0.15 },
+        _ => TopologyKind::HubStar {
+            hubs: ((avg_degree / 2.0).ceil() as usize + 1).max(2),
+        },
+    };
+    TopologySpec {
+        name: format!("prop-{kind_idx}"),
+        kind,
+        num_nodes: n,
+        num_classes: classes,
+        avg_degree,
+        feature_dim: 6,
+        feature_noise: 2.0,
+        train_frac: 0.5,
+        val_frac: 0.2,
+        seed,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(25))]
+
+    #[test]
+    fn every_generator_is_deterministic_well_formed_and_on_budget(
+        kind_idx in 0..5usize,
+        n in 80..240usize,
+        classes in 2..6usize,
+        avg in prop_oneof![Just(4.0f64), Just(6.0f64), Just(8.0f64)],
+        seed in any::<u64>(),
+    ) {
+        let s = spec(kind_idx, n, classes, avg, seed);
+
+        // Determinism: two builds of the same spec are bit-identical.
+        let a = s.build();
+        let b = s.build();
+        prop_assert_eq!(&a.graph.labels, &b.graph.labels);
+        prop_assert_eq!(a.graph.adj.indices(), b.graph.adj.indices());
+        prop_assert_eq!(a.graph.adj.indptr(), b.graph.adj.indptr());
+        prop_assert_eq!(a.graph.features.as_slice(), b.graph.features.as_slice());
+        prop_assert_eq!(&a.split.test, &b.split.test);
+        a.split.validate(a.graph.num_nodes()).map_err(|e| TestCaseError::fail(e.to_string()))?;
+
+        // Well-formed CSR: monotone indptr, strictly ascending in-bounds
+        // rows (sorted + deduped), no self-loops, symmetric.
+        let g = &a.graph;
+        let adj = &g.adj;
+        prop_assert_eq!(adj.n(), n);
+        let indptr = adj.indptr();
+        prop_assert_eq!(indptr[0], 0);
+        prop_assert_eq!(*indptr.last().unwrap(), adj.nnz());
+        for i in 0..n {
+            prop_assert!(indptr[i] <= indptr[i + 1]);
+            let row = adj.row_indices(i);
+            for w in row.windows(2) {
+                prop_assert!(w[0] < w[1], "row {} not sorted/deduped", i);
+            }
+            for &j in row {
+                prop_assert!((j as usize) < n, "column {} out of bounds", j);
+                prop_assert_ne!(j as usize, i, "self-loop at {}", i);
+                prop_assert!(
+                    adj.row_indices(j as usize).binary_search(&(i as u32)).is_ok(),
+                    "edge ({}, {}) missing its reverse", i, j
+                );
+            }
+        }
+
+        // Budgets: node count exact, undirected edge count within
+        // tolerance of the family's own target (rejection-sampled
+        // families lose edges to dedup on small dense shapes).
+        prop_assert_eq!(g.num_nodes(), n);
+        let target = s.edge_target() as f64;
+        let m = g.num_edges() as f64;
+        prop_assert!(
+            (m - target).abs() <= 0.35 * target + 12.0,
+            "{}: {} edges vs target {}", s.name, m, target
+        );
+
+        // Labels: in range and balanced to within one node per class.
+        prop_assert!(g.labels.iter().all(|&l| (l as usize) < classes));
+        let hist = g.class_histogram();
+        let (lo, hi) = (n / classes, n.div_ceil(classes));
+        prop_assert!(
+            hist.iter().all(|&c| (lo..=hi).contains(&c)),
+            "unbalanced class histogram {:?}", hist
+        );
+    }
+}

@@ -15,6 +15,21 @@
 //!    propagated features are strong, reproducing the accuracy-vs-depth
 //!    curves of the paper.
 //!
+//! Beyond the SBM, the scenario harness (`nai-datasets::TopologySpec`,
+//! `nai bench`) draws on three further *edge-list* generators covering
+//! the topology axes the NAP policies are sensitive to:
+//!
+//! * [`rmat_edges`] — recursive-matrix (R-MAT) power-law graphs, the
+//!   classic skewed-degree shape where depth-adaptive exit pays off;
+//! * [`small_world_edges`] — Watts–Strogatz ring lattices with random
+//!   rewiring: near-homogeneous degrees, the worst case for
+//!   degree-driven depth policies;
+//! * [`hub_star_edges`] — a few extreme hubs absorbing most edges, the
+//!   hub-heavy read-traffic shape of online serving.
+//!
+//! [`attributed`] lifts any edge list into a full [`Graph`] with the
+//! same balanced-label + noisy-centroid feature model the SBM uses.
+//!
 //! Also includes tiny deterministic topologies (path/star/complete/grid)
 //! used across the workspace's tests.
 
@@ -107,13 +122,7 @@ pub fn generate<R: Rng>(cfg: &GeneratorConfig, rng: &mut R) -> Graph {
     let n = cfg.num_nodes;
     let c = cfg.num_classes;
 
-    // Class assignment: balanced with random remainder.
-    let mut labels: Vec<u32> = (0..n).map(|i| (i % c) as u32).collect();
-    // Shuffle so class blocks don't align with node ids.
-    for i in (1..n).rev() {
-        let j = rng.gen_range(0..=i);
-        labels.swap(i, j);
-    }
+    let labels = balanced_labels(n, c, rng);
 
     // Power-law degree weights: w = u^(-1/(alpha-1)), capped to avoid a
     // single node absorbing the whole edge budget.
@@ -140,10 +149,6 @@ pub fn generate<R: Rng>(cfg: &GeneratorConfig, rng: &mut R) -> Graph {
     let m_target = ((n as f64 * cfg.avg_degree) / 2.0).round() as usize;
     let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m_target);
     let mut seen: HashSet<u64> = HashSet::with_capacity(m_target * 2);
-    let key = |a: u32, b: u32| -> u64 {
-        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
-        (lo as u64) << 32 | hi as u64
-    };
     let max_attempts = m_target.saturating_mul(30).max(1000);
     let mut attempts = 0usize;
     while edges.len() < m_target && attempts < max_attempts {
@@ -158,25 +163,224 @@ pub fn generate<R: Rng>(cfg: &GeneratorConfig, rng: &mut R) -> Graph {
         if u == v {
             continue;
         }
-        if seen.insert(key(u, v)) {
+        if seen.insert(edge_key(u, v)) {
             edges.push((u, v));
         }
     }
 
     let adj = CsrMatrix::undirected_adjacency(n, &edges).expect("endpoints in range");
+    let features = class_features(&labels, c, cfg.feature_dim, cfg.feature_noise, rng);
+    Graph::new(adj, features, labels, c).expect("generator invariants")
+}
 
-    // Features: unit-scale class centroids + heavy per-node noise.
-    let centroids = DenseMatrix::from_fn(c, cfg.feature_dim, |_, _| sample_standard_normal(rng));
-    let mut features = DenseMatrix::zeros(n, cfg.feature_dim);
+/// Balanced class assignment with a Fisher–Yates shuffle so class
+/// blocks don't align with node ids. Per-class counts differ by at
+/// most one.
+pub fn balanced_labels<R: Rng>(n: usize, num_classes: usize, rng: &mut R) -> Vec<u32> {
+    assert!(num_classes > 0, "need at least one class");
+    let mut labels: Vec<u32> = (0..n).map(|i| (i % num_classes) as u32).collect();
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        labels.swap(i, j);
+    }
+    labels
+}
+
+/// The SBM's feature model for arbitrary label assignments: unit-scale
+/// class centroids + heavy per-node Gaussian noise, so raw features are
+/// weak and propagated features strong.
+pub fn class_features<R: Rng>(
+    labels: &[u32],
+    num_classes: usize,
+    feature_dim: usize,
+    feature_noise: f32,
+    rng: &mut R,
+) -> DenseMatrix {
+    let centroids =
+        DenseMatrix::from_fn(num_classes, feature_dim, |_, _| sample_standard_normal(rng));
+    let mut features = DenseMatrix::zeros(labels.len(), feature_dim);
     for (i, &label) in labels.iter().enumerate() {
         let cls = label as usize;
         let row = features.row_mut(i);
         for (x, &mu) in row.iter_mut().zip(centroids.row(cls)) {
-            *x = mu + cfg.feature_noise * sample_standard_normal(rng);
+            *x = mu + feature_noise * sample_standard_normal(rng);
         }
     }
+    features
+}
 
-    Graph::new(adj, features, labels, c).expect("generator invariants")
+/// Lifts an edge list into a full attributed [`Graph`]: undirected
+/// simple-graph adjacency plus the same balanced-label / noisy-centroid
+/// feature model as the SBM generator. Labels are drawn *after* the
+/// topology, so they carry no structural signal (no homophily) — which
+/// is exactly the heterogeneity axis the scenario matrix probes.
+///
+/// # Panics
+/// Panics if `num_classes == 0` or any edge endpoint is `>= n`.
+pub fn attributed<R: Rng>(
+    n: usize,
+    edges: &[(u32, u32)],
+    num_classes: usize,
+    feature_dim: usize,
+    feature_noise: f32,
+    rng: &mut R,
+) -> Graph {
+    let adj = CsrMatrix::undirected_adjacency(n, edges).expect("endpoints in range");
+    let labels = balanced_labels(n, num_classes, rng);
+    let features = class_features(&labels, num_classes, feature_dim, feature_noise, rng);
+    Graph::new(adj, features, labels, num_classes).expect("attributed graph invariants")
+}
+
+/// Undirected-edge dedup key (order-independent).
+fn edge_key(a: u32, b: u32) -> u64 {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    (lo as u64) << 32 | hi as u64
+}
+
+/// R-MAT (recursive matrix) power-law topology: each edge is drawn by
+/// recursively descending into one of four adjacency-matrix quadrants
+/// with probabilities `(a, b, c, 1−a−b−c)`. Skewed partitions
+/// (`a ≈ 0.55+`) concentrate edges on low-id nodes, producing the
+/// heavy-tailed degree distributions where node-adaptive propagation
+/// wins the most. Self-loops and duplicates are rejected; the result
+/// may fall short of `m_target` on dense/small configurations (the
+/// attempt budget is capped like the SBM's).
+///
+/// # Panics
+/// Panics if `n < 2` or the partition is not a sub-distribution.
+pub fn rmat_edges<R: Rng>(
+    n: usize,
+    m_target: usize,
+    partition: (f64, f64, f64),
+    rng: &mut R,
+) -> Vec<(u32, u32)> {
+    assert!(n >= 2, "R-MAT needs at least two nodes");
+    let (a, b, c) = partition;
+    assert!(
+        a > 0.0 && b >= 0.0 && c >= 0.0 && a + b + c < 1.0,
+        "R-MAT partition must satisfy a > 0, b,c ≥ 0, a+b+c < 1"
+    );
+    let bits = (n - 1).ilog2() + 1;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m_target);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(m_target * 2);
+    let max_attempts = m_target.saturating_mul(30).max(1000);
+    let mut attempts = 0usize;
+    while edges.len() < m_target && attempts < max_attempts {
+        attempts += 1;
+        let (mut u, mut v) = (0u64, 0u64);
+        for _ in 0..bits {
+            let x: f64 = rng.gen_range(0.0..1.0);
+            let (du, dv) = if x < a {
+                (0, 0)
+            } else if x < a + b {
+                (0, 1)
+            } else if x < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            u = (u << 1) | du;
+            v = (v << 1) | dv;
+        }
+        if u as usize >= n || v as usize >= n || u == v {
+            continue;
+        }
+        let (u, v) = (u as u32, v as u32);
+        if seen.insert(edge_key(u, v)) {
+            edges.push((u, v));
+        }
+    }
+    edges
+}
+
+/// Watts–Strogatz small-world topology: a ring lattice where every node
+/// connects to its `k_per_side` nearest neighbors on each side, with
+/// each lattice edge rewired to a uniformly random endpoint with
+/// probability `rewire`. Degrees are near-homogeneous — the opposite
+/// end of the degree-skew axis from R-MAT/hub-star — so degree-driven
+/// depth policies gain the least here. A rewire that would create a
+/// self-loop or duplicate falls back to the lattice edge (dropped only
+/// if that is itself a duplicate), keeping the edge count ≈
+/// `n · k_per_side`.
+///
+/// # Panics
+/// Panics if `n < 3` or `k_per_side == 0`.
+pub fn small_world_edges<R: Rng>(
+    n: usize,
+    k_per_side: usize,
+    rewire: f64,
+    rng: &mut R,
+) -> Vec<(u32, u32)> {
+    assert!(n >= 3, "small-world needs at least three nodes");
+    assert!(k_per_side >= 1, "k_per_side must be ≥ 1");
+    let p = rewire.clamp(0.0, 1.0);
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * k_per_side);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(n * k_per_side * 2);
+    for i in 0..n {
+        for j in 1..=k_per_side.min(n / 2) {
+            let u = i as u32;
+            let mut v = ((i + j) % n) as u32;
+            if rng.gen_bool(p) {
+                for _ in 0..8 {
+                    let cand = rng.gen_range(0..n) as u32;
+                    if cand != u && !seen.contains(&edge_key(u, cand)) {
+                        v = cand;
+                        break;
+                    }
+                }
+            }
+            if u != v && seen.insert(edge_key(u, v)) {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// Hub-star topology: nodes `0..hubs` are hubs; every leaf attaches to
+/// one hub drawn with weight `∝ 1/(h+1)` (hub 0 hottest — so
+/// Zipf-skewed *traffic* over node ids automatically lands on the
+/// hottest *structure*), hubs form a ring for connectivity, and the
+/// remaining edge budget is filled with random leaf→hub attachments.
+/// This is the most extreme degree-skew in the scenario matrix: hub
+/// stationary states are reached in one hop while leaves need many.
+///
+/// # Panics
+/// Panics if `hubs == 0` or `hubs >= n`.
+pub fn hub_star_edges<R: Rng>(
+    n: usize,
+    hubs: usize,
+    m_target: usize,
+    rng: &mut R,
+) -> Vec<(u32, u32)> {
+    assert!(hubs >= 1, "need at least one hub");
+    assert!(hubs < n, "need at least one leaf");
+    let hub_weights = CumulativeSampler::new((0..hubs).map(|h| 1.0 / (h + 1) as f64));
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m_target);
+    let mut seen: HashSet<u64> = HashSet::with_capacity(m_target * 2);
+    // Hub ring: with every leaf attached below, the graph is connected.
+    for h in 1..hubs as u32 {
+        if seen.insert(edge_key(h - 1, h)) {
+            edges.push((h - 1, h));
+        }
+    }
+    for leaf in hubs as u32..n as u32 {
+        let hub = hub_weights.sample(rng) as u32;
+        if seen.insert(edge_key(leaf, hub)) {
+            edges.push((leaf, hub));
+        }
+    }
+    let max_attempts = m_target.saturating_mul(30).max(1000);
+    let mut attempts = 0usize;
+    while edges.len() < m_target && attempts < max_attempts {
+        attempts += 1;
+        let leaf = rng.gen_range(hubs..n) as u32;
+        let hub = hub_weights.sample(rng) as u32;
+        if seen.insert(edge_key(leaf, hub)) {
+            edges.push((leaf, hub));
+        }
+    }
+    edges
 }
 
 /// Path graph 0–1–⋯–(n−1) with the given feature dim (features = node id
@@ -322,6 +526,81 @@ mod tests {
         let g = grid_graph(3, 4, 2);
         assert_eq!(g.num_nodes(), 12);
         assert_eq!(g.num_edges(), 3 * 3 + 2 * 4);
+    }
+
+    #[test]
+    fn rmat_is_skewed_and_deduped() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let edges = rmat_edges(1024, 4096, (0.57, 0.19, 0.19), &mut rng);
+        assert!(edges.len() > 3500, "budget roughly met: {}", edges.len());
+        let mut seen = HashSet::new();
+        for &(u, v) in &edges {
+            assert!(u != v && (u as usize) < 1024 && (v as usize) < 1024);
+            assert!(seen.insert(edge_key(u, v)), "duplicate ({u},{v})");
+        }
+        // Degree skew: the heaviest node far exceeds the mean.
+        let mut deg = vec![0usize; 1024];
+        for &(u, v) in &edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mean = 2.0 * edges.len() as f64 / 1024.0;
+        let max = *deg.iter().max().unwrap() as f64;
+        assert!(max > 4.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn small_world_is_near_homogeneous() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let n = 500;
+        let edges = small_world_edges(n, 3, 0.1, &mut rng);
+        assert!(edges.len() > n * 3 * 9 / 10, "lattice mostly intact");
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &edges {
+            assert!(u != v);
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        // Every node keeps close to the lattice degree 2k.
+        assert!(deg.iter().all(|&d| (3..=14).contains(&d)), "{deg:?}");
+    }
+
+    #[test]
+    fn hub_star_concentrates_on_hubs() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 400;
+        let hubs = 4;
+        let edges = hub_star_edges(n, hubs, 900, &mut rng);
+        let mut deg = vec![0usize; n];
+        for &(u, v) in &edges {
+            assert!(u != v);
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        // Every hub's degree dwarfs the mean (leaves hold ≈1–3 edges).
+        let mean = 2.0 * edges.len() as f64 / n as f64;
+        assert!(
+            deg[..hubs].iter().all(|&d| d as f64 > 5.0 * mean),
+            "hub degrees {:?} vs mean {mean}",
+            &deg[..hubs]
+        );
+        // Hub 0 is the hottest (harmonic attachment weights).
+        assert!(deg[0] > deg[hubs - 1]);
+        // Every leaf is attached.
+        assert!(deg[hubs..].iter().all(|&d| d >= 1));
+    }
+
+    #[test]
+    fn attributed_lifts_edges_into_graphs_deterministically() {
+        let edges = small_world_edges(120, 2, 0.2, &mut StdRng::seed_from_u64(24));
+        let a = attributed(120, &edges, 4, 6, 2.0, &mut StdRng::seed_from_u64(25));
+        let b = attributed(120, &edges, 4, 6, 2.0, &mut StdRng::seed_from_u64(25));
+        assert_eq!(a.labels, b.labels);
+        assert_eq!(a.features.as_slice(), b.features.as_slice());
+        assert_eq!(a.num_classes, 4);
+        let h = a.class_histogram();
+        assert_eq!(h.iter().sum::<usize>(), 120);
+        assert!(h.iter().all(|&c| c == 30), "balanced labels: {h:?}");
     }
 
     #[test]

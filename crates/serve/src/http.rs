@@ -411,6 +411,16 @@ fn metrics_json(service: &NaiService) -> Json {
             ]),
         ),
         ("mean_depth", Json::Num(m.stats.mean_depth())),
+        (
+            "depth_histogram",
+            Json::Arr(
+                m.stats
+                    .depth_histogram()
+                    .iter()
+                    .map(|&c| Json::uint(c))
+                    .collect(),
+            ),
+        ),
         ("throughput", Json::Num(m.stats.throughput())),
         (
             "macs",

@@ -26,7 +26,11 @@
 //! * [`proto`] / [`json`] — the wire protocol and the vendored JSON it
 //!   rides on;
 //! * [`client::HttpClient`] — the tiny blocking client used by
-//!   `nai loadgen` and the end-to-end tests.
+//!   `nai loadgen` and the end-to-end tests;
+//! * [`workload`] — [`WorkloadSpec`] traffic shapes (read/mutation mix,
+//!   Zipf vs. uniform node sampling, open-loop bursts) and the shared
+//!   [`WorkloadSampler`] that `nai loadgen` and the `nai bench`
+//!   scenario matrix both draw their op streams from.
 //!
 //! ```text
 //! clients ──HTTP──▶ Server ──submit──▶ NaiService ──batches──▶ shard engines
@@ -45,12 +49,14 @@ pub mod http;
 pub mod json;
 pub mod proto;
 pub mod service;
+pub mod workload;
 
 pub use client::{http_call, HttpClient};
 pub use http::Server;
 pub use json::Json;
 pub use proto::{NodeResult, Op, Reply, Request};
 pub use service::{MetricsSnapshot, NaiService, ServeError, ServiceInfo, Ticket};
+pub use workload::{zipf_rank, Arrivals, Sampling, WorkloadSampler, WorkloadSpec};
 
 #[cfg(test)]
 mod tests {
@@ -494,6 +500,69 @@ mod tests {
         let m = service.metrics();
         assert!(m.degraded_batches >= 1);
         assert_eq!(m.shed_ops, 4);
+    }
+
+    #[test]
+    fn load_shed_engages_under_pressure_and_recovers_after_drain() {
+        // A realistic (mid-trigger) shed policy: the depth budget must
+        // actually be capped while the queue is under pressure, and a
+        // request served after the queue drains must get the full
+        // budget back — shedding is a pressure response, not a latch.
+        let shards = engine_shards(60, 1, 33);
+        let cfg = ServeConfig {
+            workers: 1,
+            // The whole burst fits one batch, so it is dispatched only
+            // once all of it is in flight (or 50 ms pass) — the shed
+            // decision then deterministically sees in_flight = 8.
+            max_batch: 8,
+            max_wait: Duration::from_millis(50),
+            queue_cap: 8,
+            shed: LoadShedPolicy {
+                trigger_fraction: 0.5, // pressure at ≥ 4 in flight
+                t_max_cap: 1,
+            },
+        };
+        // Fixed-depth K: without shedding every node exits at K.
+        let service = NaiService::new(shards, InferenceConfig::fixed(K), cfg).unwrap();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                service
+                    .submit(Request {
+                        op: Op::Infer { nodes: vec![i] },
+                        shard: None,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            match t.wait(Duration::from_secs(10)).unwrap() {
+                Reply::Infer { results, .. } => {
+                    assert_eq!(results[0].depth, 1, "budget capped under pressure");
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        let pressured = service.metrics();
+        assert!(pressured.degraded_batches >= 1);
+        assert_eq!(pressured.shed_ops, 8);
+
+        // Drained: the closed loop above received every reply, so
+        // in_flight is 0 and the next dispatch sees 1 < 4 — full depth.
+        assert_eq!(service.queue_depth(), 0);
+        match service
+            .call(Request {
+                op: Op::Infer { nodes: vec![0] },
+                shard: None,
+            })
+            .unwrap()
+        {
+            Reply::Infer { results, .. } => {
+                assert_eq!(results[0].depth, K, "budget restored after drain");
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let recovered = service.metrics();
+        assert_eq!(recovered.shed_ops, 8, "the post-drain request was not shed");
     }
 
     #[test]

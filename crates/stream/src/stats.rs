@@ -57,6 +57,11 @@ struct SortedCache {
 pub struct LatencyStats {
     latencies: Vec<Duration>,
     depth_sum: u64,
+    /// `depth_histogram[d]` counts recorded predictions that exited at
+    /// depth `d` (slot 0 exists but stays empty for NAP depths, which
+    /// start at 1). Exported per cell by the scenario bench harness and
+    /// by `/metrics`.
+    depth_histogram: Vec<u64>,
     total_busy: Duration,
     /// Sorted copy of `latencies`, rebuilt lazily on the first quantile
     /// read after a mutation. A `/metrics` scrape between arrivals then
@@ -73,6 +78,7 @@ impl Clone for LatencyStats {
         Self {
             latencies: self.latencies.clone(),
             depth_sum: self.depth_sum,
+            depth_histogram: self.depth_histogram.clone(),
             total_busy: self.total_busy,
             sorted: Mutex::new(self.sorted.lock().unwrap().clone()),
         }
@@ -89,6 +95,10 @@ impl LatencyStats {
     pub fn record(&mut self, latency: Duration, depth: usize) {
         self.latencies.push(latency);
         self.depth_sum += depth as u64;
+        if depth >= self.depth_histogram.len() {
+            self.depth_histogram.resize(depth + 1, 0);
+        }
+        self.depth_histogram[depth] += 1;
         self.total_busy += latency;
         self.sorted.get_mut().unwrap().stale = true;
     }
@@ -100,6 +110,12 @@ impl LatencyStats {
     pub fn merge(&mut self, other: &LatencyStats) {
         self.latencies.extend_from_slice(&other.latencies);
         self.depth_sum += other.depth_sum;
+        if other.depth_histogram.len() > self.depth_histogram.len() {
+            self.depth_histogram.resize(other.depth_histogram.len(), 0);
+        }
+        for (mine, &theirs) in self.depth_histogram.iter_mut().zip(&other.depth_histogram) {
+            *mine += theirs;
+        }
         self.total_busy += other.total_busy;
         self.sorted.get_mut().unwrap().stale = true;
     }
@@ -107,6 +123,14 @@ impl LatencyStats {
     /// Number of recorded predictions.
     pub fn count(&self) -> usize {
         self.latencies.len()
+    }
+
+    /// Exit-depth histogram: slot `d` counts predictions that exited at
+    /// depth `d` (NAP depths start at 1, so slot 0 is normally empty).
+    /// The slice length is one past the deepest recorded exit; empty
+    /// when nothing has been recorded.
+    pub fn depth_histogram(&self) -> &[u64] {
+        &self.depth_histogram
     }
 
     /// Mean exit depth.
@@ -325,6 +349,33 @@ mod tests {
         // A clone carries consistent cache state of its own.
         let c = s.clone();
         assert_eq!(c.p50(), s.p50());
+    }
+
+    #[test]
+    fn depth_histogram_tracks_records_and_merges() {
+        let mut s = LatencyStats::new();
+        assert!(s.depth_histogram().is_empty());
+        s.record(Duration::from_millis(1), 1);
+        s.record(Duration::from_millis(1), 3);
+        s.record(Duration::from_millis(1), 1);
+        assert_eq!(s.depth_histogram(), &[0, 2, 0, 1]);
+        let mut other = LatencyStats::new();
+        other.record(Duration::from_millis(2), 2);
+        other.record(Duration::from_millis(2), 5);
+        s.merge(&other);
+        assert_eq!(s.depth_histogram(), &[0, 2, 1, 1, 0, 1]);
+        // Histogram, count, and depth_sum stay mutually consistent.
+        let total: u64 = s.depth_histogram().iter().sum();
+        assert_eq!(total as usize, s.count());
+        let weighted: u64 = s
+            .depth_histogram()
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as u64 * c)
+            .sum();
+        assert!((s.mean_depth() - weighted as f64 / total as f64).abs() < 1e-12);
+        // Clones carry the histogram.
+        assert_eq!(s.clone().depth_histogram(), s.depth_histogram());
     }
 
     #[test]
