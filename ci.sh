@@ -85,6 +85,37 @@ serve_smoke() {
   wait "$pid"
   pid=""
   grep -q "stopped cleanly" "$dir/serve.log"
+
+  # Cache-enabled run: ingest (sequences a mutation through the
+  # invalidation layer) then read the same node twice — the second read
+  # must be a cache hit, visible in /metrics.
+  "$bin" serve --graph "$dir/ds.graph" --split "$dir/ds.split" \
+    --model "$dir/m.naic" --port 0 --workers 2 --max-batch 16 \
+    --max-wait-ms 1 --cache --cache-cap 256 > "$dir/serve_cache.log" 2>&1 &
+  pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$dir/serve_cache.log" && break
+    sleep 0.1
+  done
+  addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$dir/serve_cache.log")
+  if [ -z "$addr" ]; then
+    echo "cache serve never came up:"; cat "$dir/serve_cache.log"
+    return 1
+  fi
+  grep -q "cache cap 256" "$dir/serve_cache.log"
+  node=$(curl -sf -X POST \
+    --data "{\"op\":\"ingest\",\"features\":$feats,\"neighbors\":[0,1]}" \
+    "http://$addr/v1" | sed -n 's/.*"node":\([0-9]*\).*/\1/p')
+  [ -n "$node" ]
+  for _ in 1 2; do
+    curl -sf -X POST --data "{\"op\":\"infer\",\"nodes\":[$node]}" \
+      "http://$addr/v1" | grep -q '"ok":true'
+  done
+  curl -sf "http://$addr/metrics" | grep -q '"cache_hits":[1-9]'
+  curl -sf -X POST "http://$addr/shutdown" > /dev/null
+  wait "$pid"
+  pid=""
+  grep -q "stopped cleanly" "$dir/serve_cache.log"
 }
 
 step "serve smoke (healthz + inference over TCP + clean shutdown)" \
@@ -102,11 +133,13 @@ bench_smoke() {
   trap 'trap - RETURN; rm -rf "$dir"; true' RETURN
   target/release/nai bench --json "$dir/bench.json" --scale test \
     --topologies power-law,hub-star --workloads uniform-read,zipf-read \
-    --requests 24 --epochs 4 --clients 2
+    --requests 24 --epochs 4 --clients 2 --cache --cache-cap 64
   for cell in power-law hub-star uniform-read zipf-read \
-      schema_version depth_histogram shed_ops throughput_rps; do
+      schema_version depth_histogram shed_ops throughput_rps \
+      cache_enabled cache_hits cache_misses; do
     grep -q "\"$cell\"" "$dir/bench.json"
   done
+  grep -q '"cache_enabled": *true' "$dir/bench.json"
 }
 
 step "bench smoke (tiny scenario matrix → validated JSON report)" \

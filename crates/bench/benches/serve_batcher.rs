@@ -15,7 +15,7 @@
 //! `max_batch` moves p99 roughly with the deadline while throughput
 //! saturates — the knob trades tail latency against efficiency.
 
-use nai::core::config::{LoadShedPolicy, ServeConfig};
+use nai::core::config::{CacheConfig, LoadShedPolicy, ServeConfig};
 use nai::prelude::*;
 use nai::serve::{NaiService, Op, Reply, Request};
 use nai::stream::DynamicGraph;
@@ -47,6 +47,7 @@ fn run_cell(
                 trigger_fraction: 1.0,
                 t_max_cap: 0, // measure the batcher, not the shedder
             },
+            cache: CacheConfig::off(),
         },
     )
     .expect("valid service");

@@ -25,7 +25,8 @@ use crate::args::ParsedArgs;
 use crate::commands::{inference_config_of, model_kind_of, CliError, CliResult};
 use nai_core::checkpoint::ModelCheckpoint;
 use nai_core::config::{
-    DistillConfig, InferenceConfig, LoadShedPolicy, NapMode, PipelineConfig, ServeConfig,
+    CacheConfig, DistillConfig, InferenceConfig, LoadShedPolicy, NapMode, PipelineConfig,
+    ServeConfig,
 };
 use nai_core::pipeline::NaiPipeline;
 use nai_datasets::{Scale, Scenario, TopologySpec};
@@ -83,6 +84,8 @@ pub fn bench(args: &ParsedArgs) -> CliResult {
         "max-wait-ms",
         "shed-at",
         "shed-tmax",
+        "cache",
+        "cache-cap",
     ])?;
     let json_path = args.require("json")?.to_string();
     let scale = match args.get_or("scale", "test") {
@@ -135,6 +138,11 @@ pub fn bench(args: &ParsedArgs) -> CliResult {
         shed: LoadShedPolicy {
             trigger_fraction: args.get_parse_or("shed-at", 0.75f64)?,
             t_max_cap: args.get_parse_or("shed-tmax", 1usize)?,
+        },
+        cache: if args.get_bool("cache") {
+            CacheConfig::on(args.get_parse_or("cache-cap", 4096usize)?)
+        } else {
+            CacheConfig::off()
         },
     };
     serve_cfg.validate().map_err(CliError::Other)?;
@@ -209,6 +217,8 @@ pub fn bench(args: &ParsedArgs) -> CliResult {
         ("requests_per_cell", Json::uint(requests as u64)),
         ("clients", Json::uint(clients as u64)),
         ("seed", Json::uint(seed)),
+        ("cache_enabled", Json::Bool(serve_cfg.cache.enabled)),
+        ("cache_cap", Json::uint(serve_cfg.cache.cap as u64)),
         (
             "topologies",
             Json::Arr(topologies.iter().map(|t| Json::str(&t.name)).collect()),
@@ -322,6 +332,8 @@ fn run_cell(
                 ),
                 ("shed_ops", Json::uint(metrics.shed_ops)),
                 ("degraded_batches", Json::uint(metrics.degraded_batches)),
+                ("cache_hits", Json::uint(metrics.cache_hits)),
+                ("cache_misses", Json::uint(metrics.cache_misses)),
                 ("mean_depth", Json::Num(metrics.stats.mean_depth())),
                 (
                     "depth_histogram",
@@ -528,6 +540,8 @@ pub fn validate_report(
         "requests_per_cell",
         "clients",
         "seed",
+        "cache_enabled",
+        "cache_cap",
         "topologies",
         "workloads",
         "cells",
@@ -567,7 +581,15 @@ pub fn validate_report(
             for (side, counters) in [
                 (
                     "serve",
-                    &["ok", "overloaded", "errors", "shed_ops", "degraded_batches"][..],
+                    &[
+                        "ok",
+                        "overloaded",
+                        "errors",
+                        "shed_ops",
+                        "degraded_batches",
+                        "cache_hits",
+                        "cache_misses",
+                    ][..],
                 ),
                 ("offline", &["predictions"][..]),
             ] {
@@ -629,6 +651,7 @@ mod tests {
             "schema_version": 1, "harness": "nai bench", "scale": "test",
             "model_kind": "SGC", "nap": "distance", "k": 2, "workers": 2,
             "requests_per_cell": 4, "clients": 1, "seed": 7,
+            "cache_enabled": false, "cache_cap": 4096,
             "topologies": ["t"], "workloads": ["w"],
             "cells": [{
                 "topology": "t", "workload": "w",
@@ -636,7 +659,8 @@ mod tests {
                 "serve": {"ok": 4, "overloaded": 0, "errors": 0,
                           "wall_ms": 1.5, "throughput_rps": 100.0,
                           "latency_us": {"p50": 5, "p95": 9, "p99": 9, "max": 9, "mean": 6},
-                          "shed_ops": 0, "degraded_batches": 0, "mean_depth": 1.5,
+                          "shed_ops": 0, "degraded_batches": 0,
+                          "cache_hits": 0, "cache_misses": 0, "mean_depth": 1.5,
                           "depth_histogram": [0, 2, 2],
                           "macs": {"propagation": 1, "nap": 1, "classification": 1,
                                    "replication": 0, "total": 3}},

@@ -3,7 +3,8 @@
 use crate::args::{ArgError, ParsedArgs};
 use nai_core::checkpoint::ModelCheckpoint;
 use nai_core::config::{
-    DistillConfig, InferenceConfig, LoadShedPolicy, NapMode, PipelineConfig, ServeConfig,
+    CacheConfig, DistillConfig, InferenceConfig, LoadShedPolicy, NapMode, PipelineConfig,
+    ServeConfig,
 };
 use nai_core::eval::ConfusionMatrix;
 use nai_core::inference::InferenceResult;
@@ -400,6 +401,8 @@ pub fn serve(args: &ParsedArgs) -> CliResult {
         "queue-cap",
         "shed-at",
         "shed-tmax",
+        "cache",
+        "cache-cap",
     ])?;
     let (graph, _, name) = load_data(args)?;
     let ckpt = ModelCheckpoint::load(Path::new(args.require("model")?))?;
@@ -420,6 +423,11 @@ pub fn serve(args: &ParsedArgs) -> CliResult {
             trigger_fraction: args.get_parse_or("shed-at", 0.75f64)?,
             t_max_cap: args.get_parse_or("shed-tmax", 1usize)?,
         },
+        cache: if args.get_bool("cache") {
+            CacheConfig::on(args.get_parse_or("cache-cap", 4096usize)?)
+        } else {
+            CacheConfig::off()
+        },
     };
     let service = NaiService::from_checkpoint(
         &ckpt,
@@ -430,9 +438,14 @@ pub fn serve(args: &ParsedArgs) -> CliResult {
     .map_err(CliError::Other)?;
     let server = Server::start(std::sync::Arc::new(service), ("127.0.0.1", port))
         .map_err(|e| CliError::Other(format!("bind failed: {e}")))?;
+    let cache_desc = if serve_cfg.cache.enabled {
+        format!("cap {}", serve_cfg.cache.cap)
+    } else {
+        "off".to_string()
+    };
     println!(
         "nai-serve listening on {} ({} k={} on {name}; shards {}, max_batch {}, \
-         max_wait {max_wait_ms}ms, queue_cap {}, shed at {:.0}% → t_max {})",
+         max_wait {max_wait_ms}ms, queue_cap {}, shed at {:.0}% → t_max {}, cache {cache_desc})",
         server.local_addr(),
         ckpt.kind.name(),
         ckpt.k,
@@ -509,6 +522,7 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
         "zipf-s",
         "nodes-per-request",
         "seed",
+        "cache",
         "shutdown",
     ])?;
     let addr = args.require("addr")?.to_string();
@@ -640,6 +654,30 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
         stats.mean_depth(),
         stats.throughput(),
     );
+    if args.get_bool("cache") {
+        // Report the server-side prediction-cache counters for this
+        // deployment (cumulative since boot, not per-run deltas).
+        let (status, body) = nai_serve::http_call(addr.as_str(), "GET", "/metrics", None)
+            .map_err(|e| CliError::Other(format!("metrics failed: {e}")))?;
+        if status != 200 {
+            return Err(CliError::Other(format!("metrics returned {status}")));
+        }
+        let metrics = nai_serve::Json::parse(body.trim())
+            .map_err(|e| CliError::Other(format!("metrics parse: {e}")))?;
+        let counter = |field: &str| {
+            metrics
+                .get(field)
+                .and_then(nai_serve::Json::as_u64)
+                .unwrap_or(0)
+        };
+        println!(
+            "cache: hits {} | misses {} | evicted {} | invalidated {}",
+            counter("cache_hits"),
+            counter("cache_misses"),
+            counter("cache_evicted"),
+            counter("cache_invalidated"),
+        );
+    }
     if args.get_bool("shutdown") {
         let (status, _) = nai_serve::http_call(addr.as_str(), "POST", "/shutdown", None)
             .map_err(|e| CliError::Other(format!("shutdown failed: {e}")))?;

@@ -42,11 +42,13 @@ COMMANDS:
   serve      Online inference service (HTTP + newline-JSON, micro-batching)
              data flags, --model PATH, --nap ..., --port N (0 = ephemeral),
              --workers N, --max-batch N, --max-wait-ms F, --queue-cap N,
-             --shed-at F, --shed-tmax N, --parallel-spmm
+             --shed-at F, --shed-tmax N, --cache, --cache-cap N,
+             --parallel-spmm
   loadgen    Closed-loop load driver against a running `nai serve`
              --addr HOST:PORT, --requests N, --clients N,
              --mode infer|ingest|mixed, --sampling uniform|zipf, --zipf-s F,
-             --nodes-per-request N, --seed N, --shutdown
+             --nodes-per-request N, --seed N, --cache (print server cache
+             counters after the run), --shutdown
   bench      Scenario-matrix benchmark → machine-readable JSON report
              --json PATH, --scale test|bench,
              --topologies power-law,sbm-homophilous,sbm-heterophilous,
@@ -56,7 +58,7 @@ COMMANDS:
              --requests N, --clients N, --workers N, --model-kind KIND,
              --k N, --epochs N, --hidden N, --nap ..., --seed N,
              --queue-cap N, --max-batch N, --max-wait-ms F,
-             --shed-at F, --shed-tmax N
+             --shed-at F, --shed-tmax N, --cache, --cache-cap N
 
 Data flags: either --dataset NAME --scale SCALE (generated proxy) or
 --graph PATH --split PATH (files from `nai generate`).

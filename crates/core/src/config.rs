@@ -177,6 +177,55 @@ impl LoadShedPolicy {
     }
 }
 
+/// Sequence-versioned prediction cache for the serving layer.
+///
+/// The service remembers `(prediction, depth)` per node, stamped with
+/// the mutation sequence number it was computed under, and answers
+/// repeat reads without touching an engine replica. Every sequenced
+/// mutation invalidates the entries its k-hop neighborhood could have
+/// changed (see `nai-serve`'s `PredictionCache`); when the dirtied
+/// frontier would exceed `frontier_budget` visited nodes — or the NAP
+/// mode depends on global (stationary) state, where no local frontier
+/// is sound — the whole cache is conservatively flushed instead.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Whether reads consult the cache at all.
+    pub enabled: bool,
+    /// Maximum cached nodes; least-recently-used entries are evicted
+    /// beyond this.
+    pub cap: usize,
+    /// Invalidation-walk budget: if the BFS from a mutation's touched
+    /// nodes visits more than this many nodes, fall back to a full
+    /// flush (`0` = always flush).
+    pub frontier_budget: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl CacheConfig {
+    /// Caching disabled (the default: every read hits an engine).
+    pub fn off() -> Self {
+        Self {
+            enabled: false,
+            cap: 4096,
+            frontier_budget: 512,
+        }
+    }
+
+    /// Caching enabled with the given capacity and default walk budget.
+    pub fn on(cap: usize) -> Self {
+        Self {
+            enabled: true,
+            cap,
+            ..Self::off()
+        }
+    }
+}
+
 /// Serving-layer knobs for `nai-serve`: dynamic micro-batching,
 /// admission control, and sharding over engine replicas.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -194,6 +243,8 @@ pub struct ServeConfig {
     pub queue_cap: usize,
     /// Accuracy↔latency dial under queue pressure.
     pub shed: LoadShedPolicy,
+    /// Sequence-versioned prediction cache (off by default).
+    pub cache: CacheConfig,
 }
 
 impl Default for ServeConfig {
@@ -204,6 +255,7 @@ impl Default for ServeConfig {
             max_wait: std::time::Duration::from_millis(2),
             queue_cap: 1024,
             shed: LoadShedPolicy::default(),
+            cache: CacheConfig::off(),
         }
     }
 }
@@ -228,6 +280,9 @@ impl ServeConfig {
                 "shed.trigger_fraction must be in [0, 1], got {}",
                 self.shed.trigger_fraction
             ));
+        }
+        if self.cache.enabled && self.cache.cap == 0 {
+            return Err("cache.cap must be ≥ 1 when the cache is enabled".to_string());
         }
         Ok(())
     }
@@ -370,9 +425,44 @@ mod tests {
                 },
                 ..ServeConfig::default()
             },
+            ServeConfig {
+                cache: CacheConfig {
+                    enabled: true,
+                    cap: 0,
+                    frontier_budget: 512,
+                },
+                ..ServeConfig::default()
+            },
         ] {
             assert!(broken.validate().is_err(), "{broken:?}");
         }
+    }
+
+    #[test]
+    fn cache_config_defaults_and_constructors() {
+        let off = CacheConfig::default();
+        assert!(!off.enabled);
+        let on = CacheConfig::on(64);
+        assert!(on.enabled);
+        assert_eq!(on.cap, 64);
+        assert_eq!(on.frontier_budget, off.frontier_budget);
+        // A zero cap is fine while disabled, rejected once enabled.
+        assert!(ServeConfig {
+            cache: CacheConfig {
+                enabled: false,
+                cap: 0,
+                frontier_budget: 0,
+            },
+            ..ServeConfig::default()
+        }
+        .validate()
+        .is_ok());
+        assert!(ServeConfig {
+            cache: CacheConfig::on(1),
+            ..ServeConfig::default()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]

@@ -400,6 +400,10 @@ fn metrics_json(service: &NaiService) -> Json {
         ("shed_ops", Json::uint(m.shed_ops)),
         ("edges_observed", Json::uint(m.edges_observed)),
         ("op_errors", Json::uint(m.op_errors)),
+        ("cache_hits", Json::uint(m.cache_hits)),
+        ("cache_misses", Json::uint(m.cache_misses)),
+        ("cache_evicted", Json::uint(m.cache_evicted)),
+        ("cache_invalidated", Json::uint(m.cache_invalidated)),
         (
             "latency_us",
             Json::obj(vec![

@@ -19,6 +19,14 @@
 //!   hang), and a **load-shed policy** lowers the NAP depth budget
 //!   under queue pressure — the paper's accuracy↔latency dial driven
 //!   by load;
+//! * [`cache::PredictionCache`] — an opt-in sequence-versioned
+//!   prediction cache: repeat reads of unchanged nodes are answered at
+//!   submit time without touching a replica, and every sequenced
+//!   mutation invalidates exactly the k-hop neighborhood it could have
+//!   changed (full flush when the frontier blows its budget or the NAP
+//!   mode depends on global state). Hits are bit-identical to a
+//!   cache-bypass run at the same sequence point; degraded (load-shed)
+//!   answers are never cached;
 //! * [`http::Server`] — a minimal HTTP/1.1 transport over
 //!   [`std::net::TcpListener`] with newline-JSON bodies (`POST /v1`)
 //!   plus `/healthz`, `/metrics` (merged p50/p95/p99, queue depth,
@@ -44,6 +52,7 @@
 //! [`nai_stream::StreamingEngine`] fed the same sequence, and after a
 //! drain every replica holds the identical graph.
 
+pub mod cache;
 pub mod client;
 pub mod http;
 pub mod json;
@@ -51,6 +60,7 @@ pub mod proto;
 pub mod service;
 pub mod workload;
 
+pub use cache::{CacheCounters, PredictionCache};
 pub use client::{http_call, HttpClient};
 pub use http::Server;
 pub use json::Json;
@@ -61,7 +71,7 @@ pub use workload::{zipf_rank, Arrivals, Sampling, WorkloadSampler, WorkloadSpec}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nai_core::config::{InferenceConfig, LoadShedPolicy, ServeConfig};
+    use nai_core::config::{CacheConfig, InferenceConfig, LoadShedPolicy, ServeConfig};
     use nai_models::{DepthClassifier, ModelKind};
     use nai_stream::{DynamicGraph, StreamingEngine};
     use rand::rngs::StdRng;
@@ -113,6 +123,7 @@ mod tests {
                 trigger_fraction: 1.0,
                 t_max_cap: 0, // shedding off unless a test turns it on
             },
+            cache: CacheConfig::off(),
         }
     }
 
@@ -476,6 +487,7 @@ mod tests {
                 trigger_fraction: 0.0, // always under pressure
                 t_max_cap: 1,
             },
+            cache: CacheConfig::off(),
         };
         // Fixed-depth K config: without shedding every node exits at K.
         let service = NaiService::new(shards, InferenceConfig::fixed(K), cfg).unwrap();
@@ -521,6 +533,7 @@ mod tests {
                 trigger_fraction: 0.5, // pressure at ≥ 4 in flight
                 t_max_cap: 1,
             },
+            cache: CacheConfig::off(),
         };
         // Fixed-depth K: without shedding every node exits at K.
         let service = NaiService::new(shards, InferenceConfig::fixed(K), cfg).unwrap();
@@ -563,6 +576,104 @@ mod tests {
         }
         let recovered = service.metrics();
         assert_eq!(recovered.shed_ops, 8, "the post-drain request was not shed");
+    }
+
+    #[test]
+    fn degraded_predictions_are_never_cached_as_full_depth_answers() {
+        // Cache-enabled sibling of the shed-recovery test above. The
+        // shed burst answers every node at the capped depth 1; if any
+        // of those degraded answers landed in the cache, the post-drain
+        // reads below would "hit" a depth-1 prediction and report it as
+        // the full-budget answer — a silently wrong cache, not a shed.
+        let shards = engine_shards(60, 1, 33);
+        let cfg = ServeConfig {
+            workers: 1,
+            max_batch: 8,
+            max_wait: Duration::from_millis(50),
+            queue_cap: 8,
+            shed: LoadShedPolicy {
+                trigger_fraction: 0.5, // pressure at ≥ 4 in flight
+                t_max_cap: 1,
+            },
+            cache: CacheConfig::on(64),
+        };
+        let service = NaiService::new(shards, InferenceConfig::fixed(K), cfg).unwrap();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|i| {
+                service
+                    .submit(Request {
+                        op: Op::Infer { nodes: vec![i] },
+                        shard: None,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            match t.wait(Duration::from_secs(10)).unwrap() {
+                Reply::Infer { results, .. } => {
+                    assert_eq!(results[0].depth, 1, "budget capped under pressure");
+                }
+                other => panic!("unexpected reply {other:?}"),
+            }
+        }
+        let pressured = service.metrics();
+        assert_eq!(pressured.shed_ops, 8);
+        assert_eq!(pressured.cache_hits, 0, "an empty cache cannot hit");
+        assert_eq!(
+            pressured.cache_misses, 8,
+            "every burst read took the cached path"
+        );
+
+        // Post-drain: node 0 was answered at depth 1 above. A cached
+        // degraded entry would hit here; the correct behavior is a miss
+        // followed by a full-depth recomputation.
+        assert_eq!(service.queue_depth(), 0);
+        let full_depth = match service
+            .call(Request {
+                op: Op::Infer { nodes: vec![0] },
+                shard: None,
+            })
+            .unwrap()
+        {
+            Reply::Infer { results, .. } => {
+                assert_eq!(
+                    results[0].depth, K,
+                    "recomputed at the full budget, not replayed"
+                );
+                results[0].prediction
+            }
+            other => panic!("unexpected reply {other:?}"),
+        };
+        let recomputed = service.metrics();
+        assert_eq!(
+            recomputed.cache_hits, 0,
+            "degraded burst left nothing to hit"
+        );
+        assert_eq!(recomputed.cache_misses, 9);
+
+        // The full-depth answer IS cached: the same read again hits,
+        // bit-equal, still at depth K.
+        match service
+            .call(Request {
+                op: Op::Infer { nodes: vec![0] },
+                shard: None,
+            })
+            .unwrap()
+        {
+            Reply::Infer {
+                applied_seq,
+                results,
+                ..
+            } => {
+                assert_eq!(applied_seq, 0, "no mutations sequenced");
+                assert_eq!(results[0].depth, K);
+                assert_eq!(results[0].prediction, full_depth);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let hit = service.metrics();
+        assert_eq!(hit.cache_hits, 1);
+        assert_eq!(hit.cache_misses, 9);
     }
 
     #[test]

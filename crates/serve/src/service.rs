@@ -45,10 +45,25 @@
 //! [`nai_core::config::LoadShedPolicy`] caps the NAP depth budget of
 //! batches dispatched under queue pressure, trading accuracy for drain
 //! rate (the accuracy↔latency dial driven by load).
+//!
+//! **Prediction cache** (opt-in via `ServeConfig::cache`): `submit`
+//! consults a sequence-versioned [`PredictionCache`] before admission —
+//! a read whose nodes are all cached is answered on the caller's
+//! thread, skipping the queue, the batching wait, and the replica
+//! entirely. The scheduler keeps its own [`DynamicGraph`] mirror of the
+//! replicated graph and, at the moment it sequences a mutation,
+//! invalidates the mutation's dirty frontier (fixed-depth mode) or
+//! flushes everything (globally-dependent NAP modes, or a walk past its
+//! budget) *before* advancing the cache's sequence point — so workers'
+//! later inserts are version-guarded against the mutation, and a hit is
+//! bit-identical to a cache-bypass run at the same sequence point.
+//! Results computed under a degraded (load-shed) depth budget are never
+//! inserted.
 
+use crate::cache::PredictionCache;
 use crate::proto::{NodeResult, Op, Reply, Request};
 use nai_core::checkpoint::ModelCheckpoint;
-use nai_core::config::{InferenceConfig, ServeConfig};
+use nai_core::config::{InferenceConfig, NapMode, ServeConfig};
 use nai_stream::{DynamicGraph, LatencyStats, MacsBreakdown, StreamingEngine};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
@@ -121,8 +136,18 @@ pub struct MetricsSnapshot {
     /// Per-op validation failures answered.
     pub op_errors: u64,
     /// Predictions answered since the service started (one per node
-    /// for `infer`, one per `ingest`).
+    /// for `infer`, one per `ingest`), cache hits included.
     pub served: u64,
+    /// Reads answered entirely from the prediction cache (request
+    /// granularity). 0 when the cache is disabled.
+    pub cache_hits: u64,
+    /// Reads that consulted the cache and fell through to a replica.
+    pub cache_misses: u64,
+    /// Cache entries dropped under capacity (LRU) pressure.
+    pub cache_evicted: u64,
+    /// Cache entries dropped by mutation invalidation (frontier walks
+    /// and conservative full flushes combined).
+    pub cache_invalidated: u64,
     /// Enqueue→reply latency and exit depths, merged across workers.
     /// Bounded: each worker restarts its accumulator after every
     /// [`STATS_WINDOW`] samples (so quantiles cover the current
@@ -175,6 +200,9 @@ struct ShardBatch {
     /// This worker's slice of reads, executed after the prefix.
     reads: Vec<ReadJob>,
     cfg: InferenceConfig,
+    /// Dispatched under a load-shed (capped-depth) budget: results are
+    /// honest answers but must never be cached as full-depth ones.
+    degraded: bool,
 }
 
 impl ShardBatch {
@@ -214,7 +242,14 @@ struct Shared {
     /// no admitted job is ever silently discarded with its admission
     /// slot held.
     dead: Vec<std::sync::atomic::AtomicBool>,
+    /// One latency/depth accumulator per worker, plus a final slot for
+    /// reads the submit path answers from the prediction cache (no
+    /// worker ever touches them).
     worker_stats: Vec<Mutex<LatencyStats>>,
+    /// `None` unless `ServeConfig::cache.enabled`. Locked briefly by
+    /// the submit path (lookup / miss counting), the scheduler
+    /// (invalidation + sequence advance), and workers (inserts).
+    cache: Option<Mutex<PredictionCache>>,
     /// `[propagation, nap, classification, replication]` per worker,
     /// overwritten after each batch from the engine's own breakdown.
     worker_macs: Vec<[AtomicU64; 4]>,
@@ -226,9 +261,11 @@ struct Shared {
 
 impl Shared {
     fn respond(&self, who: usize, handle: &ReplyHandle, reply: Reply) {
-        // `who == worker_stats.len()` is the scheduler's slot; it only
-        // ever answers errors, which touch no per-worker stats.
-        debug_assert!(who < self.worker_stats.len() || matches!(reply, Reply::Error { .. }));
+        // The last slot (`who == workers`) belongs to the scheduler; it
+        // only ever answers errors through here (cache hits never hold
+        // a handle — `NaiService::submit` records them directly into
+        // that slot's stats).
+        debug_assert!(who < self.worker_stats.len());
         let latency = handle.enqueued.elapsed();
         match &reply {
             Reply::Infer { results, .. } => {
@@ -352,13 +389,32 @@ impl NaiService {
             dead: (0..cfg.workers)
                 .map(|_| std::sync::atomic::AtomicBool::new(false))
                 .collect(),
-            worker_stats: (0..cfg.workers)
+            // One slot per worker plus the submit path's (cache hits).
+            worker_stats: (0..=cfg.workers)
                 .map(|_| Mutex::new(LatencyStats::new()))
                 .collect(),
+            cache: cfg
+                .cache
+                .enabled
+                .then(|| Mutex::new(PredictionCache::new(cfg.cache.cap))),
             worker_macs: (0..cfg.workers)
                 .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
                 .collect(),
             returned: Mutex::new(Vec::new()),
+        });
+
+        // The scheduler's invalidation mirror must be cloned before the
+        // engines move into their worker threads.
+        let invalidator = cfg.cache.enabled.then(|| CacheInvalidator {
+            mirror: engines[0].graph().clone(),
+            // Only fixed-depth propagation is a purely local function
+            // of the t_max-hop neighborhood; distance/gate/upper-bound
+            // NAP consult the incremental stationary state, which every
+            // mutation perturbs globally — no local frontier is sound
+            // there, so those modes flush on every mutation.
+            local: matches!(infer_cfg.nap, NapMode::Fixed),
+            radius: infer_cfg.t_max,
+            budget: cfg.cache.frontier_budget,
         });
 
         let mut threads = Vec::with_capacity(cfg.workers + 1);
@@ -382,7 +438,15 @@ impl NaiService {
             std::thread::Builder::new()
                 .name("nai-serve-batcher".to_string())
                 .spawn(move || {
-                    Scheduler::new(worker_txs, infer_cfg, sched_cfg, shared_s, info).run(rx)
+                    Scheduler::new(
+                        worker_txs,
+                        infer_cfg,
+                        sched_cfg,
+                        shared_s,
+                        info,
+                        invalidator,
+                    )
+                    .run(rx)
                 })
                 .expect("spawn scheduler thread"),
         );
@@ -438,6 +502,24 @@ impl NaiService {
                 )));
             }
         }
+        // Prediction-cache fast path: a read whose nodes are all cached
+        // is answered right here — no admission slot, no batching wait,
+        // no replica work. The entries' version guard makes the answer
+        // bit-identical to a dispatch at the current sequence point,
+        // and `applied_seq` reports that point. Anything short of a
+        // full hit is counted as a miss once the read is actually
+        // enqueued (so hits + misses == reads that took this path).
+        let mut cached_read = false;
+        if let Some(cache) = &self.shared.cache {
+            if let Op::Infer { nodes } = &req.op {
+                cached_read = true;
+                let begun = Instant::now();
+                let hit = cache.lock().unwrap().lookup(nodes);
+                if let Some((applied_seq, results)) = hit {
+                    return Ok(self.answer_from_cache(begun, req.shard, applied_seq, results));
+                }
+            }
+        }
         // Admission: reserve an in-flight slot or reject immediately.
         if self
             .shared
@@ -472,13 +554,55 @@ impl NaiService {
             },
         };
         drop(guard);
-        if let Err(e) = &outcome {
-            self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
-            if *e == ServeError::Overloaded {
-                self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
+        match &outcome {
+            Err(e) => {
+                self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                if *e == ServeError::Overloaded {
+                    self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
+                }
             }
+            Ok(_) if cached_read => {
+                if let Some(cache) = &self.shared.cache {
+                    cache.lock().unwrap().note_miss();
+                }
+            }
+            Ok(_) => {}
         }
         outcome
+    }
+
+    /// Answers a fully cached read on the caller's thread: bumps
+    /// `served`, records the (sub-batching) latency and cached depths
+    /// into the submit path's stats slot, and returns a pre-resolved
+    /// ticket. The reply's `shard` is the caller's hint (or replica 0):
+    /// no replica did any work, but the field must name a valid one.
+    fn answer_from_cache(
+        &self,
+        begun: Instant,
+        hint: Option<usize>,
+        applied_seq: u64,
+        results: Vec<NodeResult>,
+    ) -> Ticket {
+        let latency = begun.elapsed();
+        self.shared
+            .served
+            .fetch_add(results.len() as u64, Ordering::Relaxed);
+        {
+            let mut stats = self.shared.worker_stats[self.info.shards].lock().unwrap();
+            for r in &results {
+                if stats.count() >= STATS_WINDOW {
+                    *stats = LatencyStats::new();
+                }
+                stats.record(latency, r.depth);
+            }
+        }
+        let (rtx, rrx) = mpsc::channel();
+        let _ = rtx.send(Reply::Infer {
+            shard: hint.unwrap_or(0),
+            applied_seq,
+            results,
+        });
+        Ticket { rx: rrx }
     }
 
     /// [`Self::submit`] + wait, with a 30 s answer deadline.
@@ -514,6 +638,11 @@ impl NaiService {
             // totals do not scale with the shard count.
             macs.replication = macs.replication.max(m[3].load(Ordering::Relaxed));
         }
+        let cache = s
+            .cache
+            .as_ref()
+            .map(|c| c.lock().unwrap().counters())
+            .unwrap_or_default();
         MetricsSnapshot {
             queue_depth: s.in_flight.load(Ordering::Acquire),
             overloaded: s.overloaded.load(Ordering::Relaxed),
@@ -523,6 +652,10 @@ impl NaiService {
             edges_observed: s.edges_observed.load(Ordering::Relaxed),
             served: s.served.load(Ordering::Relaxed),
             op_errors: s.op_errors.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evicted: cache.evicted,
+            cache_invalidated: cache.invalidated,
             stats,
             macs,
         }
@@ -560,6 +693,23 @@ impl Drop for NaiService {
     }
 }
 
+/// The scheduler's cache-invalidation state: a private mirror of the
+/// replicated graph, kept in lockstep with sequenced mutations, plus
+/// the dirty-frontier walk parameters.
+struct CacheInvalidator {
+    mirror: DynamicGraph,
+    /// Whether a mutation's effect on predictions is local to its
+    /// `radius`-hop neighborhood (fixed-depth propagation). All other
+    /// NAP modes consult globally-perturbed stationary state and must
+    /// flush the cache on every mutation.
+    local: bool,
+    /// Walk radius: the base (undegraded) `t_max`, the largest depth
+    /// bound any cached entry can carry.
+    radius: usize,
+    /// Visited-node budget beyond which the walk falls back to a flush.
+    budget: usize,
+}
+
 /// The batcher thread: forms batches, sequences + validates mutations,
 /// broadcasts them, and routes reads.
 struct Scheduler {
@@ -585,6 +735,9 @@ struct Scheduler {
     /// re-checking.
     nodes: u64,
     feature_dim: usize,
+    /// Present iff the prediction cache is enabled: the graph mirror
+    /// and walk parameters used to invalidate at sequencing time.
+    invalidator: Option<CacheInvalidator>,
 }
 
 impl Scheduler {
@@ -594,6 +747,7 @@ impl Scheduler {
         cfg: ServeConfig,
         shared: Arc<Shared>,
         info: ServiceInfo,
+        invalidator: Option<CacheInvalidator>,
     ) -> Self {
         let workers = worker_txs.len();
         Self {
@@ -607,6 +761,7 @@ impl Scheduler {
             next_seq: 1,
             nodes: info.seed_nodes as u64,
             feature_dim: info.feature_dim,
+            invalidator,
         }
     }
 
@@ -691,6 +846,52 @@ impl Scheduler {
         }
     }
 
+    /// Applies a just-sequenced mutation to the cache: mirror update,
+    /// dirty-frontier eviction (or conservative flush), then the
+    /// sequence-point advance — all before any worker can have applied
+    /// the mutation, so the version guard on inserts is airtight.
+    ///
+    /// The walk runs on the *post-mutation* mirror: edge additions only
+    /// shrink hop distances, so the new adjacency reaches every node
+    /// whose old ≤`radius`-hop computation involved the touched region.
+    fn invalidate_cache(&mut self, op: &Op, seq: u64) {
+        let Some(inv) = self.invalidator.as_mut() else {
+            return;
+        };
+        let Some(cache) = self.shared.cache.as_ref() else {
+            return;
+        };
+        // `None` = the graph did not change (duplicate edge): nothing
+        // to invalidate in any mode. Otherwise the touched nodes.
+        let seeds: Option<Vec<u32>> = match op {
+            Op::Ingest {
+                features,
+                neighbors,
+            } => {
+                // Already validated: ids in range, features well-formed.
+                inv.mirror.add_node(features, neighbors);
+                // The arrival itself cannot be cached yet; only its
+                // attachment points change existing adjacency/degrees.
+                Some(neighbors.clone())
+            }
+            Op::ObserveEdge { u, v } => inv.mirror.add_edge(*u, *v).then(|| vec![*u, *v]),
+            Op::Infer { .. } => unreachable!("reads are not sequenced"),
+        };
+        let mut c = cache.lock().unwrap();
+        match seeds {
+            None => {}
+            Some(_) if !inv.local => c.flush_all(),
+            // An isolated arrival under fixed-depth mode touches no
+            // existing node's adjacency: every entry survives.
+            Some(seeds) if seeds.is_empty() => {}
+            Some(seeds) => match inv.mirror.k_hop_frontier(&seeds, inv.radius, inv.budget) {
+                Some(frontier) => c.invalidate_frontier(&frontier),
+                None => c.flush_all(),
+            },
+        }
+        c.advance_seq(seq);
+    }
+
     fn dispatch(&mut self, forming: &mut Vec<Job>) {
         if forming.is_empty() {
             return;
@@ -755,6 +956,7 @@ impl Scheduler {
                     if matches!(job.op, Op::Ingest { .. }) {
                         self.nodes += 1;
                     }
+                    self.invalidate_cache(&job.op, seq);
                     muts.push((seq, Arc::new(job.op), responder, Some(job.handle)));
                 }
             }
@@ -780,6 +982,7 @@ impl Scheduler {
                 mutations,
                 reads: batch_reads,
                 cfg: batch_cfg,
+                degraded,
             };
             let tx = self.worker_txs[w]
                 .as_ref()
@@ -953,6 +1156,7 @@ fn process_shard_batch(
         mutations,
         reads,
         cfg,
+        degraded,
     } = batch;
     let mut ingest_handles: Vec<ReplyHandle> = Vec::new();
     for m in mutations {
@@ -1010,17 +1214,23 @@ fn process_shard_batch(
             );
         }
     }
-    infer_run(worker, engine, &reads, &cfg, *applied_seq, shared);
+    infer_run(worker, engine, &reads, &cfg, *applied_seq, degraded, shared);
 }
 
 /// Answers a slice of reads with one coalesced active-set engine call
-/// (per-node results are batch-composition independent).
+/// (per-node results are batch-composition independent). Fresh results
+/// populate the prediction cache — unless this batch ran under a
+/// degraded (load-shed) depth budget, whose answers must never be
+/// served later as full-depth ones; the cache's own version guard
+/// additionally drops results that a mutation sequenced since this
+/// batch was formed has already outdated.
 fn infer_run(
     worker: usize,
     engine: &mut StreamingEngine,
     jobs: &[ReadJob],
     cfg: &InferenceConfig,
     applied_seq: u64,
+    degraded: bool,
     shared: &Shared,
 ) {
     if jobs.is_empty() {
@@ -1051,6 +1261,14 @@ fn infer_run(
         }
     }
     let results = engine.infer_nodes(&nodes, cfg);
+    if !degraded {
+        if let Some(cache) = &shared.cache {
+            let mut c = cache.lock().unwrap();
+            for (&node, &(prediction, depth)) in nodes.iter().zip(&results) {
+                c.insert(node, applied_seq, prediction, depth);
+            }
+        }
+    }
     let mut offset = 0;
     for (idx, len) in spans {
         let Op::Infer { nodes: req } = &jobs[idx].op else {

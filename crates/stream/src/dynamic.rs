@@ -167,6 +167,62 @@ impl DynamicGraph {
         true
     }
 
+    /// Breadth-first frontier of every node within `radius` hops of any
+    /// seed, as `(node, hop distance)` pairs (seeds themselves at
+    /// distance 0; duplicate seeds collapse). Returns `None` as soon as
+    /// more than `budget` nodes have been visited — the caller's signal
+    /// to fall back to a conservative global action instead of an
+    /// unbounded walk (the serving layer's cache invalidation flushes
+    /// everything in that case).
+    ///
+    /// This is the *dirty frontier* of a mutation under fixed-depth
+    /// propagation: an edge arrival `(u, v)` only changes adjacency and
+    /// degrees of `u` and `v`, so a node's ≤`radius`-layer propagation
+    /// output can change only if it is within `radius` hops of a touched
+    /// node. Edge additions only shrink distances, so walking the
+    /// *post-mutation* adjacency is conservative (it covers every node
+    /// whose old output involved the touched region).
+    ///
+    /// # Panics
+    /// Panics if a seed id is out of range.
+    pub fn k_hop_frontier(
+        &self,
+        seeds: &[u32],
+        radius: usize,
+        budget: usize,
+    ) -> Option<Vec<(u32, usize)>> {
+        use std::collections::HashMap;
+        let mut dist: HashMap<u32, usize> = HashMap::new();
+        let mut order: Vec<(u32, usize)> = Vec::new();
+        for &s in seeds {
+            assert!((s as usize) < self.adj.len(), "seed {s} out of range");
+            if dist.insert(s, 0).is_none() {
+                if order.len() >= budget {
+                    return None;
+                }
+                order.push((s, 0));
+            }
+        }
+        let mut head = 0;
+        while head < order.len() {
+            let (v, d) = order[head];
+            head += 1;
+            if d == radius {
+                continue;
+            }
+            for &u in self.neighbors(v) {
+                if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(u) {
+                    e.insert(d + 1);
+                    if order.len() >= budget {
+                        return None;
+                    }
+                    order.push((u, d + 1));
+                }
+            }
+        }
+        Some(order)
+    }
+
     /// Materializes the current adjacency as a [`CsrMatrix`]
     /// (equivalence tests and λ₂ estimation).
     pub fn snapshot_csr(&self) -> CsrMatrix {
@@ -343,6 +399,55 @@ mod tests {
         let g = seed_graph(5);
         let mut d = DynamicGraph::from_graph(&g);
         let _ = d.add_edge(2, 2);
+    }
+
+    /// A path 0 − 1 − 2 − … − (n−1): hop distances are exact, so the
+    /// frontier walk's radius and budget behavior is fully observable.
+    fn path_graph(n: usize) -> DynamicGraph {
+        let mut d = DynamicGraph::new(2);
+        d.add_node(&[0.0; 2], &[]);
+        for v in 1..n as u32 {
+            d.add_node(&[0.0; 2], &[v - 1]);
+        }
+        d
+    }
+
+    #[test]
+    fn k_hop_frontier_reports_exact_hop_distances() {
+        let d = path_graph(8);
+        let mut frontier = d.k_hop_frontier(&[3], 2, 100).unwrap();
+        frontier.sort_unstable();
+        assert_eq!(frontier, vec![(1, 2), (2, 1), (3, 0), (4, 1), (5, 2)]);
+        // Radius 0: just the (deduped) seeds.
+        let solo = d.k_hop_frontier(&[6, 6], 0, 100).unwrap();
+        assert_eq!(solo, vec![(6, 0)]);
+        // Two seeds (an edge's endpoints): distance to the nearest seed.
+        let mut pair = d.k_hop_frontier(&[2, 3], 1, 100).unwrap();
+        pair.sort_unstable();
+        assert_eq!(pair, vec![(1, 1), (2, 0), (3, 0), (4, 1)]);
+    }
+
+    #[test]
+    fn k_hop_frontier_respects_budget() {
+        let d = path_graph(10);
+        // The radius-3 ball around node 5 holds 7 nodes.
+        assert_eq!(d.k_hop_frontier(&[5], 3, 7).unwrap().len(), 7);
+        assert!(d.k_hop_frontier(&[5], 3, 6).is_none(), "over budget");
+        assert!(d.k_hop_frontier(&[5], 3, 0).is_none(), "0 = always bail");
+    }
+
+    #[test]
+    fn k_hop_frontier_on_a_hub_blows_its_budget() {
+        // A star: the hub's 1-hop ball is the whole graph, so any small
+        // budget forces the conservative fallback.
+        let mut d = DynamicGraph::new(2);
+        d.add_node(&[0.0; 2], &[]);
+        for _ in 0..50 {
+            d.add_node(&[0.0; 2], &[0]);
+        }
+        assert!(d.k_hop_frontier(&[0], 1, 16).is_none());
+        // A leaf's 1-hop ball is {leaf, hub}: cheap.
+        assert_eq!(d.k_hop_frontier(&[7], 1, 16).unwrap().len(), 2);
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! global order, so there is no such thing as a wrong shard to read
 //! from.
 
-use nai::core::config::{InferenceConfig, LoadShedPolicy, ServeConfig};
+use nai::core::config::{CacheConfig, InferenceConfig, LoadShedPolicy, ServeConfig};
 use nai::models::{DepthClassifier, ModelKind};
 use nai::serve::{NaiService, Op, Reply, Request};
 use nai::stream::{DynamicGraph, StreamingEngine};
@@ -59,6 +59,7 @@ fn serve_cfg(workers: usize) -> ServeConfig {
             trigger_fraction: 1.0,
             t_max_cap: 0, // shedding off: depths must match the oracle
         },
+        cache: CacheConfig::off(),
     }
 }
 

@@ -15,7 +15,7 @@
 //!   bodies), it never hangs, and admitted requests still complete;
 //! * `/healthz`, `/metrics`, and `/shutdown` behave.
 
-use nai::core::config::{InferenceConfig, LoadShedPolicy, ServeConfig};
+use nai::core::config::{CacheConfig, InferenceConfig, LoadShedPolicy, ServeConfig};
 use nai::models::{DepthClassifier, ModelKind};
 use nai::serve::{HttpClient, Json, NaiService, Op, Server};
 use nai::stream::{DynamicGraph, StreamingEngine};
@@ -110,6 +110,7 @@ fn round_robin_interleaved_workload_matches_single_engine_oracle() {
                 trigger_fraction: 1.0,
                 t_max_cap: 0, // shedding off: depths must match the oracle
             },
+            cache: CacheConfig::off(),
         },
     )
     .unwrap();
@@ -244,6 +245,7 @@ fn queue_overflow_returns_overloaded_not_a_hang() {
                 trigger_fraction: 1.0,
                 t_max_cap: 0,
             },
+            cache: CacheConfig::off(),
         },
     )
     .unwrap();
