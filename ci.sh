@@ -31,6 +31,47 @@ step "cargo test -q (tier-1)" \
 step "cargo clippy --all-targets (-D warnings)" \
   cargo clippy --all-targets --quiet -- -D warnings
 
+# Sync-hygiene lint wall: every file in crates/serve/src must import its
+# concurrency primitives through the crate::sync facade (which swaps in
+# the loom model checker under --cfg nai_model). A direct std::sync /
+# std::thread mention anywhere else would silently escape the model
+# tests' coverage. Allowlist: the facade itself.
+lint_sync() {
+  local hits
+  hits=$(grep -rn 'std::sync\|std::thread' crates/serve/src \
+    --include='*.rs' | grep -v '^crates/serve/src/sync\.rs:' || true)
+  if [ -n "$hits" ]; then
+    echo "direct std::sync / std::thread use outside the sync facade:"
+    echo "$hits"
+    return 1
+  fi
+}
+
+step "lint_sync (serve crate imports sync primitives via facade only)" \
+  lint_sync
+
+# Deterministic concurrency model check: rebuilds the serve/stream sync
+# facades against the in-tree loom model checker (--cfg nai_model, its
+# own target dir so normal builds stay cached) and exhaustively explores
+# thread interleavings of the serve core's admission / panic-repair /
+# cache-versioning / shutdown protocols plus the stats sorted-cache,
+# within the default preemption bound. The loom crate's own self-tests
+# run first. Time-boxed: each suite is bounded by loom's per-test
+# iteration/duration budget; `timeout` is a hard backstop against a
+# scheduler bug hanging CI.
+model_check() {
+  local flags="--cfg nai_model"
+  timeout 600 env RUSTFLAGS="$flags" CARGO_TARGET_DIR=target/model \
+    cargo test -q -p loom --test checker
+  timeout 600 env RUSTFLAGS="$flags" CARGO_TARGET_DIR=target/model \
+    cargo test -q -p nai-stream --test model_stats
+  timeout 600 env RUSTFLAGS="$flags" CARGO_TARGET_DIR=target/model \
+    cargo test -q -p nai-serve --test model
+}
+
+step "model_check (exhaustive interleaving tests under --cfg nai_model)" \
+  model_check
+
 # Boots `nai serve` on an ephemeral port against a freshly trained
 # checkpoint, health-checks it, pushes one inference batch over TCP via
 # `nai loadgen`, and asserts the process shuts down cleanly (exit 0,

@@ -1,0 +1,384 @@
+//! Ordering-aware atomics. Each atomic keeps its full modification order
+//! (store history). A load may legally observe any store in the window
+//! between its *visibility floor* — the newest store that happens-before the
+//! loading thread, or anything older the thread has already observed — and
+//! the newest store. When more than one store is visible the selection is a
+//! recorded choice point, so the explorer drives `Relaxed` loads through
+//! every legal stale value. Acquire loads join the observed store's release
+//! clock; Relaxed loads do not, so `Relaxed` publication genuinely fails to
+//! establish happens-before in the model, exactly like on real hardware.
+//!
+//! Simplifications vs. C11 (documented, deliberate): RMWs always read the
+//! newest store (atomicity of the read-modify-write is what the serve
+//! protocols rely on); SeqCst is modeled as Acquire/Release plus a global
+//! SC clock that every SeqCst access joins, which is sound (never invents
+//! impossible executions) though it may miss some exotic SC-only
+//! interleavings.
+
+use crate::rt::{self, VClock};
+use std::sync::Mutex;
+
+pub use std::sync::atomic::Ordering;
+
+struct Store {
+    val: u64,
+    /// Clock of the storing thread at the store: used for the visibility
+    /// floor ("has this store happened-before the reader?").
+    hb: VClock,
+    /// Release clock carried to acquire loads (empty for Relaxed stores).
+    sync: VClock,
+}
+
+struct Inner {
+    stores: Vec<Store>,
+    /// Per-thread coherence floor: index of the oldest store each thread may
+    /// still observe (monotone; reading or writing advances it).
+    floor: Vec<usize>,
+}
+
+impl Inner {
+    fn new(val: u64) -> Self {
+        Inner {
+            stores: vec![Store {
+                val,
+                hb: VClock::default(),
+                sync: VClock::default(),
+            }],
+            floor: Vec::new(),
+        }
+    }
+
+    fn floor_for(&self, tid: usize) -> usize {
+        self.floor.get(tid).copied().unwrap_or(0)
+    }
+
+    fn set_floor(&mut self, tid: usize, idx: usize) {
+        if self.floor.len() <= tid {
+            self.floor.resize(tid + 1, 0);
+        }
+        if idx > self.floor[tid] {
+            self.floor[tid] = idx;
+        }
+    }
+}
+
+fn is_acquire(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_release(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn is_seqcst(o: Ordering) -> bool {
+    matches!(o, Ordering::SeqCst)
+}
+
+/// Untyped core shared by the three public atomic types.
+struct Atomic {
+    inner: Mutex<Inner>,
+}
+
+impl Atomic {
+    fn new(val: u64) -> Self {
+        Atomic {
+            inner: Mutex::new(Inner::new(val)),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn load(&self, order: Ordering) -> u64 {
+        rt::schedule_point();
+        rt::with_rt(|rt, tid| {
+            rt.with_state(|view| {
+                let mut inner = self.lock();
+                if is_seqcst(order) {
+                    let sc = view.sc_clock().clone();
+                    view.clock(tid).join(&sc);
+                }
+                let my = view.clock(tid).clone();
+                let mut floor = inner.floor_for(tid);
+                for (i, s) in inner.stores.iter().enumerate() {
+                    if i > floor && s.hb.le(&my) {
+                        floor = i;
+                    }
+                }
+                let n = inner.stores.len() - floor;
+                let idx = floor + view.choose(n);
+                inner.set_floor(tid, idx);
+                if is_acquire(order) {
+                    let sync = inner.stores[idx].sync.clone();
+                    view.clock(tid).join(&sync);
+                }
+                inner.stores[idx].val
+            })
+        })
+    }
+
+    fn store(&self, val: u64, order: Ordering) {
+        rt::schedule_point();
+        rt::with_rt(|rt, tid| {
+            rt.with_state(|view| {
+                let mut inner = self.lock();
+                view.clock(tid).bump(tid);
+                let hb = view.clock(tid).clone();
+                let sync = if is_release(order) {
+                    hb.clone()
+                } else {
+                    VClock::default()
+                };
+                if is_seqcst(order) {
+                    view.sc_clock().join(&hb);
+                }
+                inner.stores.push(Store { val, hb, sync });
+                let idx = inner.stores.len() - 1;
+                inner.set_floor(tid, idx);
+            })
+        })
+    }
+
+    /// Atomic read-modify-write: reads the newest store, writes `f(old)`.
+    fn rmw(&self, order: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        rt::schedule_point();
+        rt::with_rt(|rt, tid| {
+            rt.with_state(|view| {
+                let mut inner = self.lock();
+                if is_seqcst(order) {
+                    let sc = view.sc_clock().clone();
+                    view.clock(tid).join(&sc);
+                }
+                let last = inner.stores.len() - 1;
+                let old = inner.stores[last].val;
+                if is_acquire(order) {
+                    let sync = inner.stores[last].sync.clone();
+                    view.clock(tid).join(&sync);
+                }
+                view.clock(tid).bump(tid);
+                let hb = view.clock(tid).clone();
+                // RMWs continue the release sequence of the store they
+                // replace: carry its release clock forward.
+                let mut sync = inner.stores[last].sync.clone();
+                if is_release(order) {
+                    sync.join(&hb);
+                }
+                if is_seqcst(order) {
+                    view.sc_clock().join(&hb);
+                }
+                inner.stores.push(Store {
+                    val: f(old),
+                    hb,
+                    sync,
+                });
+                let idx = inner.stores.len() - 1;
+                inner.set_floor(tid, idx);
+                old
+            })
+        })
+    }
+
+    fn fetch_update(
+        &self,
+        set_order: Ordering,
+        fetch_order: Ordering,
+        mut f: impl FnMut(u64) -> Option<u64>,
+    ) -> Result<u64, u64> {
+        rt::schedule_point();
+        rt::with_rt(|rt, tid| {
+            rt.with_state(|view| {
+                let mut inner = self.lock();
+                let last = inner.stores.len() - 1;
+                let old = inner.stores[last].val;
+                match f(old) {
+                    Some(new) => {
+                        if is_seqcst(set_order) {
+                            let sc = view.sc_clock().clone();
+                            view.clock(tid).join(&sc);
+                        }
+                        if is_acquire(set_order) || is_acquire(fetch_order) {
+                            let sync = inner.stores[last].sync.clone();
+                            view.clock(tid).join(&sync);
+                        }
+                        view.clock(tid).bump(tid);
+                        let hb = view.clock(tid).clone();
+                        let mut sync = inner.stores[last].sync.clone();
+                        if is_release(set_order) {
+                            sync.join(&hb);
+                        }
+                        if is_seqcst(set_order) {
+                            view.sc_clock().join(&hb);
+                        }
+                        inner.stores.push(Store { val: new, hb, sync });
+                        let idx = inner.stores.len() - 1;
+                        inner.set_floor(tid, idx);
+                        Ok(old)
+                    }
+                    None => {
+                        if is_seqcst(fetch_order) {
+                            let sc = view.sc_clock().clone();
+                            view.clock(tid).join(&sc);
+                        }
+                        if is_acquire(fetch_order) {
+                            let sync = inner.stores[last].sync.clone();
+                            view.clock(tid).join(&sync);
+                        }
+                        inner.set_floor(tid, last);
+                        Err(old)
+                    }
+                }
+            })
+        })
+    }
+}
+
+macro_rules! int_atomic {
+    ($name:ident, $ty:ty) => {
+        pub struct $name {
+            core: Atomic,
+        }
+
+        impl $name {
+            pub fn new(val: $ty) -> Self {
+                $name {
+                    core: Atomic::new(val as u64),
+                }
+            }
+
+            pub fn load(&self, order: Ordering) -> $ty {
+                self.core.load(order) as $ty
+            }
+
+            pub fn store(&self, val: $ty, order: Ordering) {
+                self.core.store(val as u64, order)
+            }
+
+            pub fn swap(&self, val: $ty, order: Ordering) -> $ty {
+                self.core.rmw(order, |_| val as u64) as $ty
+            }
+
+            pub fn fetch_add(&self, val: $ty, order: Ordering) -> $ty {
+                self.core
+                    .rmw(order, |old| (old as $ty).wrapping_add(val) as u64) as $ty
+            }
+
+            pub fn fetch_sub(&self, val: $ty, order: Ordering) -> $ty {
+                self.core
+                    .rmw(order, |old| (old as $ty).wrapping_sub(val) as u64) as $ty
+            }
+
+            pub fn fetch_or(&self, val: $ty, order: Ordering) -> $ty {
+                self.core.rmw(order, |old| (old as $ty | val) as u64) as $ty
+            }
+
+            pub fn fetch_and(&self, val: $ty, order: Ordering) -> $ty {
+                self.core.rmw(order, |old| (old as $ty & val) as u64) as $ty
+            }
+
+            pub fn fetch_max(&self, val: $ty, order: Ordering) -> $ty {
+                self.core.rmw(order, |old| (old as $ty).max(val) as u64) as $ty
+            }
+
+            pub fn fetch_update(
+                &self,
+                set_order: Ordering,
+                fetch_order: Ordering,
+                mut f: impl FnMut($ty) -> Option<$ty>,
+            ) -> Result<$ty, $ty> {
+                self.core
+                    .fetch_update(set_order, fetch_order, |old| {
+                        f(old as $ty).map(|v| v as u64)
+                    })
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.core
+                    .fetch_update(success, failure, |old| {
+                        (old as $ty == current).then_some(new as u64)
+                    })
+                    .map(|v| v as $ty)
+                    .map_err(|v| v as $ty)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "(model)"))
+            }
+        }
+    };
+}
+
+int_atomic!(AtomicU64, u64);
+int_atomic!(AtomicUsize, usize);
+int_atomic!(AtomicU32, u32);
+
+pub struct AtomicBool {
+    core: Atomic,
+}
+
+impl AtomicBool {
+    pub fn new(val: bool) -> Self {
+        AtomicBool {
+            core: Atomic::new(val as u64),
+        }
+    }
+
+    pub fn load(&self, order: Ordering) -> bool {
+        self.core.load(order) != 0
+    }
+
+    pub fn store(&self, val: bool, order: Ordering) {
+        self.core.store(val as u64, order)
+    }
+
+    pub fn swap(&self, val: bool, order: Ordering) -> bool {
+        self.core.rmw(order, |_| val as u64) != 0
+    }
+
+    pub fn fetch_or(&self, val: bool, order: Ordering) -> bool {
+        self.core.rmw(order, |old| old | val as u64) != 0
+    }
+
+    pub fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        self.core
+            .fetch_update(success, failure, |old| {
+                ((old != 0) == current).then_some(new as u64)
+            })
+            .map(|v| v != 0)
+            .map_err(|v| v != 0)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}
+
+impl std::fmt::Debug for AtomicBool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AtomicBool(model)")
+    }
+}

@@ -1,0 +1,211 @@
+//! Offline stand-in for the `loom` crate: a deterministic concurrency model
+//! checker for std-style sync primitives, built std-only because this
+//! workspace vendors all dependencies.
+//!
+//! A test body runs many times. Each run ("execution") serializes all
+//! logical threads through a scheduler token; every nondeterministic event —
+//! which runnable thread gets the token, which visible store a relaxed load
+//! observes, whether a timed wait times out — is a recorded *choice*. The
+//! driver explores the choice tree three ways:
+//!
+//! - **DFS (default)**: exhaustive backtracking over all schedules with at
+//!   most `preemption_bound` preemptive context switches (CHESS-style).
+//!   Terminates with `Stats::exhausted == true` when the bounded tree is
+//!   fully covered.
+//! - **Seeded random** (`Builder::seed`): samples schedules from a
+//!   deterministic RNG — useful for quick smoke runs and for *finding*
+//!   counterexamples beyond the bound.
+//! - **Replay** (`Builder::replay`): re-runs one exact choice sequence, e.g.
+//!   the `schedule` carried by a returned [`Failure`] — this is how a failing
+//!   interleaving found in CI is pinned as a regression test.
+//!
+//! ```
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = n.clone();
+//!     let h = loom::thread::spawn(move || n2.fetch_add(1, Ordering::AcqRel));
+//!     n.fetch_add(1, Ordering::AcqRel);
+//!     h.join().unwrap();
+//!     assert_eq!(n.load(Ordering::Acquire), 2);
+//! });
+//! ```
+
+mod atomic;
+mod rt;
+pub mod sync;
+pub mod thread;
+
+use rt::{Rt, SplitMix64};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub mod hint {
+    pub fn spin_loop() {
+        crate::rt::schedule_point();
+    }
+}
+
+/// A failing execution: the exact choice sequence to hand to
+/// [`Builder::replay`], plus the first failure message (assertion text,
+/// panic payload, or deadlock report).
+#[derive(Debug, Clone)]
+pub struct Failure {
+    pub schedule: Vec<usize>,
+    pub message: String,
+    pub iteration: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "model failure at iteration {}: {}\n  replay schedule: {:?}",
+            self.iteration, self.message, self.schedule
+        )
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Executions actually run.
+    pub iterations: usize,
+    /// True iff the bounded DFS tree was fully explored (never true for
+    /// seeded or replay runs).
+    pub exhausted: bool,
+}
+
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Max preemptive context switches per execution (`None` = unbounded).
+    /// Voluntary switches (blocking, thread exit) are always free.
+    pub preemption_bound: Option<usize>,
+    /// Hard cap on executions for one `check` call.
+    pub max_iterations: usize,
+    /// Wall-clock budget for one `check` call.
+    pub max_duration: Option<Duration>,
+    /// Switch from DFS to seeded random exploration.
+    pub seed: Option<u64>,
+    /// Replay exactly one schedule (from [`Failure::schedule`]).
+    pub replay: Option<Vec<usize>>,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: Some(2),
+            max_iterations: 500_000,
+            max_duration: Some(Duration::from_secs(60)),
+            seed: None,
+            replay: None,
+        }
+    }
+}
+
+impl Builder {
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Run `f` under the explorer; panic with a replayable report on the
+    /// first failing execution.
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        if let Err(failure) = self.check_quiet(f) {
+            panic!("{failure}");
+        }
+    }
+
+    /// Like [`check`](Self::check) but returns the failure instead of
+    /// panicking, so tests can assert on expected counterexamples and then
+    /// replay them.
+    pub fn check_quiet<F>(&self, f: F) -> Result<Stats, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        let start = Instant::now();
+        let mut forced: Vec<usize> = self.replay.clone().unwrap_or_default();
+        let replay_only = self.replay.is_some();
+        let mut iterations = 0usize;
+
+        loop {
+            iterations += 1;
+            let rng = self
+                .seed
+                .map(|s| SplitMix64(s ^ (iterations as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+            let rt = Arc::new(Rt::new(self.preemption_bound, forced.clone(), rng));
+            let outcome = rt.run(f.clone());
+
+            if let Some(message) = outcome.failure {
+                return Err(Failure {
+                    schedule: outcome.schedule.iter().map(|c| c.taken).collect(),
+                    message,
+                    iteration: iterations,
+                });
+            }
+            if replay_only {
+                return Ok(Stats {
+                    iterations,
+                    exhausted: false,
+                });
+            }
+
+            let out_of_budget = iterations >= self.max_iterations
+                || self.max_duration.is_some_and(|d| start.elapsed() >= d);
+
+            if self.seed.is_some() {
+                if out_of_budget {
+                    return Ok(Stats {
+                        iterations,
+                        exhausted: false,
+                    });
+                }
+                continue;
+            }
+
+            // DFS: advance to the next unexplored branch.
+            match next_prefix(&outcome.schedule) {
+                Some(p) => forced = p,
+                None => {
+                    return Ok(Stats {
+                        iterations,
+                        exhausted: true,
+                    })
+                }
+            }
+            if out_of_budget {
+                return Ok(Stats {
+                    iterations,
+                    exhausted: false,
+                });
+            }
+        }
+    }
+}
+
+/// Backtrack: find the deepest choice with an untaken sibling; the next
+/// execution forces the prefix up to it plus that sibling.
+fn next_prefix(schedule: &[rt::Choice]) -> Option<Vec<usize>> {
+    for i in (0..schedule.len()).rev() {
+        if schedule[i].taken + 1 < schedule[i].total {
+            let mut p: Vec<usize> = schedule[..i].iter().map(|c| c.taken).collect();
+            p.push(schedule[i].taken + 1);
+            return Some(p);
+        }
+    }
+    None
+}
+
+/// Exhaustively explore `f` with the default bounds and panic on the first
+/// failing execution, printing its replay schedule.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f);
+}

@@ -1,0 +1,576 @@
+//! Execution runtime: real OS threads serialized by a token-passing
+//! scheduler, with every source of nondeterminism (which thread runs next,
+//! which visible store a relaxed load returns, whether a timed wait times
+//! out) reified as a recorded *choice*. A full execution is therefore a
+//! finite choice sequence, which the driver in `lib.rs` enumerates by DFS
+//! backtracking (bounded preemptions), samples with a seeded RNG, or
+//! replays verbatim.
+//!
+//! Only one logical thread runs at a time, so shim-internal state can live
+//! behind uncontended `std::sync::Mutex`es; the scheduler lock is the sole
+//! synchronization that matters.
+
+use std::cell::RefCell;
+use std::panic::AssertUnwindSafe;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to tear down logical threads once an execution has
+/// failed (or deadlocked). Shim operations re-raise it at every yield point,
+/// so user-level `catch_unwind` blocks cannot keep a doomed thread alive
+/// past its next synchronization op.
+pub(crate) struct Abort;
+
+/// Vector clock: index = logical thread id.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u64>);
+
+impl VClock {
+    pub fn join(&mut self, other: &VClock) {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (i, v) in other.0.iter().enumerate() {
+            if *v > self.0[i] {
+                self.0[i] = *v;
+            }
+        }
+    }
+
+    /// `self` happens-before-or-equal `other` (pointwise <=).
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0
+            .iter()
+            .enumerate()
+            .all(|(i, v)| *v <= other.0.get(i).copied().unwrap_or(0))
+    }
+
+    pub fn bump(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+}
+
+pub(crate) struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Status {
+    Runnable,
+    Blocked,
+    /// Blocked in a timed wait: eligible for a forced-timeout wake when the
+    /// system would otherwise deadlock.
+    TimedBlocked,
+    Finished,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Choice {
+    pub taken: usize,
+    pub total: usize,
+}
+
+type AnyResult = Result<Box<dyn std::any::Any + Send>, Box<dyn std::any::Any + Send>>;
+
+#[derive(Default)]
+struct State {
+    status: Vec<Status>,
+    /// Set when a `TimedBlocked` thread is woken by the deadlock-avoidance
+    /// timeout rather than a real notify.
+    timed_out: Vec<bool>,
+    clocks: Vec<VClock>,
+    /// Threads waiting on `JoinHandle::join` of the indexed thread.
+    joiners: Vec<Vec<usize>>,
+    results: Vec<Option<AnyResult>>,
+    names: Vec<Option<String>>,
+    /// Token holder. `usize::MAX` once all threads have finished.
+    active: usize,
+    live: usize,
+    /// Choices taken so far in this execution, with branch fan-out.
+    schedule: Vec<Choice>,
+    /// Prefix of choice indices to force (DFS next-branch / replay).
+    forced: Vec<usize>,
+    rng: Option<SplitMix64>,
+    preemption_bound: Option<usize>,
+    preemptions: usize,
+    abort: bool,
+    failure: Option<String>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    /// Global SeqCst order clock: joined by every SeqCst access.
+    sc: VClock,
+}
+
+pub(crate) struct Rt {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+pub(crate) struct Outcome {
+    pub schedule: Vec<Choice>,
+    pub failure: Option<String>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<(Arc<Rt>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Run `f` with the current execution context; panics if called outside
+/// `loom::model`.
+pub(crate) fn with_rt<R>(f: impl FnOnce(&Arc<Rt>, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (rt, tid) = b.as_ref().expect("loom primitive used outside loom::model");
+        f(rt, *tid)
+    })
+}
+
+/// Like `with_rt` but a no-op outside a model run (used by Drop impls so
+/// shim types can be dropped after an execution is torn down).
+pub(crate) fn try_with_rt(f: impl FnOnce(&Arc<Rt>, usize)) {
+    CURRENT.with(|c| {
+        if let Ok(b) = c.try_borrow() {
+            if let Some((rt, tid)) = b.as_ref() {
+                f(rt, *tid);
+            }
+        }
+    });
+}
+
+/// Scheduling point: explore "which thread runs next" before the caller's
+/// operation executes. Every shim op calls this first, so a context switch
+/// "after op N" is identical to one "before op N+1" and no post-op yield is
+/// needed. No-op while unwinding, so guard Drops during a panic do not
+/// create fresh choice points.
+pub(crate) fn schedule_point() {
+    if std::thread::panicking() {
+        return;
+    }
+    with_rt(|rt, tid| {
+        let st = rt.lock();
+        rt.yield_token(st, tid, Status::Runnable);
+    });
+}
+
+/// Record an n-way data choice (e.g. whether a timed wait fires early).
+pub(crate) fn choose(total: usize) -> usize {
+    if total <= 1 {
+        return 0;
+    }
+    with_rt(|rt, _tid| rt.with_state(|view| view.choose(total)))
+}
+
+impl Rt {
+    pub(crate) fn new(
+        preemption_bound: Option<usize>,
+        forced: Vec<usize>,
+        rng: Option<SplitMix64>,
+    ) -> Self {
+        Rt {
+            state: Mutex::new(State {
+                forced,
+                rng,
+                preemption_bound,
+                ..State::default()
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // The state mutex itself must never wedge on poison: a panicking
+        // logical thread may have been interrupted at any point.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Pick a branch among `total` alternatives: forced prefix first, then
+    /// seeded RNG, then branch 0 (DFS default). Singleton choices are not
+    /// recorded (callers skip them), keeping schedules short.
+    fn pick(&self, st: &mut State, total: usize) -> usize {
+        let pos = st.schedule.len();
+        let taken = if pos < st.forced.len() {
+            st.forced[pos].min(total - 1)
+        } else if let Some(rng) = st.rng.as_mut() {
+            (rng.next() % total as u64) as usize
+        } else {
+            0
+        };
+        st.schedule.push(Choice { taken, total });
+        taken
+    }
+
+    /// Give up the token. `after` is the caller's status once it yields:
+    /// `Runnable` (plain scheduling point), `Blocked`/`TimedBlocked`
+    /// (blocking op), or `Finished` (thread exit). Returns once the caller
+    /// holds the token again (immediately if it was rescheduled), except for
+    /// `Finished`, which never waits.
+    fn yield_token(self: &Arc<Self>, mut st: MutexGuard<'_, State>, tid: usize, after: Status) {
+        if st.abort {
+            drop(st);
+            std::panic::panic_any(Abort);
+        }
+        st.status[tid] = after;
+
+        // Candidate order is deterministic: current thread first (so DFS
+        // branch 0 is "keep running", minimizing preemptions down the
+        // leftmost path), then the rest by id.
+        let mut cands: Vec<usize> = Vec::new();
+        if after == Status::Runnable {
+            cands.push(tid);
+        }
+        let budget_left = st.preemption_bound.is_none_or(|b| st.preemptions < b);
+        if after != Status::Runnable || budget_left {
+            for t in 0..st.status.len() {
+                if t != tid && st.status[t] == Status::Runnable {
+                    cands.push(t);
+                }
+            }
+        }
+
+        if cands.is_empty() {
+            // Nobody runnable. Try to rescue a timed wait before declaring
+            // deadlock: a real system would eventually hit the timeout.
+            if let Some(t) = (0..st.status.len()).find(|&t| st.status[t] == Status::TimedBlocked) {
+                st.status[t] = Status::Runnable;
+                st.timed_out[t] = true;
+                cands.push(t);
+            } else if st.status.iter().all(|&s| s == Status::Finished) {
+                st.active = usize::MAX;
+                self.cv.notify_all();
+                return;
+            } else {
+                let blocked: Vec<String> = (0..st.status.len())
+                    .filter(|&t| {
+                        st.status[t] == Status::Blocked || st.status[t] == Status::TimedBlocked
+                    })
+                    .map(|t| match &st.names[t] {
+                        Some(n) => format!("{t} ({n})"),
+                        None => format!("{t}"),
+                    })
+                    .collect();
+                let msg = format!(
+                    "deadlock: all live threads blocked [{}]",
+                    blocked.join(", ")
+                );
+                self.fail_locked(&mut st, msg);
+                if after == Status::Finished {
+                    // Exiting thread cannot unwind usefully; just leave.
+                    return;
+                }
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+        }
+
+        let chosen = if cands.len() == 1 {
+            cands[0]
+        } else {
+            let idx = self.pick(&mut st, cands.len());
+            cands[idx]
+        };
+        if chosen == tid {
+            return;
+        }
+        if after == Status::Runnable {
+            st.preemptions += 1;
+        }
+        st.active = chosen;
+        self.cv.notify_all();
+        if after == Status::Finished {
+            return;
+        }
+        self.wait_for_token(st, tid);
+    }
+
+    fn wait_for_token(self: &Arc<Self>, mut st: MutexGuard<'_, State>, tid: usize) {
+        loop {
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.active == tid {
+                debug_assert_eq!(st.status[tid], Status::Runnable);
+                return;
+            }
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Block the current thread (it must hold the token). Returns when a
+    /// waker has made it runnable *and* a scheduling decision handed the
+    /// token back. If `timed` and the system would otherwise deadlock, the
+    /// thread is woken with its timed-out flag set; the caller must check
+    /// [`take_timed_out`].
+    pub(crate) fn block(self: &Arc<Self>, tid: usize, timed: bool) {
+        let st = self.lock();
+        let after = if timed {
+            Status::TimedBlocked
+        } else {
+            Status::Blocked
+        };
+        self.yield_token(st, tid, after);
+    }
+
+    pub(crate) fn take_timed_out(&self, tid: usize) -> bool {
+        let mut st = self.lock();
+        std::mem::take(&mut st.timed_out[tid])
+    }
+
+    /// Make `target` runnable again (does not transfer the token).
+    pub(crate) fn unblock(&self, target: usize) {
+        let mut st = self.lock();
+        if st.status[target] == Status::Blocked || st.status[target] == Status::TimedBlocked {
+            st.status[target] = Status::Runnable;
+        }
+    }
+
+    fn fail_locked(&self, st: &mut State, msg: String) {
+        if st.failure.is_none() {
+            st.failure = Some(msg);
+        }
+        st.abort = true;
+        self.cv.notify_all();
+    }
+
+    // ---- clock plumbing (used by the sync shims) ----
+
+    pub(crate) fn bump_clock(&self, tid: usize) -> VClock {
+        let mut st = self.lock();
+        st.clocks[tid].bump(tid);
+        st.clocks[tid].clone()
+    }
+
+    pub(crate) fn join_clock(&self, tid: usize, other: &VClock) {
+        let mut st = self.lock();
+        st.clocks[tid].join(other);
+    }
+
+    /// Run `f` with (state, tid) — used by the atomics, which need the
+    /// scheduler lock held across clock reads, choice recording, and store
+    /// selection so the whole load/store/RMW is one logical step.
+    pub(crate) fn with_state<R>(&self, f: impl FnOnce(&mut StateView<'_>) -> R) -> R {
+        let mut st = self.lock();
+        let mut view = StateView { st: &mut st };
+        f(&mut view)
+    }
+
+    // ---- thread lifecycle ----
+
+    /// Register a new logical thread; returns its id. Caller must hold the
+    /// token (i.e. be the spawning thread) or be the driver registering
+    /// thread 0.
+    pub(crate) fn register_thread(&self, parent: Option<usize>, name: Option<String>) -> usize {
+        let mut st = self.lock();
+        let tid = st.status.len();
+        st.status.push(Status::Runnable);
+        st.timed_out.push(false);
+        let clock = match parent {
+            Some(p) => {
+                // spawn edge: child starts with everything the parent did.
+                st.clocks[p].bump(p);
+                let mut c = st.clocks[p].clone();
+                c.bump(tid);
+                c
+            }
+            None => {
+                let mut c = VClock::default();
+                c.bump(tid);
+                c
+            }
+        };
+        st.clocks.push(clock);
+        st.joiners.push(Vec::new());
+        st.results.push(None);
+        st.names.push(name);
+        st.live += 1;
+        tid
+    }
+
+    pub(crate) fn add_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.lock().handles.push(h);
+    }
+
+    /// Body run on each real OS thread backing a logical thread.
+    pub(crate) fn thread_main(
+        self: Arc<Self>,
+        tid: usize,
+        f: Box<dyn FnOnce() -> Box<dyn std::any::Any + Send> + Send>,
+    ) {
+        CURRENT.with(|c| *c.borrow_mut() = Some((self.clone(), tid)));
+        // Wait to be scheduled for the first time.
+        {
+            let mut st = self.lock();
+            loop {
+                if st.abort {
+                    // Execution died before this thread ever ran.
+                    self.thread_exit_locked(st, tid, None);
+                    CURRENT.with(|c| *c.borrow_mut() = None);
+                    return;
+                }
+                if st.active == tid {
+                    break;
+                }
+                st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+        let stored: Option<AnyResult> = match result {
+            Ok(v) => Some(Ok(v)),
+            Err(p) if p.is::<Abort>() => None,
+            Err(p) => {
+                let msg = panic_message(&*p);
+                let mut st = self.lock();
+                self.fail_locked(&mut st, format!("thread {tid} panicked: {msg}"));
+                drop(st);
+                Some(Err(p))
+            }
+        };
+
+        let st = self.lock();
+        self.thread_exit_locked(st, tid, stored);
+        CURRENT.with(|c| *c.borrow_mut() = None);
+    }
+
+    fn thread_exit_locked(
+        self: &Arc<Self>,
+        mut st: MutexGuard<'_, State>,
+        tid: usize,
+        result: Option<AnyResult>,
+    ) {
+        st.results[tid] = result;
+        st.status[tid] = Status::Finished;
+        let joiners = std::mem::take(&mut st.joiners[tid]);
+        for j in joiners {
+            if st.status[j] == Status::Blocked || st.status[j] == Status::TimedBlocked {
+                st.status[j] = Status::Runnable;
+            }
+        }
+        st.live -= 1;
+        if st.live == 0 {
+            st.active = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+        if st.abort {
+            // Teardown: just pass the token to anyone still parked so they
+            // can observe the abort and unwind.
+            st.active = usize::MAX;
+            self.cv.notify_all();
+            return;
+        }
+        self.yield_token(st, tid, Status::Finished);
+    }
+
+    /// Block until logical thread `target` finishes, then take its result.
+    pub(crate) fn join_thread(self: &Arc<Self>, tid: usize, target: usize) -> AnyResult {
+        loop {
+            let mut st = self.lock();
+            if st.abort {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.status[target] == Status::Finished {
+                let clock = st.clocks[target].clone();
+                st.clocks[tid].join(&clock);
+                return st.results[target]
+                    .take()
+                    .unwrap_or_else(|| Err(Box::new(Abort)));
+            }
+            st.joiners[target].push(tid);
+            drop(st);
+            self.block(tid, false);
+        }
+    }
+
+    /// Drive one full execution of `f` as logical thread 0. Returns the
+    /// recorded schedule and failure, after every backing OS thread exited.
+    pub(crate) fn run(self: &Arc<Self>, f: Arc<dyn Fn() + Send + Sync>) -> Outcome {
+        let t0 = self.register_thread(None, Some("main".into()));
+        debug_assert_eq!(t0, 0);
+        {
+            let mut st = self.lock();
+            st.active = 0;
+        }
+        let rt = self.clone();
+        let h = std::thread::Builder::new()
+            .name("loom-main".into())
+            .spawn(move || {
+                rt.clone().thread_main(
+                    0,
+                    Box::new(move || {
+                        f();
+                        Box::new(()) as Box<dyn std::any::Any + Send>
+                    }),
+                );
+            })
+            .expect("spawn loom main thread");
+        self.add_handle(h);
+
+        let mut st = self.lock();
+        while st.live > 0 {
+            st = self.cv.wait(st).unwrap_or_else(|e| e.into_inner());
+        }
+        let handles = std::mem::take(&mut st.handles);
+        let schedule = st.schedule.clone();
+        let failure = st.failure.clone();
+        drop(st);
+        for h in handles {
+            let _ = h.join();
+        }
+        Outcome { schedule, failure }
+    }
+}
+
+/// Narrow view over scheduler state handed to the atomics so they can do
+/// clock math + choice recording under one lock acquisition.
+pub(crate) struct StateView<'a> {
+    st: &'a mut State,
+}
+
+impl StateView<'_> {
+    pub fn clock(&mut self, tid: usize) -> &mut VClock {
+        &mut self.st.clocks[tid]
+    }
+
+    pub fn sc_clock(&mut self) -> &mut VClock {
+        // Global SeqCst order clock lives in slot "beyond all threads":
+        // model it as a dedicated field.
+        &mut self.st.sc
+    }
+
+    pub fn choose(&mut self, total: usize) -> usize {
+        if total <= 1 {
+            return 0;
+        }
+        let pos = self.st.schedule.len();
+        let taken = if pos < self.st.forced.len() {
+            self.st.forced[pos].min(total - 1)
+        } else if let Some(rng) = self.st.rng.as_mut() {
+            (rng.next() % total as u64) as usize
+        } else {
+            0
+        };
+        self.st.schedule.push(Choice { taken, total });
+        taken
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}

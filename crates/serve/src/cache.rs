@@ -34,6 +34,7 @@
 //! misses already pay a full propagation).
 
 use crate::proto::NodeResult;
+use crate::sync::{lock_recover, Mutex};
 use std::collections::HashMap;
 
 /// Monotonic counters exported through `/metrics`.
@@ -229,6 +230,101 @@ impl PredictionCache {
     }
 }
 
+/// What a sequenced mutation evicts before its sequence point advances
+/// (computed by the scheduler's mirror walk, applied by
+/// [`VersionedCache::sequence_mutation`]).
+pub enum Invalidation {
+    /// The graph did not change (duplicate edge) or the mutation
+    /// touched no existing adjacency (isolated arrival): every entry
+    /// survives.
+    Untouched,
+    /// Evict the mutation's dirty frontier (`(node, hop distance)`
+    /// pairs from the k-hop walk).
+    Frontier(Vec<(u32, usize)>),
+    /// Conservative full flush (walk over budget, or a globally
+    /// dependent NAP mode).
+    Flush,
+}
+
+/// A [`PredictionCache`] behind a mutex, exposing exactly the compound
+/// operations whose atomicity the serving invariants need:
+///
+/// * [`Self::sequence_mutation`] applies a mutation's invalidation
+///   *and* advances the sequence point under one lock acquisition —
+///   a worker insert can land before or after, never in between, so
+///   the per-entry version guard is airtight (`tests/model.rs` checks
+///   this exhaustively under `--cfg nai_model`).
+/// * [`Self::insert_batch`] stamps a whole batch's results at the
+///   sequence point they were computed at in one acquisition.
+///
+/// Every method recovers from poison: cache state is a plain map +
+/// counters that no panic can leave half-linked, and a dead worker
+/// must not take the submit fast path or `/metrics` down.
+pub struct VersionedCache {
+    inner: Mutex<PredictionCache>,
+}
+
+impl VersionedCache {
+    /// An empty cache holding at most `cap` entries.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero (validated upstream by
+    /// `ServeConfig::validate`).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            inner: Mutex::new(PredictionCache::new(cap)),
+        }
+    }
+
+    /// All-or-nothing read (see [`PredictionCache::lookup`]).
+    pub fn lookup(&self, nodes: &[u32]) -> Option<(u64, Vec<NodeResult>)> {
+        lock_recover(&self.inner).lookup(nodes)
+    }
+
+    /// Records a read that consulted the cache and was dispatched to
+    /// an engine instead.
+    pub fn note_miss(&self) {
+        lock_recover(&self.inner).note_miss();
+    }
+
+    /// Atomically applies a sequenced mutation: eviction and the
+    /// sequence-point advance happen under the same lock, so a
+    /// concurrent [`Self::insert_batch`] either runs entirely before
+    /// (its entries are then subject to this eviction) or entirely
+    /// after (its stale-seq entries are dropped by the version guard).
+    pub fn sequence_mutation(&self, seq: u64, inv: Invalidation) {
+        let mut c = lock_recover(&self.inner);
+        match inv {
+            Invalidation::Untouched => {}
+            Invalidation::Frontier(frontier) => c.invalidate_frontier(&frontier),
+            Invalidation::Flush => c.flush_all(),
+        }
+        c.advance_seq(seq);
+    }
+
+    /// Inserts a batch of `(node, prediction, depth)` results computed
+    /// at sequence point `seq`, under one lock acquisition. Results
+    /// outdated by a mutation sequenced since they were computed are
+    /// dropped by the per-entry version guard.
+    pub fn insert_batch(&self, seq: u64, entries: impl IntoIterator<Item = (u32, usize, usize)>) {
+        let mut c = lock_recover(&self.inner);
+        for (node, prediction, depth) in entries {
+            c.insert(node, seq, prediction, depth);
+        }
+    }
+
+    /// Counter snapshot (poison-recovering: `/metrics` keeps working
+    /// after a worker dies mid-insert).
+    pub fn counters(&self) -> CacheCounters {
+        lock_recover(&self.inner).counters()
+    }
+
+    /// The sequence point cached entries are valid at.
+    pub fn seq(&self) -> u64 {
+        lock_recover(&self.inner).seq()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -354,6 +450,31 @@ mod tests {
         c.insert(5, 3, 1, 2);
         let (seq, _) = c.lookup(&[5]).unwrap();
         assert_eq!(seq, 3, "hits report the current sequence point");
+    }
+
+    /// Satellite-2 regression: a panic while the cache lock is held
+    /// (e.g. a worker dying mid-insert) poisons it; every
+    /// [`VersionedCache`] operation must keep working — the map and
+    /// counters cannot be left half-linked by a panic, so recovery is
+    /// sound, and `/metrics` plus the submit fast path must not die
+    /// with the worker.
+    #[test]
+    fn versioned_cache_operations_survive_a_poisoned_lock() {
+        let vc = VersionedCache::new(4);
+        vc.insert_batch(0, [(1u32, 2usize, 1usize)]);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = vc.inner.lock().unwrap();
+            panic!("die holding the cache lock");
+        }));
+        assert!(r.is_err());
+        assert!(vc.inner.is_poisoned());
+        assert_eq!(vc.lookup(&[1]).unwrap().0, 0, "hit after poison");
+        vc.note_miss();
+        vc.sequence_mutation(1, Invalidation::Flush);
+        assert_eq!(vc.seq(), 1);
+        assert!(vc.lookup(&[1]).is_none(), "flush applied after poison");
+        let counters = vc.counters();
+        assert_eq!((counters.flushes, counters.misses), (1, 1));
     }
 
     #[test]

@@ -20,11 +20,11 @@
 use crate::json::Json;
 use crate::proto::{error_line, parse_request, render_reply};
 use crate::service::{NaiService, ServeError, Ticket};
+use crate::sync::atomic::{AtomicBool, Ordering};
+use crate::sync::thread::{self, JoinHandle};
+use crate::sync::{lock_recover, Arc, Condvar, Mutex};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Upper bound on accepted request bodies (1 MiB — far above any
@@ -39,16 +39,99 @@ const MAX_HEADERS: usize = 100;
 /// Per-connection socket read timeout.
 const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Shutdown gate for the connection pool: a stop flag plus a counted
+/// set of active connections with a condition variable for the drain.
+///
+/// This replaced a `stop: AtomicBool` + `active_conns: AtomicUsize`
+/// pair whose join path slept in a 5 ms poll loop: the count now lives
+/// under a mutex with [`Self::end_conn`] signalling the last exit, so
+/// [`Self::await_drained`] wakes exactly when the pool empties (or the
+/// grace deadline fires) — no poll latency, no schedule where the
+/// notify is lost. `tests/model.rs` checks under `--cfg nai_model`
+/// that stop/begin/end/await interleavings never hang and never strand
+/// an accepted connection uncounted.
+pub struct ConnGate {
+    stop: AtomicBool,
+    active: Mutex<usize>,
+    drained: Condvar,
+}
+
+impl ConnGate {
+    /// An open gate with no active connections.
+    pub fn new() -> Self {
+        Self {
+            stop: AtomicBool::new(false),
+            active: Mutex::new(0),
+            drained: Condvar::new(),
+        }
+    }
+
+    /// Whether shutdown has been requested. Acquire: pairs with the
+    /// AcqRel swap in [`Self::request_stop`], so a connection accepted
+    /// after the observing load sees everything the stopper did first.
+    pub fn stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Latches the stop flag; returns whether this call was the first
+    /// (the swap makes concurrent stop requests race-free: exactly one
+    /// caller performs the accept-loop unblocking side effect).
+    pub fn request_stop(&self) -> bool {
+        !self.stop.swap(true, Ordering::AcqRel)
+    }
+
+    /// Counts a connection in (poison-recovering: the count is a plain
+    /// integer a panic cannot leave half-updated).
+    pub fn begin_conn(&self) {
+        *lock_recover(&self.active) += 1;
+    }
+
+    /// Counts a connection out, waking the drain waiter when the pool
+    /// empties.
+    pub fn end_conn(&self) {
+        let mut active = lock_recover(&self.active);
+        debug_assert!(*active > 0, "end_conn without begin_conn");
+        *active = active.saturating_sub(1);
+        if *active == 0 {
+            self.drained.notify_all();
+        }
+    }
+
+    /// Blocks until every counted connection has ended, or `grace` has
+    /// elapsed; returns whether the pool drained. Loops only on real
+    /// wakeups — one timeout ends the wait (re-arming would extend the
+    /// grace unboundedly under repeated spurious wakeups).
+    pub fn await_drained(&self, grace: Duration) -> bool {
+        let mut active = lock_recover(&self.active);
+        while *active > 0 {
+            let (guard, timeout) = self
+                .drained
+                .wait_timeout(active, grace)
+                .unwrap_or_else(|p| p.into_inner());
+            active = guard;
+            if timeout.timed_out() {
+                return *active == 0;
+            }
+        }
+        true
+    }
+}
+
+impl Default for ConnGate {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 struct ServerState {
     service: Arc<NaiService>,
     addr: SocketAddr,
-    stop: AtomicBool,
-    active_conns: AtomicUsize,
+    gate: ConnGate,
 }
 
 impl ServerState {
     fn request_stop(&self) {
-        if !self.stop.swap(true, Ordering::AcqRel) {
+        if self.gate.request_stop() {
             // Unblock the accept loop with a throwaway connection.
             let _ = TcpStream::connect(self.addr);
         }
@@ -74,11 +157,10 @@ impl Server {
         let state = Arc::new(ServerState {
             service,
             addr: local,
-            stop: AtomicBool::new(false),
-            active_conns: AtomicUsize::new(0),
+            gate: ConnGate::new(),
         });
         let accept_state = Arc::clone(&state);
-        let accept = std::thread::Builder::new()
+        let accept = thread::Builder::new()
             .name("nai-serve-accept".to_string())
             .spawn(move || accept_loop(listener, accept_state))
             .expect("spawn accept thread");
@@ -107,12 +189,10 @@ impl Server {
         }
         // Give connection threads a short grace to write their final
         // responses; they hold no service slots beyond their tickets.
-        let deadline = std::time::Instant::now() + Duration::from_secs(2);
-        while self.state.active_conns.load(Ordering::Acquire) > 0
-            && std::time::Instant::now() < deadline
-        {
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        // The gate wakes the moment the pool empties (no poll loop) or
+        // gives up at the deadline — stragglers get their replies cut
+        // off, never a wedged join.
+        let _ = self.state.gate.await_drained(Duration::from_secs(2));
         self.state.service.shutdown();
     }
 }
@@ -121,20 +201,29 @@ fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
     loop {
         match listener.accept() {
             Ok((stream, _)) => {
-                if state.stop.load(Ordering::Acquire) {
+                if state.gate.stopping() {
                     break;
                 }
                 let conn_state = Arc::clone(&state);
-                conn_state.active_conns.fetch_add(1, Ordering::AcqRel);
-                let _ = std::thread::Builder::new()
+                // Counted in *before* the connection thread exists, so
+                // a join racing the spawn still waits for this
+                // connection; the thread itself counts out.
+                conn_state.gate.begin_conn();
+                let spawned = thread::Builder::new()
                     .name("nai-serve-conn".to_string())
                     .spawn(move || {
                         let _ = handle_connection(stream, &conn_state);
-                        conn_state.active_conns.fetch_sub(1, Ordering::AcqRel);
+                        conn_state.gate.end_conn();
                     });
+                if spawned.is_err() {
+                    // The closure never ran (and was dropped with its
+                    // stream): count the connection back out so join
+                    // does not wait its full grace period on a ghost.
+                    state.gate.end_conn();
+                }
             }
             Err(_) => {
-                if state.stop.load(Ordering::Acquire) {
+                if state.gate.stopping() {
                     break;
                 }
             }

@@ -52,31 +52,34 @@
 //! [`nai_stream::StreamingEngine`] fed the same sequence, and after a
 //! drain every replica holds the identical graph.
 
+pub mod admission;
 pub mod cache;
 pub mod client;
 pub mod http;
 pub mod json;
 pub mod proto;
 pub mod service;
+pub mod sync;
 pub mod workload;
 
-pub use cache::{CacheCounters, PredictionCache};
+pub use admission::AdmissionLedger;
+pub use cache::{CacheCounters, Invalidation, PredictionCache, VersionedCache};
 pub use client::{http_call, HttpClient};
-pub use http::Server;
+pub use http::{ConnGate, Server};
 pub use json::Json;
 pub use proto::{NodeResult, Op, Reply, Request};
-pub use service::{MetricsSnapshot, NaiService, ServeError, ServiceInfo, Ticket};
+pub use service::{MacsCell, MetricsSnapshot, NaiService, ServeError, ServiceInfo, Ticket};
 pub use workload::{zipf_rank, Arrivals, Sampling, WorkloadSampler, WorkloadSpec};
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::Arc;
     use nai_core::config::{CacheConfig, InferenceConfig, LoadShedPolicy, ServeConfig};
     use nai_models::{DepthClassifier, ModelKind};
     use nai_stream::{DynamicGraph, StreamingEngine};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::sync::Arc;
     use std::time::Duration;
 
     const F: usize = 6;
@@ -409,7 +412,7 @@ mod tests {
         ));
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while service.queue_depth() != 0 && std::time::Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
+            crate::sync::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(service.queue_depth(), 0, "admission slot repaired");
         // Later requests get a typed error, never a hang: a submission

@@ -47,7 +47,7 @@
 //! rate (the accuracy↔latency dial driven by load).
 //!
 //! **Prediction cache** (opt-in via `ServeConfig::cache`): `submit`
-//! consults a sequence-versioned [`PredictionCache`] before admission —
+//! consults a sequence-versioned [`PredictionCache`](crate::cache::PredictionCache) before admission —
 //! a read whose nodes are all cached is answered on the caller's
 //! thread, skipping the queue, the batching wait, and the replica
 //! entirely. The scheduler keeps its own [`DynamicGraph`] mirror of the
@@ -60,15 +60,16 @@
 //! Results computed under a degraded (load-shed) depth budget are never
 //! inserted.
 
-use crate::cache::PredictionCache;
+use crate::admission::AdmissionLedger;
+use crate::cache::{Invalidation, VersionedCache};
 use crate::proto::{NodeResult, Op, Reply, Request};
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use crate::sync::thread::{self, JoinHandle};
+use crate::sync::{lock_recover, Arc, Mutex};
 use nai_core::checkpoint::ModelCheckpoint;
 use nai_core::config::{InferenceConfig, NapMode, ServeConfig};
 use nai_stream::{DynamicGraph, LatencyStats, MacsBreakdown, StreamingEngine};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Service-level failures surfaced to the transport.
@@ -220,8 +221,49 @@ impl ShardBatch {
 /// accumulator would leak on a long-lived server).
 pub const STATS_WINDOW: usize = 1 << 18;
 
+/// One worker's cumulative per-stage MACs, published as a single
+/// consistent snapshot after each batch.
+///
+/// This replaced a `[AtomicU64; 4]` published with four independent
+/// `Relaxed` stores: the model checker exhibits a `/metrics` scrape
+/// landing between two of those stores and reporting a breakdown that
+/// mixes two batches' totals — per-stage numbers that never coexisted
+/// on the worker (`tests/model.rs::macs_tear_*` pins the failing
+/// schedule). A mutex makes the 4-field publish indivisible; the lock
+/// is uncontended outside scrapes and taken once per *batch*, so it
+/// costs nothing on the request path.
+pub struct MacsCell(Mutex<MacsBreakdown>);
+
+impl MacsCell {
+    /// A zeroed breakdown.
+    pub fn new() -> Self {
+        Self(Mutex::new(MacsBreakdown::default()))
+    }
+
+    /// Overwrites the published breakdown with the engine's current
+    /// cumulative totals, atomically across all four stages.
+    pub fn publish(&self, b: &MacsBreakdown) {
+        *lock_recover(&self.0) = *b;
+    }
+
+    /// The last published breakdown (poison-recovering: the breakdown
+    /// is copied in whole by `publish`, so even a poisoned cell holds
+    /// a consistent snapshot).
+    pub fn snapshot(&self) -> MacsBreakdown {
+        *lock_recover(&self.0)
+    }
+}
+
+impl Default for MacsCell {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 struct Shared {
-    in_flight: AtomicUsize,
+    /// In-flight slot accounting, per-party reply counters, and worker
+    /// dead flags — the state whose interplay the model tests check.
+    admission: AdmissionLedger,
     overloaded: AtomicU64,
     batches: AtomicU64,
     degraded_batches: AtomicU64,
@@ -229,19 +271,6 @@ struct Shared {
     edges_observed: AtomicU64,
     op_errors: AtomicU64,
     served: AtomicU64,
-    /// Replies sent, indexed by answering party (`0..workers` = that
-    /// worker, `workers` = the scheduler). Broadcast batches contain
-    /// jobs a worker does *not* answer, so panic repair must count
-    /// exactly the repairer's own replies — a global counter would mix
-    /// in concurrent replies from other workers and under-repair.
-    answered: Vec<AtomicU64>,
-    /// Set by a worker when its engine panics, *before* it starts
-    /// draining its channel. The scheduler reaps the flag at the next
-    /// dispatch (dropping its sender); a batch racing into the dying
-    /// channel in between is answered by the worker's drain loop — so
-    /// no admitted job is ever silently discarded with its admission
-    /// slot held.
-    dead: Vec<std::sync::atomic::AtomicBool>,
     /// One latency/depth accumulator per worker, plus a final slot for
     /// reads the submit path answers from the prediction cache (no
     /// worker ever touches them).
@@ -249,10 +278,10 @@ struct Shared {
     /// `None` unless `ServeConfig::cache.enabled`. Locked briefly by
     /// the submit path (lookup / miss counting), the scheduler
     /// (invalidation + sequence advance), and workers (inserts).
-    cache: Option<Mutex<PredictionCache>>,
-    /// `[propagation, nap, classification, replication]` per worker,
-    /// overwritten after each batch from the engine's own breakdown.
-    worker_macs: Vec<[AtomicU64; 4]>,
+    cache: Option<VersionedCache>,
+    /// Per-worker MACs breakdown, overwritten after each batch from
+    /// the engine's own totals — atomically, so scrapes never tear.
+    worker_macs: Vec<MacsCell>,
     /// Engine replicas handed back by workers at drain time (see
     /// [`NaiService::into_engines`]); a panicked worker's replica is
     /// absent.
@@ -268,10 +297,19 @@ impl Shared {
         debug_assert!(who < self.worker_stats.len());
         let latency = handle.enqueued.elapsed();
         match &reply {
+            // Relaxed on the counters below: each is a monotone count
+            // read only by `/metrics` snapshots, with no cross-counter
+            // invariant a scrape could see torn; publication to the
+            // answered client is ordered by the reply-channel send.
             Reply::Infer { results, .. } => {
                 self.served
                     .fetch_add(results.len() as u64, Ordering::Relaxed);
-                let mut stats = self.worker_stats[who].lock().unwrap();
+                // Poison-recovering: a worker that panicked while
+                // recording must not take down every later scrape and
+                // respond on this slot (the accumulator is append-only
+                // sample storage — a torn record loses one sample, it
+                // cannot corrupt the others).
+                let mut stats = lock_recover(&self.worker_stats[who]);
                 for r in results {
                     if stats.count() >= STATS_WINDOW {
                         *stats = LatencyStats::new();
@@ -281,7 +319,7 @@ impl Shared {
             }
             Reply::Ingest { depth, .. } => {
                 self.served.fetch_add(1, Ordering::Relaxed);
-                let mut stats = self.worker_stats[who].lock().unwrap();
+                let mut stats = lock_recover(&self.worker_stats[who]);
                 if stats.count() >= STATS_WINDOW {
                     *stats = LatencyStats::new();
                 }
@@ -298,9 +336,65 @@ impl Shared {
         // client that has its answer can immediately resubmit without
         // racing the counter (and `queue_depth` reads 0 once every
         // reply of a closed loop has been received).
-        self.answered[who].fetch_add(1, Ordering::Relaxed);
-        self.in_flight.fetch_sub(1, Ordering::AcqRel);
+        self.admission.note_answered(who);
         let _ = handle.responder.send(reply);
+    }
+
+    /// Merged counters, latency statistics, and MACs — the `/metrics`
+    /// body, on `Shared` so observability needs no service handle (and
+    /// the poison unit tests can drive a bare `Shared`). Every lock on
+    /// this path recovers from poison: one dead worker must not take
+    /// monitoring down.
+    fn snapshot(&self) -> MetricsSnapshot {
+        let mut stats = LatencyStats::new();
+        for w in &self.worker_stats {
+            stats.merge(&lock_recover(w));
+        }
+        let mut macs = MacsBreakdown::default();
+        for m in &self.worker_macs {
+            let b = m.snapshot();
+            // Inference runs on exactly one replica per request: sum.
+            macs.propagation += b.propagation;
+            macs.nap += b.nap;
+            macs.classification += b.classification;
+            // Replicated mutations run on *every* replica: attribute
+            // the work once (max = the most caught-up replica), so
+            // totals do not scale with the shard count.
+            macs.replication = macs.replication.max(b.replication);
+        }
+        let cache = self
+            .cache
+            .as_ref()
+            .map(|c| c.counters())
+            .unwrap_or_default();
+        MetricsSnapshot {
+            queue_depth: self.admission.in_flight(),
+            // Relaxed loads: monotone counters with no cross-counter
+            // invariant — a scrape is a statistical sample, not a
+            // linearization point.
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            degraded_batches: self.degraded_batches.load(Ordering::Relaxed),
+            shed_ops: self.shed_ops.load(Ordering::Relaxed),
+            edges_observed: self.edges_observed.load(Ordering::Relaxed),
+            served: self.served.load(Ordering::Relaxed),
+            op_errors: self.op_errors.load(Ordering::Relaxed),
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evicted: cache.evicted,
+            cache_invalidated: cache.invalidated,
+            stats,
+            macs,
+        }
+    }
+
+    /// Takes the engines drained workers handed back, in worker order
+    /// (poison-recovering: a replica pushed before another worker's
+    /// panic is still recoverable).
+    fn take_returned(&self) -> Vec<StreamingEngine> {
+        let mut replicas = std::mem::take(&mut *lock_recover(&self.returned));
+        replicas.sort_by_key(|(w, _)| *w);
+        replicas.into_iter().map(|(_, e)| e).collect()
     }
 }
 
@@ -376,7 +470,7 @@ impl NaiService {
             seed_nodes,
         };
         let shared = Arc::new(Shared {
-            in_flight: AtomicUsize::new(0),
+            admission: AdmissionLedger::new(cfg.queue_cap, cfg.workers),
             overloaded: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             degraded_batches: AtomicU64::new(0),
@@ -384,11 +478,6 @@ impl NaiService {
             edges_observed: AtomicU64::new(0),
             op_errors: AtomicU64::new(0),
             served: AtomicU64::new(0),
-            // One slot per worker plus the scheduler's.
-            answered: (0..=cfg.workers).map(|_| AtomicU64::new(0)).collect(),
-            dead: (0..cfg.workers)
-                .map(|_| std::sync::atomic::AtomicBool::new(false))
-                .collect(),
             // One slot per worker plus the submit path's (cache hits).
             worker_stats: (0..=cfg.workers)
                 .map(|_| Mutex::new(LatencyStats::new()))
@@ -396,10 +485,8 @@ impl NaiService {
             cache: cfg
                 .cache
                 .enabled
-                .then(|| Mutex::new(PredictionCache::new(cfg.cache.cap))),
-            worker_macs: (0..cfg.workers)
-                .map(|_| std::array::from_fn(|_| AtomicU64::new(0)))
-                .collect(),
+                .then(|| VersionedCache::new(cfg.cache.cap)),
+            worker_macs: (0..cfg.workers).map(|_| MacsCell::new()).collect(),
             returned: Mutex::new(Vec::new()),
         });
 
@@ -424,7 +511,7 @@ impl NaiService {
             worker_txs.push(wtx);
             let shared_w = Arc::clone(&shared);
             threads.push(
-                std::thread::Builder::new()
+                thread::Builder::new()
                     .name(format!("nai-serve-worker-{w}"))
                     .spawn(move || worker_loop(w, engine, wrx, shared_w))
                     .expect("spawn worker thread"),
@@ -435,7 +522,7 @@ impl NaiService {
         let shared_s = Arc::clone(&shared);
         let sched_cfg = cfg;
         threads.push(
-            std::thread::Builder::new()
+            thread::Builder::new()
                 .name("nai-serve-batcher".to_string())
                 .spawn(move || {
                     Scheduler::new(
@@ -514,21 +601,14 @@ impl NaiService {
             if let Op::Infer { nodes } = &req.op {
                 cached_read = true;
                 let begun = Instant::now();
-                let hit = cache.lock().unwrap().lookup(nodes);
-                if let Some((applied_seq, results)) = hit {
+                if let Some((applied_seq, results)) = cache.lookup(nodes) {
                     return Ok(self.answer_from_cache(begun, req.shard, applied_seq, results));
                 }
             }
         }
         // Admission: reserve an in-flight slot or reject immediately.
-        if self
-            .shared
-            .in_flight
-            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
-                (c < self.cfg.queue_cap).then_some(c + 1)
-            })
-            .is_err()
-        {
+        if !self.shared.admission.try_admit() {
+            // Relaxed: monotone rejection count, only read by scrapes.
             self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Overloaded);
         }
@@ -541,7 +621,7 @@ impl NaiService {
                 enqueued: Instant::now(),
             },
         };
-        let guard = self.tx.lock().unwrap();
+        let guard = lock_recover(&self.tx);
         let outcome = match guard.as_ref() {
             None => Err(ServeError::ShuttingDown),
             Some(tx) => match tx.try_send(job) {
@@ -556,14 +636,16 @@ impl NaiService {
         drop(guard);
         match &outcome {
             Err(e) => {
-                self.shared.in_flight.fetch_sub(1, Ordering::AcqRel);
+                // The job never entered the queue: give its slot back.
+                self.shared.admission.cancel_admit();
                 if *e == ServeError::Overloaded {
+                    // Relaxed: see the admission-refusal count above.
                     self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
                 }
             }
             Ok(_) if cached_read => {
                 if let Some(cache) = &self.shared.cache {
-                    cache.lock().unwrap().note_miss();
+                    cache.note_miss();
                 }
             }
             Ok(_) => {}
@@ -584,11 +666,12 @@ impl NaiService {
         results: Vec<NodeResult>,
     ) -> Ticket {
         let latency = begun.elapsed();
+        // Relaxed: monotone count, read only by scrapes.
         self.shared
             .served
             .fetch_add(results.len() as u64, Ordering::Relaxed);
         {
-            let mut stats = self.shared.worker_stats[self.info.shards].lock().unwrap();
+            let mut stats = lock_recover(&self.shared.worker_stats[self.info.shards]);
             for r in &results {
                 if stats.count() >= STATS_WINDOW {
                     *stats = LatencyStats::new();
@@ -617,48 +700,14 @@ impl NaiService {
     /// enough for a liveness probe (unlike [`Self::metrics`], which
     /// merges every worker's latency samples).
     pub fn queue_depth(&self) -> usize {
-        self.shared.in_flight.load(Ordering::Acquire)
+        self.shared.admission.in_flight()
     }
 
-    /// Merged counters, latency statistics, and MACs.
+    /// Merged counters, latency statistics, and MACs. Every lock on
+    /// this path recovers from poison, so `/metrics` keeps answering
+    /// after a worker panic.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let s = &self.shared;
-        let mut stats = LatencyStats::new();
-        for w in &s.worker_stats {
-            stats.merge(&w.lock().unwrap());
-        }
-        let mut macs = MacsBreakdown::default();
-        for m in &s.worker_macs {
-            // Inference runs on exactly one replica per request: sum.
-            macs.propagation += m[0].load(Ordering::Relaxed);
-            macs.nap += m[1].load(Ordering::Relaxed);
-            macs.classification += m[2].load(Ordering::Relaxed);
-            // Replicated mutations run on *every* replica: attribute
-            // the work once (max = the most caught-up replica), so
-            // totals do not scale with the shard count.
-            macs.replication = macs.replication.max(m[3].load(Ordering::Relaxed));
-        }
-        let cache = s
-            .cache
-            .as_ref()
-            .map(|c| c.lock().unwrap().counters())
-            .unwrap_or_default();
-        MetricsSnapshot {
-            queue_depth: s.in_flight.load(Ordering::Acquire),
-            overloaded: s.overloaded.load(Ordering::Relaxed),
-            batches: s.batches.load(Ordering::Relaxed),
-            degraded_batches: s.degraded_batches.load(Ordering::Relaxed),
-            shed_ops: s.shed_ops.load(Ordering::Relaxed),
-            edges_observed: s.edges_observed.load(Ordering::Relaxed),
-            served: s.served.load(Ordering::Relaxed),
-            op_errors: s.op_errors.load(Ordering::Relaxed),
-            cache_hits: cache.hits,
-            cache_misses: cache.misses,
-            cache_evicted: cache.evicted,
-            cache_invalidated: cache.invalidated,
-            stats,
-            macs,
-        }
+        self.shared.snapshot()
     }
 
     /// Stops accepting work, drains queued requests (every admitted
@@ -668,8 +717,8 @@ impl NaiService {
         // Dropping the submission sender disconnects the scheduler's
         // receive loop; the scheduler dispatches its forming batch,
         // then drops the worker senders, which drains the workers.
-        drop(self.tx.lock().unwrap().take());
-        let mut threads = self.threads.lock().unwrap();
+        drop(lock_recover(&self.tx).take());
+        let mut threads = lock_recover(&self.threads);
         for handle in threads.drain(..) {
             let _ = handle.join();
         }
@@ -681,9 +730,7 @@ impl NaiService {
     /// re-checkpointing. A replica whose worker panicked is absent.
     pub fn into_engines(self) -> Vec<StreamingEngine> {
         self.shutdown();
-        let mut replicas = std::mem::take(&mut *self.shared.returned.lock().unwrap());
-        replicas.sort_by_key(|(w, _)| *w);
-        replicas.into_iter().map(|(_, e)| e).collect()
+        self.shared.take_returned()
     }
 }
 
@@ -777,7 +824,7 @@ impl Scheduler {
     /// hand-off leaks nothing.
     fn reap_dead_workers(&mut self) {
         for w in 0..self.workers {
-            if self.alive[w] && self.shared.dead[w].load(Ordering::Acquire) {
+            if self.alive[w] && self.shared.admission.is_dead(w) {
                 self.alive[w] = false;
                 self.worker_txs[w] = None;
             }
@@ -877,19 +924,21 @@ impl Scheduler {
             Op::ObserveEdge { u, v } => inv.mirror.add_edge(*u, *v).then(|| vec![*u, *v]),
             Op::Infer { .. } => unreachable!("reads are not sequenced"),
         };
-        let mut c = cache.lock().unwrap();
-        match seeds {
-            None => {}
-            Some(_) if !inv.local => c.flush_all(),
-            // An isolated arrival under fixed-depth mode touches no
-            // existing node's adjacency: every entry survives.
-            Some(seeds) if seeds.is_empty() => {}
+        let action = match seeds {
+            // `None` = the graph did not change (duplicate edge);
+            // an empty seed list = an isolated arrival under
+            // fixed-depth mode, touching no existing adjacency.
+            None => Invalidation::Untouched,
+            Some(_) if !inv.local => Invalidation::Flush,
+            Some(seeds) if seeds.is_empty() => Invalidation::Untouched,
             Some(seeds) => match inv.mirror.k_hop_frontier(&seeds, inv.radius, inv.budget) {
-                Some(frontier) => c.invalidate_frontier(&frontier),
-                None => c.flush_all(),
+                Some(frontier) => Invalidation::Frontier(frontier),
+                None => Invalidation::Flush,
             },
-        }
-        c.advance_seq(seq);
+        };
+        // One lock acquisition for eviction + advance: a worker insert
+        // can land before or after this mutation, never in between.
+        cache.sequence_mutation(seq, action);
     }
 
     fn dispatch(&mut self, forming: &mut Vec<Job>) {
@@ -910,11 +959,12 @@ impl Scheduler {
             }
             return;
         }
+        // Relaxed on the dispatch counters: monotone, scrape-only.
         self.shared.batches.fetch_add(1, Ordering::Relaxed);
-        let degraded = self.cfg.shed.engaged(
-            self.shared.in_flight.load(Ordering::Acquire),
-            self.cfg.queue_cap,
-        );
+        let degraded = self
+            .cfg
+            .shed
+            .engaged(self.shared.admission.in_flight(), self.cfg.queue_cap);
         let batch_cfg = if degraded {
             self.shared.degraded_batches.fetch_add(1, Ordering::Relaxed);
             self.shared
@@ -1078,7 +1128,7 @@ fn worker_loop(
     let mut applied_seq = 0u64;
     while let Ok(batch) = rx.recv() {
         let owned = batch.owned_jobs();
-        let answered_before = shared.answered[worker].load(Ordering::Relaxed);
+        let answered_before = shared.admission.answered_by(worker);
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             process_shard_batch(worker, &mut engine, batch, &mut applied_seq, &shared);
         }));
@@ -1091,21 +1141,15 @@ fn worker_loop(
             // The per-worker counter makes the repair exact even while
             // other workers answer their own slices of the same
             // broadcast batch. These clients see a timeout rather than
-            // a reply.
-            let answered = shared.answered[worker].load(Ordering::Relaxed) - answered_before;
-            let leaked = owned.saturating_sub(answered);
-            if leaked > 0 {
-                shared
-                    .in_flight
-                    .fetch_sub(leaked as usize, Ordering::AcqRel);
-            }
-            // Raise the dead flag, then drain: batches the scheduler
-            // sends before it observes the flag would otherwise be
-            // silently dropped with their admission slots held — answer
-            // their owned jobs with a typed error instead. The drain
-            // ends when the scheduler reaps this worker (dropping its
-            // sender) or shuts down.
-            shared.dead[worker].store(true, Ordering::Release);
+            // a reply. Repair raises the dead flag, then the drain
+            // runs: batches the scheduler sends before it observes the
+            // flag would otherwise be silently dropped with their
+            // admission slots held — answer their owned jobs with a
+            // typed error instead. The drain ends when the scheduler
+            // reaps this worker (dropping its sender) or shuts down.
+            shared
+                .admission
+                .repair_panicked(worker, owned, answered_before);
             while let Ok(stranded) = rx.recv() {
                 for handle in stranded
                     .mutations
@@ -1124,18 +1168,17 @@ fn worker_loop(
             }
             std::panic::resume_unwind(panic);
         }
-        let b = engine.macs_breakdown();
-        shared.worker_macs[worker][0].store(b.propagation, Ordering::Relaxed);
-        shared.worker_macs[worker][1].store(b.nap, Ordering::Relaxed);
-        shared.worker_macs[worker][2].store(b.classification, Ordering::Relaxed);
-        shared.worker_macs[worker][3].store(b.replication, Ordering::Relaxed);
+        // One atomic publish of all four stages: a scrape sees either
+        // the pre-batch or the post-batch breakdown, never a mix (the
+        // old 4×`Relaxed`-store pattern tore — see `MacsCell`).
+        shared.worker_macs[worker].publish(&engine.macs_breakdown());
         // The service keeps its own (queue-inclusive) latency samples;
         // drop the engine's internal per-flush copy so a long-lived
         // worker does not accumulate a second unbounded sample vector.
         engine.reset_stats();
     }
     // Drained cleanly: hand the replica back for `into_engines`.
-    shared.returned.lock().unwrap().push((worker, engine));
+    lock_recover(&shared.returned).push((worker, engine));
 }
 
 /// Executes one worker's view of a batch: first the batch's full
@@ -1263,10 +1306,16 @@ fn infer_run(
     let results = engine.infer_nodes(&nodes, cfg);
     if !degraded {
         if let Some(cache) = &shared.cache {
-            let mut c = cache.lock().unwrap();
-            for (&node, &(prediction, depth)) in nodes.iter().zip(&results) {
-                c.insert(node, applied_seq, prediction, depth);
-            }
+            // Stamped with the sequence point this replica computed
+            // at; the cache's version guard drops any entry a mutation
+            // sequenced since then has outdated.
+            cache.insert_batch(
+                applied_seq,
+                nodes
+                    .iter()
+                    .zip(&results)
+                    .map(|(&node, &(prediction, depth))| (node, prediction, depth)),
+            );
         }
     }
     let mut offset = 0;
@@ -1293,5 +1342,83 @@ fn infer_run(
     }
     for (idx, message) in invalid {
         shared.respond(worker, &jobs[idx].handle, Reply::Error { message });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn bare_shared(workers: usize, with_cache: bool) -> Shared {
+        Shared {
+            admission: AdmissionLedger::new(4, workers),
+            overloaded: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            degraded_batches: AtomicU64::new(0),
+            shed_ops: AtomicU64::new(0),
+            edges_observed: AtomicU64::new(0),
+            op_errors: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            worker_stats: (0..=workers)
+                .map(|_| Mutex::new(LatencyStats::new()))
+                .collect(),
+            cache: with_cache.then(|| VersionedCache::new(8)),
+            worker_macs: (0..workers).map(|_| MacsCell::new()).collect(),
+            returned: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn poison<T>(m: &Mutex<T>) {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison the lock");
+        }));
+        assert!(r.is_err());
+        assert!(m.is_poisoned());
+    }
+
+    /// A worker that dies while recording a sample poisons its stats
+    /// lock; `/metrics` must still merge every accumulator (the
+    /// samples recorded before the panic included) instead of
+    /// panicking the scrape thread.
+    #[test]
+    fn metrics_scrape_survives_a_poisoned_stats_lock() {
+        let shared = bare_shared(2, false);
+        lock_recover(&shared.worker_stats[0]).record(Duration::from_millis(5), 1);
+        poison(&shared.worker_stats[0]);
+        let snap = shared.snapshot();
+        assert_eq!(snap.stats.count(), 1, "pre-panic samples still scraped");
+        assert_eq!(snap.queue_depth, 0);
+    }
+
+    /// `into_engines` drains `returned` through the same recovery: a
+    /// replica handed back before another worker's panic poisoned the
+    /// lock is not lost.
+    #[test]
+    fn take_returned_survives_a_poisoned_lock() {
+        let shared = bare_shared(1, false);
+        poison(&shared.returned);
+        assert!(shared.take_returned().is_empty());
+    }
+
+    /// The whole observability path — stats, MACs cell, and the
+    /// admission counters — stays scrapeable when every recoverable
+    /// lock is poisoned at once.
+    #[test]
+    fn snapshot_survives_every_poisoned_lock_at_once() {
+        let shared = bare_shared(1, true);
+        let macs = MacsBreakdown {
+            propagation: 7,
+            nap: 3,
+            classification: 2,
+            replication: 1,
+        };
+        shared.worker_macs[0].publish(&macs);
+        poison(&shared.worker_stats[0]);
+        poison(&shared.worker_stats[1]);
+        let snap = shared.snapshot();
+        assert_eq!(snap.macs, macs);
+        assert_eq!(snap.cache_hits, 0);
     }
 }

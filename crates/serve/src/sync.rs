@@ -1,0 +1,76 @@
+//! Sync facade: the only module in `nai-serve` allowed to name
+//! `std::sync` or `std::thread`.
+//!
+//! Every other file in this crate imports its concurrency primitives
+//! from here (`crate::sync::…`), never from `std` directly — ci.sh's
+//! `lint_sync` step greps for violations. Normal builds re-export the
+//! `std` types unchanged, so the facade costs nothing. Under
+//! `--cfg nai_model` (ci.sh `model_check`) the same names resolve to
+//! the workspace's `loom` model checker, whose scheduler exhaustively
+//! explores thread interleavings and whose atomics expose the weak
+//! memory model (a `Relaxed` load may legally return a stale value).
+//! That single switch is what lets `tests/model.rs` prove the serve
+//! core's admission, panic-repair, cache-versioning, and shutdown
+//! invariants over *every* schedule within the preemption bound
+//! instead of the one schedule a normal test run happens to see.
+//!
+//! The facade deliberately re-exports whole modules (`atomic`, `mpsc`,
+//! `thread`) rather than individual items so call sites read
+//! identically to idiomatic std code.
+
+#[cfg(not(nai_model))]
+pub use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+#[cfg(nai_model)]
+pub use loom::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Atomic integers/bools plus `Ordering`.
+pub mod atomic {
+    #[cfg(not(nai_model))]
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+    #[cfg(nai_model)]
+    pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}
+
+/// Multi-producer channels (`channel`, `sync_channel` and their
+/// handles/error types).
+pub mod mpsc {
+    #[cfg(not(nai_model))]
+    pub use std::sync::mpsc::{
+        channel, sync_channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender,
+        SyncSender, TryRecvError, TrySendError,
+    };
+
+    #[cfg(nai_model)]
+    pub use loom::sync::mpsc::{
+        channel, sync_channel, Receiver, RecvError, RecvTimeoutError, SendError, Sender,
+        SyncSender, TryRecvError, TrySendError,
+    };
+}
+
+/// Thread spawning/joining (`Builder`, `JoinHandle`, `sleep`, …).
+pub mod thread {
+    #[cfg(not(nai_model))]
+    pub use std::thread::{sleep, spawn, Builder, JoinHandle};
+
+    #[cfg(nai_model)]
+    pub use loom::thread::{sleep, spawn, Builder, JoinHandle};
+
+    /// Whether the current thread is unwinding. Always answered by
+    /// `std` — loom runs test bodies on real OS threads, so the std
+    /// panic flag is the truth in both builds.
+    pub fn panicking() -> bool {
+        std::thread::panicking()
+    }
+}
+
+/// Lock, recovering from poison: a mutex poisoned by a panicking
+/// worker still yields its data. Observability and teardown paths
+/// (`/metrics` scrapes, `into_engines`) use this so one dead worker
+/// cannot take monitoring down with it; the data they read is a
+/// monotone accumulator, safe to expose even if the poisoning panic
+/// interrupted an update.
+pub fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}

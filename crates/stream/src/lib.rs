@@ -30,6 +30,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod stationary;
 pub mod stats;
+pub mod sync;
 
 pub use dynamic::DynamicGraph;
 pub use engine::{StreamPrediction, StreamingEngine};

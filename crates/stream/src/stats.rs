@@ -1,6 +1,6 @@
 //! Latency/throughput accounting for streaming inference.
 
-use std::sync::Mutex;
+use crate::sync::{lock_recover, Mutex};
 use std::time::Duration;
 
 /// Cumulative multiply-accumulate counts split by pipeline stage.
@@ -80,7 +80,7 @@ impl Clone for LatencyStats {
             depth_sum: self.depth_sum,
             depth_histogram: self.depth_histogram.clone(),
             total_busy: self.total_busy,
-            sorted: Mutex::new(self.sorted.lock().unwrap().clone()),
+            sorted: Mutex::new(lock_recover(&self.sorted).clone()),
         }
     }
 }
@@ -100,7 +100,10 @@ impl LatencyStats {
         }
         self.depth_histogram[depth] += 1;
         self.total_busy += latency;
-        self.sorted.get_mut().unwrap().stale = true;
+        self.sorted
+            .get_mut()
+            .unwrap_or_else(|p| p.into_inner())
+            .stale = true;
     }
 
     /// Absorbs another accumulator, as if every one of its samples had
@@ -117,7 +120,10 @@ impl LatencyStats {
             *mine += theirs;
         }
         self.total_busy += other.total_busy;
-        self.sorted.get_mut().unwrap().stale = true;
+        self.sorted
+            .get_mut()
+            .unwrap_or_else(|p| p.into_inner())
+            .stale = true;
     }
 
     /// Number of recorded predictions.
@@ -173,7 +179,16 @@ impl LatencyStats {
         if self.latencies.is_empty() {
             return vec![Duration::ZERO; qs.len()];
         }
-        let mut cache = self.sorted.lock().unwrap();
+        // Recover from poison (a scrape must survive a panicked peer); a
+        // poisoned cache may be mid-rebuild, so conservatively re-sort.
+        let mut cache = match self.sorted.lock() {
+            Ok(c) => c,
+            Err(p) => {
+                let mut c = p.into_inner();
+                c.stale = true;
+                c
+            }
+        };
         if cache.stale {
             let buf = &mut cache.buf;
             buf.clear();

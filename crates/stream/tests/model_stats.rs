@@ -1,0 +1,74 @@
+//! Model tests for `LatencyStats`' lazily sorted quantile cache: compiled
+//! only under `--cfg nai_model` (ci.sh `model_check`), where the sync
+//! facade swaps `std::sync::Mutex` for the loom model checker's mutex.
+//!
+//! The invariant under test: however record / merge / quantile calls
+//! interleave, `quantiles` never answers from a stale sorted buffer — the
+//! answer always reflects exactly the samples present when the scrape
+//! acquired the accumulator.
+#![cfg(nai_model)]
+
+use loom::sync::{Arc, Mutex};
+use nai_stream::stats::LatencyStats;
+use std::time::Duration;
+
+fn ms(v: u64) -> Duration {
+    Duration::from_millis(v)
+}
+
+/// Two scrapers race on the interior sorted-cache mutex while the cache is
+/// stale: whoever loses the rebuild race must still see a fully rebuilt,
+/// current sort — never a half-invalidated one.
+#[test]
+fn concurrent_scrapes_rebuild_once_and_agree() {
+    loom::model(|| {
+        let mut stats = LatencyStats::new();
+        for v in [30, 10, 20] {
+            stats.record(ms(v), 1);
+        }
+        let stats = Arc::new(stats);
+        let s2 = stats.clone();
+        let h = loom::thread::spawn(move || {
+            let q = s2.quantiles(&[0.0, 1.0]);
+            assert_eq!(q, vec![ms(10), ms(30)], "scraper B saw a stale sort");
+        });
+        let q = stats.quantiles(&[0.0, 1.0]);
+        assert_eq!(q, vec![ms(10), ms(30)], "scraper A saw a stale sort");
+        h.join().unwrap();
+    });
+}
+
+/// Writer and scraper share the accumulator the way `nai-serve` shares
+/// per-worker stats: behind a mutex. Wherever the scrape lands in the
+/// interleaving, its quantiles must agree with the samples it can see under
+/// the same lock — a stale cached sort would break `quantile(1.0) == max()`
+/// right after the writer's record invalidates it.
+#[test]
+fn scrape_never_lags_a_record() {
+    loom::model(|| {
+        let shared = Arc::new(Mutex::new(LatencyStats::new()));
+        {
+            let mut s = shared.lock().unwrap();
+            s.record(ms(5), 1);
+            // Warm the sorted cache so the writer's later invalidation is
+            // what the scraper's correctness hinges on.
+            assert_eq!(s.quantile(1.0), ms(5));
+        }
+        let writer = {
+            let shared = shared.clone();
+            loom::thread::spawn(move || {
+                shared.lock().unwrap().record(ms(50), 2);
+            })
+        };
+        {
+            let s = shared.lock().unwrap();
+            let expect = if s.count() == 2 { ms(50) } else { ms(5) };
+            assert_eq!(s.quantile(1.0), expect, "quantile from stale sort");
+            assert_eq!(s.max(), expect);
+        }
+        writer.join().unwrap();
+        let s = shared.lock().unwrap();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.quantile(1.0), ms(50));
+    });
+}
