@@ -31,15 +31,18 @@ step "cargo test -q (tier-1)" \
 step "cargo clippy --all-targets (-D warnings)" \
   cargo clippy --all-targets --quiet -- -D warnings
 
-# Sync-hygiene lint wall: every file in crates/serve/src must import its
-# concurrency primitives through the crate::sync facade (which swaps in
-# the loom model checker under --cfg nai_model). A direct std::sync /
-# std::thread mention anywhere else would silently escape the model
-# tests' coverage. Allowlist: the facade itself.
+# Sync-hygiene lint wall: every file in crates/serve/src and
+# crates/obs/src must import its concurrency primitives through the
+# crate::sync facade (which swaps in the loom model checker under
+# --cfg nai_model). A direct std::sync / std::thread mention anywhere
+# else would silently escape the model tests' coverage. Allowlist: the
+# facades themselves.
 lint_sync() {
   local hits
-  hits=$(grep -rn 'std::sync\|std::thread' crates/serve/src \
-    --include='*.rs' | grep -v '^crates/serve/src/sync\.rs:' || true)
+  hits=$(grep -rn 'std::sync\|std::thread' crates/serve/src crates/obs/src \
+    --include='*.rs' \
+    | grep -v '^crates/serve/src/sync\.rs:' \
+    | grep -v '^crates/obs/src/sync\.rs:' || true)
   if [ -n "$hits" ]; then
     echo "direct std::sync / std::thread use outside the sync facade:"
     echo "$hits"
@@ -47,7 +50,7 @@ lint_sync() {
   fi
 }
 
-step "lint_sync (serve crate imports sync primitives via facade only)" \
+step "lint_sync (serve/obs crates import sync primitives via facade only)" \
   lint_sync
 
 # Deterministic concurrency model check: rebuilds the serve/stream sync
@@ -65,6 +68,8 @@ model_check() {
     cargo test -q -p loom --test checker
   timeout 600 env RUSTFLAGS="$flags" CARGO_TARGET_DIR=target/model \
     cargo test -q -p nai-stream --test model_stats
+  timeout 600 env RUSTFLAGS="$flags" CARGO_TARGET_DIR=target/model \
+    cargo test -q -p nai-obs --test model
   timeout 600 env RUSTFLAGS="$flags" CARGO_TARGET_DIR=target/model \
     cargo test -q -p nai-serve --test model
 }
@@ -161,6 +166,59 @@ serve_smoke() {
 
 step "serve smoke (healthz + inference over TCP + clean shutdown)" \
   serve_smoke
+
+# Observability surfaces against a live server: push traffic with
+# `nai loadgen`, then assert the Prometheus exposition carries the
+# request/stage histograms (cumulative buckets, exact counts), the
+# JSON scrape carries per-stage spans and batch anatomy, and the
+# flight recorder at /debug/slow holds stage-timed traces.
+obs_smoke() {
+  local dir bin pid="" addr
+  dir=$(mktemp -d)
+  trap 'trap - RETURN; [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null; rm -rf "$dir"; true' RETURN
+  bin=target/release/nai
+  "$bin" generate --dataset arxiv --scale test --out "$dir/ds" > /dev/null
+  "$bin" train --graph "$dir/ds.graph" --split "$dir/ds.split" \
+    --k 2 --epochs 8 --hidden 8 --out "$dir/m.naic" > /dev/null
+  "$bin" serve --graph "$dir/ds.graph" --split "$dir/ds.split" \
+    --model "$dir/m.naic" --port 0 --workers 2 --max-batch 16 \
+    --max-wait-ms 1 > "$dir/serve.log" 2>&1 &
+  pid=$!
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "$dir/serve.log" && break
+    sleep 0.1
+  done
+  addr=$(sed -n 's/.*listening on \([0-9.:]*\) .*/\1/p' "$dir/serve.log")
+  if [ -z "$addr" ]; then
+    echo "serve never came up:"; cat "$dir/serve.log"
+    return 1
+  fi
+  "$bin" loadgen --addr "$addr" --requests 60 --clients 2 --mode infer \
+    | grep -q "closed_on_"
+  # Prometheus text exposition: typed families, labeled stage series
+  # with nonzero counts, cumulative buckets ending at +Inf.
+  curl -sf "http://$addr/metrics?format=prom" > "$dir/prom.txt"
+  grep -q '^# TYPE nai_request_duration_seconds histogram' "$dir/prom.txt"
+  grep -q 'nai_request_duration_seconds_bucket{le="+Inf"}' "$dir/prom.txt"
+  grep -Eq '^nai_request_duration_seconds_count [1-9]' "$dir/prom.txt"
+  grep -Eq '^nai_request_stage_duration_seconds_count\{stage="queue_wait"\} [1-9]' \
+    "$dir/prom.txt"
+  grep -q '^nai_batch_closed_total{reason="max_batch"}' "$dir/prom.txt"
+  # JSON scrape: per-stage spans and batch anatomy ride along.
+  curl -sf "http://$addr/metrics" | grep -q '"queue_wait"'
+  curl -sf "http://$addr/metrics" | grep -q '"closed_on_deadline"'
+  # Flight recorder: stage-timed traces of the slowest requests.
+  curl -sf "http://$addr/debug/slow" > "$dir/slow.json"
+  grep -q '"trace_id"' "$dir/slow.json"
+  grep -q '"stages_us"' "$dir/slow.json"
+  curl -sf -X POST "http://$addr/shutdown" > /dev/null
+  wait "$pid"
+  pid=""
+  grep -q "stopped cleanly" "$dir/serve.log"
+}
+
+step "obs smoke (prom exposition + stage spans + flight recorder live)" \
+  obs_smoke
 
 # Runs a tiny (topology × workload) matrix through `nai bench` and
 # checks the machine-readable report. `nai bench` itself re-parses the

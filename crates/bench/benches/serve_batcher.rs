@@ -76,7 +76,13 @@ fn run_cell(
     let m = service.metrics();
     let total = (CLIENTS * requests_per_client) as f64;
     let mean_batch = total / m.batches.max(1) as f64;
-    (total / wall, m.stats.p50(), m.stats.p99(), mean_batch)
+    let q = m.latency.quantiles(&[0.5, 0.99]);
+    (
+        total / wall,
+        Duration::from_nanos(q[0]),
+        Duration::from_nanos(q[1]),
+        mean_batch,
+    )
 }
 
 fn main() {

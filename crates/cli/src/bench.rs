@@ -38,8 +38,12 @@ use nai_stream::{DynamicGraph, MacsBreakdown, StreamingEngine};
 use std::time::{Duration, Instant};
 
 /// Version of the emitted JSON schema; bumped only when an existing
-/// field is renamed, removed, or changes meaning.
-pub const SCHEMA_VERSION: u64 = 1;
+/// field is renamed, removed, or changes meaning. v2: serve latencies
+/// come from the log-bucketed observability histograms (quantiles
+/// within ~2% relative error, `latency_us.mean` is now fractional) and
+/// each cell gains additive `serve.stage_latency` and `serve.batch`
+/// sections.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Client-observed outcome counts of one serve-stack run.
 #[derive(Debug, Default)]
@@ -294,11 +298,34 @@ fn run_cell(
     } else {
         0.0
     };
-    let qs = metrics.stats.quantiles(&[0.5, 0.95, 0.99]);
-    let us = |d: Duration| Json::uint(d.as_micros().min(u64::MAX as u128) as u64);
+    let qs = metrics.latency.quantiles(&[0.5, 0.95, 0.99]);
+    let us = |ns: u64| Json::uint(ns / 1_000);
     println!(
-        "    [{} × {}] serve {:.0} req/s (p99 {:?}, shed {}), offline {:.0} preds/s",
-        scenario.name, workload.name, serve_throughput, qs[2], metrics.shed_ops, offline_throughput,
+        "    [{} × {}] serve {:.0} req/s (p99 {}us, shed {}), offline {:.0} preds/s",
+        scenario.name,
+        workload.name,
+        serve_throughput,
+        qs[2] / 1_000,
+        metrics.shed_ops,
+        offline_throughput,
+    );
+    // Per-stage lifecycle spans from the serve-side observability hub:
+    // where a request's wall time actually went in this cell.
+    let stage_latency = Json::Obj(
+        nai_obs::Stage::ALL
+            .iter()
+            .map(|&s| {
+                let h = &metrics.stages[s.index()];
+                (
+                    s.name().to_string(),
+                    Json::obj(vec![
+                        ("count", Json::uint(h.count())),
+                        ("mean_us", Json::Num(h.mean() / 1_000.0)),
+                        ("p99_us", us(h.quantile(0.99))),
+                    ]),
+                )
+            })
+            .collect(),
     );
 
     Ok(Json::obj(vec![
@@ -326,18 +353,30 @@ fn run_cell(
                         ("p50", us(qs[0])),
                         ("p95", us(qs[1])),
                         ("p99", us(qs[2])),
-                        ("max", us(metrics.stats.max())),
-                        ("mean", us(metrics.stats.mean_latency())),
+                        ("max", us(metrics.latency.max())),
+                        ("mean", Json::Num(metrics.latency.mean() / 1_000.0)),
+                    ]),
+                ),
+                ("stage_latency", stage_latency),
+                (
+                    "batch",
+                    Json::obj(vec![
+                        (
+                            "closed_on_max_batch",
+                            Json::uint(metrics.closed_on_max_batch),
+                        ),
+                        ("closed_on_deadline", Json::uint(metrics.closed_on_deadline)),
+                        ("mean_size", Json::Num(metrics.batch_sizes.mean())),
                     ]),
                 ),
                 ("shed_ops", Json::uint(metrics.shed_ops)),
                 ("degraded_batches", Json::uint(metrics.degraded_batches)),
                 ("cache_hits", Json::uint(metrics.cache_hits)),
                 ("cache_misses", Json::uint(metrics.cache_misses)),
-                ("mean_depth", Json::Num(metrics.stats.mean_depth())),
+                ("mean_depth", Json::Num(metrics.mean_depth())),
                 (
                     "depth_histogram",
-                    histogram_json(metrics.stats.depth_histogram()),
+                    histogram_json(&metrics.depths.exact_small_counts()),
                 ),
                 ("macs", macs_json(&metrics.macs)),
             ]),
@@ -628,14 +667,53 @@ pub fn validate_report(
                     }
                 }
             }
-            let latency = cell
-                .get("serve")
-                .and_then(|s| s.get("latency_us"))
+            let serve = cell.get("serve").expect("checked above");
+            let latency = serve
+                .get("latency_us")
                 .ok_or_else(|| format!("{ctx}: serve.latency_us missing"))?;
-            for key in ["p50", "p95", "p99", "max", "mean"] {
+            for key in ["p50", "p95", "p99", "max"] {
                 if latency.get(key).and_then(Json::as_u64).is_none() {
                     return Err(format!("{ctx}: serve.latency_us.{key} missing"));
                 }
+            }
+            if latency.get("mean").and_then(Json::as_f64).is_none() {
+                return Err(format!("{ctx}: serve.latency_us.mean missing"));
+            }
+            // Additive observability fields (schema v2): per-stage
+            // lifecycle spans and batch anatomy.
+            let stages = serve
+                .get("stage_latency")
+                .ok_or_else(|| format!("{ctx}: serve.stage_latency missing"))?;
+            for stage in [
+                "queue_wait",
+                "batch_wait",
+                "engine_propagation",
+                "engine_nap",
+                "engine_classify",
+                "serialize",
+            ] {
+                let entry = stages
+                    .get(stage)
+                    .ok_or_else(|| format!("{ctx}: serve.stage_latency.{stage} missing"))?;
+                if entry.get("count").and_then(Json::as_u64).is_none()
+                    || entry.get("p99_us").and_then(Json::as_u64).is_none()
+                    || entry.get("mean_us").and_then(Json::as_f64).is_none()
+                {
+                    return Err(format!(
+                        "{ctx}: serve.stage_latency.{stage} needs count/mean_us/p99_us"
+                    ));
+                }
+            }
+            let batch = serve
+                .get("batch")
+                .ok_or_else(|| format!("{ctx}: serve.batch missing"))?;
+            for key in ["closed_on_max_batch", "closed_on_deadline"] {
+                if batch.get(key).and_then(Json::as_u64).is_none() {
+                    return Err(format!("{ctx}: serve.batch.{key} missing or not a count"));
+                }
+            }
+            if batch.get("mean_size").and_then(Json::as_f64).is_none() {
+                return Err(format!("{ctx}: serve.batch.mean_size missing"));
             }
         }
     }
@@ -648,7 +726,7 @@ mod tests {
 
     fn tiny_report() -> Json {
         let raw = r#"{
-            "schema_version": 1, "harness": "nai bench", "scale": "test",
+            "schema_version": 2, "harness": "nai bench", "scale": "test",
             "model_kind": "SGC", "nap": "distance", "k": 2, "workers": 2,
             "requests_per_cell": 4, "clients": 1, "seed": 7,
             "cache_enabled": false, "cache_cap": 4096,
@@ -658,7 +736,16 @@ mod tests {
                 "graph": {"nodes": 10, "edges": 20}, "requests": 4,
                 "serve": {"ok": 4, "overloaded": 0, "errors": 0,
                           "wall_ms": 1.5, "throughput_rps": 100.0,
-                          "latency_us": {"p50": 5, "p95": 9, "p99": 9, "max": 9, "mean": 6},
+                          "latency_us": {"p50": 5, "p95": 9, "p99": 9, "max": 9, "mean": 6.2},
+                          "stage_latency": {
+                              "queue_wait": {"count": 4, "mean_us": 1.1, "p99_us": 2},
+                              "batch_wait": {"count": 4, "mean_us": 0.5, "p99_us": 1},
+                              "engine_propagation": {"count": 4, "mean_us": 2.0, "p99_us": 3},
+                              "engine_nap": {"count": 4, "mean_us": 0.8, "p99_us": 1},
+                              "engine_classify": {"count": 4, "mean_us": 1.0, "p99_us": 2},
+                              "serialize": {"count": 4, "mean_us": 0.8, "p99_us": 1}},
+                          "batch": {"closed_on_max_batch": 1, "closed_on_deadline": 1,
+                                    "mean_size": 2.0},
                           "shed_ops": 0, "degraded_batches": 0,
                           "cache_hits": 0, "cache_misses": 0, "mean_depth": 1.5,
                           "depth_histogram": [0, 2, 2],

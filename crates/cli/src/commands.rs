@@ -654,6 +654,49 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
         stats.mean_depth(),
         stats.throughput(),
     );
+    // Server-side batch anatomy and stage spans for this deployment
+    // (cumulative since boot, not per-run deltas). Best-effort: a
+    // scrape failure doesn't fail the run the clients just finished.
+    if let Ok((200, body)) = nai_serve::http_call(addr.as_str(), "GET", "/metrics", None) {
+        if let Ok(metrics) = nai_serve::Json::parse(body.trim()) {
+            let batch = |field: &str| {
+                metrics
+                    .get("batch")
+                    .and_then(|b| b.get(field))
+                    .and_then(nai_serve::Json::as_u64)
+                    .unwrap_or(0)
+            };
+            println!(
+                "batches: closed_on_max_batch {} | closed_on_deadline {} | mean size {:.2}",
+                batch("closed_on_max_batch"),
+                batch("closed_on_deadline"),
+                metrics
+                    .get("batch")
+                    .and_then(|b| b.get("mean_size"))
+                    .and_then(nai_serve::Json::as_f64)
+                    .unwrap_or(0.0),
+            );
+            if let Some(stages) = metrics.get("stages") {
+                let mean = |stage: &str| {
+                    stages
+                        .get(stage)
+                        .and_then(|s| s.get("mean_us"))
+                        .and_then(nai_serve::Json::as_f64)
+                        .unwrap_or(0.0)
+                };
+                println!(
+                    "stages (mean us): queue_wait {:.1} | batch_wait {:.1} | propagation {:.1} \
+                     | nap {:.1} | classify {:.1} | serialize {:.1}",
+                    mean("queue_wait"),
+                    mean("batch_wait"),
+                    mean("engine_propagation"),
+                    mean("engine_nap"),
+                    mean("engine_classify"),
+                    mean("serialize"),
+                );
+            }
+        }
+    }
     if args.get_bool("cache") {
         // Report the server-side prediction-cache counters for this
         // deployment (cumulative since boot, not per-run deltas).

@@ -1,0 +1,43 @@
+//! # nai-obs — observability primitives for the NAI serve stack
+//!
+//! Std-only building blocks behind `/metrics`, `/metrics?format=prom`,
+//! and `/debug/slow`:
+//!
+//! * [`LogHistogram`] — a lock-free log-bucketed concurrent histogram
+//!   (HDR-style: atomic u64 buckets, 32 sub-buckets per octave,
+//!   ≤ ~1.6% relative error on reconstructed quantiles) with snapshot,
+//!   merge, and quantile extraction. Replaces exact-sort
+//!   `Vec<Duration>` sampling on the serve path: recording is
+//!   wait-free and the footprint is fixed, so nothing restarts and
+//!   scrapes never re-sort under a mutex.
+//! * [`Stage`] / [`StageBreakdown`] / [`StagePipeline`] — per-request
+//!   stage spans (`queue_wait`, `batch_wait`, `engine_propagation`,
+//!   `engine_nap`, `engine_classify`, `serialize`) aggregated into one
+//!   histogram per stage.
+//! * [`FlightRecorder`] / [`TraceRecord`] — the slowest-N requests per
+//!   window with their full stage timelines, for `GET /debug/slow`.
+//! * [`PromWriter`] — Prometheus text exposition (counters, gauges,
+//!   and the log-bucketed histograms as native `_bucket`/`_sum`/
+//!   `_count` series).
+//!
+//! All concurrency primitives are imported through [`sync`], the same
+//! facade pattern as `nai-serve`: ci.sh's `lint_sync` greps this
+//! crate's sources for direct use of the standard sync and thread
+//! modules outside the facade, and under
+//! `--cfg nai_model` the facade swaps in the workspace's loom model
+//! checker so `tests/model.rs` can exhaustively verify the histogram's
+//! record/snapshot protocol and the recorder's capacity invariant.
+
+pub mod hist;
+pub mod prom;
+pub mod recorder;
+pub mod sync;
+pub mod trace;
+
+pub use hist::{bucket_index, bucket_mid, bucket_range, HistogramSnapshot, LogHistogram};
+pub use hist::{NUM_BUCKETS, RELATIVE_ERROR, SUB_BITS};
+pub use prom::PromWriter;
+pub use recorder::FlightRecorder;
+pub use trace::{
+    CloseReason, Stage, StageBreakdown, StagePipeline, TraceRecord, STAGE_COUNT, TRACE_NODE_CAP,
+};

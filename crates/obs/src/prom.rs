@@ -1,0 +1,196 @@
+//! Prometheus text exposition (version 0.0.4) renderer.
+//!
+//! Naming conventions used across the serve surface:
+//!
+//! * every metric is prefixed `nai_`;
+//! * monotone counters end in `_total`;
+//! * durations are exposed in **seconds** (histograms recorded in
+//!   nanoseconds are scaled by `1e-9` at render time);
+//! * one metric name per logical quantity, with dimensions as labels
+//!   (`stage="queue_wait"`, `reason="max_batch"`), never baked into
+//!   the name.
+//!
+//! Histograms render as native cumulative series: one
+//! `name_bucket{le="…"}` sample per *non-empty* log bucket (the
+//! ~1900-bucket array would otherwise dwarf the payload), a closing
+//! `le="+Inf"` bucket, and the exact `name_sum` / `name_count` pair.
+//! Cumulative-ness is preserved because empty buckets add nothing to
+//! the running total.
+
+use crate::hist::HistogramSnapshot;
+
+/// Accumulates one scrape's exposition text.
+#[derive(Debug, Default)]
+pub struct PromWriter {
+    out: String,
+    /// Name of the metric family the last `# TYPE` line opened, so
+    /// multi-series families emit their header exactly once.
+    opened: Option<String>,
+}
+
+fn fmt_f64(v: f64) -> String {
+    // `{}` on f64 never uses scientific notation and round-trips, both
+    // fine for the exposition format; normalize the one exception.
+    if v.is_infinite() {
+        (if v > 0.0 { "+Inf" } else { "-Inf" }).to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+impl PromWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a metric family: `# HELP` + `# TYPE`. Idempotent per
+    /// name, so callers can interleave series of the same family.
+    pub fn family(&mut self, name: &str, kind: &str, help: &str) {
+        if self.opened.as_deref() == Some(name) {
+            return;
+        }
+        self.out
+            .push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        self.opened = Some(name.to_string());
+    }
+
+    /// One counter sample. Call [`Self::family`] with kind `counter`
+    /// first.
+    pub fn counter(&mut self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.out
+            .push_str(&format!("{name}{} {value}\n", render_labels(labels)));
+    }
+
+    /// One gauge sample. Call [`Self::family`] with kind `gauge`
+    /// first.
+    pub fn gauge(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(&format!(
+            "{name}{} {}\n",
+            render_labels(labels),
+            fmt_f64(value)
+        ));
+    }
+
+    /// One histogram series (`_bucket`/`_sum`/`_count`). Recorded
+    /// values are multiplied by `scale` on the way out (pass `1e-9`
+    /// for nanosecond recordings exposed as seconds, `1.0` for
+    /// dimensionless). Call [`Self::family`] with kind `histogram`
+    /// first.
+    pub fn histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        snap: &HistogramSnapshot,
+        scale: f64,
+    ) {
+        let mut cumulative = 0u64;
+        for (upper, count) in snap.nonzero_buckets() {
+            cumulative += count;
+            let le = fmt_f64(upper as f64 * scale);
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", le.as_str()));
+            self.out.push_str(&format!(
+                "{name}_bucket{} {cumulative}\n",
+                render_labels(&with_le)
+            ));
+        }
+        let mut with_inf: Vec<(&str, &str)> = labels.to_vec();
+        with_inf.push(("le", "+Inf"));
+        self.out.push_str(&format!(
+            "{name}_bucket{} {}\n",
+            render_labels(&with_inf),
+            snap.count()
+        ));
+        let rendered = render_labels(labels);
+        self.out.push_str(&format!(
+            "{name}_sum{rendered} {}\n",
+            fmt_f64(snap.sum() as f64 * scale)
+        ));
+        self.out
+            .push_str(&format!("{name}_count{rendered} {}\n", snap.count()));
+    }
+
+    /// The finished exposition body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(all(test, not(nai_model)))]
+mod tests {
+    use super::*;
+    use crate::hist::LogHistogram;
+
+    #[test]
+    fn counter_and_gauge_render() {
+        let mut w = PromWriter::new();
+        w.family(
+            "nai_requests_served_total",
+            "counter",
+            "Served predictions.",
+        );
+        w.counter("nai_requests_served_total", &[], 42);
+        w.family("nai_queue_depth", "gauge", "Requests in flight.");
+        w.gauge("nai_queue_depth", &[], 3.0);
+        let body = w.finish();
+        assert!(body.contains("# TYPE nai_requests_served_total counter\n"));
+        assert!(body.contains("nai_requests_served_total 42\n"));
+        assert!(body.contains("# TYPE nai_queue_depth gauge\n"));
+        assert!(body.contains("nai_queue_depth 3\n"));
+    }
+
+    #[test]
+    fn family_header_is_emitted_once_per_family() {
+        let mut w = PromWriter::new();
+        w.family("nai_batches_closed_total", "counter", "Batch closes.");
+        w.counter("nai_batches_closed_total", &[("reason", "max_batch")], 7);
+        w.family("nai_batches_closed_total", "counter", "Batch closes.");
+        w.counter("nai_batches_closed_total", &[("reason", "deadline")], 9);
+        let body = w.finish();
+        assert_eq!(body.matches("# TYPE nai_batches_closed_total").count(), 1);
+        assert!(body.contains("nai_batches_closed_total{reason=\"max_batch\"} 7\n"));
+        assert!(body.contains("nai_batches_closed_total{reason=\"deadline\"} 9\n"));
+    }
+
+    #[test]
+    fn histogram_series_is_cumulative_with_inf_and_exact_sum() {
+        let h = LogHistogram::new();
+        for v in [1u64, 1, 3] {
+            h.record(v);
+        }
+        let mut w = PromWriter::new();
+        w.family("nai_x", "histogram", "X.");
+        w.histogram("nai_x", &[("stage", "queue_wait")], &h.snapshot(), 1.0);
+        let body = w.finish();
+        assert!(body.contains("nai_x_bucket{stage=\"queue_wait\",le=\"1\"} 2\n"));
+        assert!(body.contains("nai_x_bucket{stage=\"queue_wait\",le=\"3\"} 3\n"));
+        assert!(body.contains("nai_x_bucket{stage=\"queue_wait\",le=\"+Inf\"} 3\n"));
+        assert!(body.contains("nai_x_sum{stage=\"queue_wait\"} 5\n"));
+        assert!(body.contains("nai_x_count{stage=\"queue_wait\"} 3\n"));
+    }
+
+    #[test]
+    fn nanoseconds_scale_to_seconds_without_scientific_notation() {
+        let h = LogHistogram::new();
+        h.record(1_500); // 1.5µs
+        let mut w = PromWriter::new();
+        w.family("nai_d", "histogram", "D.");
+        w.histogram("nai_d", &[], &h.snapshot(), 1e-9);
+        let body = w.finish();
+        // 1500ns lands in the bucket whose inclusive upper bound is
+        // 1503ns; scaled to seconds it must render as a plain decimal,
+        // never exponent notation (Prometheus parsers accept both, but
+        // plain decimals keep the greps in ci.sh trivial).
+        assert!(body.contains("le=\"0.000001503\""), "{body}");
+        assert!(body.contains("nai_d_sum 0.0000015\n"), "{body}");
+        assert!(body.contains("nai_d_count 1\n"));
+    }
+}

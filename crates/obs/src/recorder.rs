@@ -1,0 +1,153 @@
+//! Flight recorder: the slowest-N requests per window, with full stage
+//! timelines, for `GET /debug/slow`.
+//!
+//! Histograms answer *how much* tail there is; the recorder answers
+//! *which requests* are the tail and *where their time went*. It keeps
+//! two fixed-size generations — the window being filled and the last
+//! completed one — so a scrape right after a window turnover still sees
+//! the slow requests of the previous window instead of an empty list.
+//!
+//! Capacity invariant: each generation never holds more than `cap`
+//! traces, however record and snapshot interleave (proved under the
+//! loom model checker in `tests/model.rs`). Memory is therefore
+//! bounded by `2·cap` traces regardless of traffic.
+//!
+//! The lock is uncontended in practice — `record` does a short
+//! linear scan of at most `cap` entries — and is poison-recovering on
+//! both paths, so a panicking worker cannot take `/debug/slow` down.
+
+use crate::sync::{lock_recover, Mutex};
+use crate::trace::TraceRecord;
+
+#[derive(Debug, Default)]
+struct Generations {
+    /// Requests seen in the current window (not the number retained).
+    seen: usize,
+    current: Vec<TraceRecord>,
+    previous: Vec<TraceRecord>,
+}
+
+/// Fixed-size recorder of the slowest requests per window.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    window: usize,
+    inner: Mutex<Generations>,
+}
+
+impl FlightRecorder {
+    /// `cap` slowest traces retained per window of `window` requests.
+    /// Both are clamped to at least 1; `window` to at least `cap`.
+    pub fn new(cap: usize, window: usize) -> Self {
+        let cap = cap.max(1);
+        FlightRecorder {
+            cap,
+            window: window.max(cap),
+            inner: Mutex::new(Generations::default()),
+        }
+    }
+
+    /// Slowest traces retained per window.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Requests per window.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Offers one completed trace. Kept only if the current window
+    /// still has room or the trace is slower than the window's current
+    /// fastest retained entry.
+    pub fn record(&self, t: TraceRecord) {
+        let mut g = lock_recover(&self.inner);
+        if g.current.len() < self.cap {
+            g.current.push(t);
+        } else if let Some((i, min)) = g
+            .current
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| r.total_ns)
+            .map(|(i, r)| (i, r.total_ns))
+        {
+            if t.total_ns > min {
+                g.current[i] = t;
+            }
+        }
+        g.seen += 1;
+        if g.seen >= self.window {
+            g.previous = std::mem::take(&mut g.current);
+            g.seen = 0;
+        }
+    }
+
+    /// The slowest traces across the current and previous windows,
+    /// slowest first, at most `cap` entries.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        let g = lock_recover(&self.inner);
+        let mut out: Vec<TraceRecord> =
+            g.current.iter().chain(g.previous.iter()).cloned().collect();
+        drop(g);
+        out.sort_by_key(|t| std::cmp::Reverse(t.total_ns));
+        out.truncate(self.cap);
+        out
+    }
+}
+
+#[cfg(all(test, not(nai_model)))]
+mod tests {
+    use super::*;
+    use crate::trace::StageBreakdown;
+
+    fn trace(id: u64, total_ns: u64) -> TraceRecord {
+        TraceRecord {
+            trace_id: id,
+            total_ns,
+            stages: StageBreakdown::default(),
+            nodes: vec![id as u32],
+            depths: vec![1],
+            cache_hit: false,
+            applied_seq: 0,
+            batch_size: 1,
+            close_reason: "deadline",
+        }
+    }
+
+    #[test]
+    fn keeps_the_slowest_cap_traces() {
+        let r = FlightRecorder::new(2, 100);
+        for (id, ns) in [(1, 10), (2, 500), (3, 40), (4, 300)] {
+            r.record(trace(id, ns));
+        }
+        let snap = r.snapshot();
+        let ids: Vec<u64> = snap.iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![2, 4], "slowest first, capacity 2");
+    }
+
+    #[test]
+    fn window_turnover_keeps_previous_generation_visible() {
+        let r = FlightRecorder::new(2, 3);
+        for (id, ns) in [(1, 100), (2, 200), (3, 300)] {
+            r.record(trace(id, ns)); // fills and closes window 1
+        }
+        // Window 2 has seen nothing yet: the scrape must still surface
+        // window 1's slow requests.
+        let ids: Vec<u64> = r.snapshot().iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![3, 2]);
+        // A fast window-2 request does not evict the visible history.
+        r.record(trace(4, 1));
+        let ids: Vec<u64> = r.snapshot().iter().map(|t| t.trace_id).collect();
+        assert_eq!(ids, vec![3, 2]);
+    }
+
+    #[test]
+    fn degenerate_parameters_are_clamped() {
+        let r = FlightRecorder::new(0, 0);
+        assert_eq!(r.cap(), 1);
+        assert_eq!(r.window(), 1);
+        r.record(trace(1, 10));
+        r.record(trace(2, 5));
+        assert_eq!(r.snapshot().len(), 1);
+    }
+}

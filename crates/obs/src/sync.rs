@@ -1,0 +1,39 @@
+//! Sync facade: the only module in `nai-obs` allowed to name
+//! `std::sync` or `std::thread`.
+//!
+//! Every other file in this crate imports its concurrency primitives
+//! from here (`crate::sync::…`), never from `std` directly — ci.sh's
+//! `lint_sync` step greps for violations, exactly as it does for
+//! `crates/serve/src`. Normal builds re-export the `std` types
+//! unchanged, so the facade costs nothing. Under `--cfg nai_model`
+//! (ci.sh `model_check`) the same names resolve to the workspace's
+//! `loom` model checker, whose scheduler exhaustively explores thread
+//! interleavings and whose atomics expose the weak memory model. That
+//! switch is what lets `tests/model.rs` prove the histogram's
+//! record/snapshot protocol and the flight recorder's capacity
+//! invariant over *every* schedule within the preemption bound.
+
+#[cfg(not(nai_model))]
+pub use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+#[cfg(nai_model)]
+pub use loom::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Atomic integers plus `Ordering`.
+pub mod atomic {
+    #[cfg(not(nai_model))]
+    pub use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[cfg(nai_model)]
+    pub use loom::sync::atomic::{AtomicU64, Ordering};
+}
+
+/// Lock, recovering from poison: a mutex poisoned by a panicking
+/// thread still yields its data. The flight recorder uses this on both
+/// the record and the scrape path so one dead worker cannot take
+/// `/debug/slow` down with it; the data is a bounded list of completed
+/// traces, safe to expose even if the poisoning panic interrupted an
+/// insertion.
+pub fn lock_recover<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}

@@ -1,0 +1,117 @@
+//! Exhaustive interleaving checks for the observability primitives,
+//! compiled only under `--cfg nai_model` (ci.sh `model_check`), where
+//! `nai_obs::sync` swaps `std::sync` for the workspace's `loom` model
+//! checker (and the histogram shrinks to 8 buckets so its atomics fit
+//! the modeled state space).
+//!
+//! The DFS tests assert `exhausted`, so a pass is a proof over every
+//! schedule within the preemption bound, not a lucky run:
+//!
+//! 1. **Histogram no-tear** — `record` bumps `sum` before the bucket
+//!    (both `Release`), `snapshot` reads buckets before `sum` (both
+//!    `Acquire`); therefore a concurrent scrape can run mid-record
+//!    and still never observe a bucket increment whose `sum`
+//!    contribution is missing. Scrape-time means never undercount,
+//!    and a joined snapshot is exact.
+//! 2. **Flight-recorder capacity** — concurrent recorders never push
+//!    a snapshot past `cap`, and once all recorders join the survivor
+//!    is the slowest trace, under every interleaving of the interior
+//!    lock.
+#![cfg(nai_model)]
+
+use loom::{Builder, Stats};
+use nai_obs::sync::Arc;
+use nai_obs::{FlightRecorder, LogHistogram, StageBreakdown, TraceRecord};
+
+fn dfs(bound: usize) -> Builder {
+    Builder {
+        preemption_bound: Some(bound),
+        ..Builder::new()
+    }
+}
+
+/// A minimal trace whose only distinguishing feature is its latency.
+fn trace(id: u64, total_ns: u64) -> TraceRecord {
+    TraceRecord {
+        trace_id: id,
+        total_ns,
+        stages: StageBreakdown::default(),
+        nodes: vec![],
+        depths: vec![],
+        cache_hit: false,
+        applied_seq: 0,
+        batch_size: 1,
+        close_reason: "max_batch",
+    }
+}
+
+/// Invariant 1: two writers race a scraper. Every record adds value 1,
+/// so an exact histogram always has `count == sum`; the lock-free one
+/// is allowed to be mid-record — but only in the direction that makes
+/// the scrape's mean an overestimate (`count <= sum`), never an
+/// undercount. After both writers join, the snapshot is exact.
+#[test]
+fn histogram_snapshot_never_tears_or_undercounts() {
+    let stats: Stats = dfs(2)
+        .check_quiet(|| {
+            let hist = Arc::new(LogHistogram::new());
+            let writers: Vec<_> = (0..2)
+                .map(|_| {
+                    let hist = Arc::clone(&hist);
+                    loom::thread::spawn(move || {
+                        hist.record(1);
+                        hist.record(1);
+                    })
+                })
+                .collect();
+            // Mid-flight scrape: somewhere inside the writers'
+            // schedules.
+            let snap = hist.snapshot();
+            assert!(
+                snap.count() <= snap.sum(),
+                "bucket visible before its sum contribution: count {} > sum {}",
+                snap.count(),
+                snap.sum()
+            );
+            assert!(snap.sum() <= 4, "sum {} exceeds records issued", snap.sum());
+            for h in writers {
+                h.join().unwrap();
+            }
+            let settled = hist.snapshot();
+            assert_eq!(settled.count(), 4, "settled count must be exact");
+            assert_eq!(settled.sum(), 4, "settled sum must be exact");
+            assert_eq!(settled.quantile(1.0), 1);
+        })
+        .expect("no-tear invariant violated");
+    assert!(stats.exhausted, "bounded DFS must cover the whole tree");
+}
+
+/// Invariant 2: concurrent recorders racing for one retained slot.
+/// A scrape concurrent with the inserts never sees more than `cap`
+/// traces, and once both recorders join the surviving trace is the
+/// slowest one — the replace-the-minimum protocol never keeps the
+/// faster trace or duplicates a slot, wherever the lock handoffs land.
+#[test]
+fn recorder_capacity_holds_and_keeps_the_slowest() {
+    let stats: Stats = dfs(2)
+        .check_quiet(|| {
+            let rec = Arc::new(FlightRecorder::new(1, 100));
+            let handles: Vec<_> = [(1u64, 10u64), (2, 20)]
+                .into_iter()
+                .map(|(id, ns)| {
+                    let rec = Arc::clone(&rec);
+                    loom::thread::spawn(move || rec.record(trace(id, ns)))
+                })
+                .collect();
+            let mid = rec.snapshot();
+            assert!(mid.len() <= 1, "snapshot exceeded cap: {}", mid.len());
+            for h in handles {
+                h.join().unwrap();
+            }
+            let settled = rec.snapshot();
+            assert_eq!(settled.len(), 1, "exactly the cap survives");
+            assert_eq!(settled[0].trace_id, 2, "the slower trace must win");
+        })
+        .expect("capacity invariant violated");
+    assert!(stats.exhausted, "bounded DFS must cover the whole tree");
+}

@@ -1,0 +1,120 @@
+//! Property-based invariants for the log-bucketed histogram, checked
+//! against the exact oracle (sort everything, nearest-rank): the whole
+//! point of the histogram is to answer quantiles without retaining
+//! samples, so these tests pin *how much* accuracy that trade gives up
+//! — exactly the [`RELATIVE_ERROR`] the docs promise, never more.
+
+use nai_obs::{bucket_index, bucket_range, HistogramSnapshot, LogHistogram, RELATIVE_ERROR};
+use proptest::prelude::*;
+
+/// Values spanning the interesting regimes: the exact sub-`2^SUB_BITS`
+/// range, mid-range nanosecond-ish latencies, and hour-scale outliers.
+/// Capped at 2^44 ns (~5 hours) — the histogram's `sum` is a plain
+/// `u64` accumulator sized for real latencies, not adversarial
+/// near-`u64::MAX` samples that wrap it.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        0u64..64,
+        0u64..100_000,
+        0u64..10_000_000_000,
+        0u64..(1 << 44),
+    ]
+}
+
+fn samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(value_strategy(), 1..200)
+}
+
+/// Exact nearest-rank quantile over the raw samples — the oracle the
+/// histogram is allowed to deviate from by at most [`RELATIVE_ERROR`].
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+fn record_all(values: &[u64]) -> HistogramSnapshot {
+    let h = LogHistogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Count and sum are exact: bucketing loses resolution on *which*
+    /// value landed, never on how many or their total.
+    #[test]
+    fn count_and_sum_are_exact(values in samples()) {
+        let snap = record_all(&values);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        let exact: u64 = values.iter().sum();
+        prop_assert_eq!(snap.sum(), exact);
+    }
+
+    /// Every reported quantile is within the documented relative error
+    /// of the exact nearest-rank answer over the raw samples.
+    #[test]
+    fn quantiles_match_exact_sort_within_documented_bound(values in samples()) {
+        let snap = record_all(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&sorted, q);
+            let approx = snap.quantile(q);
+            // The approximate answer is the midpoint of the bucket the
+            // exact answer fell into, so it deviates by at most half
+            // the bucket width — RELATIVE_ERROR of the bucket's upper
+            // bound (and is exact for single-value buckets).
+            let tolerance = (bucket_range(bucket_index(exact)).1 as f64 * RELATIVE_ERROR).ceil();
+            let diff = approx.abs_diff(exact) as f64;
+            prop_assert!(
+                diff <= tolerance,
+                "q={q}: exact {exact}, approx {approx}, diff {diff} > tol {tolerance}"
+            );
+        }
+    }
+
+    /// The reported max lands inside the bucket the true max fell
+    /// into — within [`RELATIVE_ERROR`] of it, exact below
+    /// `2^SUB_BITS` where buckets hold a single value.
+    #[test]
+    fn max_lands_in_the_true_maximums_bucket(values in samples()) {
+        let snap = record_all(&values);
+        let true_max = *values.iter().max().unwrap();
+        let (lo, hi) = bucket_range(bucket_index(true_max));
+        prop_assert!(
+            snap.max() >= lo && snap.max() <= hi,
+            "max {} outside bucket [{lo}, {hi}] of true max {true_max}",
+            snap.max()
+        );
+    }
+
+    /// Merging two snapshots is indistinguishable from recording the
+    /// concatenation into one histogram — the property that lets
+    /// scrapers merge per-source snapshots without double counting or
+    /// losing samples.
+    #[test]
+    fn merge_equals_concat(a in samples(), b in samples()) {
+        let mut merged = record_all(&a);
+        merged.merge(&record_all(&b));
+        let concat: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        let oracle = record_all(&concat);
+        prop_assert_eq!(merged.count(), oracle.count());
+        prop_assert_eq!(merged.sum(), oracle.sum());
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), oracle.quantile(q));
+        }
+    }
+
+    /// Quantiles are monotone in q, bounded by the bucketed min/max.
+    #[test]
+    fn quantiles_are_monotone(values in samples()) {
+        let snap = record_all(&values);
+        let qs = snap.quantiles(&[0.0, 0.1, 0.5, 0.9, 0.99, 1.0]);
+        for w in qs.windows(2) {
+            prop_assert!(w[0] <= w[1], "quantiles regressed: {:?}", qs);
+        }
+        prop_assert!(qs[qs.len() - 1] <= snap.max());
+    }
+}

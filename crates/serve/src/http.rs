@@ -2,12 +2,14 @@
 //!
 //! Endpoints:
 //!
-//! | method | path        | body                         | answer |
-//! |--------|-------------|------------------------------|--------|
-//! | GET    | `/healthz`  | —                            | deployment facts + queue depth |
-//! | GET    | `/metrics`  | —                            | [`crate::service::MetricsSnapshot`] as JSON |
-//! | POST   | `/v1`       | newline-JSON requests        | newline-JSON replies, in order |
-//! | POST   | `/shutdown` | —                            | ack, then the server stops accepting |
+//! | method | path          | body                  | answer |
+//! |--------|---------------|-----------------------|--------|
+//! | GET    | `/healthz`    | —                     | deployment facts + queue depth |
+//! | GET    | `/metrics`    | —                     | [`crate::service::MetricsSnapshot`] as JSON |
+//! | GET    | `/metrics?format=prom` | —            | the same snapshot as Prometheus text exposition 0.0.4 |
+//! | GET    | `/debug/slow` | —                     | slowest recent requests with full stage timelines, JSON |
+//! | POST   | `/v1`         | newline-JSON requests | newline-JSON replies, in order |
+//! | POST   | `/shutdown`   | —                     | ack, then the server stops accepting |
 //!
 //! The server speaks just enough HTTP/1.1 for `curl`, the bundled
 //! [`crate::client::HttpClient`], and browsers: request line, headers,
@@ -23,9 +25,15 @@ use crate::service::{NaiService, ServeError, Ticket};
 use crate::sync::atomic::{AtomicBool, Ordering};
 use crate::sync::thread::{self, JoinHandle};
 use crate::sync::{lock_recover, Arc, Condvar, Mutex};
+use nai_obs::{PromWriter, Stage, TraceRecord};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Content type of every JSON body.
+const CT_JSON: &str = "application/json";
+/// Content type of the Prometheus text exposition format.
+const CT_PROM: &str = "text/plain; version=0.0.4";
 
 /// Upper bound on accepted request bodies (1 MiB — far above any
 /// realistic micro-batch line, far below memory trouble).
@@ -329,6 +337,7 @@ fn write_response(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
+    content_type: &str,
     close: bool,
 ) -> std::io::Result<()> {
     let reason = match status {
@@ -342,7 +351,7 @@ fn write_response(
     let connection = if close { "close" } else { "keep-alive" };
     write!(
         stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
         body.len()
     )?;
     stream.flush()
@@ -359,13 +368,13 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<
             Ok(None) => return Ok(()),
             Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
                 let body = format!("{}\n", error_line("bad_request", Some(&e.to_string())));
-                let _ = write_response(&mut writer, 400, &body, true);
+                let _ = write_response(&mut writer, 400, &body, CT_JSON, true);
                 return Ok(());
             }
             Err(e) => return Err(e),
         };
         let shutting_down = req.method == "POST" && req.path == "/shutdown";
-        let (status, body) = route(&req, state);
+        let (status, body, content_type) = route(&req, state);
         let close = req.close || req.http10 || shutting_down;
         if shutting_down {
             // Stop *before* writing the acknowledgement: a client that
@@ -373,27 +382,43 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<
             // must still take the server down.
             state.request_stop();
         }
-        write_response(&mut writer, status, &body, close)?;
+        write_response(&mut writer, status, &body, content_type, close)?;
         if close {
             return Ok(());
         }
     }
 }
 
-fn route(req: &HttpRequest, state: &ServerState) -> (u16, String) {
-    match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => (200, format!("{}\n", health_json(&state.service))),
-        ("GET", "/metrics") => (200, format!("{}\n", metrics_json(&state.service))),
-        ("POST", "/v1") => batch_endpoint(&state.service, &req.body),
-        ("POST", "/shutdown") => (
+fn route(req: &HttpRequest, state: &ServerState) -> (u16, String, &'static str) {
+    // Split the query string off the path; only /metrics reads it.
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    let json = |status: u16, body: String| (status, body, CT_JSON);
+    match (req.method.as_str(), path) {
+        ("GET", "/healthz") => json(200, format!("{}\n", health_json(&state.service))),
+        ("GET", "/metrics") => {
+            if query.split('&').any(|kv| kv == "format=prom") {
+                (200, metrics_prom(&state.service), CT_PROM)
+            } else {
+                json(200, format!("{}\n", metrics_json(&state.service)))
+            }
+        }
+        ("GET", "/debug/slow") => json(200, format!("{}\n", slow_json(&state.service))),
+        ("POST", "/v1") => {
+            let (status, body) = batch_endpoint(&state.service, &req.body);
+            json(status, body)
+        }
+        ("POST", "/shutdown") => json(
             200,
             format!(
                 "{}\n",
                 Json::obj(vec![("status", Json::str("shutting_down"))])
             ),
         ),
-        ("GET" | "POST", _) => (404, format!("{}\n", error_line("not_found", None))),
-        _ => (405, format!("{}\n", error_line("method_not_allowed", None))),
+        ("GET" | "POST", _) => json(404, format!("{}\n", error_line("not_found", None))),
+        _ => json(405, format!("{}\n", error_line("method_not_allowed", None))),
     }
 }
 
@@ -477,9 +502,13 @@ fn health_json(service: &NaiService) -> Json {
 
 fn metrics_json(service: &NaiService) -> Json {
     let m = service.metrics();
-    let us = |d: Duration| Json::uint(d.as_micros().min(u64::MAX as u128) as u64);
-    // One sort of the merged samples serves every percentile.
-    let qs = m.stats.quantiles(&[0.5, 0.95, 0.99]);
+    // Histograms record nanoseconds; the JSON surface keeps its
+    // microsecond convention. Quantiles as integers, means as floats
+    // (the stage-accounting test sums stage means against the
+    // end-to-end mean — rounding to whole µs would eat the budget).
+    let us = |ns: u64| Json::uint(ns / 1_000);
+    let us_f = |ns: f64| Json::Num(ns / 1_000.0);
+    let lq = m.latency.quantiles(&[0.5, 0.95, 0.99]);
     Json::obj(vec![
         ("queue_depth", Json::uint(m.queue_depth as u64)),
         ("served", Json::uint(m.served)),
@@ -496,25 +525,66 @@ fn metrics_json(service: &NaiService) -> Json {
         (
             "latency_us",
             Json::obj(vec![
-                ("p50", us(qs[0])),
-                ("p95", us(qs[1])),
-                ("p99", us(qs[2])),
-                ("max", us(m.stats.max())),
-                ("mean", us(m.stats.mean_latency())),
+                ("p50", us(lq[0])),
+                ("p95", us(lq[1])),
+                ("p99", us(lq[2])),
+                ("max", us(m.latency.max())),
+                ("mean", us_f(m.latency.mean())),
             ]),
         ),
-        ("mean_depth", Json::Num(m.stats.mean_depth())),
+        (
+            "stages",
+            Json::Obj(
+                Stage::ALL
+                    .iter()
+                    .map(|&s| {
+                        let h = &m.stages[s.index()];
+                        let q = h.quantiles(&[0.5, 0.95, 0.99]);
+                        (
+                            s.name().to_string(),
+                            Json::obj(vec![
+                                ("count", Json::uint(h.count())),
+                                ("mean_us", us_f(h.mean())),
+                                ("p50_us", us(q[0])),
+                                ("p95_us", us(q[1])),
+                                ("p99_us", us(q[2])),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "batch",
+            Json::obj(vec![
+                ("closed_on_max_batch", Json::uint(m.closed_on_max_batch)),
+                ("closed_on_deadline", Json::uint(m.closed_on_deadline)),
+                ("mean_size", Json::Num(m.batch_sizes.mean())),
+                ("p99_size", Json::uint(m.batch_sizes.quantile(0.99))),
+                (
+                    "size_histogram",
+                    Json::Arr(
+                        m.batch_sizes
+                            .exact_small_counts()
+                            .iter()
+                            .map(|&c| Json::uint(c))
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
+        ("mean_depth", Json::Num(m.mean_depth())),
         (
             "depth_histogram",
             Json::Arr(
-                m.stats
-                    .depth_histogram()
+                m.depths
+                    .exact_small_counts()
                     .iter()
                     .map(|&c| Json::uint(c))
                     .collect(),
             ),
         ),
-        ("throughput", Json::Num(m.stats.throughput())),
+        ("throughput", Json::Num(m.throughput())),
         (
             "macs",
             Json::obj(vec![
@@ -527,5 +597,179 @@ fn metrics_json(service: &NaiService) -> Json {
                 ("total", Json::uint(m.macs.total())),
             ]),
         ),
+    ])
+}
+
+/// The same snapshot as Prometheus text exposition 0.0.4: counters as
+/// `_total` series, durations in seconds, dimensions as labels, and the
+/// log-bucketed histograms as native cumulative `_bucket`/`_sum`/
+/// `_count` series.
+fn metrics_prom(service: &NaiService) -> String {
+    let m = service.metrics();
+    let mut w = PromWriter::new();
+    for (name, help, value) in [
+        (
+            "nai_requests_served_total",
+            "Predictions answered (one per node result; cache hits included).",
+            m.served,
+        ),
+        (
+            "nai_overloaded_total",
+            "Submissions rejected at the admission bound.",
+            m.overloaded,
+        ),
+        ("nai_batches_total", "Batches dispatched.", m.batches),
+        (
+            "nai_degraded_batches_total",
+            "Batches dispatched under a load-shed depth budget.",
+            m.degraded_batches,
+        ),
+        (
+            "nai_shed_ops_total",
+            "Requests dispatched inside degraded batches.",
+            m.shed_ops,
+        ),
+        (
+            "nai_edges_observed_total",
+            "Edge mutations answered.",
+            m.edges_observed,
+        ),
+        (
+            "nai_op_errors_total",
+            "Per-op validation failures answered.",
+            m.op_errors,
+        ),
+        (
+            "nai_cache_hits_total",
+            "Reads answered entirely from the prediction cache.",
+            m.cache_hits,
+        ),
+        (
+            "nai_cache_misses_total",
+            "Reads that consulted the cache and fell through.",
+            m.cache_misses,
+        ),
+        (
+            "nai_cache_evicted_total",
+            "Cache entries dropped under capacity pressure.",
+            m.cache_evicted,
+        ),
+        (
+            "nai_cache_invalidated_total",
+            "Cache entries dropped by mutation invalidation.",
+            m.cache_invalidated,
+        ),
+    ] {
+        w.family(name, "counter", help);
+        w.counter(name, &[], value);
+    }
+    w.family(
+        "nai_batch_closed_total",
+        "counter",
+        "Batches closed, by close reason (max_batch vs deadline).",
+    );
+    w.counter(
+        "nai_batch_closed_total",
+        &[("reason", "max_batch")],
+        m.closed_on_max_batch,
+    );
+    w.counter(
+        "nai_batch_closed_total",
+        &[("reason", "deadline")],
+        m.closed_on_deadline,
+    );
+    w.family(
+        "nai_macs_total",
+        "counter",
+        "Cumulative multiply-accumulates, by engine stage.",
+    );
+    for (stage, value) in [
+        ("propagation", m.macs.propagation),
+        ("nap", m.macs.nap),
+        ("classification", m.macs.classification),
+        ("replication", m.macs.replication),
+    ] {
+        w.counter("nai_macs_total", &[("stage", stage)], value);
+    }
+    w.family(
+        "nai_queue_depth",
+        "gauge",
+        "Requests currently queued or being served.",
+    );
+    w.gauge("nai_queue_depth", &[], m.queue_depth as f64);
+    w.family(
+        "nai_request_duration_seconds",
+        "histogram",
+        "End-to-end latency (admission to reply), one sample per prediction.",
+    );
+    w.histogram("nai_request_duration_seconds", &[], &m.latency, 1e-9);
+    w.family(
+        "nai_request_stage_duration_seconds",
+        "histogram",
+        "Per-stage request lifecycle spans, one sample per request.",
+    );
+    for s in Stage::ALL {
+        w.histogram(
+            "nai_request_stage_duration_seconds",
+            &[("stage", s.name())],
+            &m.stages[s.index()],
+            1e-9,
+        );
+    }
+    w.family(
+        "nai_batch_size",
+        "histogram",
+        "Requests per dispatched batch.",
+    );
+    w.histogram("nai_batch_size", &[], &m.batch_sizes, 1.0);
+    w.family(
+        "nai_exit_depth",
+        "histogram",
+        "NAP exit depth, one sample per prediction.",
+    );
+    w.histogram("nai_exit_depth", &[], &m.depths, 1.0);
+    w.finish()
+}
+
+/// `GET /debug/slow`: the flight recorder's slowest recent requests,
+/// slowest first, each with its full stage timeline.
+fn slow_json(service: &NaiService) -> Json {
+    let traces = service.slow_traces();
+    Json::obj(vec![
+        ("count", Json::uint(traces.len() as u64)),
+        ("traces", Json::Arr(traces.iter().map(trace_json).collect())),
+    ])
+}
+
+fn trace_json(t: &TraceRecord) -> Json {
+    Json::obj(vec![
+        ("trace_id", Json::uint(t.trace_id)),
+        ("total_us", Json::Num(t.total_ns as f64 / 1_000.0)),
+        (
+            "stages_us",
+            Json::Obj(
+                Stage::ALL
+                    .iter()
+                    .map(|&s| {
+                        (
+                            s.name().to_string(),
+                            Json::Num(t.stages.get(s) as f64 / 1_000.0),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "nodes",
+            Json::Arr(t.nodes.iter().map(|&n| Json::uint(n as u64)).collect()),
+        ),
+        (
+            "depths",
+            Json::Arr(t.depths.iter().map(|&d| Json::uint(d as u64)).collect()),
+        ),
+        ("cache_hit", Json::Bool(t.cache_hit)),
+        ("applied_seq", Json::uint(t.applied_seq)),
+        ("batch_size", Json::uint(t.batch_size as u64)),
+        ("close_reason", Json::str(t.close_reason)),
     ])
 }

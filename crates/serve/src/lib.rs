@@ -57,6 +57,7 @@ pub mod cache;
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod obs;
 pub mod proto;
 pub mod service;
 pub mod sync;
@@ -67,6 +68,7 @@ pub use cache::{CacheCounters, Invalidation, PredictionCache, VersionedCache};
 pub use client::{http_call, HttpClient};
 pub use http::{ConnGate, Server};
 pub use json::Json;
+pub use obs::ServeObs;
 pub use proto::{NodeResult, Op, Reply, Request};
 pub use service::{MacsCell, MetricsSnapshot, NaiService, ServeError, ServiceInfo, Ticket};
 pub use workload::{zipf_rank, Arrivals, Sampling, WorkloadSampler, WorkloadSpec};
@@ -705,7 +707,7 @@ mod tests {
                 .unwrap();
         }
         let m = service.metrics();
-        assert_eq!(m.stats.count(), 20, "two nodes per request");
+        assert_eq!(m.latency.count(), 20, "two nodes per request");
         assert_eq!(m.served, 20);
         assert!(m.macs.propagation > 0);
         assert!(m.macs.classification > 0);
@@ -716,7 +718,18 @@ mod tests {
         );
         assert!(m.batches >= 1);
         assert_eq!(m.queue_depth, 0, "closed loop leaves nothing in flight");
-        assert!(m.stats.p99() >= m.stats.p50());
+        assert!(m.latency.quantile(0.99) >= m.latency.quantile(0.5));
+        // Every answered request carries a full stage timeline: the
+        // request-granularity stage histograms line up with each other,
+        // and the batch anatomy accounts for every dispatch.
+        let requests = m.stages[nai_obs::Stage::QueueWait.index()].count();
+        assert_eq!(requests, 10, "one stage sample per request");
+        for s in nai_obs::Stage::ALL {
+            assert_eq!(m.stages[s.index()].count(), requests, "{}", s.name());
+        }
+        assert_eq!(m.batch_sizes.count(), m.batches);
+        assert_eq!(m.batch_sizes.sum(), 10, "every request rode one batch");
+        assert_eq!(m.closed_on_max_batch + m.closed_on_deadline, m.batches);
     }
 
     #[test]

@@ -62,6 +62,7 @@
 
 use crate::admission::AdmissionLedger;
 use crate::cache::{Invalidation, VersionedCache};
+use crate::obs::ServeObs;
 use crate::proto::{NodeResult, Op, Reply, Request};
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
@@ -69,8 +70,17 @@ use crate::sync::thread::{self, JoinHandle};
 use crate::sync::{lock_recover, Arc, Mutex};
 use nai_core::checkpoint::ModelCheckpoint;
 use nai_core::config::{InferenceConfig, NapMode, ServeConfig};
-use nai_stream::{DynamicGraph, LatencyStats, MacsBreakdown, StreamingEngine};
+use nai_obs::{
+    CloseReason, HistogramSnapshot, Stage, StageBreakdown, TraceRecord, STAGE_COUNT, TRACE_NODE_CAP,
+};
+use nai_stream::{DynamicGraph, MacsBreakdown, StageTimes, StreamingEngine};
 use std::time::{Duration, Instant};
+
+/// A `Duration` as whole nanoseconds, saturating at `u64::MAX` (585
+/// years — no real span gets near it).
+fn dur_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
 
 /// Service-level failures surfaced to the transport.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,9 +125,10 @@ pub struct ServiceInfo {
 }
 
 /// A point-in-time view of the service counters (the `/metrics`
-/// payload). Latency statistics are merged across workers with
-/// [`LatencyStats::merge`]; MACs with a replication-aware merge (see
-/// [`MetricsSnapshot::macs`]).
+/// payload). Latency, depth, stage, and batch-size distributions are
+/// [`HistogramSnapshot`]s of the service-wide lock-free histograms
+/// (every worker records into the same ones — nothing to merge); MACs
+/// use a replication-aware merge (see [`MetricsSnapshot::macs`]).
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
     /// Requests currently queued or being served.
@@ -149,12 +160,24 @@ pub struct MetricsSnapshot {
     /// Cache entries dropped by mutation invalidation (frontier walks
     /// and conservative full flushes combined).
     pub cache_invalidated: u64,
-    /// Enqueue→reply latency and exit depths, merged across workers.
-    /// Bounded: each worker restarts its accumulator after every
-    /// [`STATS_WINDOW`] samples (so quantiles cover the current
-    /// accumulation period, not all time, and a long-lived service
-    /// cannot grow without bound); `served` keeps the all-time count.
-    pub stats: LatencyStats,
+    /// Enqueue→reply latency in nanoseconds, one sample per prediction
+    /// (cache hits included) — all-time, fixed footprint, quantiles
+    /// within `nai_obs::RELATIVE_ERROR`.
+    pub latency: HistogramSnapshot,
+    /// NAP exit depths, one sample per prediction. Depths are tiny, so
+    /// `exact_small_counts` is the exact histogram.
+    pub depths: HistogramSnapshot,
+    /// Per-stage span histograms in nanoseconds, indexed by
+    /// [`Stage::index`]: one sample per stage per answered request
+    /// (request granularity — a multi-node read contributes once).
+    pub stages: [HistogramSnapshot; STAGE_COUNT],
+    /// Requests per dispatched batch.
+    pub batch_sizes: HistogramSnapshot,
+    /// Batches closed because the forming batch reached `max_batch`.
+    pub closed_on_max_batch: u64,
+    /// Batches closed by the `max_wait` deadline (or the shutdown
+    /// drain of a partial batch).
+    pub closed_on_deadline: u64,
     /// Cumulative per-stage MACs. Inference stages (propagation / NAP /
     /// classification) are summed over replicas — each read or
     /// prediction runs on exactly one. The `replication` stage is the
@@ -164,12 +187,36 @@ pub struct MetricsSnapshot {
     pub macs: MacsBreakdown,
 }
 
+impl MetricsSnapshot {
+    /// Predictions per second of busy (enqueue→reply) time — the same
+    /// ratio the old exact accumulator reported, now derived from the
+    /// latency histogram's exact count and sum.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.latency.sum() as f64 * 1e-9;
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.latency.count() as f64 / secs
+    }
+
+    /// Mean NAP exit depth over every answered prediction.
+    pub fn mean_depth(&self) -> f64 {
+        self.depths.mean()
+    }
+}
+
 /// The admission slot + reply channel of one accepted request; exactly
 /// one party (a worker, or the scheduler for never-dispatched jobs)
 /// answers it, releasing the slot.
 struct ReplyHandle {
     responder: Sender<Reply>,
+    /// Trace id issued at admission; keys the flight-recorder entry.
+    trace_id: u64,
     enqueued: Instant,
+    /// When the scheduler popped the job off the request channel
+    /// (initialized to `enqueued`; the pop overwrites it). The
+    /// enqueued→dequeued span is the `queue_wait` stage.
+    dequeued: Instant,
 }
 
 struct Job {
@@ -204,6 +251,11 @@ struct ShardBatch {
     /// Dispatched under a load-shed (capped-depth) budget: results are
     /// honest answers but must never be cached as full-depth ones.
     degraded: bool,
+    /// Requests in the dispatch this slice came from (the whole formed
+    /// batch, not just this worker's share) — reported in traces.
+    size: u32,
+    /// Why the batcher closed the dispatch this slice came from.
+    close: CloseReason,
 }
 
 impl ShardBatch {
@@ -214,12 +266,23 @@ impl ShardBatch {
     }
 }
 
-/// Per-worker latency-sample bound: the accumulator restarts from
-/// empty each time it reaches this many samples, so quantiles describe
-/// the current accumulation period while counters cover all time
-/// (`LatencyStats` stores every recorded sample, so an unbounded
-/// accumulator would leak on a long-lived server).
-pub const STATS_WINDOW: usize = 1 << 18;
+/// The timing context of one engine call, shared by every reply it
+/// answers: the engine-stage spans are whole-call times attributed to
+/// every batch member (each member really does wait for the coalesced
+/// call), and the start/end instants bound the `batch_wait` and
+/// `serialize` stages.
+struct BatchTiming {
+    /// Just before the engine call.
+    engine_start: Instant,
+    /// Just after the engine call returned.
+    engine_end: Instant,
+    /// The engine's cumulative stage-time delta across the call.
+    engine: StageTimes,
+    /// Requests in the dispatch (whole formed batch).
+    batch_size: u32,
+    /// Why the batcher closed the dispatch.
+    close: CloseReason,
+}
 
 /// One worker's cumulative per-stage MACs, published as a single
 /// consistent snapshot after each batch.
@@ -271,10 +334,10 @@ struct Shared {
     edges_observed: AtomicU64,
     op_errors: AtomicU64,
     served: AtomicU64,
-    /// One latency/depth accumulator per worker, plus a final slot for
-    /// reads the submit path answers from the prediction cache (no
-    /// worker ever touches them).
-    worker_stats: Vec<Mutex<LatencyStats>>,
+    /// Request-lifecycle observability: latency / depth / stage / batch
+    /// histograms (lock-free — every party records into the same ones)
+    /// and the slow-request flight recorder.
+    obs: ServeObs,
     /// `None` unless `ServeConfig::cache.enabled`. Locked briefly by
     /// the submit path (lookup / miss counting), the scheduler
     /// (invalidation + sequence advance), and workers (inserts).
@@ -290,12 +353,6 @@ struct Shared {
 
 impl Shared {
     fn respond(&self, who: usize, handle: &ReplyHandle, reply: Reply) {
-        // The last slot (`who == workers`) belongs to the scheduler; it
-        // only ever answers errors through here (cache hits never hold
-        // a handle — `NaiService::submit` records them directly into
-        // that slot's stats).
-        debug_assert!(who < self.worker_stats.len());
-        let latency = handle.enqueued.elapsed();
         match &reply {
             // Relaxed on the counters below: each is a monotone count
             // read only by `/metrics` snapshots, with no cross-counter
@@ -304,26 +361,9 @@ impl Shared {
             Reply::Infer { results, .. } => {
                 self.served
                     .fetch_add(results.len() as u64, Ordering::Relaxed);
-                // Poison-recovering: a worker that panicked while
-                // recording must not take down every later scrape and
-                // respond on this slot (the accumulator is append-only
-                // sample storage — a torn record loses one sample, it
-                // cannot corrupt the others).
-                let mut stats = lock_recover(&self.worker_stats[who]);
-                for r in results {
-                    if stats.count() >= STATS_WINDOW {
-                        *stats = LatencyStats::new();
-                    }
-                    stats.record(latency, r.depth);
-                }
             }
-            Reply::Ingest { depth, .. } => {
+            Reply::Ingest { .. } => {
                 self.served.fetch_add(1, Ordering::Relaxed);
-                let mut stats = lock_recover(&self.worker_stats[who]);
-                if stats.count() >= STATS_WINDOW {
-                    *stats = LatencyStats::new();
-                }
-                stats.record(latency, *depth);
             }
             Reply::Edge { .. } => {
                 self.edges_observed.fetch_add(1, Ordering::Relaxed);
@@ -340,16 +380,94 @@ impl Shared {
         let _ = handle.responder.send(reply);
     }
 
+    /// [`Self::respond`] for replies that carry predictions: stamps the
+    /// request's full stage timeline into the histograms and the flight
+    /// recorder first. Only `Infer` and `Ingest` replies come through
+    /// here; error and edge paths answer via plain `respond` (no
+    /// latency sample — same as the exact accumulator recorded).
+    fn respond_traced(&self, who: usize, handle: &ReplyHandle, reply: Reply, timing: &BatchTiming) {
+        // One clock read covers the whole accounting: total latency and
+        // the serialize span end at the same instant, so the stage sum
+        // tiles the measured total (up to the engine's interior glue).
+        let now = Instant::now();
+        let total_ns = dur_ns(now.saturating_duration_since(handle.enqueued));
+        let mut stages = StageBreakdown::default();
+        stages.set(
+            Stage::QueueWait,
+            dur_ns(handle.dequeued.saturating_duration_since(handle.enqueued)),
+        );
+        stages.set(
+            Stage::BatchWait,
+            dur_ns(
+                timing
+                    .engine_start
+                    .saturating_duration_since(handle.dequeued),
+            ),
+        );
+        stages.set(Stage::EnginePropagation, dur_ns(timing.engine.propagation));
+        stages.set(Stage::EngineNap, dur_ns(timing.engine.nap));
+        stages.set(Stage::EngineClassify, dur_ns(timing.engine.classification));
+        stages.set(
+            Stage::Serialize,
+            dur_ns(now.saturating_duration_since(timing.engine_end)),
+        );
+        let (applied_seq, nodes, depths) = match &reply {
+            Reply::Infer {
+                applied_seq,
+                results,
+                ..
+            } => {
+                for r in results {
+                    self.obs.note_prediction(total_ns, r.depth as u64);
+                }
+                (
+                    *applied_seq,
+                    results
+                        .iter()
+                        .take(TRACE_NODE_CAP)
+                        .map(|r| r.node)
+                        .collect(),
+                    results
+                        .iter()
+                        .take(TRACE_NODE_CAP)
+                        .map(|r| r.depth as u32)
+                        .collect(),
+                )
+            }
+            Reply::Ingest {
+                applied_seq,
+                node,
+                depth,
+                ..
+            } => {
+                self.obs.note_prediction(total_ns, *depth as u64);
+                (*applied_seq, vec![*node], vec![*depth as u32])
+            }
+            _ => unreachable!("only prediction replies are traced"),
+        };
+        self.obs.note_request(
+            &stages,
+            TraceRecord {
+                trace_id: handle.trace_id,
+                total_ns,
+                stages,
+                nodes,
+                depths,
+                cache_hit: false,
+                applied_seq,
+                batch_size: timing.batch_size,
+                close_reason: timing.close.as_str(),
+            },
+        );
+        self.respond(who, handle, reply);
+    }
+
     /// Merged counters, latency statistics, and MACs — the `/metrics`
     /// body, on `Shared` so observability needs no service handle (and
     /// the poison unit tests can drive a bare `Shared`). Every lock on
     /// this path recovers from poison: one dead worker must not take
     /// monitoring down.
     fn snapshot(&self) -> MetricsSnapshot {
-        let mut stats = LatencyStats::new();
-        for w in &self.worker_stats {
-            stats.merge(&lock_recover(w));
-        }
         let mut macs = MacsBreakdown::default();
         for m in &self.worker_macs {
             let b = m.snapshot();
@@ -383,7 +501,12 @@ impl Shared {
             cache_misses: cache.misses,
             cache_evicted: cache.evicted,
             cache_invalidated: cache.invalidated,
-            stats,
+            latency: self.obs.latency(),
+            depths: self.obs.depths(),
+            stages: self.obs.stages(),
+            batch_sizes: self.obs.batch_sizes(),
+            closed_on_max_batch: self.obs.closed_on_max_batch(),
+            closed_on_deadline: self.obs.closed_on_deadline(),
             macs,
         }
     }
@@ -478,10 +601,7 @@ impl NaiService {
             edges_observed: AtomicU64::new(0),
             op_errors: AtomicU64::new(0),
             served: AtomicU64::new(0),
-            // One slot per worker plus the submit path's (cache hits).
-            worker_stats: (0..=cfg.workers)
-                .map(|_| Mutex::new(LatencyStats::new()))
-                .collect(),
+            obs: ServeObs::new(),
             cache: cfg
                 .cache
                 .enabled
@@ -613,12 +733,15 @@ impl NaiService {
             return Err(ServeError::Overloaded);
         }
         let (rtx, rrx) = mpsc::channel();
+        let enqueued = Instant::now();
         let job = Job {
             op: req.op,
             shard: req.shard,
             handle: ReplyHandle {
                 responder: rtx,
-                enqueued: Instant::now(),
+                trace_id: self.shared.obs.next_trace_id(),
+                enqueued,
+                dequeued: enqueued,
             },
         };
         let guard = lock_recover(&self.tx);
@@ -654,10 +777,10 @@ impl NaiService {
     }
 
     /// Answers a fully cached read on the caller's thread: bumps
-    /// `served`, records the (sub-batching) latency and cached depths
-    /// into the submit path's stats slot, and returns a pre-resolved
-    /// ticket. The reply's `shard` is the caller's hint (or replica 0):
-    /// no replica did any work, but the field must name a valid one.
+    /// `served`, records the (sub-batching) latency, depths, and trace,
+    /// and returns a pre-resolved ticket. The reply's `shard` is the
+    /// caller's hint (or replica 0): no replica did any work, but the
+    /// field must name a valid one.
     fn answer_from_cache(
         &self,
         begun: Instant,
@@ -665,20 +788,41 @@ impl NaiService {
         applied_seq: u64,
         results: Vec<NodeResult>,
     ) -> Ticket {
-        let latency = begun.elapsed();
+        let total_ns = dur_ns(begun.elapsed());
         // Relaxed: monotone count, read only by scrapes.
         self.shared
             .served
             .fetch_add(results.len() as u64, Ordering::Relaxed);
-        {
-            let mut stats = lock_recover(&self.shared.worker_stats[self.info.shards]);
-            for r in &results {
-                if stats.count() >= STATS_WINDOW {
-                    *stats = LatencyStats::new();
-                }
-                stats.record(latency, r.depth);
-            }
+        for r in &results {
+            self.shared.obs.note_prediction(total_ns, r.depth as u64);
         }
+        // A cache hit never queues, batches, or touches the engine: its
+        // whole lifetime is the serialize stage, and its trace says so
+        // (batch_size 0 — it rode no batch).
+        let mut stages = StageBreakdown::default();
+        stages.set(Stage::Serialize, total_ns);
+        self.shared.obs.note_request(
+            &stages,
+            TraceRecord {
+                trace_id: self.shared.obs.next_trace_id(),
+                total_ns,
+                stages,
+                nodes: results
+                    .iter()
+                    .take(TRACE_NODE_CAP)
+                    .map(|r| r.node)
+                    .collect(),
+                depths: results
+                    .iter()
+                    .take(TRACE_NODE_CAP)
+                    .map(|r| r.depth as u32)
+                    .collect(),
+                cache_hit: true,
+                applied_seq,
+                batch_size: 0,
+                close_reason: "cache_hit",
+            },
+        );
         let (rtx, rrx) = mpsc::channel();
         let _ = rtx.send(Reply::Infer {
             shard: hint.unwrap_or(0),
@@ -708,6 +852,13 @@ impl NaiService {
     /// after a worker panic.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.shared.snapshot()
+    }
+
+    /// The slowest recent requests (current + previous flight-recorder
+    /// windows), slowest first, with their full stage timelines — the
+    /// `GET /debug/slow` payload.
+    pub fn slow_traces(&self) -> Vec<TraceRecord> {
+        self.shared.obs.slow_traces()
     }
 
     /// Stops accepting work, drains queued requests (every admitted
@@ -941,7 +1092,7 @@ impl Scheduler {
         cache.sequence_mutation(seq, action);
     }
 
-    fn dispatch(&mut self, forming: &mut Vec<Job>) {
+    fn dispatch(&mut self, forming: &mut Vec<Job>, close: CloseReason) {
         if forming.is_empty() {
             return;
         }
@@ -961,6 +1112,8 @@ impl Scheduler {
         }
         // Relaxed on the dispatch counters: monotone, scrape-only.
         self.shared.batches.fetch_add(1, Ordering::Relaxed);
+        let size = forming.len() as u32;
+        self.shared.obs.note_batch(size, close);
         let degraded = self
             .cfg
             .shed
@@ -1033,6 +1186,8 @@ impl Scheduler {
                 reads: batch_reads,
                 cfg: batch_cfg,
                 degraded,
+                size,
+                close,
             };
             let tx = self.worker_txs[w]
                 .as_ref()
@@ -1097,20 +1252,25 @@ impl Scheduler {
                         Ok(job) => Some(job),
                         Err(RecvTimeoutError::Timeout) => None,
                         Err(RecvTimeoutError::Disconnected) => {
-                            self.dispatch(&mut forming);
+                            // Shutdown drain of a partial batch: the
+                            // deadline side of the policy, not max_batch.
+                            self.dispatch(&mut forming, CloseReason::Deadline);
                             break;
                         }
                     },
                 }
             };
             match next {
-                Some(job) => {
+                Some(mut job) => {
+                    // The queue_wait stage ends here: the job has left
+                    // the request channel and joined the forming batch.
+                    job.handle.dequeued = Instant::now();
                     forming.push(job);
                     if forming.len() >= self.cfg.max_batch {
-                        self.dispatch(&mut forming);
+                        self.dispatch(&mut forming, CloseReason::MaxBatch);
                     }
                 }
-                None => self.dispatch(&mut forming),
+                None => self.dispatch(&mut forming, CloseReason::Deadline),
             }
         }
         // Senders to workers drop here; workers drain and exit.
@@ -1200,6 +1360,8 @@ fn process_shard_batch(
         reads,
         cfg,
         degraded,
+        size,
+        close,
     } = batch;
     let mut ingest_handles: Vec<ReplyHandle> = Vec::new();
     for m in mutations {
@@ -1241,10 +1403,23 @@ fn process_shard_batch(
         *applied_seq = m.seq;
     }
     if !ingest_handles.is_empty() {
+        // The engine attributes its interior to stages cumulatively;
+        // the before/after delta is this flush's share, attributed
+        // whole to every ingest it answers (each waited for the call).
+        let stages_before = engine.stage_times();
+        let engine_start = Instant::now();
         let predictions = engine.flush(&cfg);
+        let engine_end = Instant::now();
+        let timing = BatchTiming {
+            engine_start,
+            engine_end,
+            engine: engine.stage_times().since(&stages_before),
+            batch_size: size,
+            close,
+        };
         debug_assert_eq!(predictions.len(), ingest_handles.len());
         for (p, handle) in predictions.iter().zip(&ingest_handles) {
-            shared.respond(
+            shared.respond_traced(
                 worker,
                 handle,
                 Reply::Ingest {
@@ -1254,10 +1429,21 @@ fn process_shard_batch(
                     prediction: p.prediction,
                     depth: p.depth,
                 },
+                &timing,
             );
         }
     }
-    infer_run(worker, engine, &reads, &cfg, *applied_seq, degraded, shared);
+    infer_run(
+        worker,
+        engine,
+        &reads,
+        &cfg,
+        *applied_seq,
+        degraded,
+        size,
+        close,
+        shared,
+    );
 }
 
 /// Answers a slice of reads with one coalesced active-set engine call
@@ -1267,6 +1453,7 @@ fn process_shard_batch(
 /// served later as full-depth ones; the cache's own version guard
 /// additionally drops results that a mutation sequenced since this
 /// batch was formed has already outdated.
+#[allow(clippy::too_many_arguments)] // one internal call site
 fn infer_run(
     worker: usize,
     engine: &mut StreamingEngine,
@@ -1274,6 +1461,8 @@ fn infer_run(
     cfg: &InferenceConfig,
     applied_seq: u64,
     degraded: bool,
+    batch_size: u32,
+    close: CloseReason,
     shared: &Shared,
 ) {
     if jobs.is_empty() {
@@ -1303,7 +1492,17 @@ fn infer_run(
             }
         }
     }
+    let stages_before = engine.stage_times();
+    let engine_start = Instant::now();
     let results = engine.infer_nodes(&nodes, cfg);
+    let engine_end = Instant::now();
+    let timing = BatchTiming {
+        engine_start,
+        engine_end,
+        engine: engine.stage_times().since(&stages_before),
+        batch_size,
+        close,
+    };
     if !degraded {
         if let Some(cache) = &shared.cache {
             // Stamped with the sequence point this replica computed
@@ -1338,7 +1537,7 @@ fn infer_run(
                 })
                 .collect(),
         };
-        shared.respond(worker, &jobs[idx].handle, reply);
+        shared.respond_traced(worker, &jobs[idx].handle, reply, &timing);
     }
     for (idx, message) in invalid {
         shared.respond(worker, &jobs[idx].handle, Reply::Error { message });
@@ -1360,9 +1559,7 @@ mod tests {
             edges_observed: AtomicU64::new(0),
             op_errors: AtomicU64::new(0),
             served: AtomicU64::new(0),
-            worker_stats: (0..=workers)
-                .map(|_| Mutex::new(LatencyStats::new()))
-                .collect(),
+            obs: ServeObs::new(),
             cache: with_cache.then(|| VersionedCache::new(8)),
             worker_macs: (0..workers).map(|_| MacsCell::new()).collect(),
             returned: Mutex::new(Vec::new()),
@@ -1378,17 +1575,19 @@ mod tests {
         assert!(m.is_poisoned());
     }
 
-    /// A worker that dies while recording a sample poisons its stats
-    /// lock; `/metrics` must still merge every accumulator (the
-    /// samples recorded before the panic included) instead of
-    /// panicking the scrape thread.
+    /// A worker that dies mid-batch poisons its MACs cell; `/metrics`
+    /// must still answer — with every histogram sample recorded before
+    /// the panic — instead of panicking the scrape thread. (Latency
+    /// recording itself is lock-free, so there is no stats lock left
+    /// to poison.)
     #[test]
-    fn metrics_scrape_survives_a_poisoned_stats_lock() {
+    fn metrics_scrape_survives_a_poisoned_macs_cell() {
         let shared = bare_shared(2, false);
-        lock_recover(&shared.worker_stats[0]).record(Duration::from_millis(5), 1);
-        poison(&shared.worker_stats[0]);
+        shared.obs.note_prediction(5_000_000, 1);
+        poison(&shared.worker_macs[0].0);
         let snap = shared.snapshot();
-        assert_eq!(snap.stats.count(), 1, "pre-panic samples still scraped");
+        assert_eq!(snap.latency.count(), 1, "pre-panic samples still scraped");
+        assert_eq!(snap.depths.exact_small_counts(), vec![0, 1]);
         assert_eq!(snap.queue_depth, 0);
     }
 
@@ -1402,7 +1601,7 @@ mod tests {
         assert!(shared.take_returned().is_empty());
     }
 
-    /// The whole observability path — stats, MACs cell, and the
+    /// The whole observability path — histograms, MACs cell, and the
     /// admission counters — stays scrapeable when every recoverable
     /// lock is poisoned at once.
     #[test]
@@ -1415,8 +1614,8 @@ mod tests {
             replication: 1,
         };
         shared.worker_macs[0].publish(&macs);
-        poison(&shared.worker_stats[0]);
-        poison(&shared.worker_stats[1]);
+        poison(&shared.worker_macs[0].0);
+        poison(&shared.returned);
         let snap = shared.snapshot();
         assert_eq!(snap.macs, macs);
         assert_eq!(snap.cache_hits, 0);

@@ -21,7 +21,7 @@
 
 use crate::dynamic::DynamicGraph;
 use crate::stationary::IncrementalStationary;
-use crate::stats::{LatencyStats, MacsBreakdown};
+use crate::stats::{LatencyStats, MacsBreakdown, StageTimes};
 use nai_core::active::EngineScratch;
 use nai_core::config::{InferenceConfig, NapMode};
 use nai_core::gates::GateSet;
@@ -47,6 +47,50 @@ pub struct StreamPrediction {
     pub latency: Duration,
 }
 
+/// Contiguous-span stopwatch behind [`StreamingEngine::stage_times`]:
+/// `infer_nodes_inner` calls one of the stage methods at each
+/// attribution boundary (the same sites where [`MacsBreakdown`] is
+/// charged), attributing everything since the previous boundary to
+/// that stage. The spans partition the call's wall time — no interior
+/// interval goes unattributed — so summed stage times track the engine
+/// call's duration to within the cost of the `Instant::now` reads
+/// themselves (a handful per propagation depth).
+struct StageClock {
+    mark: Instant,
+    acc: StageTimes,
+}
+
+impl StageClock {
+    fn new() -> Self {
+        StageClock {
+            mark: Instant::now(),
+            acc: StageTimes::default(),
+        }
+    }
+
+    fn lap(&mut self) -> Duration {
+        let now = Instant::now();
+        let span = now.saturating_duration_since(self.mark);
+        self.mark = now;
+        span
+    }
+
+    fn propagation(&mut self) {
+        let span = self.lap();
+        self.acc.propagation += span;
+    }
+
+    fn nap(&mut self) {
+        let span = self.lap();
+        self.acc.nap += span;
+    }
+
+    fn classification(&mut self) {
+        let span = self.lap();
+        self.acc.classification += span;
+    }
+}
+
 /// A deployed NAI model serving a stream of arrivals.
 pub struct StreamingEngine {
     graph: DynamicGraph,
@@ -58,6 +102,7 @@ pub struct StreamingEngine {
     pending: Vec<u32>,
     stats: LatencyStats,
     macs: MacsBreakdown,
+    stage_times: StageTimes,
     /// Shared active-set workspace (same engine layer as
     /// `nai_core::inference::NaiEngine`); grows with the graph and is
     /// reused across flushes.
@@ -115,6 +160,7 @@ impl StreamingEngine {
             pending: Vec::new(),
             stats: LatencyStats::new(),
             macs: MacsBreakdown::default(),
+            stage_times: StageTimes::default(),
             scratch: EngineScratch::new(),
         }
     }
@@ -226,6 +272,15 @@ impl StreamingEngine {
     /// the serving layer's `/metrics`).
     pub fn macs_breakdown(&self) -> MacsBreakdown {
         self.macs
+    }
+
+    /// Cumulative wall time split by pipeline stage, attributed at the
+    /// same sites as [`Self::macs_breakdown`]. Like the MAC counters
+    /// this is monotone and survives [`Self::reset_stats`]: the serving
+    /// layer snapshots it around each coalesced call and diffs with
+    /// [`StageTimes::since`] to cost the batch it just ran.
+    pub fn stage_times(&self) -> StageTimes {
+        self.stage_times
     }
 
     /// λ₂ estimated (or handed over) at deployment.
@@ -374,8 +429,12 @@ impl StreamingEngine {
         // Detach the scratch so the borrow checker can see it is disjoint
         // from the graph/stationary state it is used alongside.
         let mut scratch = std::mem::take(&mut self.scratch);
-        let results = self.infer_nodes_inner(nodes, cfg, &mut scratch);
+        let mut clock = StageClock::new();
+        let results = self.infer_nodes_inner(nodes, cfg, &mut scratch, &mut clock);
         self.scratch = scratch;
+        // Merged here, not inside `infer_nodes_inner`, so the all-exited
+        // early return cannot drop a partially accumulated breakdown.
+        self.stage_times.merge(&clock.acc);
         results
     }
 
@@ -384,6 +443,7 @@ impl StreamingEngine {
         nodes: &[u32],
         cfg: &InferenceConfig,
         scratch: &mut EngineScratch,
+        clock: &mut StageClock,
     ) -> Vec<(usize, usize)> {
         let n = self.graph.num_nodes();
         let f = self.graph.feature_dim();
@@ -398,6 +458,7 @@ impl StreamingEngine {
         // written into the reusable scratch buffer.
         self.stationary
             .rows_into(&self.graph, nodes, &mut scratch.x_inf);
+        clock.propagation();
 
         // NAP_u: depths fixed from Eq. (10) before propagation, indexed
         // by original batch row.
@@ -418,6 +479,7 @@ impl StreamingEngine {
             }
             _ => Vec::new(),
         };
+        clock.nap();
 
         // Supporting hop sets (line 3) over the dynamic adjacency lists.
         let graph = &self.graph;
@@ -468,6 +530,7 @@ impl StreamingEngine {
                     .row_mut(scratch.active.origs()[a])
                     .copy_from_slice(scratch.h_next.row(row));
             }
+            clock.propagation();
 
             let at_final = l == cfg.t_max;
             scratch.exit_mask.clear();
@@ -503,6 +566,7 @@ impl StreamingEngine {
                     }
                 }
             }
+            clock.nap();
 
             if scratch.exit_mask.iter().any(|&e| e) {
                 let exited = scratch.active.apply_exits(&scratch.exit_mask);
@@ -517,9 +581,11 @@ impl StreamingEngine {
                 for (t, &orig) in exited.iter().enumerate() {
                     results[orig] = (preds[t], l);
                 }
+                clock.classification();
 
                 if scratch.active.is_empty() {
                     scratch.plan.finish();
+                    clock.propagation();
                     return results;
                 }
                 if l < cfg.t_max {
@@ -531,11 +597,13 @@ impl StreamingEngine {
                         cfg.t_max - l - 1,
                     );
                 }
+                clock.propagation();
             }
 
             std::mem::swap(&mut scratch.h_prev, &mut scratch.h_next);
         }
         scratch.plan.finish();
+        clock.propagation();
         results
     }
 
@@ -1003,5 +1071,30 @@ mod tests {
         assert!(se.stats().mean_depth() > 0.0);
         se.reset_stats();
         assert_eq!(se.stats().count(), 0);
+    }
+
+    #[test]
+    fn stage_times_accumulate_and_survive_reset() {
+        let (g, split, t) = trained(200, 3);
+        let mut se = engine_from(&t, &g);
+        assert_eq!(se.stage_times(), StageTimes::default());
+        se.infer_nodes(&split.test, &InferenceConfig::distance(0.5, 1, 3));
+        let first = se.stage_times();
+        assert!(first.propagation > Duration::ZERO, "propagation timed");
+        assert!(
+            first.classification > Duration::ZERO,
+            "classification timed"
+        );
+        assert!(first.total() > Duration::ZERO);
+        // Monotone across calls, and the per-call delta is exactly what
+        // `since` reports — the serving layer's batch-attribution
+        // contract.
+        se.infer_nodes(&split.test[..4], &InferenceConfig::distance(0.5, 1, 3));
+        let second = se.stage_times();
+        assert!(second.total() >= first.total());
+        assert_eq!(second.since(&first).total(), second.total() - first.total());
+        // Cumulative like MACs: reset_stats clears latencies, not this.
+        se.reset_stats();
+        assert_eq!(se.stage_times(), second);
     }
 }

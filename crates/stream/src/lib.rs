@@ -35,4 +35,4 @@ pub mod sync;
 pub use dynamic::DynamicGraph;
 pub use engine::{StreamPrediction, StreamingEngine};
 pub use stationary::IncrementalStationary;
-pub use stats::{LatencyStats, MacsBreakdown};
+pub use stats::{LatencyStats, MacsBreakdown, StageTimes};

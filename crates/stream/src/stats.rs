@@ -44,6 +44,51 @@ impl MacsBreakdown {
     }
 }
 
+/// Cumulative wall time split by engine pipeline stage — the time-axis
+/// twin of [`MacsBreakdown`], attributed at the same code sites inside
+/// `StreamingEngine::infer_nodes`.
+///
+/// The serving layer snapshots this before and after each coalesced
+/// engine call and takes [`StageTimes::since`] to attribute the call's
+/// wall time to the batch it processed, so `/metrics` can split
+/// end-to-end latency into propagation / NAP / classification spans.
+/// Cumulative like `macs_total()`: never reset by `reset_stats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Feature propagation: stationary rows, BFS support planning,
+    /// per-hop SpMM steps, frontier shrinking.
+    pub propagation: Duration,
+    /// NAP exit decisions: distance checks, gate forwards, Eq. (10)
+    /// bound evaluations.
+    pub nap: Duration,
+    /// Per-depth classifier forwards and exit gathers.
+    pub classification: Duration,
+}
+
+impl StageTimes {
+    /// Sum over all stages.
+    pub fn total(&self) -> Duration {
+        self.propagation + self.nap + self.classification
+    }
+
+    /// Accumulates another breakdown.
+    pub fn merge(&mut self, other: &StageTimes) {
+        self.propagation += other.propagation;
+        self.nap += other.nap;
+        self.classification += other.classification;
+    }
+
+    /// Stage-wise `self − earlier` (saturating): the time attributable
+    /// to whatever ran between two snapshots of a cumulative counter.
+    pub fn since(&self, earlier: &StageTimes) -> StageTimes {
+        StageTimes {
+            propagation: self.propagation.saturating_sub(earlier.propagation),
+            nap: self.nap.saturating_sub(earlier.nap),
+            classification: self.classification.saturating_sub(earlier.classification),
+        }
+    }
+}
+
 /// Lazily maintained sorted view of the samples; `stale` and `buf`
 /// share one lock so their coherence needs no cross-field reasoning.
 #[derive(Debug, Clone, Default)]
@@ -391,6 +436,36 @@ mod tests {
         assert!((s.mean_depth() - weighted as f64 / total as f64).abs() < 1e-12);
         // Clones carry the histogram.
         assert_eq!(s.clone().depth_histogram(), s.depth_histogram());
+    }
+
+    #[test]
+    fn stage_times_merge_and_since() {
+        let ms = Duration::from_millis;
+        let mut a = StageTimes {
+            propagation: ms(10),
+            nap: ms(2),
+            classification: ms(3),
+        };
+        assert_eq!(a.total(), ms(15));
+        let earlier = a;
+        a.merge(&StageTimes {
+            propagation: ms(5),
+            nap: ms(1),
+            classification: ms(0),
+        });
+        let delta = a.since(&earlier);
+        assert_eq!(
+            delta,
+            StageTimes {
+                propagation: ms(5),
+                nap: ms(1),
+                classification: ms(0),
+            }
+        );
+        // `since` against a newer snapshot saturates instead of
+        // panicking — a torn pair of reads must not take metrics down.
+        assert_eq!(earlier.since(&a).total(), Duration::ZERO);
+        assert_eq!(StageTimes::default().total(), Duration::ZERO);
     }
 
     #[test]
