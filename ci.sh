@@ -31,27 +31,29 @@ step "cargo test -q (tier-1)" \
 step "cargo clippy --all-targets (-D warnings)" \
   cargo clippy --all-targets --quiet -- -D warnings
 
-# Sync-hygiene lint wall: every file in crates/serve/src and
-# crates/obs/src must import its concurrency primitives through the
-# crate::sync facade (which swaps in the loom model checker under
-# --cfg nai_model). A direct std::sync / std::thread mention anywhere
-# else would silently escape the model tests' coverage. Allowlist: the
-# facades themselves.
-lint_sync() {
-  local hits
-  hits=$(grep -rn 'std::sync\|std::thread' crates/serve/src crates/obs/src \
-    --include='*.rs' \
-    | grep -v '^crates/serve/src/sync\.rs:' \
-    | grep -v '^crates/obs/src/sync\.rs:' || true)
-  if [ -n "$hits" ]; then
-    echo "direct std::sync / std::thread use outside the sync facade:"
-    echo "$hits"
+# Project lint wall (crates/lint): token-aware static analysis of the
+# workspace invariants — sync-facade hygiene (strict superset of the
+# old `lint_sync` grep: grouped/aliased imports are caught too, and
+# std::time::Instant is covered), atomic-ordering invariant comments,
+# lock-poisoning hygiene, hot-path panic bans, and unused manifest
+# deps. Suppressions require a stated reason; a reasonless allow is
+# itself a finding.
+step "nai lint --workspace (project invariants, token-aware)" \
+  ./target/release/nai lint --workspace
+
+# The linter must still be able to fail: the deliberately-bad fixture
+# crate trips every rule, so a rule that silently stops firing (or an
+# exit-code regression in the CLI) turns CI red here.
+lint_selftest() {
+  if ./target/release/nai lint crates/lint/tests/fixtures/bad-crate \
+    > /dev/null 2>&1; then
+    echo "lint accepted the deliberately-bad fixture crate"
     return 1
   fi
 }
 
-step "lint_sync (serve/obs crates import sync primitives via facade only)" \
-  lint_sync
+step "lint_selftest (bad fixture crate must produce findings + exit 1)" \
+  lint_selftest
 
 # Deterministic concurrency model check: rebuilds the serve/stream sync
 # facades against the in-tree loom model checker (--cfg nai_model, its

@@ -12,6 +12,11 @@ use std::collections::BTreeMap;
 pub struct ParsedArgs {
     /// First positional token (the subcommand).
     pub command: String,
+    /// Bare (non-`--flag`) tokens after the subcommand. Only commands
+    /// that opt in via [`Self::finish_with_positional`] accept these;
+    /// for everything else [`Self::finish`] rejects them, so a typoed
+    /// flag value still fails loudly.
+    pub positional: Vec<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -71,17 +76,25 @@ impl ParsedArgs {
             return Err(ArgError::MissingCommand);
         }
         let mut flags = BTreeMap::new();
+        let mut positional = Vec::new();
         while let Some(tok) = it.next() {
-            let key = tok
-                .strip_prefix("--")
-                .ok_or_else(|| ArgError::UnexpectedToken(tok.clone()))?;
+            let Some(key) = tok.strip_prefix("--") else {
+                // Bare tokens are collected here and rejected later by
+                // `finish` unless the command accepts positionals.
+                positional.push(tok.clone());
+                continue;
+            };
             let value = match it.peek() {
                 Some(next) if !next.starts_with("--") => it.next().unwrap().clone(),
                 _ => "true".to_string(),
             };
             flags.insert(key.to_string(), value);
         }
-        Ok(Self { command, flags })
+        Ok(Self {
+            command,
+            positional,
+            flags,
+        })
     }
 
     /// String flag with a default.
@@ -124,8 +137,22 @@ impl ParsedArgs {
     /// subcommand after reading everything.
     ///
     /// # Errors
-    /// [`ArgError::UnknownFlag`] on the first unexpected key.
+    /// [`ArgError::UnknownFlag`] on the first unexpected key, or
+    /// [`ArgError::UnexpectedToken`] if bare tokens were given (the
+    /// command takes no positionals).
     pub fn finish(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        if let Some(p) = self.positional.first() {
+            return Err(ArgError::UnexpectedToken(p.clone()));
+        }
+        self.finish_with_positional(allowed)
+    }
+
+    /// Like [`Self::finish`], but the command accepts bare positional
+    /// tokens (read from [`Self::positional`]).
+    ///
+    /// # Errors
+    /// [`ArgError::UnknownFlag`] on the first unexpected key.
+    pub fn finish_with_positional(&self, allowed: &[&str]) -> Result<(), ArgError> {
         for key in self.flags.keys() {
             if !allowed.contains(&key.as_str()) {
                 return Err(ArgError::UnknownFlag(key.clone()));
@@ -165,9 +192,19 @@ mod tests {
     }
 
     #[test]
-    fn bare_value_is_unexpected() {
-        let err = ParsedArgs::parse(&args(&["train", "k", "5"])).unwrap_err();
-        assert_eq!(err, ArgError::UnexpectedToken("k".to_string()));
+    fn bare_value_is_unexpected_unless_opted_in() {
+        // Parse collects bare tokens; `finish` rejects them so commands
+        // without positionals still fail loudly on typos.
+        let p = ParsedArgs::parse(&args(&["train", "k", "5"])).unwrap();
+        assert_eq!(
+            p.finish(&["k"]).unwrap_err(),
+            ArgError::UnexpectedToken("k".to_string())
+        );
+        // A command that opts in sees them in order.
+        let p = ParsedArgs::parse(&args(&["lint", "a/b.rs", "c", "--workspace"])).unwrap();
+        p.finish_with_positional(&["workspace"]).unwrap();
+        assert_eq!(p.positional, ["a/b.rs", "c"]);
+        assert!(p.get_bool("workspace"));
     }
 
     #[test]

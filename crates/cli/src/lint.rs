@@ -1,0 +1,60 @@
+//! `nai lint` — run the workspace's token-aware static analysis pass.
+
+use crate::args::ParsedArgs;
+use crate::commands::{CliError, CliResult};
+use nai_lint::{find_workspace_root, lint_paths, lint_workspace, LintReport};
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Runs `nai lint [--workspace] [PATHS]`.
+///
+/// `--workspace` lints every member crate of the enclosing workspace
+/// (found by walking up from the current directory); bare `PATHS` lint
+/// specific files, directories, or crate roots. Paths must precede
+/// flags. Exits nonzero when any finding survives suppression.
+pub fn lint(args: &ParsedArgs) -> CliResult {
+    args.finish_with_positional(&["workspace"])?;
+    let t0 = Instant::now();
+    let report = run(args)?;
+    for d in &report.diags {
+        println!("{d}");
+    }
+    let secs = t0.elapsed().as_secs_f64();
+    if report.diags.is_empty() {
+        println!("nai lint: clean ({} files, {:.2}s)", report.files, secs);
+        Ok(())
+    } else {
+        println!(
+            "nai lint: {} finding(s) in {} files ({:.2}s)",
+            report.diags.len(),
+            report.files,
+            secs
+        );
+        Err(CliError::Other(format!(
+            "{} lint finding(s)",
+            report.diags.len()
+        )))
+    }
+}
+
+fn run(args: &ParsedArgs) -> Result<LintReport, CliError> {
+    if args.get_bool("workspace") {
+        let cwd = std::env::current_dir()
+            .map_err(|e| CliError::Other(format!("cannot read current directory: {e}")))?;
+        let root = find_workspace_root(&cwd).ok_or_else(|| {
+            CliError::Other(
+                "no enclosing Cargo workspace found (run from inside the repo or pass PATHS)"
+                    .to_string(),
+            )
+        })?;
+        return lint_workspace(&root).map_err(|e| CliError::Other(format!("lint failed: {e}")));
+    }
+    if args.positional.is_empty() {
+        return Err(CliError::Other(
+            "nothing to lint: pass --workspace or one or more PATHS (paths go before flags)"
+                .to_string(),
+        ));
+    }
+    let paths: Vec<PathBuf> = args.positional.iter().map(PathBuf::from).collect();
+    lint_paths(&paths).map_err(|e| CliError::Other(format!("lint failed: {e}")))
+}

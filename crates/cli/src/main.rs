@@ -14,6 +14,7 @@
 mod args;
 mod bench;
 mod commands;
+mod lint;
 
 use args::ParsedArgs;
 use commands::CliError;
@@ -59,6 +60,10 @@ COMMANDS:
              --k N, --epochs N, --hidden N, --nap ..., --seed N,
              --queue-cap N, --max-batch N, --max-wait-ms F,
              --shed-at F, --shed-tmax N, --cache, --cache-cap N
+  lint       Token-aware static analysis of the project invariants
+             --workspace (lint every member crate of the enclosing
+             workspace), or bare PATHS (files, directories, or crate
+             roots; paths go before flags). Nonzero exit on findings.
 
 Data flags: either --dataset NAME --scale SCALE (generated proxy) or
 --graph PATH --split PATH (files from `nai generate`).
@@ -82,6 +87,7 @@ fn main() {
         "serve" => commands::serve(&parsed),
         "loadgen" => commands::loadgen(&parsed),
         "bench" => bench::bench(&parsed),
+        "lint" => lint::lint(&parsed),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())

@@ -163,6 +163,8 @@ impl ModelCheckpoint {
     /// [`NaiEngine::new`]).
     pub fn from_engine(engine: &NaiEngine, gamma: f32) -> Self {
         let classifiers = engine.classifiers();
+        // nai-lint: allow(hot-path-panic) -- NaiEngine::new rejects k = 0, so
+        // a constructed engine always has ≥1 classifier (documented # Panics).
         let first = classifiers.first().expect("engine has classifiers");
         let layers = first.mlp.layers();
         let hidden: Vec<usize> = layers[..layers.len() - 1]

@@ -266,6 +266,8 @@ pub fn multi_scale(
                 }
                 scorer.zero_grads();
                 let d_y_from_score = scorer.backward(&col);
+                // nai-lint: allow(hot-path-panic) -- both matrices are n×c
+                // softmax outputs of the same batch; dims match by construction.
                 d_soft[e].add_assign(&d_y_from_score).expect("shapes");
                 scorer.apply_grads(adam);
             }
@@ -279,6 +281,8 @@ pub fn multi_scale(
                 let (lc, mut dz) = softmax_cross_entropy(&logits[l - 1], &yb);
                 let (le, dkd) = distillation_loss(&logits[l - 1], &ensemble_detached, t);
                 dz.scale(1.0 - lambda);
+                // nai-lint: allow(hot-path-panic) -- dz and dkd are gradients
+                // of the same n×c logits; dims match by construction.
                 dz.axpy(lambda * t * t, &dkd).expect("shapes");
                 // Ensemble-membership gradient from L_t (softmax backward
                 // of ỹ^(l) w.r.t. z^(l)).

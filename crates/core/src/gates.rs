@@ -138,6 +138,8 @@ impl GateSet {
     }
 
     fn gate_input(x_l: &DenseMatrix, x_hat: &DenseMatrix) -> DenseMatrix {
+        // nai-lint: allow(hot-path-panic) -- callers pass row-aligned slices
+        // of the same depth-feature table; hconcat can only see equal row counts.
         x_l.hconcat(x_hat).expect("aligned gate inputs")
     }
 
@@ -263,6 +265,8 @@ impl GateSet {
                 let rows: Vec<usize> = chunk.iter().map(|&p| train_idx[p] as usize).collect();
                 let feats = gather_depth_feats(depth_feats, self.k + 1, &rows);
                 let yb: Vec<u32> = rows.iter().map(|&r| labels[r]).collect();
+                // nai-lint: allow(hot-path-panic) -- rows come from train_idx,
+                // which the caller validated against the stationary matrix.
                 let x_inf = stationary.gather_rows(&rows).expect("stationary rows");
                 let (loss, depth) =
                     self.train_batch(&feats, &x_inf, classifiers, &yb, cfg, &mut rng);

@@ -180,6 +180,8 @@ impl NaiEngine {
         head: &dyn Fn(usize, &[DenseMatrix]) -> DenseMatrix,
         head_macs: &dyn Fn(usize) -> u64,
     ) -> InferenceResult {
+        // nai-lint: allow(hot-path-panic) -- deliberate precondition assert
+        // (documented # Panics): a bad config must abort before inference.
         cfg.validate(self.k()).expect("invalid inference config");
         if matches!(cfg.nap, NapMode::Gate) {
             assert!(
@@ -256,6 +258,8 @@ impl NaiEngine {
         num_threads: usize,
     ) -> InferenceResult {
         assert!(num_threads >= 1, "need at least one thread");
+        // nai-lint: allow(hot-path-panic) -- deliberate precondition assert
+        // (documented # Panics): a bad config must abort before inference.
         cfg.validate(self.k()).expect("invalid inference config");
         if matches!(cfg.nap, NapMode::Gate) {
             assert!(
@@ -332,6 +336,8 @@ impl NaiEngine {
             }
             handles
                 .into_iter()
+                // nai-lint: allow(hot-path-panic) -- join propagates a worker
+                // panic to the caller; swallowing it would return truncated rows.
                 .map(|h| h.join().expect("worker"))
                 .collect()
         });
@@ -581,6 +587,8 @@ impl NaiEngine {
                         macs.nap += scratch.active.len() as u64 * napd::macs_per_node(f);
                     }
                     NapMode::Gate => {
+                        // nai-lint: allow(hot-path-panic) -- Gate mode asserts
+                        // gates.is_some() at function entry; unreachable here.
                         let gates = self.gates.as_ref().expect("validated above");
                         if l < gates.k() {
                             let (h_next, x_inf) = (&scratch.h_next, &scratch.x_inf);
@@ -613,6 +621,8 @@ impl NaiEngine {
                 // gathering only their rows from the history.
                 let exit_feats: Vec<DenseMatrix> = scratch.history[..=l]
                     .iter()
+                    // nai-lint: allow(hot-path-panic) -- `exited` is a subset of
+                    // the active set, which indexes these same history matrices.
                     .map(|m| m.gather_rows(exited).expect("exit rows"))
                     .collect();
                 let logits = head(l, &exit_feats);

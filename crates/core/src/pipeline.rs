@@ -73,6 +73,8 @@ impl NaiPipeline {
     pub fn train(&self, graph: &Graph, split: &InductiveSplit, train_gates: bool) -> TrainedNai {
         let cfg = &self.cfg;
         assert!(cfg.k >= 1, "k must be at least 1");
+        // nai-lint: allow(hot-path-panic) -- deliberate precondition assert
+        // (documented # Panics): training on a malformed split must abort.
         let view = build_training_view(graph, split).expect("valid split");
         let f = graph.feature_dim();
         let c = graph.num_classes;

@@ -1,0 +1,36 @@
+//! Diagnostics: what a rule reports and how it is rendered.
+
+use std::fmt;
+
+/// One finding: a rule fired at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Path as reported (workspace-relative when linting a workspace).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Stable rule identifier, e.g. `sync-facade`.
+    pub rule: &'static str,
+    /// Human-readable explanation, one line.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{} [{}] {}",
+            self.path, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Sorts diagnostics into stable reporting order: by path, then
+/// position, then rule id.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}

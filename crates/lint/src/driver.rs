@@ -1,0 +1,255 @@
+//! File discovery and crate resolution: turns a workspace or a set of
+//! paths into [`FileSpec`]s, runs the file rules, and runs the
+//! per-crate `unused-dep` rule.
+
+use crate::diag::{self, Diagnostic};
+use crate::lexer::{lex, TokenKind};
+use crate::manifest;
+use crate::rules::{lint_file, FileSpec, FACADE_CRATES};
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Result of a lint run.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, in stable order.
+    pub diags: Vec<Diagnostic>,
+    /// Number of files scanned (`.rs` sources plus manifests).
+    pub files: usize,
+}
+
+/// Walks up from `start` to the nearest directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(src) = std::fs::read_to_string(&manifest) {
+            if src.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Member crate directories of the workspace rooted at `root`: the
+/// `members = […]` list from the root manifest, plus the root package
+/// itself when the root manifest has a `[package]` section.
+fn member_dirs(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let src = std::fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut dirs = Vec::new();
+    if src.lines().any(|l| l.trim() == "[package]") {
+        dirs.push(root.to_path_buf());
+    }
+    let mut in_members = false;
+    for line in src.lines() {
+        let t = line.trim();
+        if t.starts_with("members") && t.contains('[') {
+            in_members = true;
+        }
+        if in_members {
+            let mut rest = t;
+            while let Some(open) = rest.find('"') {
+                let Some(close) = rest[open + 1..].find('"') else {
+                    break;
+                };
+                let member = &rest[open + 1..open + 1 + close];
+                if member != "." {
+                    dirs.push(root.join(member));
+                }
+                rest = &rest[open + 2 + close..];
+            }
+            if t.contains(']') {
+                break;
+            }
+        }
+    }
+    Ok(dirs)
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for
+/// deterministic reports. Directories named `target` are always
+/// skipped; directories named `fixtures` are skipped unless
+/// `into_fixtures` (set when the caller explicitly pointed inside
+/// one — lint fixtures are deliberately violation-laden and must not
+/// fail a workspace-wide run).
+fn walk_rs(dir: &Path, into_fixtures: bool, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut entries: Vec<_> = entries.flatten().map(|e| e.path()).collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            if name == "target" || name == ".git" || (name == "fixtures" && !into_fixtures) {
+                continue;
+            }
+            walk_rs(&path, into_fixtures, out);
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The `.rs` files belonging to one crate: `src/`, `tests/`,
+/// `benches/`, `examples/`, plus root-level files like `build.rs`.
+/// Constrained to those subtrees so the workspace-root package does
+/// not swallow `crates/`.
+fn crate_files(crate_dir: &Path, into_fixtures: bool) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for sub in ["src", "tests", "benches", "examples"] {
+        walk_rs(&crate_dir.join(sub), into_fixtures, &mut files);
+    }
+    let Ok(entries) = std::fs::read_dir(crate_dir) else {
+        return files;
+    };
+    let mut top: Vec<_> = entries
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.is_file() && p.extension().and_then(|e| e.to_str()) == Some("rs"))
+        .collect();
+    top.sort();
+    files.extend(top);
+    files
+}
+
+fn display_path(path: &Path, base: Option<&Path>) -> String {
+    let shown = base.and_then(|b| path.strip_prefix(b).ok()).unwrap_or(path);
+    shown.to_string_lossy().replace('\\', "/")
+}
+
+/// Builds the [`FileSpec`] for `file` inside the crate at `crate_dir`
+/// named `crate_name`.
+fn spec_for(
+    file: &Path,
+    crate_dir: &Path,
+    crate_name: Option<&str>,
+    base: Option<&Path>,
+) -> FileSpec {
+    let rel = file.strip_prefix(crate_dir).unwrap_or(file);
+    let rel_str = rel.to_string_lossy().replace('\\', "/");
+    let in_src = rel_str.starts_with("src/");
+    FileSpec {
+        display_path: display_path(file, base),
+        crate_name: crate_name.map(str::to_string),
+        in_src,
+        is_sync_facade: rel_str == "src/sync.rs"
+            && crate_name.is_some_and(|n| FACADE_CRATES.contains(&n)),
+    }
+}
+
+fn collect_idents(src: &str, idents: &mut BTreeSet<String>) {
+    for t in lex(src) {
+        if t.kind == TokenKind::Ident {
+            idents.insert(t.text);
+        }
+    }
+}
+
+/// Lints one whole crate (file rules on every source, `unused-dep` on
+/// the manifest).
+fn lint_crate(
+    crate_dir: &Path,
+    base: Option<&Path>,
+    into_fixtures: bool,
+    report: &mut LintReport,
+) -> io::Result<()> {
+    let manifest_path = crate_dir.join("Cargo.toml");
+    let manifest_src = std::fs::read_to_string(&manifest_path)?;
+    let m = manifest::parse(&manifest_src);
+    let crate_name = m.package_name.clone();
+    let mut idents = BTreeSet::new();
+    for file in crate_files(crate_dir, into_fixtures) {
+        let src = std::fs::read_to_string(&file)?;
+        let spec = spec_for(&file, crate_dir, crate_name.as_deref(), base);
+        report.diags.extend(lint_file(&spec, &src));
+        collect_idents(&src, &mut idents);
+        report.files += 1;
+    }
+    report.diags.extend(manifest::unused_deps(
+        &display_path(&manifest_path, base),
+        &m,
+        &idents,
+    ));
+    report.files += 1;
+    Ok(())
+}
+
+/// Lints every member crate of the workspace at `root`. This is what
+/// `nai lint --workspace` and the self-lint test run; it must exit
+/// clean on the committed tree.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for dir in member_dirs(root)? {
+        lint_crate(&dir, Some(root), false, &mut report)?;
+    }
+    diag::sort(&mut report.diags);
+    Ok(report)
+}
+
+/// Nearest ancestor directory of `file` holding a `Cargo.toml`, with
+/// the package name parsed out of it.
+fn owning_crate(file: &Path) -> Option<(PathBuf, Option<String>)> {
+    for dir in file.ancestors().skip(1) {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let name = std::fs::read_to_string(&manifest)
+                .ok()
+                .and_then(|s| manifest::parse(&s).package_name);
+            return Some((dir.to_path_buf(), name));
+        }
+    }
+    None
+}
+
+fn path_has_fixtures(p: &Path) -> bool {
+    p.components()
+        .any(|c| c.as_os_str().to_string_lossy() == "fixtures")
+}
+
+/// Lints an explicit set of paths. A directory with a `Cargo.toml` is
+/// linted as a crate (including `unused-dep`); other directories are
+/// walked for `.rs` files; single files are linted with their owning
+/// crate inferred from the nearest ancestor manifest.
+pub fn lint_paths(paths: &[PathBuf]) -> io::Result<LintReport> {
+    let mut report = LintReport::default();
+    for path in paths {
+        let into_fixtures = path_has_fixtures(path);
+        if path.is_dir() && path.join("Cargo.toml").is_file() {
+            lint_crate(path, None, into_fixtures, &mut report)?;
+        } else if path.is_dir() {
+            let mut files = Vec::new();
+            walk_rs(path, into_fixtures, &mut files);
+            for file in files {
+                lint_one(&file, &mut report)?;
+            }
+        } else if path.is_file() {
+            lint_one(path, &mut report)?;
+        } else {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file or directory: {}", path.display()),
+            ));
+        }
+    }
+    diag::sort(&mut report.diags);
+    Ok(report)
+}
+
+fn lint_one(file: &Path, report: &mut LintReport) -> io::Result<()> {
+    let src = std::fs::read_to_string(file)?;
+    let spec = match owning_crate(file) {
+        Some((crate_dir, name)) => spec_for(file, &crate_dir, name.as_deref(), None),
+        None => FileSpec {
+            display_path: display_path(file, None),
+            ..FileSpec::default()
+        },
+    };
+    report.diags.extend(lint_file(&spec, &src));
+    report.files += 1;
+    Ok(())
+}

@@ -1,0 +1,562 @@
+//! A small hand-written Rust lexer.
+//!
+//! The rules in this crate need to know whether `std::sync` appears in
+//! *code* — not in a string literal, a doc example, or a comment — and
+//! where comments sit relative to code lines. That takes a real token
+//! stream, not line regexes. The lexer handles the parts of Rust's
+//! lexical grammar that make regexes wrong: raw strings with arbitrary
+//! hash fences, byte and raw-byte strings, nested block comments,
+//! lifetimes vs. char literals, raw identifiers, and doc comments.
+//!
+//! It is deliberately lossless about position (1-based line/column,
+//! plus the end line of multi-line tokens) and deliberately lossy about
+//! everything the rules do not need: numeric literal values, operator
+//! composition (only `::` is fused), and attribute structure are left
+//! to the rule layer.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (raw identifiers `r#type` yield `type`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (no trailing quote).
+    Lifetime,
+    /// A char or byte-char literal: `'a'`, `'\n'`, `b'x'`.
+    CharLit,
+    /// Any string literal: `"…"`, `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    StrLit,
+    /// A numeric literal (integer or float, any base, with suffix).
+    NumLit,
+    /// `// …` comment. `doc` is true for `///` and `//!` forms.
+    LineComment {
+        /// Whether this is a doc comment (`///` or `//!`).
+        doc: bool,
+    },
+    /// `/* … */` comment (nesting-aware). `doc` covers `/**` and `/*!`.
+    BlockComment {
+        /// Whether this is a doc comment (`/**` or `/*!`).
+        doc: bool,
+    },
+    /// A punctuation token. Single characters, except `::` which is
+    /// fused because every path-aware rule keys on it.
+    Punct,
+}
+
+/// One lexed token with its source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Raw source text of the token. For raw identifiers the `r#`
+    /// prefix is stripped so rules compare plain names.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+    /// 1-based line of the token's last character. Differs from `line`
+    /// only for multi-line tokens (block comments, multi-line strings).
+    pub end_line: u32,
+}
+
+impl Token {
+    /// Whether this token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(
+            self.kind,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )
+    }
+
+    /// Whether this token is an identifier with exactly this text.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == s
+    }
+
+    /// Whether this token is punctuation with exactly this text.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokenKind::Punct && self.text == s
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+/// Lexes `src` into a token stream. Never fails: malformed input
+/// (unterminated strings or comments) is consumed to end of file as the
+/// token it started — the rules run on best effort, the compiler owns
+/// rejection.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let start = cur.i;
+        let kind = if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if is_ident_start(c) {
+            lex_ident_or_prefixed(&mut cur)
+        } else if c == '\'' {
+            lex_lifetime_or_char(&mut cur)
+        } else if c == '"' {
+            lex_string(&mut cur);
+            TokenKind::StrLit
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else {
+            if c == ':' && cur.peek(1) == Some(':') {
+                cur.bump();
+            }
+            cur.bump();
+            TokenKind::Punct
+        };
+        let mut text: String = cur.chars[start..cur.i].iter().collect();
+        if kind == TokenKind::Ident && text.starts_with("r#") {
+            text = text[2..].to_string();
+        }
+        out.push(Token {
+            kind,
+            text,
+            line,
+            col,
+            end_line: cur.line - u32::from(cur.col == 1),
+        });
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> TokenKind {
+    // Consume `//`, classify on the third char, stop before the newline.
+    cur.bump();
+    cur.bump();
+    let doc = matches!(cur.peek(0), Some('/' | '!'));
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        cur.bump();
+    }
+    TokenKind::LineComment { doc }
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> TokenKind {
+    cur.bump();
+    cur.bump();
+    let doc = matches!(cur.peek(0), Some('*' | '!'))
+        // `/**/` is an empty plain comment, not a doc comment.
+        && !(cur.peek(0) == Some('*') && cur.peek(1) == Some('/'));
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (cur.peek(0), cur.peek(1)) {
+            (Some('/'), Some('*')) => {
+                depth += 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some('*'), Some('/')) => {
+                depth -= 1;
+                cur.bump();
+                cur.bump();
+            }
+            (Some(_), _) => {
+                cur.bump();
+            }
+            (None, _) => break,
+        }
+    }
+    TokenKind::BlockComment { doc }
+}
+
+/// Identifier, or one of the literal forms that *start* like an
+/// identifier: `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'…'`, `br#"…"#`.
+fn lex_ident_or_prefixed(cur: &mut Cursor) -> TokenKind {
+    let c = cur.peek(0).unwrap_or(' ');
+    let n1 = cur.peek(1);
+    if c == 'r' {
+        match n1 {
+            Some('"') => {
+                cur.bump();
+                lex_raw_string(cur);
+                return TokenKind::StrLit;
+            }
+            Some('#') => {
+                // Count the fence: hashes then `"` is a raw string;
+                // hashes then an identifier char is a raw identifier.
+                let mut k = 1;
+                while cur.peek(k) == Some('#') {
+                    k += 1;
+                }
+                if cur.peek(k) == Some('"') {
+                    cur.bump();
+                    lex_raw_string(cur);
+                    return TokenKind::StrLit;
+                }
+                if k == 1 && cur.peek(1) == Some('#') && cur.peek(2).is_some_and(is_ident_start) {
+                    cur.bump();
+                    cur.bump();
+                    while cur.peek(0).is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    return TokenKind::Ident;
+                }
+            }
+            _ => {}
+        }
+    }
+    if c == 'b' {
+        match n1 {
+            Some('"') => {
+                cur.bump();
+                lex_string(cur);
+                return TokenKind::StrLit;
+            }
+            Some('\'') => {
+                cur.bump();
+                lex_char_body(cur);
+                return TokenKind::CharLit;
+            }
+            Some('r') if matches!(cur.peek(2), Some('"' | '#')) => {
+                cur.bump();
+                cur.bump();
+                lex_raw_string(cur);
+                return TokenKind::StrLit;
+            }
+            _ => {}
+        }
+    }
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    TokenKind::Ident
+}
+
+/// At a `"`-or-`#` position: `#* " … " #*` with a matching fence.
+fn lex_raw_string(cur: &mut Cursor) {
+    let mut fence = 0usize;
+    while cur.peek(0) == Some('#') {
+        fence += 1;
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            None => return,
+            Some('"') => {
+                let mut seen = 0usize;
+                while seen < fence && cur.peek(0) == Some('#') {
+                    seen += 1;
+                    cur.bump();
+                }
+                if seen == fence {
+                    return;
+                }
+            }
+            Some(_) => {}
+        }
+    }
+}
+
+/// At the opening `"` of a cooked string: consume through the closing
+/// quote, honoring `\"` and `\\` escapes. Newlines are legal inside.
+fn lex_string(cur: &mut Cursor) {
+    cur.bump();
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '"' => return,
+            _ => {}
+        }
+    }
+}
+
+/// At the opening `'`: decide lifetime vs. char literal.
+///
+/// `'a` (no closing quote after one identifier) is a lifetime; `'a'` is
+/// a char; `'\n'` is a char; `'static` is a lifetime. The decision
+/// needs two characters of lookahead past the identifier, which is why
+/// regexes get this wrong.
+fn lex_lifetime_or_char(cur: &mut Cursor) -> TokenKind {
+    match cur.peek(1) {
+        Some('\\') => {
+            lex_char_body(cur);
+            TokenKind::CharLit
+        }
+        Some(c) if is_ident_start(c) => {
+            // Scan the identifier run; a closing quote right after it
+            // means char literal, anything else means lifetime.
+            let mut k = 2;
+            while cur.peek(k).is_some_and(is_ident_continue) {
+                k += 1;
+            }
+            if cur.peek(k) == Some('\'') {
+                lex_char_body(cur);
+                TokenKind::CharLit
+            } else {
+                cur.bump();
+                while cur.peek(0).is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                TokenKind::Lifetime
+            }
+        }
+        _ => {
+            // `'('`, `' '`, `'0'` — single non-identifier char.
+            lex_char_body(cur);
+            TokenKind::CharLit
+        }
+    }
+}
+
+/// After the opening `'` of a char literal: consume the body and the
+/// closing quote, honoring escapes.
+fn lex_char_body(cur: &mut Cursor) {
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        match c {
+            '\\' => {
+                cur.bump();
+            }
+            '\'' => return,
+            _ => {}
+        }
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> TokenKind {
+    // Prefix radix consumes alphanumerics wholesale (hex digits, the
+    // radix letter itself, and any suffix all fall in this class).
+    if cur.peek(0) == Some('0') && matches!(cur.peek(1), Some('x' | 'o' | 'b' | 'X' | 'O' | 'B')) {
+        cur.bump();
+        cur.bump();
+        while cur.peek(0).is_some_and(is_ident_continue) {
+            cur.bump();
+        }
+        return TokenKind::NumLit;
+    }
+    while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+        cur.bump();
+    }
+    // A fractional part only if the dot is followed by a digit — this
+    // keeps `0..10` (range) and `1.max(2)` (method call) out of it.
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        cur.bump();
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            cur.bump();
+        }
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e' | 'E'))
+        && (cur.peek(1).is_some_and(|c| c.is_ascii_digit())
+            || (matches!(cur.peek(1), Some('+' | '-'))
+                && cur.peek(2).is_some_and(|c| c.is_ascii_digit())))
+    {
+        cur.bump();
+        if matches!(cur.peek(0), Some('+' | '-')) {
+            cur.bump();
+        }
+        while cur.peek(0).is_some_and(|c| c.is_ascii_digit() || c == '_') {
+            cur.bump();
+        }
+    }
+    // Type suffix (`u32`, `f64`, …).
+    while cur.peek(0).is_some_and(is_ident_continue) {
+        cur.bump();
+    }
+    TokenKind::NumLit
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_paths_and_punct() {
+        let ts = kinds("use std::sync::Mutex;");
+        let texts: Vec<&str> = ts.iter().map(|(_, s)| s.as_str()).collect();
+        assert_eq!(texts, ["use", "std", "::", "sync", "::", "Mutex", ";"]);
+        assert_eq!(ts[2].0, TokenKind::Punct);
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        // A raw string containing what looks like code, comments, and
+        // an unmatched quote — all one StrLit token.
+        let src = r###"let s = r#"std::sync " /* not a comment */"#; x"###;
+        let ts = kinds(src);
+        let lits: Vec<_> = ts.iter().filter(|(k, _)| *k == TokenKind::StrLit).collect();
+        assert_eq!(lits.len(), 1);
+        assert!(lits[0].1.contains("std::sync"));
+        // The trailing `x` is still seen as code.
+        assert!(ts.iter().any(|(k, s)| *k == TokenKind::Ident && s == "x"));
+        // And no comment token was fabricated from the contents.
+        assert!(!ts
+            .iter()
+            .any(|(k, _)| matches!(k, TokenKind::BlockComment { .. })));
+    }
+
+    #[test]
+    fn raw_string_fence_must_match() {
+        // Two hashes: a single `"#` inside does not terminate it.
+        let src = r####"r##"one "# still inside"## done"####;
+        let ts = kinds(src);
+        assert_eq!(ts[0].0, TokenKind::StrLit);
+        assert!(ts[0].1.contains("still inside"));
+        assert!(ts
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "done"));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let ts = kinds(r##"b"bytes" br#"raw bytes"# b'x' after"##);
+        assert_eq!(ts[0].0, TokenKind::StrLit);
+        assert_eq!(ts[1].0, TokenKind::StrLit);
+        assert_eq!(ts[2].0, TokenKind::CharLit);
+        assert!(ts[3].1 == "after");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let ts = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts[0].1, "a");
+        assert!(matches!(ts[1].0, TokenKind::BlockComment { doc: false }));
+        assert!(ts[1].1.contains("still outer"));
+        assert_eq!(ts[2].1, "b");
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let ts = kinds("/// outer doc\n//! inner doc\n// plain\n/** block doc */\n/**/ x");
+        assert_eq!(ts[0].0, TokenKind::LineComment { doc: true });
+        assert_eq!(ts[1].0, TokenKind::LineComment { doc: true });
+        assert_eq!(ts[2].0, TokenKind::LineComment { doc: false });
+        assert_eq!(ts[3].0, TokenKind::BlockComment { doc: true });
+        // `/**/` is empty, not doc.
+        assert_eq!(ts[4].0, TokenKind::BlockComment { doc: false });
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; let s: &'static str; }");
+        let lifes: Vec<_> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        let chars: Vec<_> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifes, ["'a", "'a", "'static"]);
+        assert_eq!(chars, ["'a'", "'\\n'"]);
+    }
+
+    #[test]
+    fn char_escapes_and_quote_char() {
+        let ts = kinds(r"'\'' ';' '\\'");
+        assert!(ts
+            .iter()
+            .all(|(k, _)| matches!(k, TokenKind::CharLit | TokenKind::Punct)));
+        assert_eq!(
+            ts.iter().filter(|(k, _)| *k == TokenKind::CharLit).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_strip_prefix() {
+        let ts = kinds("let r#type = r#match;");
+        assert!(ts
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "type"));
+        assert!(ts
+            .iter()
+            .any(|(k, s)| *k == TokenKind::Ident && s == "match"));
+    }
+
+    #[test]
+    fn numbers_ranges_and_tuple_access() {
+        let ts = kinds("0..10 1.5e-3 0xFFu32 x.0 1_000");
+        let nums: Vec<_> = ts
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::NumLit)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5e-3", "0xFFu32", "0", "1_000"]);
+    }
+
+    #[test]
+    fn positions_and_multiline_spans() {
+        let ts = lex("a\n  /* two\nlines */ b");
+        assert_eq!((ts[0].line, ts[0].col), (1, 1));
+        assert_eq!((ts[1].line, ts[1].col), (2, 3));
+        assert_eq!(ts[1].end_line, 3);
+        assert_eq!((ts[2].line, ts[2].col), (3, 10));
+    }
+
+    #[test]
+    fn strings_hide_comment_markers_and_quotes() {
+        let ts = kinds(r#"let s = "// not a comment \" /* nor this */"; y"#);
+        assert!(!ts.iter().any(|(k, _)| matches!(
+            k,
+            TokenKind::LineComment { .. } | TokenKind::BlockComment { .. }
+        )));
+        assert!(ts.iter().any(|(k, s)| *k == TokenKind::Ident && s == "y"));
+    }
+
+    #[test]
+    fn unterminated_input_does_not_hang() {
+        for src in ["/* open", "\"open", "r#\"open", "'", "b'"] {
+            let _ = lex(src);
+        }
+    }
+}

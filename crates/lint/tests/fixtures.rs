@@ -1,0 +1,95 @@
+//! End-to-end rule coverage against the deliberately-bad fixture crate:
+//! every rule must fire at a known site, the reasoned allow must
+//! silence exactly its site, and the grouped-import line must prove the
+//! linter a strict superset of the retired `lint_sync` grep.
+
+use nai_lint::{lint_paths, Diagnostic};
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bad-crate")
+}
+
+fn fixture_diags() -> Vec<Diagnostic> {
+    lint_paths(&[fixture_dir()]).expect("fixture lints").diags
+}
+
+/// `(rule, line)` pairs on the fixture's `lib.rs`.
+fn lib_sites(diags: &[Diagnostic]) -> Vec<(&str, u32)> {
+    diags
+        .iter()
+        .filter(|d| d.path.ends_with("lib.rs"))
+        .map(|d| (d.rule, d.line))
+        .collect()
+}
+
+#[test]
+fn every_rule_fires_on_the_fixture() {
+    let diags = fixture_diags();
+    let sites = lib_sites(&diags);
+    // sync-facade: the plain `Instant` import, both arms of the grouped
+    // import, and the fully-written atomic import.
+    assert!(sites.contains(&("sync-facade", 10)), "{sites:?}");
+    assert_eq!(
+        sites.iter().filter(|s| *s == &("sync-facade", 11)).count(),
+        2,
+        "grouped import resolves to both std::sync and std::thread: {sites:?}"
+    );
+    assert!(sites.contains(&("sync-facade", 21)), "{sites:?}");
+    assert!(sites.contains(&("ordering-invariant", 24)), "{sites:?}");
+    assert!(sites.contains(&("lock-hygiene", 15)), "{sites:?}");
+    assert!(sites.contains(&("hot-path-panic", 15)), "{sites:?}");
+    assert!(sites.contains(&("hot-path-panic", 17)), "{sites:?}");
+    // unused-dep: `leftpad` is never referenced; `quietpad` carries a
+    // reasoned TOML allow and must not be reported.
+    let manifest: Vec<_> = diags
+        .iter()
+        .filter(|d| d.path.ends_with("Cargo.toml"))
+        .collect();
+    assert_eq!(manifest.len(), 1, "{manifest:?}");
+    assert_eq!(manifest[0].rule, "unused-dep");
+    assert!(manifest[0].message.contains("leftpad"), "{manifest:?}");
+}
+
+#[test]
+fn reasonless_allow_is_malformed_and_does_not_suppress() {
+    let diags = fixture_diags();
+    let sites = lib_sites(&diags);
+    assert!(sites.contains(&("malformed-allow", 27)), "{sites:?}");
+    // The unwrap it tried to cover is still reported…
+    assert!(sites.contains(&("hot-path-panic", 29)), "{sites:?}");
+    // …while the reasoned allow in `suppressed` silences its site.
+    assert!(
+        !sites.iter().any(|&(_, line)| line == 34),
+        "reasoned allow failed to suppress: {sites:?}"
+    );
+}
+
+/// The tentpole superset claim, proven on the fixture: the retired
+/// `lint_sync` grep pattern (`std::sync\|std::thread` as literal
+/// substrings) does not match the grouped-import line, while the
+/// token-aware rule reports both trees on it.
+#[test]
+fn grouped_import_escapes_the_old_grep_but_not_the_linter() {
+    let src = std::fs::read_to_string(fixture_dir().join("src/lib.rs")).expect("fixture source");
+    let (idx, line) = src
+        .lines()
+        .enumerate()
+        .find(|(_, l)| l.contains("sync::Mutex"))
+        .expect("grouped import present");
+    assert!(
+        !line.contains("std::sync") && !line.contains("std::thread"),
+        "fixture line must not literal-match the old grep: {line}"
+    );
+    let grouped_line = idx as u32 + 1;
+    let diags = fixture_diags();
+    let sites = lib_sites(&diags);
+    assert_eq!(
+        sites
+            .iter()
+            .filter(|s| **s == ("sync-facade", grouped_line))
+            .count(),
+        2,
+        "{sites:?}"
+    );
+}

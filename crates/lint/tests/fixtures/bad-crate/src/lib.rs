@@ -1,0 +1,35 @@
+//! Deliberately-bad lint fixture: every rule must fire somewhere in
+//! this file. `tests/fixtures.rs` asserts the exact findings and the
+//! ci.sh `lint_selftest` step asserts the nonzero exit, so a rule that
+//! silently stops firing breaks CI.
+
+// The grouped form below is the case the retired `lint_sync` grep
+// missed: the literal substrings `std::sync` and `std::thread` never
+// appear, yet both trees are imported. tests/fixtures.rs proves the
+// strict-superset claim against this exact line.
+use std::time::Instant;
+use std::{sync::Mutex, thread};
+
+pub fn grouped(m: &Mutex<u32>) -> u32 {
+    let t = Instant::now();
+    let v = *m.lock().unwrap();
+    thread::yield_now();
+    println!("{v} {:?}", t.elapsed());
+    v
+}
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+pub fn uncommented_ordering(a: &AtomicU32) -> u32 {
+    a.load(Ordering::Relaxed)
+}
+
+// nai-lint: allow(hot-path-panic)
+pub fn reasonless(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn suppressed(x: Option<u32>) -> u32 {
+    // nai-lint: allow(hot-path-panic) -- fixture: a reasoned allow silences
+    x.unwrap()
+}

@@ -1,0 +1,23 @@
+//! The workspace must stay lint-clean: every violation is either fixed
+//! or carries a reasoned allow. Run `nai lint --workspace` for the
+//! file:line list when this fails.
+
+use std::path::PathBuf;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = nai_lint::lint_workspace(&root).expect("workspace lints");
+    assert!(
+        report.diags.is_empty(),
+        "workspace has {} lint finding(s):\n{}",
+        report.diags.len(),
+        report
+            .diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(report.files > 100, "walker saw {} files", report.files);
+}

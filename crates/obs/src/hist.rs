@@ -126,6 +126,8 @@ impl LogHistogram {
     /// Records one sample. Sum before bucket, both `Release` — see the
     /// module-level concurrency contract.
     pub fn record(&self, v: u64) {
+        // Release ×2, sum before bucket: a snapshot that observes the
+        // bucket increment also observes the sum it accounts for.
         self.sum.fetch_add(v, Ordering::Release);
         self.buckets[bucket_index(v)].fetch_add(1, Ordering::Release);
     }
@@ -137,8 +139,11 @@ impl LogHistogram {
         let counts: Vec<u64> = self
             .buckets
             .iter()
+            // Acquire, buckets before sum (mirror of record's order).
             .map(|b| b.load(Ordering::Acquire))
             .collect();
+        // Acquire: pairs with record's Release; sum ≥ what the
+        // observed buckets account for.
         let sum = self.sum.load(Ordering::Acquire);
         HistogramSnapshot { counts, sum }
     }

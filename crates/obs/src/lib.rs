@@ -21,9 +21,9 @@
 //!   `_count` series).
 //!
 //! All concurrency primitives are imported through [`sync`], the same
-//! facade pattern as `nai-serve`: ci.sh's `lint_sync` greps this
-//! crate's sources for direct use of the standard sync and thread
-//! modules outside the facade, and under
+//! facade pattern as `nai-serve`: the `sync-facade` rule of `nai lint`
+//! checks this crate's tokens for direct use of the standard sync and
+//! thread modules outside the facade, and under
 //! `--cfg nai_model` the facade swaps in the workspace's loom model
 //! checker so `tests/model.rs` can exhaustively verify the histogram's
 //! record/snapshot protocol and the recorder's capacity invariant.

@@ -2,8 +2,9 @@
 //! `std::sync` or `std::thread`.
 //!
 //! Every other file in this crate imports its concurrency primitives
-//! from here (`crate::sync::…`), never from `std` directly — ci.sh's
-//! `lint_sync` step greps for violations, exactly as it does for
+//! from here (`crate::sync::…`), never from `std` directly — the
+//! `sync-facade` rule of `nai lint` (crates/lint) enforces this at the
+//! token level, exactly as it does for
 //! `crates/serve/src`. Normal builds re-export the `std` types
 //! unchanged, so the facade costs nothing. Under `--cfg nai_model`
 //! (ci.sh `model_check`) the same names resolve to the workspace's

@@ -69,9 +69,9 @@ impl AdmissionLedger {
     /// loop (not a blind `fetch_add`) is what keeps `in_flight ≤ cap`
     /// an invariant rather than an eventual correction.
     pub fn try_admit(&self) -> bool {
-        // AcqRel: admission is the sync point the shed policy and
-        // queue-depth probes hang off.
         self.in_flight
+            // AcqRel success / Acquire failure: admission is the sync
+            // point the shed policy and queue-depth probes hang off.
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| {
                 (c < self.cap).then_some(c + 1)
             })
@@ -80,6 +80,8 @@ impl AdmissionLedger {
 
     /// Requests currently queued or being served.
     pub fn in_flight(&self) -> usize {
+        // Acquire: pairs with the AcqRel admit/release updates, so a
+        // probe never reads a count older than a completed release.
         self.in_flight.load(Ordering::Acquire)
     }
 
@@ -93,6 +95,8 @@ impl AdmissionLedger {
         }
         let under = self
             .in_flight
+            // AcqRel success / Acquire failure: a release must be
+            // visible to the next try_admit that reuses the slot.
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |c| c.checked_sub(n))
             .is_err();
         debug_assert!(!under, "admission slot double-free: release({n})");
@@ -139,11 +143,13 @@ impl AdmissionLedger {
     /// Acquire in [`Self::is_dead`] so reaping observes everything the
     /// worker did before dying.
     pub fn mark_dead(&self, w: usize) {
+        // Release: pairs with is_dead's Acquire (see doc comment).
         self.dead[w].store(true, Ordering::Release);
     }
 
     /// Whether worker `w` has raised its dead flag.
     pub fn is_dead(&self, w: usize) -> bool {
+        // Acquire: reaping observes everything the worker did first.
         self.dead[w].load(Ordering::Acquire)
     }
 }

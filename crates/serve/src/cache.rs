@@ -139,6 +139,8 @@ impl PredictionCache {
             .iter()
             .map(|&node| {
                 self.tick += 1;
+                // nai-lint: allow(hot-path-panic) -- the all-hit check above
+                // proved every node present, and `&mut self` bars eviction between.
                 let e = self.map.get_mut(&node).expect("presence checked above");
                 // An entry is inserted at the then-current sequence
                 // point and only *survives* advances (invalidation runs
@@ -190,6 +192,8 @@ impl PredictionCache {
                 .iter()
                 .min_by_key(|(_, e)| e.tick)
                 .map(|(&n, _)| n)
+                // nai-lint: allow(hot-path-panic) -- this branch runs only
+                // when len ≥ cap, and cap ≥ 1, so the map is non-empty.
                 .expect("non-empty at cap");
             self.map.remove(&oldest);
             self.counters.evicted += 1;
@@ -463,6 +467,8 @@ mod tests {
         let vc = VersionedCache::new(4);
         vc.insert_batch(0, [(1u32, 2usize, 1usize)]);
         let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // nai-lint: allow(lock-hygiene) -- this test poisons the lock on
+            // purpose; lock_recover here would defeat the setup.
             let _g = vc.inner.lock().unwrap();
             panic!("die holding the cache lock");
         }));

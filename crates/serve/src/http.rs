@@ -78,6 +78,7 @@ impl ConnGate {
     /// AcqRel swap in [`Self::request_stop`], so a connection accepted
     /// after the observing load sees everything the stopper did first.
     pub fn stopping(&self) -> bool {
+        // Acquire: pairs with request_stop's AcqRel swap (see doc).
         self.stop.load(Ordering::Acquire)
     }
 
@@ -85,6 +86,8 @@ impl ConnGate {
     /// (the swap makes concurrent stop requests race-free: exactly one
     /// caller performs the accept-loop unblocking side effect).
     pub fn request_stop(&self) -> bool {
+        // AcqRel: exactly one winner, and the winner's prior writes
+        // are visible to every later stopping() load.
         !self.stop.swap(true, Ordering::AcqRel)
     }
 
@@ -171,6 +174,8 @@ impl Server {
         let accept = thread::Builder::new()
             .name("nai-serve-accept".to_string())
             .spawn(move || accept_loop(listener, accept_state))
+            // nai-lint: allow(hot-path-panic) -- spawn fails only on OS
+            // resource exhaustion at startup, before any request is in flight.
             .expect("spawn accept thread");
         Ok(Server {
             state,

@@ -412,8 +412,8 @@ mod tests {
             t.wait(Duration::from_secs(5)),
             Err(crate::ServeError::Timeout)
         ));
-        let deadline = std::time::Instant::now() + Duration::from_secs(5);
-        while service.queue_depth() != 0 && std::time::Instant::now() < deadline {
+        let deadline = crate::sync::time::Instant::now() + Duration::from_secs(5);
+        while service.queue_depth() != 0 && crate::sync::time::Instant::now() < deadline {
             crate::sync::thread::sleep(Duration::from_millis(5));
         }
         assert_eq!(service.queue_depth(), 0, "admission slot repaired");
@@ -463,7 +463,7 @@ mod tests {
                 shard: None,
             })
             .unwrap();
-        let start = std::time::Instant::now();
+        let start = crate::sync::time::Instant::now();
         let rejected = service.submit(Request {
             op: Op::Infer { nodes: vec![3] },
             shard: None,

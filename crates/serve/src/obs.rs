@@ -64,14 +64,15 @@ impl ServeObs {
     /// Issues the next trace id (monotone; Relaxed — ids only need to
     /// be distinct, not ordered with any other memory).
     pub fn next_trace_id(&self) -> u64 {
+        // Relaxed: ids need only be distinct, not ordered (see doc).
         self.next_trace.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Records one dispatched batch: its size and why it closed.
     pub fn note_batch(&self, size: u32, close: CloseReason) {
         self.batch_sizes.record(size as u64);
-        // Relaxed: monotone counters read only by scrapes.
         match close {
+            // Relaxed: monotone counters read only by scrapes.
             CloseReason::MaxBatch => self.closed_on_max_batch.fetch_add(1, Ordering::Relaxed),
             CloseReason::Deadline => self.closed_on_deadline.fetch_add(1, Ordering::Relaxed),
         };
@@ -120,12 +121,14 @@ impl ServeObs {
 
     /// Batches closed because they reached `max_batch`.
     pub fn closed_on_max_batch(&self) -> u64 {
+        // Relaxed: scrape of a monotone counter; staleness is fine.
         self.closed_on_max_batch.load(Ordering::Relaxed)
     }
 
     /// Batches closed by the `max_wait` deadline (or the shutdown
     /// drain of a partial batch).
     pub fn closed_on_deadline(&self) -> u64 {
+        // Relaxed: scrape of a monotone counter; staleness is fine.
         self.closed_on_deadline.load(Ordering::Relaxed)
     }
 }

@@ -67,6 +67,7 @@ use crate::proto::{NodeResult, Op, Reply, Request};
 use crate::sync::atomic::{AtomicU64, Ordering};
 use crate::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use crate::sync::thread::{self, JoinHandle};
+use crate::sync::time::Instant;
 use crate::sync::{lock_recover, Arc, Mutex};
 use nai_core::checkpoint::ModelCheckpoint;
 use nai_core::config::{InferenceConfig, NapMode, ServeConfig};
@@ -74,7 +75,7 @@ use nai_obs::{
     CloseReason, HistogramSnapshot, Stage, StageBreakdown, TraceRecord, STAGE_COUNT, TRACE_NODE_CAP,
 };
 use nai_stream::{DynamicGraph, MacsBreakdown, StageTimes, StreamingEngine};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A `Duration` as whole nanoseconds, saturating at `u64::MAX` (585
 /// years — no real span gets near it).
@@ -360,16 +361,16 @@ impl Shared {
             // answered client is ordered by the reply-channel send.
             Reply::Infer { results, .. } => {
                 self.served
-                    .fetch_add(results.len() as u64, Ordering::Relaxed);
+                    .fetch_add(results.len() as u64, Ordering::Relaxed); // monotone, scrape-only
             }
             Reply::Ingest { .. } => {
-                self.served.fetch_add(1, Ordering::Relaxed);
+                self.served.fetch_add(1, Ordering::Relaxed); // monotone, scrape-only
             }
             Reply::Edge { .. } => {
-                self.edges_observed.fetch_add(1, Ordering::Relaxed);
+                self.edges_observed.fetch_add(1, Ordering::Relaxed); // monotone, scrape-only
             }
             Reply::Error { .. } => {
-                self.op_errors.fetch_add(1, Ordering::Relaxed);
+                self.op_errors.fetch_add(1, Ordering::Relaxed); // monotone, scrape-only
             }
         }
         // Free the admission slot *before* the reply is visible, so a
@@ -634,6 +635,8 @@ impl NaiService {
                 thread::Builder::new()
                     .name(format!("nai-serve-worker-{w}"))
                     .spawn(move || worker_loop(w, engine, wrx, shared_w))
+                    // nai-lint: allow(hot-path-panic) -- spawn fails only on
+                    // OS resource exhaustion during service construction.
                     .expect("spawn worker thread"),
             );
         }
@@ -655,6 +658,8 @@ impl NaiService {
                     )
                     .run(rx)
                 })
+                // nai-lint: allow(hot-path-panic) -- spawn fails only on
+                // OS resource exhaustion during service construction.
                 .expect("spawn scheduler thread"),
         );
 
@@ -789,9 +794,9 @@ impl NaiService {
         results: Vec<NodeResult>,
     ) -> Ticket {
         let total_ns = dur_ns(begun.elapsed());
-        // Relaxed: monotone count, read only by scrapes.
         self.shared
             .served
+            // Relaxed: monotone count, read only by scrapes.
             .fetch_add(results.len() as u64, Ordering::Relaxed);
         for r in &results {
             self.shared.obs.note_prediction(total_ns, r.depth as u64);
@@ -1119,9 +1124,11 @@ impl Scheduler {
             .shed
             .engaged(self.shared.admission.in_flight(), self.cfg.queue_cap);
         let batch_cfg = if degraded {
+            // Relaxed: monotone shed counter, scrape-only.
             self.shared.degraded_batches.fetch_add(1, Ordering::Relaxed);
             self.shared
                 .shed_ops
+                // Relaxed: monotone shed counter, scrape-only.
                 .fetch_add(forming.len() as u64, Ordering::Relaxed);
             self.cfg.shed.degrade(&self.base_cfg)
         } else {
@@ -1191,6 +1198,9 @@ impl Scheduler {
             };
             let tx = self.worker_txs[w]
                 .as_ref()
+                // nai-lint: allow(hot-path-panic) -- dispatch targets only
+                // workers that passed the is_dead reap just above; a reaped
+                // worker's sender is the only one ever dropped.
                 .expect("alive workers keep a sender");
             if let Err(dead) = tx.send(batch) {
                 // Backstop for a worker that died without raising its
@@ -1568,6 +1578,8 @@ mod tests {
 
     fn poison<T>(m: &Mutex<T>) {
         let r = catch_unwind(AssertUnwindSafe(|| {
+            // nai-lint: allow(lock-hygiene) -- this helper poisons the lock
+            // on purpose; lock_recover here would defeat the setup.
             let _g = m.lock().unwrap();
             panic!("poison the lock");
         }));

@@ -2,8 +2,9 @@
 //! `std::sync` or `std::thread`.
 //!
 //! Every other file in this crate imports its concurrency primitives
-//! from here (`crate::sync::…`), never from `std` directly — ci.sh's
-//! `lint_sync` step greps for violations. Normal builds re-export the
+//! from here (`crate::sync::…`), never from `std` directly — the
+//! `sync-facade` rule of `nai lint` (crates/lint) enforces this at the
+//! token level. Normal builds re-export the
 //! `std` types unchanged, so the facade costs nothing. Under
 //! `--cfg nai_model` (ci.sh `model_check`) the same names resolve to
 //! the workspace's `loom` model checker, whose scheduler exhaustively
@@ -63,6 +64,17 @@ pub mod thread {
     pub fn panicking() -> bool {
         std::thread::panicking()
     }
+}
+
+/// Monotonic time. `Instant` goes through the facade because wall-clock
+/// reads are scheduling-dependent state: model-checked builds must not
+/// branch on real elapsed time or the explored schedules diverge from
+/// the executed ones. Loom has no clock, so both builds use `std` —
+/// the model tests simply never construct one — but routing the name
+/// through here keeps the "no `std::time::Instant` outside sync.rs"
+/// lint simple and total.
+pub mod time {
+    pub use std::time::Instant;
 }
 
 /// Lock, recovering from poison: a mutex poisoned by a panicking

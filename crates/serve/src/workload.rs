@@ -122,6 +122,8 @@ impl WorkloadSpec {
     pub fn matrix() -> Vec<WorkloadSpec> {
         ["uniform-read", "zipf-read", "mixed-mutation", "bursty-zipf"]
             .iter()
+            // nai-lint: allow(hot-path-panic) -- the array above lists exactly
+            // the names `named` accepts; a typo fails every bench test.
             .map(|n| Self::named(n).expect("matrix names are known"))
             .collect()
     }

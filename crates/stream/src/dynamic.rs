@@ -234,6 +234,8 @@ impl DynamicGraph {
                 }
             }
         }
+        // nai-lint: allow(hot-path-panic) -- edges are read out of our own
+        // adjacency lists, so every endpoint is < num_nodes by construction.
         CsrMatrix::undirected_adjacency(self.adj.len(), &edges).expect("valid dynamic graph")
     }
 
@@ -246,6 +248,8 @@ impl DynamicGraph {
         let features =
             DenseMatrix::from_vec(self.num_nodes(), self.feature_dim, self.features.clone());
         Graph::new(self.snapshot_csr(), features, labels, num_classes)
+            // nai-lint: allow(hot-path-panic) -- deliberate precondition assert
+            // (documented # Panics); label arity is checked two lines up.
             .expect("snapshot is structurally valid")
     }
 

@@ -22,6 +22,7 @@
 use crate::dynamic::DynamicGraph;
 use crate::stationary::IncrementalStationary;
 use crate::stats::{LatencyStats, MacsBreakdown, StageTimes};
+use crate::sync::time::Instant;
 use nai_core::active::EngineScratch;
 use nai_core::config::{InferenceConfig, NapMode};
 use nai_core::gates::GateSet;
@@ -32,7 +33,7 @@ use nai_graph::Convolution;
 use nai_linalg::ops::{argmax_rows, l2_distance};
 use nai_linalg::DenseMatrix;
 use nai_models::DepthClassifier;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// One streaming prediction.
 #[derive(Debug, Clone)]
@@ -416,6 +417,8 @@ impl StreamingEngine {
     /// # Panics
     /// Panics on invalid config, missing gates, or unknown node ids.
     pub fn infer_nodes(&mut self, nodes: &[u32], cfg: &InferenceConfig) -> Vec<(usize, usize)> {
+        // nai-lint: allow(hot-path-panic) -- deliberate precondition assert
+        // (documented # Panics): a bad config must abort before inference.
         cfg.validate(self.k()).expect("invalid inference config");
         if matches!(cfg.nap, NapMode::Gate) {
             assert!(
@@ -547,6 +550,8 @@ impl StreamingEngine {
                         self.macs.nap += scratch.active.len() as u64 * napd::macs_per_node(f);
                     }
                     NapMode::Gate => {
+                        // nai-lint: allow(hot-path-panic) -- Gate mode asserts
+                        // gates.is_some() at function entry; unreachable here.
                         let gates = self.gates.as_ref().expect("validated above");
                         if l < gates.k() {
                             let (h_next, x_inf) = (&scratch.h_next, &scratch.x_inf);
@@ -573,6 +578,8 @@ impl StreamingEngine {
                 let clf = &self.classifiers[l - 1];
                 let exit_feats: Vec<DenseMatrix> = scratch.history[..=l]
                     .iter()
+                    // nai-lint: allow(hot-path-panic) -- `exited` is a subset of
+                    // the active set, which indexes these same history matrices.
                     .map(|m| m.gather_rows(exited).expect("exit rows"))
                     .collect();
                 let logits = clf.forward(&exit_feats);

@@ -13,6 +13,13 @@ pub use std::sync::{Mutex, MutexGuard};
 #[cfg(nai_model)]
 pub use loom::sync::{Mutex, MutexGuard};
 
+/// Monotonic time, routed through the facade so the whole crate stays
+/// free of direct `std::time::Instant` references (model-checked builds
+/// must not branch on real elapsed time).
+pub mod time {
+    pub use std::time::Instant;
+}
+
 /// Lock, recovering from poison: a mutex poisoned by a panicking thread
 /// still yields its data. Callers use this on observability paths that must
 /// keep working after a worker dies mid-operation.
