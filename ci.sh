@@ -80,9 +80,12 @@ step "model_check (exhaustive interleaving tests under --cfg nai_model)" \
   model_check
 
 # Boots `nai serve` on an ephemeral port against a freshly trained
-# checkpoint, health-checks it, pushes one inference batch over TCP via
-# `nai loadgen`, and asserts the process shuts down cleanly (exit 0,
-# "stopped cleanly" in its log).
+# checkpoint, health-checks it, pushes traffic over TCP via
+# `nai loadgen` — both per-request connections and a pipelined
+# keep-alive client (whole bursts written in one syscall through the
+# reactor) — and asserts the process shuts down cleanly (exit 0,
+# "stopped cleanly" in its log, meaning the reactor drained and
+# exited).
 serve_smoke() {
   local dir bin pid="" addr
   dir=$(mktemp -d)
@@ -129,9 +132,24 @@ serve_smoke() {
     echo "$read" | grep -q '"ok":true'
     ! echo "$read" | grep -q 'out of range'
   done
+  # Pipelined keep-alive client: whole bursts hit the reactor in one
+  # syscall, so this exercises the incremental parser's
+  # multiple-requests-per-read path and ordered response writeback.
+  # (Capture to a file — `grep -q` would close the pipe at the banner
+  # and break loadgen's later prints.)
+  "$bin" loadgen --addr "$addr" --requests 48 --clients 2 --mode infer \
+    --pipeline 8 > "$dir/loadgen_pipelined.log"
+  grep -q "pipeline depth 8" "$dir/loadgen_pipelined.log"
+  # Per-request connections: every request opens, sends `Connection:
+  # close`, and reads until EOF — the accept/teardown fast path.
+  "$bin" loadgen --addr "$addr" --requests 24 --clients 2 --mode infer \
+    --per-request > "$dir/loadgen_per_request.log"
+  grep -q "per-request connections" "$dir/loadgen_per_request.log"
   "$bin" loadgen --addr "$addr" --requests 40 --clients 2 --mode mixed --shutdown
   wait "$pid"
   pid=""
+  # "stopped cleanly" is printed only after Server::join returns, i.e.
+  # after the reactor thread drained in-flight connections and exited.
   grep -q "stopped cleanly" "$dir/serve.log"
 
   # Cache-enabled run: ingest (sequences a mutation through the
@@ -196,7 +214,8 @@ obs_smoke() {
     return 1
   fi
   "$bin" loadgen --addr "$addr" --requests 60 --clients 2 --mode infer \
-    | grep -q "closed_on_"
+    > "$dir/loadgen.log"
+  grep -q "closed_on_" "$dir/loadgen.log"
   # Prometheus text exposition: typed families, labeled stage series
   # with nonzero counts, cumulative buckets ending at +Inf.
   curl -sf "http://$addr/metrics?format=prom" > "$dir/prom.txt"
@@ -234,10 +253,13 @@ bench_smoke() {
   trap 'trap - RETURN; rm -rf "$dir"; true' RETURN
   target/release/nai bench --json "$dir/bench.json" --scale test \
     --topologies power-law,hub-star --workloads uniform-read,zipf-read \
-    --requests 24 --epochs 4 --clients 2 --cache --cache-cap 64
+    --requests 24 --epochs 4 --clients 2 --cache --cache-cap 64 \
+    --transport both --pipeline 4
   for cell in power-law hub-star uniform-read zipf-read \
       schema_version depth_histogram shed_ops throughput_rps \
-      cache_enabled cache_hits cache_misses; do
+      cache_enabled cache_hits cache_misses \
+      latency_ns closed_on_idle closed_on_shutdown \
+      transport pipeline_depth pipelined per_request; do
     grep -q "\"$cell\"" "$dir/bench.json"
   done
   grep -q '"cache_enabled": *true' "$dir/bench.json"

@@ -31,8 +31,8 @@ use nai_core::config::{
 use nai_core::pipeline::NaiPipeline;
 use nai_datasets::{Scale, Scenario, TopologySpec};
 use nai_serve::{
-    Arrivals, Json, NaiService, Op, Reply, Request, ServeError, Ticket, WorkloadSampler,
-    WorkloadSpec,
+    Arrivals, HttpClient, Json, NaiService, Op, Reply, Request, ServeError, Server, Ticket,
+    WorkloadSampler, WorkloadSpec,
 };
 use nai_stream::{DynamicGraph, MacsBreakdown, StreamingEngine};
 use std::time::{Duration, Instant};
@@ -42,8 +42,37 @@ use std::time::{Duration, Instant};
 /// come from the log-bucketed observability histograms (quantiles
 /// within ~2% relative error, `latency_us.mean` is now fractional) and
 /// each cell gains additive `serve.stage_latency` and `serve.batch`
-/// sections.
+/// sections. Later additive v2 fields: `serve.latency_ns` (exact
+/// nanosecond quantiles — `latency_us` clamps non-zero samples to
+/// ≥1µs so sub-microsecond cache hits don't read as 0), the `parse`
+/// stage, `batch.closed_on_idle`/`closed_on_shutdown`, and the
+/// optional per-cell `transport` section emitted under `--transport`
+/// (the same op stream replayed over real HTTP through the reactor,
+/// pipelined keep-alive and/or per-request connections).
 pub const SCHEMA_VERSION: u64 = 2;
+
+/// Which HTTP transport modes to measure per cell (off by default:
+/// the core matrix drives [`NaiService`] directly).
+#[derive(Debug, Clone, Copy)]
+struct TransportPlan {
+    pipelined: bool,
+    per_request: bool,
+    depth: usize,
+}
+
+impl TransportPlan {
+    fn none() -> Self {
+        Self {
+            pipelined: false,
+            per_request: false,
+            depth: 1,
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.pipelined || self.per_request
+    }
+}
 
 /// Client-observed outcome counts of one serve-stack run.
 #[derive(Debug, Default)]
@@ -90,6 +119,8 @@ pub fn bench(args: &ParsedArgs) -> CliResult {
         "shed-tmax",
         "cache",
         "cache-cap",
+        "transport",
+        "pipeline",
     ])?;
     let json_path = args.require("json")?.to_string();
     let scale = match args.get_or("scale", "test") {
@@ -150,6 +181,30 @@ pub fn bench(args: &ParsedArgs) -> CliResult {
         },
     };
     serve_cfg.validate().map_err(CliError::Other)?;
+    let depth = args.get_parse_or("pipeline", 32usize)?.max(1);
+    let transport = match args.get_or("transport", "none") {
+        "none" => TransportPlan::none(),
+        "pipelined" => TransportPlan {
+            pipelined: true,
+            per_request: false,
+            depth,
+        },
+        "per-request" => TransportPlan {
+            pipelined: false,
+            per_request: true,
+            depth,
+        },
+        "both" => TransportPlan {
+            pipelined: true,
+            per_request: true,
+            depth,
+        },
+        other => {
+            return Err(CliError::Other(format!(
+                "bad --transport `{other}` (expected none | pipelined | per-request | both)"
+            )))
+        }
+    };
 
     println!(
         "bench: {} topologies × {} workloads, {requests} requests/cell, {} shards, nap {:?}",
@@ -199,6 +254,7 @@ pub fn bench(args: &ParsedArgs) -> CliResult {
                 requests,
                 clients,
                 seed,
+                transport,
             )?;
             cells.push(cell);
         }
@@ -265,6 +321,7 @@ fn run_cell(
     requests: usize,
     clients: usize,
     seed: u64,
+    transport: TransportPlan,
 ) -> Result<Json, CliError> {
     // One deterministic op stream per cell. Ops only reference the seed
     // population, so they are valid under any concurrent interleaving
@@ -299,7 +356,10 @@ fn run_cell(
         0.0
     };
     let qs = metrics.latency.quantiles(&[0.5, 0.95, 0.99]);
-    let us = |ns: u64| Json::uint(ns / 1_000);
+    // Clamp non-zero samples to ≥1µs: sub-microsecond cache hits would
+    // otherwise truncate to 0µs and read as "no latency". Exact values
+    // live in the additive `latency_ns` section.
+    let us = |ns: u64| Json::uint(if ns == 0 { 0 } else { (ns / 1_000).max(1) });
     println!(
         "    [{} × {}] serve {:.0} req/s (p99 {}us, shed {}), offline {:.0} preds/s",
         scenario.name,
@@ -328,7 +388,58 @@ fn run_cell(
             .collect(),
     );
 
-    Ok(Json::obj(vec![
+    // Optional HTTP replay: the same op stream again, but over real
+    // sockets through the event-driven reactor — what the transport
+    // itself costs on top of the service stack. Each mode gets a fresh
+    // service so mutations from the direct run don't skew it.
+    let transport_section = if transport.any() {
+        let mut entries: Vec<(String, Json)> = vec![(
+            "pipeline_depth".to_string(),
+            Json::uint(transport.depth as u64),
+        )];
+        for (name, per_request) in [("pipelined", false), ("per_request", true)] {
+            if (per_request && !transport.per_request) || (!per_request && !transport.pipelined) {
+                continue;
+            }
+            let engines = StreamingEngine::shard_replicas(ckpt, seed_graph, serve_cfg.workers);
+            let service =
+                NaiService::new(engines, *infer_cfg, serve_cfg).map_err(CliError::Other)?;
+            let server = Server::start(std::sync::Arc::new(service), "127.0.0.1:0")
+                .map_err(|e| CliError::Other(format!("transport server: {e}")))?;
+            let http = http_run(
+                server.local_addr(),
+                &ops,
+                clients,
+                per_request,
+                transport.depth,
+            );
+            server.shutdown();
+            let rps = if http.wall.as_secs_f64() > 0.0 {
+                http.ok as f64 / http.wall.as_secs_f64()
+            } else {
+                0.0
+            };
+            println!(
+                "      transport {name}: {rps:.0} req/s (ok {}, overloaded {}, errors {})",
+                http.ok, http.overloaded, http.errors,
+            );
+            entries.push((
+                name.to_string(),
+                Json::obj(vec![
+                    ("ok", Json::uint(http.ok)),
+                    ("overloaded", Json::uint(http.overloaded)),
+                    ("errors", Json::uint(http.errors)),
+                    ("wall_ms", Json::Num(http.wall.as_secs_f64() * 1e3)),
+                    ("throughput_rps", Json::Num(rps)),
+                ]),
+            ));
+        }
+        Some(Json::Obj(entries))
+    } else {
+        None
+    };
+
+    let mut fields = vec![
         ("topology", Json::str(&scenario.name)),
         ("workload", Json::str(&workload.name)),
         (
@@ -357,6 +468,15 @@ fn run_cell(
                         ("mean", Json::Num(metrics.latency.mean() / 1_000.0)),
                     ]),
                 ),
+                (
+                    "latency_ns",
+                    Json::obj(vec![
+                        ("p50", Json::uint(qs[0])),
+                        ("p95", Json::uint(qs[1])),
+                        ("p99", Json::uint(qs[2])),
+                        ("max", Json::uint(metrics.latency.max())),
+                    ]),
+                ),
                 ("stage_latency", stage_latency),
                 (
                     "batch",
@@ -366,6 +486,8 @@ fn run_cell(
                             Json::uint(metrics.closed_on_max_batch),
                         ),
                         ("closed_on_deadline", Json::uint(metrics.closed_on_deadline)),
+                        ("closed_on_idle", Json::uint(metrics.closed_on_idle)),
+                        ("closed_on_shutdown", Json::uint(metrics.closed_on_shutdown)),
                         ("mean_size", Json::Num(metrics.batch_sizes.mean())),
                     ]),
                 ),
@@ -395,7 +517,111 @@ fn run_cell(
                 ("macs", macs_json(&offline.macs)),
             ]),
         ),
-    ]))
+    ];
+    if let Some(t) = transport_section {
+        fields.push(("transport", t));
+    }
+    Ok(Json::obj(fields))
+}
+
+/// Drives the op stream over HTTP against a running server —
+/// closed-loop client threads, each either pipelining keep-alive
+/// bursts of `depth` requests or opening one `Connection: close`
+/// connection per request.
+fn http_run(
+    addr: std::net::SocketAddr,
+    ops: &[Op],
+    clients: usize,
+    per_request: bool,
+    depth: usize,
+) -> RunOutcome {
+    let counters = std::sync::Mutex::new((0u64, 0u64, 0u64));
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let my_lines: Vec<String> = ops
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % clients == c)
+                .map(|(_, op)| {
+                    let line = nai_serve::proto::render_request(&Request {
+                        op: op.clone(),
+                        shard: None,
+                    });
+                    format!("{line}\n")
+                })
+                .collect();
+            let counters = &counters;
+            scope.spawn(move || {
+                // 0 = ok, 1 = overloaded, 2 = error.
+                let classify = |body: &str| -> usize {
+                    match Json::parse(body.trim()) {
+                        Ok(v) if v.get("ok").and_then(Json::as_bool) == Some(true) => 0,
+                        Ok(v) if v.get("error").and_then(Json::as_str) == Some("overloaded") => 1,
+                        _ => 2,
+                    }
+                };
+                let mut tallies = [0u64; 3];
+                if per_request {
+                    for line in &my_lines {
+                        match HttpClient::connect(addr)
+                            .and_then(|mut c| c.request_closing("POST", "/v1", Some(line)))
+                        {
+                            Ok((_, body)) => tallies[classify(&body)] += 1,
+                            Err(_) => tallies[2] += 1,
+                        }
+                    }
+                } else {
+                    let mut client = HttpClient::connect(addr).ok();
+                    let mut sent = 0usize;
+                    while sent < my_lines.len() {
+                        let window = depth.min(my_lines.len() - sent);
+                        let refs: Vec<&str> = my_lines[sent..sent + window]
+                            .iter()
+                            .map(String::as_str)
+                            .collect();
+                        match client
+                            .as_mut()
+                            .ok_or_else(|| {
+                                std::io::Error::new(std::io::ErrorKind::NotConnected, "down")
+                            })
+                            .and_then(|c| c.pipeline("POST", "/v1", &refs))
+                        {
+                            Ok(responses) => {
+                                for (_, body) in responses {
+                                    tallies[classify(&body)] += 1;
+                                }
+                            }
+                            Err(_) => {
+                                tallies[2] += window as u64;
+                                // Poisoned connection; reconnect or give
+                                // up on the remainder of this share.
+                                client = HttpClient::connect(addr).ok();
+                                if client.is_none() {
+                                    tallies[2] += (my_lines.len() - sent - window) as u64;
+                                    sent = my_lines.len();
+                                    continue;
+                                }
+                            }
+                        }
+                        sent += window;
+                    }
+                }
+                let mut agg = counters.lock().unwrap();
+                agg.0 += tallies[0];
+                agg.1 += tallies[1];
+                agg.2 += tallies[2];
+            });
+        }
+    });
+    let wall = start.elapsed();
+    let (ok, overloaded, errors) = counters.into_inner().unwrap();
+    RunOutcome {
+        ok,
+        overloaded,
+        errors,
+        wall,
+    }
 }
 
 /// Replays the op stream on one solo engine, single-threaded — the raw
@@ -679,12 +905,23 @@ pub fn validate_report(
             if latency.get("mean").and_then(Json::as_f64).is_none() {
                 return Err(format!("{ctx}: serve.latency_us.mean missing"));
             }
+            // Exact-nanosecond counterpart: `latency_us` clamps non-zero
+            // samples to ≥1µs, so sub-µs truth lives here.
+            let latency_ns = serve
+                .get("latency_ns")
+                .ok_or_else(|| format!("{ctx}: serve.latency_ns missing"))?;
+            for key in ["p50", "p95", "p99", "max"] {
+                if latency_ns.get(key).and_then(Json::as_u64).is_none() {
+                    return Err(format!("{ctx}: serve.latency_ns.{key} missing"));
+                }
+            }
             // Additive observability fields (schema v2): per-stage
             // lifecycle spans and batch anatomy.
             let stages = serve
                 .get("stage_latency")
                 .ok_or_else(|| format!("{ctx}: serve.stage_latency missing"))?;
             for stage in [
+                "parse",
                 "queue_wait",
                 "batch_wait",
                 "engine_propagation",
@@ -707,13 +944,38 @@ pub fn validate_report(
             let batch = serve
                 .get("batch")
                 .ok_or_else(|| format!("{ctx}: serve.batch missing"))?;
-            for key in ["closed_on_max_batch", "closed_on_deadline"] {
+            for key in [
+                "closed_on_max_batch",
+                "closed_on_deadline",
+                "closed_on_idle",
+                "closed_on_shutdown",
+            ] {
                 if batch.get(key).and_then(Json::as_u64).is_none() {
                     return Err(format!("{ctx}: serve.batch.{key} missing or not a count"));
                 }
             }
             if batch.get("mean_size").and_then(Json::as_f64).is_none() {
                 return Err(format!("{ctx}: serve.batch.mean_size missing"));
+            }
+            // The `transport` section is optional (emitted only under
+            // `--transport`), but when present its modes must be whole.
+            if let Some(t) = cell.get("transport") {
+                if t.get("pipeline_depth").and_then(Json::as_u64).is_none() {
+                    return Err(format!("{ctx}: transport.pipeline_depth missing"));
+                }
+                for mode in ["pipelined", "per_request"] {
+                    let Some(section) = t.get(mode) else { continue };
+                    for key in ["ok", "overloaded", "errors"] {
+                        if section.get(key).and_then(Json::as_u64).is_none() {
+                            return Err(format!("{ctx}: transport.{mode}.{key} missing"));
+                        }
+                    }
+                    for key in ["wall_ms", "throughput_rps"] {
+                        if section.get(key).and_then(Json::as_f64).is_none() {
+                            return Err(format!("{ctx}: transport.{mode}.{key} missing"));
+                        }
+                    }
+                }
             }
         }
     }
@@ -737,14 +999,17 @@ mod tests {
                 "serve": {"ok": 4, "overloaded": 0, "errors": 0,
                           "wall_ms": 1.5, "throughput_rps": 100.0,
                           "latency_us": {"p50": 5, "p95": 9, "p99": 9, "max": 9, "mean": 6.2},
+                          "latency_ns": {"p50": 5200, "p95": 9100, "p99": 9400, "max": 9800},
                           "stage_latency": {
+                              "parse": {"count": 4, "mean_us": 0.3, "p99_us": 1},
                               "queue_wait": {"count": 4, "mean_us": 1.1, "p99_us": 2},
                               "batch_wait": {"count": 4, "mean_us": 0.5, "p99_us": 1},
                               "engine_propagation": {"count": 4, "mean_us": 2.0, "p99_us": 3},
                               "engine_nap": {"count": 4, "mean_us": 0.8, "p99_us": 1},
                               "engine_classify": {"count": 4, "mean_us": 1.0, "p99_us": 2},
                               "serialize": {"count": 4, "mean_us": 0.8, "p99_us": 1}},
-                          "batch": {"closed_on_max_batch": 1, "closed_on_deadline": 1,
+                          "batch": {"closed_on_max_batch": 1, "closed_on_deadline": 0,
+                                    "closed_on_idle": 1, "closed_on_shutdown": 0,
                                     "mean_size": 2.0},
                           "shed_ops": 0, "degraded_batches": 0,
                           "cache_hits": 0, "cache_misses": 0, "mean_depth": 1.5,
@@ -754,7 +1019,12 @@ mod tests {
                 "offline": {"predictions": 4, "wall_ms": 1.0, "throughput_rps": 200.0,
                             "mean_depth": 1.5, "depth_histogram": [0, 2, 2],
                             "macs": {"propagation": 1, "nap": 1, "classification": 1,
-                                     "replication": 0, "total": 3}}
+                                     "replication": 0, "total": 3}},
+                "transport": {"pipeline_depth": 32,
+                              "pipelined": {"ok": 4, "overloaded": 0, "errors": 0,
+                                            "wall_ms": 2.0, "throughput_rps": 80.0},
+                              "per_request": {"ok": 4, "overloaded": 0, "errors": 0,
+                                              "wall_ms": 4.0, "throughput_rps": 40.0}}
             }]
         }"#;
         Json::parse(raw).unwrap()

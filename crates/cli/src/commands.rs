@@ -403,6 +403,7 @@ pub fn serve(args: &ParsedArgs) -> CliResult {
         "shed-tmax",
         "cache",
         "cache-cap",
+        "read-timeout-ms",
     ])?;
     let (graph, _, name) = load_data(args)?;
     let ckpt = ModelCheckpoint::load(Path::new(args.require("model")?))?;
@@ -429,6 +430,16 @@ pub fn serve(args: &ParsedArgs) -> CliResult {
             CacheConfig::off()
         },
     };
+    let read_timeout_ms = args.get_parse_or("read-timeout-ms", 30_000.0f64)?;
+    if !read_timeout_ms.is_finite() || !(1.0..=600_000.0).contains(&read_timeout_ms) {
+        return Err(CliError::Other(format!(
+            "--read-timeout-ms must be a finite value in [1, 600000], got {read_timeout_ms}"
+        )));
+    }
+    let transport_cfg = nai_serve::TransportConfig {
+        read_timeout: Duration::from_secs_f64(read_timeout_ms / 1000.0),
+        ..nai_serve::TransportConfig::default()
+    };
     let service = NaiService::from_checkpoint(
         &ckpt,
         &DynamicGraph::from_graph(&graph),
@@ -436,8 +447,12 @@ pub fn serve(args: &ParsedArgs) -> CliResult {
         serve_cfg,
     )
     .map_err(CliError::Other)?;
-    let server = Server::start(std::sync::Arc::new(service), ("127.0.0.1", port))
-        .map_err(|e| CliError::Other(format!("bind failed: {e}")))?;
+    let server = Server::start_with(
+        std::sync::Arc::new(service),
+        ("127.0.0.1", port),
+        transport_cfg,
+    )
+    .map_err(|e| CliError::Other(format!("bind failed: {e}")))?;
     let cache_desc = if serve_cfg.cache.enabled {
         format!("cap {}", serve_cfg.cache.cap)
     } else {
@@ -524,11 +539,22 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
         "seed",
         "cache",
         "shutdown",
+        "pipeline",
+        "per-request",
     ])?;
     let addr = args.require("addr")?.to_string();
     let total: usize = args.get_parse_or("requests", 200usize)?;
     let clients: usize = args.get_parse_or("clients", 4usize)?.max(1);
     let seed = args.get_parse_or("seed", 7u64)?;
+    let pipeline: usize = args.get_parse_or("pipeline", 1usize)?.max(1);
+    let per_request = args.get_bool("per-request");
+    if per_request && pipeline > 1 {
+        return Err(CliError::Other(
+            "--per-request opens one connection per request; it cannot pipeline \
+             (drop --pipeline or --per-request)"
+                .into(),
+        ));
+    }
     let workload = loadgen_workload(args)?;
 
     // Discover deployment facts from the server itself.
@@ -550,9 +576,16 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
     if seed_nodes == 0 {
         return Err(CliError::Other("server has an empty seed graph".into()));
     }
+    let transport = if per_request {
+        "per-request connections".to_string()
+    } else if pipeline > 1 {
+        format!("keep-alive, pipeline depth {pipeline}")
+    } else {
+        "keep-alive".to_string()
+    };
     println!(
-        "loadgen: {total} {} requests ({clients} clients, {:?} sampling) against {addr} \
-         (seed_nodes {seed_nodes}, f {feature_dim})",
+        "loadgen: {total} {} requests ({clients} clients, {:?} sampling, {transport}) \
+         against {addr} (seed_nodes {seed_nodes}, f {feature_dim})",
         workload.name, workload.sampling,
     );
 
@@ -579,57 +612,94 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
                 // exist: the seed graph plus every ingest it has had
                 // acknowledged — any replica must serve all of them.
                 let mut known_nodes = seed_nodes;
-                for i in 0..share {
-                    let op = sampler.next_op(known_nodes, feature_dim);
-                    let line =
-                        nai_serve::proto::render_request(&nai_serve::Request { op, shard: None });
+                let mut sent = 0usize;
+                while sent < share {
+                    // Burst size: 1 closed-loop, `pipeline` when
+                    // pipelining. Ops are sampled up front against the
+                    // ids known *now*; acks inside the burst extend
+                    // `known_nodes` for the next burst.
+                    let window = if per_request {
+                        1
+                    } else {
+                        pipeline.min(share - sent)
+                    };
+                    let bodies: Vec<String> = (0..window)
+                        .map(|_| {
+                            let op = sampler.next_op(known_nodes, feature_dim);
+                            let line = nai_serve::proto::render_request(&nai_serve::Request {
+                                op,
+                                shard: None,
+                            });
+                            format!("{line}\n")
+                        })
+                        .collect();
                     let start = std::time::Instant::now();
-                    match client.request("POST", "/v1", Some(&format!("{line}\n"))) {
-                        Ok((_, body)) => {
-                            let elapsed = start.elapsed();
-                            match nai_serve::Json::parse(body.trim()) {
-                                Ok(v)
-                                    if v.get("ok").and_then(nai_serve::Json::as_bool)
-                                        == Some(true) =>
-                                {
-                                    if let Some(node) =
-                                        v.get("node").and_then(nai_serve::Json::as_u64)
+                    let outcome: std::io::Result<Vec<(u16, String)>> = if per_request {
+                        nai_serve::HttpClient::connect(addr.as_str())
+                            .and_then(|mut c| c.request_closing("POST", "/v1", Some(&bodies[0])))
+                            .map(|r| vec![r])
+                    } else if window == 1 {
+                        client
+                            .request("POST", "/v1", Some(&bodies[0]))
+                            .map(|r| vec![r])
+                    } else {
+                        let refs: Vec<&str> = bodies.iter().map(String::as_str).collect();
+                        client.pipeline("POST", "/v1", &refs)
+                    };
+                    sent += window;
+                    match outcome {
+                        Ok(responses) => {
+                            for (_, body) in responses {
+                                // Pipelined latency is burst-relative:
+                                // time from the burst's single write to
+                                // this response's arrival.
+                                let elapsed = start.elapsed();
+                                match nai_serve::Json::parse(body.trim()) {
+                                    Ok(v)
+                                        if v.get("ok").and_then(nai_serve::Json::as_bool)
+                                            == Some(true) =>
                                     {
-                                        // Ingest ack: the id is valid
-                                        // service-wide from now on.
-                                        known_nodes =
-                                            known_nodes.max((node as u32).saturating_add(1));
+                                        if let Some(node) =
+                                            v.get("node").and_then(nai_serve::Json::as_u64)
+                                        {
+                                            // Ingest ack: the id is valid
+                                            // service-wide from now on.
+                                            known_nodes =
+                                                known_nodes.max((node as u32).saturating_add(1));
+                                        }
+                                        let depth = v
+                                            .get("depth")
+                                            .or_else(|| {
+                                                v.get("results")
+                                                    .and_then(nai_serve::Json::as_arr)
+                                                    .and_then(|r| r.first())
+                                                    .and_then(|r| r.get("depth"))
+                                            })
+                                            .and_then(nai_serve::Json::as_u64)
+                                            .unwrap_or(0);
+                                        local.record(elapsed, depth as usize);
+                                        ok += 1;
                                     }
-                                    let depth = v
-                                        .get("depth")
-                                        .or_else(|| {
-                                            v.get("results")
-                                                .and_then(nai_serve::Json::as_arr)
-                                                .and_then(|r| r.first())
-                                                .and_then(|r| r.get("depth"))
-                                        })
-                                        .and_then(nai_serve::Json::as_u64)
-                                        .unwrap_or(0);
-                                    local.record(elapsed, depth as usize);
-                                    ok += 1;
+                                    Ok(v)
+                                        if v.get("error").and_then(nai_serve::Json::as_str)
+                                            == Some("overloaded") =>
+                                    {
+                                        overloaded += 1;
+                                    }
+                                    _ => failed += 1,
                                 }
-                                Ok(v)
-                                    if v.get("error").and_then(nai_serve::Json::as_str)
-                                        == Some("overloaded") =>
-                                {
-                                    overloaded += 1;
-                                }
-                                _ => failed += 1,
                             }
                         }
                         Err(_) => {
-                            failed += 1;
-                            // The connection is poisoned; reconnect.
-                            match nai_serve::HttpClient::connect(addr.as_str()) {
-                                Ok(cl) => client = cl,
-                                Err(_) => {
-                                    counters.lock().unwrap().3 += (share - i - 1) as u64;
-                                    break;
+                            failed += window as u64;
+                            if !per_request {
+                                // The connection is poisoned; reconnect.
+                                match nai_serve::HttpClient::connect(addr.as_str()) {
+                                    Ok(cl) => client = cl,
+                                    Err(_) => {
+                                        counters.lock().unwrap().3 += (share - sent) as u64;
+                                        break;
+                                    }
                                 }
                             }
                         }
@@ -667,9 +737,12 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
                     .unwrap_or(0)
             };
             println!(
-                "batches: closed_on_max_batch {} | closed_on_deadline {} | mean size {:.2}",
+                "batches: closed_on_max_batch {} | closed_on_deadline {} | closed_on_idle {} \
+                 | closed_on_shutdown {} | mean size {:.2}",
                 batch("closed_on_max_batch"),
                 batch("closed_on_deadline"),
+                batch("closed_on_idle"),
+                batch("closed_on_shutdown"),
                 metrics
                     .get("batch")
                     .and_then(|b| b.get("mean_size"))
@@ -685,8 +758,9 @@ pub fn loadgen(args: &ParsedArgs) -> CliResult {
                         .unwrap_or(0.0)
                 };
                 println!(
-                    "stages (mean us): queue_wait {:.1} | batch_wait {:.1} | propagation {:.1} \
-                     | nap {:.1} | classify {:.1} | serialize {:.1}",
+                    "stages (mean us): parse {:.1} | queue_wait {:.1} | batch_wait {:.1} \
+                     | propagation {:.1} | nap {:.1} | classify {:.1} | serialize {:.1}",
+                    mean("parse"),
                     mean("queue_wait"),
                     mean("batch_wait"),
                     mean("engine_propagation"),

@@ -1,0 +1,486 @@
+//! # polling — a std-only readiness poller
+//!
+//! Offline stand-in for the `polling` crate, scoped to exactly what
+//! the `nai-serve` reactor needs: register unix file descriptors with
+//! a *level-triggered* interest set, then block until one becomes
+//! readable or writable (or a timeout passes).
+//!
+//! Two backends, chosen at compile time:
+//!
+//! * **epoll(7)** on Linux — the kernel holds the interest set, so
+//!   `add`/`modify`/`delete` are O(1) syscalls and `wait` scales with
+//!   the number of *ready* descriptors, not registered ones;
+//! * **poll(2)** everywhere else — a registry of interests is kept in
+//!   a mutex and re-materialized into a `pollfd` array per `wait`.
+//!
+//! Both backends speak through raw `extern "C"` bindings to the libc
+//! symbols std already links; nothing new is vendored or downloaded.
+//!
+//! The API is deliberately tiny and synchronous: no wakers, no edge
+//! triggering, no timerfd. Level-triggered readiness means a caller
+//! that does not fully drain a socket simply sees it again on the
+//! next `wait` — the simplest contract to reason about for a
+//! single-threaded reactor.
+
+#![cfg(unix)]
+
+use std::io;
+use std::os::unix::io::RawFd;
+use std::time::Duration;
+
+/// What to watch a descriptor for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the descriptor is readable (or peer-closed).
+    pub readable: bool,
+    /// Wake when the descriptor is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Readable and writable.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Registered but dormant (kept in the set, delivers nothing
+    /// except errors/hangups, which readiness APIs always report).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The caller-chosen key passed to [`Poller::add`].
+    pub key: usize,
+    /// The descriptor is readable; also set on hangup/error so the
+    /// caller's read path observes the failure.
+    pub readable: bool,
+    /// The descriptor is writable; also set on error.
+    pub writable: bool,
+}
+
+/// A level-triggered readiness poller over raw file descriptors.
+pub struct Poller {
+    backend: sys::Backend,
+}
+
+impl Poller {
+    /// Creates a poller with an empty interest set.
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            backend: sys::Backend::new()?,
+        })
+    }
+
+    /// Registers `fd` under `key`. The caller must keep `fd` open
+    /// until [`Poller::delete`] and must not register it twice.
+    pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.backend.add(fd, key, interest)
+    }
+
+    /// Replaces the interest set of a registered descriptor.
+    pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+        self.backend.modify(fd, key, interest)
+    }
+
+    /// Removes a descriptor from the interest set. Must be called
+    /// *before* the descriptor is closed.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.backend.delete(fd)
+    }
+
+    /// Blocks until at least one registered descriptor is ready or
+    /// `timeout` passes (`None` blocks indefinitely). Ready events
+    /// are appended to `events` (which is cleared first); returns the
+    /// number delivered. A signal interruption reports `Ok(0)` —
+    /// callers treat it as a spurious wakeup and re-check deadlines.
+    pub fn wait(&self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        events.clear();
+        self.backend.wait(events, timeout)
+    }
+}
+
+impl std::fmt::Debug for Poller {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Poller").finish_non_exhaustive()
+    }
+}
+
+/// Clamps an optional timeout to the millisecond `int` the syscalls
+/// take: `None` → -1 (infinite), sub-millisecond waits round *up* so
+/// a 100µs deadline never busy-spins at 0ms.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => {
+            let ms = d.as_millis();
+            let ms = if ms == 0 && d.as_nanos() > 0 { 1 } else { ms };
+            ms.min(i32::MAX as u128) as i32
+        }
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! epoll(7) backend: the kernel owns the interest set.
+
+    use super::{timeout_ms, Event, Interest};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    // Kernel ABI: on x86-64 `struct epoll_event` is packed (no
+    // padding between the u32 mask and the u64 payload).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct EpollEvent {
+        events: u32,
+        data: u64,
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    fn mask_of(interest: Interest) -> u32 {
+        let mut m = EPOLLRDHUP; // peer half-close always wakes the read path
+        if interest.readable {
+            m |= EPOLLIN;
+        }
+        if interest.writable {
+            m |= EPOLLOUT;
+        }
+        m
+    }
+
+    pub struct Backend {
+        epfd: RawFd,
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Backend> {
+            // SAFETY: plain syscall, no pointers.
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Backend { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            let mut ev = EpollEvent {
+                events: mask_of(interest),
+                data: key as u64,
+            };
+            // SAFETY: `ev` outlives the call; the kernel copies it.
+            let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, key, interest)
+        }
+
+        pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, key, interest)
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            const CAP: usize = 256;
+            let mut raw = [EpollEvent { events: 0, data: 0 }; CAP];
+            // SAFETY: `raw` is a valid, writable array of CAP entries.
+            let n =
+                unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), CAP as i32, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0); // spurious wakeup; caller re-checks deadlines
+                }
+                return Err(err);
+            }
+            for ev in raw.iter().take(n as usize) {
+                // Copy out of the (possibly packed) struct before use.
+                let mask = ev.events;
+                let data = ev.data;
+                let failed = mask & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0;
+                events.push(Event {
+                    key: data as usize,
+                    // Errors/hangups surface as readability so the
+                    // caller's read path observes them.
+                    readable: mask & EPOLLIN != 0 || failed,
+                    writable: mask & EPOLLOUT != 0,
+                });
+            }
+            Ok(n as usize)
+        }
+    }
+
+    impl Drop for Backend {
+        fn drop(&mut self) {
+            // SAFETY: epfd came from epoll_create1 and is closed once.
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! poll(2) fallback: interests live in a mutexed registry and are
+    //! re-materialized into a `pollfd` array on every wait.
+
+    use super::{timeout_ms, Event, Interest};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u32, timeout: i32) -> i32;
+    }
+
+    pub struct Backend {
+        registry: Mutex<HashMap<RawFd, (usize, Interest)>>,
+    }
+
+    impl Backend {
+        pub fn new() -> io::Result<Backend> {
+            Ok(Backend {
+                registry: Mutex::new(HashMap::new()),
+            })
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<RawFd, (usize, Interest)>> {
+            self.registry
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+        }
+
+        pub fn add(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            if self.lock().insert(fd, (key, interest)).is_some() {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            Ok(())
+        }
+
+        pub fn modify(&self, fd: RawFd, key: usize, interest: Interest) -> io::Result<()> {
+            match self.lock().get_mut(&fd) {
+                Some(slot) => {
+                    *slot = (key, interest);
+                    Ok(())
+                }
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+            match self.lock().remove(&fd) {
+                Some(_) => Ok(()),
+                None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+            }
+        }
+
+        pub fn wait(
+            &self,
+            events: &mut Vec<Event>,
+            timeout: Option<Duration>,
+        ) -> io::Result<usize> {
+            let (mut fds, keys): (Vec<PollFd>, Vec<usize>) = {
+                let reg = self.lock();
+                let mut fds = Vec::with_capacity(reg.len());
+                let mut keys = Vec::with_capacity(reg.len());
+                for (&fd, &(key, interest)) in reg.iter() {
+                    let mut mask = 0i16;
+                    if interest.readable {
+                        mask |= POLLIN;
+                    }
+                    if interest.writable {
+                        mask |= POLLOUT;
+                    }
+                    fds.push(PollFd {
+                        fd,
+                        events: mask,
+                        revents: 0,
+                    });
+                    keys.push(key);
+                }
+                (fds, keys)
+            };
+            // SAFETY: `fds` is a valid, writable array of len entries.
+            let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u32, timeout_ms(timeout)) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(0);
+                }
+                return Err(err);
+            }
+            for (pfd, &key) in fds.iter().zip(&keys) {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let failed = pfd.revents & (POLLERR | POLLHUP) != 0;
+                events.push(Event {
+                    key,
+                    readable: pfd.revents & POLLIN != 0 || failed,
+                    writable: pfd.revents & POLLOUT != 0,
+                });
+            }
+            Ok(events.len())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::os::unix::io::AsRawFd;
+    use std::os::unix::net::UnixStream;
+    use std::time::Instant;
+
+    #[test]
+    fn readable_after_write_and_timeout_when_idle() {
+        let poller = Poller::new().unwrap();
+        let (a, mut b) = UnixStream::pair().unwrap();
+        poller.add(a.as_raw_fd(), 7, Interest::READ).unwrap();
+
+        let mut events = Vec::new();
+        // Nothing written yet: a short wait times out empty.
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        b.write_all(&[1]).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].key, 7);
+        assert!(events[0].readable);
+        poller.delete(a.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn level_triggered_until_drained_and_modify_switches_interest() {
+        let poller = Poller::new().unwrap();
+        let (mut a, mut b) = UnixStream::pair().unwrap();
+        poller.add(a.as_raw_fd(), 1, Interest::READ).unwrap();
+        b.write_all(&[9, 9]).unwrap();
+
+        let mut events = Vec::new();
+        // Undrained data re-reports on every wait (level-triggered).
+        for _ in 0..2 {
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(events.iter().any(|e| e.key == 1 && e.readable));
+        }
+        let mut buf = [0u8; 8];
+        let _ = a.read(&mut buf).unwrap();
+
+        // Dormant interest delivers nothing even with data pending.
+        b.write_all(&[3]).unwrap();
+        poller.modify(a.as_raw_fd(), 1, Interest::NONE).unwrap();
+        let n = poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert_eq!(n, 0);
+
+        // A socket with buffer space reports writable immediately.
+        poller.modify(a.as_raw_fd(), 1, Interest::WRITE).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.key == 1 && e.writable));
+        poller.delete(a.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn peer_close_reports_readable() {
+        let poller = Poller::new().unwrap();
+        let (a, b) = UnixStream::pair().unwrap();
+        poller.add(a.as_raw_fd(), 3, Interest::READ).unwrap();
+        drop(b);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(
+            events.iter().any(|e| e.key == 3 && e.readable),
+            "hangup must surface as readability: {events:?}"
+        );
+    }
+
+    #[test]
+    fn sub_millisecond_timeouts_round_up_not_spin() {
+        assert_eq!(timeout_ms(None), -1);
+        assert_eq!(timeout_ms(Some(Duration::ZERO)), 0);
+        assert_eq!(timeout_ms(Some(Duration::from_micros(100))), 1);
+        assert_eq!(timeout_ms(Some(Duration::from_millis(250))), 250);
+        let poller = Poller::new().unwrap();
+        let mut events = Vec::new();
+        let start = Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_micros(200)))
+            .unwrap();
+        // Rounded up to 1ms, not -1 (forever) and not 0 (busy).
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+}

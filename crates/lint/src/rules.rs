@@ -379,10 +379,14 @@ pub fn lint_file(spec: &FileSpec, src: &str) -> Vec<Diagnostic> {
 // Rule: sync-facade
 // ---------------------------------------------------------------------
 
-/// `std::sync` / `std::thread` / `std::time::Instant` outside the
-/// `sync.rs` facade of a facade crate. Catches grouped imports
-/// (`use std::{sync::Mutex, thread}`), aliases (`use std::sync as s`),
-/// and fully-qualified call sites — the cases a line grep misses.
+/// `std::sync` / `std::thread` / `std::time::Instant` / the vendored
+/// `polling` crate outside the `sync.rs` facade of a facade crate.
+/// Catches grouped imports (`use std::{sync::Mutex, thread}`), aliases
+/// (`use std::sync as s`), and fully-qualified call sites — the cases
+/// a line grep misses. `polling` rides the same facade because
+/// blocking in `Poller::wait` is a scheduling decision exactly like a
+/// `Condvar` wait: model builds must see every such point go through
+/// `crate::sync`.
 fn rule_sync_facade(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     if !ctx.spec.crate_in(&FACADE_CRATES) || !ctx.spec.in_src || ctx.spec.is_sync_facade {
         return;
@@ -425,6 +429,10 @@ fn rule_sync_facade(ctx: &FileCtx<'_>, out: &mut Vec<Diagnostic>) {
     // Detector 2: fully-qualified paths at arbitrary expression or
     // type position.
     for i in 0..ctx.code.len() {
+        if ctx.tok(i).is_ident("polling") && next_is(ctx, i + 1, "::") {
+            report(ctx, i, "polling".to_string());
+            continue;
+        }
         if !ctx.tok(i).is_ident("std") || !next_is(ctx, i + 1, "::") {
             continue;
         }
@@ -451,6 +459,9 @@ fn next_is(ctx: &FileCtx<'_>, i: usize, punct: &str) -> bool {
 
 /// The forbidden path this leaf resolves to, if any.
 fn forbidden_prefix(segs: &[String]) -> Option<String> {
+    if segs.first().map(String::as_str) == Some("polling") {
+        return Some("polling".to_string());
+    }
     if segs.len() >= 2 && segs[0] == "std" {
         if segs[1] == "sync" || segs[1] == "thread" {
             return Some(format!("std::{}", segs[1]));
@@ -723,6 +734,9 @@ mod tests {
             "fn f() { let m = std::sync::Mutex::new(0); }\n",
             "fn f() { std::thread::spawn(|| {}); }\n",
             "fn f() { let t = std::time::Instant::now(); }\n",
+            "use polling::{Event, Poller};\n",
+            "use polling::Poller as P;\n",
+            "fn f() { let p = polling::Poller::new(); }\n",
         ] {
             assert!(
                 rules_fired(&serve_spec(), src).contains(&"sync-facade"),
@@ -745,6 +759,18 @@ mod tests {
                     ..serve_spec()
                 },
                 "pub use std::sync::Mutex;\n",
+            ),
+            (
+                FileSpec {
+                    is_sync_facade: true,
+                    ..serve_spec()
+                },
+                "pub use polling::{Event, Interest, Poller};\n",
+            ),
+            // An identifier merely *named* polling is not the crate.
+            (
+                serve_spec(),
+                "fn f() { let polling = 1; let _ = polling; }\n",
             ),
             (
                 FileSpec {

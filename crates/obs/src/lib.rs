@@ -11,9 +11,9 @@
 //!   wait-free and the footprint is fixed, so nothing restarts and
 //!   scrapes never re-sort under a mutex.
 //! * [`Stage`] / [`StageBreakdown`] / [`StagePipeline`] — per-request
-//!   stage spans (`queue_wait`, `batch_wait`, `engine_propagation`,
-//!   `engine_nap`, `engine_classify`, `serialize`) aggregated into one
-//!   histogram per stage.
+//!   stage spans (`parse`, `queue_wait`, `batch_wait`,
+//!   `engine_propagation`, `engine_nap`, `engine_classify`,
+//!   `serialize`) aggregated into one histogram per stage.
 //! * [`FlightRecorder`] / [`TraceRecord`] — the slowest-N requests per
 //!   window with their full stage timelines, for `GET /debug/slow`.
 //! * [`PromWriter`] — Prometheus text exposition (counters, gauges,

@@ -1,10 +1,11 @@
 //! Request-lifecycle stage spans.
 //!
-//! A served prediction crosses six stages, stamped by the serve crate
-//! and aggregated here:
+//! A served prediction crosses seven stages, stamped by the serve
+//! crate and aggregated here:
 //!
 //! | stage | span |
 //! |-------|------|
+//! | `parse` | transport ingress: request bytes read off the socket → parsed op submitted for admission (zero for in-process callers, which skip the transport) |
 //! | `queue_wait` | admission (`submit`) → scheduler pops the job off the request channel |
 //! | `batch_wait` | scheduler pop → the worker's engine call starts (batch forming window, channel transit, mutation validation, batch-mates' prefix work) |
 //! | `engine_propagation` | feature propagation inside the engine: BFS support planning, stationary rows, per-hop SpMM steps, frontier shrinking |
@@ -12,8 +13,10 @@
 //! | `engine_classify` | per-depth classifier forward passes and exit gathers |
 //! | `serialize` | engine call returns → reply handed to the transport |
 //!
-//! The spans tile the request's lifetime: queue_wait + batch_wait +
-//! engine stages + serialize equals end-to-end latency up to the
+//! The spans tile the request's lifetime: parse + queue_wait +
+//! batch_wait + engine stages + serialize equals end-to-end latency
+//! (measured from transport ingress when the request came over a
+//! socket, from admission otherwise) up to the
 //! engine's un-attributed glue (scratch swaps, validation — tens of
 //! nanoseconds). The end-to-end accounting test in
 //! `tests/observability.rs` holds the sum of mean stage times to
@@ -28,6 +31,7 @@ use crate::HistogramSnapshot;
 /// The pipeline stages of a served request, in lifecycle order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage {
+    Parse,
     QueueWait,
     BatchWait,
     EnginePropagation,
@@ -37,11 +41,12 @@ pub enum Stage {
 }
 
 /// Number of [`Stage`] variants.
-pub const STAGE_COUNT: usize = 6;
+pub const STAGE_COUNT: usize = 7;
 
 impl Stage {
     /// All stages in lifecycle order.
     pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Parse,
         Stage::QueueWait,
         Stage::BatchWait,
         Stage::EnginePropagation,
@@ -53,12 +58,13 @@ impl Stage {
     /// Dense index, `0..STAGE_COUNT`, following lifecycle order.
     pub fn index(self) -> usize {
         match self {
-            Stage::QueueWait => 0,
-            Stage::BatchWait => 1,
-            Stage::EnginePropagation => 2,
-            Stage::EngineNap => 3,
-            Stage::EngineClassify => 4,
-            Stage::Serialize => 5,
+            Stage::Parse => 0,
+            Stage::QueueWait => 1,
+            Stage::BatchWait => 2,
+            Stage::EnginePropagation => 3,
+            Stage::EngineNap => 4,
+            Stage::EngineClassify => 5,
+            Stage::Serialize => 6,
         }
     }
 
@@ -66,6 +72,7 @@ impl Stage {
     /// values, and trace fields all use this exact spelling.
     pub fn name(self) -> &'static str {
         match self {
+            Stage::Parse => "parse",
             Stage::QueueWait => "queue_wait",
             Stage::BatchWait => "batch_wait",
             Stage::EnginePropagation => "engine_propagation",
@@ -105,9 +112,16 @@ impl StageBreakdown {
 pub enum CloseReason {
     /// The forming batch hit `max_batch` and dispatched immediately.
     MaxBatch,
-    /// The `max_wait` deadline expired (or the intake channel drained
-    /// on shutdown) with a partial batch.
+    /// The `max_wait` deadline expired with a partial batch while
+    /// other admitted requests were still in transit toward it.
     Deadline,
+    /// Work-conserving close: every admitted request was already in
+    /// the forming batch, so no further arrival was possible and
+    /// waiting out `max_wait` could only add latency.
+    Idle,
+    /// The intake channel drained on shutdown with a partial batch —
+    /// a teardown artifact, not a batching-policy outcome.
+    Shutdown,
 }
 
 impl CloseReason {
@@ -116,6 +130,8 @@ impl CloseReason {
         match self {
             CloseReason::MaxBatch => "max_batch",
             CloseReason::Deadline => "deadline",
+            CloseReason::Idle => "idle",
+            CloseReason::Shutdown => "shutdown",
         }
     }
 }
@@ -200,6 +216,7 @@ mod tests {
         assert_eq!(
             names,
             [
+                "parse",
                 "queue_wait",
                 "batch_wait",
                 "engine_propagation",

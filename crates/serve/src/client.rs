@@ -1,7 +1,9 @@
 //! A tiny HTTP/1.1 client for the `nai loadgen` driver and the
-//! end-to-end tests — one keep-alive connection, blocking requests.
-//! Clients carry no shard-routing state: the service replicates every
-//! mutation to all shards, so any connection can issue any request.
+//! end-to-end tests — one keep-alive connection, blocking requests,
+//! with optional request pipelining (`send` × N, then `recv` × N, or
+//! the batched [`HttpClient::pipeline`]). Clients carry no
+//! shard-routing state: the service replicates every mutation to all
+//! shards, so any connection can issue any request.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -15,7 +17,7 @@ pub struct HttpClient {
 }
 
 impl HttpClient {
-    /// Connects with a 10 s connect/read timeout.
+    /// Connects with a 10 s connect timeout and 30 s read timeout.
     ///
     /// # Errors
     /// Propagates resolution/connection failures.
@@ -36,25 +38,35 @@ impl HttpClient {
         })
     }
 
-    /// Sends one request and reads the response.
+    /// Renders one request's wire bytes (shared by the immediate and
+    /// pipelined send paths).
+    fn render(&self, method: &str, path: &str, body: &str, close: bool) -> String {
+        let connection = if close { "Connection: close\r\n" } else { "" };
+        format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\n{connection}Content-Length: {}\r\n\r\n{body}",
+            self.host,
+            body.len()
+        )
+    }
+
+    /// Writes one request without reading its response — the pipelined
+    /// half of [`Self::request`]. Pair each `send` with a later
+    /// [`Self::recv`]; the server answers strictly in request order.
+    ///
+    /// # Errors
+    /// Propagates I/O failures.
+    pub fn send(&mut self, method: &str, path: &str, body: Option<&str>) -> std::io::Result<()> {
+        let bytes = self.render(method, path, body.unwrap_or(""), false);
+        self.writer.write_all(bytes.as_bytes())?;
+        self.writer.flush()
+    }
+
+    /// Reads one response (status, body) — the other half of
+    /// [`Self::send`].
     ///
     /// # Errors
     /// Propagates I/O failures and malformed responses.
-    pub fn request(
-        &mut self,
-        method: &str,
-        path: &str,
-        body: Option<&str>,
-    ) -> std::io::Result<(u16, String)> {
-        let body = body.unwrap_or("");
-        write!(
-            self.writer,
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
-            self.host,
-            body.len()
-        )?;
-        self.writer.flush()?;
-
+    pub fn recv(&mut self) -> std::io::Result<(u16, String)> {
         let mut status_line = String::new();
         if self.reader.read_line(&mut status_line)? == 0 {
             return Err(std::io::Error::new(
@@ -96,6 +108,60 @@ impl HttpClient {
             std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 response body")
         })?;
         Ok((status, body))
+    }
+
+    /// Sends one request and reads the response.
+    ///
+    /// # Errors
+    /// Propagates I/O failures and malformed responses.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        self.send(method, path, body)?;
+        self.recv()
+    }
+
+    /// As [`Self::request`], with `Connection: close`: the server
+    /// answers, then closes. The client is spent afterwards.
+    ///
+    /// # Errors
+    /// As [`Self::request`].
+    pub fn request_closing(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<(u16, String)> {
+        let bytes = self.render(method, path, body.unwrap_or(""), true);
+        self.writer.write_all(bytes.as_bytes())?;
+        self.writer.flush()?;
+        self.recv()
+    }
+
+    /// Pipelines a burst: writes every request back to back in one
+    /// buffer (one write syscall), then reads the responses in order.
+    /// This is what lets the server's reactor drain the whole burst
+    /// into its admission queue in a single syscall round-trip.
+    ///
+    /// # Errors
+    /// Propagates I/O failures; on error, responses already read are
+    /// lost with it.
+    pub fn pipeline(
+        &mut self,
+        method: &str,
+        path: &str,
+        bodies: &[&str],
+    ) -> std::io::Result<Vec<(u16, String)>> {
+        let mut burst = String::new();
+        for body in bodies {
+            burst.push_str(&self.render(method, path, body, false));
+        }
+        self.writer.write_all(burst.as_bytes())?;
+        self.writer.flush()?;
+        bodies.iter().map(|_| self.recv()).collect()
     }
 }
 

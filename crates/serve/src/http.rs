@@ -1,4 +1,5 @@
-//! Minimal HTTP/1.1 front end over [`std::net::TcpListener`].
+//! HTTP/1.1 front end: endpoint routing, rendering, and server
+//! lifecycle over the event-driven transport in [`crate::reactor`].
 //!
 //! Endpoints:
 //!
@@ -13,39 +14,33 @@
 //!
 //! The server speaks just enough HTTP/1.1 for `curl`, the bundled
 //! [`crate::client::HttpClient`], and browsers: request line, headers,
-//! `Content-Length` bodies, and keep-alive (closed on request or on
-//! HTTP/1.0). One thread per connection; per-request work is bounded by
-//! the service's admission control, so connection concurrency — not
-//! request concurrency — is the only unbounded resource, which is fine
-//! at the workloads this reproduction targets.
+//! `Content-Length` bodies, keep-alive (closed on request or on
+//! HTTP/1.0), and request pipelining on persistent connections. One
+//! reactor thread multiplexes every connection over a readiness
+//! poller ([`crate::sync::poll`]); per-request work is bounded by the
+//! service's admission control and per-connection memory by the
+//! reactor's write-backlog cap, so neither connection count nor
+//! pipelining depth is an unbounded resource. This replaced a
+//! thread-per-connection loop whose blocking `/v1` handler parked one
+//! OS thread per in-flight request.
 
 use crate::json::Json;
-use crate::proto::{error_line, parse_request, render_reply};
-use crate::service::{NaiService, ServeError, Ticket};
+use crate::proto::error_line;
+use crate::reactor::{Reactor, TransportConfig};
+use crate::service::NaiService;
 use crate::sync::atomic::{AtomicBool, Ordering};
 use crate::sync::thread::{self, JoinHandle};
 use crate::sync::{lock_recover, Arc, Condvar, Mutex};
 use nai_obs::{PromWriter, Stage, TraceRecord};
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::net::UnixStream;
 use std::time::Duration;
 
 /// Content type of every JSON body.
-const CT_JSON: &str = "application/json";
+pub(crate) const CT_JSON: &str = "application/json";
 /// Content type of the Prometheus text exposition format.
 const CT_PROM: &str = "text/plain; version=0.0.4";
-
-/// Upper bound on accepted request bodies (1 MiB — far above any
-/// realistic micro-batch line, far below memory trouble).
-const MAX_BODY: usize = 1 << 20;
-/// Upper bound on one request/header line; longer lines are rejected
-/// before they buffer, so a connection can hold at most
-/// `MAX_HEADERS × MAX_HEADER_LINE + MAX_BODY` bytes.
-const MAX_HEADER_LINE: usize = 8 << 10;
-/// Upper bound on headers per request.
-const MAX_HEADERS: usize = 100;
-/// Per-connection socket read timeout.
-const READ_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Shutdown gate for the connection pool: a stop flag plus a counted
 /// set of active connections with a condition variable for the drain.
@@ -84,7 +79,7 @@ impl ConnGate {
 
     /// Latches the stop flag; returns whether this call was the first
     /// (the swap makes concurrent stop requests race-free: exactly one
-    /// caller performs the accept-loop unblocking side effect).
+    /// caller performs the reactor-waking side effect).
     pub fn request_stop(&self) -> bool {
         // AcqRel: exactly one winner, and the winner's prior writes
         // are visible to every later stopping() load.
@@ -134,18 +129,26 @@ impl Default for ConnGate {
     }
 }
 
-struct ServerState {
-    service: Arc<NaiService>,
-    addr: SocketAddr,
-    gate: ConnGate,
+pub(crate) struct ServerState {
+    pub(crate) service: Arc<NaiService>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) gate: ConnGate,
+    /// Write end of the reactor's wake pipe: one byte makes the
+    /// reactor leave `Poller::wait` and re-check the stop flag and the
+    /// completion queue. Non-blocking — a full pipe means a wake is
+    /// already pending, so the dropped byte is harmless.
+    pub(crate) waker: UnixStream,
 }
 
 impl ServerState {
-    fn request_stop(&self) {
+    pub(crate) fn request_stop(&self) {
         if self.gate.request_stop() {
-            // Unblock the accept loop with a throwaway connection.
-            let _ = TcpStream::connect(self.addr);
+            self.wake();
         }
+    }
+
+    pub(crate) fn wake(&self) {
+        let _ = (&self.waker).write(&[1u8]);
     }
 }
 
@@ -153,33 +156,50 @@ impl ServerState {
 /// [`Server::shutdown`] (or POST `/shutdown`) then [`Server::join`].
 pub struct Server {
     state: Arc<ServerState>,
-    accept: Option<JoinHandle<()>>,
+    reactor: Option<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts
-    /// accepting connections for `service`.
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// reactor for `service` with default [`TransportConfig`] knobs.
     ///
     /// # Errors
     /// Propagates the bind failure.
     pub fn start(service: Arc<NaiService>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        Self::start_with(service, addr, TransportConfig::default())
+    }
+
+    /// As [`Server::start`], with explicit transport knobs.
+    ///
+    /// # Errors
+    /// Propagates bind / poller-setup failures.
+    pub fn start_with(
+        service: Arc<NaiService>,
+        addr: impl ToSocketAddrs,
+        cfg: TransportConfig,
+    ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        let (wake_rx, waker) = UnixStream::pair()?;
+        wake_rx.set_nonblocking(true)?;
+        waker.set_nonblocking(true)?;
         let state = Arc::new(ServerState {
             service,
             addr: local,
             gate: ConnGate::new(),
+            waker,
         });
-        let accept_state = Arc::clone(&state);
-        let accept = thread::Builder::new()
-            .name("nai-serve-accept".to_string())
-            .spawn(move || accept_loop(listener, accept_state))
+        let reactor = Reactor::new(listener, wake_rx, Arc::clone(&state), cfg)?;
+        let handle = thread::Builder::new()
+            .name("nai-serve-reactor".to_string())
+            .spawn(move || reactor.run())
             // nai-lint: allow(hot-path-panic) -- spawn fails only on OS
             // resource exhaustion at startup, before any request is in flight.
-            .expect("spawn accept thread");
+            .expect("spawn reactor thread");
         Ok(Server {
             state,
-            accept: Some(accept),
+            reactor: Some(handle),
         })
     }
 
@@ -188,309 +208,49 @@ impl Server {
         self.state.addr
     }
 
-    /// Signals the accept loop to stop (equivalent to POST `/shutdown`).
+    /// Signals the reactor to stop (equivalent to POST `/shutdown`).
     pub fn shutdown(&self) {
         self.state.request_stop();
     }
 
-    /// Blocks until the accept loop has stopped and in-flight
-    /// connections have wound down, then shuts the service itself down
-    /// (draining every admitted request).
+    /// Blocks until the reactor has drained and stopped (after
+    /// [`Server::shutdown`] or a POST `/shutdown`), then shuts the
+    /// service itself down (draining every admitted request).
     pub fn join(mut self) {
-        if let Some(handle) = self.accept.take() {
+        if let Some(handle) = self.reactor.take() {
             let _ = handle.join();
         }
-        // Give connection threads a short grace to write their final
-        // responses; they hold no service slots beyond their tickets.
-        // The gate wakes the moment the pool empties (no poll loop) or
-        // gives up at the deadline — stragglers get their replies cut
-        // off, never a wedged join.
+        // The reactor counts every connection out before exiting, so
+        // this returns immediately; it stays as a guard on the gate's
+        // invariant (and would bound the wait if that ever broke).
         let _ = self.state.gate.await_drained(Duration::from_secs(2));
         self.state.service.shutdown();
     }
 }
 
-fn accept_loop(listener: TcpListener, state: Arc<ServerState>) {
-    loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                if state.gate.stopping() {
-                    break;
-                }
-                let conn_state = Arc::clone(&state);
-                // Counted in *before* the connection thread exists, so
-                // a join racing the spawn still waits for this
-                // connection; the thread itself counts out.
-                conn_state.gate.begin_conn();
-                let spawned = thread::Builder::new()
-                    .name("nai-serve-conn".to_string())
-                    .spawn(move || {
-                        let _ = handle_connection(stream, &conn_state);
-                        conn_state.gate.end_conn();
-                    });
-                if spawned.is_err() {
-                    // The closure never ran (and was dropped with its
-                    // stream): count the connection back out so join
-                    // does not wait its full grace period on a ghost.
-                    state.gate.end_conn();
-                }
-            }
-            Err(_) => {
-                if state.gate.stopping() {
-                    break;
-                }
-            }
-        }
-    }
-}
-
-struct HttpRequest {
-    method: String,
-    path: String,
-    http10: bool,
-    close: bool,
-    body: String,
-}
-
-/// `read_line` with a hard length cap: a peer streaming bytes with no
-/// newline cannot grow the buffer past `MAX_HEADER_LINE`.
-fn read_line_capped(
-    reader: &mut BufReader<TcpStream>,
-    line: &mut String,
-) -> std::io::Result<usize> {
-    let n = (&mut *reader)
-        .take(MAX_HEADER_LINE as u64)
-        .read_line(line)?;
-    if n >= MAX_HEADER_LINE && !line.ends_with('\n') {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "header line too long",
-        ));
-    }
-    Ok(n)
-}
-
-fn read_request(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<HttpRequest>> {
-    let mut line = String::new();
-    if read_line_capped(reader, &mut line)? == 0 {
-        return Ok(None); // clean EOF between requests
-    }
-    let mut parts = line.split_whitespace();
-    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
-        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v.to_string()),
-        _ => {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "malformed request line",
-            ))
-        }
-    };
-    let http10 = version == "HTTP/1.0";
-    let mut content_length = 0usize;
-    let mut close = http10;
-    for seen in 0.. {
-        if seen > MAX_HEADERS {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                "too many headers",
-            ));
-        }
-        let mut header = String::new();
-        if read_line_capped(reader, &mut header)? == 0 {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "eof inside headers",
-            ));
-        }
-        let header = header.trim_end();
-        if header.is_empty() {
-            break;
-        }
-        if let Some((key, value)) = header.split_once(':') {
-            let key = key.trim().to_ascii_lowercase();
-            let value = value.trim();
-            if key == "content-length" {
-                content_length = value.parse().map_err(|_| {
-                    std::io::Error::new(std::io::ErrorKind::InvalidData, "bad content-length")
-                })?;
-            } else if key == "connection" {
-                let v = value.to_ascii_lowercase();
-                close = v.contains("close") || (http10 && !v.contains("keep-alive"));
-            }
-        }
-    }
-    if content_length > MAX_BODY {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "body too large",
-        ));
-    }
-    let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
-    let body = String::from_utf8(body)
-        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
-    Ok(Some(HttpRequest {
-        method,
-        path,
-        http10,
-        close,
-        body,
-    }))
-}
-
-fn write_response(
-    stream: &mut TcpStream,
-    status: u16,
-    body: &str,
-    content_type: &str,
-    close: bool,
-) -> std::io::Result<()> {
-    let reason = match status {
-        200 => "OK",
-        400 => "Bad Request",
-        404 => "Not Found",
-        405 => "Method Not Allowed",
-        503 => "Service Unavailable",
-        _ => "Internal Server Error",
-    };
-    let connection = if close { "close" } else { "keep-alive" };
-    write!(
-        stream,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
-        body.len()
-    )?;
-    stream.flush()
-}
-
-fn handle_connection(stream: TcpStream, state: &ServerState) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    stream.set_nodelay(true)?;
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    loop {
-        let req = match read_request(&mut reader) {
-            Ok(Some(req)) => req,
-            Ok(None) => return Ok(()),
-            Err(e) if e.kind() == std::io::ErrorKind::InvalidData => {
-                let body = format!("{}\n", error_line("bad_request", Some(&e.to_string())));
-                let _ = write_response(&mut writer, 400, &body, CT_JSON, true);
-                return Ok(());
-            }
-            Err(e) => return Err(e),
-        };
-        let shutting_down = req.method == "POST" && req.path == "/shutdown";
-        let (status, body, content_type) = route(&req, state);
-        let close = req.close || req.http10 || shutting_down;
-        if shutting_down {
-            // Stop *before* writing the acknowledgement: a client that
-            // fires /shutdown and disconnects without reading the reply
-            // must still take the server down.
-            state.request_stop();
-        }
-        write_response(&mut writer, status, &body, content_type, close)?;
-        if close {
-            return Ok(());
-        }
-    }
-}
-
-fn route(req: &HttpRequest, state: &ServerState) -> (u16, String, &'static str) {
-    // Split the query string off the path; only /metrics reads it.
-    let (path, query) = match req.path.split_once('?') {
-        Some((p, q)) => (p, q),
-        None => (req.path.as_str(), ""),
-    };
+/// Routes the bodyless GET endpoints plus the 404/405 fallbacks; the
+/// reactor handles `POST /v1` and `POST /shutdown` itself (they need
+/// the connection's response queue and the server's stop switch).
+pub(crate) fn route_basic(
+    method: &str,
+    path: &str,
+    query: &str,
+    service: &NaiService,
+) -> (u16, String, &'static str) {
     let json = |status: u16, body: String| (status, body, CT_JSON);
-    match (req.method.as_str(), path) {
-        ("GET", "/healthz") => json(200, format!("{}\n", health_json(&state.service))),
+    match (method, path) {
+        ("GET", "/healthz") => json(200, format!("{}\n", health_json(service))),
         ("GET", "/metrics") => {
             if query.split('&').any(|kv| kv == "format=prom") {
-                (200, metrics_prom(&state.service), CT_PROM)
+                (200, metrics_prom(service), CT_PROM)
             } else {
-                json(200, format!("{}\n", metrics_json(&state.service)))
+                json(200, format!("{}\n", metrics_json(service)))
             }
         }
-        ("GET", "/debug/slow") => json(200, format!("{}\n", slow_json(&state.service))),
-        ("POST", "/v1") => {
-            let (status, body) = batch_endpoint(&state.service, &req.body);
-            json(status, body)
-        }
-        ("POST", "/shutdown") => json(
-            200,
-            format!(
-                "{}\n",
-                Json::obj(vec![("status", Json::str("shutting_down"))])
-            ),
-        ),
+        ("GET", "/debug/slow") => json(200, format!("{}\n", slow_json(service))),
         ("GET" | "POST", _) => json(404, format!("{}\n", error_line("not_found", None))),
         _ => json(405, format!("{}\n", error_line("method_not_allowed", None))),
     }
-}
-
-/// Runs every line of a newline-JSON body through the service,
-/// preserving order. The HTTP status reflects the single-line case
-/// (503 overloaded / 400 invalid); multi-line bodies always get 200
-/// with per-line `"ok"` flags.
-fn batch_endpoint(service: &NaiService, body: &str) -> (u16, String) {
-    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
-    if lines.is_empty() {
-        return (400, format!("{}\n", error_line("empty_body", None)));
-    }
-    enum Outcome {
-        Pending(Ticket),
-        Failed(ServeError),
-        Unparsed(String),
-    }
-    let outcomes: Vec<Outcome> = lines
-        .iter()
-        .map(|line| match parse_request(line) {
-            Err(msg) => Outcome::Unparsed(msg),
-            Ok(req) => match service.submit(req) {
-                Ok(ticket) => Outcome::Pending(ticket),
-                Err(e) => Outcome::Failed(e),
-            },
-        })
-        .collect();
-    let mut status = 200;
-    let single = outcomes.len() == 1;
-    let mut out = String::new();
-    for outcome in outcomes {
-        let line = match outcome {
-            Outcome::Pending(ticket) => match ticket.wait(READ_TIMEOUT) {
-                Ok(reply) => render_reply(&reply),
-                Err(_) => {
-                    if single {
-                        status = 503;
-                    }
-                    error_line("timeout", None).to_string()
-                }
-            },
-            Outcome::Failed(e) => {
-                let (kind, message) = match &e {
-                    ServeError::Overloaded => ("overloaded", None),
-                    ServeError::ShuttingDown => ("shutting_down", None),
-                    ServeError::Timeout => ("timeout", None),
-                    ServeError::Invalid(m) => ("invalid", Some(m.as_str())),
-                };
-                if single {
-                    status = match e {
-                        ServeError::Invalid(_) => 400,
-                        _ => 503,
-                    };
-                }
-                error_line(kind, message).to_string()
-            }
-            Outcome::Unparsed(msg) => {
-                if single {
-                    status = 400;
-                }
-                error_line("invalid", Some(&msg)).to_string()
-            }
-        };
-        out.push_str(&line);
-        out.push('\n');
-    }
-    (status, out)
 }
 
 fn health_json(service: &NaiService) -> Json {
@@ -511,7 +271,11 @@ fn metrics_json(service: &NaiService) -> Json {
     // microsecond convention. Quantiles as integers, means as floats
     // (the stage-accounting test sums stage means against the
     // end-to-end mean — rounding to whole µs would eat the budget).
-    let us = |ns: u64| Json::uint(ns / 1_000);
+    // Nonzero sub-microsecond spans clamp to 1µs instead of truncating
+    // to 0 — cache hits answer in hundreds of nanoseconds, and a
+    // dashboard reading `p50: 0` would call that "no latency data".
+    // The exact values live in the additive `latency_ns` block.
+    let us = |ns: u64| Json::uint(if ns == 0 { 0 } else { (ns / 1_000).max(1) });
     let us_f = |ns: f64| Json::Num(ns / 1_000.0);
     let lq = m.latency.quantiles(&[0.5, 0.95, 0.99]);
     Json::obj(vec![
@@ -535,6 +299,18 @@ fn metrics_json(service: &NaiService) -> Json {
                 ("p99", us(lq[2])),
                 ("max", us(m.latency.max())),
                 ("mean", us_f(m.latency.mean())),
+            ]),
+        ),
+        (
+            // Exact nanosecond quantiles, for consumers that care
+            // about the sub-microsecond cache-hit regime the clamped
+            // `latency_us` block rounds away.
+            "latency_ns",
+            Json::obj(vec![
+                ("p50", Json::uint(lq[0])),
+                ("p95", Json::uint(lq[1])),
+                ("p99", Json::uint(lq[2])),
+                ("max", Json::uint(m.latency.max())),
             ]),
         ),
         (
@@ -564,6 +340,8 @@ fn metrics_json(service: &NaiService) -> Json {
             Json::obj(vec![
                 ("closed_on_max_batch", Json::uint(m.closed_on_max_batch)),
                 ("closed_on_deadline", Json::uint(m.closed_on_deadline)),
+                ("closed_on_idle", Json::uint(m.closed_on_idle)),
+                ("closed_on_shutdown", Json::uint(m.closed_on_shutdown)),
                 ("mean_size", Json::Num(m.batch_sizes.mean())),
                 ("p99_size", Json::uint(m.batch_sizes.quantile(0.99))),
                 (
@@ -671,18 +449,16 @@ fn metrics_prom(service: &NaiService) -> String {
     w.family(
         "nai_batch_closed_total",
         "counter",
-        "Batches closed, by close reason (max_batch vs deadline).",
+        "Batches closed, by close reason (max_batch, deadline, idle, shutdown).",
     );
-    w.counter(
-        "nai_batch_closed_total",
-        &[("reason", "max_batch")],
-        m.closed_on_max_batch,
-    );
-    w.counter(
-        "nai_batch_closed_total",
-        &[("reason", "deadline")],
-        m.closed_on_deadline,
-    );
+    for (reason, value) in [
+        ("max_batch", m.closed_on_max_batch),
+        ("deadline", m.closed_on_deadline),
+        ("idle", m.closed_on_idle),
+        ("shutdown", m.closed_on_shutdown),
+    ] {
+        w.counter("nai_batch_closed_total", &[("reason", reason)], value);
+    }
     w.family(
         "nai_macs_total",
         "counter",
@@ -705,7 +481,7 @@ fn metrics_prom(service: &NaiService) -> String {
     w.family(
         "nai_request_duration_seconds",
         "histogram",
-        "End-to-end latency (admission to reply), one sample per prediction.",
+        "End-to-end latency (transport ingress or admission to reply), one sample per prediction.",
     );
     w.histogram("nai_request_duration_seconds", &[], &m.latency, 1e-9);
     w.family(

@@ -59,6 +59,7 @@ pub mod http;
 pub mod json;
 pub mod obs;
 pub mod proto;
+pub mod reactor;
 pub mod service;
 pub mod sync;
 pub mod workload;
@@ -70,7 +71,11 @@ pub use http::{ConnGate, Server};
 pub use json::Json;
 pub use obs::ServeObs;
 pub use proto::{NodeResult, Op, Reply, Request};
-pub use service::{MacsCell, MetricsSnapshot, NaiService, ServeError, ServiceInfo, Ticket};
+pub use reactor::TransportConfig;
+pub use service::{
+    CompletionQueue, MacsCell, MetricsSnapshot, NaiService, ServeError, ServiceInfo, Submitted,
+    Ticket,
+};
 pub use workload::{zipf_rank, Arrivals, Sampling, WorkloadSampler, WorkloadSpec};
 
 #[cfg(test)]
@@ -440,6 +445,7 @@ mod tests {
 
     #[test]
     fn overloaded_is_typed_and_immediate() {
+        use crate::sync::atomic::{AtomicBool, Ordering};
         let shards = engine_shards(40, 1, 9);
         let cfg = ServeConfig {
             workers: 1,
@@ -448,36 +454,71 @@ mod tests {
             queue_cap: 2,
             ..serve_cfg(1)
         };
-        let service = NaiService::new(shards, infer_cfg(), cfg).unwrap();
-        // Fill the admission bound: the scheduler sits on its max_wait
-        // deadline, so these stay in flight.
-        let t1 = service
-            .submit(Request {
+        let service = Arc::new(NaiService::new(shards, infer_cfg(), cfg).unwrap());
+        // The work-conserving batcher no longer parks admitted requests
+        // on the max_wait deadline, so two idle submissions cannot pin
+        // the admission bound. Saturate it the honest way instead: two
+        // closed-loop flooders that resubmit the moment they are
+        // answered keep in_flight hovering at queue_cap.
+        let stop = Arc::new(AtomicBool::new(false));
+        let flooders: Vec<_> = (0..2)
+            .map(|_| {
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                crate::sync::thread::spawn(move || {
+                    // Relaxed: plain stop flag; no data published through it.
+                    while !stop.load(Ordering::Relaxed) {
+                        let _ = service.call(Request {
+                            op: Op::Infer {
+                                nodes: (0..40).collect(),
+                            },
+                            shard: None,
+                        });
+                    }
+                })
+            })
+            .collect();
+        // With the cap saturated, a submission must be rejected typed
+        // and immediately — never a hang. The flooders' replies race
+        // our probes, so retry until a probe lands on a full cap.
+        let deadline = crate::sync::time::Instant::now() + Duration::from_secs(10);
+        let mut rejected = false;
+        while crate::sync::time::Instant::now() < deadline {
+            let start = crate::sync::time::Instant::now();
+            match service.submit(Request {
+                op: Op::Infer { nodes: vec![3] },
+                shard: None,
+            }) {
+                Err(ServeError::Overloaded) => {
+                    assert!(
+                        start.elapsed() < Duration::from_millis(100),
+                        "rejection must be immediate, took {:?}",
+                        start.elapsed()
+                    );
+                    rejected = true;
+                    break;
+                }
+                Ok(t) => {
+                    let _ = t.wait(Duration::from_secs(10));
+                }
+                Err(e) => panic!("unexpected submit error: {e}"),
+            }
+        }
+        assert!(rejected, "a saturated admission bound must reject");
+        assert!(service.metrics().overloaded >= 1);
+        // Relaxed: plain stop flag; no data published through it.
+        stop.store(true, Ordering::Relaxed);
+        for f in flooders {
+            let _ = f.join();
+        }
+        // The bound is a rejection, not a latch: drained, new work is
+        // admitted again.
+        assert!(service
+            .call(Request {
                 op: Op::Infer { nodes: vec![1] },
                 shard: None,
             })
-            .unwrap();
-        let t2 = service
-            .submit(Request {
-                op: Op::Infer { nodes: vec![2] },
-                shard: None,
-            })
-            .unwrap();
-        let start = crate::sync::time::Instant::now();
-        let rejected = service.submit(Request {
-            op: Op::Infer { nodes: vec![3] },
-            shard: None,
-        });
-        assert!(matches!(rejected, Err(ServeError::Overloaded)));
-        assert!(
-            start.elapsed() < Duration::from_millis(100),
-            "rejection must be immediate, took {:?}",
-            start.elapsed()
-        );
-        assert_eq!(service.metrics().overloaded, 1);
-        // The admitted requests still complete.
-        assert!(t1.wait(Duration::from_secs(10)).is_ok());
-        assert!(t2.wait(Duration::from_secs(10)).is_ok());
+            .is_ok());
     }
 
     #[test]
@@ -729,7 +770,15 @@ mod tests {
         }
         assert_eq!(m.batch_sizes.count(), m.batches);
         assert_eq!(m.batch_sizes.sum(), 10, "every request rode one batch");
-        assert_eq!(m.closed_on_max_batch + m.closed_on_deadline, m.batches);
+        assert_eq!(
+            m.closed_on_max_batch + m.closed_on_deadline + m.closed_on_idle + m.closed_on_shutdown,
+            m.batches,
+            "every batch closes for exactly one reason"
+        );
+        // A single closed-loop client means each popped request is the
+        // only one in flight: the work-conserving batcher closes those
+        // batches immediately instead of sleeping out max_wait.
+        assert!(m.closed_on_idle >= 1, "work-conserving closes happened");
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub struct ServeObs {
     batch_sizes: LogHistogram,
     closed_on_max_batch: AtomicU64,
     closed_on_deadline: AtomicU64,
+    closed_on_idle: AtomicU64,
+    closed_on_shutdown: AtomicU64,
     /// The slowest requests per window, full stage timelines.
     recorder: FlightRecorder,
     /// Monotone trace-id source (ids start at 1; 0 is never issued).
@@ -56,6 +58,8 @@ impl ServeObs {
             batch_sizes: LogHistogram::new(),
             closed_on_max_batch: AtomicU64::new(0),
             closed_on_deadline: AtomicU64::new(0),
+            closed_on_idle: AtomicU64::new(0),
+            closed_on_shutdown: AtomicU64::new(0),
             recorder: FlightRecorder::new(SLOW_TRACES, SLOW_WINDOW),
             next_trace: AtomicU64::new(1),
         }
@@ -75,6 +79,8 @@ impl ServeObs {
             // Relaxed: monotone counters read only by scrapes.
             CloseReason::MaxBatch => self.closed_on_max_batch.fetch_add(1, Ordering::Relaxed),
             CloseReason::Deadline => self.closed_on_deadline.fetch_add(1, Ordering::Relaxed),
+            CloseReason::Idle => self.closed_on_idle.fetch_add(1, Ordering::Relaxed),
+            CloseReason::Shutdown => self.closed_on_shutdown.fetch_add(1, Ordering::Relaxed),
         };
     }
 
@@ -125,11 +131,25 @@ impl ServeObs {
         self.closed_on_max_batch.load(Ordering::Relaxed)
     }
 
-    /// Batches closed by the `max_wait` deadline (or the shutdown
-    /// drain of a partial batch).
+    /// Batches closed by the `max_wait` deadline while other admitted
+    /// requests were still in transit.
     pub fn closed_on_deadline(&self) -> u64 {
         // Relaxed: scrape of a monotone counter; staleness is fine.
         self.closed_on_deadline.load(Ordering::Relaxed)
+    }
+
+    /// Batches closed work-conservingly: every admitted request was
+    /// already aboard, so waiting out `max_wait` was pointless.
+    pub fn closed_on_idle(&self) -> u64 {
+        // Relaxed: scrape of a monotone counter; staleness is fine.
+        self.closed_on_idle.load(Ordering::Relaxed)
+    }
+
+    /// Partial batches drained by shutdown (teardown artifact, kept
+    /// out of the policy counters above).
+    pub fn closed_on_shutdown(&self) -> u64 {
+        // Relaxed: scrape of a monotone counter; staleness is fine.
+        self.closed_on_shutdown.load(Ordering::Relaxed)
     }
 }
 
@@ -149,11 +169,15 @@ mod tests {
         obs.note_batch(8, CloseReason::MaxBatch);
         obs.note_batch(3, CloseReason::Deadline);
         obs.note_batch(8, CloseReason::MaxBatch);
+        obs.note_batch(2, CloseReason::Idle);
+        obs.note_batch(1, CloseReason::Shutdown);
         assert_eq!(obs.closed_on_max_batch(), 2);
         assert_eq!(obs.closed_on_deadline(), 1);
+        assert_eq!(obs.closed_on_idle(), 1);
+        assert_eq!(obs.closed_on_shutdown(), 1);
         let sizes = obs.batch_sizes();
-        assert_eq!(sizes.count(), 3);
-        assert_eq!(sizes.sum(), 19);
+        assert_eq!(sizes.count(), 5);
+        assert_eq!(sizes.sum(), 22);
         assert_eq!(sizes.exact_small_counts()[8], 2, "exact small buckets");
     }
 

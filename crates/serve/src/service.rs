@@ -24,7 +24,11 @@
 //! forming batch closes when it holds `max_batch` requests *or* its
 //! oldest request has waited `max_wait` — larger/longer batches amortize
 //! the per-batch stationary and BFS work, at the cost of queueing
-//! latency.
+//! latency. The batcher is also *work-conserving*: when the intake
+//! channel is empty and every admitted request is already aboard the
+//! forming batch, no further arrival can possibly join before
+//! dispatch, so the batch closes immediately (`CloseReason::Idle`)
+//! instead of sleeping out the rest of the `max_wait` window.
 //!
 //! **Sequenced mutation replication**: each worker owns one
 //! [`StreamingEngine`] replica (same checkpoint, private graph +
@@ -65,7 +69,9 @@ use crate::cache::{Invalidation, VersionedCache};
 use crate::obs::ServeObs;
 use crate::proto::{NodeResult, Op, Reply, Request};
 use crate::sync::atomic::{AtomicU64, Ordering};
-use crate::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use crate::sync::mpsc::{
+    self, Receiver, RecvTimeoutError, Sender, SyncSender, TryRecvError, TrySendError,
+};
 use crate::sync::thread::{self, JoinHandle};
 use crate::sync::time::Instant;
 use crate::sync::{lock_recover, Arc, Mutex};
@@ -176,9 +182,17 @@ pub struct MetricsSnapshot {
     pub batch_sizes: HistogramSnapshot,
     /// Batches closed because the forming batch reached `max_batch`.
     pub closed_on_max_batch: u64,
-    /// Batches closed by the `max_wait` deadline (or the shutdown
-    /// drain of a partial batch).
+    /// Batches closed by the `max_wait` deadline while other admitted
+    /// requests were still in transit toward them.
     pub closed_on_deadline: u64,
+    /// Batches closed work-conservingly: every admitted request was
+    /// already aboard the forming batch, so waiting out the deadline
+    /// could only have added latency.
+    pub closed_on_idle: u64,
+    /// Partial batches drained by shutdown — a teardown artifact,
+    /// counted apart so the deadline counter describes batching policy
+    /// only.
+    pub closed_on_shutdown: u64,
     /// Cumulative per-stage MACs. Inference stages (propagation / NAP /
     /// classification) are summed over replicas — each read or
     /// prediction runs on exactly one. The `replication` stage is the
@@ -206,13 +220,88 @@ impl MetricsSnapshot {
     }
 }
 
-/// The admission slot + reply channel of one accepted request; exactly
+/// The reply mailbox of an event-driven transport: workers push
+/// `(token, reply)` pairs and fire `notify` on the empty→non-empty
+/// edge; the reactor drains the mailbox on its next loop turn. One
+/// queue serves every connection of a reactor — the token (issued by
+/// the reactor at submit time) names the response slot the reply
+/// fills, so no per-request channel is ever allocated and the reactor
+/// is woken instead of parked.
+pub struct CompletionQueue {
+    replies: Mutex<Vec<(u64, Reply)>>,
+    /// Fired outside the lock when a push found the mailbox empty —
+    /// exactly the moments the reactor may be parked in its readiness
+    /// wait with nothing left to drain. The reactor installs a closure
+    /// that writes one byte to its wake pipe.
+    notify: Box<dyn Fn() + Send + Sync>,
+}
+
+impl CompletionQueue {
+    /// A mailbox whose empty→non-empty transitions fire `notify`.
+    pub fn new(notify: Box<dyn Fn() + Send + Sync>) -> Self {
+        CompletionQueue {
+            replies: Mutex::new(Vec::new()),
+            notify,
+        }
+    }
+
+    /// Delivers one reply. `notify` fires iff the mailbox was empty: a
+    /// drain concurrent with this push either runs after it under the
+    /// lock (and collects the entry), or emptied the mailbox before it
+    /// (making this push the empty→non-empty edge, which notifies) —
+    /// either way no reply is ever stranded without a wake.
+    pub fn push(&self, token: u64, reply: Reply) {
+        let was_empty = {
+            let mut q = lock_recover(&self.replies);
+            let was_empty = q.is_empty();
+            q.push((token, reply));
+            was_empty
+        };
+        if was_empty {
+            (self.notify)();
+        }
+    }
+
+    /// Takes every queued `(token, reply)` pair, oldest first.
+    pub fn drain(&self) -> Vec<(u64, Reply)> {
+        std::mem::take(&mut *lock_recover(&self.replies))
+    }
+}
+
+/// Where a reply lands: a per-request channel (the blocking
+/// [`Ticket`] path) or a shared [`CompletionQueue`] keyed by token
+/// (the event-driven transport path).
+enum ReplySink {
+    Channel(Sender<Reply>),
+    Completion {
+        queue: Arc<CompletionQueue>,
+        token: u64,
+    },
+}
+
+impl ReplySink {
+    fn deliver(&self, reply: Reply) {
+        match self {
+            // A dropped receiver (client timed out or disconnected) is
+            // not an error: the reply is simply discarded.
+            ReplySink::Channel(tx) => drop(tx.send(reply)),
+            ReplySink::Completion { queue, token } => queue.push(*token, reply),
+        }
+    }
+}
+
+/// The admission slot + reply sink of one accepted request; exactly
 /// one party (a worker, or the scheduler for never-dispatched jobs)
 /// answers it, releasing the slot.
 struct ReplyHandle {
-    responder: Sender<Reply>,
+    responder: ReplySink,
     /// Trace id issued at admission; keys the flight-recorder entry.
     trace_id: u64,
+    /// Transport parse span (ns): request bytes read off the socket →
+    /// op submitted for admission. Zero for in-process callers, which
+    /// skip the transport. Added to the reported end-to-end latency so
+    /// the stage spans keep tiling it.
+    parse_ns: u64,
     enqueued: Instant,
     /// When the scheduler popped the job off the request channel
     /// (initialized to `enqueued`; the pop overwrites it). The
@@ -378,7 +467,7 @@ impl Shared {
         // racing the counter (and `queue_depth` reads 0 once every
         // reply of a closed loop has been received).
         self.admission.note_answered(who);
-        let _ = handle.responder.send(reply);
+        handle.responder.deliver(reply);
     }
 
     /// [`Self::respond`] for replies that carry predictions: stamps the
@@ -391,8 +480,9 @@ impl Shared {
         // the serialize span end at the same instant, so the stage sum
         // tiles the measured total (up to the engine's interior glue).
         let now = Instant::now();
-        let total_ns = dur_ns(now.saturating_duration_since(handle.enqueued));
+        let total_ns = handle.parse_ns + dur_ns(now.saturating_duration_since(handle.enqueued));
         let mut stages = StageBreakdown::default();
+        stages.set(Stage::Parse, handle.parse_ns);
         stages.set(
             Stage::QueueWait,
             dur_ns(handle.dequeued.saturating_duration_since(handle.enqueued)),
@@ -508,6 +598,8 @@ impl Shared {
             batch_sizes: self.obs.batch_sizes(),
             closed_on_max_batch: self.obs.closed_on_max_batch(),
             closed_on_deadline: self.obs.closed_on_deadline(),
+            closed_on_idle: self.obs.closed_on_idle(),
+            closed_on_shutdown: self.obs.closed_on_shutdown(),
             macs,
         }
     }
@@ -540,6 +632,17 @@ impl Ticket {
             .recv_timeout(timeout)
             .map_err(|_| ServeError::Timeout)
     }
+}
+
+/// The outcome of [`NaiService::submit_completion`].
+#[derive(Debug)]
+pub enum Submitted {
+    /// Admitted: the reply will arrive on the completion queue under
+    /// the submitted token.
+    Pending,
+    /// Answered inline from the prediction cache — nothing was queued
+    /// and nothing will land on the completion queue.
+    Done(Reply),
 }
 
 /// The online inference service (transport-agnostic; see
@@ -706,6 +809,53 @@ impl NaiService {
     /// [`ServeError::Invalid`] for an out-of-range shard hint,
     /// [`ServeError::ShuttingDown`] after [`Self::shutdown`] began.
     pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        let (rtx, rrx) = mpsc::channel();
+        if let Some(reply) = self.submit_with(req, 0, ReplySink::Channel(rtx.clone()))? {
+            // Cache fast path: pre-resolve the ticket.
+            let _ = rtx.send(reply);
+        }
+        Ok(Ticket { rx: rrx })
+    }
+
+    /// Enqueues a request whose reply is delivered to an event-driven
+    /// transport's [`CompletionQueue`] under `token` instead of a
+    /// per-request channel. A read answered entirely from the
+    /// prediction cache short-circuits: the reply comes back inline as
+    /// [`Submitted::Done`] and nothing ever lands on the queue.
+    ///
+    /// `parse_ns` is the transport's parse span (request bytes read
+    /// off the socket → this call); it is stamped as the `parse` stage
+    /// and counted into the request's end-to-end latency.
+    ///
+    /// # Errors
+    /// As [`Self::submit`].
+    pub fn submit_completion(
+        &self,
+        req: Request,
+        parse_ns: u64,
+        queue: &Arc<CompletionQueue>,
+        token: u64,
+    ) -> Result<Submitted, ServeError> {
+        let sink = ReplySink::Completion {
+            queue: Arc::clone(queue),
+            token,
+        };
+        Ok(match self.submit_with(req, parse_ns, sink)? {
+            Some(reply) => Submitted::Done(reply),
+            None => Submitted::Pending,
+        })
+    }
+
+    /// The shared submit path. Returns `Ok(Some(reply))` when the
+    /// prediction cache answered on this thread (the sink is unused),
+    /// `Ok(None)` when the request was admitted and the reply will
+    /// arrive through the sink.
+    fn submit_with(
+        &self,
+        req: Request,
+        parse_ns: u64,
+        sink: ReplySink,
+    ) -> Result<Option<Reply>, ServeError> {
         if let Some(s) = req.shard {
             if s >= self.info.shards {
                 return Err(ServeError::Invalid(format!(
@@ -727,7 +877,13 @@ impl NaiService {
                 cached_read = true;
                 let begun = Instant::now();
                 if let Some((applied_seq, results)) = cache.lookup(nodes) {
-                    return Ok(self.answer_from_cache(begun, req.shard, applied_seq, results));
+                    return Ok(Some(self.answer_from_cache(
+                        begun,
+                        parse_ns,
+                        req.shard,
+                        applied_seq,
+                        results,
+                    )));
                 }
             }
         }
@@ -737,14 +893,14 @@ impl NaiService {
             self.shared.overloaded.fetch_add(1, Ordering::Relaxed);
             return Err(ServeError::Overloaded);
         }
-        let (rtx, rrx) = mpsc::channel();
         let enqueued = Instant::now();
         let job = Job {
             op: req.op,
             shard: req.shard,
             handle: ReplyHandle {
-                responder: rtx,
+                responder: sink,
                 trace_id: self.shared.obs.next_trace_id(),
+                parse_ns,
                 enqueued,
                 dequeued: enqueued,
             },
@@ -753,7 +909,7 @@ impl NaiService {
         let outcome = match guard.as_ref() {
             None => Err(ServeError::ShuttingDown),
             Some(tx) => match tx.try_send(job) {
-                Ok(()) => Ok(Ticket { rx: rrx }),
+                Ok(()) => Ok(None),
                 // The sync_channel capacity equals queue_cap, so with the
                 // admission counter reserved this is unreachable in
                 // practice — kept as a typed backstop, not a panic.
@@ -783,17 +939,19 @@ impl NaiService {
 
     /// Answers a fully cached read on the caller's thread: bumps
     /// `served`, records the (sub-batching) latency, depths, and trace,
-    /// and returns a pre-resolved ticket. The reply's `shard` is the
-    /// caller's hint (or replica 0): no replica did any work, but the
-    /// field must name a valid one.
+    /// and returns the reply. The reply's `shard` is the caller's hint
+    /// (or replica 0): no replica did any work, but the field must
+    /// name a valid one.
     fn answer_from_cache(
         &self,
         begun: Instant,
+        parse_ns: u64,
         hint: Option<usize>,
         applied_seq: u64,
         results: Vec<NodeResult>,
-    ) -> Ticket {
-        let total_ns = dur_ns(begun.elapsed());
+    ) -> Reply {
+        let lookup_ns = dur_ns(begun.elapsed());
+        let total_ns = parse_ns + lookup_ns;
         self.shared
             .served
             // Relaxed: monotone count, read only by scrapes.
@@ -802,10 +960,11 @@ impl NaiService {
             self.shared.obs.note_prediction(total_ns, r.depth as u64);
         }
         // A cache hit never queues, batches, or touches the engine: its
-        // whole lifetime is the serialize stage, and its trace says so
-        // (batch_size 0 — it rode no batch).
+        // whole lifetime is transport parse + the serialize stage, and
+        // its trace says so (batch_size 0 — it rode no batch).
         let mut stages = StageBreakdown::default();
-        stages.set(Stage::Serialize, total_ns);
+        stages.set(Stage::Parse, parse_ns);
+        stages.set(Stage::Serialize, lookup_ns);
         self.shared.obs.note_request(
             &stages,
             TraceRecord {
@@ -828,13 +987,11 @@ impl NaiService {
                 close_reason: "cache_hit",
             },
         );
-        let (rtx, rrx) = mpsc::channel();
-        let _ = rtx.send(Reply::Infer {
+        Reply::Infer {
             shard: hint.unwrap_or(0),
             applied_seq,
             results,
-        });
-        Ticket { rx: rrx }
+        }
     }
 
     /// [`Self::submit`] + wait, with a 30 s answer deadline.
@@ -1255,19 +1412,38 @@ impl Scheduler {
                     Err(_) => break,
                 }
             } else {
-                let deadline = forming[0].handle.enqueued + self.cfg.max_wait;
-                match deadline.checked_duration_since(Instant::now()) {
-                    None => None, // oldest request's wait budget is spent
-                    Some(remaining) => match rx.recv_timeout(remaining) {
-                        Ok(job) => Some(job),
-                        Err(RecvTimeoutError::Timeout) => None,
-                        Err(RecvTimeoutError::Disconnected) => {
-                            // Shutdown drain of a partial batch: the
-                            // deadline side of the policy, not max_batch.
-                            self.dispatch(&mut forming, CloseReason::Deadline);
-                            break;
+                match rx.try_recv() {
+                    Ok(job) => Some(job),
+                    Err(TryRecvError::Disconnected) => {
+                        self.dispatch(&mut forming, CloseReason::Shutdown);
+                        break;
+                    }
+                    Err(TryRecvError::Empty) => {
+                        // Work-conserving close: the channel is empty
+                        // and every in-flight request is already aboard
+                        // the forming batch, so nothing else can arrive
+                        // before dispatch — sleeping out the rest of
+                        // `max_wait` would only add latency. (Slots are
+                        // reserved *before* the channel send, so an
+                        // admitted-but-unsent request keeps in_flight
+                        // above the batch size and we wait for it.)
+                        if self.shared.admission.in_flight() <= forming.len() {
+                            self.dispatch(&mut forming, CloseReason::Idle);
+                            continue;
                         }
-                    },
+                        let deadline = forming[0].handle.enqueued + self.cfg.max_wait;
+                        match deadline.checked_duration_since(Instant::now()) {
+                            None => None, // oldest request's wait budget is spent
+                            Some(remaining) => match rx.recv_timeout(remaining) {
+                                Ok(job) => Some(job),
+                                Err(RecvTimeoutError::Timeout) => None,
+                                Err(RecvTimeoutError::Disconnected) => {
+                                    self.dispatch(&mut forming, CloseReason::Shutdown);
+                                    break;
+                                }
+                            },
+                        }
+                    }
                 }
             };
             match next {

@@ -77,6 +77,18 @@ pub mod time {
     pub use std::time::Instant;
 }
 
+/// Readiness polling. The reactor's event loop blocks in
+/// [`poll::Poller::wait`], which is a scheduling decision exactly like
+/// a `Condvar` wait — so the vendored `polling` crate routes through
+/// the facade and the `sync-facade` lint forbids naming `polling::…`
+/// anywhere else in the crate. Like [`time::Instant`], both builds use
+/// the real implementation: loom has no readiness model, and the model
+/// tests exercise the reactor's shared state (gate, completion queue)
+/// directly without ever constructing a poller.
+pub mod poll {
+    pub use polling::{Event, Interest, Poller};
+}
+
 /// Lock, recovering from poison: a mutex poisoned by a panicking
 /// worker still yields its data. Observability and teardown paths
 /// (`/metrics` scrapes, `into_engines`) use this so one dead worker

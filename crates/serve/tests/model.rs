@@ -30,7 +30,9 @@
 use loom::sync::atomic::{AtomicU64, Ordering};
 use loom::sync::Arc;
 use loom::{Builder, Stats};
-use nai_serve::{AdmissionLedger, ConnGate, Invalidation, MacsCell, VersionedCache};
+use nai_serve::{
+    AdmissionLedger, CompletionQueue, ConnGate, Invalidation, MacsCell, Reply, VersionedCache,
+};
 use nai_stream::MacsBreakdown;
 use std::time::Duration;
 
@@ -235,6 +237,58 @@ fn conn_gate_stop_latches_exactly_once() {
             "exactly one stopper may observe the first transition"
         );
     });
+}
+
+/// Invariant 5: the reactor's completion mailbox never strands a
+/// reply without a wake. A worker push racing the reactor's drain
+/// either lands before the drain (and is collected by it), or lands
+/// after the drain emptied the mailbox — making the push the
+/// empty→non-empty edge, which fires `notify`. If the edge detection
+/// and the enqueue were not under one lock, a schedule would exist
+/// where a reply sits in the mailbox with no wake recorded, and the
+/// reactor (parked in `Poller::wait` with no timeout pressure) would
+/// never answer that request.
+#[test]
+fn completion_queue_never_strands_a_reply_without_a_wake() {
+    let stats = dfs(2)
+        .check_quiet(|| {
+            let wakes = Arc::new(AtomicU64::new(0));
+            let w = wakes.clone();
+            let queue = Arc::new(CompletionQueue::new(Box::new(move || {
+                // Relaxed: the assertion reads after join(), which
+                // orders the count; nothing else rides this counter.
+                w.fetch_add(1, Ordering::Relaxed);
+            })));
+            let q = queue.clone();
+            let worker = loom::thread::spawn(move || {
+                q.push(
+                    1,
+                    Reply::Error {
+                        message: "x".into(),
+                    },
+                );
+            });
+            // The reactor drains once mid-race (as if woken for some
+            // other reason), then goes back to sleep.
+            let early = queue.drain();
+            worker.join().unwrap();
+            if early.is_empty() {
+                // The push lost the early drain: it must have fired
+                // the wake, so the reactor's next turn collects it.
+                assert!(
+                    wakes.load(Ordering::Relaxed) >= 1,
+                    "reply enqueued after the drain but no wake fired"
+                );
+            }
+            let late = queue.drain();
+            assert_eq!(
+                early.len() + late.len(),
+                1,
+                "the reply must be delivered exactly once"
+            );
+        })
+        .expect("completion mailbox must never lose a wakeup");
+    assert!(stats.exhausted);
 }
 
 /// The pre-refactor `worker_macs` pattern: four per-stage counters

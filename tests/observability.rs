@@ -15,7 +15,7 @@
 //!   0.0.4 text: typed families, cumulative `le` buckets ending in
 //!   `+Inf`, exact `_sum`/`_count`, labeled stage series;
 //! * **flight recorder** — `/debug/slow` returns well-formed traces,
-//!   slowest first, each with the full six-stage timeline;
+//!   slowest first, each with the full seven-stage timeline;
 //! * **batch anatomy** — every dispatched batch is accounted to
 //!   exactly one close reason.
 
@@ -52,7 +52,8 @@ fn engine() -> StreamingEngine {
     StreamingEngine::with_lambda2(DynamicGraph::from_graph(&g), classifiers, None, 0.5, 0.9)
 }
 
-const STAGES: [&str; 6] = [
+const STAGES: [&str; 7] = [
+    "parse",
     "queue_wait",
     "batch_wait",
     "engine_propagation",
@@ -142,8 +143,13 @@ fn stage_spans_tile_e2e_latency_and_scrape_surfaces_agree() {
         .get("closed_on_deadline")
         .and_then(Json::as_u64)
         .unwrap();
+    let on_idle = batch.get("closed_on_idle").and_then(Json::as_u64).unwrap();
+    let on_shutdown = batch
+        .get("closed_on_shutdown")
+        .and_then(Json::as_u64)
+        .unwrap();
     assert_eq!(
-        on_max + on_deadline,
+        on_max + on_deadline + on_idle + on_shutdown,
         batches,
         "every batch closes for exactly one reason"
     );
@@ -177,6 +183,8 @@ fn stage_spans_tile_e2e_latency_and_scrape_surfaces_agree() {
     }
     assert!(prom.contains("nai_batch_closed_total{reason=\"max_batch\"}"));
     assert!(prom.contains("nai_batch_closed_total{reason=\"deadline\"}"));
+    assert!(prom.contains("nai_batch_closed_total{reason=\"idle\"}"));
+    assert!(prom.contains("nai_batch_closed_total{reason=\"shutdown\"}"));
     // Cumulative `le` buckets: counts never decrease along a series.
     let bucket_counts: Vec<u64> = prom
         .lines()
@@ -221,7 +229,7 @@ fn stage_spans_tile_e2e_latency_and_scrape_surfaces_agree() {
         );
         let reason = t.get("close_reason").and_then(Json::as_str).unwrap();
         assert!(
-            ["max_batch", "deadline", "cache_hit"].contains(&reason),
+            ["max_batch", "deadline", "idle", "shutdown", "cache_hit"].contains(&reason),
             "unknown close reason {reason}"
         );
     }

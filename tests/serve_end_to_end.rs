@@ -236,9 +236,12 @@ fn queue_overflow_returns_overloaded_not_a_hang() {
         infer_cfg(),
         ServeConfig {
             workers: 1,
-            // A large batch + long deadline keeps admitted requests in
-            // flight while the burst lands, so the bound must trip.
-            max_batch: 1024,
+            // max_batch 1 keeps the lone worker busy in the engine (one
+            // request per flush) while the rest of the burst lands, so
+            // the admission bound must trip even though the
+            // work-conserving batcher no longer parks admitted requests
+            // on the deadline.
+            max_batch: 1,
             max_wait: Duration::from_millis(400),
             queue_cap: CAP,
             shed: LoadShedPolicy {
@@ -252,26 +255,37 @@ fn queue_overflow_returns_overloaded_not_a_hang() {
     let server = Server::start(Arc::new(service), "127.0.0.1:0").unwrap();
     let addr = server.local_addr();
 
+    // One pipelined burst, led by a deliberately expensive request (a
+    // few thousand node reads) that pins the lone worker inside the
+    // engine. The reactor's batched parse pushes the 12 small requests
+    // behind it into admission back to back — microseconds, while the
+    // worker is busy for milliseconds — so at most one of them can be
+    // popped before the queue bound trips and the rest shed.
     let start = Instant::now();
-    let outcomes: Vec<(u16, String)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..CLIENTS)
-            .map(|i| {
-                scope.spawn(move || {
-                    let body = format!("{{\"op\":\"infer\",\"nodes\":[{}]}}\n", i % SEED_NODES);
-                    let (status, body) =
-                        nai::serve::http_call(addr, "POST", "/v1", Some(&body)).unwrap();
-                    let kind = Json::parse(body.trim())
-                        .unwrap()
-                        .get("error")
-                        .and_then(Json::as_str)
-                        .unwrap_or("ok")
-                        .to_string();
-                    (status, kind)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+    let big_nodes: Vec<String> = (0..4000).map(|i| (i % SEED_NODES).to_string()).collect();
+    let mut lines = vec![format!(
+        "{{\"op\":\"infer\",\"nodes\":[{}]}}\n",
+        big_nodes.join(",")
+    )];
+    lines.extend(
+        (0..CLIENTS).map(|i| format!("{{\"op\":\"infer\",\"nodes\":[{}]}}\n", i % SEED_NODES)),
+    );
+    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    let mut client = HttpClient::connect(addr).unwrap();
+    let mut replies = client.pipeline("POST", "/v1", &refs).unwrap().into_iter();
+    let (big_status, _) = replies.next().unwrap();
+    assert_eq!(big_status, 200, "the pinning request itself is served");
+    let outcomes: Vec<(u16, String)> = replies
+        .map(|(status, body)| {
+            let kind = Json::parse(body.trim())
+                .unwrap()
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("ok")
+                .to_string();
+            (status, kind)
+        })
+        .collect();
     // Every client got an answer, promptly — nobody hung on a full queue.
     assert!(
         start.elapsed() < Duration::from_secs(15),
