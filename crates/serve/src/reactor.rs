@@ -25,12 +25,17 @@
 //!   pipelining requests is throttled by TCP instead of ballooning
 //!   server memory.
 //! * **Liveness.** `last_activity` advances on every completed request
-//!   parse. A connection with nothing in flight and no activity for
-//!   `read_timeout` is evicted — this covers slowloris senders,
-//!   half-open peers, idle keep-alive connections, and readers that
-//!   never drain their responses. Pending batches carry their own
-//!   deadline: missing replies are filled with `timeout` error lines
-//!   so one stuck request cannot wedge the connection behind it.
+//!   parse and on every byte of write progress. A connection with no
+//!   activity for `read_timeout` is evicted *regardless of its write
+//!   backlog* — this covers slowloris senders, half-open peers, idle
+//!   keep-alive connections, and readers that never drain their
+//!   responses (unflushed bytes are dropped with the connection; a
+//!   peer that stalls its receive window is not owed delivery).
+//!   Pending batches carry their own deadline: missing replies are
+//!   filled with `timeout` error lines so one stuck request cannot
+//!   wedge the connection behind it, and eviction waits for that fill
+//!   so a slow engine reply surfaces as a typed timeout line, not a
+//!   reset.
 //! * **Drain.** Shutdown closes the listener, marks every connection
 //!   `no_new_requests`, and gives in-flight responses `drain_grace` to
 //!   flush before teardown closes the stragglers.
@@ -175,7 +180,7 @@ pub(crate) fn try_parse_request(buf: &[u8]) -> Result<Option<(HttpRequest, usize
         _ => return Err("malformed request line".to_string()),
     };
     let http10 = version == "HTTP/1.0";
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut explicit_close: Option<bool> = None;
     let mut seen = 0usize;
     loop {
@@ -193,12 +198,27 @@ pub(crate) fn try_parse_request(buf: &[u8]) -> Result<Option<(HttpRequest, usize
             let key = key.trim();
             let value = value.trim();
             if key.eq_ignore_ascii_case("content-length") {
-                content_length = value
+                let parsed: usize = value
                     .parse()
                     .map_err(|_| "bad content-length".to_string())?;
-                if content_length > MAX_BODY {
+                if parsed > MAX_BODY {
                     return Err("body too large".to_string());
                 }
+                // Repeated identical Content-Length headers are
+                // tolerated; conflicting ones are a request-smuggling
+                // shape and reject outright.
+                if let Some(prev) = content_length {
+                    if prev != parsed {
+                        return Err("conflicting content-length".to_string());
+                    }
+                }
+                content_length = Some(parsed);
+            } else if key.eq_ignore_ascii_case("transfer-encoding") {
+                // The parser does not implement chunked decoding;
+                // treating a chunked body as Content-Length: 0 would
+                // desync the pipeline (its body bytes would parse as
+                // the next request), so any Transfer-Encoding rejects.
+                return Err("transfer-encoding not supported".to_string());
             } else if key.eq_ignore_ascii_case("connection") {
                 if let Some(c) = connection_close(value) {
                     // Close is sticky across repeated Connection
@@ -210,6 +230,7 @@ pub(crate) fn try_parse_request(buf: &[u8]) -> Result<Option<(HttpRequest, usize
             }
         }
     }
+    let content_length = content_length.unwrap_or(0);
     if buf.len() < pos + content_length {
         return Ok(None);
     }
@@ -365,11 +386,18 @@ impl Conn {
     }
 
     /// Writes the buffer out until done or the socket would block.
+    /// Write progress counts as activity: a peer that keeps draining
+    /// responses is alive, while one that stalls its receive window
+    /// stops refreshing the eviction clock and is closed at
+    /// `read_timeout` even with bytes still owed.
     fn flush(&mut self) -> io::Result<()> {
         while self.write_pos < self.write_buf.len() {
             match (&self.stream).write(&self.write_buf[self.write_pos..]) {
                 Ok(0) => return Err(io::Error::from(io::ErrorKind::WriteZero)),
-                Ok(n) => self.write_pos += n,
+                Ok(n) => {
+                    self.write_pos += n;
+                    self.last_activity = Instant::now();
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => return Err(e),
@@ -786,17 +814,46 @@ impl Reactor {
     }
 
     /// Pump + flush + re-arm for one connection.
+    ///
+    /// After flushing, re-runs the parse loop whenever the write
+    /// backlog has dropped back under [`WRITE_BUF_CAP`] with bytes
+    /// still in `read_buf`: backpressure can strand *complete*
+    /// pipelined requests there, and if the client already sent its
+    /// whole burst the kernel socket is empty, so no readable event
+    /// will ever re-trigger parsing — the drain itself must. The loop
+    /// exits once parsing makes no progress (the residue is a request
+    /// prefix awaiting more bytes) or backpressure re-engages.
     fn pump(&mut self, slot: usize) {
-        let flushed = {
-            let Some(conn) = self.conns.get_mut(slot).and_then(|c| c.as_mut()) else {
-                return;
+        loop {
+            let flushed = {
+                let Some(conn) = self.conns.get_mut(slot).and_then(|c| c.as_mut()) else {
+                    return;
+                };
+                conn.pump_ready();
+                conn.flush()
             };
-            conn.pump_ready();
-            conn.flush()
-        };
-        if flushed.is_err() {
-            self.close_conn(slot);
-            return;
+            if flushed.is_err() {
+                self.close_conn(slot);
+                return;
+            }
+            let before = {
+                let Some(conn) = self.conns.get(slot).and_then(|c| c.as_ref()) else {
+                    return;
+                };
+                if conn.no_new_requests
+                    || conn.read_buf.is_empty()
+                    || conn.write_backlog() >= WRITE_BUF_CAP
+                {
+                    break;
+                }
+                conn.read_buf.len()
+            };
+            self.parse_loop(slot, Instant::now());
+            match self.conns.get(slot).and_then(|c| c.as_ref()) {
+                Some(conn) if conn.read_buf.len() != before => {} // progress: pump again
+                Some(_) => break,
+                None => return,
+            }
         }
         self.after_io(slot);
     }
@@ -920,10 +977,21 @@ impl Reactor {
                         }
                     }
                 }
+                // Evict on inactivity *regardless of write backlog*:
+                // a peer that neither sends requests nor drains its
+                // responses must not pin the slot (nor spin the loop
+                // on an expired deadline `expire` would never act on).
+                // The one deferral: a pending batch still awaiting
+                // engine replies keeps the connection alive until its
+                // own deadline fills it with timeout lines — that
+                // deadline is never later than `read_timeout` from
+                // parse, so the deferral is bounded.
                 evict = !filled
-                    && conn.responses.is_empty()
-                    && conn.write_backlog() == 0
-                    && now >= conn.last_activity + self.cfg.read_timeout;
+                    && now >= conn.last_activity + self.cfg.read_timeout
+                    && !conn
+                        .responses
+                        .iter()
+                        .any(|r| matches!(r, Response::Pending(b) if b.missing > 0));
             }
             if filled {
                 self.pump(slot);
@@ -1054,6 +1122,35 @@ mod tests {
             try_parse_request(huge.as_bytes()).is_err(),
             "body too large"
         );
+    }
+
+    #[test]
+    fn smuggling_shapes_are_rejected() {
+        // Transfer-Encoding is not implemented; accepting it as
+        // Content-Length: 0 would desync pipelined requests.
+        assert!(
+            try_parse_request(b"POST /v1 HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n").is_err(),
+            "chunked must be rejected"
+        );
+        assert!(
+            try_parse_request(b"POST /v1 HTTP/1.1\r\nTransfer-Encoding: identity\r\n\r\n").is_err(),
+            "any transfer-encoding must be rejected"
+        );
+        // Conflicting duplicate Content-Length headers reject...
+        assert!(
+            try_parse_request(
+                b"POST /v1 HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 5\r\n\r\nabcde"
+            )
+            .is_err(),
+            "conflicting content-length must be rejected"
+        );
+        // ...while repeated identical ones still parse.
+        let (req, _) = try_parse_request(
+            b"POST /v1 HTTP/1.1\r\nContent-Length: 3\r\nContent-Length: 3\r\n\r\nabc",
+        )
+        .expect("valid")
+        .expect("complete");
+        assert_eq!(req.body, "abc");
     }
 
     #[test]

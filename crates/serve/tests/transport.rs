@@ -267,6 +267,199 @@ fn slowloris_and_half_open_connections_are_evicted_without_stalling_others() {
     server.shutdown();
 }
 
+/// Clamps the client-side receive buffer to 16 KiB. Setting SO_RCVBUF
+/// also disables the kernel's receive-buffer autotuning (which can
+/// otherwise grow to tens of megabytes on loopback), so a client that
+/// stops reading jams the server's write path after ~100 KiB instead
+/// of letting the kernel silently absorb the whole test.
+fn shrink_rcvbuf(stream: &TcpStream) {
+    #[cfg(target_os = "linux")]
+    const SOL_SOCKET: i32 = 1;
+    #[cfg(target_os = "linux")]
+    const SO_RCVBUF: i32 = 8;
+    #[cfg(not(target_os = "linux"))]
+    const SOL_SOCKET: i32 = 0xffff;
+    #[cfg(not(target_os = "linux"))]
+    const SO_RCVBUF: i32 = 0x1002;
+    extern "C" {
+        fn setsockopt(
+            fd: i32,
+            level: i32,
+            optname: i32,
+            optval: *const std::ffi::c_void,
+            optlen: u32,
+        ) -> i32;
+    }
+    use std::os::unix::io::AsRawFd;
+    let size: i32 = 16 * 1024;
+    // SAFETY: plain syscall on an open fd; the kernel copies optval.
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_RCVBUF,
+            &size as *const i32 as *const std::ffi::c_void,
+            std::mem::size_of::<i32>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_RCVBUF) failed");
+}
+
+/// One full `GET /metrics` exchange over a raw socket, to size the
+/// flood tests: returns the wire length of a single response.
+fn metrics_wire_len(addr: std::net::SocketAddr) -> usize {
+    let mut raw = TcpStream::connect(addr).unwrap();
+    raw.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    raw.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = Vec::new();
+    raw.read_to_end(&mut response).unwrap();
+    assert!(response.starts_with(b"HTTP/1.1 200"), "metrics probe");
+    response.len()
+}
+
+#[test]
+fn non_reading_peer_is_evicted_despite_write_backlog() {
+    const REQ: &[u8] = b"GET /metrics HTTP/1.1\r\n\r\n";
+    let read_timeout = Duration::from_millis(300);
+    let server = boot(TransportConfig {
+        read_timeout,
+        drain_grace: Duration::from_secs(2),
+    });
+    let addr = server.local_addr();
+
+    // Flood pipelined requests until the server's backpressure
+    // genuinely stalls us — it stops reading once the backlog cap
+    // trips and we never drain a byte, so a sustained write stall
+    // means response bytes are pinned in the reactor's write backlog
+    // beyond anything the kernel's socket buffers could absorb. The
+    // 8 MiB ceiling (~420 MiB of implied responses) is a runtime
+    // bound, not the expected stop: the stall fires long before it.
+    const MAX_FLOOD_BYTES: usize = 8 * 1024 * 1024;
+    let mut stalled = TcpStream::connect(addr).unwrap();
+    shrink_rcvbuf(&stalled);
+    stalled
+        .set_write_timeout(Some(Duration::from_millis(100)))
+        .unwrap();
+    stalled
+        .set_read_timeout(Some(Duration::from_secs(2)))
+        .unwrap();
+    let mut written = 0usize;
+    let mut stalls = 0u32;
+    'flood: while written < MAX_FLOOD_BYTES {
+        let mut line = REQ;
+        while !line.is_empty() {
+            match stalled.write(line) {
+                Ok(0) => break 'flood,
+                Ok(n) => {
+                    written += n;
+                    line = &line[n..];
+                    stalls = 0;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    stalls += 1;
+                    if stalls >= 3 {
+                        break 'flood; // ~300 ms without a byte: saturated
+                    }
+                }
+                Err(_) => break 'flood, // reset: already evicted
+            }
+        }
+    }
+    let sent = written / REQ.len();
+    assert!(sent > 16, "flood never got going: {sent}");
+
+    // Never read a byte for well past `read_timeout`: no write
+    // progress is possible, so the eviction sweep must fire even
+    // though the connection still owes response bytes.
+    std::thread::sleep(read_timeout * 4);
+
+    // Healthy traffic was never pinned behind the stalled peer.
+    let (status, _) = nai_serve::http_call(addr, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+
+    // The server must have closed us: draining what the kernel
+    // buffered ends in EOF or a reset, never our 2 s client timeout,
+    // and the undelivered backlog means we see fewer responses than
+    // requests we sent.
+    let mut drained = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    let terminated = loop {
+        match stalled.read(&mut chunk) {
+            Ok(0) => break true,
+            Ok(n) => drained.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionReset => break true,
+            Err(_) => break false, // timed out: the server never evicted us
+        }
+    };
+    assert!(terminated, "non-reading peer must be evicted, not held");
+    let received = drained.windows(12).filter(|w| w == b"HTTP/1.1 200").count();
+    assert!(
+        received < sent,
+        "eviction must drop the stalled backlog ({received} responses for {sent} requests)"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn backpressured_pipelined_burst_is_fully_answered_once_the_client_drains() {
+    let server = boot(TransportConfig::default());
+    let addr = server.local_addr();
+
+    // Size the burst so its responses overflow both the reactor's
+    // write-backlog cap and the (clamped) kernel socket buffers:
+    // parsing stops mid-burst with complete requests stranded in the
+    // reactor's read buffer and nothing left in the kernel socket.
+    let burst = (2 * 1024 * 1024 / metrics_wire_len(addr)).max(256);
+    let mut client = TcpStream::connect(addr).unwrap();
+    shrink_rcvbuf(&client);
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let writer = {
+        let mut tx = client.try_clone().unwrap();
+        std::thread::spawn(move || {
+            let req = b"GET /metrics HTTP/1.1\r\n\r\n".repeat(burst);
+            tx.write_all(&req).unwrap();
+        })
+    };
+
+    // Let the burst land and the backpressure stall settle before
+    // draining a single byte — the stranded tail can then only be
+    // parsed by the backlog-drain path, never by a readable event.
+    std::thread::sleep(Duration::from_millis(300));
+
+    // Drain everything: every request of the burst must be answered.
+    let mut received = 0usize;
+    let mut tail: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 64 * 1024];
+    while received < burst {
+        let n = match client.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => panic!("burst stalled after {received}/{burst} responses: {e}"),
+        };
+        tail.extend_from_slice(&chunk[..n]);
+        received += tail.windows(12).filter(|w| w == b"HTTP/1.1 200").count();
+        // Keep only a potential split status-line prefix across reads.
+        let keep = tail.len().min(11);
+        tail = tail.split_off(tail.len() - keep);
+    }
+    assert_eq!(
+        received, burst,
+        "backpressure must not strand pipelined requests"
+    );
+    writer.join().unwrap();
+    server.shutdown();
+}
+
 #[test]
 fn shutdown_races_a_pipelined_burst_without_losing_responses() {
     const BURST: usize = 16;
